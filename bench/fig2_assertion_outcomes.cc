@@ -1,0 +1,143 @@
+// Regenerates Figure 2 of the paper: the integration outcome of each of the
+// five assertion types on a pair of single-entity schemas. Prints the
+// paper's expected result next to the measured one and a SHAPE verdict.
+
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "core/assertion_store.h"
+#include "core/equivalence.h"
+#include "core/integrator.h"
+#include "ecr/builder.h"
+#include "ecr/printer.h"
+
+using namespace ecrint;        // NOLINT: harness brevity
+using namespace ecrint::core;  // NOLINT: harness brevity
+
+namespace {
+
+int failures = 0;
+
+void Verdict(bool ok, const std::string& what) {
+  std::cout << "  SHAPE " << (ok ? "OK  " : "MISMATCH ") << what << "\n";
+  if (!ok) ++failures;
+}
+
+struct Setup {
+  ecr::Catalog catalog;
+  EquivalenceMap equivalence{*EquivalenceMap::Create(ecr::Catalog(), {})};
+  AssertionStore assertions;
+};
+
+Setup MakePair(const std::string& name1, const std::string& name2) {
+  Setup s;
+  ecr::SchemaBuilder b1("sc1");
+  b1.Entity(name1)
+      .Attr("Id", ecr::Domain::Int(), true)
+      .Attr("A1", ecr::Domain::Char());
+  if (!s.catalog.AddSchema(*b1.Build()).ok()) std::exit(1);
+  ecr::SchemaBuilder b2("sc2");
+  b2.Entity(name2)
+      .Attr("Id", ecr::Domain::Int(), true)
+      .Attr("A2", ecr::Domain::Char());
+  if (!s.catalog.AddSchema(*b2.Build()).ok()) std::exit(1);
+  s.equivalence = *EquivalenceMap::Create(s.catalog, {"sc1", "sc2"});
+  (void)s.equivalence.DeclareEquivalent({"sc1", name1, "Id"},
+                                        {"sc2", name2, "Id"});
+  return s;
+}
+
+IntegrationResult Run(Setup& s) {
+  Result<IntegrationResult> result =
+      Integrate(s.catalog, {"sc1", "sc2"}, s.equivalence, s.assertions);
+  if (!result.ok()) {
+    std::cerr << "integration failed: " << result.status() << "\n";
+    std::exit(1);
+  }
+  return *std::move(result);
+}
+
+void Case(const char* id, const char* title, const std::string& n1,
+          const std::string& n2, AssertionType type,
+          const char* paper_expectation,
+          const std::function<bool(const IntegrationResult&)>& check) {
+  std::cout << "=== " << id << ": " << title << " ===\n";
+  Setup s = MakePair(n1, n2);
+  (void)s.assertions.Assert({"sc1", n1}, {"sc2", n2}, type).status();
+  IntegrationResult result = Run(s);
+  std::cout << "  PAPER:    " << paper_expectation << "\n";
+  std::cout << "  MEASURED:\n";
+  std::string outline = ecr::ToOutline(result.schema);
+  size_t pos = 0;
+  while (pos < outline.size()) {
+    size_t end = outline.find('\n', pos);
+    std::cout << "    " << outline.substr(pos, end - pos) << "\n";
+    pos = end + 1;
+  }
+  Verdict(check(result), title);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Figure 2: integration outcome per assertion type\n"
+            << "================================================\n\n";
+
+  Case("F2a", "identical domains (equals)", "Department", "Department",
+       AssertionType::kEquals,
+       "the two Department entity sets merge into E_Department",
+       [](const IntegrationResult& r) {
+         return r.schema.num_objects() == 1 &&
+                r.schema.object(0).name == "E_Department" &&
+                r.schema.object(0).origin == ecr::ObjectOrigin::kEquivalent;
+       });
+
+  Case("F2b", "contained domains (contains)", "Student", "Grad_student",
+       AssertionType::kContains,
+       "Grad_student becomes a category of Student",
+       [](const IntegrationResult& r) {
+         ecr::ObjectId student = r.schema.FindObject("Student");
+         ecr::ObjectId grad = r.schema.FindObject("Grad_student");
+         return student != ecr::kNoObject && grad != ecr::kNoObject &&
+                r.schema.object(grad).kind == ecr::ObjectKind::kCategory &&
+                r.schema.object(grad).parents ==
+                    std::vector<ecr::ObjectId>{student};
+       });
+
+  Case("F2c", "overlapping domains (may be)", "Grad_student", "Instructor",
+       AssertionType::kMayBe,
+       "derived D_Grad_Inst is created with both as categories",
+       [](const IntegrationResult& r) {
+         ecr::ObjectId derived = r.schema.FindObject("D_Grad_Inst");
+         return derived != ecr::kNoObject &&
+                r.schema.object(derived).origin ==
+                    ecr::ObjectOrigin::kDerived &&
+                r.schema.ChildrenOf(derived).size() == 2;
+       });
+
+  Case("F2d", "disjoint integrable", "Secretary", "Engineer",
+       AssertionType::kDisjointIntegrable,
+       "derived D_Secr_Engi (the 'employee' concept) is created",
+       [](const IntegrationResult& r) {
+         ecr::ObjectId derived = r.schema.FindObject("D_Secr_Engi");
+         return derived != ecr::kNoObject &&
+                r.schema.ChildrenOf(derived).size() == 2;
+       });
+
+  Case("F2e", "disjoint nonintegrable", "Under_Grad_Student",
+       "Full_Professor", AssertionType::kDisjointNonintegrable,
+       "both entity sets are kept separate; no derived class",
+       [](const IntegrationResult& r) {
+         return r.schema.num_objects() == 2 &&
+                r.schema.FindObject("Under_Grad_Student") !=
+                    ecr::kNoObject &&
+                r.schema.FindObject("Full_Professor") != ecr::kNoObject;
+       });
+
+  std::cout << (failures == 0 ? "ALL SHAPES MATCH THE PAPER\n"
+                              : "SHAPE MISMATCHES PRESENT\n");
+  return failures == 0 ? 0 : 1;
+}

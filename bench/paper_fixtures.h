@@ -1,0 +1,34 @@
+#ifndef ECRINT_BENCH_PAPER_FIXTURES_H_
+#define ECRINT_BENCH_PAPER_FIXTURES_H_
+
+// Shared fixtures for the paper-reproduction harnesses: the university
+// example of Figures 3-5 and Screens 6-12, and helpers that turn a synthetic
+// workload's ground truth into DDA input for the scalability benches.
+
+#include "core/assertion_store.h"
+#include "core/equivalence.h"
+#include "ecr/catalog.h"
+#include "workload/generator.h"
+
+namespace ecrint::bench {
+
+// Schemas sc1 (Figure 3) and sc2 (Figure 4).
+ecr::Catalog UniversityCatalog();
+
+// The DDA's equivalence classes. With `include_faculty_name` the class of
+// Name also contains sc2.Faculty.Name, which is the state Screen 8's 0.3333
+// ratio reflects; without it the Figure 5 / Screen 12 session is reproduced
+// (D_Name has exactly the two components the paper shows).
+core::EquivalenceMap UniversityEquivalences(const ecr::Catalog& catalog,
+                                            bool include_faculty_name);
+
+// The Screen 8 answers (1, 3, 4) plus the relationship merge Majors=Study.
+core::AssertionStore UniversityAssertions();
+
+// DDA input reconstructed from a synthetic workload's ground truth.
+core::EquivalenceMap TruthEquivalences(const workload::Workload& workload);
+core::AssertionStore TruthAssertions(const workload::Workload& workload);
+
+}  // namespace ecrint::bench
+
+#endif  // ECRINT_BENCH_PAPER_FIXTURES_H_

@@ -1,0 +1,127 @@
+// Scalability of the instance-level substrate: population, federated
+// fan-out execution, and integrated-database materialization over
+// synthetic workloads.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "core/integrator.h"
+#include "core/request_translation.h"
+#include "data/federation.h"
+#include "data/instance_store.h"
+#include "data/materialize.h"
+#include "paper_fixtures.h"
+#include "workload/generator.h"
+
+namespace ecrint {
+namespace {
+
+struct Prepared {
+  workload::Workload workload;
+  core::IntegrationResult result;
+  std::map<std::string, std::unique_ptr<data::InstanceStore>> stores;
+  std::map<std::string, const data::InstanceStore*> store_ptrs;
+  // Per-schema live ecr::Schema copies the stores point into.
+  std::map<std::string, ecr::Schema> schemas;
+};
+
+Prepared Prepare(int entities_per_concept) {
+  workload::GeneratorConfig config;
+  config.num_concepts = 10;
+  config.num_schemas = 2;
+  config.relationships_per_schema = 0;
+  Result<workload::Workload> w = workload::GenerateWorkload(config);
+  if (!w.ok()) std::abort();
+  core::EquivalenceMap equivalence = bench::TruthEquivalences(*w);
+  core::AssertionStore assertions = bench::TruthAssertions(*w);
+  Result<core::IntegrationResult> result = core::Integrate(
+      w->catalog, w->schema_names, equivalence, assertions);
+  if (!result.ok()) std::abort();
+
+  Prepared p{*std::move(w), *std::move(result), {}, {}, {}};
+  for (const std::string& name : p.workload.schema_names) {
+    p.schemas.emplace(name, **p.workload.catalog.GetSchema(name));
+  }
+  for (const std::string& name : p.workload.schema_names) {
+    p.stores[name] =
+        std::make_unique<data::InstanceStore>(&p.schemas.at(name));
+  }
+  for (const workload::LocalExtent& extent : p.workload.extents) {
+    data::InstanceStore& store = *p.stores.at(extent.schema);
+    const ecr::Schema& schema = store.schema();
+    const std::string& key =
+        schema.object(schema.FindObject(extent.object)).attributes[0].name;
+    for (int k = 0; k < entities_per_concept; ++k) {
+      double pos = (k + 0.5) / entities_per_concept;
+      if (pos < extent.lo || pos >= extent.hi) continue;
+      (void)store.Insert(extent.object,
+                         {{key, data::Value::Int(
+                                    extent.concept_index * 100000 + k)}});
+    }
+  }
+  for (auto& [name, store] : p.stores) p.store_ptrs[name] = store.get();
+  return p;
+}
+
+void BM_FanoutExecution(benchmark::State& state) {
+  Prepared p = Prepare(static_cast<int>(state.range(0)));
+  // Query the first keyed integrated class.
+  core::Request query;
+  for (const core::IntegratedStructureInfo& info : p.result.structures) {
+    if (info.kind != core::StructureKind::kObjectClass) continue;
+    ecr::ObjectId id = p.result.schema.FindObject(info.name);
+    for (const ecr::Attribute& a : p.result.schema.InheritedAttributes(id)) {
+      if (a.is_key) {
+        query = {{p.result.schema.name(), info.name}, {a.name}};
+      }
+    }
+    if (!query.attributes.empty()) break;
+  }
+  Result<core::FanoutPlan> plan =
+      core::TranslateToComponents(p.result, query);
+  if (!plan.ok()) std::abort();
+  int64_t rows = 0;
+  for (auto _ : state) {
+    Result<data::ResultSet> result = data::ExecuteFanout(*plan, p.store_ptrs);
+    if (!result.ok()) std::abort();
+    rows += static_cast<int64_t>(result->rows.size());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(rows);
+}
+BENCHMARK(BM_FanoutExecution)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_Materialize(benchmark::State& state) {
+  Prepared p = Prepare(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Result<data::MaterializationResult> materialized =
+        data::MaterializeIntegrated(p.result, p.store_ptrs);
+    if (!materialized.ok()) std::abort();
+    benchmark::DoNotOptimize(materialized);
+  }
+}
+BENCHMARK(BM_Materialize)->Arg(10)->Arg(100);
+
+void BM_InsertThroughput(benchmark::State& state) {
+  ecr::Catalog catalog = bench::UniversityCatalog();
+  const ecr::Schema& sc1 = **catalog.GetSchema("sc1");
+  for (auto _ : state) {
+    state.PauseTiming();
+    data::InstanceStore store(&sc1);
+    state.ResumeTiming();
+    for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+      (void)store.Insert(
+          "Student", {{"Name", data::Value::Str("s" + std::to_string(i))},
+                      {"GPA", data::Value::Real(3.0)}});
+    }
+    benchmark::DoNotOptimize(store);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InsertThroughput)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace ecrint
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Scalability of phase 4: full integration (lattice construction, attribute
+// placement, relationship merging, mapping generation) as the component
+// schemas grow.
+
+#include <benchmark/benchmark.h>
+
+#include "core/integrator.h"
+#include "paper_fixtures.h"
+#include "workload/generator.h"
+
+namespace ecrint {
+namespace {
+
+struct Prepared {
+  workload::Workload workload;
+  core::EquivalenceMap equivalence;
+  core::AssertionStore assertions;
+};
+
+Prepared Prepare(int concepts, int schemas) {
+  workload::GeneratorConfig config;
+  config.num_concepts = concepts;
+  config.num_schemas = schemas;
+  Result<workload::Workload> w = workload::GenerateWorkload(config);
+  if (!w.ok()) std::abort();
+  core::EquivalenceMap equivalence = bench::TruthEquivalences(*w);
+  core::AssertionStore assertions = bench::TruthAssertions(*w);
+  return {*std::move(w), std::move(equivalence), std::move(assertions)};
+}
+
+void BM_IntegrateTwoSchemas(benchmark::State& state) {
+  Prepared p = Prepare(static_cast<int>(state.range(0)), 2);
+  for (auto _ : state) {
+    Result<core::IntegrationResult> result = core::Integrate(
+        p.workload.catalog, p.workload.schema_names, p.equivalence,
+        p.assertions);
+    if (!result.ok()) std::abort();
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IntegrateTwoSchemas)->Arg(10)->Arg(25)->Arg(50)->Arg(100)
+    ->Complexity();
+
+void BM_IntegratePaperExample(benchmark::State& state) {
+  ecr::Catalog catalog = bench::UniversityCatalog();
+  core::EquivalenceMap equivalence =
+      bench::UniversityEquivalences(catalog, false);
+  core::AssertionStore assertions = bench::UniversityAssertions();
+  for (auto _ : state) {
+    Result<core::IntegrationResult> result = core::Integrate(
+        catalog, {"sc1", "sc2"}, equivalence, assertions);
+    if (!result.ok()) std::abort();
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_IntegratePaperExample);
+
+// Ablation: seeding within-schema structure into the closure costs extra
+// asserts; how much?
+void BM_IntegrateNoSeeding(benchmark::State& state) {
+  Prepared p = Prepare(static_cast<int>(state.range(0)), 2);
+  core::IntegrationOptions options;
+  options.seed_entity_disjointness = false;
+  options.seed_category_containment = false;
+  for (auto _ : state) {
+    Result<core::IntegrationResult> result = core::Integrate(
+        p.workload.catalog, p.workload.schema_names, p.equivalence,
+        p.assertions, options);
+    if (!result.ok()) std::abort();
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_IntegrateNoSeeding)->Arg(10)->Arg(25)->Arg(50)->Arg(100);
+
+}  // namespace
+}  // namespace ecrint
+
+BENCHMARK_MAIN();

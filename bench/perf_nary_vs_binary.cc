@@ -1,0 +1,61 @@
+// Ablation P4: the paper claims its methodology is unique in performing
+// n-ary integration. Compares the n-ary driver (all schemas in one pass)
+// against the binary ladder (fold two at a time, rewriting DDA input
+// through the intermediate mappings) on identical inputs.
+
+#include <benchmark/benchmark.h>
+
+#include "core/integrator.h"
+#include "core/nary.h"
+#include "paper_fixtures.h"
+#include "workload/generator.h"
+
+namespace ecrint {
+namespace {
+
+struct Prepared {
+  workload::Workload workload;
+  core::EquivalenceMap equivalence;
+  core::AssertionStore assertions;
+};
+
+Prepared Prepare(int schemas) {
+  workload::GeneratorConfig config;
+  config.num_concepts = 12;
+  config.num_schemas = schemas;
+  config.concept_coverage = 0.8;
+  Result<workload::Workload> w = workload::GenerateWorkload(config);
+  if (!w.ok()) std::abort();
+  core::EquivalenceMap equivalence = bench::TruthEquivalences(*w);
+  core::AssertionStore assertions = bench::TruthAssertions(*w);
+  return {*std::move(w), std::move(equivalence), std::move(assertions)};
+}
+
+void BM_NaryIntegration(benchmark::State& state) {
+  Prepared p = Prepare(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Result<core::IntegrationResult> result = core::Integrate(
+        p.workload.catalog, p.workload.schema_names, p.equivalence,
+        p.assertions);
+    if (!result.ok()) std::abort();
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_NaryIntegration)->Arg(2)->Arg(3)->Arg(4)->Arg(6);
+
+void BM_BinaryLadder(benchmark::State& state) {
+  Prepared p = Prepare(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Result<core::IntegrationResult> result = core::IntegrateBinaryLadder(
+        p.workload.catalog, p.workload.schema_names, p.equivalence,
+        p.assertions);
+    if (!result.ok()) std::abort();
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_BinaryLadder)->Arg(2)->Arg(3)->Arg(4)->Arg(6);
+
+}  // namespace
+}  // namespace ecrint
+
+BENCHMARK_MAIN();

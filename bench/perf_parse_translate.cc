@@ -1,0 +1,105 @@
+// Throughput of the phase-1 substrates: DDL parsing/printing round trips
+// and the relational / hierarchical translators.
+
+#include <benchmark/benchmark.h>
+
+#include "ecr/ddl_parser.h"
+#include "ecr/printer.h"
+#include "translate/hier_to_ecr.h"
+#include "translate/rel_to_ecr.h"
+#include "workload/generator.h"
+
+namespace ecrint {
+namespace {
+
+std::string GeneratedDdl(int concepts) {
+  workload::GeneratorConfig config;
+  config.num_concepts = concepts;
+  config.num_schemas = 1;
+  Result<workload::Workload> w = workload::GenerateWorkload(config);
+  if (!w.ok()) std::abort();
+  return ecr::ToDdl(**w->catalog.GetSchema(w->schema_names[0]));
+}
+
+void BM_DdlParse(benchmark::State& state) {
+  std::string ddl = GeneratedDdl(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Result<ecr::Schema> schema = ecr::ParseSchema(ddl);
+    if (!schema.ok()) std::abort();
+    benchmark::DoNotOptimize(schema);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ddl.size()));
+}
+BENCHMARK(BM_DdlParse)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_DdlPrint(benchmark::State& state) {
+  std::string ddl = GeneratedDdl(static_cast<int>(state.range(0)));
+  Result<ecr::Schema> schema = ecr::ParseSchema(ddl);
+  if (!schema.ok()) std::abort();
+  for (auto _ : state) {
+    std::string out = ecr::ToDdl(*schema);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_DdlPrint)->Arg(10)->Arg(100)->Arg(500);
+
+translate::RelationalSchema GeneratedRelational(int tables) {
+  translate::RelationalSchema db("gen");
+  for (int i = 0; i < tables; ++i) {
+    translate::Table table;
+    table.name = "t" + std::to_string(i);
+    table.columns = {{"id", ecr::Domain::Int(), false},
+                     {"payload", ecr::Domain::Char(), false}};
+    table.primary_key = {"id"};
+    if (i > 0) {
+      table.columns.push_back({"ref", ecr::Domain::Int(), true});
+      table.foreign_keys = {
+          {{"ref"}, "t" + std::to_string(i - 1), {"id"}}};
+    }
+    if (!db.AddTable(std::move(table)).ok()) std::abort();
+  }
+  return db;
+}
+
+void BM_RelationalToEcr(benchmark::State& state) {
+  translate::RelationalSchema db =
+      GeneratedRelational(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Result<ecr::Schema> schema = translate::RelationalToEcr(db);
+    if (!schema.ok()) std::abort();
+    benchmark::DoNotOptimize(schema);
+  }
+}
+BENCHMARK(BM_RelationalToEcr)->Arg(10)->Arg(100)->Arg(500);
+
+translate::HierarchicalSchema GeneratedHierarchy(int depth) {
+  translate::Segment leaf{"s" + std::to_string(depth - 1),
+                          {{"k", ecr::Domain::Int(), true}},
+                          {}};
+  for (int i = depth - 2; i >= 0; --i) {
+    translate::Segment parent{"s" + std::to_string(i),
+                              {{"k", ecr::Domain::Int(), true}},
+                              {leaf}};
+    leaf = std::move(parent);
+  }
+  translate::HierarchicalSchema db("gen");
+  if (!db.AddRoot(std::move(leaf)).ok()) std::abort();
+  return db;
+}
+
+void BM_HierarchicalToEcr(benchmark::State& state) {
+  translate::HierarchicalSchema db =
+      GeneratedHierarchy(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Result<ecr::Schema> schema = translate::HierarchicalToEcr(db);
+    if (!schema.ok()) std::abort();
+    benchmark::DoNotOptimize(schema);
+  }
+}
+BENCHMARK(BM_HierarchicalToEcr)->Arg(10)->Arg(100);
+
+}  // namespace
+}  // namespace ecrint
+
+BENCHMARK_MAIN();

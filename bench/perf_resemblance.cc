@@ -1,0 +1,65 @@
+// Scalability of phase 2: building the OCS matrix and the resemblance
+// ranking as the schemas grow. The paper's tool did this interactively on
+// schemas of a dozen objects; these sweeps show the heuristic stays
+// interactive-speed far beyond that.
+
+#include <benchmark/benchmark.h>
+
+#include "core/resemblance.h"
+#include "paper_fixtures.h"
+#include "workload/generator.h"
+
+namespace ecrint {
+namespace {
+
+workload::Workload MakeWorkload(int concepts) {
+  workload::GeneratorConfig config;
+  config.num_concepts = concepts;
+  config.num_schemas = 2;
+  config.concept_coverage = 0.9;
+  Result<workload::Workload> workload = workload::GenerateWorkload(config);
+  if (!workload.ok()) std::abort();
+  return *std::move(workload);
+}
+
+void BM_OcsMatrixBuild(benchmark::State& state) {
+  workload::Workload w = MakeWorkload(static_cast<int>(state.range(0)));
+  core::EquivalenceMap equivalence = bench::TruthEquivalences(w);
+  for (auto _ : state) {
+    Result<core::OcsMatrix> matrix = core::OcsMatrix::Create(
+        w.catalog, equivalence, w.schema_names[0], w.schema_names[1],
+        core::StructureKind::kObjectClass);
+    benchmark::DoNotOptimize(matrix);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OcsMatrixBuild)->Arg(10)->Arg(50)->Arg(100)->Arg(250)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_RankedPairs(benchmark::State& state) {
+  workload::Workload w = MakeWorkload(static_cast<int>(state.range(0)));
+  core::EquivalenceMap equivalence = bench::TruthEquivalences(w);
+  Result<core::OcsMatrix> matrix = core::OcsMatrix::Create(
+      w.catalog, equivalence, w.schema_names[0], w.schema_names[1],
+      core::StructureKind::kObjectClass);
+  if (!matrix.ok()) std::abort();
+  for (auto _ : state) {
+    std::vector<core::ObjectPair> ranked = matrix->RankedPairs();
+    benchmark::DoNotOptimize(ranked);
+  }
+}
+BENCHMARK(BM_RankedPairs)->Arg(10)->Arg(50)->Arg(100)->Arg(250);
+
+void BM_EquivalenceDeclare(benchmark::State& state) {
+  workload::Workload w = MakeWorkload(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    core::EquivalenceMap equivalence = bench::TruthEquivalences(w);
+    benchmark::DoNotOptimize(equivalence);
+  }
+}
+BENCHMARK(BM_EquivalenceDeclare)->Arg(10)->Arg(50)->Arg(100);
+
+}  // namespace
+}  // namespace ecrint
+
+BENCHMARK_MAIN();

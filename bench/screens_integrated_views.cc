@@ -1,0 +1,152 @@
+// Regenerates Screens 10-12 and walks every arc of Figure 6's screen
+// control-flow graph for the viewing phase: Object Class Screen ->
+// Entity/Category/Relationship/Attribute screens -> Component Attribute /
+// Equivalent / Participating Objects screens and back.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tui/session.h"
+
+using ecrint::tui::ScreenId;
+using ecrint::tui::Session;
+
+namespace {
+
+int failures = 0;
+
+std::string Drive(Session& session, const std::vector<std::string>& lines) {
+  std::string frame;
+  for (const std::string& line : lines) frame = session.Step(line);
+  return frame;
+}
+
+void Show(const char* id, const std::string& frame) {
+  std::cout << "--- " << id << " ---\n" << frame << "\n";
+}
+
+void Expect(bool ok, const std::string& what) {
+  std::cout << (ok ? "OK       " : "MISMATCH ") << what << "\n";
+  if (!ok) ++failures;
+}
+
+void Arc(Session& session, const std::string& input, ScreenId expected,
+         const std::string& label) {
+  session.Step(input);
+  Expect(session.screen() == expected, "Figure 6 arc: " + label);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Screens 10-12 and the Figure 6 control flow\n"
+            << "===========================================\n\n";
+
+  // Rebuild the whole session: schemas, equivalences, assertions.
+  Session session;
+  Drive(session, {
+      "1", "a sc1", "a Student e", "Name char key", "GPA real", "e",
+      "a Department e", "Dname char key", "e", "a Majors r", "Student 1 1",
+      "Department 0 n", "e", "e", "e",
+      "a sc2", "a Grad_student e", "Name char key", "GPA real",
+      "Support_type char", "e", "a Faculty e", "Name char key", "Rank char",
+      "e", "a Department e", "Dname char key", "e", "a Study r",
+      "Grad_student 1 1", "Department 0 n", "e", "e",
+      "a Works r", "Faculty 1 1", "Department 1 n", "e", "e", "e", "e"});
+  Drive(session, {"2", "sc1 sc2", "Student Grad_student", "a Name Name",
+                  "a GPA GPA", "e", "Department Department", "a Dname Dname",
+                  "e", "e"});
+  Drive(session, {"3", "1 1", "2 3", "6 4", "e"});
+  Drive(session, {"5", "1 1", "e"});
+
+  std::string frame = Drive(session, {"6"});
+  Show("Screen 10: Object Class Screen", frame);
+  Expect(session.screen() == ScreenId::kObjectClassScreen,
+         "task 6 opens the Object Class Screen");
+  Expect(frame.find("Entities(2)") != std::string::npos &&
+             frame.find("Categories(3)") != std::string::npos &&
+             frame.find("Relationships(2)") != std::string::npos,
+         "Screen 10 counts: Entities(2) Categories(3) Relationships(2)");
+  Expect(frame.find("E_Department") != std::string::npos &&
+             frame.find("D_Stud_Facu") != std::string::npos,
+         "Screen 10 lists E_Department and D_Stud_Facu");
+
+  frame = Drive(session, {"m Student", "c"});
+  Show("Screen 11: Category Screen for Student", frame);
+  Expect(frame.find("D_Stud_Facu") != std::string::npos &&
+             frame.find("Grad_student") != std::string::npos,
+         "Screen 11: parent D_Stud_Facu, child Grad_student");
+
+  Arc(session, "v", ScreenId::kEquivalentScreen,
+      "Category Screen -> Equivalent Screen");
+  Arc(session, "", ScreenId::kCategoryScreen,
+      "Equivalent Screen -> back");
+  Arc(session, "", ScreenId::kObjectClassScreen,
+      "Category Screen -> Object Class Screen");
+
+  frame = Drive(session, {"a"});
+  Show("Attribute Screen for Student", frame);
+  Expect(session.screen() == ScreenId::kAttributeScreen &&
+             frame.find("D_Name") != std::string::npos,
+         "Attribute Screen lists derived D_Name");
+
+  frame = Drive(session, {"c D_Name"});
+  Show("Screen 12a: Component Attribute Screen (first component)", frame);
+  Expect(frame.find("original Object Name: Student") != std::string::npos &&
+             frame.find("original Schema Name: sc1") != std::string::npos,
+         "Screen 12a: first component is sc1.Student.Name");
+
+  frame = Drive(session, {""});
+  Show("Screen 12b: Component Attribute Screen (second component)", frame);
+  Expect(frame.find("original Object Name: Grad_student") !=
+                 std::string::npos &&
+             frame.find("original Schema Name: sc2") != std::string::npos,
+         "Screen 12b: second component is sc2.Grad_student.Name");
+
+  Arc(session, "", ScreenId::kAttributeScreen,
+      "Component Attribute Screen -> Attribute Screen");
+  Arc(session, "", ScreenId::kObjectClassScreen,
+      "Attribute Screen -> Object Class Screen");
+
+  // Entity screen arc on a derived entity.
+  Drive(session, {"m D_Stud_Facu"});
+  Arc(session, "en", ScreenId::kEntityScreen,
+      "Object Class Screen -> Entity Screen");
+  frame = session.CurrentFrame();
+  Expect(frame.find("Student") != std::string::npos &&
+             frame.find("Faculty") != std::string::npos,
+         "Entity Screen lists D_Stud_Facu's children");
+  Arc(session, "", ScreenId::kObjectClassScreen,
+      "Entity Screen -> Object Class Screen");
+
+  // Relationship arcs.
+  Arc(session, "r E_Majo_Stud", ScreenId::kRelationshipScreen,
+      "Object Class Screen -> Relationship Screen");
+  Arc(session, "p", ScreenId::kParticipatingScreen,
+      "Relationship Screen -> Participating Objects Screen");
+  frame = session.CurrentFrame();
+  Show("Participating Objects In Relationship Screen", frame);
+  Expect(frame.find("Student") != std::string::npos &&
+             frame.find("E_Department") != std::string::npos,
+         "participants are Student and E_Department");
+  Arc(session, "", ScreenId::kRelationshipScreen,
+      "Participating Objects Screen -> Relationship Screen");
+  Arc(session, "v", ScreenId::kEquivalentScreen,
+      "Relationship Screen -> Equivalent Screen");
+  frame = session.CurrentFrame();
+  Expect(frame.find("sc1.Majors") != std::string::npos &&
+             frame.find("sc2.Study") != std::string::npos,
+         "Equivalent Screen lists the merged relationship's sources");
+  Arc(session, "", ScreenId::kRelationshipScreen,
+      "Equivalent Screen -> Relationship Screen");
+  Arc(session, "", ScreenId::kObjectClassScreen,
+      "Relationship Screen -> Object Class Screen");
+  Arc(session, "x", ScreenId::kMainMenu,
+      "Object Class Screen -> exit the viewing phase");
+
+  std::cout << (failures == 0
+                    ? "\nALL SCREENS AND FIGURE 6 ARCS REPRODUCED\n"
+                    : "\nMISMATCHES PRESENT\n");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+// The interactive schema-integration tool itself: the menu/form interface
+// of the paper, driven by stdin lines. Frames render to stdout.
+//
+//   ./build/examples/interactive_tool                  # interactive
+//   ./build/examples/interactive_tool --script f       # replay a session
+//   ./build/examples/interactive_tool --load p.ecrint  # resume a project
+//   ./build/examples/interactive_tool --save p.ecrint  # save on exit
+//
+// Script files contain one input line per line; '#' comments are skipped.
+// Flags combine freely.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/strings.h"
+#include "core/project_io.h"
+#include "tui/session.h"
+
+int main(int argc, char** argv) {
+  ecrint::tui::Session session;
+  std::istream* input = &std::cin;
+  std::ifstream file;
+  bool echo = false;
+  std::string save_path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag == "--script" && i + 1 < argc) {
+      file.open(argv[++i]);
+      if (!file) {
+        std::cerr << "cannot open script '" << argv[i] << "'\n";
+        return 1;
+      }
+      input = &file;
+      echo = true;
+    } else if (flag == "--load" && i + 1 < argc) {
+      auto project = ecrint::core::LoadProjectFile(argv[++i]);
+      if (!project.ok()) {
+        std::cerr << "load failed: " << project.status() << "\n";
+        return 1;
+      }
+      ecrint::Status status = session.ImportProject(*std::move(project));
+      if (!status.ok()) {
+        std::cerr << "import failed: " << status << "\n";
+        return 1;
+      }
+    } else if (flag == "--save" && i + 1 < argc) {
+      save_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--script <file>] [--load <file>] [--save <file>]\n";
+      return 1;
+    }
+  }
+
+  std::cout << session.CurrentFrame();
+  std::string line;
+  while (!session.done() && std::getline(*input, line)) {
+    std::string_view stripped = ecrint::StripWhitespace(line);
+    if (!stripped.empty() && stripped.front() == '#') continue;
+    if (echo) std::cout << "=> " << line << "\n";
+    std::cout << session.Step(line);
+  }
+  if (!save_path.empty()) {
+    std::ofstream out(save_path);
+    out << session.ExportProject();
+    std::cerr << "project saved to " << save_path << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Quickstart: integrate two tiny user views with the programmatic API.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/assertion_store.h"
+#include "core/equivalence.h"
+#include "core/integrator.h"
+#include "ecr/builder.h"
+#include "ecr/printer.h"
+
+using ecrint::core::Assertion;
+using ecrint::core::AssertionStore;
+using ecrint::core::AssertionType;
+using ecrint::core::EquivalenceMap;
+using ecrint::core::Integrate;
+using ecrint::core::IntegrationResult;
+using ecrint::ecr::Catalog;
+using ecrint::ecr::Domain;
+using ecrint::ecr::SchemaBuilder;
+
+namespace {
+
+// Dies with a message on error; examples keep error plumbing minimal.
+template <typename T>
+T Check(ecrint::Result<T> result) {
+  if (!result.ok()) {
+    std::cerr << "error: " << result.status() << "\n";
+    std::exit(1);
+  }
+  return *std::move(result);
+}
+
+void Check(const ecrint::Status& status) {
+  if (!status.ok()) {
+    std::cerr << "error: " << status << "\n";
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  // 1. Phase 1 — define two component views.
+  Catalog catalog;
+  SchemaBuilder hr("hr");
+  hr.Entity("Employee")
+      .Attr("Ssn", Domain::Int(), /*key=*/true)
+      .Attr("Name", Domain::Char())
+      .Attr("Salary", Domain::Real());
+  Check(catalog.AddSchema(Check(hr.Build())));
+
+  SchemaBuilder payroll("payroll");
+  payroll.Entity("Manager")
+      .Attr("Ssn", Domain::Int(), /*key=*/true)
+      .Attr("Bonus", Domain::Real());
+  Check(catalog.AddSchema(Check(payroll.Build())));
+
+  // 2. Phase 2 — tell the tool which attributes mean the same thing.
+  EquivalenceMap equivalence =
+      Check(EquivalenceMap::Create(catalog, {"hr", "payroll"}));
+  Check(equivalence.DeclareEquivalent({"hr", "Employee", "Ssn"},
+                                      {"payroll", "Manager", "Ssn"}));
+
+  // 3. Phase 3 — assert how the domains relate: every manager is an
+  //    employee.
+  AssertionStore assertions;
+  Check(assertions
+            .Assert({"payroll", "Manager"}, {"hr", "Employee"},
+                    AssertionType::kContainedIn)
+            .status());
+
+  // 4. Phase 4 — integrate and inspect.
+  IntegrationResult result =
+      Check(Integrate(catalog, {"hr", "payroll"}, equivalence, assertions));
+
+  std::cout << "Integrated schema\n=================\n"
+            << ecrint::ecr::ToOutline(result.schema) << "\n";
+
+  std::cout << "Mappings\n========\n";
+  for (const auto& mapping : result.mappings) {
+    std::cout << mapping.source.ToString() << " -> " << mapping.target
+              << "\n";
+    for (const auto& attribute : mapping.attributes) {
+      std::cout << "  ." << attribute.source_attribute << " -> "
+                << attribute.target_owner << "." << attribute.target_attribute
+                << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+#ifndef ECRINT_COMMON_RESULT_H_
+#define ECRINT_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ecrint {
+
+// A Status or a value of type T. Analogous to absl::StatusOr. A Result is
+// either OK and holds a value, or non-OK and holds only the error.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return SomeStatusProducingCall();` and
+  // `return value;` both work inside functions returning Result<T>.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "OK Result must carry a value");
+  }
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ecrint
+
+// Evaluates `expr` (a Result<T>), propagates its Status on failure, and
+// otherwise move-assigns the value into `lhs` (a declaration or lvalue).
+#define ECRINT_ASSIGN_OR_RETURN(lhs, expr)               \
+  ECRINT_ASSIGN_OR_RETURN_IMPL_(                         \
+      ECRINT_CONCAT_(ecrint_result_, __LINE__), lhs, expr)
+#define ECRINT_CONCAT_INNER_(a, b) a##b
+#define ECRINT_CONCAT_(a, b) ECRINT_CONCAT_INNER_(a, b)
+#define ECRINT_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)    \
+  auto tmp = (expr);                                     \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value()
+
+#endif  // ECRINT_COMMON_RESULT_H_

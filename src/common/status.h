@@ -1,0 +1,74 @@
+#ifndef ECRINT_COMMON_STATUS_H_
+#define ECRINT_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace ecrint {
+
+// Error category for a failed operation. Mirrors the small set of failure
+// modes the toolkit can report; `kOk` means success.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller supplied a malformed value
+  kNotFound,          // a named schema / object / attribute does not exist
+  kAlreadyExists,     // a name collides with an existing definition
+  kFailedPrecondition,// operation not valid in the current state
+  kConflict,          // contradictory assertions detected
+  kParseError,        // DDL or script text could not be parsed
+  kInternal,          // invariant violation inside the library
+};
+
+// Human-readable name of a status code ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+// Value-type result of an operation that can fail. The library does not use
+// exceptions; every fallible entry point returns a Status or a Result<T>.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE_NAME>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience constructors, one per failure code.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status ConflictError(std::string message);
+Status ParseError(std::string message);
+Status InternalError(std::string message);
+
+}  // namespace ecrint
+
+// Propagates a non-OK Status to the caller. Usable only in functions that
+// themselves return Status.
+#define ECRINT_RETURN_IF_ERROR(expr)                   \
+  do {                                                 \
+    ::ecrint::Status ecrint_status_ = (expr);          \
+    if (!ecrint_status_.ok()) return ecrint_status_;   \
+  } while (0)
+
+#endif  // ECRINT_COMMON_STATUS_H_

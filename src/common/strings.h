@@ -1,0 +1,35 @@
+#ifndef ECRINT_COMMON_STRINGS_H_
+#define ECRINT_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ecrint {
+
+// Returns `s` without leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+// Splits on `delim`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+// Joins `pieces` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+// Formats a double with `digits` digits after the decimal point (the paper's
+// screens print attribute ratios as e.g. "0.5000").
+std::string FormatFixed(double value, int digits);
+
+// True if `s` is a valid identifier: [A-Za-z_][A-Za-z0-9_]*.
+bool IsIdentifier(std::string_view s);
+
+}  // namespace ecrint
+
+#endif  // ECRINT_COMMON_STRINGS_H_

@@ -1,0 +1,303 @@
+#include "core/assertion_store.h"
+
+#include <algorithm>
+
+namespace ecrint::core {
+
+std::string ConflictReport::ToString() const {
+  std::string out = "conflict: asserting '" +
+                    (attempted_description.empty()
+                         ? attempted.ToString()
+                         : attempted_description) +
+                    "' contradicts the " +
+                    (existing_is_derived ? "derived" : "asserted") +
+                    " constraint " + RelationSetToString(existing) + " on " +
+                    conflict_first.ToString() + " / " +
+                    conflict_second.ToString();
+  if (!supporting.empty()) {
+    out += "; supported by:";
+    for (const Assertion& a : supporting) {
+      out += "\n  " + a.ToString();
+    }
+  }
+  return out;
+}
+
+int AssertionStore::Intern(const ObjectRef& ref) {
+  auto it = index_.find(ref);
+  if (it != index_.end()) return it->second;
+
+  int old_n = num_objects();
+  int new_n = old_n + 1;
+  objects_.push_back(ref);
+  index_[ref] = old_n;
+
+  std::vector<PairState> grown(static_cast<size_t>(new_n) * new_n);
+  for (int i = 0; i < old_n; ++i) {
+    for (int j = 0; j < old_n; ++j) {
+      grown[static_cast<size_t>(i) * new_n + j] =
+          std::move(matrix_[static_cast<size_t>(i) * old_n + j]);
+    }
+  }
+  matrix_ = std::move(grown);
+  At(old_n, old_n).possible = MaskOf(SetRelation::kEqual);
+  return old_n;
+}
+
+int AssertionStore::AddObject(const ObjectRef& ref) { return Intern(ref); }
+
+namespace {
+
+std::vector<int> MergeSupport(const std::vector<int>& a,
+                              const std::vector<int>& b) {
+  std::vector<int> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+void AssertionStore::SaveUndo(int i, int j) {
+  size_t cell = static_cast<size_t>(i) * num_objects() + j;
+  undo_.emplace_back(cell, matrix_[cell]);
+}
+
+bool AssertionStore::Refine(int i, int k, RelationSet mask,
+                            const std::vector<int>& via1,
+                            const std::vector<int>& via2) {
+  PairState& state = At(i, k);
+  RelationSet refined = state.possible & mask;
+  if (refined == state.possible) return false;
+  SaveUndo(i, k);
+  SaveUndo(k, i);
+  state.possible = refined;
+  state.support = MergeSupport(state.support, MergeSupport(via1, via2));
+  PairState& mirror = At(k, i);
+  mirror.possible = Converse(refined);
+  mirror.support = state.support;
+  dirty_.push_back({i, k});
+  return true;
+}
+
+std::pair<int, int> AssertionStore::Propagate(int i, int j) {
+  dirty_.clear();
+  dirty_.push_back({i, j});
+  while (!dirty_.empty()) {
+    auto [a, b] = dirty_.back();
+    dirty_.pop_back();
+    if (At(a, b).possible == kNoRelation) return {a, b};
+    const std::vector<int>& support_ab = At(a, b).support;
+    for (int k = 0; k < num_objects(); ++k) {
+      if (k == a || k == b) continue;
+      // (a,k) via b: R(a,k) ∈ R(a,b) ∘ R(b,k).
+      Refine(a, k, Compose(At(a, b).possible, At(b, k).possible), support_ab,
+             At(b, k).support);
+      if (At(a, k).possible == kNoRelation) return {a, k};
+      // (k,b) via a: R(k,b) ∈ R(k,a) ∘ R(a,b).
+      Refine(k, b, Compose(At(k, a).possible, At(a, b).possible),
+             At(k, a).support, support_ab);
+      if (At(k, b).possible == kNoRelation) return {k, b};
+    }
+  }
+  return {-1, -1};
+}
+
+Result<ConflictReport> AssertionStore::Assert(const Assertion& assertion) {
+  int i = Intern(assertion.first);
+  int j = Intern(assertion.second);
+  RelationSet mask = MaskOf(RelationOf(assertion.type));
+
+  // Fast-path direct contradiction: report without touching state.
+  const PairState& current = At(i, j);
+  if ((current.possible & mask) == kNoRelation) {
+    ConflictReport report;
+    report.attempted = assertion;
+    report.conflict_first = assertion.first;
+    report.conflict_second = assertion.second;
+    report.existing = current.possible;
+    report.existing_is_derived = current.user_assertion_index < 0;
+    for (int id : current.support) report.supporting.push_back(
+        user_assertions_[id]);
+    return ConflictError(report.ToString());
+  }
+
+  // Transactional apply: log changed cells, refine, propagate, and roll the
+  // log back on conflict.
+  undo_.clear();
+  int assertion_id = static_cast<int>(user_assertions_.size());
+  user_assertions_.push_back(assertion);
+
+  SaveUndo(i, j);
+  if (i != j) SaveUndo(j, i);
+  PairState& state = At(i, j);
+  state.possible &= mask;
+  state.support = MergeSupport(state.support, {assertion_id});
+  state.user_assertion_index = assertion_id;
+  PairState& mirror = At(j, i);
+  mirror.possible = Converse(state.possible);
+  mirror.support = state.support;
+  mirror.user_assertion_index = assertion_id;
+
+  auto [ci, cj] = Propagate(i, j);
+  if (ci >= 0) {
+    // Roll back in reverse order so earlier saves win.
+    for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+      matrix_[it->first] = std::move(it->second);
+    }
+    undo_.clear();
+    user_assertions_.pop_back();
+
+    ConflictReport report;
+    report.attempted = assertion;
+    report.conflict_first = objects_[ci];
+    report.conflict_second = objects_[cj];
+    const PairState& before = At(ci, cj);  // post-rollback == pre-attempt
+    report.existing = before.possible;
+    report.existing_is_derived = before.user_assertion_index < 0;
+    for (int id : before.support) {
+      report.supporting.push_back(user_assertions_[id]);
+    }
+    return ConflictError(report.ToString());
+  }
+  undo_.clear();
+
+  ConflictReport ok;  // empty report signals success
+  ok.attempted = assertion;
+  ok.existing = At(i, j).possible;
+  return ok;
+}
+
+Result<ConflictReport> AssertionStore::Assert(const ObjectRef& first,
+                                              const ObjectRef& second,
+                                              AssertionType type) {
+  return Assert(Assertion{first, second, type});
+}
+
+Result<ConflictReport> AssertionStore::Constrain(const ObjectRef& first,
+                                                 const ObjectRef& second,
+                                                 RelationSet allowed) {
+  int i = Intern(first);
+  int j = Intern(second);
+  std::string description = first.ToString() + " " +
+                            RelationSetToString(allowed) + " " +
+                            second.ToString();
+  const PairState& current = At(i, j);
+  if ((current.possible & allowed) == kNoRelation) {
+    ConflictReport report;
+    report.attempted_description = description;
+    report.conflict_first = first;
+    report.conflict_second = second;
+    report.existing = current.possible;
+    report.existing_is_derived = current.user_assertion_index < 0;
+    for (int id : current.support) {
+      report.supporting.push_back(user_assertions_[id]);
+    }
+    return ConflictError(report.ToString());
+  }
+
+  undo_.clear();
+  if (!Refine(i, j, allowed, {}, {})) {
+    ConflictReport ok;
+    ok.attempted_description = std::move(description);
+    ok.existing = current.possible;
+    return ok;  // already at least this tight
+  }
+  // Refine queued (i,j); drain the propagation from there.
+  auto [ci, cj] = Propagate(i, j);
+  if (ci >= 0) {
+    for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+      matrix_[it->first] = std::move(it->second);
+    }
+    undo_.clear();
+    ConflictReport report;
+    report.attempted_description = std::move(description);
+    report.conflict_first = objects_[ci];
+    report.conflict_second = objects_[cj];
+    const PairState& before = At(ci, cj);
+    report.existing = before.possible;
+    report.existing_is_derived = before.user_assertion_index < 0;
+    for (int id : before.support) {
+      report.supporting.push_back(user_assertions_[id]);
+    }
+    return ConflictError(report.ToString());
+  }
+  undo_.clear();
+  ConflictReport ok;
+  ok.attempted_description = std::move(description);
+  ok.existing = At(i, j).possible;
+  return ok;
+}
+
+RelationSet AssertionStore::PossibleRelations(const ObjectRef& first,
+                                              const ObjectRef& second) const {
+  auto it = index_.find(first);
+  auto jt = index_.find(second);
+  if (it == index_.end() || jt == index_.end()) return kAnyRelation;
+  return At(it->second, jt->second).possible;
+}
+
+Result<SetRelation> AssertionStore::EstablishedRelation(
+    const ObjectRef& first, const ObjectRef& second) const {
+  RelationSet possible = PossibleRelations(first, second);
+  if (RelationCount(possible) != 1) {
+    return NotFoundError("relation between '" + first.ToString() + "' and '" +
+                         second.ToString() + "' is not established (" +
+                         RelationSetToString(possible) + ")");
+  }
+  return TheRelation(possible);
+}
+
+bool AssertionStore::IsIntegrating(const ObjectRef& first,
+                                   const ObjectRef& second) const {
+  auto it = index_.find(first);
+  auto jt = index_.find(second);
+  if (it == index_.end() || jt == index_.end()) return false;
+  const PairState& state = At(it->second, jt->second);
+  if (state.user_assertion_index >= 0) {
+    return core::IsIntegrating(
+        user_assertions_[state.user_assertion_index].type);
+  }
+  // Derived-only: integrate when pinned to a non-disjoint relation. A
+  // derived disjointness never connects a cluster (nobody asked for a
+  // generalization over the pair).
+  return RelationCount(state.possible) == 1 &&
+         TheRelation(state.possible) != SetRelation::kDisjoint;
+}
+
+std::vector<AssertionStore::DerivedFact> AssertionStore::DerivedFacts()
+    const {
+  std::vector<DerivedFact> out;
+  for (int i = 0; i < num_objects(); ++i) {
+    for (int j = i + 1; j < num_objects(); ++j) {
+      const PairState& state = At(i, j);
+      if (state.user_assertion_index >= 0) continue;
+      if (RelationCount(state.possible) != 1) continue;
+      if (state.support.empty()) continue;  // trivial (e.g. diagonal)
+      DerivedFact fact;
+      fact.first = objects_[i];
+      fact.second = objects_[j];
+      fact.relation = TheRelation(state.possible);
+      for (int id : state.support) {
+        fact.supporting.push_back(user_assertions_[id]);
+      }
+      out.push_back(std::move(fact));
+    }
+  }
+  return out;
+}
+
+std::vector<Assertion> AssertionStore::SupportingAssertions(
+    const ObjectRef& first, const ObjectRef& second) const {
+  std::vector<Assertion> out;
+  auto it = index_.find(first);
+  auto jt = index_.find(second);
+  if (it == index_.end() || jt == index_.end()) return out;
+  for (int id : At(it->second, jt->second).support) {
+    out.push_back(user_assertions_[id]);
+  }
+  return out;
+}
+
+}  // namespace ecrint::core

@@ -1,0 +1,156 @@
+#ifndef ECRINT_CORE_ASSERTION_STORE_H_
+#define ECRINT_CORE_ASSERTION_STORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/assertion.h"
+#include "core/object_ref.h"
+#include "core/set_relation.h"
+
+namespace ecrint::core {
+
+// Explains why an attempted assertion contradicts the store: the current
+// (possibly derived) constraint on the pair and the user assertions whose
+// transitive composition produced it. This is the information the paper's
+// Assertion Conflict Resolution Screen (Screen 9) displays.
+struct ConflictReport {
+  Assertion attempted;
+  // Set when the rejected operation was a Constrain() rather than a user
+  // assertion; ToString() prefers it over `attempted`.
+  std::string attempted_description;
+  // The pair whose possible relations became empty. Usually the attempted
+  // pair itself; with full propagation the contradiction can surface on a
+  // different pair, which is named here.
+  ObjectRef conflict_first;
+  ObjectRef conflict_second;
+  RelationSet existing = kAnyRelation;  // constraint on that pair before
+  bool existing_is_derived = false;     // no direct user assertion on pair
+  std::vector<Assertion> supporting;    // user assertions that derived it
+
+  std::string ToString() const;
+};
+
+// The paper's Entity Assertion matrix plus its derivation machinery. Each
+// pair of registered structures carries the set of still-possible domain
+// relations; a user assertion pins a pair to one relation, and path
+// consistency over the set-relation algebra derives the consequences
+// ("if Worker ⊆ Employee and Employee ⊆ Person then Worker ⊆ Person") and
+// rejects contradictions ("if Employee = Person and Person = Worker then
+// Worker cannot be a subset of Employee").
+//
+// Assert() is transactional: on conflict the store is left unchanged and a
+// ConflictReport describes the contradiction, so the DDA can revise
+// assertions exactly as Screen 9 prescribes.
+class AssertionStore {
+ public:
+  AssertionStore() = default;
+
+  // Registers a structure; idempotent. Assert() registers its operands
+  // automatically, so explicit registration is only needed for structures
+  // that should appear in integration without any assertion.
+  int AddObject(const ObjectRef& ref);
+
+  bool Knows(const ObjectRef& ref) const { return index_.count(ref) > 0; }
+  int num_objects() const { return static_cast<int>(objects_.size()); }
+  const std::vector<ObjectRef>& objects() const { return objects_; }
+
+  // Records `first <type> second`. On contradiction returns kConflict and a
+  // report; the store is unchanged. Re-asserting a compatible fact is OK.
+  // Asserting over a pair within one schema is allowed (the algebra does not
+  // care), but the standard workflow asserts across schemas.
+  Result<ConflictReport> Assert(const Assertion& assertion);
+
+  // Convenience overload.
+  Result<ConflictReport> Assert(const ObjectRef& first,
+                                const ObjectRef& second, AssertionType type);
+
+  // Restricts the pair's possible relations to `allowed` without recording
+  // a user assertion — the entry point for domain-derived bounds such as
+  // ObjectRelationBound (closed-world key reasoning). Transactional like
+  // Assert; a singleton constraint behaves like the matching derived fact.
+  Result<ConflictReport> Constrain(const ObjectRef& first,
+                                   const ObjectRef& second,
+                                   RelationSet allowed);
+
+  // The still-possible relations for a pair (kAnyRelation if unknown).
+  RelationSet PossibleRelations(const ObjectRef& first,
+                                const ObjectRef& second) const;
+
+  // The single established relation if the pair is pinned down (either
+  // asserted or derived); nullopt-like via Result: kNotFound when ambiguous.
+  Result<SetRelation> EstablishedRelation(const ObjectRef& first,
+                                          const ObjectRef& second) const;
+
+  // Whether the pair may be clustered/integrated: true for every
+  // user-asserted integrating assertion and for derived non-disjoint
+  // relations; false for disjoint-nonintegrable and for pairs whose only
+  // established relation is a *derived* disjointness (the DDA never asked
+  // to generalize them).
+  bool IsIntegrating(const ObjectRef& first, const ObjectRef& second) const;
+
+  // All user assertions, in entry order.
+  const std::vector<Assertion>& user_assertions() const {
+    return user_assertions_;
+  }
+
+  // Pairs pinned to a single relation by derivation only (Screen 9's
+  // "<derived>" rows), with the user assertions supporting each.
+  struct DerivedFact {
+    ObjectRef first;
+    ObjectRef second;
+    SetRelation relation;
+    std::vector<Assertion> supporting;
+  };
+  std::vector<DerivedFact> DerivedFacts() const;
+
+  // User assertions whose composition supports the current constraint on
+  // the pair (empty when the pair is unconstrained).
+  std::vector<Assertion> SupportingAssertions(const ObjectRef& first,
+                                              const ObjectRef& second) const;
+
+ private:
+  // Dense pair state. Indexed [i][j]; invariant: matrix_[j][i] is the
+  // converse of matrix_[i][j] and support_[i][j] == support_[j][i].
+  struct PairState {
+    RelationSet possible = kAnyRelation;
+    std::vector<int> support;        // indices into user_assertions_
+    int user_assertion_index = -1;   // latest direct assertion, -1 if none
+  };
+
+  int Intern(const ObjectRef& ref);
+  PairState& At(int i, int j) { return matrix_[i * num_objects() + j]; }
+  const PairState& At(int i, int j) const {
+    return matrix_[i * num_objects() + j];
+  }
+
+  // Runs path consistency after (i,j) was refined. Returns the conflicting
+  // pair on contradiction, or {-1,-1}. Mutates matrix_ in place; Assert()
+  // snapshots and restores on conflict.
+  std::pair<int, int> Propagate(int i, int j);
+
+  // Refines (i,k) with `mask` from the composition through j, merging
+  // support sets. Returns true if the pair changed.
+  bool Refine(int i, int k, RelationSet mask, const std::vector<int>& via1,
+              const std::vector<int>& via2);
+
+  // Records the pre-change state of a cell so a conflicting Assert can roll
+  // back exactly the cells it touched (cheaper than snapshotting the whole
+  // matrix, which made seeding large schemas quadratic-times-quadratic).
+  void SaveUndo(int i, int j);
+
+  std::vector<ObjectRef> objects_;
+  std::map<ObjectRef, int> index_;
+  std::vector<PairState> matrix_;
+  std::vector<Assertion> user_assertions_;
+  // Pairs (i,j) refined since the last full propagation, used as worklist.
+  std::vector<std::pair<int, int>> dirty_;
+  // (flat cell index, previous state) entries for the in-flight Assert.
+  std::vector<std::pair<size_t, PairState>> undo_;
+};
+
+}  // namespace ecrint::core
+
+#endif  // ECRINT_CORE_ASSERTION_STORE_H_

@@ -1,0 +1,80 @@
+#ifndef ECRINT_CORE_ATTRIBUTE_EQUIVALENCE_H_
+#define ECRINT_CORE_ATTRIBUTE_EQUIVALENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ecr/attribute.h"
+#include "ecr/catalog.h"
+#include "core/assertion.h"
+#include "core/equivalence.h"
+#include "core/object_ref.h"
+#include "core/resemblance.h"
+#include "core/set_relation.h"
+
+namespace ecrint::core {
+
+// The fuller attribute-equivalence theory of [Larson et al 87] that the
+// paper's tool simplifies to a binary equivalent/nonequivalent decision:
+// two corresponding attributes relate through their value domains as
+// EQUAL / CONTAINS / CONTAINED-IN / OVERLAP / DISJOINT.
+enum class AttributeRelation {
+  kEqual,
+  kContains,
+  kContainedIn,
+  kOverlap,
+  kDisjoint,
+};
+
+const char* AttributeRelationName(AttributeRelation relation);
+
+// Classifies a correspondence from the two attributes' declared domains.
+AttributeRelation ClassifyAttributeCorrespondence(const ecr::Attribute& a,
+                                                  const ecr::Attribute& b);
+
+// How to read a declared domain when bounding object-class relations.
+enum class DomainInterpretation {
+  // Domains merely bound the possible key values. Only provable fact:
+  // disjoint key domains force disjoint object domains.
+  kDeclared,
+  // Domains are exactly the key values in use (every value identifies a
+  // member). Then object extensions mirror the key-domain relation, which
+  // is the reading behind Larson et al.'s equivalence classification.
+  kClosedWorld,
+};
+
+// The set of object-domain relations still possible between two object
+// classes whose *key* attributes correspond with `key_relation`.
+RelationSet ObjectRelationBound(AttributeRelation key_relation,
+                                DomainInterpretation interpretation);
+
+// Assertion menu codes compatible with a relation bound, in menu order —
+// what Screen 8 could highlight for the DDA. Both disjoint codes map to the
+// disjoint relation.
+std::vector<AssertionType> CompatibleAssertions(RelationSet bound);
+
+// A pre-computed aid for assertion specification: for a candidate object
+// pair whose key attributes the DDA declared equivalent, the domain-derived
+// bound on their relation plus the compatible menu entries.
+struct AssertionHint {
+  ObjectRef first;
+  ObjectRef second;
+  AttributeRelation key_relation = AttributeRelation::kEqual;
+  RelationSet bound = kAnyRelation;
+  std::vector<AssertionType> compatible;
+
+  std::string ToString() const;
+};
+
+// Builds hints for every ranked pair (per the OCS matrix) of the schema pair
+// whose key attributes are in one equivalence class. Pairs without
+// equivalent keys produce no hint (nothing provable about their domains).
+Result<std::vector<AssertionHint>> HintAssertions(
+    const ecr::Catalog& catalog, const EquivalenceMap& equivalence,
+    const std::string& schema1, const std::string& schema2,
+    DomainInterpretation interpretation = DomainInterpretation::kClosedWorld);
+
+}  // namespace ecrint::core
+
+#endif  // ECRINT_CORE_ATTRIBUTE_EQUIVALENCE_H_

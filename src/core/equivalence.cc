@@ -1,0 +1,187 @@
+#include "core/equivalence.h"
+
+#include <algorithm>
+
+namespace ecrint::core {
+
+void EquivalenceMap::Register(ecr::AttributePath path,
+                              const ecr::Attribute& attribute) {
+  int index = static_cast<int>(entries_.size());
+  entries_.push_back(Entry{path, attribute.domain, attribute.is_key, index});
+  parent_.push_back(index);
+  index_[path] = index;
+  by_object_[ObjectRef{path.schema, path.object}].push_back(index);
+}
+
+Result<EquivalenceMap> EquivalenceMap::Create(
+    const ecr::Catalog& catalog, const std::vector<std::string>& schemas) {
+  EquivalenceMap map;
+  for (const std::string& name : schemas) {
+    ECRINT_ASSIGN_OR_RETURN(const ecr::Schema* schema,
+                            catalog.GetSchema(name));
+    for (ecr::ObjectId i = 0; i < schema->num_objects(); ++i) {
+      const ecr::ObjectClass& object = schema->object(i);
+      for (const ecr::Attribute& a : object.attributes) {
+        map.Register({name, object.name, a.name}, a);
+      }
+    }
+    for (ecr::RelationshipId i = 0; i < schema->num_relationships(); ++i) {
+      const ecr::RelationshipSet& rel = schema->relationship(i);
+      for (const ecr::Attribute& a : rel.attributes) {
+        map.Register({name, rel.name, a.name}, a);
+      }
+    }
+  }
+  return map;
+}
+
+int EquivalenceMap::Find(int index) const {
+  while (parent_[index] != index) {
+    parent_[index] = parent_[parent_[index]];
+    index = parent_[index];
+  }
+  return index;
+}
+
+Result<int> EquivalenceMap::IndexOf(const ecr::AttributePath& path) const {
+  auto it = index_.find(path);
+  if (it == index_.end()) {
+    return NotFoundError("attribute '" + path.ToString() +
+                         "' is not registered");
+  }
+  return it->second;
+}
+
+Status EquivalenceMap::DeclareEquivalent(const ecr::AttributePath& a,
+                                         const ecr::AttributePath& b) {
+  ECRINT_ASSIGN_OR_RETURN(int ia, IndexOf(a));
+  ECRINT_ASSIGN_OR_RETURN(int ib, IndexOf(b));
+  if (!entries_[ia].domain.Comparable(entries_[ib].domain)) {
+    return FailedPreconditionError(
+        "domains of '" + a.ToString() + "' (" +
+        entries_[ia].domain.ToString() + ") and '" + b.ToString() + "' (" +
+        entries_[ib].domain.ToString() + ") are not comparable");
+  }
+  int ra = Find(ia);
+  int rb = Find(ib);
+  if (ra != rb) parent_[rb] = ra;
+  return Status::Ok();
+}
+
+Status EquivalenceMap::RemoveFromClass(const ecr::AttributePath& path) {
+  ECRINT_ASSIGN_OR_RETURN(int index, IndexOf(path));
+  // Union-find does not support deletion directly; rebuild the forest with
+  // `index` excluded from its class. Class sizes are tiny, so this is cheap.
+  std::vector<std::vector<int>> classes;
+  std::map<int, int> root_to_class;
+  for (int i = 0; i < static_cast<int>(entries_.size()); ++i) {
+    int root = Find(i);
+    auto [it, inserted] =
+        root_to_class.emplace(root, static_cast<int>(classes.size()));
+    if (inserted) classes.emplace_back();
+    if (i != index) classes[it->second].push_back(i);
+  }
+  for (int i = 0; i < static_cast<int>(entries_.size()); ++i) parent_[i] = i;
+  for (const std::vector<int>& members : classes) {
+    for (size_t i = 1; i < members.size(); ++i) {
+      parent_[Find(members[i])] = Find(members[0]);
+    }
+  }
+  return Status::Ok();
+}
+
+Result<int> EquivalenceMap::ClassOf(const ecr::AttributePath& path) const {
+  ECRINT_ASSIGN_OR_RETURN(int index, IndexOf(path));
+  // Class number = 1 + smallest declaration index in the class. Mirrors the
+  // paper's behaviour where merging "changes the value of Eq_Class # of one
+  // to that of the other": the earlier attribute's number wins.
+  int root = Find(index);
+  int smallest = index;
+  for (int i = 0; i < static_cast<int>(entries_.size()); ++i) {
+    if (Find(i) == root) smallest = std::min(smallest, i);
+  }
+  return smallest + 1;
+}
+
+bool EquivalenceMap::AreEquivalent(const ecr::AttributePath& a,
+                                   const ecr::AttributePath& b) const {
+  Result<int> ia = IndexOf(a);
+  Result<int> ib = IndexOf(b);
+  if (!ia.ok() || !ib.ok()) return false;
+  return Find(*ia) == Find(*ib);
+}
+
+int EquivalenceMap::EquivalentAttributeCount(const ObjectRef& a,
+                                             const ObjectRef& b) const {
+  auto ita = by_object_.find(a);
+  auto itb = by_object_.find(b);
+  if (ita == by_object_.end() || itb == by_object_.end()) return 0;
+  int count = 0;
+  for (int i : ita->second) {
+    for (int j : itb->second) {
+      if (Find(i) == Find(j)) ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<AttributeClassEntry> EquivalenceMap::EntriesFor(
+    const ObjectRef& object) const {
+  std::vector<AttributeClassEntry> out;
+  auto it = by_object_.find(object);
+  if (it == by_object_.end()) return out;
+  out.reserve(it->second.size());
+  for (int index : it->second) {
+    out.push_back({entries_[index].path, *ClassOf(entries_[index].path)});
+  }
+  return out;
+}
+
+std::vector<std::vector<ecr::AttributePath>>
+EquivalenceMap::NontrivialClasses() const {
+  std::map<int, std::vector<ecr::AttributePath>> by_root;
+  for (int i = 0; i < static_cast<int>(entries_.size()); ++i) {
+    by_root[Find(i)].push_back(entries_[i].path);
+  }
+  std::vector<std::pair<int, std::vector<ecr::AttributePath>>> ordered;
+  for (auto& [root, members] : by_root) {
+    if (members.size() < 2) continue;
+    int smallest = static_cast<int>(entries_.size());
+    for (int i = 0; i < static_cast<int>(entries_.size()); ++i) {
+      if (Find(i) == root) smallest = std::min(smallest, i);
+    }
+    std::sort(members.begin(), members.end());
+    ordered.emplace_back(smallest, std::move(members));
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  std::vector<std::vector<ecr::AttributePath>> out;
+  out.reserve(ordered.size());
+  for (auto& [order, members] : ordered) out.push_back(std::move(members));
+  return out;
+}
+
+std::vector<ecr::AttributePath> EquivalenceMap::ClassMembers(
+    const ecr::AttributePath& path) const {
+  std::vector<ecr::AttributePath> out;
+  Result<int> index = IndexOf(path);
+  if (!index.ok()) return out;
+  int root = Find(*index);
+  for (int i = 0; i < static_cast<int>(entries_.size()); ++i) {
+    if (Find(i) == root) out.push_back(entries_[i].path);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ecr::AttributePath> EquivalenceMap::AttributesOf(
+    const ObjectRef& object) const {
+  std::vector<ecr::AttributePath> out;
+  auto it = by_object_.find(object);
+  if (it == by_object_.end()) return out;
+  out.reserve(it->second.size());
+  for (int index : it->second) out.push_back(entries_[index].path);
+  return out;
+}
+
+}  // namespace ecrint::core

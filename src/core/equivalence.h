@@ -1,0 +1,95 @@
+#ifndef ECRINT_CORE_EQUIVALENCE_H_
+#define ECRINT_CORE_EQUIVALENCE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ecr/attribute.h"
+#include "ecr/catalog.h"
+#include "core/object_ref.h"
+
+namespace ecrint::core {
+
+// One row of the paper's Equivalence Class Creation and Deletion Screen:
+// an attribute together with the equivalence class number it belongs to.
+struct AttributeClassEntry {
+  ecr::AttributePath path;
+  int eq_class;
+};
+
+// The phase-2 bookkeeping structure: which attributes across the loaded
+// schemas the DDA has declared equivalent. This is the paper's Attribute
+// Class Similarity (ACS) matrix, kept as a union-find over attribute paths
+// (equivalent storage: the ACS cell for two attributes is 1 iff they are in
+// the same class). Every attribute starts in a singleton class with its own
+// class number, exactly as Screen 7 shows.
+class EquivalenceMap {
+ public:
+  // Registers every attribute of every object class and relationship set of
+  // the named schemas. Fails if a schema is missing from the catalog.
+  static Result<EquivalenceMap> Create(
+      const ecr::Catalog& catalog, const std::vector<std::string>& schemas);
+
+  // Declares a.path equivalent to b.path (merging their classes). Fails with
+  // kNotFound if either attribute was not registered and with
+  // kFailedPrecondition if their domains are not comparable (the binary
+  // simplification of Larson et al. 87 the paper adopts).
+  Status DeclareEquivalent(const ecr::AttributePath& a,
+                           const ecr::AttributePath& b);
+
+  // Removes one attribute from its class back into a fresh singleton class
+  // (the screen's "(D)elete from equiv. class").
+  Status RemoveFromClass(const ecr::AttributePath& path);
+
+  // The class number of an attribute (stable until the map is mutated).
+  Result<int> ClassOf(const ecr::AttributePath& path) const;
+
+  bool AreEquivalent(const ecr::AttributePath& a,
+                     const ecr::AttributePath& b) const;
+
+  // Number of attribute pairs (a from `a`, b from `b`) in the same class.
+  // This is one cell of the derived Object Class Similarity (OCS) matrix.
+  int EquivalentAttributeCount(const ObjectRef& a, const ObjectRef& b) const;
+
+  // Screen-7 rows for one structure, in attribute declaration order.
+  std::vector<AttributeClassEntry> EntriesFor(const ObjectRef& object) const;
+
+  // All equivalence classes with two or more members, each sorted, ordered
+  // by class number.
+  std::vector<std::vector<ecr::AttributePath>> NontrivialClasses() const;
+
+  // Members of the class containing `path` (including `path` itself).
+  std::vector<ecr::AttributePath> ClassMembers(
+      const ecr::AttributePath& path) const;
+
+  // Attributes registered for a structure, in declaration order.
+  std::vector<ecr::AttributePath> AttributesOf(const ObjectRef& object) const;
+
+  int num_attributes() const { return static_cast<int>(entries_.size()); }
+
+ private:
+  struct Entry {
+    ecr::AttributePath path;
+    ecr::Domain domain;
+    bool is_key = false;
+    int declaration_order = 0;
+  };
+
+  int Find(int index) const;  // union-find root with path compression
+
+  Result<int> IndexOf(const ecr::AttributePath& path) const;
+
+  void Register(ecr::AttributePath path, const ecr::Attribute& attribute);
+
+  std::vector<Entry> entries_;
+  mutable std::vector<int> parent_;   // union-find forest
+  std::map<ecr::AttributePath, int> index_;
+  // Attributes per structure, in declaration order.
+  std::map<ObjectRef, std::vector<int>> by_object_;
+};
+
+}  // namespace ecrint::core
+
+#endif  // ECRINT_CORE_EQUIVALENCE_H_

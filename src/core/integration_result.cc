@@ -1,0 +1,81 @@
+#include "core/integration_result.h"
+
+#include <algorithm>
+#include <set>
+
+namespace ecrint::core {
+
+const IntegratedStructureInfo* IntegrationResult::FindStructure(
+    const std::string& name) const {
+  for (const IntegratedStructureInfo& info : structures) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+const DerivedAttributeInfo* IntegrationResult::FindDerivedAttribute(
+    const std::string& owner, const std::string& name) const {
+  for (const DerivedAttributeInfo& info : derived_attributes) {
+    if (info.owner == owner && info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+Result<const StructureMapping*> IntegrationResult::MappingFor(
+    const ObjectRef& source) const {
+  for (const StructureMapping& mapping : mappings) {
+    if (mapping.source == source) return &mapping;
+  }
+  return NotFoundError("no mapping for component structure '" +
+                       source.ToString() + "'");
+}
+
+std::vector<ObjectRef> IntegrationResult::ComponentExtent(
+    const std::string& name) const {
+  std::set<ObjectRef> extent;
+  const IntegratedStructureInfo* info = FindStructure(name);
+  if (info == nullptr) return {};
+
+  if (info->kind == StructureKind::kObjectClass) {
+    ecr::ObjectId root = schema.FindObject(name);
+    if (root == ecr::kNoObject) return {};
+    std::vector<ecr::ObjectId> stack = {root};
+    std::set<ecr::ObjectId> seen;
+    while (!stack.empty()) {
+      ecr::ObjectId id = stack.back();
+      stack.pop_back();
+      if (!seen.insert(id).second) continue;
+      if (const IntegratedStructureInfo* node =
+              FindStructure(schema.object(id).name)) {
+        extent.insert(node->sources.begin(), node->sources.end());
+      }
+      for (ecr::ObjectId child : schema.ChildrenOf(id)) {
+        stack.push_back(child);
+      }
+    }
+  } else {
+    ecr::RelationshipId root = schema.FindRelationship(name);
+    if (root < 0) return {};
+    std::vector<ecr::RelationshipId> stack = {root};
+    std::set<ecr::RelationshipId> seen;
+    while (!stack.empty()) {
+      ecr::RelationshipId id = stack.back();
+      stack.pop_back();
+      if (!seen.insert(id).second) continue;
+      if (const IntegratedStructureInfo* node =
+              FindStructure(schema.relationship(id).name)) {
+        extent.insert(node->sources.begin(), node->sources.end());
+      }
+      for (ecr::RelationshipId other = 0; other < schema.num_relationships();
+           ++other) {
+        const auto& parents = schema.relationship(other).parents;
+        if (std::find(parents.begin(), parents.end(), id) != parents.end()) {
+          stack.push_back(other);
+        }
+      }
+    }
+  }
+  return {extent.begin(), extent.end()};
+}
+
+}  // namespace ecrint::core

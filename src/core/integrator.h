@@ -1,0 +1,54 @@
+#ifndef ECRINT_CORE_INTEGRATOR_H_
+#define ECRINT_CORE_INTEGRATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ecr/catalog.h"
+#include "core/assertion_store.h"
+#include "core/equivalence.h"
+#include "core/integration_result.h"
+
+namespace ecrint::core {
+
+// Knobs for phase 4. Defaults reproduce the paper's behaviour.
+struct IntegrationOptions {
+  // Preload within-schema structure into the assertion closure (see
+  // core/seeding.h). Disable to integrate exactly and only from DDA input.
+  bool seed_category_containment = true;
+  bool seed_entity_disjointness = true;
+  // Drop IS-A edges implied by other edges (a ⊂ b ⊂ c keeps only a→b→c,
+  // not a→c). The paper's lattices are reduced.
+  bool transitive_reduction = true;
+  // Length of the name fragments in generated names (D_Stud_Facu uses 4).
+  int name_prefix_length = 4;
+  // Name of the produced schema.
+  std::string result_name = "integrated";
+};
+
+// Integrates the named component schemas into one schema, following the
+// paper's phase 4:
+//   * "equals" groups merge into E_ classes,
+//   * "contains"/"contained-in" pairs become IS-A (category) edges,
+//   * "may be" (overlap) and "disjoint integrable" pairs get a D_ derived
+//     generalization with the originals as categories,
+//   * equivalent attributes merge into D_ derived attributes placed at the
+//     most specific class that generalizes all their owners,
+//   * relationship sets integrate analogously (participants generalized
+//     through the object lattice, cardinality constraints widened),
+//   * component↔integrated mappings are emitted for request translation.
+//
+// Works n-ary: any number of schemas ≥ 1 (the paper's tool integrates two
+// per run; the methodology — and this function — handles n at once).
+// `assertions` is taken by value because within-schema structure is seeded
+// into the closure first; pass your store as-is.
+Result<IntegrationResult> Integrate(const ecr::Catalog& catalog,
+                                    const std::vector<std::string>& schemas,
+                                    const EquivalenceMap& equivalence,
+                                    AssertionStore assertions,
+                                    const IntegrationOptions& options = {});
+
+}  // namespace ecrint::core
+
+#endif  // ECRINT_CORE_INTEGRATOR_H_

@@ -1,0 +1,36 @@
+#ifndef ECRINT_CORE_NARY_H_
+#define ECRINT_CORE_NARY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ecr/catalog.h"
+#include "core/assertion_store.h"
+#include "core/equivalence.h"
+#include "core/integration_result.h"
+#include "core/integrator.h"
+
+namespace ecrint::core {
+
+// The survey in [Batini et al 86] classifies methodologies as binary
+// (integrate two schemas at a time, folding results back in) or n-ary
+// (integrate all at once); the paper claims its methodology is unique in
+// being n-ary. Integrate() is the n-ary driver. This function is the binary
+// ladder the paper compares against: it integrates schemas[0] with
+// schemas[1], the result with schemas[2], and so on, rewriting the DDA's
+// equivalences and assertions onto each intermediate schema through the
+// generated mappings.
+//
+// The returned result's schema is the final rung; its `structures` sources
+// and `mappings` are composed across all rungs, so they refer to the
+// ORIGINAL component structures just like Integrate()'s do. (Clusters are
+// those of the final rung only.)
+Result<IntegrationResult> IntegrateBinaryLadder(
+    const ecr::Catalog& catalog, const std::vector<std::string>& schemas,
+    const EquivalenceMap& equivalence, const AssertionStore& assertions,
+    const IntegrationOptions& options = {});
+
+}  // namespace ecrint::core
+
+#endif  // ECRINT_CORE_NARY_H_

@@ -1,0 +1,37 @@
+#ifndef ECRINT_CORE_OBJECT_REF_H_
+#define ECRINT_CORE_OBJECT_REF_H_
+
+#include <string>
+
+namespace ecrint::core {
+
+// Whether a reference names an object class (entity set / category) or a
+// relationship set. The paper runs each integration phase twice, once per
+// structure kind; the core data structures are shared.
+enum class StructureKind { kObjectClass, kRelationshipSet };
+
+inline const char* StructureKindName(StructureKind kind) {
+  return kind == StructureKind::kObjectClass ? "object class"
+                                             : "relationship set";
+}
+
+// A schema-qualified reference to a structure, e.g. sc1.Student. This is the
+// node identity used by equivalence bookkeeping, assertions and integration.
+struct ObjectRef {
+  std::string schema;
+  std::string object;
+
+  std::string ToString() const { return schema + "." + object; }
+
+  friend bool operator==(const ObjectRef& a, const ObjectRef& b) {
+    return a.schema == b.schema && a.object == b.object;
+  }
+  friend bool operator<(const ObjectRef& a, const ObjectRef& b) {
+    if (a.schema != b.schema) return a.schema < b.schema;
+    return a.object < b.object;
+  }
+};
+
+}  // namespace ecrint::core
+
+#endif  // ECRINT_CORE_OBJECT_REF_H_

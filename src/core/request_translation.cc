@@ -1,0 +1,123 @@
+#include "core/request_translation.h"
+
+#include <algorithm>
+
+namespace ecrint::core {
+
+std::string Request::ToString() const {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes[i];
+  }
+  if (attributes.empty()) out += "*";
+  out += " FROM " + structure.ToString();
+  return out;
+}
+
+std::string FanoutLeg::ToString() const {
+  std::string out = component.ToString() + " {";
+  bool first = true;
+  for (const auto& [integrated, local] : attribute_map) {
+    if (!first) out += ", ";
+    out += integrated + "<-" + local;
+    first = false;
+  }
+  out += "}";
+  if (!missing.empty()) {
+    out += " missing:";
+    for (const std::string& name : missing) out += " " + name;
+  }
+  return out;
+}
+
+std::string FanoutPlan::ToString() const {
+  std::string out = request.ToString() + "\n";
+  for (const FanoutLeg& leg : legs) {
+    out += "  -> " + leg.ToString() + "\n";
+  }
+  return out;
+}
+
+Result<Request> TranslateToIntegrated(const IntegrationResult& result,
+                                      const Request& request) {
+  ECRINT_ASSIGN_OR_RETURN(const StructureMapping* mapping,
+                          result.MappingFor(request.structure));
+  Request out;
+  out.structure = {result.schema.name(), mapping->target};
+  for (const std::string& attribute : request.attributes) {
+    const AttributeMapping* found = nullptr;
+    for (const AttributeMapping& candidate : mapping->attributes) {
+      if (candidate.source_attribute == attribute) {
+        found = &candidate;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      return NotFoundError("attribute '" + attribute + "' of '" +
+                           request.structure.ToString() +
+                           "' has no mapping into the integrated schema");
+    }
+    out.attributes.push_back(found->target_attribute);
+  }
+  return out;
+}
+
+Result<FanoutPlan> TranslateToComponents(const IntegrationResult& result,
+                                         const Request& request) {
+  if (request.structure.schema != result.schema.name()) {
+    return InvalidArgumentError(
+        "request targets schema '" + request.structure.schema +
+        "', not the integrated schema '" + result.schema.name() + "'");
+  }
+  const std::string& name = request.structure.object;
+  // Resolve the attribute list against the integrated structure (inherited
+  // attributes are legal selections on a category).
+  ecr::ObjectId object = result.schema.FindObject(name);
+  ecr::RelationshipId relationship = result.schema.FindRelationship(name);
+  if (object == ecr::kNoObject && relationship < 0) {
+    return NotFoundError("integrated schema has no structure '" + name +
+                         "'");
+  }
+  std::vector<ecr::Attribute> available =
+      object != ecr::kNoObject
+          ? result.schema.InheritedAttributes(object)
+          : result.schema.relationship(relationship).attributes;
+  for (const std::string& attribute : request.attributes) {
+    bool known = std::any_of(available.begin(), available.end(),
+                             [&](const ecr::Attribute& a) {
+                               return a.name == attribute;
+                             });
+    if (!known) {
+      return NotFoundError("structure '" + name + "' has no attribute '" +
+                           attribute + "'");
+    }
+  }
+
+  FanoutPlan plan;
+  plan.request = request;
+  for (const ObjectRef& component : result.ComponentExtent(name)) {
+    ECRINT_ASSIGN_OR_RETURN(const StructureMapping* mapping,
+                            result.MappingFor(component));
+    FanoutLeg leg;
+    leg.component = component;
+    for (const std::string& attribute : request.attributes) {
+      const AttributeMapping* found = nullptr;
+      for (const AttributeMapping& candidate : mapping->attributes) {
+        if (candidate.target_attribute == attribute) {
+          found = &candidate;
+          break;
+        }
+      }
+      if (found != nullptr) {
+        leg.attribute_map[attribute] = found->source_attribute;
+      } else {
+        leg.missing.push_back(attribute);
+      }
+    }
+    plan.legs.push_back(std::move(leg));
+  }
+  return plan;
+}
+
+}  // namespace ecrint::core

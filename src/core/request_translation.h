@@ -1,0 +1,62 @@
+#ifndef ECRINT_CORE_REQUEST_TRANSLATION_H_
+#define ECRINT_CORE_REQUEST_TRANSLATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/integration_result.h"
+#include "core/object_ref.h"
+
+namespace ecrint::core {
+
+// A minimal retrieval request: a structure plus the attributes to fetch.
+// This is the unit the paper's two integration contexts translate:
+//   * logical database design — requests against a component VIEW are
+//     rewritten onto the integrated (logical) schema;
+//   * global schema design — requests against the integrated (global)
+//     schema are fanned out to the component databases.
+struct Request {
+  ObjectRef structure;  // schema-qualified
+  std::vector<std::string> attributes;
+
+  std::string ToString() const;
+};
+
+// View-design direction: rewrites a component-schema request onto the
+// integrated schema. Every requested attribute is renamed to its
+// representative (possibly a D_ derived attribute on a generalization).
+// Fails with kNotFound if the structure or an attribute has no mapping.
+Result<Request> TranslateToIntegrated(const IntegrationResult& result,
+                                      const Request& request);
+
+// Federation direction: fans an integrated-schema request out to the
+// component structures whose instances populate the target class.
+struct FanoutLeg {
+  ObjectRef component;
+  // integrated attribute -> this component's attribute. Attributes the
+  // component does not carry are listed in `missing` (the federated
+  // executor returns nulls for them).
+  std::map<std::string, std::string> attribute_map;
+  std::vector<std::string> missing;
+
+  std::string ToString() const;
+};
+
+struct FanoutPlan {
+  Request request;
+  std::vector<FanoutLeg> legs;
+
+  std::string ToString() const;
+};
+
+// The request's schema must equal the integrated schema's name and name one
+// of its structures. Each attribute must exist on the structure (own or
+// inherited).
+Result<FanoutPlan> TranslateToComponents(const IntegrationResult& result,
+                                         const Request& request);
+
+}  // namespace ecrint::core
+
+#endif  // ECRINT_CORE_REQUEST_TRANSLATION_H_

@@ -1,0 +1,104 @@
+#include "core/resemblance.h"
+
+#include <algorithm>
+
+namespace ecrint::core {
+
+namespace {
+
+// Structures of one kind with their own-attribute counts.
+std::vector<std::pair<ObjectRef, int>> StructuresOf(const ecr::Schema& schema,
+                                                    StructureKind kind) {
+  std::vector<std::pair<ObjectRef, int>> out;
+  if (kind == StructureKind::kObjectClass) {
+    for (ecr::ObjectId i = 0; i < schema.num_objects(); ++i) {
+      const ecr::ObjectClass& object = schema.object(i);
+      out.push_back({{schema.name(), object.name},
+                     static_cast<int>(object.attributes.size())});
+    }
+  } else {
+    for (ecr::RelationshipId i = 0; i < schema.num_relationships(); ++i) {
+      const ecr::RelationshipSet& rel = schema.relationship(i);
+      out.push_back({{schema.name(), rel.name},
+                     static_cast<int>(rel.attributes.size())});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<OcsMatrix> OcsMatrix::Create(const ecr::Catalog& catalog,
+                                    const EquivalenceMap& equivalence,
+                                    const std::string& schema1,
+                                    const std::string& schema2,
+                                    StructureKind kind) {
+  ECRINT_ASSIGN_OR_RETURN(const ecr::Schema* s1, catalog.GetSchema(schema1));
+  ECRINT_ASSIGN_OR_RETURN(const ecr::Schema* s2, catalog.GetSchema(schema2));
+  if (schema1 == schema2) {
+    return InvalidArgumentError(
+        "OCS matrix needs two distinct schemas, got '" + schema1 + "' twice");
+  }
+  OcsMatrix matrix;
+  for (auto& [ref, count] : StructuresOf(*s1, kind)) {
+    matrix.rows_.push_back(ref);
+    matrix.row_attribute_counts_.push_back(count);
+  }
+  for (auto& [ref, count] : StructuresOf(*s2, kind)) {
+    matrix.columns_.push_back(ref);
+    matrix.column_attribute_counts_.push_back(count);
+  }
+  matrix.counts_.resize(matrix.rows_.size() * matrix.columns_.size(), 0);
+  for (size_t r = 0; r < matrix.rows_.size(); ++r) {
+    for (size_t c = 0; c < matrix.columns_.size(); ++c) {
+      matrix.counts_[r * matrix.columns_.size() + c] =
+          equivalence.EquivalentAttributeCount(matrix.rows_[r],
+                                               matrix.columns_[c]);
+    }
+  }
+  return matrix;
+}
+
+std::vector<ObjectPair> OcsMatrix::RankedPairs(bool include_zero) const {
+  std::vector<ObjectPair> pairs;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      int eq = Count(static_cast<int>(r), static_cast<int>(c));
+      if (eq == 0 && !include_zero) continue;
+      ObjectPair pair;
+      pair.first = rows_[r];
+      pair.second = columns_[c];
+      pair.equivalent_attributes = eq;
+      pair.smaller_attribute_count =
+          std::min(row_attribute_counts_[r], column_attribute_counts_[c]);
+      int denominator = eq + pair.smaller_attribute_count;
+      pair.attribute_ratio =
+          denominator == 0 ? 0.0 : static_cast<double>(eq) / denominator;
+      pairs.push_back(pair);
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const ObjectPair& a, const ObjectPair& b) {
+              if (a.attribute_ratio != b.attribute_ratio) {
+                return a.attribute_ratio > b.attribute_ratio;
+              }
+              // Ties in name order, matching the paper's Screen 8 (the
+              // equal-ratio Department and Student pairs list Department
+              // first).
+              if (!(a.first == b.first)) return a.first < b.first;
+              return a.second < b.second;
+            });
+  return pairs;
+}
+
+Result<std::vector<ObjectPair>> RankObjectPairs(
+    const ecr::Catalog& catalog, const EquivalenceMap& equivalence,
+    const std::string& schema1, const std::string& schema2,
+    StructureKind kind, bool include_zero) {
+  ECRINT_ASSIGN_OR_RETURN(
+      OcsMatrix matrix,
+      OcsMatrix::Create(catalog, equivalence, schema1, schema2, kind));
+  return matrix.RankedPairs(include_zero);
+}
+
+}  // namespace ecrint::core

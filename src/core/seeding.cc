@@ -1,0 +1,60 @@
+#include "core/seeding.h"
+
+#include <set>
+#include <vector>
+
+namespace ecrint::core {
+
+Status SeedSchemaRelations(AssertionStore& store, const ecr::Schema& schema,
+                           const SeedOptions& options) {
+  const std::string& name = schema.name();
+  if (options.category_containment) {
+    for (ecr::ObjectId i = 0; i < schema.num_objects(); ++i) {
+      const ecr::ObjectClass& object = schema.object(i);
+      for (ecr::ObjectId parent : object.parents) {
+        Result<ConflictReport> r = store.Assert(
+            ObjectRef{name, object.name},
+            ObjectRef{name, schema.object(parent).name},
+            AssertionType::kContainedIn);
+        if (!r.ok()) return r.status();
+      }
+    }
+  }
+  if (options.entity_disjointness) {
+    std::vector<ecr::ObjectId> entities =
+        schema.ObjectsOfKind(ecr::ObjectKind::kEntitySet);
+    // Entity sets sharing a descendant category are NOT disjoint: a
+    // category with multiple parents (and every D_ generalization pair over
+    // one class in an integrated schema) witnesses common members. Seed
+    // disjointness only for pairs with no shared descendant.
+    std::vector<std::set<ecr::ObjectId>> descendants(entities.size());
+    for (size_t i = 0; i < entities.size(); ++i) {
+      std::vector<ecr::ObjectId> stack = {entities[i]};
+      while (!stack.empty()) {
+        ecr::ObjectId node = stack.back();
+        stack.pop_back();
+        if (!descendants[i].insert(node).second) continue;
+        for (ecr::ObjectId child : schema.ChildrenOf(node)) {
+          stack.push_back(child);
+        }
+      }
+    }
+    for (size_t i = 0; i < entities.size(); ++i) {
+      for (size_t j = i + 1; j < entities.size(); ++j) {
+        bool shared = false;
+        for (ecr::ObjectId node : descendants[i]) {
+          shared |= descendants[j].count(node) > 0;
+        }
+        if (shared) continue;
+        Result<ConflictReport> r = store.Assert(
+            ObjectRef{name, schema.object(entities[i]).name},
+            ObjectRef{name, schema.object(entities[j]).name},
+            AssertionType::kDisjointNonintegrable);
+        if (!r.ok()) return r.status();
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace ecrint::core

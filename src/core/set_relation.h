@@ -1,0 +1,63 @@
+#ifndef ECRINT_CORE_SET_RELATION_H_
+#define ECRINT_CORE_SET_RELATION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ecrint::core {
+
+// The five possible relations between the (non-empty) domains of two object
+// classes — the semantic content of the paper's assertions. SUB/SUP are
+// proper containment and kOverlap is proper overlap (shared elements plus
+// private elements on both sides), so the five cases are mutually exclusive
+// and jointly exhaustive.
+enum class SetRelation : uint8_t {
+  kEqual = 0,
+  kSubset = 1,    // left domain properly contained in right
+  kSuperset = 2,  // left domain properly contains right
+  kOverlap = 3,
+  kDisjoint = 4,
+};
+
+inline constexpr int kNumSetRelations = 5;
+
+const char* SetRelationName(SetRelation relation);
+
+// A set of still-possible relations between two domains, as a 5-bit mask.
+// The assertion store starts every pair at kAnyRelation and refines it as
+// the DDA asserts and the closure derives.
+using RelationSet = uint8_t;
+
+inline constexpr RelationSet kNoRelation = 0;
+inline constexpr RelationSet kAnyRelation = 0b11111;
+
+constexpr RelationSet MaskOf(SetRelation relation) {
+  return static_cast<RelationSet>(1u << static_cast<int>(relation));
+}
+
+constexpr bool Contains(RelationSet set, SetRelation relation) {
+  return (set & MaskOf(relation)) != 0;
+}
+
+// Number of relations in the set.
+int RelationCount(RelationSet set);
+
+// The single relation of a singleton set. Precondition: exactly one bit set.
+SetRelation TheRelation(RelationSet set);
+
+// The converse relation set: R(B,A) given R(A,B). Swaps subset/superset.
+RelationSet Converse(RelationSet set);
+
+// Composition: given R1(A,B) ∈ r1 and R2(B,C) ∈ r2, the set of possible
+// R(A,C). This is the algebra behind the paper's "transitive composition of
+// assertions": e.g. Compose(subset, subset) = {subset} recovers
+// a⊆b ∧ b⊆c ⇒ a⊆c. The table is exhaustively verified against a
+// brute-force set-enumeration model in the property tests.
+RelationSet Compose(RelationSet r1, RelationSet r2);
+
+// "{=, <, ><}" style rendering for conflict reports.
+std::string RelationSetToString(RelationSet set);
+
+}  // namespace ecrint::core
+
+#endif  // ECRINT_CORE_SET_RELATION_H_

@@ -1,0 +1,50 @@
+#include "data/federation.h"
+
+namespace ecrint::data {
+
+std::string ResultSet::ToString() const {
+  std::string out = "source";
+  for (const std::string& column : columns) out += " | " + column;
+  out += "\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    out += provenance[i];
+    for (const Value& value : rows[i]) out += " | " + value.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+Result<ResultSet> ExecuteFanout(
+    const core::FanoutPlan& plan,
+    const std::map<std::string, const InstanceStore*>& stores) {
+  ResultSet result;
+  result.columns = plan.request.attributes;
+  for (const core::FanoutLeg& leg : plan.legs) {
+    auto it = stores.find(leg.component.schema);
+    if (it == stores.end()) {
+      return NotFoundError("no instance store for component schema '" +
+                           leg.component.schema + "'");
+    }
+    const InstanceStore& store = *it->second;
+    for (EntityId id : store.MembersOf(leg.component.object)) {
+      std::vector<Value> row;
+      row.reserve(plan.request.attributes.size());
+      for (const std::string& attribute : plan.request.attributes) {
+        auto mapped = leg.attribute_map.find(attribute);
+        if (mapped == leg.attribute_map.end()) {
+          row.push_back(Value::Null());
+          continue;
+        }
+        ECRINT_ASSIGN_OR_RETURN(
+            Value value,
+            store.GetValue(id, leg.component.object, mapped->second));
+        row.push_back(std::move(value));
+      }
+      result.rows.push_back(std::move(row));
+      result.provenance.push_back(leg.component.ToString());
+    }
+  }
+  return result;
+}
+
+}  // namespace ecrint::data

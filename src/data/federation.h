@@ -1,0 +1,36 @@
+#ifndef ECRINT_DATA_FEDERATION_H_
+#define ECRINT_DATA_FEDERATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/request_translation.h"
+#include "data/instance_store.h"
+
+namespace ecrint::data {
+
+// A materialized answer: column names (the integrated attribute names, plus
+// a leading provenance column) and one row per retrieved instance.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;  // provenance stored separately
+  std::vector<std::string> provenance;   // component ref per row
+
+  std::string ToString() const;
+};
+
+// Executes a federated fan-out plan (from core::TranslateToComponents)
+// against the component instance stores, keyed by schema name. Each leg
+// scans the component structure's members; integrated attributes the
+// component does not record come back null — the classic outer-union
+// semantics of federated query processing. Rows are not deduplicated across
+// legs (components may genuinely store the same real-world entity).
+Result<ResultSet> ExecuteFanout(
+    const core::FanoutPlan& plan,
+    const std::map<std::string, const InstanceStore*>& stores);
+
+}  // namespace ecrint::data
+
+#endif  // ECRINT_DATA_FEDERATION_H_

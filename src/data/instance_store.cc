@@ -1,0 +1,291 @@
+#include "data/instance_store.h"
+
+#include <algorithm>
+
+namespace ecrint::data {
+
+Result<ecr::ObjectId> InstanceStore::ResolveObject(
+    const std::string& name) const {
+  ecr::ObjectId id = schema_->FindObject(name);
+  if (id == ecr::kNoObject) {
+    return NotFoundError("schema '" + schema_->name() +
+                         "' has no object class '" + name + "'");
+  }
+  return id;
+}
+
+Status InstanceStore::CheckValues(
+    const std::vector<ecr::Attribute>& attributes,
+    const std::vector<std::pair<std::string, Value>>& values,
+    const std::string& owner) const {
+  for (const auto& [name, value] : values) {
+    const ecr::Attribute* found = nullptr;
+    for (const ecr::Attribute& a : attributes) {
+      if (a.name == name) found = &a;
+    }
+    if (found == nullptr) {
+      return NotFoundError("'" + owner + "' has no own attribute '" + name +
+                           "'");
+    }
+    if (!value.Matches(found->domain)) {
+      return InvalidArgumentError("value " + value.ToString() +
+                                  " does not fit domain " +
+                                  found->domain.ToString() + " of '" +
+                                  owner + "." + name + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<EntityId> InstanceStore::Insert(
+    const std::string& entity_set,
+    const std::vector<std::pair<std::string, Value>>& values) {
+  ECRINT_ASSIGN_OR_RETURN(ecr::ObjectId id, ResolveObject(entity_set));
+  const ecr::ObjectClass& object = schema_->object(id);
+  if (object.kind != ecr::ObjectKind::kEntitySet) {
+    return FailedPreconditionError(
+        "'" + entity_set + "' is a category; Insert into its root entity "
+        "set and use AddToCategory");
+  }
+  ECRINT_RETURN_IF_ERROR(CheckValues(object.attributes, values, entity_set));
+
+  // Key uniqueness within the entity set.
+  for (const ecr::Attribute& a : object.attributes) {
+    if (!a.is_key) continue;
+    const Value* incoming = nullptr;
+    for (const auto& [name, value] : values) {
+      if (name == a.name) incoming = &value;
+    }
+    if (incoming == nullptr || incoming->is_null()) {
+      return InvalidArgumentError("key attribute '" + a.name +
+                                  "' of '" + entity_set + "' needs a value");
+    }
+    for (EntityId existing : MembersOf(entity_set)) {
+      auto it = values_.find({id, existing});
+      if (it == values_.end()) continue;
+      auto vit = it->second.find(a.name);
+      if (vit != it->second.end() && vit->second == *incoming) {
+        return AlreadyExistsError("duplicate key " + incoming->ToString() +
+                                  " for '" + entity_set + "." + a.name +
+                                  "'");
+      }
+    }
+  }
+
+  EntityId entity = static_cast<EntityId>(owner_.size());
+  owner_.push_back(id);
+  members_[id].insert(entity);
+  std::map<std::string, Value>& stored = values_[{id, entity}];
+  for (const auto& [name, value] : values) stored[name] = value;
+  return entity;
+}
+
+Status InstanceStore::AddToCategory(
+    const std::string& category, EntityId id,
+    const std::vector<std::pair<std::string, Value>>& values) {
+  ECRINT_ASSIGN_OR_RETURN(ecr::ObjectId cid, ResolveObject(category));
+  const ecr::ObjectClass& object = schema_->object(cid);
+  if (object.kind != ecr::ObjectKind::kCategory) {
+    return FailedPreconditionError("'" + category +
+                                   "' is not a category");
+  }
+  if (id < 0 || id >= num_entities()) {
+    return NotFoundError("entity id " + std::to_string(id));
+  }
+  for (ecr::ObjectId parent : object.parents) {
+    if (!members_.count(parent) || !members_.at(parent).count(id)) {
+      return FailedPreconditionError(
+          "entity " + std::to_string(id) + " is not a member of parent '" +
+          schema_->object(parent).name + "' of category '" + category + "'");
+    }
+  }
+  ECRINT_RETURN_IF_ERROR(CheckValues(object.attributes, values, category));
+  members_[cid].insert(id);
+  std::map<std::string, Value>& stored = values_[{cid, id}];
+  for (const auto& [name, value] : values) stored[name] = value;
+  return Status::Ok();
+}
+
+Status InstanceStore::SetValue(EntityId id, const std::string& object_class,
+                               const std::string& attribute,
+                               const Value& value) {
+  ECRINT_ASSIGN_OR_RETURN(ecr::ObjectId oid, ResolveObject(object_class));
+  if (!IsMemberOf(object_class, id)) {
+    return FailedPreconditionError("entity " + std::to_string(id) +
+                                   " is not a member of '" + object_class +
+                                   "'");
+  }
+  ECRINT_RETURN_IF_ERROR(CheckValues(schema_->object(oid).attributes,
+                                     {{attribute, value}}, object_class));
+  values_[{oid, id}][attribute] = value;
+  return Status::Ok();
+}
+
+Status InstanceStore::Connect(
+    const std::string& relationship, const std::vector<EntityId>& participants,
+    const std::vector<std::pair<std::string, Value>>& values) {
+  ecr::RelationshipId rid = schema_->FindRelationship(relationship);
+  if (rid < 0) {
+    return NotFoundError("schema '" + schema_->name() +
+                         "' has no relationship set '" + relationship + "'");
+  }
+  const ecr::RelationshipSet& rel = schema_->relationship(rid);
+  if (participants.size() != rel.participants.size()) {
+    return InvalidArgumentError(
+        "relationship '" + relationship + "' needs " +
+        std::to_string(rel.participants.size()) + " participants, got " +
+        std::to_string(participants.size()));
+  }
+  for (size_t i = 0; i < participants.size(); ++i) {
+    const std::string& class_name =
+        schema_->object(rel.participants[i].object).name;
+    if (!IsMemberOf(class_name, participants[i])) {
+      return FailedPreconditionError(
+          "entity " + std::to_string(participants[i]) +
+          " is not a member of '" + class_name + "' (participant " +
+          std::to_string(i) + " of '" + relationship + "')");
+    }
+  }
+  ECRINT_RETURN_IF_ERROR(CheckValues(rel.attributes, values, relationship));
+  RelationshipInstance instance;
+  instance.participants = participants;
+  for (const auto& [name, value] : values) instance.values[name] = value;
+  relationship_instances_[rid].push_back(std::move(instance));
+  return Status::Ok();
+}
+
+std::vector<EntityId> InstanceStore::MembersOf(
+    const std::string& object_class) const {
+  ecr::ObjectId id = schema_->FindObject(object_class);
+  if (id == ecr::kNoObject) return {};
+  auto it = members_.find(id);
+  if (it == members_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+bool InstanceStore::IsMemberOf(const std::string& object_class,
+                               EntityId id) const {
+  ecr::ObjectId oid = schema_->FindObject(object_class);
+  if (oid == ecr::kNoObject) return false;
+  auto it = members_.find(oid);
+  return it != members_.end() && it->second.count(id) > 0;
+}
+
+Result<Value> InstanceStore::GetValue(EntityId id,
+                                      const std::string& as_class,
+                                      const std::string& attribute) const {
+  ECRINT_ASSIGN_OR_RETURN(ecr::ObjectId start, ResolveObject(as_class));
+  if (!IsMemberOf(as_class, id)) {
+    return FailedPreconditionError("entity " + std::to_string(id) +
+                                   " is not a member of '" + as_class + "'");
+  }
+  // Search the class and its ancestors (the attribute may be inherited);
+  // only classes the entity actually belongs to can carry its values.
+  std::vector<ecr::ObjectId> stack = {start};
+  std::set<ecr::ObjectId> seen;
+  while (!stack.empty()) {
+    ecr::ObjectId node = stack.back();
+    stack.pop_back();
+    if (!seen.insert(node).second) continue;
+    for (const ecr::Attribute& a : schema_->object(node).attributes) {
+      if (a.name != attribute) continue;
+      auto it = values_.find({node, id});
+      if (it == values_.end()) return Value::Null();
+      auto vit = it->second.find(attribute);
+      return vit == it->second.end() ? Value::Null() : vit->second;
+    }
+    for (ecr::ObjectId parent : schema_->object(node).parents) {
+      stack.push_back(parent);
+    }
+  }
+  return NotFoundError("'" + as_class + "' has no attribute '" + attribute +
+                       "' (own or inherited)");
+}
+
+std::vector<std::vector<EntityId>> InstanceStore::InstancesOf(
+    const std::string& relationship) const {
+  ecr::RelationshipId rid = schema_->FindRelationship(relationship);
+  std::vector<std::vector<EntityId>> out;
+  auto it = relationship_instances_.find(rid);
+  if (rid < 0 || it == relationship_instances_.end()) return out;
+  out.reserve(it->second.size());
+  for (const RelationshipInstance& instance : it->second) {
+    out.push_back(instance.participants);
+  }
+  return out;
+}
+
+std::vector<std::string> InstanceStore::CheckIntegrity() const {
+  std::vector<std::string> issues;
+
+  // Category membership ⊆ every parent's membership.
+  for (ecr::ObjectId i = 0; i < schema_->num_objects(); ++i) {
+    const ecr::ObjectClass& object = schema_->object(i);
+    if (object.kind != ecr::ObjectKind::kCategory) continue;
+    auto it = members_.find(i);
+    if (it == members_.end()) continue;
+    for (EntityId id : it->second) {
+      for (ecr::ObjectId parent : object.parents) {
+        auto pit = members_.find(parent);
+        if (pit == members_.end() || !pit->second.count(id)) {
+          issues.push_back("entity " + std::to_string(id) + " in category '" +
+                           object.name + "' but not in parent '" +
+                           schema_->object(parent).name + "'");
+        }
+      }
+    }
+  }
+
+  // Key uniqueness per entity set.
+  for (ecr::ObjectId i = 0; i < schema_->num_objects(); ++i) {
+    const ecr::ObjectClass& object = schema_->object(i);
+    for (const ecr::Attribute& a : object.attributes) {
+      if (!a.is_key) continue;
+      std::set<Value> seen;
+      auto mit = members_.find(i);
+      if (mit == members_.end()) continue;
+      for (EntityId id : mit->second) {
+        auto vit = values_.find({i, id});
+        if (vit == values_.end()) continue;
+        auto found = vit->second.find(a.name);
+        if (found == vit->second.end() || found->second.is_null()) continue;
+        if (!seen.insert(found->second).second) {
+          issues.push_back("duplicate key " + found->second.ToString() +
+                           " in '" + object.name + "." + a.name + "'");
+        }
+      }
+    }
+  }
+
+  // Cardinality constraints.
+  for (ecr::RelationshipId r = 0; r < schema_->num_relationships(); ++r) {
+    const ecr::RelationshipSet& rel = schema_->relationship(r);
+    auto rit = relationship_instances_.find(r);
+    for (size_t position = 0; position < rel.participants.size();
+         ++position) {
+      const ecr::Participation& p = rel.participants[position];
+      std::map<EntityId, int> degree;
+      if (rit != relationship_instances_.end()) {
+        for (const RelationshipInstance& instance : rit->second) {
+          ++degree[instance.participants[position]];
+        }
+      }
+      const std::string& class_name = schema_->object(p.object).name;
+      for (EntityId id : MembersOf(class_name)) {
+        int count = degree.count(id) ? degree.at(id) : 0;
+        if (count < p.min_card ||
+            (p.max_card != ecr::kUnboundedCardinality &&
+             count > p.max_card)) {
+          issues.push_back(
+              "entity " + std::to_string(id) + " participates " +
+              std::to_string(count) + "x in '" + rel.name +
+              "' as " + class_name + ", outside " +
+              ecr::CardinalityToString(p.min_card, p.max_card));
+        }
+      }
+    }
+  }
+  return issues;
+}
+
+}  // namespace ecrint::data

@@ -1,0 +1,115 @@
+#ifndef ECRINT_DATA_INSTANCE_STORE_H_
+#define ECRINT_DATA_INSTANCE_STORE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "ecr/schema.h"
+#include "data/value.h"
+
+namespace ecrint::data {
+
+// Handle of an entity instance within one InstanceStore.
+using EntityId = int;
+
+// An in-memory instance database for one ECR schema, faithful to the
+// model's semantics: every entity belongs to exactly one entity set;
+// categories hold subsets of their parents' members plus values for their
+// own attributes; relationship instances connect member entities and carry
+// relationship attributes. This is the substrate that lets the integration
+// mappings be validated on actual data (federated query execution).
+class InstanceStore {
+ public:
+  // `schema` must outlive the store.
+  explicit InstanceStore(const ecr::Schema* schema) : schema_(schema) {}
+
+  const ecr::Schema& schema() const { return *schema_; }
+
+  // --- population ----------------------------------------------------------
+
+  // Inserts an entity into a base entity set with values for (a subset of)
+  // its own attributes. Missing attributes are null; unknown attribute
+  // names, type mismatches, and duplicate key values are rejected.
+  Result<EntityId> Insert(
+      const std::string& entity_set,
+      const std::vector<std::pair<std::string, Value>>& values);
+
+  // Makes an existing entity a member of a category (whose parent(s) it
+  // must already belong to), with values for the category's own attributes.
+  Status AddToCategory(
+      const std::string& category, EntityId id,
+      const std::vector<std::pair<std::string, Value>>& values = {});
+
+  // Sets one own-attribute value of `object_class` for a member entity
+  // (used when values arrive after membership, e.g. during
+  // materialization of an integrated database).
+  Status SetValue(EntityId id, const std::string& object_class,
+                  const std::string& attribute, const Value& value);
+
+  // Records a relationship instance over member entities, positionally
+  // aligned with the relationship's participants. Each participant entity
+  // must be a member of the participating object class.
+  Status Connect(const std::string& relationship,
+                 const std::vector<EntityId>& participants,
+                 const std::vector<std::pair<std::string, Value>>& values = {});
+
+  // --- access ---------------------------------------------------------------
+
+  int num_entities() const { return static_cast<int>(owner_.size()); }
+
+  // Members of an object class: for an entity set its entities, for a
+  // category its member subset. Sorted.
+  std::vector<EntityId> MembersOf(const std::string& object_class) const;
+
+  bool IsMemberOf(const std::string& object_class, EntityId id) const;
+
+  // The value of an attribute for an entity, resolved against `as_class`
+  // (the attribute may be inherited: it is looked up on the class and all
+  // its ancestors the entity belongs to).
+  Result<Value> GetValue(EntityId id, const std::string& as_class,
+                         const std::string& attribute) const;
+
+  // All relationship instances of a set: participant ids per instance.
+  std::vector<std::vector<EntityId>> InstancesOf(
+      const std::string& relationship) const;
+
+  // --- integrity -------------------------------------------------------------
+
+  // Checks the store against the schema's semantics: key uniqueness per
+  // entity set, category membership ⊆ parent membership, relationship
+  // participants' class membership, and cardinality constraints.
+  std::vector<std::string> CheckIntegrity() const;
+
+ private:
+  struct RelationshipInstance {
+    std::vector<EntityId> participants;
+    std::map<std::string, Value> values;
+  };
+
+  Result<ecr::ObjectId> ResolveObject(const std::string& name) const;
+
+  // Validates names/types of `values` against `attributes`.
+  Status CheckValues(
+      const std::vector<ecr::Attribute>& attributes,
+      const std::vector<std::pair<std::string, Value>>& values,
+      const std::string& owner) const;
+
+  const ecr::Schema* schema_;
+  // Entity -> owning entity set.
+  std::vector<ecr::ObjectId> owner_;
+  // Object class id -> member set (entity sets and categories alike).
+  std::map<ecr::ObjectId, std::set<EntityId>> members_;
+  // (object class id, entity) -> values of that class's own attributes.
+  std::map<std::pair<ecr::ObjectId, EntityId>, std::map<std::string, Value>>
+      values_;
+  std::map<ecr::RelationshipId, std::vector<RelationshipInstance>>
+      relationship_instances_;
+};
+
+}  // namespace ecrint::data
+
+#endif  // ECRINT_DATA_INSTANCE_STORE_H_

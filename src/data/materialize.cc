@@ -1,0 +1,220 @@
+#include "data/materialize.h"
+
+#include <algorithm>
+#include <set>
+
+namespace ecrint::data {
+
+namespace {
+
+// Root entity set reachable from `node` via parent edges; errors if the
+// lattice gives the class more than one root (an entity cannot belong to
+// two entity sets in ECR).
+Result<ecr::ObjectId> RootOf(const ecr::Schema& schema, ecr::ObjectId node) {
+  std::set<ecr::ObjectId> roots;
+  std::set<ecr::ObjectId> seen;
+  std::vector<ecr::ObjectId> stack = {node};
+  while (!stack.empty()) {
+    ecr::ObjectId current = stack.back();
+    stack.pop_back();
+    if (!seen.insert(current).second) continue;
+    if (schema.object(current).parents.empty()) {
+      roots.insert(current);
+      continue;
+    }
+    for (ecr::ObjectId parent : schema.object(current).parents) {
+      stack.push_back(parent);
+    }
+  }
+  if (roots.size() != 1) {
+    return FailedPreconditionError(
+        "class '" + schema.object(node).name + "' reaches " +
+        std::to_string(roots.size()) +
+        " root entity sets; cannot materialize instances");
+  }
+  return *roots.begin();
+}
+
+int DepthOf(const ecr::Schema& schema, ecr::ObjectId node) {
+  int best = 0;
+  for (ecr::ObjectId parent : schema.object(node).parents) {
+    best = std::max(best, DepthOf(schema, parent) + 1);
+  }
+  return best;
+}
+
+// Ancestors-or-self of `node`, shallowest first (parents before children),
+// so category memberships can be added in a valid order.
+std::vector<ecr::ObjectId> PathClasses(const ecr::Schema& schema,
+                                       ecr::ObjectId node) {
+  std::set<ecr::ObjectId> seen;
+  std::vector<ecr::ObjectId> stack = {node};
+  while (!stack.empty()) {
+    ecr::ObjectId current = stack.back();
+    stack.pop_back();
+    if (!seen.insert(current).second) continue;
+    for (ecr::ObjectId parent : schema.object(current).parents) {
+      stack.push_back(parent);
+    }
+  }
+  std::vector<ecr::ObjectId> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end(),
+            [&schema](ecr::ObjectId a, ecr::ObjectId b) {
+              int da = DepthOf(schema, a);
+              int db = DepthOf(schema, b);
+              return da != db ? da < db : a < b;
+            });
+  return out;
+}
+
+}  // namespace
+
+Result<MaterializationResult> MaterializeIntegrated(
+    const core::IntegrationResult& result,
+    const std::map<std::string, const InstanceStore*>& components) {
+  const ecr::Schema& schema = result.schema;
+  MaterializationResult out;
+  out.store = std::make_unique<InstanceStore>(&schema);
+
+  // Identity resolution: by integrated key within a root, and by component
+  // entity across the multiple classes one entity maps through.
+  std::map<std::pair<ecr::ObjectId, Value>, EntityId> by_key;
+  std::map<std::pair<std::string, EntityId>, EntityId> by_component;
+
+  for (const core::StructureMapping& mapping : result.mappings) {
+    if (mapping.kind != core::StructureKind::kObjectClass) continue;
+    auto component_it = components.find(mapping.source.schema);
+    if (component_it == components.end()) {
+      return NotFoundError("no instance store for component schema '" +
+                           mapping.source.schema + "'");
+    }
+    const InstanceStore& component = *component_it->second;
+    ecr::ObjectId target = schema.FindObject(mapping.target);
+    if (target == ecr::kNoObject) {
+      return InternalError("mapping target '" + mapping.target +
+                           "' missing from integrated schema");
+    }
+    ECRINT_ASSIGN_OR_RETURN(ecr::ObjectId root, RootOf(schema, target));
+
+    // The integrated key visible from the target class, and the source
+    // attribute feeding it.
+    std::string key_attribute;
+    for (const ecr::Attribute& a : schema.InheritedAttributes(target)) {
+      if (a.is_key) key_attribute = a.name;
+    }
+    std::string key_source;
+    for (const core::AttributeMapping& attribute : mapping.attributes) {
+      if (attribute.target_attribute == key_attribute) {
+        key_source = attribute.source_attribute;
+      }
+    }
+
+    for (EntityId member : component.MembersOf(mapping.source.object)) {
+      Value key_value;
+      if (!key_source.empty()) {
+        ECRINT_ASSIGN_OR_RETURN(
+            key_value,
+            component.GetValue(member, mapping.source.object, key_source));
+      }
+
+      // Resolve or create the integrated entity.
+      EntityId entity = -1;
+      auto component_hit =
+          by_component.find({mapping.source.schema, member});
+      if (component_hit != by_component.end()) {
+        entity = component_hit->second;
+      } else if (!key_value.is_null() &&
+                 by_key.count({root, key_value})) {
+        entity = by_key.at({root, key_value});
+      } else {
+        // If the integrated key is an own attribute of the root entity set
+        // (the usual case for merged keys), Insert requires it up front.
+        std::vector<std::pair<std::string, Value>> initial;
+        if (!key_value.is_null()) {
+          for (const ecr::Attribute& a : schema.object(root).attributes) {
+            if (a.name == key_attribute) {
+              initial.push_back({key_attribute, key_value});
+            }
+          }
+        }
+        ECRINT_ASSIGN_OR_RETURN(
+            entity, out.store->Insert(schema.object(root).name, initial));
+      }
+      by_component[{mapping.source.schema, member}] = entity;
+      if (!key_value.is_null()) by_key[{root, key_value}] = entity;
+
+      // Add membership along the whole root->target path.
+      for (ecr::ObjectId step : PathClasses(schema, target)) {
+        if (schema.object(step).kind != ecr::ObjectKind::kCategory) continue;
+        if (out.store->IsMemberOf(schema.object(step).name, entity)) {
+          continue;
+        }
+        ECRINT_RETURN_IF_ERROR(
+            out.store->AddToCategory(schema.object(step).name, entity));
+      }
+
+      // Carry the attribute values over (first non-null writer wins).
+      for (const core::AttributeMapping& attribute : mapping.attributes) {
+        ECRINT_ASSIGN_OR_RETURN(
+            Value value,
+            component.GetValue(member, mapping.source.object,
+                               attribute.source_attribute));
+        if (value.is_null()) continue;
+        Result<Value> existing = out.store->GetValue(
+            entity, attribute.target_owner, attribute.target_attribute);
+        if (existing.ok() && !existing->is_null()) {
+          if (!(*existing == value)) {
+            out.conflicts.push_back(
+                mapping.source.ToString() + "." +
+                attribute.source_attribute + " = " + value.ToString() +
+                " disagrees with stored " + attribute.target_owner + "." +
+                attribute.target_attribute + " = " + existing->ToString());
+          }
+          continue;
+        }
+        ECRINT_RETURN_IF_ERROR(out.store->SetValue(
+            entity, attribute.target_owner, attribute.target_attribute,
+            value));
+      }
+    }
+  }
+
+  // Relationship instances, deduplicated per integrated relationship set.
+  std::map<ecr::RelationshipId, std::set<std::vector<EntityId>>> seen_links;
+  for (const core::StructureMapping& mapping : result.mappings) {
+    if (mapping.kind != core::StructureKind::kRelationshipSet) continue;
+    auto component_it = components.find(mapping.source.schema);
+    if (component_it == components.end()) continue;  // checked above
+    const InstanceStore& component = *component_it->second;
+    ecr::RelationshipId target = schema.FindRelationship(mapping.target);
+    if (target < 0) {
+      return InternalError("mapping target '" + mapping.target +
+                           "' missing from integrated schema");
+    }
+    for (const std::vector<EntityId>& participants :
+         component.InstancesOf(mapping.source.object)) {
+      std::vector<EntityId> translated;
+      bool complete = true;
+      for (EntityId participant : participants) {
+        auto hit = by_component.find({mapping.source.schema, participant});
+        if (hit == by_component.end()) {
+          complete = false;
+          break;
+        }
+        translated.push_back(hit->second);
+      }
+      if (!complete) {
+        out.conflicts.push_back("relationship instance of '" +
+                                mapping.source.ToString() +
+                                "' references an unmapped entity; skipped");
+        continue;
+      }
+      if (!seen_links[target].insert(translated).second) continue;
+      ECRINT_RETURN_IF_ERROR(
+          out.store->Connect(mapping.target, translated));
+    }
+  }
+  return out;
+}
+
+}  // namespace ecrint::data

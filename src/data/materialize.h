@@ -1,0 +1,43 @@
+#ifndef ECRINT_DATA_MATERIALIZE_H_
+#define ECRINT_DATA_MATERIALIZE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/integration_result.h"
+#include "data/instance_store.h"
+
+namespace ecrint::data {
+
+// The logical-database-design direction of the paper's mappings: the views'
+// data is loaded into one database under the integrated schema. Entities
+// from different components that land on the same integrated class (or on
+// classes sharing a root) are identified by the integrated key attribute —
+// an hr employee and a payroll manager with the same Ssn become ONE entity,
+// a member of both classes.
+struct MaterializationResult {
+  // Owns nothing of the integrated schema; `result` passed to Materialize
+  // must outlive this store.
+  std::unique_ptr<InstanceStore> store;
+  // Value disagreements between components for the same integrated
+  // attribute of the same entity (first writer wins).
+  std::vector<std::string> conflicts;
+};
+
+// Builds an instance store over `result.schema` from the component stores
+// (keyed by schema name). Requirements: every mapped integrated class must
+// reach exactly one root entity set through the IS-A lattice, and classes
+// whose instances should merge across components need a key attribute
+// reachable on their root-path (integration puts merged keys there).
+// Relationship instances are materialized for single-source and
+// equals-merged relationship sets.
+Result<MaterializationResult> MaterializeIntegrated(
+    const core::IntegrationResult& result,
+    const std::map<std::string, const InstanceStore*>& components);
+
+}  // namespace ecrint::data
+
+#endif  // ECRINT_DATA_MATERIALIZE_H_

@@ -1,0 +1,49 @@
+#include "data/value.h"
+
+#include "common/strings.h"
+
+namespace ecrint::data {
+
+bool Value::Matches(const ecr::Domain& domain) const {
+  if (is_null()) return true;
+  auto in_bounds = [&domain](double v) {
+    if (domain.lower_bound().has_value() && v < *domain.lower_bound()) {
+      return false;
+    }
+    if (domain.upper_bound().has_value() && v > *domain.upper_bound()) {
+      return false;
+    }
+    return true;
+  };
+  switch (domain.type()) {
+    case ecr::DomainType::kInt:
+      return std::holds_alternative<long long>(v_) &&
+             in_bounds(static_cast<double>(std::get<long long>(v_)));
+    case ecr::DomainType::kReal:
+      return std::holds_alternative<double>(v_) &&
+             in_bounds(std::get<double>(v_));
+    case ecr::DomainType::kBool:
+      return std::holds_alternative<bool>(v_);
+    case ecr::DomainType::kChar:
+    case ecr::DomainType::kDate: {
+      if (!std::holds_alternative<std::string>(v_)) return false;
+      if (domain.type() == ecr::DomainType::kChar &&
+          domain.max_length().has_value()) {
+        return std::get<std::string>(v_).size() <=
+               static_cast<size_t>(*domain.max_length());
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "null";
+  if (const auto* i = std::get_if<long long>(&v_)) return std::to_string(*i);
+  if (const auto* d = std::get_if<double>(&v_)) return FormatFixed(*d, 2);
+  if (const auto* b = std::get_if<bool>(&v_)) return *b ? "true" : "false";
+  return "'" + std::get<std::string>(v_) + "'";
+}
+
+}  // namespace ecrint::data

@@ -1,0 +1,49 @@
+#ifndef ECRINT_DATA_VALUE_H_
+#define ECRINT_DATA_VALUE_H_
+
+#include <string>
+#include <variant>
+
+#include "ecr/domain.h"
+
+namespace ecrint::data {
+
+// A typed attribute value of an entity or relationship instance. Dates are
+// carried as ISO strings; Null represents an attribute a component database
+// does not record (federated outer-union semantics).
+class Value {
+ public:
+  Value() = default;  // null
+
+  static Value Null() { return Value(); }
+  static Value Int(long long v) { return Value(Repr(v)); }
+  static Value Real(double v) { return Value(Repr(v)); }
+  static Value Bool(bool v) { return Value(Repr(v)); }
+  static Value Str(std::string v) { return Value(Repr(std::move(v))); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+
+  // True if the value is null or fits the domain's base type and bounds.
+  bool Matches(const ecr::Domain& domain) const;
+
+  // "null", "42", "3.14", "true", "'text'".
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.v_ == b.v_;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.v_ < b.v_;
+  }
+
+ private:
+  using Repr =
+      std::variant<std::monostate, long long, double, bool, std::string>;
+  explicit Value(Repr v) : v_(std::move(v)) {}
+
+  Repr v_;
+};
+
+}  // namespace ecrint::data
+
+#endif  // ECRINT_DATA_VALUE_H_

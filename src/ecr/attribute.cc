@@ -1,0 +1,11 @@
+#include "ecr/attribute.h"
+
+namespace ecrint::ecr {
+
+std::string AttributeToString(const Attribute& attribute) {
+  std::string out = attribute.name + ": " + attribute.domain.ToString();
+  if (attribute.is_key) out += " key";
+  return out;
+}
+
+}  // namespace ecrint::ecr

@@ -1,0 +1,50 @@
+#ifndef ECRINT_ECR_ATTRIBUTE_H_
+#define ECRINT_ECR_ATTRIBUTE_H_
+
+#include <string>
+
+#include "ecr/domain.h"
+
+namespace ecrint::ecr {
+
+// A named, typed property of an object class or relationship set.
+// `is_key` marks attributes whose values uniquely identify members (the
+// "uniqueness" characteristic that drives attribute equivalence).
+struct Attribute {
+  std::string name;
+  Domain domain;
+  bool is_key = false;
+
+  friend bool operator==(const Attribute& a, const Attribute& b) {
+    return a.name == b.name && a.domain == b.domain && a.is_key == b.is_key;
+  }
+};
+
+// "Name: char key" / "GPA: real".
+std::string AttributeToString(const Attribute& attribute);
+
+// A fully qualified attribute path, e.g. sc1.Student.Name. Used as the unit
+// of attribute-equivalence bookkeeping across schemas.
+struct AttributePath {
+  std::string schema;
+  std::string object;     // object class or relationship set name
+  std::string attribute;
+
+  std::string ToString() const {
+    return schema + "." + object + "." + attribute;
+  }
+
+  friend bool operator==(const AttributePath& a, const AttributePath& b) {
+    return a.schema == b.schema && a.object == b.object &&
+           a.attribute == b.attribute;
+  }
+  friend bool operator<(const AttributePath& a, const AttributePath& b) {
+    if (a.schema != b.schema) return a.schema < b.schema;
+    if (a.object != b.object) return a.object < b.object;
+    return a.attribute < b.attribute;
+  }
+};
+
+}  // namespace ecrint::ecr
+
+#endif  // ECRINT_ECR_ATTRIBUTE_H_

@@ -1,0 +1,94 @@
+#include "ecr/builder.h"
+
+namespace ecrint::ecr {
+
+void SchemaBuilder::Fail(Status status) {
+  if (status.ok()) return;  // not a failure; keep the current target
+  if (status_.ok()) status_ = std::move(status);
+  target_ = Target::kNone;
+}
+
+SchemaBuilder& SchemaBuilder::Entity(const std::string& name) {
+  if (!status_.ok()) return *this;
+  Result<ObjectId> id = schema_.AddEntitySet(name);
+  if (!id.ok()) {
+    Fail(id.status());
+    return *this;
+  }
+  current_object_ = *id;
+  target_ = Target::kObject;
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::Category(
+    const std::string& name, const std::vector<std::string>& parents) {
+  if (!status_.ok()) return *this;
+  std::vector<ObjectId> parent_ids;
+  parent_ids.reserve(parents.size());
+  for (const std::string& parent : parents) {
+    Result<ObjectId> pid = schema_.GetObject(parent);
+    if (!pid.ok()) {
+      Fail(pid.status());
+      return *this;
+    }
+    parent_ids.push_back(*pid);
+  }
+  Result<ObjectId> id = schema_.AddCategory(name, parent_ids);
+  if (!id.ok()) {
+    Fail(id.status());
+    return *this;
+  }
+  current_object_ = *id;
+  target_ = Target::kObject;
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::Relationship(
+    const std::string& name, const std::vector<ParticipantSpec>& specs) {
+  if (!status_.ok()) return *this;
+  std::vector<Participation> participants;
+  participants.reserve(specs.size());
+  for (const ParticipantSpec& spec : specs) {
+    Result<ObjectId> oid = schema_.GetObject(spec.object);
+    if (!oid.ok()) {
+      Fail(oid.status());
+      return *this;
+    }
+    participants.push_back(
+        Participation{*oid, spec.min_card, spec.max_card, spec.role});
+  }
+  Result<RelationshipId> id = schema_.AddRelationship(name, participants);
+  if (!id.ok()) {
+    Fail(id.status());
+    return *this;
+  }
+  current_relationship_ = *id;
+  target_ = Target::kRelationship;
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::Attr(const std::string& name,
+                                   const Domain& domain, bool key) {
+  if (!status_.ok()) return *this;
+  Attribute attribute{name, domain, key};
+  switch (target_) {
+    case Target::kObject:
+      Fail(schema_.AddObjectAttribute(current_object_, attribute));
+      break;
+    case Target::kRelationship:
+      Fail(schema_.AddRelationshipAttribute(current_relationship_, attribute));
+      break;
+    case Target::kNone:
+      Fail(FailedPreconditionError(
+          "Attr('" + name + "') called before Entity/Category/Relationship"));
+      break;
+  }
+  return *this;
+}
+
+Result<Schema> SchemaBuilder::Build() {
+  if (!status_.ok()) return status_;
+  return std::move(schema_);
+}
+
+}  // namespace ecrint::ecr

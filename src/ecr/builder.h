@@ -1,0 +1,71 @@
+#ifndef ECRINT_ECR_BUILDER_H_
+#define ECRINT_ECR_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ecr/schema.h"
+
+namespace ecrint::ecr {
+
+// Fluent, name-based construction of a Schema. Errors are latched: after the
+// first failure all further calls are no-ops and Build() reports it. This
+// keeps example and test code linear without per-call Status plumbing.
+//
+//   SchemaBuilder b("sc1");
+//   b.Entity("Student").Attr("Name", Domain::Char(), /*key=*/true)
+//                      .Attr("GPA", Domain::Real());
+//   b.Entity("Department").Attr("Dname", Domain::Char(), true);
+//   b.Relationship("Majors", {{"Student", 1, 1}, {"Department", 0, kN}});
+//   ECRINT_ASSIGN_OR_RETURN(Schema sc1, b.Build());
+class SchemaBuilder {
+ public:
+  // Shorthand for an unbounded max cardinality in Relationship() specs.
+  static constexpr int kN = kUnboundedCardinality;
+
+  // Cardinality-annotated participant named by object class.
+  struct ParticipantSpec {
+    std::string object;
+    int min_card = 0;
+    int max_card = kUnboundedCardinality;
+    std::string role;
+  };
+
+  explicit SchemaBuilder(std::string name) : schema_(std::move(name)) {}
+
+  // Starts a new entity set; subsequent Attr() calls attach to it.
+  SchemaBuilder& Entity(const std::string& name);
+
+  // Starts a new category over the named parents.
+  SchemaBuilder& Category(const std::string& name,
+                          const std::vector<std::string>& parents);
+
+  // Starts a new relationship set over the named participants.
+  SchemaBuilder& Relationship(const std::string& name,
+                              const std::vector<ParticipantSpec>& specs);
+
+  // Adds an attribute to the most recently started structure.
+  SchemaBuilder& Attr(const std::string& name, const Domain& domain,
+                      bool key = false);
+
+  // Returns the built schema or the first recorded error.
+  Result<Schema> Build();
+
+  // The first error hit so far (OK if none). Handy for asserting in tests.
+  const Status& status() const { return status_; }
+
+ private:
+  void Fail(Status status);
+
+  Schema schema_;
+  Status status_;
+  // Where Attr() calls currently go.
+  enum class Target { kNone, kObject, kRelationship } target_ = Target::kNone;
+  ObjectId current_object_ = kNoObject;
+  RelationshipId current_relationship_ = -1;
+};
+
+}  // namespace ecrint::ecr
+
+#endif  // ECRINT_ECR_BUILDER_H_

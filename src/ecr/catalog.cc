@@ -1,0 +1,67 @@
+#include "ecr/catalog.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace ecrint::ecr {
+
+Result<Schema*> Catalog::CreateSchema(const std::string& name) {
+  if (!IsIdentifier(name)) {
+    return InvalidArgumentError("'" + name + "' is not a valid schema name");
+  }
+  if (schemas_.count(name)) {
+    return AlreadyExistsError("schema '" + name + "' already defined");
+  }
+  auto [it, inserted] = schemas_.emplace(name, Schema(name));
+  (void)inserted;
+  index_[name] = next_order_++;
+  return &it->second;
+}
+
+Status Catalog::AddSchema(Schema schema) {
+  if (!IsIdentifier(schema.name())) {
+    return InvalidArgumentError("'" + schema.name() +
+                                "' is not a valid schema name");
+  }
+  if (schemas_.count(schema.name())) {
+    return AlreadyExistsError("schema '" + schema.name() +
+                              "' already defined");
+  }
+  index_[schema.name()] = next_order_++;
+  schemas_.emplace(schema.name(), std::move(schema));
+  return Status::Ok();
+}
+
+Status Catalog::DropSchema(const std::string& name) {
+  if (schemas_.erase(name) == 0) {
+    return NotFoundError("no schema '" + name + "'");
+  }
+  index_.erase(name);
+  return Status::Ok();
+}
+
+Result<const Schema*> Catalog::GetSchema(const std::string& name) const {
+  auto it = schemas_.find(name);
+  if (it == schemas_.end()) return NotFoundError("no schema '" + name + "'");
+  return &it->second;
+}
+
+Result<Schema*> Catalog::GetMutableSchema(const std::string& name) {
+  auto it = schemas_.find(name);
+  if (it == schemas_.end()) return NotFoundError("no schema '" + name + "'");
+  return &it->second;
+}
+
+std::vector<std::string> Catalog::SchemaNames() const {
+  std::vector<std::pair<int, std::string>> ordered;
+  ordered.reserve(index_.size());
+  for (const auto& [name, order] : index_) ordered.emplace_back(order, name);
+  std::sort(ordered.begin(), ordered.end());
+  std::vector<std::string> out;
+  out.reserve(ordered.size());
+  for (auto& [order, name] : ordered) out.push_back(std::move(name));
+  return out;
+}
+
+}  // namespace ecrint::ecr

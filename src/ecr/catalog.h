@@ -1,0 +1,50 @@
+#ifndef ECRINT_ECR_CATALOG_H_
+#define ECRINT_ECR_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ecr/schema.h"
+
+namespace ecrint::ecr {
+
+// The tool's working set of component schemas (the paper's phase-1 "Schema
+// Name Collection" registry). A user can define any number of schemas; the
+// integration phases pick two (or, with the n-ary driver, more) of them.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // Registers an empty schema under `name`.
+  Result<Schema*> CreateSchema(const std::string& name);
+
+  // Registers a fully built schema under its own name, replacing nothing.
+  Status AddSchema(Schema schema);
+
+  // Removes the named schema (the Schema Name Collection Screen's delete).
+  Status DropSchema(const std::string& name);
+
+  bool Contains(const std::string& name) const {
+    return index_.count(name) > 0;
+  }
+  int size() const { return static_cast<int>(schemas_.size()); }
+
+  Result<const Schema*> GetSchema(const std::string& name) const;
+  Result<Schema*> GetMutableSchema(const std::string& name);
+
+  // Schema names in definition order.
+  std::vector<std::string> SchemaNames() const;
+
+ private:
+  // Stable storage: schemas are never moved once created, so Schema*
+  // returned from CreateSchema stays valid until DropSchema.
+  std::map<std::string, Schema> schemas_;
+  std::map<std::string, int> index_;  // insertion order for SchemaNames()
+  int next_order_ = 0;
+};
+
+}  // namespace ecrint::ecr
+
+#endif  // ECRINT_ECR_CATALOG_H_

@@ -1,0 +1,356 @@
+#include "ecr/ddl_parser.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace ecrint::ecr {
+
+namespace {
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  kPunct,  // one of { } ( ) [ ] , : ; plus the two-char ".."
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int line = 0;
+  int column = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (c == '\n') {
+        ++line_;
+        column_ = 1;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+        continue;
+      }
+      if (c == '#') {
+        while (pos_ < input_.size() && input_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tokens.push_back(LexWhile(TokenKind::kIdentifier, [](char ch) {
+          return std::isalnum(static_cast<unsigned char>(ch)) || ch == '_';
+        }));
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+        tokens.push_back(LexNumber());
+        continue;
+      }
+      if (c == '.' && pos_ + 1 < input_.size() && input_[pos_ + 1] == '.') {
+        tokens.push_back(Token{TokenKind::kPunct, "..", line_, column_});
+        Advance();
+        Advance();
+        continue;
+      }
+      if (std::string("{}()[],:;").find(c) != std::string::npos) {
+        tokens.push_back(
+            Token{TokenKind::kPunct, std::string(1, c), line_, column_});
+        Advance();
+        continue;
+      }
+      return ParseError("line " + std::to_string(line_) +
+                        ": unexpected character '" + std::string(1, c) + "'");
+    }
+    tokens.push_back(Token{TokenKind::kEnd, "", line_, column_});
+    return tokens;
+  }
+
+ private:
+  void Advance() {
+    ++pos_;
+    ++column_;
+  }
+
+  template <typename Pred>
+  Token LexWhile(TokenKind kind, Pred pred) {
+    Token token{kind, "", line_, column_};
+    while (pos_ < input_.size() && pred(input_[pos_])) {
+      token.text += input_[pos_];
+      Advance();
+    }
+    return token;
+  }
+
+  Token LexNumber() {
+    Token token{TokenKind::kNumber, "", line_, column_};
+    if (input_[pos_] == '-') {
+      token.text += '-';
+      Advance();
+    }
+    while (pos_ < input_.size() &&
+           std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+      token.text += input_[pos_];
+      Advance();
+    }
+    // A single '.' followed by a digit is a decimal point; ".." is a range.
+    if (pos_ + 1 < input_.size() && input_[pos_] == '.' &&
+        std::isdigit(static_cast<unsigned char>(input_[pos_ + 1]))) {
+      token.text += '.';
+      Advance();
+      while (pos_ < input_.size() &&
+             std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+        token.text += input_[pos_];
+        Advance();
+      }
+    }
+    return token;
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::vector<Schema>> ParseFile() {
+    std::vector<Schema> schemas;
+    while (!AtEnd()) {
+      ECRINT_RETURN_IF_ERROR(ExpectKeyword("schema"));
+      ECRINT_ASSIGN_OR_RETURN(Schema schema, ParseSchemaBody());
+      schemas.push_back(std::move(schema));
+    }
+    if (schemas.empty()) return ParseError("input defines no schema");
+    return schemas;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[index_]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+  const Token& Next() { return tokens_[index_++]; }
+
+  Status Error(const Token& at, const std::string& message) const {
+    return ParseError("line " + std::to_string(at.line) + ": " + message +
+                      (at.kind == TokenKind::kEnd
+                           ? " (at end of input)"
+                           : " (near '" + at.text + "')"));
+  }
+
+  bool PeekIs(const std::string& text) const { return Peek().text == text; }
+
+  bool Accept(const std::string& text) {
+    if (PeekIs(text)) {
+      ++index_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(const std::string& text) {
+    if (Accept(text)) return Status::Ok();
+    return Error(Peek(), "expected '" + text + "'");
+  }
+
+  Status ExpectKeyword(const std::string& keyword) {
+    if (Peek().kind == TokenKind::kIdentifier && Accept(keyword)) {
+      return Status::Ok();
+    }
+    return Error(Peek(), "expected keyword '" + keyword + "'");
+  }
+
+  Result<std::string> ExpectIdentifier(const std::string& what) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error(Peek(), "expected " + what);
+    }
+    return Next().text;
+  }
+
+  Result<Schema> ParseSchemaBody() {
+    ECRINT_ASSIGN_OR_RETURN(std::string name,
+                            ExpectIdentifier("schema name"));
+    Schema schema(name);
+    ECRINT_RETURN_IF_ERROR(Expect("{"));
+    while (!Accept("}")) {
+      if (AtEnd()) return Error(Peek(), "unterminated schema block");
+      if (Accept("entity")) {
+        ECRINT_RETURN_IF_ERROR(ParseEntity(schema));
+      } else if (Accept("category")) {
+        ECRINT_RETURN_IF_ERROR(ParseCategory(schema));
+      } else if (Accept("relationship")) {
+        ECRINT_RETURN_IF_ERROR(ParseRelationship(schema));
+      } else {
+        return Error(Peek(),
+                     "expected 'entity', 'category' or 'relationship'");
+      }
+    }
+    return schema;
+  }
+
+  Status ParseEntity(Schema& schema) {
+    ECRINT_ASSIGN_OR_RETURN(std::string name,
+                            ExpectIdentifier("entity set name"));
+    ECRINT_ASSIGN_OR_RETURN(ObjectId id, schema.AddEntitySet(name));
+    return ParseObjectAttributeBlock(schema, id);
+  }
+
+  Status ParseCategory(Schema& schema) {
+    ECRINT_ASSIGN_OR_RETURN(std::string name,
+                            ExpectIdentifier("category name"));
+    ECRINT_RETURN_IF_ERROR(ExpectKeyword("of"));
+    std::vector<ObjectId> parents;
+    do {
+      ECRINT_ASSIGN_OR_RETURN(std::string parent,
+                              ExpectIdentifier("parent object class"));
+      ECRINT_ASSIGN_OR_RETURN(ObjectId pid, schema.GetObject(parent));
+      parents.push_back(pid);
+    } while (Accept(","));
+    ECRINT_ASSIGN_OR_RETURN(ObjectId id, schema.AddCategory(name, parents));
+    return ParseObjectAttributeBlock(schema, id);
+  }
+
+  Status ParseRelationship(Schema& schema) {
+    ECRINT_ASSIGN_OR_RETURN(std::string name,
+                            ExpectIdentifier("relationship set name"));
+    ECRINT_RETURN_IF_ERROR(Expect("("));
+    std::vector<Participation> participants;
+    do {
+      ECRINT_ASSIGN_OR_RETURN(Participation p, ParseParticipant(schema));
+      participants.push_back(p);
+    } while (Accept(","));
+    ECRINT_RETURN_IF_ERROR(Expect(")"));
+    ECRINT_ASSIGN_OR_RETURN(RelationshipId id,
+                            schema.AddRelationship(name, participants));
+    return ParseRelationshipAttributeBlock(schema, id);
+  }
+
+  Result<Participation> ParseParticipant(Schema& schema) {
+    ECRINT_ASSIGN_OR_RETURN(std::string object,
+                            ExpectIdentifier("participant object class"));
+    ECRINT_ASSIGN_OR_RETURN(ObjectId oid, schema.GetObject(object));
+    Participation p;
+    p.object = oid;
+    if (Accept("as")) {
+      ECRINT_ASSIGN_OR_RETURN(p.role, ExpectIdentifier("role name"));
+    }
+    ECRINT_RETURN_IF_ERROR(Expect("["));
+    ECRINT_ASSIGN_OR_RETURN(p.min_card, ParseCardinality(/*allow_n=*/false));
+    ECRINT_RETURN_IF_ERROR(Expect(","));
+    ECRINT_ASSIGN_OR_RETURN(p.max_card, ParseCardinality(/*allow_n=*/true));
+    ECRINT_RETURN_IF_ERROR(Expect("]"));
+    return p;
+  }
+
+  Result<int> ParseCardinality(bool allow_n) {
+    if (allow_n && (Accept("n") || Accept("N"))) return kUnboundedCardinality;
+    if (Peek().kind != TokenKind::kNumber) {
+      return Error(Peek(), "expected cardinality");
+    }
+    const Token& token = Next();
+    char* end = nullptr;
+    long value = std::strtol(token.text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || value < 0) {
+      return Error(token, "bad cardinality '" + token.text + "'");
+    }
+    return static_cast<int>(value);
+  }
+
+  // `{ attr; attr; ... }` or a bare `;` for an attribute-less structure.
+  template <typename AddAttribute>
+  Status ParseAttributeBlock(AddAttribute add) {
+    if (Accept(";")) return Status::Ok();
+    ECRINT_RETURN_IF_ERROR(Expect("{"));
+    while (!Accept("}")) {
+      if (AtEnd()) return Error(Peek(), "unterminated attribute block");
+      ECRINT_ASSIGN_OR_RETURN(Attribute attribute, ParseAttribute());
+      ECRINT_RETURN_IF_ERROR(add(attribute));
+    }
+    return Status::Ok();
+  }
+
+  Status ParseObjectAttributeBlock(Schema& schema, ObjectId id) {
+    return ParseAttributeBlock([&](const Attribute& a) {
+      return schema.AddObjectAttribute(id, a);
+    });
+  }
+
+  Status ParseRelationshipAttributeBlock(Schema& schema, RelationshipId id) {
+    return ParseAttributeBlock([&](const Attribute& a) {
+      return schema.AddRelationshipAttribute(id, a);
+    });
+  }
+
+  Result<Attribute> ParseAttribute() {
+    ECRINT_ASSIGN_OR_RETURN(std::string name,
+                            ExpectIdentifier("attribute name"));
+    ECRINT_RETURN_IF_ERROR(Expect(":"));
+    // Collect the domain text up to 'key'/';' and reuse the Domain parser.
+    std::string domain_text;
+    while (!PeekIs(";") && !PeekIs("key") && !AtEnd()) {
+      const Token& token = Next();
+      if (token.kind == TokenKind::kPunct &&
+          (token.text == "{" || token.text == "}")) {
+        return Error(token, "attribute missing terminating ';'");
+      }
+      if (!domain_text.empty() && token.kind != TokenKind::kPunct &&
+          !domain_text.ends_with('(') && !domain_text.ends_with('[') &&
+          !domain_text.ends_with("..")) {
+        domain_text += ' ';
+      }
+      domain_text += token.text;
+    }
+    Attribute attribute;
+    attribute.name = name;
+    if (Accept("key")) attribute.is_key = true;
+    ECRINT_RETURN_IF_ERROR(Expect(";"));
+    Result<Domain> domain = ecr::ParseDomain(domain_text);
+    if (!domain.ok()) return domain.status();
+    attribute.domain = *std::move(domain);
+    return attribute;
+  }
+
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+};
+
+Result<std::vector<Schema>> ParseAll(const std::string& ddl) {
+  Lexer lexer(ddl);
+  ECRINT_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Run());
+  Parser parser(std::move(tokens));
+  return parser.ParseFile();
+}
+
+}  // namespace
+
+Result<Schema> ParseSchema(const std::string& ddl) {
+  ECRINT_ASSIGN_OR_RETURN(std::vector<Schema> schemas, ParseAll(ddl));
+  if (schemas.size() != 1) {
+    return ParseError("expected exactly one schema, got " +
+                      std::to_string(schemas.size()));
+  }
+  return std::move(schemas.front());
+}
+
+Result<std::vector<std::string>> ParseInto(Catalog& catalog,
+                                           const std::string& ddl) {
+  ECRINT_ASSIGN_OR_RETURN(std::vector<Schema> schemas, ParseAll(ddl));
+  std::vector<std::string> names;
+  names.reserve(schemas.size());
+  for (Schema& schema : schemas) {
+    names.push_back(schema.name());
+    ECRINT_RETURN_IF_ERROR(catalog.AddSchema(std::move(schema)));
+  }
+  return names;
+}
+
+}  // namespace ecrint::ecr

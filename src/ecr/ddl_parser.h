@@ -1,0 +1,44 @@
+#ifndef ECRINT_ECR_DDL_PARSER_H_
+#define ECRINT_ECR_DDL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ecr/catalog.h"
+#include "ecr/schema.h"
+
+namespace ecrint::ecr {
+
+// Parses the toolkit's ECR data description language. One file may define
+// several schemas:
+//
+//   # the paper's Figure 3
+//   schema sc1 {
+//     entity Student {
+//       Name: char key;
+//       GPA: real;
+//     }
+//     entity Department {
+//       Dname: char key;
+//     }
+//     category Honors_student of Student;
+//     relationship Majors (Student [1,1], Department [0,n]) {
+//       Since: int;
+//     }
+//   }
+//
+// Structures may appear in any order as long as categories / relationships
+// only reference structures defined earlier (the paper's forms collect them
+// serially too). Participants may carry a role: `Person as advisor [0,n]`.
+// Comments run from '#' to end of line. Cardinality 'n' means unbounded.
+Result<Schema> ParseSchema(const std::string& ddl);
+
+// Parses every `schema` block in `ddl` and registers each in `catalog`.
+// Returns the names parsed, in order.
+Result<std::vector<std::string>> ParseInto(Catalog& catalog,
+                                           const std::string& ddl);
+
+}  // namespace ecrint::ecr
+
+#endif  // ECRINT_ECR_DDL_PARSER_H_

@@ -1,0 +1,94 @@
+#ifndef ECRINT_ECR_DOMAIN_H_
+#define ECRINT_ECR_DOMAIN_H_
+
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+
+namespace ecrint::ecr {
+
+// Base type of an attribute domain.
+enum class DomainType {
+  kChar,   // character string, optionally length-bounded
+  kInt,    // integer, optionally range-bounded
+  kReal,   // floating point, optionally range-bounded
+  kBool,
+  kDate,
+};
+
+const char* DomainTypeName(DomainType type);
+
+// How the value sets of two domains relate. Used by the Larson et al. 87
+// attribute-equivalence extension: the paper's tool collapses this to a
+// binary equivalent/nonequivalent decision, which `Domain::Comparable`
+// provides.
+enum class DomainRelation {
+  kEqual,
+  kContains,     // left domain strictly contains right
+  kContainedIn,  // left domain strictly contained in right
+  kOverlap,      // neither contains the other but they intersect
+  kDisjoint,     // incompatible base types or provably disjoint ranges
+};
+
+const char* DomainRelationName(DomainRelation relation);
+
+// An attribute domain: base type plus optional constraints. Scale/units are
+// carried so schema analysis can flag unit mismatches (Section "Phase 2" of
+// the paper lists scales/units among the incompatibilities to resolve).
+class Domain {
+ public:
+  Domain() : type_(DomainType::kChar) {}
+  explicit Domain(DomainType type) : type_(type) {}
+
+  static Domain Char() { return Domain(DomainType::kChar); }
+  static Domain CharN(int max_length);
+  static Domain Int() { return Domain(DomainType::kInt); }
+  static Domain IntRange(long long lo, long long hi);
+  static Domain Real() { return Domain(DomainType::kReal); }
+  static Domain RealRange(double lo, double hi);
+  static Domain Bool() { return Domain(DomainType::kBool); }
+  static Domain Date() { return Domain(DomainType::kDate); }
+
+  DomainType type() const { return type_; }
+  std::optional<int> max_length() const { return max_length_; }
+  std::optional<double> lower_bound() const { return lower_bound_; }
+  std::optional<double> upper_bound() const { return upper_bound_; }
+  const std::string& unit() const { return unit_; }
+
+  Domain& set_unit(std::string unit) {
+    unit_ = std::move(unit);
+    return *this;
+  }
+
+  // Relation between this domain's value set and `other`'s.
+  DomainRelation Compare(const Domain& other) const;
+
+  // The binary simplification the paper's tool uses: true if the two domains
+  // could describe the same real-world values (same base type; a unit
+  // mismatch makes them non-comparable until schema analysis resolves it).
+  bool Comparable(const Domain& other) const;
+
+  // DDL rendering, e.g. "char", "char(20)", "int[0..120]", "real unit km".
+  std::string ToString() const;
+
+  friend bool operator==(const Domain& a, const Domain& b) {
+    return a.type_ == b.type_ && a.max_length_ == b.max_length_ &&
+           a.lower_bound_ == b.lower_bound_ &&
+           a.upper_bound_ == b.upper_bound_ && a.unit_ == b.unit_;
+  }
+
+ private:
+  DomainType type_;
+  std::optional<int> max_length_;      // kChar only
+  std::optional<double> lower_bound_;  // kInt / kReal only
+  std::optional<double> upper_bound_;  // kInt / kReal only
+  std::string unit_;                   // empty = unspecified
+};
+
+// Parses the DDL rendering produced by Domain::ToString.
+Result<Domain> ParseDomain(const std::string& text);
+
+}  // namespace ecrint::ecr
+
+#endif  // ECRINT_ECR_DOMAIN_H_

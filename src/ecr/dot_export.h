@@ -1,0 +1,20 @@
+#ifndef ECRINT_ECR_DOT_EXPORT_H_
+#define ECRINT_ECR_DOT_EXPORT_H_
+
+#include <string>
+
+#include "ecr/schema.h"
+
+namespace ecrint::ecr {
+
+// Graphviz rendering of a schema in the classic ER visual vocabulary:
+// boxes for entity sets, double-bordered boxes for categories, diamonds for
+// relationship sets, ovals for attributes (keys underlined), and labeled
+// edges for IS-A and participation (cardinality on the edge). The paper's
+// future-work section asks for a graphical schema browser; `dot -Tpng` on
+// this output provides one.
+std::string ToDot(const Schema& schema);
+
+}  // namespace ecrint::ecr
+
+#endif  // ECRINT_ECR_DOT_EXPORT_H_

@@ -1,0 +1,192 @@
+#include "ecr/transform.h"
+
+#include <set>
+
+namespace ecrint::ecr {
+
+namespace {
+
+// Copies `source` into `target`, skipping the named structures and, for
+// `strip_object`, the `strip_attribute`. Categories/participants are
+// re-resolved by name, so skipped structures must not be referenced.
+Status CopyInto(const Schema& source, Schema& target,
+                const std::set<std::string>& skip_structures,
+                const std::string& strip_object = "",
+                const std::string& strip_attribute = "") {
+  for (ObjectId i = 0; i < source.num_objects(); ++i) {
+    const ObjectClass& object = source.object(i);
+    if (skip_structures.count(object.name)) continue;
+    Result<ObjectId> id = kNoObject;
+    if (object.kind == ObjectKind::kEntitySet) {
+      id = target.AddEntitySet(object.name);
+    } else {
+      std::vector<ObjectId> parents;
+      for (ObjectId parent : object.parents) {
+        ECRINT_ASSIGN_OR_RETURN(
+            ObjectId pid, target.GetObject(source.object(parent).name));
+        parents.push_back(pid);
+      }
+      id = target.AddCategory(object.name, parents);
+    }
+    if (!id.ok()) return id.status();
+    for (const Attribute& a : object.attributes) {
+      if (object.name == strip_object && a.name == strip_attribute) continue;
+      ECRINT_RETURN_IF_ERROR(target.AddObjectAttribute(*id, a));
+    }
+  }
+  for (RelationshipId i = 0; i < source.num_relationships(); ++i) {
+    const RelationshipSet& rel = source.relationship(i);
+    if (skip_structures.count(rel.name)) continue;
+    std::vector<Participation> participants;
+    for (const Participation& p : rel.participants) {
+      ECRINT_ASSIGN_OR_RETURN(
+          ObjectId oid, target.GetObject(source.object(p.object).name));
+      participants.push_back(
+          Participation{oid, p.min_card, p.max_card, p.role});
+    }
+    ECRINT_ASSIGN_OR_RETURN(RelationshipId id,
+                            target.AddRelationship(rel.name, participants));
+    for (const Attribute& a : rel.attributes) {
+      ECRINT_RETURN_IF_ERROR(target.AddRelationshipAttribute(id, a));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Schema> PromoteAttributeToEntity(const Schema& schema,
+                                        const std::string& object_class,
+                                        const std::string& attribute,
+                                        const std::string& entity_name,
+                                        const std::string& relationship_name) {
+  ECRINT_ASSIGN_OR_RETURN(ObjectId source_id, schema.GetObject(object_class));
+  const Attribute* promoted = nullptr;
+  for (const Attribute& a : schema.object(source_id).attributes) {
+    if (a.name == attribute) promoted = &a;
+  }
+  if (promoted == nullptr) {
+    return NotFoundError("'" + object_class + "' has no own attribute '" +
+                         attribute + "'");
+  }
+  if (promoted->is_key) {
+    return FailedPreconditionError(
+        "refusing to promote the key attribute '" + attribute + "' of '" +
+        object_class + "'");
+  }
+
+  Schema out(schema.name());
+  ECRINT_RETURN_IF_ERROR(
+      CopyInto(schema, out, {}, object_class, attribute));
+  ECRINT_ASSIGN_OR_RETURN(ObjectId entity, out.AddEntitySet(entity_name));
+  ECRINT_RETURN_IF_ERROR(out.AddObjectAttribute(
+      entity, Attribute{promoted->name, promoted->domain, true}));
+  ECRINT_ASSIGN_OR_RETURN(ObjectId owner, out.GetObject(object_class));
+  ECRINT_RETURN_IF_ERROR(
+      out.AddRelationship(relationship_name,
+                          {Participation{owner, 0, 1, ""},
+                           Participation{entity, 0, kUnboundedCardinality,
+                                         ""}})
+          .status());
+  return out;
+}
+
+Result<Schema> RelationshipToEntity(const Schema& schema,
+                                    const std::string& relationship) {
+  ECRINT_ASSIGN_OR_RETURN(RelationshipId rid,
+                          schema.GetRelationship(relationship));
+  const RelationshipSet& rel = schema.relationship(rid);
+
+  Schema out(schema.name());
+  ECRINT_RETURN_IF_ERROR(CopyInto(schema, out, {relationship}));
+
+  ECRINT_ASSIGN_OR_RETURN(ObjectId entity, out.AddEntitySet(relationship));
+  bool has_key = false;
+  for (const Attribute& a : rel.attributes) has_key |= a.is_key;
+  for (size_t i = 0; i < rel.attributes.size(); ++i) {
+    Attribute a = rel.attributes[i];
+    if (!has_key && i == 0) a.is_key = true;  // first attribute identifies
+    ECRINT_RETURN_IF_ERROR(out.AddObjectAttribute(entity, a));
+  }
+  if (rel.attributes.empty()) {
+    ECRINT_RETURN_IF_ERROR(out.AddObjectAttribute(
+        entity, Attribute{"Id", Domain::Int(), true}));
+  }
+
+  std::set<std::string> used;
+  for (const Participation& p : rel.participants) {
+    const std::string& other = schema.object(p.object).name;
+    std::string link = relationship + "_" + (p.role.empty() ? other : p.role);
+    while (out.FindObject(link) != kNoObject ||
+           out.FindRelationship(link) >= 0 || !used.insert(link).second) {
+      link += "_x";
+    }
+    ECRINT_ASSIGN_OR_RETURN(ObjectId oid, out.GetObject(other));
+    // Each instance of the new entity stands for one original relationship
+    // instance, so it links to exactly one participant on each leg; the
+    // participant keeps its original cardinality.
+    ECRINT_RETURN_IF_ERROR(
+        out.AddRelationship(link,
+                            {Participation{entity, 1, 1, ""},
+                             Participation{oid, p.min_card, p.max_card,
+                                           p.role}})
+            .status());
+  }
+  return out;
+}
+
+Result<Schema> EntityToRelationship(const Schema& schema,
+                                    const std::string& entity) {
+  ECRINT_ASSIGN_OR_RETURN(ObjectId eid, schema.GetObject(entity));
+  if (schema.object(eid).kind != ObjectKind::kEntitySet) {
+    return FailedPreconditionError("'" + entity + "' is not an entity set");
+  }
+  if (!schema.ChildrenOf(eid).empty()) {
+    return FailedPreconditionError("'" + entity +
+                                   "' has categories; convert them first");
+  }
+  std::vector<RelationshipId> links = schema.RelationshipsOf(eid);
+  if (links.size() != 2) {
+    return FailedPreconditionError(
+        "'" + entity + "' must participate in exactly two linking "
+        "relationships, found " + std::to_string(links.size()));
+  }
+
+  std::vector<Participation> participants;
+  std::set<std::string> skip = {entity};
+  for (RelationshipId link : links) {
+    const RelationshipSet& rel = schema.relationship(link);
+    if (rel.participants.size() != 2) {
+      return FailedPreconditionError("linking relationship '" + rel.name +
+                                     "' is not binary");
+    }
+    skip.insert(rel.name);
+    for (const Participation& p : rel.participants) {
+      if (p.object == eid) continue;
+      participants.push_back(p);
+    }
+  }
+  if (participants.size() != 2) {
+    return FailedPreconditionError(
+        "could not identify two distinct partner classes for '" + entity +
+        "'");
+  }
+
+  Schema out(schema.name());
+  ECRINT_RETURN_IF_ERROR(CopyInto(schema, out, skip));
+  std::vector<Participation> resolved;
+  for (const Participation& p : participants) {
+    ECRINT_ASSIGN_OR_RETURN(
+        ObjectId oid, out.GetObject(schema.object(p.object).name));
+    resolved.push_back(Participation{oid, p.min_card, p.max_card, p.role});
+  }
+  ECRINT_ASSIGN_OR_RETURN(RelationshipId rid,
+                          out.AddRelationship(entity, resolved));
+  for (Attribute a : schema.object(eid).attributes) {
+    a.is_key = false;  // a relationship is identified by its participants
+    ECRINT_RETURN_IF_ERROR(out.AddRelationshipAttribute(rid, a));
+  }
+  return out;
+}
+
+}  // namespace ecrint::ecr

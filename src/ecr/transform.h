@@ -1,0 +1,51 @@
+#ifndef ECRINT_ECR_TRANSFORM_H_
+#define ECRINT_ECR_TRANSFORM_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "ecr/schema.h"
+
+namespace ecrint::ecr {
+
+// Phase-2 schema modification operations. The paper: "In some cases, schema
+// constructs in one component schema may need to be changed to become more
+// compatible with equivalent schema constructs in other component schemas.
+// For example, an attribute in one component schema may correspond to an
+// entity type in another." The tool itself "does not provide an automated
+// aid for schema modification" — these pure functions provide it, pairing
+// with heuristics::FindConstructMismatches which detects where they apply.
+// Each returns a transformed copy; the input schema is untouched.
+
+// Pulls `attribute` out of `object_class` into a new entity set
+// `entity_name` (the attribute becomes its key) connected by relationship
+// `relationship_name`, with [0,1] participation on the original side and
+// [0,n] on the new entity's side. (E.g. Employee.Dept_name becomes a
+// Department entity related to Employee.)
+Result<Schema> PromoteAttributeToEntity(const Schema& schema,
+                                        const std::string& object_class,
+                                        const std::string& attribute,
+                                        const std::string& entity_name,
+                                        const std::string& relationship_name);
+
+// Converts a relationship set into an entity set of the same name carrying
+// the relationship's attributes (first attribute becomes the key if none
+// is), plus one binary [1,1]-linking relationship per original participant
+// (named <relationship>_<participant> / role). This is the "marriage as a
+// relationship" -> "marriage as an entity" direction.
+Result<Schema> RelationshipToEntity(const Schema& schema,
+                                    const std::string& relationship);
+
+// Converts an entity set into a relationship set over the participants of
+// its linking relationships: `entity` must participate in exactly two
+// binary relationships (the links), each with exactly one other object
+// class; those object classes become the participants of a new
+// relationship named `entity`, carrying the entity's attributes. The
+// entity set and its linking relationships are removed. This is the
+// inverse direction of RelationshipToEntity.
+Result<Schema> EntityToRelationship(const Schema& schema,
+                                    const std::string& entity);
+
+}  // namespace ecrint::ecr
+
+#endif  // ECRINT_ECR_TRANSFORM_H_

@@ -1,0 +1,145 @@
+#include "ecr/validate.h"
+
+#include <map>
+
+namespace ecrint::ecr {
+
+std::string ValidationIssue::ToString() const {
+  std::string out =
+      severity == IssueSeverity::kError ? "error: " : "warning: ";
+  if (!structure.empty()) out += structure + ": ";
+  out += message;
+  return out;
+}
+
+namespace {
+
+void CheckIsaAcyclic(const Schema& schema,
+                     std::vector<ValidationIssue>& issues) {
+  // Colors: 0 unvisited, 1 on stack, 2 done.
+  std::vector<int> color(schema.num_objects(), 0);
+  bool cycle = false;
+  auto visit = [&](auto&& self, ObjectId node) -> void {
+    color[node] = 1;
+    for (ObjectId parent : schema.object(node).parents) {
+      if (parent < 0 || parent >= schema.num_objects()) continue;
+      if (color[parent] == 1) {
+        cycle = true;
+        return;
+      }
+      if (color[parent] == 0) self(self, parent);
+    }
+    color[node] = 2;
+  };
+  for (ObjectId i = 0; i < schema.num_objects() && !cycle; ++i) {
+    if (color[i] == 0) visit(visit, i);
+  }
+  if (cycle) {
+    issues.push_back({IssueSeverity::kError, "",
+                      "IS-A (category) graph contains a cycle"});
+  }
+}
+
+}  // namespace
+
+std::vector<ValidationIssue> ValidateSchema(const Schema& schema) {
+  std::vector<ValidationIssue> issues;
+
+  for (ObjectId i = 0; i < schema.num_objects(); ++i) {
+    const ObjectClass& object = schema.object(i);
+    if (object.kind == ObjectKind::kCategory && object.parents.empty()) {
+      issues.push_back({IssueSeverity::kError, object.name,
+                        "category has no parent object class"});
+    }
+    if (object.kind == ObjectKind::kEntitySet && !object.parents.empty()) {
+      issues.push_back({IssueSeverity::kError, object.name,
+                        "entity set must not have parents"});
+    }
+    for (ObjectId parent : object.parents) {
+      if (parent < 0 || parent >= schema.num_objects()) {
+        issues.push_back({IssueSeverity::kError, object.name,
+                          "parent id " + std::to_string(parent) +
+                              " out of range"});
+      }
+    }
+    if (object.kind == ObjectKind::kEntitySet) {
+      bool has_key = false;
+      for (const Attribute& a : object.attributes) has_key |= a.is_key;
+      if (!has_key) {
+        issues.push_back({IssueSeverity::kWarning, object.name,
+                          "entity set has no key attribute"});
+      }
+    }
+  }
+
+  CheckIsaAcyclic(schema, issues);
+
+  for (RelationshipId i = 0; i < schema.num_relationships(); ++i) {
+    const RelationshipSet& rel = schema.relationship(i);
+    if (rel.participants.size() < 2) {
+      issues.push_back({IssueSeverity::kError, rel.name,
+                        "relationship set needs at least two participants"});
+    }
+    for (const Participation& p : rel.participants) {
+      if (p.object < 0 || p.object >= schema.num_objects()) {
+        issues.push_back({IssueSeverity::kError, rel.name,
+                          "participant id " + std::to_string(p.object) +
+                              " out of range"});
+        continue;
+      }
+      if (p.min_card < 0) {
+        issues.push_back({IssueSeverity::kError, rel.name,
+                          "negative min cardinality on participant '" +
+                              schema.object(p.object).name + "'"});
+      }
+      if (p.max_card != kUnboundedCardinality &&
+          (p.max_card <= 0 || p.min_card > p.max_card)) {
+        issues.push_back(
+            {IssueSeverity::kError, rel.name,
+             "invalid cardinality " +
+                 CardinalityToString(p.min_card, p.max_card) +
+                 " on participant '" + schema.object(p.object).name + "'"});
+      }
+    }
+  }
+
+  // Schema-analysis warning: same attribute name used with incomparable
+  // domains anywhere in the schema suggests a units/scale inconsistency the
+  // DDA should resolve before integration (paper, phase 2).
+  std::map<std::string, const Attribute*> first_use;
+  auto scan = [&](const std::vector<Attribute>& attributes,
+                  const std::string& owner) {
+    for (const Attribute& a : attributes) {
+      auto [it, inserted] = first_use.emplace(a.name, &a);
+      if (!inserted && !it->second->domain.Comparable(a.domain)) {
+        issues.push_back(
+            {IssueSeverity::kWarning, owner,
+             "attribute '" + a.name + "' redeclared with incomparable " +
+                 "domain (" + it->second->domain.ToString() + " vs " +
+                 a.domain.ToString() + ")"});
+      }
+    }
+  };
+  for (ObjectId i = 0; i < schema.num_objects(); ++i) {
+    scan(schema.object(i).attributes, schema.object(i).name);
+  }
+  for (RelationshipId i = 0; i < schema.num_relationships(); ++i) {
+    scan(schema.relationship(i).attributes, schema.relationship(i).name);
+  }
+
+  return issues;
+}
+
+Status CheckSchemaValid(const Schema& schema) {
+  std::vector<ValidationIssue> issues = ValidateSchema(schema);
+  std::string errors;
+  for (const ValidationIssue& issue : issues) {
+    if (issue.severity != IssueSeverity::kError) continue;
+    if (!errors.empty()) errors += "; ";
+    errors += issue.ToString();
+  }
+  if (errors.empty()) return Status::Ok();
+  return InvalidArgumentError("schema '" + schema.name() + "': " + errors);
+}
+
+}  // namespace ecrint::ecr

@@ -1,0 +1,39 @@
+#ifndef ECRINT_ECR_VALIDATE_H_
+#define ECRINT_ECR_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ecr/schema.h"
+
+namespace ecrint::ecr {
+
+// Severity of a validation finding. Errors make a schema unusable for
+// integration; warnings flag the "schema analysis" incompatibilities the
+// paper's phase 2 asks the DDA to review (naming, units, key-less objects).
+enum class IssueSeverity { kError, kWarning };
+
+struct ValidationIssue {
+  IssueSeverity severity;
+  std::string structure;  // object class / relationship set name, may be ""
+  std::string message;
+
+  std::string ToString() const;
+};
+
+// Structural checks over one schema:
+//   errors:   IS-A cycles, empty-parent categories, dangling participants,
+//             malformed cardinalities, relationship over < 2 participants
+//   warnings: entity set without any key attribute, attribute shadowing an
+//             inherited attribute with a different domain, unit mismatches
+//             among same-named attributes
+std::vector<ValidationIssue> ValidateSchema(const Schema& schema);
+
+// Convenience: OK iff ValidateSchema reports no kError issues; the message
+// aggregates the errors otherwise.
+Status CheckSchemaValid(const Schema& schema);
+
+}  // namespace ecrint::ecr
+
+#endif  // ECRINT_ECR_VALIDATE_H_

@@ -1,0 +1,85 @@
+#include "heuristics/construct_match.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "heuristics/string_sim.h"
+
+namespace ecrint::heuristics {
+
+std::string ConstructCorrespondence::ToString() const {
+  return "entity " + entity.ToString() + " ~ relationship " +
+         relationship.ToString() + " (" +
+         std::to_string(common_attributes) + " common attributes, score " +
+         FormatFixed(score, 2) + ")";
+}
+
+namespace {
+
+int CountCommon(const std::vector<ecr::Attribute>& a,
+                const std::vector<ecr::Attribute>& b,
+                const SynonymDictionary& synonyms) {
+  int matched = 0;
+  std::vector<char> used(b.size(), 0);
+  for (const ecr::Attribute& attr : a) {
+    for (size_t j = 0; j < b.size(); ++j) {
+      if (used[j]) continue;
+      if (!attr.domain.Comparable(b[j].domain)) continue;
+      double score = std::max(NameSimilarity(attr.name, b[j].name),
+                              synonyms.Similarity(attr.name, b[j].name));
+      if (score >= 0.7) {
+        used[j] = 1;
+        ++matched;
+        break;
+      }
+    }
+  }
+  return matched;
+}
+
+void ScanDirection(const ecr::Schema& entity_side,
+                   const ecr::Schema& relationship_side,
+                   const SynonymDictionary& synonyms, int min_common,
+                   std::vector<ConstructCorrespondence>& out) {
+  for (ecr::ObjectId i = 0; i < entity_side.num_objects(); ++i) {
+    const ecr::ObjectClass& object = entity_side.object(i);
+    for (ecr::RelationshipId j = 0;
+         j < relationship_side.num_relationships(); ++j) {
+      const ecr::RelationshipSet& rel = relationship_side.relationship(j);
+      if (object.attributes.empty() || rel.attributes.empty()) continue;
+      int common = CountCommon(object.attributes, rel.attributes, synonyms);
+      if (common < min_common) continue;
+      ConstructCorrespondence c;
+      c.entity = {entity_side.name(), object.name};
+      c.relationship = {relationship_side.name(), rel.name};
+      c.common_attributes = common;
+      c.score = static_cast<double>(common) /
+                static_cast<double>(std::min(object.attributes.size(),
+                                             rel.attributes.size()));
+      out.push_back(std::move(c));
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::vector<ConstructCorrespondence>> FindConstructMismatches(
+    const ecr::Catalog& catalog, const std::string& schema1,
+    const std::string& schema2, const SynonymDictionary& synonyms,
+    int min_common) {
+  ECRINT_ASSIGN_OR_RETURN(const ecr::Schema* s1, catalog.GetSchema(schema1));
+  ECRINT_ASSIGN_OR_RETURN(const ecr::Schema* s2, catalog.GetSchema(schema2));
+  std::vector<ConstructCorrespondence> out;
+  ScanDirection(*s1, *s2, synonyms, min_common, out);
+  ScanDirection(*s2, *s1, synonyms, min_common, out);
+  std::sort(out.begin(), out.end(),
+            [](const ConstructCorrespondence& a,
+               const ConstructCorrespondence& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (!(a.entity == b.entity)) return a.entity < b.entity;
+              return a.relationship < b.relationship;
+            });
+  return out;
+}
+
+}  // namespace ecrint::heuristics

@@ -1,0 +1,39 @@
+#ifndef ECRINT_HEURISTICS_CONSTRUCT_MATCH_H_
+#define ECRINT_HEURISTICS_CONSTRUCT_MATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ecr/catalog.h"
+#include "core/object_ref.h"
+#include "heuristics/synonyms.h"
+
+namespace ecrint::heuristics {
+
+// A detected correspondence between structures of *different* constructs —
+// the paper's semantic-processing enhancement: "in one schema, a marriage
+// between two people may be represented as an entity set, while in another
+// schema a marriage may be represented as a relationship". Such pairs cannot
+// be asserted directly; the DDA must first restructure one schema (phase 2
+// schema modification), which this report motivates.
+struct ConstructCorrespondence {
+  core::ObjectRef entity;        // the entity-set/category side
+  core::ObjectRef relationship;  // the relationship-set side
+  int common_attributes = 0;
+  double score = 0.0;  // fraction of the smaller attribute list matched
+
+  std::string ToString() const;
+};
+
+// Scans entity/category attributes of one schema against relationship-set
+// attributes of the other (both directions) and reports pairs sharing at
+// least `min_common` plausibly equivalent attributes, best first.
+Result<std::vector<ConstructCorrespondence>> FindConstructMismatches(
+    const ecr::Catalog& catalog, const std::string& schema1,
+    const std::string& schema2, const SynonymDictionary& synonyms,
+    int min_common = 2);
+
+}  // namespace ecrint::heuristics
+
+#endif  // ECRINT_HEURISTICS_CONSTRUCT_MATCH_H_

@@ -1,0 +1,87 @@
+#include "heuristics/schema_resemblance.h"
+
+#include <algorithm>
+#include <map>
+
+#include "heuristics/suggest.h"
+
+namespace ecrint::heuristics {
+
+Result<double> SchemaResemblance(const ecr::Catalog& catalog,
+                                 const std::string& schema1,
+                                 const std::string& schema2,
+                                 const SynonymDictionary& synonyms) {
+  ECRINT_ASSIGN_OR_RETURN(const ecr::Schema* s1, catalog.GetSchema(schema1));
+  ECRINT_ASSIGN_OR_RETURN(const ecr::Schema* s2, catalog.GetSchema(schema2));
+  ECRINT_ASSIGN_OR_RETURN(
+      std::vector<WeightedPair> pairs,
+      RankByWeightedResemblance(catalog, schema1, schema2, synonyms));
+  if (pairs.empty()) return 0.0;
+
+  // Best score per structure of the smaller schema.
+  bool first_smaller = s1->num_objects() <= s2->num_objects();
+  std::map<std::string, double> best;
+  for (const WeightedPair& pair : pairs) {
+    const std::string& key =
+        first_smaller ? pair.first.object : pair.second.object;
+    double& slot = best[key];
+    slot = std::max(slot, pair.score);
+  }
+  if (best.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [name, score] : best) sum += score;
+  return sum / static_cast<double>(best.size());
+}
+
+Result<std::vector<std::string>> PickIntegrationOrder(
+    const ecr::Catalog& catalog, const std::vector<std::string>& schemas,
+    const SynonymDictionary& synonyms) {
+  if (schemas.size() < 2) return std::vector<std::string>(schemas);
+
+  int n = static_cast<int>(schemas.size());
+  std::vector<std::vector<double>> score(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      ECRINT_ASSIGN_OR_RETURN(
+          double s, SchemaResemblance(catalog, schemas[i], schemas[j],
+                                      synonyms));
+      score[i][j] = score[j][i] = s;
+    }
+  }
+
+  // Seed with the globally most similar pair.
+  int best_i = 0;
+  int best_j = 1;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (score[i][j] > score[best_i][best_j]) {
+        best_i = i;
+        best_j = j;
+      }
+    }
+  }
+  std::vector<int> order = {best_i, best_j};
+  std::vector<char> picked(n, 0);
+  picked[best_i] = picked[best_j] = 1;
+  while (static_cast<int>(order.size()) < n) {
+    int best = -1;
+    double best_score = -1.0;
+    for (int candidate = 0; candidate < n; ++candidate) {
+      if (picked[candidate]) continue;
+      double s = 0.0;
+      for (int chosen : order) s = std::max(s, score[candidate][chosen]);
+      if (s > best_score) {
+        best_score = s;
+        best = candidate;
+      }
+    }
+    picked[best] = 1;
+    order.push_back(best);
+  }
+  std::vector<std::string> out;
+  out.reserve(order.size());
+  for (int index : order) out.push_back(schemas[index]);
+  return out;
+}
+
+}  // namespace ecrint::heuristics

@@ -1,0 +1,34 @@
+#ifndef ECRINT_HEURISTICS_SCHEMA_RESEMBLANCE_H_
+#define ECRINT_HEURISTICS_SCHEMA_RESEMBLANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ecr/catalog.h"
+#include "heuristics/synonyms.h"
+
+namespace ecrint::heuristics {
+
+// Schema-level resemblance — the paper's Section 4: "The resemblance
+// function among objects could possibly be extended to derive a resemblance
+// function among schemas which could be particularly useful in picking
+// similar schemas for integration in a binary approach."
+//
+// Score = mean, over the smaller schema's object classes, of the best
+// weighted resemblance each achieves against the other schema's classes.
+Result<double> SchemaResemblance(const ecr::Catalog& catalog,
+                                 const std::string& schema1,
+                                 const std::string& schema2,
+                                 const SynonymDictionary& synonyms);
+
+// Greedy most-similar-first ordering for a binary integration ladder: the
+// first two entries are the most similar pair; each following schema is the
+// one most similar to any already-picked schema.
+Result<std::vector<std::string>> PickIntegrationOrder(
+    const ecr::Catalog& catalog, const std::vector<std::string>& schemas,
+    const SynonymDictionary& synonyms);
+
+}  // namespace ecrint::heuristics
+
+#endif  // ECRINT_HEURISTICS_SCHEMA_RESEMBLANCE_H_

@@ -1,0 +1,91 @@
+#include "heuristics/string_sim.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <vector>
+
+namespace ecrint::heuristics {
+
+int LevenshteinDistance(std::string_view a, std::string_view b) {
+  size_t n = a.size();
+  size_t m = b.size();
+  if (n == 0) return static_cast<int>(m);
+  if (m == 0) return static_cast<int>(n);
+  std::vector<int> prev(m + 1);
+  std::vector<int> curr(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      int substitute = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, substitute});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t longest = std::max(a.size(), b.size());
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+double DiceBigramSimilarity(std::string_view a, std::string_view b) {
+  if (a == b) return 1.0;
+  if (a.size() < 2 || b.size() < 2) return 0.0;
+  std::map<std::pair<char, char>, int> bigrams;
+  for (size_t i = 0; i + 1 < a.size(); ++i) ++bigrams[{a[i], a[i + 1]}];
+  int shared = 0;
+  for (size_t i = 0; i + 1 < b.size(); ++i) {
+    auto it = bigrams.find({b[i], b[i + 1]});
+    if (it != bigrams.end() && it->second > 0) {
+      --it->second;
+      ++shared;
+    }
+  }
+  return 2.0 * shared /
+         static_cast<double>(a.size() - 1 + b.size() - 1);
+}
+
+double CommonPrefixSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() || b.empty()) return 0.0;
+  size_t shared = 0;
+  while (shared < a.size() && shared < b.size() && a[shared] == b[shared]) {
+    ++shared;
+  }
+  return static_cast<double>(shared) /
+         static_cast<double>(std::max(a.size(), b.size()));
+}
+
+namespace {
+
+std::string Canonicalize(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '_' || c == '-' || c == ' ') continue;
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+double NameSimilarity(std::string_view a, std::string_view b) {
+  std::string ca = Canonicalize(a);
+  std::string cb = Canonicalize(b);
+  if (ca.empty() || cb.empty()) return ca == cb ? 1.0 : 0.0;
+  if (ca == cb) return 1.0;
+  // Truncation abbreviation: "emp" vs "employee".
+  if (ca.size() >= 3 && cb.size() >= 3 &&
+      (cb.starts_with(ca) || ca.starts_with(cb))) {
+    return 0.9;
+  }
+  return std::max(LevenshteinSimilarity(ca, cb),
+                  DiceBigramSimilarity(ca, cb));
+}
+
+}  // namespace ecrint::heuristics

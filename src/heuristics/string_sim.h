@@ -1,0 +1,30 @@
+#ifndef ECRINT_HEURISTICS_STRING_SIM_H_
+#define ECRINT_HEURISTICS_STRING_SIM_H_
+
+#include <string>
+#include <string_view>
+
+namespace ecrint::heuristics {
+
+// Classic Levenshtein edit distance (insert/delete/substitute, unit costs).
+int LevenshteinDistance(std::string_view a, std::string_view b);
+
+// 1 - distance/max(len); 1.0 for equal strings, 0.0 for totally different.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+// Dice coefficient over character bigrams; robust to word reordering and
+// abbreviation ("Dept_Name" vs "Name_Of_Dept").
+double DiceBigramSimilarity(std::string_view a, std::string_view b);
+
+// Length of the common prefix divided by the longer length. Schema names
+// often abbreviate by truncation ("Emp" for "Employee"), which this catches.
+double CommonPrefixSimilarity(std::string_view a, std::string_view b);
+
+// The name-matching score used by the syntactic-processing enhancement of
+// the paper's Section 4: case-insensitive, underscore-insensitive max of the
+// Levenshtein and Dice similarities, with truncation-abbreviation credit.
+double NameSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace ecrint::heuristics
+
+#endif  // ECRINT_HEURISTICS_STRING_SIM_H_

@@ -1,0 +1,190 @@
+#include "heuristics/suggest.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "heuristics/string_sim.h"
+
+namespace ecrint::heuristics {
+
+namespace {
+
+struct StructureView {
+  core::ObjectRef ref;
+  std::vector<ecr::Attribute> attributes;
+};
+
+std::vector<StructureView> ObjectViews(const ecr::Schema& schema) {
+  std::vector<StructureView> out;
+  for (ecr::ObjectId i = 0; i < schema.num_objects(); ++i) {
+    out.push_back({{schema.name(), schema.object(i).name},
+                   schema.object(i).attributes});
+  }
+  return out;
+}
+
+// Name score with synonym-dictionary credit.
+double CombinedNameScore(const std::string& a, const std::string& b,
+                         const SynonymDictionary& synonyms) {
+  return std::max(NameSimilarity(a, b), synonyms.Similarity(a, b));
+}
+
+// Fraction of the smaller side's attributes that find a plausible partner.
+double AttributeOverlap(const StructureView& a, const StructureView& b,
+                        const SynonymDictionary& synonyms) {
+  if (a.attributes.empty() || b.attributes.empty()) return 0.0;
+  int matched = 0;
+  std::vector<char> used(b.attributes.size(), 0);
+  for (const ecr::Attribute& attr : a.attributes) {
+    for (size_t j = 0; j < b.attributes.size(); ++j) {
+      if (used[j]) continue;
+      if (!attr.domain.Comparable(b.attributes[j].domain)) continue;
+      if (CombinedNameScore(attr.name, b.attributes[j].name, synonyms) >=
+          0.7) {
+        used[j] = 1;
+        ++matched;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(matched) /
+         static_cast<double>(std::min(a.attributes.size(),
+                                      b.attributes.size()));
+}
+
+double KeyScore(const StructureView& a, const StructureView& b,
+                const SynonymDictionary& synonyms) {
+  double best = 0.0;
+  for (const ecr::Attribute& ka : a.attributes) {
+    if (!ka.is_key) continue;
+    for (const ecr::Attribute& kb : b.attributes) {
+      if (!kb.is_key) continue;
+      if (!ka.domain.Comparable(kb.domain)) continue;
+      best = std::max(best, CombinedNameScore(ka.name, kb.name, synonyms));
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<std::vector<EquivalenceSuggestion>> SuggestAttributeEquivalences(
+    const ecr::Catalog& catalog, const std::string& schema1,
+    const std::string& schema2, const SynonymDictionary& synonyms,
+    double threshold, double object_threshold) {
+  ECRINT_ASSIGN_OR_RETURN(const ecr::Schema* s1, catalog.GetSchema(schema1));
+  ECRINT_ASSIGN_OR_RETURN(const ecr::Schema* s2, catalog.GetSchema(schema2));
+
+  // Object pairs eligible for attribute suggestions under the gate.
+  std::set<std::pair<std::string, std::string>> allowed;
+  if (object_threshold > 0.0) {
+    ECRINT_ASSIGN_OR_RETURN(
+        std::vector<WeightedPair> ranked,
+        RankByWeightedResemblance(catalog, schema1, schema2, synonyms));
+    for (const WeightedPair& pair : ranked) {
+      if (pair.score >= object_threshold) {
+        allowed.insert({pair.first.object, pair.second.object});
+      }
+    }
+  }
+
+  std::vector<EquivalenceSuggestion> out;
+  auto scan = [&](const core::ObjectRef& ref1,
+                  const std::vector<ecr::Attribute>& attrs1,
+                  const core::ObjectRef& ref2,
+                  const std::vector<ecr::Attribute>& attrs2) {
+    for (const ecr::Attribute& a : attrs1) {
+      for (const ecr::Attribute& b : attrs2) {
+        if (!a.domain.Comparable(b.domain)) continue;
+        double name_score = NameSimilarity(a.name, b.name);
+        double synonym_score = synonyms.Similarity(a.name, b.name);
+        double score = std::max(name_score, synonym_score);
+        // Matching key-ness is weak evidence; a mismatch is a small demerit.
+        score += a.is_key == b.is_key ? 0.05 : -0.05;
+        score = std::clamp(score, 0.0, 1.0);
+        if (score < threshold) continue;
+        EquivalenceSuggestion suggestion;
+        suggestion.first = {ref1.schema, ref1.object, a.name};
+        suggestion.second = {ref2.schema, ref2.object, b.name};
+        suggestion.score = score;
+        suggestion.rationale =
+            synonym_score > name_score
+                ? "synonym match (" + FormatFixed(synonym_score, 2) + ")"
+                : "name similarity (" + FormatFixed(name_score, 2) + ")";
+        out.push_back(std::move(suggestion));
+      }
+    }
+  };
+
+  for (const StructureView& v1 : ObjectViews(*s1)) {
+    for (const StructureView& v2 : ObjectViews(*s2)) {
+      if (object_threshold > 0.0 &&
+          !allowed.count({v1.ref.object, v2.ref.object})) {
+        continue;
+      }
+      scan(v1.ref, v1.attributes, v2.ref, v2.attributes);
+    }
+  }
+  for (ecr::RelationshipId i = 0; i < s1->num_relationships(); ++i) {
+    for (ecr::RelationshipId j = 0; j < s2->num_relationships(); ++j) {
+      scan({s1->name(), s1->relationship(i).name},
+           s1->relationship(i).attributes,
+           {s2->name(), s2->relationship(j).name},
+           s2->relationship(j).attributes);
+    }
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const EquivalenceSuggestion& a,
+               const EquivalenceSuggestion& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (!(a.first == b.first)) return a.first < b.first;
+              return a.second < b.second;
+            });
+  return out;
+}
+
+Result<std::vector<WeightedPair>> RankByWeightedResemblance(
+    const ecr::Catalog& catalog, const std::string& schema1,
+    const std::string& schema2, const SynonymDictionary& synonyms,
+    const ResemblanceWeights& weights) {
+  ECRINT_ASSIGN_OR_RETURN(const ecr::Schema* s1, catalog.GetSchema(schema1));
+  ECRINT_ASSIGN_OR_RETURN(const ecr::Schema* s2, catalog.GetSchema(schema2));
+  std::vector<WeightedPair> out;
+  for (const StructureView& v1 : ObjectViews(*s1)) {
+    for (const StructureView& v2 : ObjectViews(*s2)) {
+      WeightedPair pair;
+      pair.first = v1.ref;
+      pair.second = v2.ref;
+      pair.score =
+          weights.name * NameSimilarity(v1.ref.object, v2.ref.object) +
+          weights.synonym * synonyms.Similarity(v1.ref.object,
+                                                v2.ref.object) +
+          weights.attribute * AttributeOverlap(v1, v2, synonyms) +
+          weights.key * KeyScore(v1, v2, synonyms);
+      out.push_back(pair);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const WeightedPair& a, const WeightedPair& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (!(a.first == b.first)) return a.first < b.first;
+              return a.second < b.second;
+            });
+  return out;
+}
+
+Result<std::vector<WeightedPair>> RankByNameOnly(const ecr::Catalog& catalog,
+                                                 const std::string& schema1,
+                                                 const std::string& schema2) {
+  SynonymDictionary empty;
+  ResemblanceWeights weights;
+  weights.name = 1.0;
+  weights.synonym = 0.0;
+  weights.attribute = 0.0;
+  weights.key = 0.0;
+  return RankByWeightedResemblance(catalog, schema1, schema2, empty, weights);
+}
+
+}  // namespace ecrint::heuristics

@@ -1,0 +1,70 @@
+#ifndef ECRINT_HEURISTICS_SUGGEST_H_
+#define ECRINT_HEURISTICS_SUGGEST_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ecr/catalog.h"
+#include "core/equivalence.h"
+#include "core/object_ref.h"
+#include "heuristics/synonyms.h"
+
+namespace ecrint::heuristics {
+
+// Weights of the SIS-style weighted sum of products of resemblance
+// functions ([de Souza 86]) that the paper's Section 4 proposes as an
+// extension of its single attribute-ratio heuristic.
+struct ResemblanceWeights {
+  double name = 0.35;       // structure-name similarity
+  double synonym = 0.15;    // synonym-dictionary credit on names
+  double attribute = 0.35;  // fraction of attribute names that pair up
+  double key = 0.15;        // key attributes with similar names
+};
+
+// One suggested attribute equivalence with its score and reasoning.
+struct EquivalenceSuggestion {
+  ecr::AttributePath first;
+  ecr::AttributePath second;
+  double score = 0.0;
+  std::string rationale;
+};
+
+// A scored structure pair from the weighted resemblance heuristic.
+struct WeightedPair {
+  core::ObjectRef first;
+  core::ObjectRef second;
+  double score = 0.0;
+};
+
+// Proposes cross-schema attribute equivalences from name similarity, the
+// synonym dictionary, and domain comparability. Only pairs scoring at least
+// `threshold` (in [0,1]) are returned, best first. With a positive
+// `object_threshold`, attribute pairs are only considered between object
+// classes whose weighted resemblance reaches it — this suppresses the
+// flood of generic-name matches (every "Id" against every "Id") between
+// unrelated classes. The DDA reviews and applies suggestions via
+// EquivalenceMap::DeclareEquivalent — suggestion never mutates the map
+// (assertion specification "cannot be completely automated", Section 3.4).
+Result<std::vector<EquivalenceSuggestion>> SuggestAttributeEquivalences(
+    const ecr::Catalog& catalog, const std::string& schema1,
+    const std::string& schema2, const SynonymDictionary& synonyms,
+    double threshold = 0.6, double object_threshold = 0.0);
+
+// Ranks object-class pairs by the weighted sum of resemblance functions.
+// Generalizes the paper's attribute-ratio ordering; with `weights.attribute`
+// set to 1 and the rest 0 it degenerates to a name-blind ranking.
+Result<std::vector<WeightedPair>> RankByWeightedResemblance(
+    const ecr::Catalog& catalog, const std::string& schema1,
+    const std::string& schema2, const SynonymDictionary& synonyms,
+    const ResemblanceWeights& weights = {});
+
+// Baseline for the ablation benches: ranks object-class pairs purely by
+// structure-name similarity, ignoring attributes entirely.
+Result<std::vector<WeightedPair>> RankByNameOnly(const ecr::Catalog& catalog,
+                                                 const std::string& schema1,
+                                                 const std::string& schema2);
+
+}  // namespace ecrint::heuristics
+
+#endif  // ECRINT_HEURISTICS_SUGGEST_H_

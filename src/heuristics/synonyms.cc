@@ -1,0 +1,137 @@
+#include "heuristics/synonyms.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace ecrint::heuristics {
+
+namespace {
+
+std::string Normalize(std::string_view word) {
+  std::string out;
+  out.reserve(word.size());
+  for (char c : word) {
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::vector<std::string> Tokens(std::string_view identifier) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : identifier) {
+    if (c == '_' || c == '-' || c == ' ') {
+      if (!current.empty()) out.push_back(current);
+      current.clear();
+      continue;
+    }
+    current += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
+}  // namespace
+
+SynonymDictionary SynonymDictionary::WithBuiltins() {
+  SynonymDictionary dict;
+  dict.AddSynonyms({"salary", "pay", "wage", "compensation"});
+  dict.AddSynonyms({"name", "label", "title"});
+  dict.AddSynonyms({"ssn", "socialsecuritynumber", "social_security_number"});
+  dict.AddSynonyms({"id", "identifier", "key", "number", "no", "num"});
+  dict.AddSynonyms({"dept", "department", "division"});
+  dict.AddSynonyms({"emp", "employee", "worker", "staff"});
+  dict.AddSynonyms({"addr", "address", "location"});
+  dict.AddSynonyms({"dob", "birthdate", "birthday", "date_of_birth"});
+  dict.AddSynonyms({"phone", "telephone", "tel"});
+  dict.AddSynonyms({"gpa", "grade_point_average", "gradepointaverage"});
+  dict.AddSynonyms({"student", "pupil"});
+  dict.AddSynonyms({"faculty", "instructor", "professor", "teacher"});
+  dict.AddAntonyms("min", "max");
+  dict.AddAntonyms("start", "end");
+  dict.AddAntonyms("first", "last");
+  dict.AddAntonyms("debit", "credit");
+  return dict;
+}
+
+void SynonymDictionary::AddSynonyms(const std::vector<std::string>& words) {
+  // Merge all groups the given words already belong to into one.
+  int target = -1;
+  for (const std::string& word : words) {
+    int group = GroupOf(Normalize(word));
+    if (group >= 0) {
+      target = target < 0 ? group : std::min(target, group);
+    }
+  }
+  if (target < 0) target = next_group_++;
+  std::vector<int> to_merge;
+  for (const std::string& word : words) {
+    std::string normalized = Normalize(word);
+    int group = GroupOf(normalized);
+    if (group >= 0 && group != target) to_merge.push_back(group);
+    group_of_[normalized] = target;
+  }
+  if (!to_merge.empty()) {
+    for (auto& [word, group] : group_of_) {
+      if (std::find(to_merge.begin(), to_merge.end(), group) !=
+          to_merge.end()) {
+        group = target;
+      }
+    }
+  }
+}
+
+void SynonymDictionary::AddAntonyms(const std::string& a,
+                                    const std::string& b) {
+  antonyms_.emplace_back(Normalize(a), Normalize(b));
+}
+
+int SynonymDictionary::GroupOf(const std::string& word) const {
+  auto it = group_of_.find(word);
+  return it == group_of_.end() ? -1 : it->second;
+}
+
+bool SynonymDictionary::AreSynonyms(std::string_view a,
+                                    std::string_view b) const {
+  std::string na = Normalize(a);
+  std::string nb = Normalize(b);
+  if (na == nb) return true;
+  int ga = GroupOf(na);
+  return ga >= 0 && ga == GroupOf(nb);
+}
+
+bool SynonymDictionary::AreAntonyms(std::string_view a,
+                                    std::string_view b) const {
+  std::string na = Normalize(a);
+  std::string nb = Normalize(b);
+  for (const auto& [x, y] : antonyms_) {
+    if ((na == x && nb == y) || (na == y && nb == x)) return true;
+  }
+  return false;
+}
+
+double SynonymDictionary::Similarity(std::string_view a,
+                                     std::string_view b) const {
+  if (AreAntonyms(a, b)) return 0.0;
+  if (AreSynonyms(a, b)) return 1.0;
+  // Token-wise: best pairing between the identifiers' tokens.
+  std::vector<std::string> ta = Tokens(a);
+  std::vector<std::string> tb = Tokens(b);
+  if (ta.empty() || tb.empty()) return 0.0;
+  int matched = 0;
+  std::vector<char> used(tb.size(), 0);
+  for (const std::string& token : ta) {
+    for (size_t j = 0; j < tb.size(); ++j) {
+      if (used[j]) continue;
+      if (AreAntonyms(token, tb[j])) return 0.0;
+      if (token == tb[j] || AreSynonyms(token, tb[j])) {
+        used[j] = 1;
+        ++matched;
+        break;
+      }
+    }
+  }
+  return 2.0 * matched / static_cast<double>(ta.size() + tb.size());
+}
+
+}  // namespace ecrint::heuristics

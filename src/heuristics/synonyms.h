@@ -1,0 +1,46 @@
+#ifndef ECRINT_HEURISTICS_SYNONYMS_H_
+#define ECRINT_HEURISTICS_SYNONYMS_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ecrint::heuristics {
+
+// The "dictionary of synonyms and antonyms" the paper's Section 4 proposes
+// for detecting candidate pairs of equivalent attributes. Words are matched
+// case-insensitively; antonym pairs actively veto a match.
+class SynonymDictionary {
+ public:
+  SynonymDictionary() = default;
+
+  // Creates a dictionary preloaded with common database-schema vocabulary
+  // (salary/pay/wage, name/label, ssn/social_security_number, ...).
+  static SynonymDictionary WithBuiltins();
+
+  // Declares all given words mutual synonyms (merged with existing groups).
+  void AddSynonyms(const std::vector<std::string>& words);
+
+  // Declares an antonym pair (e.g. min/max, start/end).
+  void AddAntonyms(const std::string& a, const std::string& b);
+
+  bool AreSynonyms(std::string_view a, std::string_view b) const;
+  bool AreAntonyms(std::string_view a, std::string_view b) const;
+
+  // 1.0 for synonyms (or equal words), 0.0 for antonyms, and otherwise the
+  // best synonym-aware score over the underscore-separated tokens of the
+  // two identifiers ("Emp_Salary" vs "Pay" matches via salary~pay).
+  double Similarity(std::string_view a, std::string_view b) const;
+
+ private:
+  int GroupOf(const std::string& word) const;  // -1 if unknown
+
+  std::map<std::string, int> group_of_;
+  int next_group_ = 0;
+  std::vector<std::pair<std::string, std::string>> antonyms_;
+};
+
+}  // namespace ecrint::heuristics
+
+#endif  // ECRINT_HEURISTICS_SYNONYMS_H_

@@ -1,0 +1,42 @@
+#include "translate/hier_to_ecr.h"
+
+namespace ecrint::translate {
+
+namespace {
+
+Status TranslateSegment(const Segment& segment, ecr::ObjectId parent,
+                        ecr::Schema& schema) {
+  ECRINT_ASSIGN_OR_RETURN(ecr::ObjectId id,
+                          schema.AddEntitySet(segment.name));
+  for (const ecr::Attribute& field : segment.fields) {
+    ECRINT_RETURN_IF_ERROR(schema.AddObjectAttribute(id, field));
+  }
+  if (parent != ecr::kNoObject) {
+    ECRINT_RETURN_IF_ERROR(
+        schema
+            .AddRelationship(
+                schema.object(parent).name + "_" + segment.name,
+                {ecr::Participation{parent, 0, ecr::kUnboundedCardinality,
+                                    "parent"},
+                 ecr::Participation{id, 1, 1, "child"}})
+            .status());
+  }
+  for (const Segment& child : segment.children) {
+    ECRINT_RETURN_IF_ERROR(TranslateSegment(child, id, schema));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<ecr::Schema> HierarchicalToEcr(
+    const HierarchicalSchema& hierarchical) {
+  ECRINT_RETURN_IF_ERROR(hierarchical.Validate());
+  ecr::Schema schema(hierarchical.name());
+  for (const Segment& root : hierarchical.roots()) {
+    ECRINT_RETURN_IF_ERROR(TranslateSegment(root, ecr::kNoObject, schema));
+  }
+  return schema;
+}
+
+}  // namespace ecrint::translate

@@ -1,0 +1,20 @@
+#ifndef ECRINT_TRANSLATE_HIER_TO_ECR_H_
+#define ECRINT_TRANSLATE_HIER_TO_ECR_H_
+
+#include "common/result.h"
+#include "ecr/schema.h"
+#include "translate/hierarchical.h"
+
+namespace ecrint::translate {
+
+// Translates a hierarchical (IMS-style) definition into ECR:
+//   * each segment type becomes an entity set with its fields as attributes
+//     (the sequence field becomes the key);
+//   * each parent-child arc becomes a binary relationship set named
+//     <Parent>_<Child>, with cardinality [1,1] on the child side (every
+//     child occurrence has exactly one parent) and [0,n] on the parent side.
+Result<ecr::Schema> HierarchicalToEcr(const HierarchicalSchema& hierarchical);
+
+}  // namespace ecrint::translate
+
+#endif  // ECRINT_TRANSLATE_HIER_TO_ECR_H_

@@ -1,0 +1,58 @@
+#include "translate/hierarchical.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace ecrint::translate {
+
+Status HierarchicalSchema::AddRoot(Segment segment) {
+  roots_.push_back(std::move(segment));
+  return Status::Ok();
+}
+
+namespace {
+
+Status ValidateSegment(const Segment& segment,
+                       std::set<std::string>& names) {
+  if (!IsIdentifier(segment.name)) {
+    return InvalidArgumentError("'" + segment.name +
+                                "' is not a valid segment name");
+  }
+  if (!names.insert(segment.name).second) {
+    return AlreadyExistsError("segment '" + segment.name +
+                              "' defined twice");
+  }
+  if (segment.fields.empty()) {
+    return InvalidArgumentError("segment '" + segment.name +
+                                "' has no fields");
+  }
+  std::set<std::string> fields;
+  for (const ecr::Attribute& field : segment.fields) {
+    if (!fields.insert(field.name).second) {
+      return AlreadyExistsError("field '" + field.name +
+                                "' duplicated in segment '" + segment.name +
+                                "'");
+    }
+  }
+  for (const Segment& child : segment.children) {
+    ECRINT_RETURN_IF_ERROR(ValidateSegment(child, names));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status HierarchicalSchema::Validate() const {
+  if (roots_.empty()) {
+    return InvalidArgumentError("hierarchical schema '" + name_ +
+                                "' has no root segment");
+  }
+  std::set<std::string> names;
+  for (const Segment& root : roots_) {
+    ECRINT_RETURN_IF_ERROR(ValidateSegment(root, names));
+  }
+  return Status::Ok();
+}
+
+}  // namespace ecrint::translate

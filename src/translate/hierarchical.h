@@ -1,0 +1,41 @@
+#ifndef ECRINT_TRANSLATE_HIERARCHICAL_H_
+#define ECRINT_TRANSLATE_HIERARCHICAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ecr/attribute.h"
+
+namespace ecrint::translate {
+
+// An IMS-style hierarchical database definition: a forest of segment types,
+// each with fields, where every child occurrence belongs to exactly one
+// parent occurrence. The other input side of Navathe & Awong 87.
+struct Segment {
+  std::string name;
+  std::vector<ecr::Attribute> fields;  // is_key marks the sequence field
+  std::vector<Segment> children;
+};
+
+class HierarchicalSchema {
+ public:
+  explicit HierarchicalSchema(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Segment>& roots() const { return roots_; }
+
+  Status AddRoot(Segment segment);
+
+  // Segment names must be unique across the whole forest; every segment
+  // needs at least one field.
+  Status Validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Segment> roots_;
+};
+
+}  // namespace ecrint::translate
+
+#endif  // ECRINT_TRANSLATE_HIERARCHICAL_H_

@@ -1,0 +1,192 @@
+#include "translate/rel_to_ecr.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+
+namespace ecrint::translate {
+
+namespace {
+
+enum class TableClass { kEntity, kSubtype, kRelationship };
+
+bool SameColumnSet(const std::vector<std::string>& a,
+                   const std::vector<std::string>& b) {
+  return std::set<std::string>(a.begin(), a.end()) ==
+         std::set<std::string>(b.begin(), b.end());
+}
+
+// True if every column of `fk` is part of the table's primary key.
+bool FkInsidePrimaryKey(const Table& table, const ForeignKey& fk) {
+  for (const std::string& column : fk.columns) {
+    if (!table.IsPrimaryKeyColumn(column)) return false;
+  }
+  return true;
+}
+
+TableClass Classify(const Table& table) {
+  int pk_fks = 0;
+  bool pk_is_one_fk = false;
+  std::set<std::string> pk_fk_columns;
+  for (const ForeignKey& fk : table.foreign_keys) {
+    if (!FkInsidePrimaryKey(table, fk)) continue;
+    ++pk_fks;
+    pk_fk_columns.insert(fk.columns.begin(), fk.columns.end());
+    if (SameColumnSet(fk.columns, table.primary_key)) pk_is_one_fk = true;
+  }
+  if (pk_is_one_fk && pk_fks == 1) return TableClass::kSubtype;
+  if (pk_fks >= 2 &&
+      pk_fk_columns.size() == table.primary_key.size()) {
+    return TableClass::kRelationship;
+  }
+  return TableClass::kEntity;
+}
+
+// All columns claimed by any foreign key. Pass 2 drops these from entity
+// attributes (unless they are key components) because the references they
+// encode are represented as relationship sets or inheritance instead.
+std::set<std::string> ForeignKeyColumns(const Table& table) {
+  std::set<std::string> out;
+  for (const ForeignKey& fk : table.foreign_keys) {
+    out.insert(fk.columns.begin(), fk.columns.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ecr::Schema> RelationalToEcr(const RelationalSchema& relational) {
+  ECRINT_RETURN_IF_ERROR(relational.Validate());
+  ecr::Schema schema(relational.name());
+
+  std::map<std::string, TableClass> classes;
+  for (const Table& table : relational.tables()) {
+    classes[table.name] = Classify(table);
+  }
+
+  // Pass 1: object classes (entities first, then subtypes once their parent
+  // exists; subtype chains resolve by iterating to a fixed point).
+  for (const Table& table : relational.tables()) {
+    if (classes[table.name] != TableClass::kEntity) continue;
+    ECRINT_ASSIGN_OR_RETURN(ecr::ObjectId id,
+                            schema.AddEntitySet(table.name));
+    (void)id;
+  }
+  bool progress = true;
+  int pending = 0;
+  do {
+    progress = false;
+    pending = 0;
+    for (const Table& table : relational.tables()) {
+      if (classes[table.name] != TableClass::kSubtype) continue;
+      if (schema.FindObject(table.name) != ecr::kNoObject) continue;
+      const ForeignKey* identifying = nullptr;
+      for (const ForeignKey& fk : table.foreign_keys) {
+        if (SameColumnSet(fk.columns, table.primary_key)) identifying = &fk;
+      }
+      ecr::ObjectId parent =
+          schema.FindObject(identifying->referenced_table);
+      if (parent == ecr::kNoObject) {
+        ++pending;
+        continue;
+      }
+      ECRINT_RETURN_IF_ERROR(
+          schema.AddCategory(table.name, {parent}).status());
+      progress = true;
+    }
+  } while (progress && pending > 0);
+  if (pending > 0) {
+    return InvalidArgumentError(
+        "subtype tables of '" + relational.name() +
+        "' form a cycle or reference a relationship table");
+  }
+
+  // Pass 2: attributes. Subtypes drop the inherited identifying key.
+  for (const Table& table : relational.tables()) {
+    TableClass cls = classes[table.name];
+    if (cls == TableClass::kRelationship) continue;
+    ecr::ObjectId id = schema.FindObject(table.name);
+    std::set<std::string> consumed = ForeignKeyColumns(table);
+    for (const Column& column : table.columns) {
+      if (cls == TableClass::kSubtype &&
+          table.IsPrimaryKeyColumn(column.name)) {
+        continue;  // inherited from the parent entity set
+      }
+      if (consumed.count(column.name) &&
+          !table.IsPrimaryKeyColumn(column.name)) {
+        continue;  // represented by a relationship set
+      }
+      ECRINT_RETURN_IF_ERROR(schema.AddObjectAttribute(
+          id, {column.name, column.domain,
+               table.IsPrimaryKeyColumn(column.name)}));
+    }
+  }
+
+  // Pass 3: relationship sets.
+  std::set<std::string> used_rel_names;
+  auto unique_name = [&](std::string candidate) {
+    std::string name = candidate;
+    int suffix = 2;
+    while (schema.FindObject(name) != ecr::kNoObject ||
+           !used_rel_names.insert(name).second) {
+      name = candidate + "_" + std::to_string(suffix++);
+    }
+    return name;
+  };
+
+  for (const Table& table : relational.tables()) {
+    TableClass cls = classes[table.name];
+    if (cls == TableClass::kRelationship) {
+      std::vector<ecr::Participation> participants;
+      std::set<std::string> consumed;
+      for (const ForeignKey& fk : table.foreign_keys) {
+        if (!FkInsidePrimaryKey(table, fk)) continue;
+        ECRINT_ASSIGN_OR_RETURN(ecr::ObjectId target,
+                                schema.GetObject(fk.referenced_table));
+        participants.push_back(
+            ecr::Participation{target, 0, ecr::kUnboundedCardinality, ""});
+        consumed.insert(fk.columns.begin(), fk.columns.end());
+      }
+      ECRINT_ASSIGN_OR_RETURN(
+          ecr::RelationshipId id,
+          schema.AddRelationship(unique_name(table.name), participants));
+      for (const Column& column : table.columns) {
+        if (consumed.count(column.name)) continue;
+        ECRINT_RETURN_IF_ERROR(schema.AddRelationshipAttribute(
+            id, {column.name, column.domain, false}));
+      }
+      continue;
+    }
+
+    // Non-identifying foreign keys of entity/subtype tables become binary
+    // relationship sets.
+    for (const ForeignKey& fk : table.foreign_keys) {
+      bool identifying = cls == TableClass::kSubtype &&
+                         SameColumnSet(fk.columns, table.primary_key);
+      if (identifying) continue;
+      ECRINT_ASSIGN_OR_RETURN(ecr::ObjectId source,
+                              schema.GetObject(table.name));
+      ECRINT_ASSIGN_OR_RETURN(ecr::ObjectId target,
+                              schema.GetObject(fk.referenced_table));
+      bool required = true;
+      for (const std::string& column : fk.columns) {
+        required = required && !table.FindColumn(column)->nullable;
+      }
+      std::string name =
+          unique_name(table.name + "_" + Join(fk.columns, "_"));
+      ECRINT_RETURN_IF_ERROR(
+          schema
+              .AddRelationship(
+                  name, {ecr::Participation{source, required ? 1 : 0, 1, ""},
+                         ecr::Participation{
+                             target, 0, ecr::kUnboundedCardinality, ""}})
+              .status());
+    }
+  }
+
+  return schema;
+}
+
+}  // namespace ecrint::translate

@@ -1,0 +1,32 @@
+#ifndef ECRINT_TRANSLATE_REL_TO_ECR_H_
+#define ECRINT_TRANSLATE_REL_TO_ECR_H_
+
+#include "common/result.h"
+#include "ecr/schema.h"
+#include "translate/relational.h"
+
+namespace ecrint::translate {
+
+// Translates a relational schema into the ECR model following the
+// classification heuristics of Navathe & Awong 87 (without the interactive
+// interrogation — the classification that procedure extracts from the DDA is
+// recovered from key/foreign-key structure):
+//
+//   * a table whose primary key is exactly one foreign key is a SUBTYPE:
+//     it becomes a category of the referenced table's entity set;
+//   * a table whose primary key is composed of two or more foreign keys is a
+//     RELATIONSHIP: it becomes a relationship set over the referenced entity
+//     sets (remaining columns become relationship attributes);
+//   * every other table is an ENTITY SET; each of its non-key foreign keys
+//     becomes a binary relationship set <table>_<fk-column>_<referenced>
+//     with cardinality [0,1] on the referencing side (each row references at
+//     most one target) and [0,n] on the referenced side. The foreign-key
+//     columns themselves are dropped from the entity's attributes, being
+//     represented by the relationship.
+//
+// Primary-key columns map to key attributes.
+Result<ecr::Schema> RelationalToEcr(const RelationalSchema& relational);
+
+}  // namespace ecrint::translate
+
+#endif  // ECRINT_TRANSLATE_REL_TO_ECR_H_

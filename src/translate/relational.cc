@@ -1,0 +1,90 @@
+#include "translate/relational.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace ecrint::translate {
+
+const Column* Table::FindColumn(const std::string& name) const {
+  for (const Column& column : columns) {
+    if (column.name == name) return &column;
+  }
+  return nullptr;
+}
+
+bool Table::IsPrimaryKeyColumn(const std::string& name) const {
+  return std::find(primary_key.begin(), primary_key.end(), name) !=
+         primary_key.end();
+}
+
+Status RelationalSchema::AddTable(Table table) {
+  if (!IsIdentifier(table.name)) {
+    return InvalidArgumentError("'" + table.name +
+                                "' is not a valid table name");
+  }
+  if (FindTable(table.name) != nullptr) {
+    return AlreadyExistsError("table '" + table.name + "' already defined");
+  }
+  std::set<std::string> names;
+  for (const Column& column : table.columns) {
+    if (!names.insert(column.name).second) {
+      return AlreadyExistsError("column '" + column.name +
+                                "' duplicated in table '" + table.name + "'");
+    }
+  }
+  tables_.push_back(std::move(table));
+  return Status::Ok();
+}
+
+const Table* RelationalSchema::FindTable(const std::string& name) const {
+  for (const Table& table : tables_) {
+    if (table.name == name) return &table;
+  }
+  return nullptr;
+}
+
+Status RelationalSchema::Validate() const {
+  for (const Table& table : tables_) {
+    if (table.primary_key.empty()) {
+      return InvalidArgumentError("table '" + table.name +
+                                  "' has no primary key");
+    }
+    for (const std::string& column : table.primary_key) {
+      if (table.FindColumn(column) == nullptr) {
+        return NotFoundError("primary-key column '" + column +
+                             "' missing from table '" + table.name + "'");
+      }
+    }
+    for (const ForeignKey& fk : table.foreign_keys) {
+      const Table* referenced = FindTable(fk.referenced_table);
+      if (referenced == nullptr) {
+        return NotFoundError("table '" + table.name +
+                             "' references unknown table '" +
+                             fk.referenced_table + "'");
+      }
+      if (fk.columns.empty() ||
+          fk.columns.size() != fk.referenced_columns.size()) {
+        return InvalidArgumentError("malformed foreign key on table '" +
+                                    table.name + "'");
+      }
+      for (const std::string& column : fk.columns) {
+        if (table.FindColumn(column) == nullptr) {
+          return NotFoundError("foreign-key column '" + column +
+                               "' missing from table '" + table.name + "'");
+        }
+      }
+      for (const std::string& column : fk.referenced_columns) {
+        if (referenced->FindColumn(column) == nullptr) {
+          return NotFoundError("foreign key of '" + table.name +
+                               "' references unknown column '" + column +
+                               "' of '" + fk.referenced_table + "'");
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace ecrint::translate

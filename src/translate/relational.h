@@ -1,0 +1,58 @@
+#ifndef ECRINT_TRANSLATE_RELATIONAL_H_
+#define ECRINT_TRANSLATE_RELATIONAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ecr/domain.h"
+
+namespace ecrint::translate {
+
+// A minimal relational catalog — the input side of the Navathe & Awong 87
+// schema translation procedure the paper's phase 1 depends on.
+struct Column {
+  std::string name;
+  ecr::Domain domain;
+  bool nullable = false;
+};
+
+struct ForeignKey {
+  std::vector<std::string> columns;
+  std::string referenced_table;
+  std::vector<std::string> referenced_columns;
+};
+
+struct Table {
+  std::string name;
+  std::vector<Column> columns;
+  std::vector<std::string> primary_key;
+  std::vector<ForeignKey> foreign_keys;
+
+  const Column* FindColumn(const std::string& name) const;
+  bool IsPrimaryKeyColumn(const std::string& name) const;
+};
+
+// A named collection of tables with integrity checks.
+class RelationalSchema {
+ public:
+  explicit RelationalSchema(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Table>& tables() const { return tables_; }
+
+  Status AddTable(Table table);
+  const Table* FindTable(const std::string& name) const;
+
+  // Referential soundness: PK columns exist, FK columns exist and match the
+  // referenced table's PK arity, referenced tables exist.
+  Status Validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Table> tables_;
+};
+
+}  // namespace ecrint::translate
+
+#endif  // ECRINT_TRANSLATE_RELATIONAL_H_

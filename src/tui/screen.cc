@@ -1,0 +1,80 @@
+#include "tui/screen.h"
+
+#include <algorithm>
+
+namespace ecrint::tui {
+
+Screen::Screen(int rows, int cols)
+    : rows_(rows), cols_(cols), grid_(rows, std::string(cols, ' ')) {}
+
+void Screen::Put(int row, int col, std::string_view text) {
+  if (row < 0 || row >= rows_ || col >= cols_) return;
+  for (size_t i = 0; i < text.size(); ++i) {
+    int c = col + static_cast<int>(i);
+    if (c < 0) continue;
+    if (c >= cols_) break;
+    grid_[row][c] = text[i];
+  }
+}
+
+void Screen::PutCentered(int row, std::string_view text) {
+  int col = (cols_ - static_cast<int>(text.size())) / 2;
+  Put(row, std::max(0, col), text);
+}
+
+void Screen::Box(int top, int left, int bottom, int right) {
+  if (top > bottom || left > right) return;
+  for (int c = left; c <= right; ++c) {
+    Put(top, c, "-");
+    Put(bottom, c, "-");
+  }
+  for (int r = top; r <= bottom; ++r) {
+    Put(r, left, "|");
+    Put(r, right, "|");
+  }
+  Put(top, left, "+");
+  Put(top, right, "+");
+  Put(bottom, left, "+");
+  Put(bottom, right, "+");
+}
+
+void Screen::HorizontalLine(int row, int left, int right) {
+  for (int c = left; c <= right; ++c) Put(row, c, "-");
+}
+
+std::string Screen::Render() const {
+  std::string out;
+  for (const std::string& line : grid_) {
+    size_t end = line.find_last_not_of(' ');
+    out += end == std::string::npos ? "" : line.substr(0, end + 1);
+    out += '\n';
+  }
+  return out;
+}
+
+int DrawTable(Screen& screen, int row, int left,
+              const std::vector<TableColumn>& columns,
+              const std::vector<std::vector<std::string>>& rows) {
+  int col = left;
+  int total = 0;
+  for (const TableColumn& column : columns) {
+    screen.Put(row, col, column.header.substr(
+                             0, static_cast<size_t>(column.width)));
+    col += column.width + 2;
+    total += column.width + 2;
+  }
+  screen.HorizontalLine(row + 1, left, left + total - 3);
+  int r = row + 2;
+  for (const std::vector<std::string>& cells : rows) {
+    col = left;
+    for (size_t i = 0; i < columns.size() && i < cells.size(); ++i) {
+      screen.Put(r, col, cells[i].substr(
+                             0, static_cast<size_t>(columns[i].width)));
+      col += columns[i].width + 2;
+    }
+    ++r;
+  }
+  return r;
+}
+
+}  // namespace ecrint::tui

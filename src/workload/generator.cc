@@ -1,0 +1,224 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <random>
+
+namespace ecrint::workload {
+
+namespace {
+
+// Word pools keep generated names realistic enough for the string-matching
+// heuristics to have something to chew on.
+constexpr const char* kConceptWords[] = {
+    "Person",   "Student",  "Course",   "Department", "Employee",
+    "Project",  "Invoice",  "Customer", "Supplier",   "Product",
+    "Order",    "Account",  "Building", "Vehicle",    "Patient",
+    "Doctor",   "Book",     "Author",   "City",       "Country",
+};
+constexpr const char* kAttributeWords[] = {
+    "Id",   "Name",   "Date",  "Amount", "Status",
+    "Code", "Type",   "Grade", "Salary", "Address",
+};
+// Synonym-style rename table used as rename noise; the heuristics module's
+// builtin dictionary knows several of these pairs.
+constexpr std::pair<const char*, const char*> kRenames[] = {
+    {"Id", "Identifier"}, {"Name", "Label"},    {"Date", "When"},
+    {"Amount", "Total"},  {"Status", "State"},  {"Code", "Num"},
+    {"Type", "Kind"},     {"Grade", "Score"},   {"Salary", "Pay"},
+    {"Address", "Location"},
+};
+
+ecr::Domain DomainFor(int attribute_index) {
+  switch (attribute_index % 5) {
+    case 0: return ecr::Domain::Int();
+    case 1: return ecr::Domain::Char();
+    case 2: return ecr::Domain::Date();
+    case 3: return ecr::Domain::Real();
+    default: return ecr::Domain::CharN(32);
+  }
+}
+
+struct Interval {
+  double lo;
+  double hi;
+};
+
+core::AssertionType RelationBetween(Interval a, Interval b) {
+  if (a.lo == b.lo && a.hi == b.hi) return core::AssertionType::kEquals;
+  if (a.lo <= b.lo && a.hi >= b.hi) return core::AssertionType::kContains;
+  if (b.lo <= a.lo && b.hi >= a.hi) return core::AssertionType::kContainedIn;
+  if (a.hi <= b.lo || b.hi <= a.lo) {
+    return core::AssertionType::kDisjointIntegrable;
+  }
+  return core::AssertionType::kMayBe;
+}
+
+std::string ConceptName(int index) {
+  constexpr int kPool = static_cast<int>(std::size(kConceptWords));
+  std::string name = kConceptWords[index % kPool];
+  if (index >= kPool) name += std::to_string(index / kPool + 1);
+  return name;
+}
+
+std::string AttributeName(int concept_index, int attribute_index) {
+  constexpr int kPool = static_cast<int>(std::size(kAttributeWords));
+  std::string name = kAttributeWords[attribute_index % kPool];
+  if (attribute_index >= kPool) name += std::to_string(attribute_index / kPool);
+  // Real schemas mix generic names (Name, Id) with concept-specific ones
+  // (Ssn, Dno); make half of the generated names concept-scoped.
+  if ((concept_index + attribute_index) % 2 == 0) {
+    name = ConceptName(concept_index).substr(0, 3) + "_" + name;
+  }
+  return name;
+}
+
+std::string MaybeRename(const std::string& name, double noise,
+                        std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  if (coin(rng) >= noise) return name;
+  for (const auto& [from, to] : kRenames) {
+    if (name.rfind(from, 0) == 0) {
+      return std::string(to) + name.substr(std::string(from).size());
+    }
+  }
+  // Fallback: truncation abbreviation.
+  return name.size() > 4 ? name.substr(0, 4) : name;
+}
+
+}  // namespace
+
+Result<Workload> GenerateWorkload(const GeneratorConfig& config) {
+  if (config.num_concepts <= 0 || config.num_schemas <= 0 ||
+      config.attributes_per_concept <= 0) {
+    return InvalidArgumentError("generator sizes must be positive");
+  }
+  std::mt19937_64 rng(config.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  Workload out;
+
+  // Per schema x concept: inclusion, extent, per-attribute inclusion, and
+  // the (possibly renamed) local names.
+  struct LocalConcept {
+    bool included = false;
+    Interval extent{0.0, 1.0};
+    std::string object_name;
+    std::vector<int> kept_attributes;       // world attribute indices
+    std::vector<std::string> local_names;   // parallel to kept_attributes
+  };
+  std::vector<std::vector<LocalConcept>> local(
+      config.num_schemas, std::vector<LocalConcept>(config.num_concepts));
+
+  constexpr Interval kExtentChoices[] = {
+      {0.0, 0.5}, {0.5, 1.0}, {0.25, 0.75}, {0.0, 0.75}, {0.25, 1.0}};
+
+  for (int s = 0; s < config.num_schemas; ++s) {
+    std::string schema_name = "view" + std::to_string(s + 1);
+    out.schema_names.push_back(schema_name);
+    ECRINT_ASSIGN_OR_RETURN(ecr::Schema * schema,
+                            out.catalog.CreateSchema(schema_name));
+    std::vector<ecr::ObjectId> local_entities;
+    for (int c = 0; c < config.num_concepts; ++c) {
+      LocalConcept& lc = local[s][c];
+      // The first schema takes everything so no concept is lost entirely.
+      lc.included = s == 0 || coin(rng) < config.concept_coverage;
+      double extent_roll = coin(rng);
+      int extent_pick = static_cast<int>(
+          coin(rng) * static_cast<double>(std::size(kExtentChoices)));
+      extent_pick = std::min<int>(extent_pick,
+                                  std::size(kExtentChoices) - 1);
+      if (extent_roll < config.partial_extent) {
+        lc.extent = kExtentChoices[extent_pick];
+      }
+      if (!lc.included) continue;
+      lc.object_name =
+          MaybeRename(ConceptName(c), config.rename_noise, rng);
+      while (schema->FindObject(lc.object_name) != ecr::kNoObject) {
+        lc.object_name += "_v";
+      }
+      ECRINT_ASSIGN_OR_RETURN(ecr::ObjectId id,
+                              schema->AddEntitySet(lc.object_name));
+      local_entities.push_back(id);
+      for (int a = 0; a < config.attributes_per_concept; ++a) {
+        // Keep the key attribute always so every entity has one.
+        if (a != 0 && coin(rng) >= config.attribute_coverage) continue;
+        lc.kept_attributes.push_back(a);
+        std::string name =
+            MaybeRename(AttributeName(c, a), config.rename_noise, rng);
+        // Local duplicates can arise from renames; disambiguate.
+        auto has_attribute = [&](const std::string& candidate) {
+          for (const ecr::Attribute& existing :
+               schema->object(id).attributes) {
+            if (existing.name == candidate) return true;
+          }
+          return false;
+        };
+        while (has_attribute(name)) name += "_v";
+        lc.local_names.push_back(name);
+        ECRINT_RETURN_IF_ERROR(schema->AddObjectAttribute(
+            id, {name, DomainFor(a), a == 0}));
+      }
+    }
+    // Random relationships among this schema's entities.
+    std::uniform_int_distribution<int> pick(
+        0, std::max<int>(0, static_cast<int>(local_entities.size()) - 1));
+    for (int r = 0;
+         r < config.relationships_per_schema && local_entities.size() >= 2;
+         ++r) {
+      ecr::ObjectId a = local_entities[pick(rng)];
+      ecr::ObjectId b = local_entities[pick(rng)];
+      if (a == b) continue;
+      std::string name = "R_" + schema->object(a).name + "_" +
+                         schema->object(b).name;
+      if (schema->FindRelationship(name) >= 0 ||
+          schema->FindObject(name) != ecr::kNoObject) {
+        continue;
+      }
+      ECRINT_RETURN_IF_ERROR(
+          schema
+              ->AddRelationship(
+                  name,
+                  {ecr::Participation{a, 0, ecr::kUnboundedCardinality, ""},
+                   ecr::Participation{b, 0, ecr::kUnboundedCardinality, ""}})
+              .status());
+    }
+  }
+
+  // Extents, for instance-level materialization.
+  for (int s = 0; s < config.num_schemas; ++s) {
+    for (int c = 0; c < config.num_concepts; ++c) {
+      const LocalConcept& lc = local[s][c];
+      if (!lc.included) continue;
+      out.extents.push_back({out.schema_names[s], lc.object_name, c,
+                             lc.extent.lo, lc.extent.hi});
+    }
+  }
+
+  // Ground truth across every schema pair.
+  for (int s = 0; s < config.num_schemas; ++s) {
+    for (int t = s + 1; t < config.num_schemas; ++t) {
+      for (int c = 0; c < config.num_concepts; ++c) {
+        const LocalConcept& lc1 = local[s][c];
+        const LocalConcept& lc2 = local[t][c];
+        if (!lc1.included || !lc2.included) continue;
+        out.object_relations.push_back(
+            {core::ObjectRef{out.schema_names[s], lc1.object_name},
+             core::ObjectRef{out.schema_names[t], lc2.object_name},
+             RelationBetween(lc1.extent, lc2.extent)});
+        for (size_t i = 0; i < lc1.kept_attributes.size(); ++i) {
+          for (size_t j = 0; j < lc2.kept_attributes.size(); ++j) {
+            if (lc1.kept_attributes[i] != lc2.kept_attributes[j]) continue;
+            out.attribute_matches.push_back(
+                {ecr::AttributePath{out.schema_names[s], lc1.object_name,
+                                    lc1.local_names[i]},
+                 ecr::AttributePath{out.schema_names[t], lc2.object_name,
+                                    lc2.local_names[j]}});
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ecrint::workload

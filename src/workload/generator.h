@@ -1,0 +1,70 @@
+#ifndef ECRINT_WORKLOAD_GENERATOR_H_
+#define ECRINT_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ecr/catalog.h"
+#include "core/assertion.h"
+#include "core/object_ref.h"
+
+namespace ecrint::workload {
+
+// Parameters of the synthetic-view generator used by the benchmarks. A
+// "world" of concepts is generated; each schema samples a subset of the
+// concepts and, per concept, an extent interval — so the true domain
+// relation between two schemas' versions of a concept is known exactly.
+struct GeneratorConfig {
+  uint64_t seed = 42;
+  int num_concepts = 20;           // world size
+  int num_schemas = 2;
+  int attributes_per_concept = 4;  // world attributes per concept
+  double concept_coverage = 0.8;   // P(schema includes a concept)
+  double attribute_coverage = 0.8; // P(schema keeps a concept's attribute)
+  double rename_noise = 0.2;       // P(attribute renamed in a schema)
+  double partial_extent = 0.4;     // P(schema sees a sub-extent of concept)
+  int relationships_per_schema = 3;
+};
+
+// One cross-schema attribute pair that truly describes the same world
+// attribute.
+struct TrueAttributeMatch {
+  ecr::AttributePath first;
+  ecr::AttributePath second;
+};
+
+// One cross-schema object pair with its true domain assertion.
+struct TrueObjectRelation {
+  core::ObjectRef first;
+  core::ObjectRef second;
+  core::AssertionType assertion;
+};
+
+// Which slice of a concept's world extent a schema sees, as a half-open
+// interval over [0,1). Lets benches materialize consistent instance data:
+// world entity at position p belongs to the schema's class iff lo <= p < hi.
+struct LocalExtent {
+  std::string schema;
+  std::string object;
+  int concept_index = 0;
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+struct Workload {
+  ecr::Catalog catalog;
+  std::vector<std::string> schema_names;
+  std::vector<TrueAttributeMatch> attribute_matches;
+  std::vector<TrueObjectRelation> object_relations;
+  std::vector<LocalExtent> extents;
+};
+
+// Deterministic for a given config (same seed => same workload).
+Result<Workload> GenerateWorkload(const GeneratorConfig& config);
+
+}  // namespace ecrint::workload
+
+#endif  // ECRINT_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,109 @@
+#include "workload/metrics.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace ecrint::workload {
+
+std::string RankingQuality::ToString() const {
+  return "P@k=" + FormatFixed(precision_at_k, 3) +
+         " R@k=" + FormatFixed(recall_at_k, 3) +
+         " AP=" + FormatFixed(average_precision, 3) + " (" +
+         std::to_string(true_pairs) + " true pairs, " +
+         std::to_string(ranked_pairs) + " ranked)";
+}
+
+std::string SuggestionQuality::ToString() const {
+  return "precision=" + FormatFixed(precision, 3) +
+         " recall=" + FormatFixed(recall, 3) + " (" +
+         std::to_string(correct) + "/" + std::to_string(suggested) +
+         " correct, " + std::to_string(possible) + " possible)";
+}
+
+namespace {
+
+using RefPair = std::pair<core::ObjectRef, core::ObjectRef>;
+
+RefPair Normalized(const core::ObjectRef& a, const core::ObjectRef& b) {
+  return a < b ? RefPair{a, b} : RefPair{b, a};
+}
+
+}  // namespace
+
+RankingQuality EvaluateRanking(
+    const Workload& workload, const std::string& schema1,
+    const std::string& schema2,
+    const std::vector<std::pair<core::ObjectRef, core::ObjectRef>>& ranking) {
+  std::set<RefPair> truth;
+  for (const TrueObjectRelation& relation : workload.object_relations) {
+    bool in_pair = (relation.first.schema == schema1 &&
+                    relation.second.schema == schema2) ||
+                   (relation.first.schema == schema2 &&
+                    relation.second.schema == schema1);
+    if (in_pair) truth.insert(Normalized(relation.first, relation.second));
+  }
+
+  RankingQuality quality;
+  quality.true_pairs = static_cast<int>(truth.size());
+  quality.ranked_pairs = static_cast<int>(ranking.size());
+  if (truth.empty() || ranking.empty()) return quality;
+
+  int k = quality.true_pairs;
+  int hits_at_k = 0;
+  int hits = 0;
+  double precision_sum = 0.0;
+  for (size_t i = 0; i < ranking.size(); ++i) {
+    bool correct =
+        truth.count(Normalized(ranking[i].first, ranking[i].second)) > 0;
+    if (correct) {
+      ++hits;
+      precision_sum +=
+          static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+    if (static_cast<int>(i) < k && correct) ++hits_at_k;
+  }
+  quality.precision_at_k =
+      static_cast<double>(hits_at_k) / static_cast<double>(k);
+  quality.recall_at_k = quality.precision_at_k;  // k == |truth|
+  quality.average_precision =
+      precision_sum / static_cast<double>(quality.true_pairs);
+  return quality;
+}
+
+SuggestionQuality EvaluateSuggestions(
+    const Workload& workload, const std::string& schema1,
+    const std::string& schema2,
+    const std::vector<std::pair<ecr::AttributePath, ecr::AttributePath>>&
+        suggestions) {
+  using PathPair = std::pair<ecr::AttributePath, ecr::AttributePath>;
+  auto normalized = [](const ecr::AttributePath& a,
+                       const ecr::AttributePath& b) {
+    return a < b ? PathPair{a, b} : PathPair{b, a};
+  };
+  std::set<PathPair> truth;
+  for (const TrueAttributeMatch& match : workload.attribute_matches) {
+    bool in_pair =
+        (match.first.schema == schema1 && match.second.schema == schema2) ||
+        (match.first.schema == schema2 && match.second.schema == schema1);
+    if (in_pair) truth.insert(normalized(match.first, match.second));
+  }
+  SuggestionQuality quality;
+  quality.possible = static_cast<int>(truth.size());
+  quality.suggested = static_cast<int>(suggestions.size());
+  for (const auto& [a, b] : suggestions) {
+    if (truth.count(normalized(a, b))) ++quality.correct;
+  }
+  if (quality.suggested > 0) {
+    quality.precision = static_cast<double>(quality.correct) /
+                        static_cast<double>(quality.suggested);
+  }
+  if (quality.possible > 0) {
+    quality.recall = static_cast<double>(quality.correct) /
+                     static_cast<double>(quality.possible);
+  }
+  return quality;
+}
+
+}  // namespace ecrint::workload

@@ -1,0 +1,54 @@
+#ifndef ECRINT_WORKLOAD_METRICS_H_
+#define ECRINT_WORKLOAD_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/object_ref.h"
+#include "workload/generator.h"
+
+namespace ecrint::workload {
+
+// Ranking quality of a candidate-pair list against ground truth: how much
+// DDA review effort the heuristic saves. A perfect ranking puts every true
+// pair before every false one.
+struct RankingQuality {
+  int true_pairs = 0;       // ground-truth pairs present in the ranking
+  int ranked_pairs = 0;     // length of the ranking
+  double precision_at_k = 0.0;  // k = number of true pairs
+  double recall_at_k = 0.0;
+  double average_precision = 0.0;  // MAP over the single query
+
+  std::string ToString() const;
+};
+
+// Evaluates an ordered list of (first, second) structure pairs against the
+// true object matches of `workload` restricted to the given schema pair.
+// A ranked pair counts as correct if the two structures version the same
+// concept (any true relation).
+RankingQuality EvaluateRanking(
+    const Workload& workload, const std::string& schema1,
+    const std::string& schema2,
+    const std::vector<std::pair<core::ObjectRef, core::ObjectRef>>& ranking);
+
+// Precision/recall of suggested attribute equivalences against the true
+// attribute matches of the schema pair.
+struct SuggestionQuality {
+  int suggested = 0;
+  int correct = 0;
+  int possible = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+
+  std::string ToString() const;
+};
+
+SuggestionQuality EvaluateSuggestions(
+    const Workload& workload, const std::string& schema1,
+    const std::string& schema2,
+    const std::vector<std::pair<ecr::AttributePath, ecr::AttributePath>>&
+        suggestions);
+
+}  // namespace ecrint::workload
+
+#endif  // ECRINT_WORKLOAD_METRICS_H_

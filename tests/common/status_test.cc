@@ -1,0 +1,105 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/result.h"
+
+namespace ecrint {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFoundError("no schema 'x'");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no schema 'x'");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: no schema 'x'");
+}
+
+TEST(StatusTest, EveryConstructorMapsToItsCode) {
+  EXPECT_EQ(InvalidArgumentError("m").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("m").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("m").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPreconditionError("m").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ConflictError("m").code(), StatusCode::kConflict);
+  EXPECT_EQ(ParseError("m").code(), StatusCode::kParseError);
+  EXPECT_EQ(InternalError("m").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(NotFoundError("a"), NotFoundError("a"));
+  EXPECT_FALSE(NotFoundError("a") == NotFoundError("b"));
+  EXPECT_FALSE(NotFoundError("a") == InternalError("a"));
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kConflict), "CONFLICT");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "PARSE_ERROR");
+}
+
+Status ReturnIfErrorHelper(bool fail, int* reached) {
+  ECRINT_RETURN_IF_ERROR(fail ? InternalError("boom") : Status::Ok());
+  *reached = 1;
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  int reached = 0;
+  Status s = ReturnIfErrorHelper(true, &reached);
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(reached, 0);
+  s = ReturnIfErrorHelper(false, &reached);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(reached, 1);
+}
+
+Result<int> MakeResult(bool fail) {
+  if (fail) return InvalidArgumentError("nope");
+  return 42;
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> good = MakeResult(false);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  Result<int> bad = MakeResult(true);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> AssignOrReturnHelper(bool fail) {
+  ECRINT_ASSIGN_OR_RETURN(int v, MakeResult(fail));
+  return v + 1;
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesAndUnwraps) {
+  Result<int> good = AssignOrReturnHelper(false);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 43);
+  Result<int> bad = AssignOrReturnHelper(true);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  auto make = []() -> Result<std::unique_ptr<int>> {
+    return std::make_unique<int>(7);
+  };
+  Result<std::unique_ptr<int>> r = make();
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+}  // namespace
+}  // namespace ecrint

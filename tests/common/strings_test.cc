@@ -1,0 +1,57 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace ecrint {
+namespace {
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  abc \t\n"), "abc");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace("a b"), "a b");
+}
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, JoinRoundTripsSplit) {
+  std::vector<std::string> pieces = {"sc1", "Student", "Name"};
+  std::string joined = Join(pieces, ".");
+  EXPECT_EQ(joined, "sc1.Student.Name");
+  EXPECT_EQ(Split(joined, '.'), pieces);
+}
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(ToLower("Grad_Student"), "grad_student");
+  EXPECT_EQ(ToLower("ABC123"), "abc123");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("D_Stud_Facu", "D_"));
+  EXPECT_FALSE(StartsWith("Student", "D_"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+TEST(StringsTest, FormatFixedMatchesPaperScreens) {
+  // Screen 8 renders attribute ratios with four decimals.
+  EXPECT_EQ(FormatFixed(0.5, 4), "0.5000");
+  EXPECT_EQ(FormatFixed(1.0 / 3.0, 4), "0.3333");
+  EXPECT_EQ(FormatFixed(2, 0), "2");
+}
+
+TEST(StringsTest, IsIdentifier) {
+  EXPECT_TRUE(IsIdentifier("Grad_student"));
+  EXPECT_TRUE(IsIdentifier("_x1"));
+  EXPECT_FALSE(IsIdentifier("1abc"));
+  EXPECT_FALSE(IsIdentifier(""));
+  EXPECT_FALSE(IsIdentifier("has space"));
+  EXPECT_FALSE(IsIdentifier("dot.ted"));
+}
+
+}  // namespace
+}  // namespace ecrint

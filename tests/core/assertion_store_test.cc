@@ -1,0 +1,279 @@
+#include "core/assertion_store.h"
+
+#include <gtest/gtest.h>
+
+namespace ecrint::core {
+namespace {
+
+const ObjectRef kWorker{"sc1", "Worker"};
+const ObjectRef kEmployee{"sc2", "Employee"};
+const ObjectRef kPerson{"sc3", "Person"};
+
+TEST(AssertionStoreTest, UnknownPairsAreUnconstrained) {
+  AssertionStore store;
+  EXPECT_EQ(store.PossibleRelations(kWorker, kEmployee), kAnyRelation);
+  EXPECT_FALSE(store.EstablishedRelation(kWorker, kEmployee).ok());
+  EXPECT_FALSE(store.IsIntegrating(kWorker, kEmployee));
+}
+
+TEST(AssertionStoreTest, AssertPinsRelationBothWays) {
+  AssertionStore store;
+  ASSERT_TRUE(store.Assert(kWorker, kEmployee,
+                           AssertionType::kContainedIn).ok());
+  ASSERT_TRUE(store.EstablishedRelation(kWorker, kEmployee).ok());
+  EXPECT_EQ(*store.EstablishedRelation(kWorker, kEmployee),
+            SetRelation::kSubset);
+  EXPECT_EQ(*store.EstablishedRelation(kEmployee, kWorker),
+            SetRelation::kSuperset);
+  EXPECT_TRUE(store.IsIntegrating(kWorker, kEmployee));
+}
+
+TEST(AssertionStoreTest, PaperDerivationExample) {
+  // "if Worker is subset of Employee and Employee is subset of Person, then
+  //  Worker must be subset of Person" (Section 1).
+  AssertionStore store;
+  ASSERT_TRUE(store.Assert(kWorker, kEmployee,
+                           AssertionType::kContainedIn).ok());
+  ASSERT_TRUE(store.Assert(kEmployee, kPerson,
+                           AssertionType::kContainedIn).ok());
+  ASSERT_TRUE(store.EstablishedRelation(kWorker, kPerson).ok());
+  EXPECT_EQ(*store.EstablishedRelation(kWorker, kPerson),
+            SetRelation::kSubset);
+
+  std::vector<AssertionStore::DerivedFact> facts = store.DerivedFacts();
+  ASSERT_EQ(facts.size(), 1u);
+  EXPECT_EQ(facts[0].relation, SetRelation::kSubset);
+  EXPECT_EQ(facts[0].supporting.size(), 2u);
+}
+
+TEST(AssertionStoreTest, PaperConflictExample) {
+  // "if Employee is equivalent to Person, and Person is equivalent to
+  //  Worker, then Worker cannot be a subset of Employee" (Section 1).
+  AssertionStore store;
+  ASSERT_TRUE(store.Assert(kEmployee, kPerson, AssertionType::kEquals).ok());
+  ASSERT_TRUE(store.Assert(kPerson, kWorker, AssertionType::kEquals).ok());
+  Result<ConflictReport> r =
+      store.Assert(kWorker, kEmployee, AssertionType::kContainedIn);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kConflict);
+  // The store is unchanged: the pair is still pinned to "equal".
+  EXPECT_EQ(*store.EstablishedRelation(kWorker, kEmployee),
+            SetRelation::kEqual);
+  EXPECT_EQ(store.user_assertions().size(), 2u);
+}
+
+TEST(AssertionStoreTest, Screen9ConflictScenario) {
+  // Screen 9: sc3.Instructor ⊆ sc4.Grad_student and
+  // sc4.Grad_student ⊆ sc4.Student derive sc3.Instructor ⊆ sc4.Student;
+  // the new assertion "Instructor and Student are disjoint" conflicts.
+  const ObjectRef instructor{"sc3", "Instructor"};
+  const ObjectRef grad{"sc4", "Grad_student"};
+  const ObjectRef student{"sc4", "Student"};
+  AssertionStore store;
+  ASSERT_TRUE(
+      store.Assert(instructor, grad, AssertionType::kContainedIn).ok());
+  ASSERT_TRUE(store.Assert(grad, student, AssertionType::kContainedIn).ok());
+
+  // The derived fact exists and names its supporting assertions, which is
+  // what the Assertion Conflict Resolution Screen displays.
+  std::vector<AssertionStore::DerivedFact> facts = store.DerivedFacts();
+  ASSERT_EQ(facts.size(), 1u);
+  EXPECT_EQ(facts[0].first, instructor);
+  EXPECT_EQ(facts[0].second, student);
+  EXPECT_EQ(facts[0].relation, SetRelation::kSubset);
+  ASSERT_EQ(facts[0].supporting.size(), 2u);
+
+  Result<ConflictReport> r = store.Assert(
+      instructor, student, AssertionType::kDisjointNonintegrable);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kConflict);
+  EXPECT_NE(r.status().message().find("derived"), std::string::npos);
+  EXPECT_NE(r.status().message().find("sc3.Instructor"), std::string::npos);
+  // Both supporting assertions are listed for the DDA.
+  EXPECT_NE(r.status().message().find(
+                "sc3.Instructor contained in sc4.Grad_student"),
+            std::string::npos);
+  EXPECT_NE(r.status().message().find(
+                "sc4.Grad_student contained in sc4.Student"),
+            std::string::npos);
+}
+
+TEST(AssertionStoreTest, DirectContradictionReportsAsserted) {
+  AssertionStore store;
+  ASSERT_TRUE(store.Assert(kWorker, kEmployee, AssertionType::kEquals).ok());
+  Result<ConflictReport> r =
+      store.Assert(kWorker, kEmployee, AssertionType::kMayBe);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("asserted"), std::string::npos);
+}
+
+TEST(AssertionStoreTest, ReassertingCompatibleFactIsOk) {
+  AssertionStore store;
+  ASSERT_TRUE(store.Assert(kWorker, kEmployee, AssertionType::kEquals).ok());
+  EXPECT_TRUE(store.Assert(kWorker, kEmployee, AssertionType::kEquals).ok());
+  EXPECT_TRUE(store.Assert(kEmployee, kWorker, AssertionType::kEquals).ok());
+}
+
+TEST(AssertionStoreTest, EqualityChainsPropagate) {
+  AssertionStore store;
+  ASSERT_TRUE(store.Assert(kWorker, kEmployee, AssertionType::kEquals).ok());
+  ASSERT_TRUE(store.Assert(kEmployee, kPerson, AssertionType::kEquals).ok());
+  EXPECT_EQ(*store.EstablishedRelation(kWorker, kPerson),
+            SetRelation::kEqual);
+}
+
+TEST(AssertionStoreTest, DisjointPropagatesThroughContainment) {
+  // A ⊆ B, B disjoint C ⇒ A disjoint C.
+  const ObjectRef a{"s1", "A"};
+  const ObjectRef b{"s2", "B"};
+  const ObjectRef c{"s3", "C"};
+  AssertionStore store;
+  ASSERT_TRUE(store.Assert(a, b, AssertionType::kContainedIn).ok());
+  ASSERT_TRUE(
+      store.Assert(b, c, AssertionType::kDisjointNonintegrable).ok());
+  EXPECT_EQ(*store.EstablishedRelation(a, c), SetRelation::kDisjoint);
+  // A derived disjointness does not connect a cluster.
+  EXPECT_FALSE(store.IsIntegrating(a, c));
+}
+
+TEST(AssertionStoreTest, LongChainPropagates) {
+  AssertionStore store;
+  constexpr int kLength = 12;
+  for (int i = 0; i + 1 < kLength; ++i) {
+    ASSERT_TRUE(store.Assert(ObjectRef{"s", "O" + std::to_string(i)},
+                             ObjectRef{"s", "O" + std::to_string(i + 1)},
+                             AssertionType::kContainedIn)
+                    .ok());
+  }
+  EXPECT_EQ(*store.EstablishedRelation(
+                ObjectRef{"s", "O0"},
+                ObjectRef{"s", "O" + std::to_string(kLength - 1)}),
+            SetRelation::kSubset);
+  // And a contradiction at the far end is caught.
+  Result<ConflictReport> r = store.Assert(
+      ObjectRef{"s", "O0"}, ObjectRef{"s", "O" + std::to_string(kLength - 1)},
+      AssertionType::kDisjointNonintegrable);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(AssertionStoreTest, OverlapGivesWeakConstraints) {
+  AssertionStore store;
+  ASSERT_TRUE(store.Assert(kWorker, kEmployee, AssertionType::kMayBe).ok());
+  ASSERT_TRUE(store.Assert(kEmployee, kPerson, AssertionType::kMayBe).ok());
+  // overlap o overlap constrains nothing.
+  EXPECT_EQ(store.PossibleRelations(kWorker, kPerson), kAnyRelation);
+  EXPECT_FALSE(store.IsIntegrating(kWorker, kPerson));
+}
+
+TEST(AssertionStoreTest, MixedChainRefinesWithoutPinning) {
+  // A ⊂ B, B overlap C: A vs C can be subset, overlap or disjoint but not
+  // equal or superset.
+  AssertionStore store;
+  ASSERT_TRUE(
+      store.Assert(kWorker, kEmployee, AssertionType::kContainedIn).ok());
+  ASSERT_TRUE(store.Assert(kEmployee, kPerson, AssertionType::kMayBe).ok());
+  RelationSet possible = store.PossibleRelations(kWorker, kPerson);
+  EXPECT_FALSE(Contains(possible, SetRelation::kEqual));
+  EXPECT_FALSE(Contains(possible, SetRelation::kSuperset));
+  EXPECT_TRUE(Contains(possible, SetRelation::kSubset));
+  EXPECT_TRUE(Contains(possible, SetRelation::kOverlap));
+  EXPECT_TRUE(Contains(possible, SetRelation::kDisjoint));
+}
+
+TEST(AssertionStoreTest, SelfPairIsEqual) {
+  AssertionStore store;
+  store.AddObject(kWorker);
+  EXPECT_EQ(*store.EstablishedRelation(kWorker, kWorker),
+            SetRelation::kEqual);
+  // Asserting anything non-equal about a structure and itself conflicts.
+  EXPECT_FALSE(
+      store.Assert(kWorker, kWorker, AssertionType::kContains).ok());
+  EXPECT_TRUE(store.Assert(kWorker, kWorker, AssertionType::kEquals).ok());
+}
+
+TEST(AssertionStoreTest, IntegrabilityFollowsUserIntent) {
+  AssertionStore store;
+  const ObjectRef sec{"sc1", "Secretary"};
+  const ObjectRef eng{"sc2", "Engineer"};
+  ASSERT_TRUE(
+      store.Assert(sec, eng, AssertionType::kDisjointIntegrable).ok());
+  EXPECT_TRUE(store.IsIntegrating(sec, eng));
+
+  AssertionStore store2;
+  ASSERT_TRUE(
+      store2.Assert(sec, eng, AssertionType::kDisjointNonintegrable).ok());
+  EXPECT_FALSE(store2.IsIntegrating(sec, eng));
+}
+
+TEST(AssertionStoreTest, SupportingAssertionsForUserPairIncludeIt) {
+  AssertionStore store;
+  ASSERT_TRUE(
+      store.Assert(kWorker, kEmployee, AssertionType::kContainedIn).ok());
+  std::vector<Assertion> support =
+      store.SupportingAssertions(kWorker, kEmployee);
+  ASSERT_EQ(support.size(), 1u);
+  EXPECT_EQ(support[0].type, AssertionType::kContainedIn);
+}
+
+TEST(AssertionStoreTest, ContradictionAmongThreeEqualities) {
+  // A = B, A = C, then B disjoint C must fail (B = C is derived).
+  AssertionStore store;
+  const ObjectRef a{"s1", "A"};
+  const ObjectRef b{"s2", "B"};
+  const ObjectRef c{"s3", "C"};
+  ASSERT_TRUE(store.Assert(a, b, AssertionType::kEquals).ok());
+  ASSERT_TRUE(store.Assert(a, c, AssertionType::kEquals).ok());
+  EXPECT_EQ(*store.EstablishedRelation(b, c), SetRelation::kEqual);
+  EXPECT_FALSE(
+      store.Assert(b, c, AssertionType::kDisjointNonintegrable).ok());
+}
+
+TEST(AssertionStoreTest, ConstrainNarrowsWithoutUserAssertion) {
+  AssertionStore store;
+  // Closed-world key reasoning: the key domains exclude equality and
+  // containment.
+  RelationSet bound = MaskOf(SetRelation::kOverlap) |
+                      MaskOf(SetRelation::kDisjoint);
+  ASSERT_TRUE(store.Constrain(kWorker, kEmployee, bound).ok());
+  EXPECT_EQ(store.PossibleRelations(kWorker, kEmployee), bound);
+  EXPECT_EQ(store.PossibleRelations(kEmployee, kWorker), bound);
+  EXPECT_TRUE(store.user_assertions().empty());
+  // A later assertion inside the bound is fine; outside it conflicts.
+  EXPECT_FALSE(store.Assert(kWorker, kEmployee,
+                            AssertionType::kEquals).ok());
+  EXPECT_TRUE(store.Assert(kWorker, kEmployee, AssertionType::kMayBe).ok());
+}
+
+TEST(AssertionStoreTest, ConstrainPropagatesAndRollsBack) {
+  AssertionStore store;
+  ASSERT_TRUE(store.Assert(kWorker, kEmployee,
+                           AssertionType::kContainedIn).ok());
+  ASSERT_TRUE(store.Assert(kEmployee, kPerson,
+                           AssertionType::kContainedIn).ok());
+  // Constraining Worker/Person to disjoint contradicts the derived subset.
+  Result<ConflictReport> r = store.Constrain(
+      kWorker, kPerson, MaskOf(SetRelation::kDisjoint));
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("{|}"), std::string::npos);
+  EXPECT_EQ(*store.EstablishedRelation(kWorker, kPerson),
+            SetRelation::kSubset);
+  // A redundant constraint is accepted and changes nothing.
+  EXPECT_TRUE(store.Constrain(kWorker, kPerson, kAnyRelation).ok());
+}
+
+TEST(AssertionStoreTest, RollbackRestoresDerivedState) {
+  AssertionStore store;
+  const ObjectRef a{"s1", "A"};
+  const ObjectRef b{"s2", "B"};
+  const ObjectRef c{"s3", "C"};
+  ASSERT_TRUE(store.Assert(a, b, AssertionType::kContainedIn).ok());
+  ASSERT_TRUE(store.Assert(b, c, AssertionType::kContainedIn).ok());
+  size_t derived_before = store.DerivedFacts().size();
+  // c ⊆ a would close a proper-containment cycle: conflict.
+  ASSERT_FALSE(store.Assert(c, a, AssertionType::kContainedIn).ok());
+  EXPECT_EQ(store.DerivedFacts().size(), derived_before);
+  EXPECT_EQ(*store.EstablishedRelation(a, c), SetRelation::kSubset);
+}
+
+}  // namespace
+}  // namespace ecrint::core

@@ -1,0 +1,79 @@
+#include "core/assertion.h"
+
+#include <gtest/gtest.h>
+
+namespace ecrint::core {
+namespace {
+
+TEST(AssertionTest, MenuCodesRoundTrip) {
+  for (int code = 0; code <= 5; ++code) {
+    Result<AssertionType> type = AssertionTypeFromCode(code);
+    ASSERT_TRUE(type.ok()) << code;
+    EXPECT_EQ(AssertionTypeCode(*type), code);
+  }
+  EXPECT_FALSE(AssertionTypeFromCode(-1).ok());
+  EXPECT_FALSE(AssertionTypeFromCode(6).ok());
+}
+
+TEST(AssertionTest, MenuCodesMatchScreen8) {
+  // 1 - equals, 2 - contained in, 3 - contains, 4 - disjoint but
+  // integratable, 5 - may be integratable, 0 - disjoint & non-integratable.
+  EXPECT_EQ(AssertionTypeCode(AssertionType::kEquals), 1);
+  EXPECT_EQ(AssertionTypeCode(AssertionType::kContainedIn), 2);
+  EXPECT_EQ(AssertionTypeCode(AssertionType::kContains), 3);
+  EXPECT_EQ(AssertionTypeCode(AssertionType::kDisjointIntegrable), 4);
+  EXPECT_EQ(AssertionTypeCode(AssertionType::kMayBe), 5);
+  EXPECT_EQ(AssertionTypeCode(AssertionType::kDisjointNonintegrable), 0);
+}
+
+TEST(AssertionTest, RelationOfMapsToDomainRelations) {
+  EXPECT_EQ(RelationOf(AssertionType::kEquals), SetRelation::kEqual);
+  EXPECT_EQ(RelationOf(AssertionType::kContainedIn), SetRelation::kSubset);
+  EXPECT_EQ(RelationOf(AssertionType::kContains), SetRelation::kSuperset);
+  EXPECT_EQ(RelationOf(AssertionType::kMayBe), SetRelation::kOverlap);
+  EXPECT_EQ(RelationOf(AssertionType::kDisjointIntegrable),
+            SetRelation::kDisjoint);
+  EXPECT_EQ(RelationOf(AssertionType::kDisjointNonintegrable),
+            SetRelation::kDisjoint);
+}
+
+TEST(AssertionTest, OnlyDisjointNonintegrableBlocksIntegration) {
+  EXPECT_FALSE(IsIntegrating(AssertionType::kDisjointNonintegrable));
+  EXPECT_TRUE(IsIntegrating(AssertionType::kEquals));
+  EXPECT_TRUE(IsIntegrating(AssertionType::kContains));
+  EXPECT_TRUE(IsIntegrating(AssertionType::kContainedIn));
+  EXPECT_TRUE(IsIntegrating(AssertionType::kMayBe));
+  EXPECT_TRUE(IsIntegrating(AssertionType::kDisjointIntegrable));
+}
+
+TEST(AssertionTest, ConverseSwapsContainmentOnly) {
+  EXPECT_EQ(ConverseAssertion(AssertionType::kContains),
+            AssertionType::kContainedIn);
+  EXPECT_EQ(ConverseAssertion(AssertionType::kContainedIn),
+            AssertionType::kContains);
+  EXPECT_EQ(ConverseAssertion(AssertionType::kEquals),
+            AssertionType::kEquals);
+  EXPECT_EQ(ConverseAssertion(AssertionType::kMayBe), AssertionType::kMayBe);
+}
+
+TEST(AssertionTest, ToStringReadsLikeTheScreenMenu) {
+  Assertion a{{"sc1", "Student"}, {"sc2", "Grad_student"},
+              AssertionType::kContains};
+  EXPECT_EQ(a.ToString(), "sc1.Student contains sc2.Grad_student");
+  Assertion b{{"sc1", "A"}, {"sc2", "B"},
+              AssertionType::kDisjointNonintegrable};
+  EXPECT_EQ(b.ToString(), "sc1.A are disjoint & non-integratable sc2.B");
+}
+
+TEST(ObjectRefTest, OrderingAndFormatting) {
+  ObjectRef a{"sc1", "Student"};
+  ObjectRef b{"sc1", "Department"};
+  ObjectRef c{"sc2", "Student"};
+  EXPECT_EQ(a.ToString(), "sc1.Student");
+  EXPECT_LT(b, a);  // same schema, name order
+  EXPECT_LT(a, c);  // schema order first
+  EXPECT_EQ(a, (ObjectRef{"sc1", "Student"}));
+}
+
+}  // namespace
+}  // namespace ecrint::core

@@ -1,0 +1,148 @@
+#include "core/attribute_equivalence.h"
+
+#include <gtest/gtest.h>
+
+#include "ecr/builder.h"
+
+namespace ecrint::core {
+namespace {
+
+using ecr::Attribute;
+using ecr::Domain;
+using ecr::SchemaBuilder;
+
+TEST(AttributeCorrespondenceTest, ClassifiesByDomain) {
+  Attribute ssn_wide{"Ssn", Domain::IntRange(0, 999999999), true};
+  Attribute ssn_narrow{"Ssn", Domain::IntRange(1000, 2000), true};
+  Attribute ssn_other{"Ssn", Domain::IntRange(5000, 9000), true};
+  Attribute ssn_overlap{"Ssn", Domain::IntRange(1500, 6000), true};
+
+  EXPECT_EQ(ClassifyAttributeCorrespondence(ssn_wide, ssn_wide),
+            AttributeRelation::kEqual);
+  EXPECT_EQ(ClassifyAttributeCorrespondence(ssn_wide, ssn_narrow),
+            AttributeRelation::kContains);
+  EXPECT_EQ(ClassifyAttributeCorrespondence(ssn_narrow, ssn_wide),
+            AttributeRelation::kContainedIn);
+  EXPECT_EQ(ClassifyAttributeCorrespondence(ssn_narrow, ssn_other),
+            AttributeRelation::kDisjoint);
+  EXPECT_EQ(ClassifyAttributeCorrespondence(ssn_narrow, ssn_overlap),
+            AttributeRelation::kOverlap);
+}
+
+TEST(AttributeCorrespondenceTest, RelationNames) {
+  EXPECT_STREQ(AttributeRelationName(AttributeRelation::kEqual), "equal");
+  EXPECT_STREQ(AttributeRelationName(AttributeRelation::kOverlap),
+               "overlap");
+}
+
+TEST(ObjectRelationBoundTest, DeclaredInterpretationOnlyProvesDisjoint) {
+  EXPECT_EQ(ObjectRelationBound(AttributeRelation::kDisjoint,
+                                DomainInterpretation::kDeclared),
+            MaskOf(SetRelation::kDisjoint));
+  for (AttributeRelation r :
+       {AttributeRelation::kEqual, AttributeRelation::kContains,
+        AttributeRelation::kContainedIn, AttributeRelation::kOverlap}) {
+    EXPECT_EQ(ObjectRelationBound(r, DomainInterpretation::kDeclared),
+              kAnyRelation);
+  }
+}
+
+TEST(ObjectRelationBoundTest, ClosedWorldMirrorsKeyRelation) {
+  EXPECT_EQ(ObjectRelationBound(AttributeRelation::kEqual,
+                                DomainInterpretation::kClosedWorld),
+            MaskOf(SetRelation::kEqual));
+  EXPECT_EQ(ObjectRelationBound(AttributeRelation::kContainedIn,
+                                DomainInterpretation::kClosedWorld),
+            MaskOf(SetRelation::kSubset));
+  EXPECT_EQ(ObjectRelationBound(AttributeRelation::kOverlap,
+                                DomainInterpretation::kClosedWorld),
+            MaskOf(SetRelation::kOverlap));
+}
+
+TEST(CompatibleAssertionsTest, MapsRelationsToMenuCodes) {
+  std::vector<AssertionType> all = CompatibleAssertions(kAnyRelation);
+  EXPECT_EQ(all.size(), 6u);  // both disjoint codes included
+  std::vector<AssertionType> disjoint_only =
+      CompatibleAssertions(MaskOf(SetRelation::kDisjoint));
+  EXPECT_EQ(disjoint_only,
+            (std::vector<AssertionType>{
+                AssertionType::kDisjointIntegrable,
+                AssertionType::kDisjointNonintegrable}));
+  EXPECT_EQ(CompatibleAssertions(MaskOf(SetRelation::kEqual)),
+            std::vector<AssertionType>{AssertionType::kEquals});
+  EXPECT_TRUE(CompatibleAssertions(kNoRelation).empty());
+}
+
+ecr::Catalog AgeCatalog() {
+  ecr::Catalog catalog;
+  SchemaBuilder b1("all");
+  b1.Entity("Person")
+      .Attr("Pid", Domain::IntRange(0, 10000), true)
+      .Attr("Name", Domain::Char());
+  EXPECT_TRUE(catalog.AddSchema(*b1.Build()).ok());
+  SchemaBuilder b2("subset");
+  b2.Entity("Minor")
+      .Attr("Pid", Domain::IntRange(0, 5000), true)
+      .Attr("Name", Domain::Char());
+  b2.Entity("NoKeyHere");
+  EXPECT_TRUE(catalog.AddSchema(*b2.Build()).ok());
+  return catalog;
+}
+
+TEST(HintAssertionsTest, HintsPairsWithEquivalentKeys) {
+  ecr::Catalog catalog = AgeCatalog();
+  EquivalenceMap equivalence =
+      *EquivalenceMap::Create(catalog, {"all", "subset"});
+  ASSERT_TRUE(equivalence
+                  .DeclareEquivalent({"all", "Person", "Pid"},
+                                     {"subset", "Minor", "Pid"})
+                  .ok());
+  Result<std::vector<AssertionHint>> hints =
+      HintAssertions(catalog, equivalence, "all", "subset");
+  ASSERT_TRUE(hints.ok()) << hints.status();
+  ASSERT_EQ(hints->size(), 1u);
+  const AssertionHint& hint = (*hints)[0];
+  EXPECT_EQ(hint.first.ToString(), "all.Person");
+  EXPECT_EQ(hint.second.ToString(), "subset.Minor");
+  // Person's key domain contains Minor's.
+  EXPECT_EQ(hint.key_relation, AttributeRelation::kContains);
+  EXPECT_EQ(hint.bound, MaskOf(SetRelation::kSuperset));
+  EXPECT_EQ(hint.compatible,
+            std::vector<AssertionType>{AssertionType::kContains});
+  EXPECT_NE(hint.ToString().find("menu codes 3"), std::string::npos);
+}
+
+TEST(HintAssertionsTest, NoHintWithoutEquivalentKeys) {
+  ecr::Catalog catalog = AgeCatalog();
+  EquivalenceMap equivalence =
+      *EquivalenceMap::Create(catalog, {"all", "subset"});
+  // Only the non-key Name attributes declared equivalent.
+  ASSERT_TRUE(equivalence
+                  .DeclareEquivalent({"all", "Person", "Name"},
+                                     {"subset", "Minor", "Name"})
+                  .ok());
+  Result<std::vector<AssertionHint>> hints =
+      HintAssertions(catalog, equivalence, "all", "subset");
+  ASSERT_TRUE(hints.ok());
+  EXPECT_TRUE(hints->empty());
+}
+
+TEST(HintAssertionsTest, DeclaredInterpretationWidensBound) {
+  ecr::Catalog catalog = AgeCatalog();
+  EquivalenceMap equivalence =
+      *EquivalenceMap::Create(catalog, {"all", "subset"});
+  ASSERT_TRUE(equivalence
+                  .DeclareEquivalent({"all", "Person", "Pid"},
+                                     {"subset", "Minor", "Pid"})
+                  .ok());
+  Result<std::vector<AssertionHint>> hints = HintAssertions(
+      catalog, equivalence, "all", "subset",
+      DomainInterpretation::kDeclared);
+  ASSERT_TRUE(hints.ok());
+  ASSERT_EQ(hints->size(), 1u);
+  EXPECT_EQ((*hints)[0].bound, kAnyRelation);
+  EXPECT_EQ((*hints)[0].compatible.size(), 6u);
+}
+
+}  // namespace
+}  // namespace ecrint::core

@@ -1,0 +1,72 @@
+#include "core/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace ecrint::core {
+namespace {
+
+const ObjectRef A{"s1", "A"};
+const ObjectRef B{"s2", "B"};
+const ObjectRef C{"s2", "C"};
+const ObjectRef D{"s3", "D"};
+
+TEST(ClusterTest, NoAssertionsGivesSingletons) {
+  AssertionStore store;
+  std::vector<Cluster> clusters = BuildClusters(store, {A, B, C});
+  ASSERT_EQ(clusters.size(), 3u);
+  for (const Cluster& c : clusters) EXPECT_EQ(c.members.size(), 1u);
+}
+
+TEST(ClusterTest, IntegratingAssertionsConnect) {
+  AssertionStore store;
+  ASSERT_TRUE(store.Assert(A, B, AssertionType::kEquals).ok());
+  ASSERT_TRUE(store.Assert(C, D, AssertionType::kDisjointIntegrable).ok());
+  std::vector<Cluster> clusters = BuildClusters(store, {A, B, C, D});
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0].members, (std::vector<ObjectRef>{A, B}));
+  EXPECT_EQ(clusters[1].members, (std::vector<ObjectRef>{C, D}));
+}
+
+TEST(ClusterTest, DisjointNonintegrableDoesNotConnect) {
+  // The paper: clusters connect by "any assertion except disjoint
+  // disintegrable".
+  AssertionStore store;
+  ASSERT_TRUE(
+      store.Assert(A, B, AssertionType::kDisjointNonintegrable).ok());
+  std::vector<Cluster> clusters = BuildClusters(store, {A, B});
+  EXPECT_EQ(clusters.size(), 2u);
+}
+
+TEST(ClusterTest, DerivedRelationsConnectTransitively) {
+  AssertionStore store;
+  ASSERT_TRUE(store.Assert(A, B, AssertionType::kContainedIn).ok());
+  ASSERT_TRUE(store.Assert(B, C, AssertionType::kContainedIn).ok());
+  // A ⊆ C is derived; all three must land in one cluster regardless.
+  std::vector<Cluster> clusters = BuildClusters(store, {A, B, C});
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].members.size(), 3u);
+}
+
+TEST(ClusterTest, UniverseControlsMembership) {
+  AssertionStore store;
+  ASSERT_TRUE(store.Assert(A, B, AssertionType::kEquals).ok());
+  // D unknown to the store still appears as a singleton; B excluded from the
+  // universe does not appear.
+  std::vector<Cluster> clusters = BuildClusters(store, {A, D});
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0].members, std::vector<ObjectRef>{A});
+  EXPECT_EQ(clusters[1].members, std::vector<ObjectRef>{D});
+}
+
+TEST(ClusterTest, DeterministicOrder) {
+  AssertionStore store;
+  ASSERT_TRUE(store.Assert(D, C, AssertionType::kEquals).ok());
+  std::vector<Cluster> clusters = BuildClusters(store, {D, C, A});
+  ASSERT_EQ(clusters.size(), 2u);
+  // Clusters sorted by smallest member; members sorted.
+  EXPECT_EQ(clusters[0].members, std::vector<ObjectRef>{A});
+  EXPECT_EQ(clusters[1].members, (std::vector<ObjectRef>{C, D}));
+}
+
+}  // namespace
+}  // namespace ecrint::core

@@ -1,0 +1,169 @@
+#include "core/nary.h"
+
+#include <gtest/gtest.h>
+
+#include "ecr/builder.h"
+
+namespace ecrint::core {
+namespace {
+
+using ecr::Domain;
+using ecr::SchemaBuilder;
+
+// Three views of a personnel world.
+struct Fixture {
+  ecr::Catalog catalog;
+  EquivalenceMap equivalence{*EquivalenceMap::Create(ecr::Catalog(), {})};
+  AssertionStore assertions;
+};
+
+Fixture MakeFixture() {
+  Fixture f;
+  SchemaBuilder b1("v1");
+  b1.Entity("Person")
+      .Attr("Ssn", Domain::Int(), true)
+      .Attr("Name", Domain::Char());
+  EXPECT_TRUE(f.catalog.AddSchema(*b1.Build()).ok());
+  SchemaBuilder b2("v2");
+  b2.Entity("Employee")
+      .Attr("Ssn", Domain::Int(), true)
+      .Attr("Salary", Domain::Real());
+  EXPECT_TRUE(f.catalog.AddSchema(*b2.Build()).ok());
+  SchemaBuilder b3("v3");
+  b3.Entity("Manager")
+      .Attr("Ssn", Domain::Int(), true)
+      .Attr("Bonus", Domain::Real());
+  EXPECT_TRUE(f.catalog.AddSchema(*b3.Build()).ok());
+
+  f.equivalence = *EquivalenceMap::Create(f.catalog, {"v1", "v2", "v3"});
+  EXPECT_TRUE(f.equivalence
+                  .DeclareEquivalent({"v1", "Person", "Ssn"},
+                                     {"v2", "Employee", "Ssn"})
+                  .ok());
+  EXPECT_TRUE(f.equivalence
+                  .DeclareEquivalent({"v2", "Employee", "Ssn"},
+                                     {"v3", "Manager", "Ssn"})
+                  .ok());
+  // Manager ⊂ Employee ⊂ Person.
+  EXPECT_TRUE(f.assertions
+                  .Assert({"v2", "Employee"}, {"v1", "Person"},
+                          AssertionType::kContainedIn)
+                  .ok());
+  EXPECT_TRUE(f.assertions
+                  .Assert({"v3", "Manager"}, {"v2", "Employee"},
+                          AssertionType::kContainedIn)
+                  .ok());
+  return f;
+}
+
+TEST(BinaryLadderTest, ProducesSameLatticeAsNary) {
+  Fixture f = MakeFixture();
+  Result<IntegrationResult> nary = Integrate(
+      f.catalog, {"v1", "v2", "v3"}, f.equivalence, f.assertions);
+  ASSERT_TRUE(nary.ok()) << nary.status();
+  Result<IntegrationResult> ladder = IntegrateBinaryLadder(
+      f.catalog, {"v1", "v2", "v3"}, f.equivalence, f.assertions);
+  ASSERT_TRUE(ladder.ok()) << ladder.status();
+
+  for (const IntegrationResult* result : {&*nary, &*ladder}) {
+    const ecr::Schema& s = result->schema;
+    ecr::ObjectId person = s.FindObject("Person");
+    ecr::ObjectId employee = s.FindObject("Employee");
+    ecr::ObjectId manager = s.FindObject("Manager");
+    ASSERT_NE(person, ecr::kNoObject);
+    ASSERT_NE(employee, ecr::kNoObject);
+    ASSERT_NE(manager, ecr::kNoObject);
+    EXPECT_EQ(s.object(employee).parents,
+              std::vector<ecr::ObjectId>{person});
+    EXPECT_EQ(s.object(manager).parents,
+              std::vector<ecr::ObjectId>{employee});
+    EXPECT_EQ(s.num_objects(), 3);
+  }
+}
+
+TEST(BinaryLadderTest, ComposedMappingsReferOriginals) {
+  Fixture f = MakeFixture();
+  Result<IntegrationResult> ladder = IntegrateBinaryLadder(
+      f.catalog, {"v1", "v2", "v3"}, f.equivalence, f.assertions);
+  ASSERT_TRUE(ladder.ok()) << ladder.status();
+  Result<const StructureMapping*> manager =
+      ladder->MappingFor({"v3", "Manager"});
+  ASSERT_TRUE(manager.ok()) << manager.status();
+  EXPECT_EQ((*manager)->target, "Manager");
+  // Manager.Ssn merged upward; its representative lives on Person.
+  bool found = false;
+  for (const AttributeMapping& m : (*manager)->attributes) {
+    if (m.source_attribute == "Ssn") {
+      EXPECT_EQ(m.target_owner, "Person");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BinaryLadderTest, ComposedSourcesReferOriginals) {
+  Fixture f = MakeFixture();
+  Result<IntegrationResult> ladder = IntegrateBinaryLadder(
+      f.catalog, {"v1", "v2", "v3"}, f.equivalence, f.assertions);
+  ASSERT_TRUE(ladder.ok());
+  const IntegratedStructureInfo* employee =
+      ladder->FindStructure("Employee");
+  ASSERT_NE(employee, nullptr);
+  ASSERT_EQ(employee->sources.size(), 1u);
+  EXPECT_EQ(employee->sources[0].ToString(), "v2.Employee");
+}
+
+TEST(BinaryLadderTest, EqualsChainAcrossRungs) {
+  // v1.X = v2.X and v2.X = v3.X: the second equality only becomes visible
+  // at the second rung, after v2.X has been folded into the intermediate.
+  ecr::Catalog catalog;
+  for (const char* name : {"v1", "v2", "v3"}) {
+    SchemaBuilder b(name);
+    b.Entity("X").Attr("K", Domain::Int(), true);
+    ASSERT_TRUE(catalog.AddSchema(*b.Build()).ok());
+  }
+  EquivalenceMap equivalence =
+      *EquivalenceMap::Create(catalog, {"v1", "v2", "v3"});
+  ASSERT_TRUE(equivalence
+                  .DeclareEquivalent({"v1", "X", "K"}, {"v2", "X", "K"})
+                  .ok());
+  ASSERT_TRUE(equivalence
+                  .DeclareEquivalent({"v2", "X", "K"}, {"v3", "X", "K"})
+                  .ok());
+  AssertionStore assertions;
+  ASSERT_TRUE(assertions
+                  .Assert({"v1", "X"}, {"v2", "X"}, AssertionType::kEquals)
+                  .ok());
+  ASSERT_TRUE(assertions
+                  .Assert({"v2", "X"}, {"v3", "X"}, AssertionType::kEquals)
+                  .ok());
+  Result<IntegrationResult> ladder = IntegrateBinaryLadder(
+      catalog, {"v1", "v2", "v3"}, equivalence, assertions);
+  ASSERT_TRUE(ladder.ok()) << ladder.status();
+  EXPECT_EQ(ladder->schema.num_objects(), 1);
+  const IntegratedStructureInfo* merged =
+      ladder->FindStructure(ladder->schema.object(0).name);
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->sources.size(), 3u);
+}
+
+TEST(BinaryLadderTest, SingleSchemaDelegates) {
+  Fixture f = MakeFixture();
+  Result<IntegrationResult> result = IntegrateBinaryLadder(
+      f.catalog, {"v1"}, f.equivalence, f.assertions);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->schema.num_objects(), 1);
+}
+
+TEST(BinaryLadderTest, FinalResultUsesRequestedName) {
+  Fixture f = MakeFixture();
+  IntegrationOptions options;
+  options.result_name = "global";
+  Result<IntegrationResult> ladder = IntegrateBinaryLadder(
+      f.catalog, {"v1", "v2", "v3"}, f.equivalence, f.assertions, options);
+  ASSERT_TRUE(ladder.ok());
+  EXPECT_EQ(ladder->schema.name(), "global");
+}
+
+}  // namespace
+}  // namespace ecrint::core

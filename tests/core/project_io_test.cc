@@ -1,0 +1,133 @@
+#include "core/project_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "ecr/builder.h"
+
+namespace ecrint::core {
+namespace {
+
+using ecr::Domain;
+using ecr::SchemaBuilder;
+
+// Live state matching the paper's university session.
+struct Live {
+  ecr::Catalog catalog;
+  EquivalenceMap equivalence{*EquivalenceMap::Create(ecr::Catalog(), {})};
+  AssertionStore assertions;
+};
+
+Live MakeLive() {
+  Live live;
+  SchemaBuilder b1("sc1");
+  b1.Entity("Student")
+      .Attr("Name", Domain::Char(), true)
+      .Attr("GPA", Domain::Real());
+  b1.Entity("Department").Attr("Dname", Domain::Char(), true);
+  EXPECT_TRUE(live.catalog.AddSchema(*b1.Build()).ok());
+  SchemaBuilder b2("sc2");
+  b2.Entity("Grad_student")
+      .Attr("Name", Domain::Char(), true)
+      .Attr("Support_type", Domain::Char());
+  EXPECT_TRUE(live.catalog.AddSchema(*b2.Build()).ok());
+  live.equivalence = *EquivalenceMap::Create(live.catalog, {"sc1", "sc2"});
+  EXPECT_TRUE(live.equivalence
+                  .DeclareEquivalent({"sc1", "Student", "Name"},
+                                     {"sc2", "Grad_student", "Name"})
+                  .ok());
+  EXPECT_TRUE(live.assertions
+                  .Assert({"sc1", "Student"}, {"sc2", "Grad_student"},
+                          AssertionType::kContains)
+                  .ok());
+  return live;
+}
+
+TEST(ProjectIoTest, SerializeParseRoundTrip) {
+  Live live = MakeLive();
+  std::string text =
+      SerializeProject(live.catalog, live.equivalence, live.assertions);
+  EXPECT_NE(text.find("%schemas"), std::string::npos);
+  EXPECT_NE(text.find("schema sc1 {"), std::string::npos);
+  EXPECT_NE(text.find("sc1.Student.Name = sc2.Grad_student.Name"),
+            std::string::npos);
+  EXPECT_NE(text.find("sc1.Student 3 sc2.Grad_student"), std::string::npos);
+
+  Result<Project> project = ParseProject(text);
+  ASSERT_TRUE(project.ok()) << project.status();
+  EXPECT_TRUE(project->catalog.Contains("sc1"));
+  EXPECT_TRUE(project->catalog.Contains("sc2"));
+  ASSERT_EQ(project->equivalences.size(), 1u);
+  ASSERT_EQ(project->assertions.size(), 1u);
+  EXPECT_EQ(project->assertions[0].type, AssertionType::kContains);
+
+  // Rebuilt state behaves like the original.
+  Result<EquivalenceMap> equivalence = project->BuildEquivalence();
+  ASSERT_TRUE(equivalence.ok()) << equivalence.status();
+  EXPECT_TRUE(equivalence->AreEquivalent({"sc1", "Student", "Name"},
+                                         {"sc2", "Grad_student", "Name"}));
+  Result<AssertionStore> assertions = project->BuildAssertions();
+  ASSERT_TRUE(assertions.ok());
+  EXPECT_EQ(*assertions->EstablishedRelation({"sc1", "Student"},
+                                             {"sc2", "Grad_student"}),
+            SetRelation::kSuperset);
+}
+
+TEST(ProjectIoTest, SecondRoundTripIsStable) {
+  Live live = MakeLive();
+  std::string first =
+      SerializeProject(live.catalog, live.equivalence, live.assertions);
+  Result<Project> project = ParseProject(first);
+  ASSERT_TRUE(project.ok());
+  std::string second = SerializeProject(project->catalog,
+                                        *project->BuildEquivalence(),
+                                        *project->BuildAssertions());
+  EXPECT_EQ(first, second);
+}
+
+TEST(ProjectIoTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(ParseProject("stray content").ok());
+  EXPECT_FALSE(ParseProject("%equivalences\nnot a pair\n").ok());
+  EXPECT_FALSE(ParseProject("%equivalences\na.b = c.d\n").ok());  // 2 parts
+  EXPECT_FALSE(ParseProject("%assertions\na.b 1\n").ok());
+  EXPECT_FALSE(ParseProject("%assertions\na.b 9 c.d\n").ok());
+  EXPECT_FALSE(ParseProject("%assertions\na.b x c.d\n").ok());
+  EXPECT_FALSE(ParseProject("%schemas\nbroken ddl\n").ok());
+  // Empty project is fine.
+  Result<Project> empty = ParseProject("# nothing\n%schemas\n");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->catalog.size(), 0);
+}
+
+TEST(ProjectIoTest, BuildSurfacesStaleDecisions) {
+  Result<Project> project = ParseProject(
+      "%schemas\nschema a { entity X { K: int key; } }\n"
+      "%equivalences\na.X.K = a.X.Missing\n");
+  ASSERT_TRUE(project.ok());
+  EXPECT_FALSE(project->BuildEquivalence().ok());
+
+  Result<Project> conflicting = ParseProject(
+      "%schemas\nschema a { entity X; entity Y; }\n"
+      "%assertions\na.X 1 a.Y\na.X 0 a.Y\n");
+  ASSERT_TRUE(conflicting.ok());
+  EXPECT_EQ(conflicting->BuildAssertions().status().code(),
+            StatusCode::kConflict);
+}
+
+TEST(ProjectIoTest, FileRoundTrip) {
+  Live live = MakeLive();
+  std::string path = ::testing::TempDir() + "/ecrint_project_test.ecrint";
+  ASSERT_TRUE(
+      SaveProjectFile(path, live.catalog, live.equivalence, live.assertions)
+          .ok());
+  Result<Project> loaded = LoadProjectFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->catalog.Contains("sc1"));
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadProjectFile(path).ok());
+}
+
+}  // namespace
+}  // namespace ecrint::core

@@ -1,0 +1,184 @@
+#include "core/request_translation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/integrator.h"
+#include "ecr/builder.h"
+
+namespace ecrint::core {
+namespace {
+
+using ecr::Domain;
+using ecr::SchemaBuilder;
+
+// hr.Employee ⊃ payroll.Manager with the Ssn key merged; directory.Person
+// equals hr.Employee.
+IntegrationResult MakeResult() {
+  ecr::Catalog catalog;
+  SchemaBuilder b1("hr");
+  b1.Entity("Employee")
+      .Attr("Ssn", Domain::Int(), true)
+      .Attr("Name", Domain::Char())
+      .Attr("Salary", Domain::Real());
+  EXPECT_TRUE(catalog.AddSchema(*b1.Build()).ok());
+  SchemaBuilder b2("payroll");
+  b2.Entity("Manager")
+      .Attr("Ssn", Domain::Int(), true)
+      .Attr("Bonus", Domain::Real());
+  EXPECT_TRUE(catalog.AddSchema(*b2.Build()).ok());
+
+  EquivalenceMap equivalence =
+      *EquivalenceMap::Create(catalog, {"hr", "payroll"});
+  EXPECT_TRUE(equivalence
+                  .DeclareEquivalent({"hr", "Employee", "Ssn"},
+                                     {"payroll", "Manager", "Ssn"})
+                  .ok());
+  AssertionStore assertions;
+  EXPECT_TRUE(assertions
+                  .Assert({"payroll", "Manager"}, {"hr", "Employee"},
+                          AssertionType::kContainedIn)
+                  .ok());
+  Result<IntegrationResult> result =
+      Integrate(catalog, {"hr", "payroll"}, equivalence, assertions);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return *std::move(result);
+}
+
+TEST(RequestTranslationTest, ComponentToIntegratedRenamesAttributes) {
+  IntegrationResult result = MakeResult();
+  Request request{{"payroll", "Manager"}, {"Ssn", "Bonus"}};
+  Result<Request> translated = TranslateToIntegrated(result, request);
+  ASSERT_TRUE(translated.ok()) << translated.status();
+  EXPECT_EQ(translated->structure.schema, "integrated");
+  EXPECT_EQ(translated->structure.object, "Manager");
+  // Ssn was merged into D_Ssn (living on Employee, inherited by Manager).
+  EXPECT_EQ(translated->attributes,
+            (std::vector<std::string>{"D_Ssn", "Bonus"}));
+}
+
+TEST(RequestTranslationTest, UnknownSourcesRejected) {
+  IntegrationResult result = MakeResult();
+  EXPECT_FALSE(
+      TranslateToIntegrated(result, {{"payroll", "Nope"}, {}}).ok());
+  EXPECT_FALSE(
+      TranslateToIntegrated(result, {{"payroll", "Manager"}, {"Nope"}})
+          .ok());
+}
+
+TEST(RequestTranslationTest, IntegratedToComponentsFansOut) {
+  IntegrationResult result = MakeResult();
+  Request request{{"integrated", "Employee"}, {"D_Ssn", "Name"}};
+  Result<FanoutPlan> plan = TranslateToComponents(result, request);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // Employee's extent covers hr.Employee and (via the category)
+  // payroll.Manager.
+  ASSERT_EQ(plan->legs.size(), 2u);
+  const FanoutLeg* hr_leg = nullptr;
+  const FanoutLeg* payroll_leg = nullptr;
+  for (const FanoutLeg& leg : plan->legs) {
+    if (leg.component.schema == "hr") hr_leg = &leg;
+    if (leg.component.schema == "payroll") payroll_leg = &leg;
+  }
+  ASSERT_NE(hr_leg, nullptr);
+  ASSERT_NE(payroll_leg, nullptr);
+  EXPECT_EQ(hr_leg->attribute_map.at("D_Ssn"), "Ssn");
+  EXPECT_EQ(hr_leg->attribute_map.at("Name"), "Name");
+  EXPECT_TRUE(hr_leg->missing.empty());
+  // payroll.Manager has Ssn but no Name: that column is missing there.
+  EXPECT_EQ(payroll_leg->attribute_map.at("D_Ssn"), "Ssn");
+  EXPECT_EQ(payroll_leg->missing, std::vector<std::string>{"Name"});
+}
+
+TEST(RequestTranslationTest, InheritedAttributesAreSelectable) {
+  IntegrationResult result = MakeResult();
+  // Manager inherits D_Ssn from Employee; selecting it on Manager is legal.
+  Request request{{"integrated", "Manager"}, {"D_Ssn", "Bonus"}};
+  Result<FanoutPlan> plan = TranslateToComponents(result, request);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->legs.size(), 1u);
+  EXPECT_EQ(plan->legs[0].component.ToString(), "payroll.Manager");
+  EXPECT_EQ(plan->legs[0].attribute_map.at("Bonus"), "Bonus");
+}
+
+TEST(RequestTranslationTest, ValidatesIntegratedRequest) {
+  IntegrationResult result = MakeResult();
+  EXPECT_FALSE(
+      TranslateToComponents(result, {{"wrong_schema", "Employee"}, {}})
+          .ok());
+  EXPECT_FALSE(
+      TranslateToComponents(result, {{"integrated", "Ghost"}, {}}).ok());
+  EXPECT_FALSE(
+      TranslateToComponents(result, {{"integrated", "Employee"}, {"Ghost"}})
+          .ok());
+}
+
+TEST(RequestTranslationTest, RelationshipRequestsTranslateToo) {
+  ecr::Catalog catalog;
+  SchemaBuilder b1("a");
+  b1.Entity("X").Attr("K", Domain::Int(), true);
+  b1.Entity("Y").Attr("K2", Domain::Int(), true);
+  b1.Relationship("Links", {{"X", 0, 1, ""}, {"Y", 0, 1, ""}})
+      .Attr("Since", Domain::Date());
+  ASSERT_TRUE(catalog.AddSchema(*b1.Build()).ok());
+  SchemaBuilder b2("b");
+  b2.Entity("X2").Attr("K", Domain::Int(), true);
+  b2.Entity("Y2").Attr("K2", Domain::Int(), true);
+  b2.Relationship("Ties", {{"X2", 0, 1, ""}, {"Y2", 0, 1, ""}})
+      .Attr("From", Domain::Date());
+  ASSERT_TRUE(catalog.AddSchema(*b2.Build()).ok());
+  EquivalenceMap equivalence = *EquivalenceMap::Create(catalog, {"a", "b"});
+  ASSERT_TRUE(equivalence
+                  .DeclareEquivalent({"a", "Links", "Since"},
+                                     {"b", "Ties", "From"})
+                  .ok());
+  AssertionStore assertions;
+  ASSERT_TRUE(assertions
+                  .Assert({"a", "X"}, {"b", "X2"}, AssertionType::kEquals)
+                  .ok());
+  ASSERT_TRUE(assertions
+                  .Assert({"a", "Y"}, {"b", "Y2"}, AssertionType::kEquals)
+                  .ok());
+  ASSERT_TRUE(assertions
+                  .Assert({"a", "Links"}, {"b", "Ties"},
+                          AssertionType::kEquals)
+                  .ok());
+  Result<IntegrationResult> result =
+      Integrate(catalog, {"a", "b"}, equivalence, assertions);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  // Component relationship request rewrites onto the merged relationship.
+  Request view_query{{"b", "Ties"}, {"From"}};
+  Result<Request> rewritten = TranslateToIntegrated(*result, view_query);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status();
+  EXPECT_EQ(rewritten->structure.object, "E_Link_Ties");
+  EXPECT_EQ(rewritten->attributes,
+            std::vector<std::string>{"D_Sinc_From"});
+
+  // Integrated relationship request fans out to both components.
+  Request global{{"integrated", "E_Link_Ties"}, {"D_Sinc_From"}};
+  Result<FanoutPlan> plan = TranslateToComponents(*result, global);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->legs.size(), 2u);
+  for (const FanoutLeg& leg : plan->legs) {
+    EXPECT_EQ(leg.attribute_map.size(), 1u);
+    EXPECT_TRUE(leg.missing.empty());
+  }
+}
+
+TEST(RequestTranslationTest, ToStringFormats) {
+  Request request{{"integrated", "Employee"}, {"D_Ssn", "Name"}};
+  EXPECT_EQ(request.ToString(),
+            "SELECT D_Ssn, Name FROM integrated.Employee");
+  Request star{{"integrated", "Employee"}, {}};
+  EXPECT_EQ(star.ToString(), "SELECT * FROM integrated.Employee");
+  IntegrationResult result = MakeResult();
+  Result<FanoutPlan> plan = TranslateToComponents(result, request);
+  ASSERT_TRUE(plan.ok());
+  std::string text = plan->ToString();
+  EXPECT_NE(text.find("-> hr.Employee"), std::string::npos);
+  EXPECT_NE(text.find("D_Ssn<-Ssn"), std::string::npos);
+  EXPECT_NE(text.find("missing: Name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecrint::core

@@ -1,0 +1,143 @@
+#include "core/set_relation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ecrint::core {
+namespace {
+
+constexpr RelationSet EQ = MaskOf(SetRelation::kEqual);
+constexpr RelationSet SUB = MaskOf(SetRelation::kSubset);
+constexpr RelationSet SUP = MaskOf(SetRelation::kSuperset);
+constexpr RelationSet OVR = MaskOf(SetRelation::kOverlap);
+constexpr RelationSet DSJ = MaskOf(SetRelation::kDisjoint);
+
+// Classifies the relation between two non-empty sets given as bitmasks.
+SetRelation Classify(unsigned a, unsigned b) {
+  if (a == b) return SetRelation::kEqual;
+  if ((a & b) == a) return SetRelation::kSubset;
+  if ((a & b) == b) return SetRelation::kSuperset;
+  if ((a & b) != 0) return SetRelation::kOverlap;
+  return SetRelation::kDisjoint;
+}
+
+// Recomputes the whole composition table by enumerating all triples of
+// non-empty subsets of a 6-element universe and checks it equals Compose.
+// Six elements are enough to witness every possible configuration of three
+// sets with proper-containment/overlap semantics.
+TEST(SetRelationTest, ComposeTableMatchesBruteForceModel) {
+  constexpr int kUniverse = 6;
+  constexpr unsigned kMax = 1u << kUniverse;
+  RelationSet observed[kNumSetRelations][kNumSetRelations] = {};
+  for (unsigned a = 1; a < kMax; ++a) {
+    for (unsigned b = 1; b < kMax; ++b) {
+      SetRelation ab = Classify(a, b);
+      for (unsigned c = 1; c < kMax; ++c) {
+        SetRelation bc = Classify(b, c);
+        observed[static_cast<int>(ab)][static_cast<int>(bc)] |=
+            MaskOf(Classify(a, c));
+      }
+    }
+  }
+  for (int i = 0; i < kNumSetRelations; ++i) {
+    for (int j = 0; j < kNumSetRelations; ++j) {
+      RelationSet expected = observed[i][j];
+      RelationSet actual =
+          Compose(static_cast<RelationSet>(1u << i),
+                  static_cast<RelationSet>(1u << j));
+      EXPECT_EQ(actual, expected)
+          << SetRelationName(static_cast<SetRelation>(i)) << " o "
+          << SetRelationName(static_cast<SetRelation>(j)) << ": table says "
+          << RelationSetToString(actual) << ", model says "
+          << RelationSetToString(expected);
+    }
+  }
+}
+
+TEST(SetRelationTest, EqualIsCompositionIdentity) {
+  for (int i = 0; i < kNumSetRelations; ++i) {
+    RelationSet r = static_cast<RelationSet>(1u << i);
+    EXPECT_EQ(Compose(EQ, r), r);
+    EXPECT_EQ(Compose(r, EQ), r);
+  }
+}
+
+TEST(SetRelationTest, PaperTransitiveCompositionExamples) {
+  // "if a ⊆ b and b ⊆ c then a ⊆ c" (proper-subset version).
+  EXPECT_EQ(Compose(SUB, SUB), SUB);
+  // Disjointness propagates through containment.
+  EXPECT_EQ(Compose(SUB, DSJ), DSJ);
+  EXPECT_EQ(Compose(DSJ, SUP), DSJ);
+}
+
+TEST(SetRelationTest, ConverseSwapsContainment) {
+  EXPECT_EQ(Converse(SUB), SUP);
+  EXPECT_EQ(Converse(SUP), SUB);
+  EXPECT_EQ(Converse(EQ), EQ);
+  EXPECT_EQ(Converse(OVR), OVR);
+  EXPECT_EQ(Converse(DSJ), DSJ);
+  EXPECT_EQ(Converse(kAnyRelation), kAnyRelation);
+  EXPECT_EQ(Converse(SUB | DSJ), static_cast<RelationSet>(SUP | DSJ));
+}
+
+TEST(SetRelationTest, ConverseMatchesModel) {
+  constexpr unsigned kMax = 1u << 5;
+  for (unsigned a = 1; a < kMax; ++a) {
+    for (unsigned b = 1; b < kMax; ++b) {
+      EXPECT_EQ(Converse(MaskOf(Classify(a, b))), MaskOf(Classify(b, a)));
+    }
+  }
+}
+
+TEST(SetRelationTest, CompositionRespectsConverseDuality) {
+  // (r1 o r2)^-1 == r2^-1 o r1^-1 for all relation sets.
+  for (RelationSet r1 = 1; r1 <= kAnyRelation; ++r1) {
+    for (RelationSet r2 = 1; r2 <= kAnyRelation; ++r2) {
+      EXPECT_EQ(Converse(Compose(r1, r2)),
+                Compose(Converse(r2), Converse(r1)))
+          << RelationSetToString(r1) << " / " << RelationSetToString(r2);
+    }
+  }
+}
+
+TEST(SetRelationTest, ComposeOfUnionsIsUnionOfComposes) {
+  for (RelationSet r1 = 1; r1 <= kAnyRelation; ++r1) {
+    for (RelationSet r2 = 1; r2 <= kAnyRelation; ++r2) {
+      RelationSet expected = kNoRelation;
+      for (int i = 0; i < kNumSetRelations; ++i) {
+        if (!(r1 & (1u << i))) continue;
+        for (int j = 0; j < kNumSetRelations; ++j) {
+          if (!(r2 & (1u << j))) continue;
+          expected |= Compose(static_cast<RelationSet>(1u << i),
+                              static_cast<RelationSet>(1u << j));
+        }
+      }
+      EXPECT_EQ(Compose(r1, r2), expected);
+    }
+  }
+}
+
+TEST(SetRelationTest, HelpersBehave) {
+  EXPECT_EQ(RelationCount(kNoRelation), 0);
+  EXPECT_EQ(RelationCount(kAnyRelation), 5);
+  EXPECT_EQ(RelationCount(SUB | DSJ), 2);
+  EXPECT_EQ(TheRelation(OVR), SetRelation::kOverlap);
+  EXPECT_TRUE(Contains(SUB | DSJ, SetRelation::kDisjoint));
+  EXPECT_FALSE(Contains(SUB | DSJ, SetRelation::kEqual));
+}
+
+TEST(SetRelationTest, ToStringRendersSymbols) {
+  EXPECT_EQ(RelationSetToString(EQ), "{=}");
+  EXPECT_EQ(RelationSetToString(SUB | SUP), "{<, >}");
+  EXPECT_EQ(RelationSetToString(kAnyRelation), "{=, <, >, ><, |}");
+  EXPECT_EQ(RelationSetToString(kNoRelation), "{}");
+}
+
+TEST(SetRelationTest, NamesAreStable) {
+  EXPECT_STREQ(SetRelationName(SetRelation::kEqual), "equal");
+  EXPECT_STREQ(SetRelationName(SetRelation::kOverlap), "overlap");
+}
+
+}  // namespace
+}  // namespace ecrint::core

@@ -1,0 +1,137 @@
+#include "data/federation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/integrator.h"
+#include "ecr/builder.h"
+
+namespace ecrint::data {
+namespace {
+
+using core::AssertionStore;
+using core::AssertionType;
+using core::EquivalenceMap;
+using core::FanoutPlan;
+using core::IntegrationResult;
+using core::Request;
+using ecr::Domain;
+using ecr::SchemaBuilder;
+
+// Two component databases: hr knows every employee; payroll knows the
+// managers (a subset) with their bonus.
+struct Fixture {
+  ecr::Catalog catalog;
+  IntegrationResult result;
+  ecr::Schema hr_schema;
+  ecr::Schema payroll_schema;
+};
+
+Fixture Make() {
+  Fixture f;
+  SchemaBuilder b1("hr");
+  b1.Entity("Employee")
+      .Attr("Ssn", Domain::Int(), true)
+      .Attr("Name", Domain::Char());
+  EXPECT_TRUE(f.catalog.AddSchema(*b1.Build()).ok());
+  SchemaBuilder b2("payroll");
+  b2.Entity("Manager")
+      .Attr("Ssn", Domain::Int(), true)
+      .Attr("Bonus", Domain::Real());
+  EXPECT_TRUE(f.catalog.AddSchema(*b2.Build()).ok());
+
+  EquivalenceMap equivalence =
+      *EquivalenceMap::Create(f.catalog, {"hr", "payroll"});
+  EXPECT_TRUE(equivalence
+                  .DeclareEquivalent({"hr", "Employee", "Ssn"},
+                                     {"payroll", "Manager", "Ssn"})
+                  .ok());
+  AssertionStore assertions;
+  EXPECT_TRUE(assertions
+                  .Assert({"payroll", "Manager"}, {"hr", "Employee"},
+                          AssertionType::kContainedIn)
+                  .ok());
+  f.result = *core::Integrate(f.catalog, {"hr", "payroll"}, equivalence,
+                              assertions);
+  f.hr_schema = **f.catalog.GetSchema("hr");
+  f.payroll_schema = **f.catalog.GetSchema("payroll");
+  return f;
+}
+
+TEST(FederationTest, FanoutRetrievesAcrossComponents) {
+  Fixture f = Make();
+  InstanceStore hr(&f.hr_schema);
+  InstanceStore payroll(&f.payroll_schema);
+  ASSERT_TRUE(hr.Insert("Employee", {{"Ssn", Value::Int(1)},
+                                     {"Name", Value::Str("Ann")}})
+                  .ok());
+  ASSERT_TRUE(hr.Insert("Employee", {{"Ssn", Value::Int(2)},
+                                     {"Name", Value::Str("Bob")}})
+                  .ok());
+  ASSERT_TRUE(payroll.Insert("Manager", {{"Ssn", Value::Int(2)},
+                                         {"Bonus", Value::Real(1000)}})
+                  .ok());
+
+  Request query{{"integrated", "Employee"}, {"D_Ssn", "Name"}};
+  Result<FanoutPlan> plan = core::TranslateToComponents(f.result, query);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  Result<ResultSet> rows = ExecuteFanout(
+      *plan, {{"hr", &hr}, {"payroll", &payroll}});
+  ASSERT_TRUE(rows.ok()) << rows.status();
+
+  // Two hr rows plus one payroll row (outer union, no dedup).
+  ASSERT_EQ(rows->rows.size(), 3u);
+  EXPECT_EQ(rows->columns, (std::vector<std::string>{"D_Ssn", "Name"}));
+  // hr rows carry names; the payroll row has Name = null (not recorded
+  // there) but a concrete Ssn.
+  int nulls = 0;
+  int ssn_sum = 0;
+  for (size_t i = 0; i < rows->rows.size(); ++i) {
+    if (rows->rows[i][1].is_null()) {
+      ++nulls;
+      EXPECT_EQ(rows->provenance[i], "payroll.Manager");
+      EXPECT_EQ(rows->rows[i][0], Value::Int(2));
+    }
+    if (rows->rows[i][0] == Value::Int(1)) ssn_sum += 1;
+    if (rows->rows[i][0] == Value::Int(2)) ssn_sum += 2;
+  }
+  EXPECT_EQ(nulls, 1);
+  EXPECT_EQ(ssn_sum, 1 + 2 + 2);
+}
+
+TEST(FederationTest, CategoryQueryVisitsOnlyItsExtent) {
+  Fixture f = Make();
+  InstanceStore hr(&f.hr_schema);
+  InstanceStore payroll(&f.payroll_schema);
+  ASSERT_TRUE(payroll.Insert("Manager", {{"Ssn", Value::Int(9)},
+                                         {"Bonus", Value::Real(5)}})
+                  .ok());
+  Request query{{"integrated", "Manager"}, {"Bonus"}};
+  Result<FanoutPlan> plan = core::TranslateToComponents(f.result, query);
+  ASSERT_TRUE(plan.ok());
+  Result<ResultSet> rows = ExecuteFanout(
+      *plan, {{"hr", &hr}, {"payroll", &payroll}});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows.size(), 1u);
+  EXPECT_EQ(rows->rows[0][0], Value::Real(5));
+  EXPECT_EQ(rows->provenance[0], "payroll.Manager");
+}
+
+TEST(FederationTest, MissingStoreIsAnError) {
+  Fixture f = Make();
+  InstanceStore hr(&f.hr_schema);
+  Request query{{"integrated", "Employee"}, {"D_Ssn"}};
+  Result<FanoutPlan> plan = core::TranslateToComponents(f.result, query);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(ExecuteFanout(*plan, {{"hr", &hr}}).ok());
+}
+
+TEST(FederationTest, ResultSetToStringTabulates) {
+  ResultSet set;
+  set.columns = {"A"};
+  set.rows = {{Value::Int(1)}};
+  set.provenance = {"x.Y"};
+  EXPECT_EQ(set.ToString(), "source | A\nx.Y | 1\n");
+}
+
+}  // namespace
+}  // namespace ecrint::data

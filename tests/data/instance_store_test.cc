@@ -1,0 +1,146 @@
+#include "data/instance_store.h"
+
+#include <gtest/gtest.h>
+
+#include "ecr/builder.h"
+
+namespace ecrint::data {
+namespace {
+
+using ecr::Domain;
+using ecr::SchemaBuilder;
+
+ecr::Schema University() {
+  SchemaBuilder b("uni");
+  b.Entity("Student")
+      .Attr("Name", Domain::Char(), true)
+      .Attr("GPA", Domain::Real());
+  b.Entity("Department").Attr("Dname", Domain::Char(), true);
+  b.Category("Grad_student", {"Student"})
+      .Attr("Support_type", Domain::Char());
+  b.Relationship("Majors", {{"Student", 1, 1, ""},
+                            {"Department", 0, SchemaBuilder::kN, ""}});
+  return *b.Build();
+}
+
+class InstanceStoreTest : public ::testing::Test {
+ protected:
+  InstanceStoreTest() : schema_(University()), store_(&schema_) {}
+  ecr::Schema schema_;
+  InstanceStore store_;
+};
+
+TEST_F(InstanceStoreTest, InsertAndReadBack) {
+  Result<EntityId> ann = store_.Insert(
+      "Student", {{"Name", Value::Str("Ann")}, {"GPA", Value::Real(3.9)}});
+  ASSERT_TRUE(ann.ok()) << ann.status();
+  EXPECT_EQ(store_.num_entities(), 1);
+  EXPECT_TRUE(store_.IsMemberOf("Student", *ann));
+  EXPECT_EQ(*store_.GetValue(*ann, "Student", "Name"), Value::Str("Ann"));
+  EXPECT_EQ(*store_.GetValue(*ann, "Student", "GPA"), Value::Real(3.9));
+}
+
+TEST_F(InstanceStoreTest, MissingValuesAreNull) {
+  EntityId ann = *store_.Insert("Student", {{"Name", Value::Str("Ann")}});
+  EXPECT_EQ(*store_.GetValue(ann, "Student", "GPA"), Value::Null());
+}
+
+TEST_F(InstanceStoreTest, InsertValidation) {
+  // Unknown class / attribute, type mismatch, missing key, duplicate key.
+  EXPECT_FALSE(store_.Insert("Ghost", {}).ok());
+  EXPECT_FALSE(
+      store_.Insert("Student", {{"Ghost", Value::Int(1)}}).ok());
+  EXPECT_FALSE(
+      store_.Insert("Student", {{"Name", Value::Int(5)}}).ok());
+  EXPECT_EQ(store_.Insert("Student", {{"GPA", Value::Real(3.0)}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);  // no key
+  ASSERT_TRUE(store_.Insert("Student", {{"Name", Value::Str("Ann")}}).ok());
+  EXPECT_EQ(store_.Insert("Student", {{"Name", Value::Str("Ann")}})
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+  // Inserting into a category directly is refused.
+  EXPECT_EQ(store_.Insert("Grad_student", {}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(InstanceStoreTest, CategoryMembershipAndInheritedValues) {
+  EntityId ann = *store_.Insert(
+      "Student", {{"Name", Value::Str("Ann")}, {"GPA", Value::Real(3.9)}});
+  ASSERT_TRUE(store_.AddToCategory("Grad_student", ann,
+                                   {{"Support_type", Value::Str("RA")}})
+                  .ok());
+  EXPECT_TRUE(store_.IsMemberOf("Grad_student", ann));
+  // Own attribute of the category.
+  EXPECT_EQ(*store_.GetValue(ann, "Grad_student", "Support_type"),
+            Value::Str("RA"));
+  // Inherited attribute resolves up the IS-A chain.
+  EXPECT_EQ(*store_.GetValue(ann, "Grad_student", "Name"),
+            Value::Str("Ann"));
+  // Non-members cannot join a category they have no parent membership for.
+  EntityId dept = *store_.Insert("Department",
+                                 {{"Dname", Value::Str("CS")}});
+  EXPECT_EQ(store_.AddToCategory("Grad_student", dept, {}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(InstanceStoreTest, GetValueGuards) {
+  EntityId ann = *store_.Insert("Student", {{"Name", Value::Str("Ann")}});
+  EXPECT_FALSE(store_.GetValue(ann, "Student", "Ghost").ok());
+  EXPECT_FALSE(store_.GetValue(ann, "Department", "Dname").ok());
+  EXPECT_FALSE(store_.GetValue(ann, "Grad_student", "Name").ok());
+}
+
+TEST_F(InstanceStoreTest, RelationshipsConnectMembers) {
+  EntityId ann = *store_.Insert("Student", {{"Name", Value::Str("Ann")}});
+  EntityId cs = *store_.Insert("Department", {{"Dname", Value::Str("CS")}});
+  ASSERT_TRUE(store_.Connect("Majors", {ann, cs}).ok());
+  std::vector<std::vector<EntityId>> instances = store_.InstancesOf("Majors");
+  ASSERT_EQ(instances.size(), 1u);
+  EXPECT_EQ(instances[0], (std::vector<EntityId>{ann, cs}));
+  // Arity and membership are enforced.
+  EXPECT_FALSE(store_.Connect("Majors", {ann}).ok());
+  EXPECT_FALSE(store_.Connect("Majors", {cs, ann}).ok());  // wrong classes
+  EXPECT_FALSE(store_.Connect("Ghost", {ann, cs}).ok());
+}
+
+TEST_F(InstanceStoreTest, IntegrityCleanStore) {
+  EntityId ann = *store_.Insert("Student", {{"Name", Value::Str("Ann")}});
+  EntityId cs = *store_.Insert("Department", {{"Dname", Value::Str("CS")}});
+  ASSERT_TRUE(store_.Connect("Majors", {ann, cs}).ok());
+  EXPECT_TRUE(store_.CheckIntegrity().empty());
+}
+
+TEST_F(InstanceStoreTest, IntegrityFlagsCardinalityViolations) {
+  // Ann majors in nothing: violates Student [1,1].
+  ASSERT_TRUE(store_.Insert("Student", {{"Name", Value::Str("Ann")}}).ok());
+  std::vector<std::string> issues = store_.CheckIntegrity();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].find("participates 0x"), std::string::npos);
+  EXPECT_NE(issues[0].find("[1,1]"), std::string::npos);
+}
+
+TEST_F(InstanceStoreTest, IntegrityFlagsDoubleMajors) {
+  EntityId ann = *store_.Insert("Student", {{"Name", Value::Str("Ann")}});
+  EntityId cs = *store_.Insert("Department", {{"Dname", Value::Str("CS")}});
+  EntityId ee = *store_.Insert("Department", {{"Dname", Value::Str("EE")}});
+  ASSERT_TRUE(store_.Connect("Majors", {ann, cs}).ok());
+  ASSERT_TRUE(store_.Connect("Majors", {ann, ee}).ok());
+  std::vector<std::string> issues = store_.CheckIntegrity();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].find("participates 2x"), std::string::npos);
+}
+
+TEST_F(InstanceStoreTest, MembersOfSortsAndScopes) {
+  EntityId a = *store_.Insert("Student", {{"Name", Value::Str("A")}});
+  EntityId b = *store_.Insert("Student", {{"Name", Value::Str("B")}});
+  ASSERT_TRUE(store_.AddToCategory("Grad_student", b, {}).ok());
+  EXPECT_EQ(store_.MembersOf("Student"), (std::vector<EntityId>{a, b}));
+  EXPECT_EQ(store_.MembersOf("Grad_student"), std::vector<EntityId>{b});
+  EXPECT_TRUE(store_.MembersOf("Ghost").empty());
+}
+
+}  // namespace
+}  // namespace ecrint::data

@@ -1,0 +1,166 @@
+#include "data/materialize.h"
+
+#include <gtest/gtest.h>
+
+#include "core/integrator.h"
+#include "ecr/builder.h"
+
+namespace ecrint::data {
+namespace {
+
+using core::AssertionStore;
+using core::AssertionType;
+using core::EquivalenceMap;
+using core::IntegrationResult;
+using ecr::Domain;
+using ecr::SchemaBuilder;
+
+// hr.Employee ⊃ payroll.Manager, hr also relates employees to departments.
+struct Fixture {
+  ecr::Catalog catalog;
+  IntegrationResult result;
+  ecr::Schema hr;
+  ecr::Schema payroll;
+};
+
+Fixture Make() {
+  Fixture f;
+  SchemaBuilder b1("hr");
+  b1.Entity("Employee")
+      .Attr("Ssn", Domain::Int(), true)
+      .Attr("Name", Domain::Char());
+  b1.Entity("Department").Attr("Dno", Domain::Int(), true);
+  b1.Relationship("Works_in", {{"Employee", 0, 1, ""},
+                               {"Department", 0, SchemaBuilder::kN, ""}});
+  EXPECT_TRUE(f.catalog.AddSchema(*b1.Build()).ok());
+  SchemaBuilder b2("payroll");
+  b2.Entity("Manager")
+      .Attr("Ssn", Domain::Int(), true)
+      .Attr("Bonus", Domain::Real());
+  EXPECT_TRUE(f.catalog.AddSchema(*b2.Build()).ok());
+
+  EquivalenceMap equivalence =
+      *EquivalenceMap::Create(f.catalog, {"hr", "payroll"});
+  EXPECT_TRUE(equivalence
+                  .DeclareEquivalent({"hr", "Employee", "Ssn"},
+                                     {"payroll", "Manager", "Ssn"})
+                  .ok());
+  AssertionStore assertions;
+  EXPECT_TRUE(assertions
+                  .Assert({"payroll", "Manager"}, {"hr", "Employee"},
+                          AssertionType::kContainedIn)
+                  .ok());
+  f.result = *core::Integrate(f.catalog, {"hr", "payroll"}, equivalence,
+                              assertions);
+  f.hr = **f.catalog.GetSchema("hr");
+  f.payroll = **f.catalog.GetSchema("payroll");
+  return f;
+}
+
+TEST(MaterializeTest, MergesEntitiesByKeyAcrossComponents) {
+  Fixture f = Make();
+  InstanceStore hr(&f.hr);
+  InstanceStore payroll(&f.payroll);
+  ASSERT_TRUE(hr.Insert("Employee", {{"Ssn", Value::Int(1)},
+                                     {"Name", Value::Str("Ann")}})
+                  .ok());
+  ASSERT_TRUE(hr.Insert("Employee", {{"Ssn", Value::Int(2)},
+                                     {"Name", Value::Str("Bob")}})
+                  .ok());
+  ASSERT_TRUE(payroll.Insert("Manager", {{"Ssn", Value::Int(2)},
+                                         {"Bonus", Value::Real(1000)}})
+                  .ok());
+
+  Result<MaterializationResult> materialized = MaterializeIntegrated(
+      f.result, {{"hr", &hr}, {"payroll", &payroll}});
+  ASSERT_TRUE(materialized.ok()) << materialized.status();
+  const InstanceStore& store = *materialized->store;
+
+  // Bob from hr and the Ssn=2 manager merged into ONE entity: only Ann and
+  // Bob exist (no departments were inserted).
+  EXPECT_EQ(store.num_entities(), 2);
+  EXPECT_EQ(store.MembersOf("Employee").size(), 2u);
+  std::vector<EntityId> managers = store.MembersOf("Manager");
+  ASSERT_EQ(managers.size(), 1u);
+  EntityId bob = managers[0];
+  // Bob is an Employee too, carrying values from BOTH components.
+  EXPECT_TRUE(store.IsMemberOf("Employee", bob));
+  EXPECT_EQ(*store.GetValue(bob, "Manager", "Name"), Value::Str("Bob"));
+  EXPECT_EQ(*store.GetValue(bob, "Manager", "Bonus"), Value::Real(1000));
+  EXPECT_EQ(*store.GetValue(bob, "Manager", "D_Ssn"), Value::Int(2));
+  EXPECT_TRUE(materialized->conflicts.empty());
+  EXPECT_TRUE(store.CheckIntegrity().empty());
+}
+
+TEST(MaterializeTest, RelationshipsCarryOver) {
+  Fixture f = Make();
+  InstanceStore hr(&f.hr);
+  InstanceStore payroll(&f.payroll);
+  EntityId ann = *hr.Insert("Employee", {{"Ssn", Value::Int(1)},
+                                         {"Name", Value::Str("Ann")}});
+  EntityId dept = *hr.Insert("Department", {{"Dno", Value::Int(7)}});
+  ASSERT_TRUE(hr.Connect("Works_in", {ann, dept}).ok());
+
+  Result<MaterializationResult> materialized = MaterializeIntegrated(
+      f.result, {{"hr", &hr}, {"payroll", &payroll}});
+  ASSERT_TRUE(materialized.ok()) << materialized.status();
+  const InstanceStore& store = *materialized->store;
+  std::vector<std::vector<EntityId>> links = store.InstancesOf("Works_in");
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_TRUE(store.IsMemberOf("Employee", links[0][0]));
+  EXPECT_TRUE(store.IsMemberOf("Department", links[0][1]));
+}
+
+TEST(MaterializeTest, ValueDisagreementsReported) {
+  Fixture f = Make();
+  // Give payroll its own Name so both components feed the merged D_Ssn and
+  // a disagreeing attribute... here: same Ssn re-inserted with a different
+  // Ssn is impossible (it's the identity); instead disagree on a shared
+  // attribute by equating Name with Bonus? Not comparable. Use two hr-like
+  // stores via the equals assertion instead.
+  ecr::Catalog catalog;
+  SchemaBuilder b1("a");
+  b1.Entity("P").Attr("K", Domain::Int(), true).Attr("V", Domain::Char());
+  ASSERT_TRUE(catalog.AddSchema(*b1.Build()).ok());
+  SchemaBuilder b2("b");
+  b2.Entity("P").Attr("K", Domain::Int(), true).Attr("V", Domain::Char());
+  ASSERT_TRUE(catalog.AddSchema(*b2.Build()).ok());
+  EquivalenceMap equivalence = *EquivalenceMap::Create(catalog, {"a", "b"});
+  ASSERT_TRUE(
+      equivalence.DeclareEquivalent({"a", "P", "K"}, {"b", "P", "K"}).ok());
+  ASSERT_TRUE(
+      equivalence.DeclareEquivalent({"a", "P", "V"}, {"b", "P", "V"}).ok());
+  AssertionStore assertions;
+  ASSERT_TRUE(assertions
+                  .Assert({"a", "P"}, {"b", "P"}, AssertionType::kEquals)
+                  .ok());
+  IntegrationResult result =
+      *core::Integrate(catalog, {"a", "b"}, equivalence, assertions);
+
+  ecr::Schema sa = **catalog.GetSchema("a");
+  ecr::Schema sb = **catalog.GetSchema("b");
+  InstanceStore store_a(&sa);
+  InstanceStore store_b(&sb);
+  ASSERT_TRUE(store_a.Insert("P", {{"K", Value::Int(1)},
+                                   {"V", Value::Str("left")}})
+                  .ok());
+  ASSERT_TRUE(store_b.Insert("P", {{"K", Value::Int(1)},
+                                   {"V", Value::Str("right")}})
+                  .ok());
+  Result<MaterializationResult> materialized = MaterializeIntegrated(
+      result, {{"a", &store_a}, {"b", &store_b}});
+  ASSERT_TRUE(materialized.ok()) << materialized.status();
+  // One merged entity; the V disagreement is reported, first writer wins.
+  EXPECT_EQ(materialized->store->num_entities(), 1);
+  ASSERT_EQ(materialized->conflicts.size(), 1u);
+  EXPECT_NE(materialized->conflicts[0].find("disagrees"), std::string::npos);
+}
+
+TEST(MaterializeTest, MissingComponentStoreFails) {
+  Fixture f = Make();
+  InstanceStore hr(&f.hr);
+  EXPECT_FALSE(MaterializeIntegrated(f.result, {{"hr", &hr}}).ok());
+}
+
+}  // namespace
+}  // namespace ecrint::data

@@ -1,0 +1,59 @@
+#include "data/value.h"
+
+#include <gtest/gtest.h>
+
+namespace ecrint::data {
+namespace {
+
+using ecr::Domain;
+
+TEST(ValueTest, DefaultIsNull) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_FALSE(Value::Int(0).is_null());
+}
+
+TEST(ValueTest, ToStringRendersByType) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Real(3.14159).ToString(), "3.14");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Str("abc").ToString(), "'abc'");
+}
+
+TEST(ValueTest, EqualityAndOrdering) {
+  EXPECT_EQ(Value::Int(7), Value::Int(7));
+  EXPECT_FALSE(Value::Int(7) == Value::Int(8));
+  EXPECT_FALSE(Value::Int(7) == Value::Real(7.0));  // different types
+  EXPECT_LT(Value::Int(7), Value::Int(8));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, MatchesBaseTypes) {
+  EXPECT_TRUE(Value::Int(5).Matches(Domain::Int()));
+  EXPECT_FALSE(Value::Int(5).Matches(Domain::Real()));
+  EXPECT_TRUE(Value::Real(0.5).Matches(Domain::Real()));
+  EXPECT_TRUE(Value::Bool(false).Matches(Domain::Bool()));
+  EXPECT_TRUE(Value::Str("x").Matches(Domain::Char()));
+  EXPECT_TRUE(Value::Str("2026-07-06").Matches(Domain::Date()));
+  EXPECT_FALSE(Value::Str("x").Matches(Domain::Int()));
+}
+
+TEST(ValueTest, NullMatchesEverything) {
+  for (const Domain& d : {Domain::Int(), Domain::Char(), Domain::Bool()}) {
+    EXPECT_TRUE(Value::Null().Matches(d));
+  }
+}
+
+TEST(ValueTest, MatchesRangeAndLengthBounds) {
+  EXPECT_TRUE(Value::Int(50).Matches(Domain::IntRange(0, 100)));
+  EXPECT_FALSE(Value::Int(101).Matches(Domain::IntRange(0, 100)));
+  EXPECT_FALSE(Value::Int(-1).Matches(Domain::IntRange(0, 100)));
+  EXPECT_TRUE(Value::Real(0.5).Matches(Domain::RealRange(0, 1)));
+  EXPECT_FALSE(Value::Real(1.5).Matches(Domain::RealRange(0, 1)));
+  EXPECT_TRUE(Value::Str("abc").Matches(Domain::CharN(3)));
+  EXPECT_FALSE(Value::Str("abcd").Matches(Domain::CharN(3)));
+}
+
+}  // namespace
+}  // namespace ecrint::data

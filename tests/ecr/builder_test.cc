@@ -1,0 +1,75 @@
+#include "ecr/builder.h"
+
+#include <gtest/gtest.h>
+
+namespace ecrint::ecr {
+namespace {
+
+TEST(SchemaBuilderTest, BuildsPaperFigure3) {
+  SchemaBuilder b("sc1");
+  b.Entity("Student")
+      .Attr("Name", Domain::Char(), /*key=*/true)
+      .Attr("GPA", Domain::Real());
+  b.Entity("Department").Attr("Dname", Domain::Char(), /*key=*/true);
+  b.Relationship("Majors", {{"Student", 1, 1, ""},
+                            {"Department", 0, SchemaBuilder::kN, ""}});
+  Result<Schema> schema = b.Build();
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->num_objects(), 2);
+  EXPECT_EQ(schema->num_relationships(), 1);
+  ObjectId student = schema->FindObject("Student");
+  ASSERT_NE(student, kNoObject);
+  ASSERT_EQ(schema->object(student).attributes.size(), 2u);
+  EXPECT_TRUE(schema->object(student).attributes[0].is_key);
+}
+
+TEST(SchemaBuilderTest, CategoriesAndRoles) {
+  SchemaBuilder b("s");
+  b.Entity("Person").Attr("Name", Domain::Char(), true);
+  b.Category("Employee", {"Person"}).Attr("Salary", Domain::Int());
+  b.Relationship("Manages", {{"Employee", 0, 1, "manager"},
+                             {"Employee", 0, SchemaBuilder::kN, "report"}});
+  Result<Schema> schema = b.Build();
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  ObjectId employee = schema->FindObject("Employee");
+  EXPECT_EQ(schema->object(employee).kind, ObjectKind::kCategory);
+  const RelationshipSet& rel = schema->relationship(0);
+  EXPECT_EQ(rel.participants[0].role, "manager");
+  EXPECT_EQ(rel.participants[1].role, "report");
+}
+
+TEST(SchemaBuilderTest, FirstErrorIsLatched) {
+  SchemaBuilder b("s");
+  b.Entity("A");
+  b.Category("C", {"Missing"});        // first error: parent not found
+  b.Entity("A");                       // would be AlreadyExists
+  b.Attr("x", Domain::Int());          // would be dangling
+  Result<Schema> schema = b.Build();
+  ASSERT_FALSE(schema.ok());
+  EXPECT_EQ(schema.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaBuilderTest, AttrBeforeStructureFails) {
+  SchemaBuilder b("s");
+  b.Attr("x", Domain::Int());
+  EXPECT_EQ(b.Build().status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SchemaBuilderTest, AttrAfterErrorDoesNotCrash) {
+  SchemaBuilder b("s");
+  b.Entity("A").Attr("x", Domain::Int()).Attr("x", Domain::Int());
+  Result<Schema> schema = b.Build();
+  EXPECT_EQ(schema.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaBuilderTest, StatusAccessorExposesLatchedError) {
+  SchemaBuilder ok("s");
+  ok.Entity("A");
+  EXPECT_TRUE(ok.status().ok());
+  SchemaBuilder bad("s");
+  bad.Category("C", {"Missing"});
+  EXPECT_FALSE(bad.status().ok());
+}
+
+}  // namespace
+}  // namespace ecrint::ecr

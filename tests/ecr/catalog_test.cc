@@ -1,0 +1,78 @@
+#include "ecr/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "ecr/builder.h"
+
+namespace ecrint::ecr {
+namespace {
+
+TEST(CatalogTest, CreateLookupDrop) {
+  Catalog catalog;
+  Result<Schema*> sc1 = catalog.CreateSchema("sc1");
+  ASSERT_TRUE(sc1.ok());
+  EXPECT_TRUE(catalog.Contains("sc1"));
+  EXPECT_EQ(catalog.size(), 1);
+
+  ASSERT_TRUE((*sc1)->AddEntitySet("Student").ok());
+  Result<const Schema*> found = catalog.GetSchema("sc1");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ((*found)->num_objects(), 1);
+
+  EXPECT_TRUE(catalog.DropSchema("sc1").ok());
+  EXPECT_FALSE(catalog.Contains("sc1"));
+  EXPECT_EQ(catalog.DropSchema("sc1").code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, DuplicateNamesRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateSchema("sc1").ok());
+  EXPECT_EQ(catalog.CreateSchema("sc1").status().code(),
+            StatusCode::kAlreadyExists);
+  Schema other("sc1");
+  EXPECT_EQ(catalog.AddSchema(std::move(other)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, InvalidNamesRejected) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.CreateSchema("bad name").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, AddSchemaMovesBuiltSchema) {
+  Catalog catalog;
+  SchemaBuilder b("sc2");
+  b.Entity("Faculty").Attr("Name", Domain::Char(), true);
+  Result<Schema> schema = b.Build();
+  ASSERT_TRUE(schema.ok());
+  ASSERT_TRUE(catalog.AddSchema(*std::move(schema)).ok());
+  Result<const Schema*> found = catalog.GetSchema("sc2");
+  ASSERT_TRUE(found.ok());
+  EXPECT_NE((*found)->FindObject("Faculty"), kNoObject);
+}
+
+TEST(CatalogTest, SchemaNamesPreserveDefinitionOrder) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateSchema("zeta").ok());
+  ASSERT_TRUE(catalog.CreateSchema("alpha").ok());
+  ASSERT_TRUE(catalog.CreateSchema("mid").ok());
+  EXPECT_EQ(catalog.SchemaNames(),
+            (std::vector<std::string>{"zeta", "alpha", "mid"}));
+  ASSERT_TRUE(catalog.DropSchema("alpha").ok());
+  EXPECT_EQ(catalog.SchemaNames(),
+            (std::vector<std::string>{"zeta", "mid"}));
+}
+
+TEST(CatalogTest, PointersStableAcrossInserts) {
+  Catalog catalog;
+  Schema* first = *catalog.CreateSchema("a");
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(catalog.CreateSchema("s" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(first->AddEntitySet("E").ok());
+  EXPECT_EQ((*catalog.GetSchema("a"))->num_objects(), 1);
+}
+
+}  // namespace
+}  // namespace ecrint::ecr

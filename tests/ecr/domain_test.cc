@@ -1,0 +1,95 @@
+#include "ecr/domain.h"
+
+#include <gtest/gtest.h>
+
+namespace ecrint::ecr {
+namespace {
+
+TEST(DomainTest, ToStringRendersConstraints) {
+  EXPECT_EQ(Domain::Char().ToString(), "char");
+  EXPECT_EQ(Domain::CharN(20).ToString(), "char(20)");
+  EXPECT_EQ(Domain::Int().ToString(), "int");
+  EXPECT_EQ(Domain::IntRange(0, 120).ToString(), "int[0..120]");
+  EXPECT_EQ(Domain::RealRange(0, 4).ToString(), "real[0.00..4.00]");
+  EXPECT_EQ(Domain::Bool().ToString(), "bool");
+  EXPECT_EQ(Domain::Date().ToString(), "date");
+  EXPECT_EQ(Domain::Real().set_unit("km").ToString(), "real unit km");
+}
+
+TEST(DomainTest, ParseRoundTrip) {
+  for (const Domain& d :
+       {Domain::Char(), Domain::CharN(8), Domain::Int(),
+        Domain::IntRange(-5, 5), Domain::Real(), Domain::RealRange(0, 1),
+        Domain::Bool(), Domain::Date(), Domain::Int().set_unit("years")}) {
+    Result<Domain> parsed = ParseDomain(d.ToString());
+    ASSERT_TRUE(parsed.ok()) << d.ToString() << ": " << parsed.status();
+    EXPECT_EQ(*parsed, d) << d.ToString();
+  }
+}
+
+TEST(DomainTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(ParseDomain("").ok());
+  EXPECT_FALSE(ParseDomain("varchar").ok());
+  EXPECT_FALSE(ParseDomain("char(").ok());
+  EXPECT_FALSE(ParseDomain("char(0)").ok());
+  EXPECT_FALSE(ParseDomain("char(-3)").ok());
+  EXPECT_FALSE(ParseDomain("int[5..1]").ok());
+  EXPECT_FALSE(ParseDomain("int[1..]").ok());
+  EXPECT_FALSE(ParseDomain("int[a..b]").ok());
+  EXPECT_FALSE(ParseDomain("real[1,2]").ok());
+}
+
+TEST(DomainTest, DifferentBaseTypesAreDisjoint) {
+  EXPECT_EQ(Domain::Int().Compare(Domain::Char()),
+            DomainRelation::kDisjoint);
+  EXPECT_FALSE(Domain::Int().Comparable(Domain::Real()));
+}
+
+TEST(DomainTest, UnitMismatchIsDisjoint) {
+  Domain km = Domain::Real().set_unit("km");
+  Domain mi = Domain::Real().set_unit("mi");
+  EXPECT_EQ(km.Compare(mi), DomainRelation::kDisjoint);
+  EXPECT_EQ(km.Compare(Domain::Real().set_unit("km")),
+            DomainRelation::kEqual);
+}
+
+TEST(DomainTest, CharLengthGivesContainment) {
+  EXPECT_EQ(Domain::CharN(20).Compare(Domain::CharN(10)),
+            DomainRelation::kContains);
+  EXPECT_EQ(Domain::CharN(10).Compare(Domain::CharN(20)),
+            DomainRelation::kContainedIn);
+  EXPECT_EQ(Domain::Char().Compare(Domain::CharN(10)),
+            DomainRelation::kContains);
+  EXPECT_EQ(Domain::CharN(10).Compare(Domain::CharN(10)),
+            DomainRelation::kEqual);
+}
+
+TEST(DomainTest, NumericRangesCompareAsIntervals) {
+  EXPECT_EQ(Domain::IntRange(0, 100).Compare(Domain::IntRange(10, 20)),
+            DomainRelation::kContains);
+  EXPECT_EQ(Domain::IntRange(10, 20).Compare(Domain::IntRange(0, 100)),
+            DomainRelation::kContainedIn);
+  EXPECT_EQ(Domain::IntRange(0, 10).Compare(Domain::IntRange(5, 15)),
+            DomainRelation::kOverlap);
+  EXPECT_EQ(Domain::IntRange(0, 10).Compare(Domain::IntRange(11, 20)),
+            DomainRelation::kDisjoint);
+  EXPECT_EQ(Domain::Int().Compare(Domain::IntRange(0, 10)),
+            DomainRelation::kContains);
+  EXPECT_EQ(Domain::Int().Compare(Domain::Int()), DomainRelation::kEqual);
+}
+
+TEST(DomainTest, ComparableIsTheBinarySimplification) {
+  // The paper's tool treats attributes as equivalent/nonequivalent only;
+  // Comparable() collapses the Larson et al. lattice accordingly.
+  EXPECT_TRUE(Domain::IntRange(0, 10).Comparable(Domain::IntRange(5, 15)));
+  EXPECT_TRUE(Domain::CharN(5).Comparable(Domain::Char()));
+  EXPECT_FALSE(Domain::IntRange(0, 10).Comparable(Domain::IntRange(20, 30)));
+}
+
+TEST(DomainTest, BoolAndDateCompareEqual) {
+  EXPECT_EQ(Domain::Bool().Compare(Domain::Bool()), DomainRelation::kEqual);
+  EXPECT_EQ(Domain::Date().Compare(Domain::Date()), DomainRelation::kEqual);
+}
+
+}  // namespace
+}  // namespace ecrint::ecr

@@ -1,0 +1,59 @@
+#include "ecr/dot_export.h"
+
+#include <gtest/gtest.h>
+
+#include "ecr/builder.h"
+
+namespace ecrint::ecr {
+namespace {
+
+Schema Sample() {
+  SchemaBuilder b("sc1");
+  b.Entity("Student").Attr("Name", Domain::Char(), true);
+  b.Entity("Department").Attr("Dname", Domain::Char(), true);
+  b.Category("Grad_student", {"Student"});
+  b.Relationship("Majors", {{"Student", 1, 1, ""},
+                            {"Department", 0, SchemaBuilder::kN, ""}});
+  return *b.Build();
+}
+
+TEST(DotExportTest, EmitsWellFormedGraph) {
+  std::string dot = ToDot(Sample());
+  EXPECT_NE(dot.find("graph \"sc1\" {"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("}"), std::string::npos);
+  // Balanced braces.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(DotExportTest, ShapesFollowErVocabulary) {
+  std::string dot = ToDot(Sample());
+  EXPECT_NE(dot.find("shape=box, label=\"Student\""), std::string::npos);
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos);    // category
+  EXPECT_NE(dot.find("shape=diamond, label=\"Majors\""), std::string::npos);
+  EXPECT_NE(dot.find("shape=ellipse"), std::string::npos);    // attribute
+}
+
+TEST(DotExportTest, EdgesCarryIsaAndCardinality) {
+  std::string dot = ToDot(Sample());
+  EXPECT_NE(dot.find("label=\"is-a\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"[1,1]\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"[0,n]\""), std::string::npos);
+}
+
+TEST(DotExportTest, KeyAttributesUnderlined) {
+  std::string dot = ToDot(Sample());
+  EXPECT_NE(dot.find("<<u>Name</u>>"), std::string::npos);
+}
+
+TEST(DotExportTest, EscapesQuotesInNames) {
+  Schema s("quote");
+  ObjectId e = *s.AddEntitySet("Plain");
+  (void)e;
+  std::string dot = ToDot(s);
+  EXPECT_EQ(dot.find("\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecrint::ecr

@@ -1,0 +1,68 @@
+#include "ecr/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "ecr/builder.h"
+
+namespace ecrint::ecr {
+namespace {
+
+Schema Sample() {
+  SchemaBuilder b("sc1");
+  b.Entity("Student")
+      .Attr("Name", Domain::Char(), true)
+      .Attr("GPA", Domain::Real());
+  b.Entity("Department").Attr("Dname", Domain::Char(), true);
+  b.Category("Grad_student", {"Student"})
+      .Attr("Support_type", Domain::Char());
+  b.Relationship("Majors", {{"Student", 1, 1, ""},
+                            {"Department", 0, SchemaBuilder::kN, ""}});
+  return *b.Build();
+}
+
+TEST(PrinterTest, ToDdlContainsAllStructures) {
+  std::string ddl = ToDdl(Sample());
+  EXPECT_NE(ddl.find("schema sc1 {"), std::string::npos);
+  EXPECT_NE(ddl.find("entity Student {"), std::string::npos);
+  EXPECT_NE(ddl.find("Name: char key;"), std::string::npos);
+  EXPECT_NE(ddl.find("category Grad_student of Student {"),
+            std::string::npos);
+  EXPECT_NE(ddl.find("relationship Majors (Student [1,1], Department [0,n])"),
+            std::string::npos);
+}
+
+TEST(PrinterTest, ToOutlineShowsInheritanceAndIsa) {
+  std::string outline = ToOutline(Sample());
+  EXPECT_NE(outline.find("category Grad_student"), std::string::npos);
+  EXPECT_NE(outline.find("is-a: Student"), std::string::npos);
+  EXPECT_NE(outline.find("inherited: Name GPA"), std::string::npos);
+}
+
+TEST(PrinterTest, OutlineMarksDerivedAndEquivalent) {
+  Schema s("i");
+  ObjectId d = *s.AddEntitySet("D_Stud_Facu");
+  s.mutable_object(d).origin = ObjectOrigin::kDerived;
+  ObjectId e = *s.AddEntitySet("E_Department");
+  s.mutable_object(e).origin = ObjectOrigin::kEquivalent;
+  std::string outline = ToOutline(s);
+  EXPECT_NE(outline.find("D_Stud_Facu  (derived)"), std::string::npos);
+  EXPECT_NE(outline.find("E_Department  (equivalent)"), std::string::npos);
+}
+
+TEST(PrinterTest, SummarizeCounts) {
+  EXPECT_EQ(Summarize(Sample()),
+            "sc1: 2 entities, 1 categories, 1 relationships");
+}
+
+TEST(PrinterTest, RolesRenderedInDdl) {
+  SchemaBuilder b("s");
+  b.Entity("Employee");
+  b.Relationship("Manages", {{"Employee", 0, 1, "boss"},
+                             {"Employee", 0, SchemaBuilder::kN, "report"}});
+  std::string ddl = ToDdl(*b.Build());
+  EXPECT_NE(ddl.find("Employee as boss [0,1]"), std::string::npos);
+  EXPECT_NE(ddl.find("Employee as report [0,n]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecrint::ecr

@@ -1,0 +1,199 @@
+#include "ecr/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace ecrint::ecr {
+namespace {
+
+Schema MakeUniversity() {
+  Schema s("sc1");
+  ObjectId student = *s.AddEntitySet("Student");
+  ObjectId department = *s.AddEntitySet("Department");
+  EXPECT_TRUE(
+      s.AddObjectAttribute(student, {"Name", Domain::Char(), true}).ok());
+  EXPECT_TRUE(
+      s.AddObjectAttribute(student, {"GPA", Domain::Real(), false}).ok());
+  EXPECT_TRUE(
+      s.AddObjectAttribute(department, {"Dname", Domain::Char(), true}).ok());
+  EXPECT_TRUE(s.AddRelationship("Majors", {Participation{student, 1, 1, ""},
+                                           Participation{department, 0,
+                                                         kUnboundedCardinality,
+                                                         ""}})
+                  .ok());
+  return s;
+}
+
+TEST(SchemaTest, AddAndLookupEntities) {
+  Schema s = MakeUniversity();
+  EXPECT_EQ(s.num_objects(), 2);
+  EXPECT_EQ(s.num_relationships(), 1);
+  ASSERT_NE(s.FindObject("Student"), kNoObject);
+  EXPECT_EQ(s.object(s.FindObject("Student")).name, "Student");
+  EXPECT_EQ(s.FindObject("Nonexistent"), kNoObject);
+  EXPECT_EQ(s.FindRelationship("Majors"), 0);
+  EXPECT_LT(s.FindRelationship("Nope"), 0);
+}
+
+TEST(SchemaTest, GetObjectReportsNotFound) {
+  Schema s = MakeUniversity();
+  Result<ObjectId> r = s.GetObject("Professor");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, NamesShareOneNamespace) {
+  Schema s = MakeUniversity();
+  // Per the paper's Structure Information Collection Screen, entity sets,
+  // categories and relationships are all "structures" with unique names.
+  EXPECT_EQ(s.AddEntitySet("Majors").status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(s.AddRelationship("Student", {}).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, RejectsInvalidIdentifiers) {
+  Schema s("x");
+  EXPECT_EQ(s.AddEntitySet("two words").status().code(),
+            StatusCode::kInvalidArgument);
+  ObjectId e = *s.AddEntitySet("E");
+  EXPECT_EQ(s.AddObjectAttribute(e, {"bad name", Domain::Char(), false})
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, DuplicateAttributeRejected) {
+  Schema s = MakeUniversity();
+  ObjectId student = s.FindObject("Student");
+  EXPECT_EQ(
+      s.AddObjectAttribute(student, {"Name", Domain::Char(), false}).code(),
+      StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, CategoryNeedsExistingParents) {
+  Schema s = MakeUniversity();
+  EXPECT_EQ(s.AddCategory("Orphan", {}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.AddCategory("Bad", {99}).status().code(),
+            StatusCode::kNotFound);
+  Result<ObjectId> grad =
+      s.AddCategory("Grad_student", {s.FindObject("Student")});
+  ASSERT_TRUE(grad.ok());
+  EXPECT_EQ(s.object(*grad).kind, ObjectKind::kCategory);
+}
+
+TEST(SchemaTest, CategoryInheritsParentAttributes) {
+  Schema s = MakeUniversity();
+  ObjectId student = s.FindObject("Student");
+  ObjectId grad = *s.AddCategory("Grad_student", {student});
+  ASSERT_TRUE(
+      s.AddObjectAttribute(grad, {"Support_type", Domain::Char(), false})
+          .ok());
+  std::vector<Attribute> all = s.InheritedAttributes(grad);
+  ASSERT_EQ(all.size(), 3u);
+  // Parents first, own attributes last.
+  EXPECT_EQ(all[0].name, "Name");
+  EXPECT_EQ(all[1].name, "GPA");
+  EXPECT_EQ(all[2].name, "Support_type");
+}
+
+TEST(SchemaTest, InheritedAttributeNameCannotBeRedeclared) {
+  Schema s = MakeUniversity();
+  ObjectId grad = *s.AddCategory("Grad_student", {s.FindObject("Student")});
+  EXPECT_EQ(
+      s.AddObjectAttribute(grad, {"Name", Domain::Char(), false}).code(),
+      StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, DiamondInheritanceDeduplicates) {
+  Schema s("d");
+  ObjectId person = *s.AddEntitySet("Person");
+  ASSERT_TRUE(
+      s.AddObjectAttribute(person, {"Name", Domain::Char(), true}).ok());
+  ObjectId staff = *s.AddCategory("Staff", {person});
+  ObjectId student = *s.AddCategory("Student", {person});
+  ObjectId ta = *s.AddCategory("TA", {staff, student});
+  std::vector<Attribute> all = s.InheritedAttributes(ta);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].name, "Name");
+}
+
+TEST(SchemaTest, AddParentRejectsCycles) {
+  Schema s("c");
+  ObjectId a = *s.AddEntitySet("A");
+  ObjectId b = *s.AddCategory("B", {a});
+  ObjectId c = *s.AddCategory("C", {b});
+  EXPECT_EQ(s.AddParent(a, c).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.AddParent(b, b).code(), StatusCode::kInvalidArgument);
+  // Adding an existing parent is an idempotent no-op.
+  EXPECT_TRUE(s.AddParent(c, b).ok());
+  EXPECT_EQ(s.object(c).parents.size(), 1u);
+}
+
+TEST(SchemaTest, ChildrenAndAncestors) {
+  Schema s("h");
+  ObjectId person = *s.AddEntitySet("Person");
+  ObjectId student = *s.AddCategory("Student", {person});
+  ObjectId grad = *s.AddCategory("Grad", {student});
+  EXPECT_EQ(s.ChildrenOf(person), std::vector<ObjectId>{student});
+  EXPECT_EQ(s.ChildrenOf(student), std::vector<ObjectId>{grad});
+  EXPECT_TRUE(s.HasAncestor(grad, person));
+  EXPECT_FALSE(s.HasAncestor(person, grad));
+}
+
+TEST(SchemaTest, RelationshipValidation) {
+  Schema s("r");
+  ObjectId a = *s.AddEntitySet("A");
+  EXPECT_EQ(
+      s.AddRelationship("One", {Participation{a, 0, 1, ""}}).status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.AddRelationship("Dangling",
+                              {Participation{a, 0, 1, ""},
+                               Participation{42, 0, 1, ""}})
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  // min > max is invalid; [2,2] is fine; max 0 is invalid.
+  EXPECT_EQ(s.AddRelationship("BadCard",
+                              {Participation{a, 3, 2, ""},
+                               Participation{a, 0, 1, ""}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(s.AddRelationship("Self",
+                                {Participation{a, 2, 2, "left"},
+                                 Participation{a, 0, 1, "right"}})
+                  .ok());
+}
+
+TEST(SchemaTest, RelationshipsOfFindsParticipations) {
+  Schema s = MakeUniversity();
+  ObjectId student = s.FindObject("Student");
+  ObjectId department = s.FindObject("Department");
+  EXPECT_EQ(s.RelationshipsOf(student), std::vector<RelationshipId>{0});
+  EXPECT_EQ(s.RelationshipsOf(department), std::vector<RelationshipId>{0});
+  ObjectId lonely = *s.AddEntitySet("Lonely");
+  EXPECT_TRUE(s.RelationshipsOf(lonely).empty());
+}
+
+TEST(SchemaTest, ObjectsOfKind) {
+  Schema s = MakeUniversity();
+  ObjectId grad = *s.AddCategory("Grad_student", {s.FindObject("Student")});
+  std::vector<ObjectId> entities = s.ObjectsOfKind(ObjectKind::kEntitySet);
+  EXPECT_EQ(entities.size(), 2u);
+  std::vector<ObjectId> categories = s.ObjectsOfKind(ObjectKind::kCategory);
+  ASSERT_EQ(categories.size(), 1u);
+  EXPECT_EQ(categories[0], grad);
+}
+
+TEST(SchemaTest, CardinalityToStringUsesN) {
+  EXPECT_EQ(CardinalityToString(1, 1), "[1,1]");
+  EXPECT_EQ(CardinalityToString(0, kUnboundedCardinality), "[0,n]");
+}
+
+TEST(SchemaTest, KindCodesMatchPaperScreens) {
+  EXPECT_EQ(ObjectKindCode(ObjectKind::kEntitySet), 'e');
+  EXPECT_EQ(ObjectKindCode(ObjectKind::kCategory), 'c');
+}
+
+}  // namespace
+}  // namespace ecrint::ecr

@@ -1,0 +1,153 @@
+#include "ecr/transform.h"
+
+#include <gtest/gtest.h>
+
+#include "ecr/builder.h"
+#include "ecr/validate.h"
+
+namespace ecrint::ecr {
+namespace {
+
+Schema Company() {
+  SchemaBuilder b("co");
+  b.Entity("Employee")
+      .Attr("Ssn", Domain::Int(), true)
+      .Attr("Name", Domain::Char())
+      .Attr("Dept_name", Domain::Char());
+  return *b.Build();
+}
+
+TEST(TransformTest, PromoteAttributeToEntity) {
+  Result<Schema> out = PromoteAttributeToEntity(
+      Company(), "Employee", "Dept_name", "Department", "Works_in");
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(CheckSchemaValid(*out).ok());
+
+  // The attribute moved: gone from Employee, key of Department.
+  ObjectId employee = out->FindObject("Employee");
+  for (const Attribute& a : out->object(employee).attributes) {
+    EXPECT_NE(a.name, "Dept_name");
+  }
+  ObjectId department = out->FindObject("Department");
+  ASSERT_NE(department, kNoObject);
+  ASSERT_EQ(out->object(department).attributes.size(), 1u);
+  EXPECT_EQ(out->object(department).attributes[0].name, "Dept_name");
+  EXPECT_TRUE(out->object(department).attributes[0].is_key);
+
+  // Linked by the new relationship with [0,1] on the employee side.
+  RelationshipId rel = out->FindRelationship("Works_in");
+  ASSERT_GE(rel, 0);
+  EXPECT_EQ(out->relationship(rel).participants[0].object, employee);
+  EXPECT_EQ(out->relationship(rel).participants[0].max_card, 1);
+  EXPECT_EQ(out->relationship(rel).participants[1].max_card,
+            kUnboundedCardinality);
+}
+
+TEST(TransformTest, PromoteRejectsBadInput) {
+  Schema co = Company();
+  EXPECT_FALSE(
+      PromoteAttributeToEntity(co, "Ghost", "X", "E", "R").ok());
+  EXPECT_FALSE(
+      PromoteAttributeToEntity(co, "Employee", "Ghost", "E", "R").ok());
+  // Keys stay put.
+  EXPECT_EQ(PromoteAttributeToEntity(co, "Employee", "Ssn", "E", "R")
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  // Source schema untouched.
+  EXPECT_EQ(co.object(co.FindObject("Employee")).attributes.size(), 3u);
+}
+
+Schema Census() {
+  SchemaBuilder b("census");
+  b.Entity("Male").Attr("Ssn", Domain::Int(), true);
+  b.Entity("Female").Attr("Ssn", Domain::Int(), true);
+  b.Relationship("Marriage", {{"Male", 0, 1, "husband"},
+                              {"Female", 0, 1, "wife"}})
+      .Attr("Marriage_date", Domain::Date())
+      .Attr("Location", Domain::Char());
+  return *b.Build();
+}
+
+TEST(TransformTest, RelationshipToEntityBuildsLinkedEntity) {
+  Result<Schema> out = RelationshipToEntity(Census(), "Marriage");
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(CheckSchemaValid(*out).ok());
+
+  ObjectId marriage = out->FindObject("Marriage");
+  ASSERT_NE(marriage, kNoObject);
+  EXPECT_EQ(out->object(marriage).kind, ObjectKind::kEntitySet);
+  ASSERT_EQ(out->object(marriage).attributes.size(), 2u);
+  // First attribute promoted to key (none was marked).
+  EXPECT_TRUE(out->object(marriage).attributes[0].is_key);
+
+  // One [1,1] link per original participant, named by role.
+  RelationshipId husband = out->FindRelationship("Marriage_husband");
+  RelationshipId wife = out->FindRelationship("Marriage_wife");
+  ASSERT_GE(husband, 0);
+  ASSERT_GE(wife, 0);
+  const RelationshipSet& link = out->relationship(husband);
+  EXPECT_EQ(link.participants[0].object, marriage);
+  EXPECT_EQ(link.participants[0].min_card, 1);
+  EXPECT_EQ(link.participants[0].max_card, 1);
+  // The partner keeps its original [0,1].
+  EXPECT_EQ(link.participants[1].max_card, 1);
+}
+
+TEST(TransformTest, RelationshipToEntitySynthesizesKeyWhenAttributeless) {
+  SchemaBuilder b("s");
+  b.Entity("A").Attr("K", Domain::Int(), true);
+  b.Entity("B").Attr("K2", Domain::Int(), true);
+  b.Relationship("Link", {{"A", 0, 1, ""}, {"B", 0, 1, ""}});
+  Result<Schema> out = RelationshipToEntity(*b.Build(), "Link");
+  ASSERT_TRUE(out.ok()) << out.status();
+  ObjectId link = out->FindObject("Link");
+  ASSERT_EQ(out->object(link).attributes.size(), 1u);
+  EXPECT_EQ(out->object(link).attributes[0].name, "Id");
+  EXPECT_TRUE(out->object(link).attributes[0].is_key);
+}
+
+TEST(TransformTest, EntityToRelationshipInvertsTheConversion) {
+  // Round trip: Marriage relationship -> entity -> relationship again.
+  Result<Schema> as_entity = RelationshipToEntity(Census(), "Marriage");
+  ASSERT_TRUE(as_entity.ok());
+  Result<Schema> back = EntityToRelationship(*as_entity, "Marriage");
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(CheckSchemaValid(*back).ok());
+
+  RelationshipId marriage = back->FindRelationship("Marriage");
+  ASSERT_GE(marriage, 0);
+  const RelationshipSet& rel = back->relationship(marriage);
+  ASSERT_EQ(rel.participants.size(), 2u);
+  std::set<std::string> partners;
+  for (const Participation& p : rel.participants) {
+    partners.insert(back->object(p.object).name);
+    EXPECT_EQ(p.max_card, 1);  // original [0,1] cardinalities survive
+  }
+  EXPECT_EQ(partners, (std::set<std::string>{"Male", "Female"}));
+  // The entity's attributes ride along (key flag dropped).
+  ASSERT_EQ(rel.attributes.size(), 2u);
+  EXPECT_FALSE(rel.attributes[0].is_key);
+}
+
+TEST(TransformTest, EntityToRelationshipPreconditions) {
+  Schema census = Census();
+  // A plain entity with no links.
+  EXPECT_EQ(EntityToRelationship(census, "Male").status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(EntityToRelationship(census, "Ghost").ok());
+  // Categories block the conversion.
+  SchemaBuilder b("s");
+  b.Entity("E").Attr("K", Domain::Int(), true);
+  b.Entity("A").Attr("K2", Domain::Int(), true);
+  b.Entity("B").Attr("K3", Domain::Int(), true);
+  b.Category("Sub", {"E"});
+  b.Relationship("L1", {{"E", 1, 1, ""}, {"A", 0, 1, ""}});
+  b.Relationship("L2", {{"E", 1, 1, ""}, {"B", 0, 1, ""}});
+  Schema s = *b.Build();
+  EXPECT_EQ(EntityToRelationship(s, "E").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace ecrint::ecr

@@ -1,0 +1,124 @@
+#include "ecr/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "ecr/builder.h"
+
+namespace ecrint::ecr {
+namespace {
+
+bool HasIssue(const std::vector<ValidationIssue>& issues,
+              IssueSeverity severity, const std::string& needle) {
+  for (const ValidationIssue& issue : issues) {
+    if (issue.severity == severity &&
+        issue.ToString().find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Schema ValidUniversity() {
+  SchemaBuilder b("sc1");
+  b.Entity("Student").Attr("Name", Domain::Char(), true);
+  b.Entity("Department").Attr("Dname", Domain::Char(), true);
+  b.Category("Grad_student", {"Student"});
+  b.Relationship("Majors", {{"Student", 1, 1, ""},
+                            {"Department", 0, SchemaBuilder::kN, ""}});
+  return *b.Build();
+}
+
+TEST(ValidateTest, CleanSchemaHasNoErrors) {
+  Schema s = ValidUniversity();
+  EXPECT_TRUE(CheckSchemaValid(s).ok());
+  for (const ValidationIssue& issue : ValidateSchema(s)) {
+    EXPECT_NE(issue.severity, IssueSeverity::kError) << issue.ToString();
+  }
+}
+
+TEST(ValidateTest, MissingKeyIsWarningOnly) {
+  Schema s("w");
+  ASSERT_TRUE(s.AddEntitySet("NoKey").ok());
+  std::vector<ValidationIssue> issues = ValidateSchema(s);
+  EXPECT_TRUE(HasIssue(issues, IssueSeverity::kWarning, "no key attribute"));
+  EXPECT_TRUE(CheckSchemaValid(s).ok());
+}
+
+TEST(ValidateTest, DetectsIsaCycleInjectedBehindApi) {
+  // The Schema API refuses cycles, so corrupt the parent list directly to
+  // prove the validator catches what the API cannot see (e.g. hand-built
+  // integration output).
+  Schema s("cyc");
+  ObjectId a = *s.AddEntitySet("A");
+  ObjectId b = *s.AddCategory("B", {a});
+  s.mutable_object(a).parents.push_back(b);
+  std::vector<ValidationIssue> issues = ValidateSchema(s);
+  EXPECT_TRUE(HasIssue(issues, IssueSeverity::kError, "cycle"));
+  EXPECT_FALSE(CheckSchemaValid(s).ok());
+}
+
+TEST(ValidateTest, EntityWithParentsIsError) {
+  Schema s("e");
+  ObjectId a = *s.AddEntitySet("A");
+  ObjectId b = *s.AddEntitySet("B");
+  s.mutable_object(b).parents.push_back(a);
+  EXPECT_TRUE(HasIssue(ValidateSchema(s), IssueSeverity::kError,
+                       "entity set must not have parents"));
+}
+
+TEST(ValidateTest, CategoryWithoutParentIsError) {
+  Schema s("c");
+  ObjectId a = *s.AddEntitySet("A");
+  ObjectId b = *s.AddCategory("B", {a});
+  s.mutable_object(b).parents.clear();
+  EXPECT_TRUE(
+      HasIssue(ValidateSchema(s), IssueSeverity::kError, "no parent"));
+}
+
+TEST(ValidateTest, DanglingParticipantIsError) {
+  Schema s("d");
+  ObjectId a = *s.AddEntitySet("A");
+  ObjectId b = *s.AddEntitySet("B");
+  ASSERT_TRUE(s.AddRelationship("R", {Participation{a, 0, 1, ""},
+                                      Participation{b, 0, 1, ""}})
+                  .ok());
+  s.mutable_relationship(0).participants[1].object = 99;
+  EXPECT_TRUE(
+      HasIssue(ValidateSchema(s), IssueSeverity::kError, "out of range"));
+}
+
+TEST(ValidateTest, BadCardinalityIsError) {
+  Schema s("b");
+  ObjectId a = *s.AddEntitySet("A");
+  ObjectId b = *s.AddEntitySet("B");
+  ASSERT_TRUE(s.AddRelationship("R", {Participation{a, 0, 1, ""},
+                                      Participation{b, 0, 1, ""}})
+                  .ok());
+  s.mutable_relationship(0).participants[0].min_card = 5;  // now [5,1]
+  EXPECT_TRUE(HasIssue(ValidateSchema(s), IssueSeverity::kError,
+                       "invalid cardinality"));
+}
+
+TEST(ValidateTest, UnitMismatchAcrossUsesIsWarning) {
+  Schema s("u");
+  ObjectId a = *s.AddEntitySet("A");
+  ObjectId b = *s.AddEntitySet("B");
+  ASSERT_TRUE(s.AddObjectAttribute(
+                   a, {"Distance", Domain::Real().set_unit("km"), true})
+                  .ok());
+  ASSERT_TRUE(s.AddObjectAttribute(
+                   b, {"Distance", Domain::Real().set_unit("mi"), true})
+                  .ok());
+  EXPECT_TRUE(HasIssue(ValidateSchema(s), IssueSeverity::kWarning,
+                       "incomparable"));
+}
+
+TEST(ValidateTest, IssueToStringFormats) {
+  ValidationIssue issue{IssueSeverity::kError, "R", "boom"};
+  EXPECT_EQ(issue.ToString(), "error: R: boom");
+  ValidationIssue warn{IssueSeverity::kWarning, "", "hmm"};
+  EXPECT_EQ(warn.ToString(), "warning: hmm");
+}
+
+}  // namespace
+}  // namespace ecrint::ecr

@@ -1,0 +1,103 @@
+#include "heuristics/construct_match.h"
+
+#include <gtest/gtest.h>
+
+#include "ecr/builder.h"
+
+namespace ecrint::heuristics {
+namespace {
+
+using ecr::Domain;
+using ecr::SchemaBuilder;
+
+// The paper's example: marriage as an entity set in one schema and as a
+// relationship between Male and Female in the other.
+ecr::Catalog MarriageCatalog() {
+  ecr::Catalog catalog;
+  SchemaBuilder b1("registry");
+  b1.Entity("Marriage")
+      .Attr("Marriage_date", Domain::Date(), true)
+      .Attr("Marriage_location", Domain::Char())
+      .Attr("Number_of_children", Domain::Int());
+  EXPECT_TRUE(catalog.AddSchema(*b1.Build()).ok());
+
+  SchemaBuilder b2("census");
+  b2.Entity("Male").Attr("Ssn", Domain::Int(), true);
+  b2.Entity("Female").Attr("Ssn", Domain::Int(), true);
+  b2.Relationship("Married_to", {{"Male", 0, 1, ""}, {"Female", 0, 1, ""}})
+      .Attr("Marriage_date", Domain::Date())
+      .Attr("Marriage_location", Domain::Char())
+      .Attr("Children", Domain::Int());
+  EXPECT_TRUE(catalog.AddSchema(*b2.Build()).ok());
+  return catalog;
+}
+
+TEST(ConstructMatchTest, FindsThePaperMarriageExample) {
+  ecr::Catalog catalog = MarriageCatalog();
+  SynonymDictionary dict;
+  Result<std::vector<ConstructCorrespondence>> found =
+      FindConstructMismatches(catalog, "registry", "census", dict);
+  ASSERT_TRUE(found.ok()) << found.status();
+  ASSERT_FALSE(found->empty());
+  const ConstructCorrespondence& top = (*found)[0];
+  EXPECT_EQ(top.entity.ToString(), "registry.Marriage");
+  EXPECT_EQ(top.relationship.ToString(), "census.Married_to");
+  EXPECT_GE(top.common_attributes, 2);
+  EXPECT_GT(top.score, 0.5);
+  EXPECT_NE(top.ToString().find("registry.Marriage"), std::string::npos);
+}
+
+TEST(ConstructMatchTest, BothDirectionsScanned) {
+  ecr::Catalog catalog;
+  SchemaBuilder b1("s1");
+  b1.Entity("X").Attr("K", Domain::Int(), true);
+  b1.Entity("Y").Attr("K2", Domain::Int(), true);
+  b1.Relationship("Assignment", {{"X", 0, 1, ""}, {"Y", 0, 1, ""}})
+      .Attr("Start_date", Domain::Date())
+      .Attr("Role_name", Domain::Char());
+  ASSERT_TRUE(catalog.AddSchema(*b1.Build()).ok());
+  SchemaBuilder b2("s2");
+  b2.Entity("Assignment_record")
+      .Attr("Start_date", Domain::Date(), true)
+      .Attr("Role_name", Domain::Char());
+  ASSERT_TRUE(catalog.AddSchema(*b2.Build()).ok());
+  SynonymDictionary dict;
+  // Entity in s2, relationship in s1: still found.
+  Result<std::vector<ConstructCorrespondence>> found =
+      FindConstructMismatches(catalog, "s1", "s2", dict);
+  ASSERT_TRUE(found.ok());
+  ASSERT_EQ(found->size(), 1u);
+  EXPECT_EQ((*found)[0].entity.ToString(), "s2.Assignment_record");
+  EXPECT_EQ((*found)[0].relationship.ToString(), "s1.Assignment");
+}
+
+TEST(ConstructMatchTest, ThresholdFiltersWeakMatches) {
+  ecr::Catalog catalog = MarriageCatalog();
+  SynonymDictionary dict;
+  Result<std::vector<ConstructCorrespondence>> strict =
+      FindConstructMismatches(catalog, "registry", "census", dict,
+                              /*min_common=*/4);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_TRUE(strict->empty());
+}
+
+TEST(ConstructMatchTest, NoFalsePositiveWithoutSharedAttributes) {
+  ecr::Catalog catalog;
+  SchemaBuilder b1("s1");
+  b1.Entity("Alpha").Attr("Foo", Domain::Int(), true);
+  ASSERT_TRUE(catalog.AddSchema(*b1.Build()).ok());
+  SchemaBuilder b2("s2");
+  b2.Entity("P").Attr("K", Domain::Int(), true);
+  b2.Entity("Q").Attr("K2", Domain::Int(), true);
+  b2.Relationship("Link", {{"P", 0, 1, ""}, {"Q", 0, 1, ""}})
+      .Attr("Bar", Domain::Char());
+  ASSERT_TRUE(catalog.AddSchema(*b2.Build()).ok());
+  SynonymDictionary dict;
+  Result<std::vector<ConstructCorrespondence>> found =
+      FindConstructMismatches(catalog, "s1", "s2", dict);
+  ASSERT_TRUE(found.ok());
+  EXPECT_TRUE(found->empty());
+}
+
+}  // namespace
+}  // namespace ecrint::heuristics

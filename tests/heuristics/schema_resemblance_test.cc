@@ -1,0 +1,68 @@
+#include "heuristics/schema_resemblance.h"
+
+#include <gtest/gtest.h>
+
+#include "ecr/builder.h"
+
+namespace ecrint::heuristics {
+namespace {
+
+using ecr::Domain;
+using ecr::SchemaBuilder;
+
+void AddSchema(ecr::Catalog& catalog, const std::string& name,
+               const std::vector<std::string>& entities) {
+  SchemaBuilder b(name);
+  for (const std::string& entity : entities) {
+    b.Entity(entity).Attr("Id", Domain::Int(), true);
+  }
+  ASSERT_TRUE(catalog.AddSchema(*b.Build()).ok());
+}
+
+TEST(SchemaResemblanceTest, IdenticalSchemasScoreHighest) {
+  ecr::Catalog catalog;
+  AddSchema(catalog, "a", {"Person", "Course"});
+  AddSchema(catalog, "b", {"Person", "Course"});
+  AddSchema(catalog, "c", {"Invoice", "Shipment"});
+  SynonymDictionary dict;
+  Result<double> same = SchemaResemblance(catalog, "a", "b", dict);
+  Result<double> different = SchemaResemblance(catalog, "a", "c", dict);
+  ASSERT_TRUE(same.ok());
+  ASSERT_TRUE(different.ok());
+  EXPECT_GT(*same, *different);
+  EXPECT_GT(*same, 0.5);
+}
+
+TEST(SchemaResemblanceTest, PickIntegrationOrderPairsSimilarFirst) {
+  ecr::Catalog catalog;
+  AddSchema(catalog, "uni1", {"Student", "Course", "Professor"});
+  AddSchema(catalog, "uni2", {"Student", "Course", "Department"});
+  AddSchema(catalog, "shop", {"Invoice", "Customer"});
+  SynonymDictionary dict;
+  Result<std::vector<std::string>> order = PickIntegrationOrder(
+      catalog, {"shop", "uni1", "uni2"}, dict);
+  ASSERT_TRUE(order.ok()) << order.status();
+  ASSERT_EQ(order->size(), 3u);
+  // The two university views pair up first; the shop comes last.
+  EXPECT_EQ((*order)[2], "shop");
+}
+
+TEST(SchemaResemblanceTest, SmallInputsPassThrough) {
+  ecr::Catalog catalog;
+  AddSchema(catalog, "only", {"X"});
+  SynonymDictionary dict;
+  Result<std::vector<std::string>> order =
+      PickIntegrationOrder(catalog, {"only"}, dict);
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(*order, std::vector<std::string>{"only"});
+}
+
+TEST(SchemaResemblanceTest, UnknownSchemaFails) {
+  ecr::Catalog catalog;
+  AddSchema(catalog, "a", {"X"});
+  SynonymDictionary dict;
+  EXPECT_FALSE(SchemaResemblance(catalog, "a", "nope", dict).ok());
+}
+
+}  // namespace
+}  // namespace ecrint::heuristics

@@ -1,0 +1,81 @@
+#include "heuristics/string_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace ecrint::heuristics {
+namespace {
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("", ""), 0);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3);
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2);
+  EXPECT_EQ(LevenshteinDistance("same", "same"), 0);
+}
+
+TEST(LevenshteinTest, MetricProperties) {
+  const char* words[] = {"name", "dname", "ename", "gpa", ""};
+  for (const char* a : words) {
+    for (const char* b : words) {
+      // Symmetry and identity.
+      EXPECT_EQ(LevenshteinDistance(a, b), LevenshteinDistance(b, a));
+      EXPECT_EQ(LevenshteinDistance(a, a), 0);
+      for (const char* c : words) {
+        // Triangle inequality.
+        EXPECT_LE(LevenshteinDistance(a, c),
+                  LevenshteinDistance(a, b) + LevenshteinDistance(b, c));
+      }
+    }
+  }
+}
+
+TEST(LevenshteinTest, SimilarityNormalized) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+  EXPECT_NEAR(LevenshteinSimilarity("name", "dname"), 0.8, 1e-9);
+}
+
+TEST(DiceTest, BigramOverlap) {
+  EXPECT_DOUBLE_EQ(DiceBigramSimilarity("night", "night"), 1.0);
+  EXPECT_DOUBLE_EQ(DiceBigramSimilarity("night", "nacht"),
+                   2.0 * 1 / (4 + 4));  // only "ht" shared
+  EXPECT_DOUBLE_EQ(DiceBigramSimilarity("ab", "cd"), 0.0);
+  EXPECT_DOUBLE_EQ(DiceBigramSimilarity("a", "ab"), 0.0);  // too short
+}
+
+TEST(DiceTest, RepeatedBigramsNotOvercounted) {
+  // "aaa" has bigrams {aa, aa}; "aa" has {aa}: shared must be 1, not 2.
+  EXPECT_DOUBLE_EQ(DiceBigramSimilarity("aaa", "aa"), 2.0 * 1 / (2 + 1));
+}
+
+TEST(PrefixTest, CommonPrefix) {
+  EXPECT_DOUBLE_EQ(CommonPrefixSimilarity("employee", "emp"), 3.0 / 8.0);
+  EXPECT_DOUBLE_EQ(CommonPrefixSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(CommonPrefixSimilarity("abc", "xbc"), 0.0);
+  EXPECT_DOUBLE_EQ(CommonPrefixSimilarity("", "abc"), 0.0);
+}
+
+TEST(NameSimilarityTest, CanonicalizesCaseAndSeparators) {
+  EXPECT_DOUBLE_EQ(NameSimilarity("Grad_Student", "gradstudent"), 1.0);
+  EXPECT_DOUBLE_EQ(NameSimilarity("Dept-Name", "dept_name"), 1.0);
+}
+
+TEST(NameSimilarityTest, TruncationAbbreviationScoresHigh) {
+  EXPECT_DOUBLE_EQ(NameSimilarity("Emp", "Employee"), 0.9);
+  EXPECT_DOUBLE_EQ(NameSimilarity("Depart", "Department"), 0.9);
+  // "Dept" is not a prefix of "Department", so it falls back to the
+  // distance-based scores, which stay low; the synonym dictionary is the
+  // right tool for contraction abbreviations.
+  EXPECT_LT(NameSimilarity("Department", "Dept"), 0.9);
+}
+
+TEST(NameSimilarityTest, RelatedNamesBeatUnrelated) {
+  EXPECT_GT(NameSimilarity("Student", "Students"),
+            NameSimilarity("Student", "Invoice"));
+  EXPECT_GT(NameSimilarity("Dname", "Name"), NameSimilarity("Dname", "GPA"));
+}
+
+}  // namespace
+}  // namespace ecrint::heuristics

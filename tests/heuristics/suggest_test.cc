@@ -1,0 +1,111 @@
+#include "heuristics/suggest.h"
+
+#include <gtest/gtest.h>
+
+#include "ecr/builder.h"
+
+namespace ecrint::heuristics {
+namespace {
+
+using ecr::Domain;
+using ecr::SchemaBuilder;
+
+ecr::Catalog PayrollCatalog() {
+  ecr::Catalog catalog;
+  SchemaBuilder b1("hr");
+  b1.Entity("Employee")
+      .Attr("Ssn", Domain::Int(), true)
+      .Attr("Name", Domain::Char())
+      .Attr("Salary", Domain::Real());
+  b1.Entity("Department").Attr("Dno", Domain::Int(), true);
+  EXPECT_TRUE(catalog.AddSchema(*b1.Build()).ok());
+
+  SchemaBuilder b2("payroll");
+  b2.Entity("Emp")
+      .Attr("Ssn", Domain::Int(), true)
+      .Attr("Label", Domain::Char())
+      .Attr("Pay", Domain::Real());
+  b2.Entity("Invoice").Attr("Total", Domain::Real(), true);
+  EXPECT_TRUE(catalog.AddSchema(*b2.Build()).ok());
+  return catalog;
+}
+
+TEST(SuggestTest, FindsExactAndSynonymMatches) {
+  ecr::Catalog catalog = PayrollCatalog();
+  SynonymDictionary dict = SynonymDictionary::WithBuiltins();
+  Result<std::vector<EquivalenceSuggestion>> suggestions =
+      SuggestAttributeEquivalences(catalog, "hr", "payroll", dict, 0.7);
+  ASSERT_TRUE(suggestions.ok()) << suggestions.status();
+  auto has = [&](const std::string& a, const std::string& b) {
+    for (const EquivalenceSuggestion& s : *suggestions) {
+      if (s.first.ToString() == a && s.second.ToString() == b) return true;
+    }
+    return false;
+  };
+  // Exact: Ssn == Ssn.
+  EXPECT_TRUE(has("hr.Employee.Ssn", "payroll.Emp.Ssn"));
+  // Synonyms: Salary ~ Pay, Name ~ Label.
+  EXPECT_TRUE(has("hr.Employee.Salary", "payroll.Emp.Pay"));
+  EXPECT_TRUE(has("hr.Employee.Name", "payroll.Emp.Label"));
+  // Incomparable domains are never suggested (Ssn int vs Total real).
+  EXPECT_FALSE(has("hr.Employee.Ssn", "payroll.Invoice.Total"));
+}
+
+TEST(SuggestTest, SortedByScoreAndThresholded) {
+  ecr::Catalog catalog = PayrollCatalog();
+  SynonymDictionary dict = SynonymDictionary::WithBuiltins();
+  Result<std::vector<EquivalenceSuggestion>> suggestions =
+      SuggestAttributeEquivalences(catalog, "hr", "payroll", dict, 0.7);
+  ASSERT_TRUE(suggestions.ok());
+  for (size_t i = 1; i < suggestions->size(); ++i) {
+    EXPECT_GE((*suggestions)[i - 1].score, (*suggestions)[i].score);
+  }
+  for (const EquivalenceSuggestion& s : *suggestions) {
+    EXPECT_GE(s.score, 0.7);
+    EXPECT_FALSE(s.rationale.empty());
+  }
+  // A prohibitive threshold yields only the perfect matches.
+  Result<std::vector<EquivalenceSuggestion>> strict =
+      SuggestAttributeEquivalences(catalog, "hr", "payroll", dict, 1.01);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_TRUE(strict->empty());
+}
+
+TEST(SuggestTest, WeightedResemblanceRanksTrueMatchFirst) {
+  ecr::Catalog catalog = PayrollCatalog();
+  SynonymDictionary dict = SynonymDictionary::WithBuiltins();
+  Result<std::vector<WeightedPair>> ranked =
+      RankByWeightedResemblance(catalog, "hr", "payroll", dict);
+  ASSERT_TRUE(ranked.ok()) << ranked.status();
+  ASSERT_EQ(ranked->size(), 4u);  // 2 x 2 structures
+  EXPECT_EQ((*ranked)[0].first.object, "Employee");
+  EXPECT_EQ((*ranked)[0].second.object, "Emp");
+  EXPECT_GT((*ranked)[0].score, (*ranked)[1].score);
+}
+
+TEST(SuggestTest, NameOnlyBaselineIgnoresAttributes) {
+  ecr::Catalog catalog;
+  SchemaBuilder b1("a");
+  // Same name, totally different attributes.
+  b1.Entity("Widget").Attr("X", Domain::Int(), true);
+  EXPECT_TRUE(catalog.AddSchema(*b1.Build()).ok());
+  SchemaBuilder b2("b");
+  b2.Entity("Widget").Attr("Totally_Different", Domain::Char(), true);
+  b2.Entity("Gadget").Attr("X", Domain::Int(), true);
+  EXPECT_TRUE(catalog.AddSchema(*b2.Build()).ok());
+  Result<std::vector<WeightedPair>> ranked = RankByNameOnly(catalog, "a", "b");
+  ASSERT_TRUE(ranked.ok());
+  EXPECT_EQ((*ranked)[0].second.object, "Widget");
+  EXPECT_DOUBLE_EQ((*ranked)[0].score, 1.0);
+}
+
+TEST(SuggestTest, UnknownSchemaFails) {
+  ecr::Catalog catalog = PayrollCatalog();
+  SynonymDictionary dict;
+  EXPECT_FALSE(
+      SuggestAttributeEquivalences(catalog, "hr", "nope", dict).ok());
+  EXPECT_FALSE(RankByWeightedResemblance(catalog, "nope", "hr", dict).ok());
+}
+
+}  // namespace
+}  // namespace ecrint::heuristics

@@ -1,0 +1,69 @@
+#include "heuristics/synonyms.h"
+
+#include <gtest/gtest.h>
+
+namespace ecrint::heuristics {
+namespace {
+
+TEST(SynonymsTest, BasicGroups) {
+  SynonymDictionary dict;
+  dict.AddSynonyms({"salary", "pay", "wage"});
+  EXPECT_TRUE(dict.AreSynonyms("salary", "pay"));
+  EXPECT_TRUE(dict.AreSynonyms("pay", "wage"));
+  EXPECT_FALSE(dict.AreSynonyms("salary", "name"));
+  // A word is its own synonym even if unknown.
+  EXPECT_TRUE(dict.AreSynonyms("anything", "anything"));
+}
+
+TEST(SynonymsTest, CaseInsensitive) {
+  SynonymDictionary dict;
+  dict.AddSynonyms({"Salary", "PAY"});
+  EXPECT_TRUE(dict.AreSynonyms("salary", "pay"));
+  EXPECT_TRUE(dict.AreSynonyms("SALARY", "Pay"));
+}
+
+TEST(SynonymsTest, GroupsMergeTransitively) {
+  SynonymDictionary dict;
+  dict.AddSynonyms({"a", "b"});
+  dict.AddSynonyms({"c", "d"});
+  EXPECT_FALSE(dict.AreSynonyms("a", "c"));
+  dict.AddSynonyms({"b", "c"});
+  EXPECT_TRUE(dict.AreSynonyms("a", "d"));
+}
+
+TEST(SynonymsTest, AntonymsVeto) {
+  SynonymDictionary dict;
+  dict.AddAntonyms("min", "max");
+  EXPECT_TRUE(dict.AreAntonyms("min", "max"));
+  EXPECT_TRUE(dict.AreAntonyms("MAX", "Min"));
+  EXPECT_FALSE(dict.AreAntonyms("min", "low"));
+  EXPECT_DOUBLE_EQ(dict.Similarity("min", "max"), 0.0);
+}
+
+TEST(SynonymsTest, SimilarityScoresTokens) {
+  SynonymDictionary dict;
+  dict.AddSynonyms({"salary", "pay"});
+  EXPECT_DOUBLE_EQ(dict.Similarity("salary", "pay"), 1.0);
+  // "Emp_Salary" vs "Emp_Pay": both tokens match.
+  EXPECT_DOUBLE_EQ(dict.Similarity("Emp_Salary", "Emp_Pay"), 1.0);
+  // "Emp_Salary" vs "Pay": one of 3 total tokens matches -> 2*1/3.
+  EXPECT_NEAR(dict.Similarity("Emp_Salary", "Pay"), 2.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(dict.Similarity("Foo", "Bar"), 0.0);
+}
+
+TEST(SynonymsTest, AntonymTokensVetoWholeIdentifier) {
+  SynonymDictionary dict;
+  dict.AddAntonyms("start", "end");
+  EXPECT_DOUBLE_EQ(dict.Similarity("start_date", "end_date"), 0.0);
+}
+
+TEST(SynonymsTest, BuiltinsKnowSchemaVocabulary) {
+  SynonymDictionary dict = SynonymDictionary::WithBuiltins();
+  EXPECT_TRUE(dict.AreSynonyms("salary", "pay"));
+  EXPECT_TRUE(dict.AreSynonyms("dept", "department"));
+  EXPECT_TRUE(dict.AreSynonyms("faculty", "instructor"));
+  EXPECT_TRUE(dict.AreAntonyms("debit", "credit"));
+}
+
+}  // namespace
+}  // namespace ecrint::heuristics

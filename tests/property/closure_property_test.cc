@@ -1,0 +1,139 @@
+// Model-based property tests for the assertion closure: relations derived
+// from ACTUAL sets (random subsets of a small universe) are asserted in
+// random order; the closure must accept them all, remain sound (the true
+// relation never gets excluded), and reject any assertion that contradicts
+// the model once the model is fully pinned.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "core/assertion_store.h"
+
+namespace ecrint::core {
+namespace {
+
+constexpr int kUniverse = 6;
+
+SetRelation Classify(unsigned a, unsigned b) {
+  if (a == b) return SetRelation::kEqual;
+  if ((a & b) == a) return SetRelation::kSubset;
+  if ((a & b) == b) return SetRelation::kSuperset;
+  if ((a & b) != 0) return SetRelation::kOverlap;
+  return SetRelation::kDisjoint;
+}
+
+AssertionType TypeFor(SetRelation relation) {
+  switch (relation) {
+    case SetRelation::kEqual: return AssertionType::kEquals;
+    case SetRelation::kSubset: return AssertionType::kContainedIn;
+    case SetRelation::kSuperset: return AssertionType::kContains;
+    case SetRelation::kOverlap: return AssertionType::kMayBe;
+    case SetRelation::kDisjoint: return AssertionType::kDisjointIntegrable;
+  }
+  return AssertionType::kDisjointIntegrable;
+}
+
+struct World {
+  std::vector<unsigned> sets;   // bitmask extents, non-empty
+  std::vector<ObjectRef> refs;
+  std::vector<std::pair<int, int>> pairs;  // all i<j, shuffled
+};
+
+World MakeWorld(uint64_t seed, int n) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<unsigned> pick(1, (1u << kUniverse) - 1);
+  World world;
+  for (int i = 0; i < n; ++i) {
+    world.sets.push_back(pick(rng));
+    world.refs.push_back({"s" + std::to_string(i % 3),
+                          "O" + std::to_string(i)});
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) world.pairs.push_back({i, j});
+  }
+  std::shuffle(world.pairs.begin(), world.pairs.end(), rng);
+  return world;
+}
+
+class ClosurePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ClosurePropertyTest, TrueRelationsAlwaysConsistent) {
+  World world = MakeWorld(GetParam(), 9);
+  AssertionStore store;
+  for (auto [i, j] : world.pairs) {
+    SetRelation truth = Classify(world.sets[i], world.sets[j]);
+    Result<ConflictReport> r =
+        store.Assert(world.refs[i], world.refs[j], TypeFor(truth));
+    ASSERT_TRUE(r.ok()) << "seed " << GetParam() << ": asserting true "
+                        << SetRelationName(truth) << " between sets "
+                        << world.sets[i] << " and " << world.sets[j]
+                        << " conflicted: " << r.status();
+  }
+  // Every pair is pinned to exactly the model relation.
+  for (auto [i, j] : world.pairs) {
+    Result<SetRelation> established =
+        store.EstablishedRelation(world.refs[i], world.refs[j]);
+    ASSERT_TRUE(established.ok());
+    EXPECT_EQ(*established, Classify(world.sets[i], world.sets[j]));
+  }
+}
+
+TEST_P(ClosurePropertyTest, SoundnessUnderPartialKnowledge) {
+  World world = MakeWorld(GetParam(), 9);
+  std::mt19937_64 rng(GetParam() ^ 0x9e3779b97f4a7c15ull);
+  AssertionStore store;
+  // Assert roughly half of the true facts.
+  for (auto [i, j] : world.pairs) {
+    if (rng() % 2 == 0) continue;
+    SetRelation truth = Classify(world.sets[i], world.sets[j]);
+    ASSERT_TRUE(
+        store.Assert(world.refs[i], world.refs[j], TypeFor(truth)).ok());
+  }
+  // The truth must remain possible everywhere: the closure never derives
+  // something the model falsifies.
+  for (auto [i, j] : world.pairs) {
+    SetRelation truth = Classify(world.sets[i], world.sets[j]);
+    RelationSet possible =
+        store.PossibleRelations(world.refs[i], world.refs[j]);
+    EXPECT_TRUE(Contains(possible, truth))
+        << "seed " << GetParam() << ": " << SetRelationName(truth)
+        << " wrongly excluded for sets " << world.sets[i] << "/"
+        << world.sets[j] << ", possible " << RelationSetToString(possible);
+  }
+}
+
+TEST_P(ClosurePropertyTest, FullyPinnedModelRejectsEveryLie) {
+  World world = MakeWorld(GetParam(), 7);
+  AssertionStore store;
+  for (auto [i, j] : world.pairs) {
+    ASSERT_TRUE(store
+                    .Assert(world.refs[i], world.refs[j],
+                            TypeFor(Classify(world.sets[i], world.sets[j])))
+                    .ok());
+  }
+  std::mt19937_64 rng(GetParam() * 31 + 7);
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    auto [i, j] = world.pairs[rng() % world.pairs.size()];
+    SetRelation truth = Classify(world.sets[i], world.sets[j]);
+    SetRelation lie = static_cast<SetRelation>(rng() % kNumSetRelations);
+    if (lie == truth) continue;
+    size_t assertions_before = store.user_assertions().size();
+    Result<ConflictReport> r =
+        store.Assert(world.refs[i], world.refs[j], TypeFor(lie));
+    EXPECT_FALSE(r.ok()) << "lie " << SetRelationName(lie)
+                         << " accepted over truth "
+                         << SetRelationName(truth);
+    // And the rejection must not disturb the store.
+    EXPECT_EQ(store.user_assertions().size(), assertions_before);
+    EXPECT_EQ(*store.EstablishedRelation(world.refs[i], world.refs[j]),
+              truth);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosurePropertyTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace ecrint::core

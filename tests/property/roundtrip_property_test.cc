@@ -1,0 +1,90 @@
+// Round-trip and invariant sweeps over generated schemas: DDL printing and
+// re-parsing is lossless, validation accepts everything the generator
+// emits, and the resemblance ranking obeys its documented bounds.
+
+#include <gtest/gtest.h>
+
+#include "core/resemblance.h"
+#include "ecr/ddl_parser.h"
+#include "ecr/dot_export.h"
+#include "ecr/printer.h"
+#include "ecr/validate.h"
+#include "workload/generator.h"
+
+namespace ecrint {
+namespace {
+
+class RoundTripPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+workload::Workload Make(uint64_t seed) {
+  workload::GeneratorConfig config;
+  config.seed = seed;
+  config.num_concepts = 20;
+  config.num_schemas = 3;
+  config.rename_noise = 0.3;
+  Result<workload::Workload> w = workload::GenerateWorkload(config);
+  EXPECT_TRUE(w.ok());
+  return *std::move(w);
+}
+
+TEST_P(RoundTripPropertyTest, DdlRoundTripsLosslessly) {
+  workload::Workload w = Make(GetParam());
+  for (const std::string& name : w.schema_names) {
+    const ecr::Schema& original = **w.catalog.GetSchema(name);
+    std::string ddl = ecr::ToDdl(original);
+    Result<ecr::Schema> reparsed = ecr::ParseSchema(ddl);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << ddl;
+    EXPECT_EQ(ecr::ToDdl(*reparsed), ddl);
+    // Structure counts survive.
+    EXPECT_EQ(reparsed->num_objects(), original.num_objects());
+    EXPECT_EQ(reparsed->num_relationships(), original.num_relationships());
+    // And deep equality of attributes.
+    for (ecr::ObjectId i = 0; i < original.num_objects(); ++i) {
+      EXPECT_EQ(reparsed->object(i).attributes,
+                original.object(i).attributes);
+    }
+  }
+}
+
+TEST_P(RoundTripPropertyTest, GeneratedSchemasValidateAndExport) {
+  workload::Workload w = Make(GetParam());
+  for (const std::string& name : w.schema_names) {
+    const ecr::Schema& schema = **w.catalog.GetSchema(name);
+    EXPECT_TRUE(ecr::CheckSchemaValid(schema).ok()) << name;
+    std::string dot = ecr::ToDot(schema);
+    EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+              std::count(dot.begin(), dot.end(), '}'));
+    EXPECT_FALSE(ecr::ToOutline(schema).empty());
+  }
+}
+
+TEST_P(RoundTripPropertyTest, AttributeRatioBounds) {
+  workload::Workload w = Make(GetParam());
+  Result<core::EquivalenceMap> equivalence =
+      core::EquivalenceMap::Create(w.catalog, w.schema_names);
+  ASSERT_TRUE(equivalence.ok());
+  for (const workload::TrueAttributeMatch& match : w.attribute_matches) {
+    (void)equivalence->DeclareEquivalent(match.first, match.second);
+  }
+  Result<std::vector<core::ObjectPair>> ranked = core::RankObjectPairs(
+      w.catalog, *equivalence, w.schema_names[0], w.schema_names[1],
+      core::StructureKind::kObjectClass, /*include_zero=*/true);
+  ASSERT_TRUE(ranked.ok());
+  double previous = 1.0;
+  for (const core::ObjectPair& pair : *ranked) {
+    // The paper: 0.5 means every attribute of the smaller class is matched;
+    // the ratio can never exceed it.
+    EXPECT_GE(pair.attribute_ratio, 0.0);
+    EXPECT_LE(pair.attribute_ratio, 0.5);
+    EXPECT_LE(pair.attribute_ratio, previous);  // descending order
+    previous = pair.attribute_ratio;
+    EXPECT_LE(pair.equivalent_attributes, pair.smaller_attribute_count)
+        << pair.first.ToString() << "/" << pair.second.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripPropertyTest,
+                         ::testing::Range<uint64_t>(100, 110));
+
+}  // namespace
+}  // namespace ecrint

@@ -1,0 +1,111 @@
+#include "translate/hier_to_ecr.h"
+
+#include <gtest/gtest.h>
+
+#include "ecr/validate.h"
+
+namespace ecrint::translate {
+namespace {
+
+using ecr::Domain;
+
+// An IMS-flavoured enrollment database: school -> {class -> student,
+// teacher}.
+HierarchicalSchema School() {
+  HierarchicalSchema db("school");
+  Segment student{"Student",
+                  {{"Sid", Domain::Int(), true},
+                   {"Sname", Domain::Char(), false}},
+                  {}};
+  Segment teacher{"Teacher",
+                  {{"Tid", Domain::Int(), true},
+                   {"Tname", Domain::Char(), false}},
+                  {}};
+  Segment klass{"Class",
+                {{"Cno", Domain::Int(), true}},
+                {student, teacher}};
+  Segment school{"School",
+                 {{"Sname", Domain::Char(), true}},
+                 {klass}};
+  EXPECT_TRUE(db.AddRoot(school).ok());
+  return db;
+}
+
+TEST(HierToEcrTest, SegmentsBecomeEntities) {
+  Result<ecr::Schema> schema = HierarchicalToEcr(School());
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  for (const char* name : {"School", "Class", "Student", "Teacher"}) {
+    ecr::ObjectId id = schema->FindObject(name);
+    ASSERT_NE(id, ecr::kNoObject) << name;
+    EXPECT_EQ(schema->object(id).kind, ecr::ObjectKind::kEntitySet);
+  }
+  ecr::ObjectId student = schema->FindObject("Student");
+  ASSERT_EQ(schema->object(student).attributes.size(), 2u);
+  EXPECT_TRUE(schema->object(student).attributes[0].is_key);
+}
+
+TEST(HierToEcrTest, ParentChildArcsBecomeRelationships) {
+  Result<ecr::Schema> schema = HierarchicalToEcr(School());
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->num_relationships(), 3);
+  ecr::RelationshipId rel = schema->FindRelationship("Class_Student");
+  ASSERT_GE(rel, 0);
+  const ecr::RelationshipSet& r = schema->relationship(rel);
+  ASSERT_EQ(r.participants.size(), 2u);
+  EXPECT_EQ(schema->object(r.participants[0].object).name, "Class");
+  EXPECT_EQ(r.participants[0].role, "parent");
+  EXPECT_EQ(r.participants[0].min_card, 0);
+  EXPECT_EQ(r.participants[0].max_card, ecr::kUnboundedCardinality);
+  // Every child occurrence has exactly one parent.
+  EXPECT_EQ(r.participants[1].role, "child");
+  EXPECT_EQ(r.participants[1].min_card, 1);
+  EXPECT_EQ(r.participants[1].max_card, 1);
+}
+
+TEST(HierToEcrTest, ResultIsValidEcr) {
+  Result<ecr::Schema> schema = HierarchicalToEcr(School());
+  ASSERT_TRUE(schema.ok());
+  EXPECT_TRUE(ecr::CheckSchemaValid(*schema).ok());
+}
+
+TEST(HierToEcrTest, MultipleRootsSupported) {
+  HierarchicalSchema db("two_roots");
+  ASSERT_TRUE(
+      db.AddRoot(Segment{"A", {{"K", Domain::Int(), true}}, {}}).ok());
+  ASSERT_TRUE(
+      db.AddRoot(Segment{"B", {{"K", Domain::Int(), true}}, {}}).ok());
+  Result<ecr::Schema> schema = HierarchicalToEcr(db);
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->num_objects(), 2);
+  EXPECT_EQ(schema->num_relationships(), 0);
+}
+
+TEST(HierToEcrTest, ValidationCatchesProblems) {
+  HierarchicalSchema empty("empty");
+  EXPECT_FALSE(HierarchicalToEcr(empty).ok());
+
+  HierarchicalSchema dup("dup");
+  ASSERT_TRUE(dup.AddRoot(Segment{
+                     "A",
+                     {{"K", Domain::Int(), true}},
+                     {Segment{"A", {{"K", Domain::Int(), true}}, {}}}})
+                  .ok());
+  EXPECT_EQ(HierarchicalToEcr(dup).status().code(),
+            StatusCode::kAlreadyExists);
+
+  HierarchicalSchema fieldless("fieldless");
+  ASSERT_TRUE(fieldless.AddRoot(Segment{"A", {}, {}}).ok());
+  EXPECT_FALSE(HierarchicalToEcr(fieldless).ok());
+
+  HierarchicalSchema dup_field("dup_field");
+  ASSERT_TRUE(dup_field
+                  .AddRoot(Segment{"A",
+                                   {{"K", Domain::Int(), true},
+                                    {"K", Domain::Int(), false}},
+                                   {}})
+                  .ok());
+  EXPECT_FALSE(HierarchicalToEcr(dup_field).ok());
+}
+
+}  // namespace
+}  // namespace ecrint::translate

@@ -1,0 +1,189 @@
+#include "translate/rel_to_ecr.h"
+
+#include <gtest/gtest.h>
+
+#include "ecr/validate.h"
+
+namespace ecrint::translate {
+namespace {
+
+using ecr::Domain;
+
+// A classic company database: employees in departments, a works_on m:n
+// table, and a manager subtype.
+RelationalSchema Company() {
+  RelationalSchema db("company");
+  EXPECT_TRUE(db.AddTable(Table{
+                  "department",
+                  {{"dno", Domain::Int(), false},
+                   {"dname", Domain::Char(), false}},
+                  {"dno"},
+                  {}})
+                  .ok());
+  EXPECT_TRUE(db.AddTable(Table{
+                  "employee",
+                  {{"ssn", Domain::Int(), false},
+                   {"name", Domain::Char(), false},
+                   {"salary", Domain::Real(), false},
+                   {"dno", Domain::Int(), true}},
+                  {"ssn"},
+                  {{{"dno"}, "department", {"dno"}}}})
+                  .ok());
+  EXPECT_TRUE(db.AddTable(Table{
+                  "manager",
+                  {{"ssn", Domain::Int(), false},
+                   {"bonus", Domain::Real(), false}},
+                  {"ssn"},
+                  {{{"ssn"}, "employee", {"ssn"}}}})
+                  .ok());
+  EXPECT_TRUE(db.AddTable(Table{
+                  "project",
+                  {{"pno", Domain::Int(), false},
+                   {"pname", Domain::Char(), false}},
+                  {"pno"},
+                  {}})
+                  .ok());
+  EXPECT_TRUE(db.AddTable(Table{
+                  "works_on",
+                  {{"ssn", Domain::Int(), false},
+                   {"pno", Domain::Int(), false},
+                   {"hours", Domain::Real(), false}},
+                  {"ssn", "pno"},
+                  {{{"ssn"}, "employee", {"ssn"}},
+                   {{"pno"}, "project", {"pno"}}}})
+                  .ok());
+  return db;
+}
+
+TEST(RelToEcrTest, EntityTablesBecomeEntitySets) {
+  Result<ecr::Schema> schema = RelationalToEcr(Company());
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  ecr::ObjectId employee = schema->FindObject("employee");
+  ASSERT_NE(employee, ecr::kNoObject);
+  EXPECT_EQ(schema->object(employee).kind, ecr::ObjectKind::kEntitySet);
+  // ssn is the key; dno dropped (represented by a relationship).
+  std::vector<std::string> names;
+  for (const ecr::Attribute& a : schema->object(employee).attributes) {
+    names.push_back(a.name);
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"ssn", "name", "salary"}));
+  EXPECT_TRUE(schema->object(employee).attributes[0].is_key);
+}
+
+TEST(RelToEcrTest, SubtypeTableBecomesCategory) {
+  Result<ecr::Schema> schema = RelationalToEcr(Company());
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  ecr::ObjectId manager = schema->FindObject("manager");
+  ASSERT_NE(manager, ecr::kNoObject);
+  EXPECT_EQ(schema->object(manager).kind, ecr::ObjectKind::kCategory);
+  ASSERT_EQ(schema->object(manager).parents.size(), 1u);
+  EXPECT_EQ(schema->object(schema->object(manager).parents[0]).name,
+            "employee");
+  // Only the non-inherited attribute remains.
+  ASSERT_EQ(schema->object(manager).attributes.size(), 1u);
+  EXPECT_EQ(schema->object(manager).attributes[0].name, "bonus");
+}
+
+TEST(RelToEcrTest, JunctionTableBecomesRelationship) {
+  Result<ecr::Schema> schema = RelationalToEcr(Company());
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  ecr::RelationshipId works_on = schema->FindRelationship("works_on");
+  ASSERT_GE(works_on, 0);
+  const ecr::RelationshipSet& rel = schema->relationship(works_on);
+  ASSERT_EQ(rel.participants.size(), 2u);
+  EXPECT_EQ(schema->object(rel.participants[0].object).name, "employee");
+  EXPECT_EQ(schema->object(rel.participants[1].object).name, "project");
+  ASSERT_EQ(rel.attributes.size(), 1u);
+  EXPECT_EQ(rel.attributes[0].name, "hours");
+}
+
+TEST(RelToEcrTest, ForeignKeyBecomesBinaryRelationship) {
+  Result<ecr::Schema> schema = RelationalToEcr(Company());
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  ecr::RelationshipId rel_id = schema->FindRelationship("employee_dno");
+  ASSERT_GE(rel_id, 0);
+  const ecr::RelationshipSet& rel = schema->relationship(rel_id);
+  ASSERT_EQ(rel.participants.size(), 2u);
+  EXPECT_EQ(schema->object(rel.participants[0].object).name, "employee");
+  // dno is nullable, so participation is optional.
+  EXPECT_EQ(rel.participants[0].min_card, 0);
+  EXPECT_EQ(rel.participants[0].max_card, 1);
+  EXPECT_EQ(schema->object(rel.participants[1].object).name, "department");
+  EXPECT_EQ(rel.participants[1].max_card, ecr::kUnboundedCardinality);
+}
+
+TEST(RelToEcrTest, ResultIsValidEcr) {
+  Result<ecr::Schema> schema = RelationalToEcr(Company());
+  ASSERT_TRUE(schema.ok());
+  EXPECT_TRUE(ecr::CheckSchemaValid(*schema).ok());
+}
+
+TEST(RelToEcrTest, NonNullableFkIsMandatory) {
+  RelationalSchema db("x");
+  ASSERT_TRUE(db.AddTable(Table{"a",
+                                {{"id", Domain::Int(), false}},
+                                {"id"},
+                                {}})
+                  .ok());
+  ASSERT_TRUE(db.AddTable(Table{"b",
+                                {{"id", Domain::Int(), false},
+                                 {"a_id", Domain::Int(), false}},
+                                {"id"},
+                                {{{"a_id"}, "a", {"id"}}}})
+                  .ok());
+  Result<ecr::Schema> schema = RelationalToEcr(db);
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  const ecr::RelationshipSet& rel = schema->relationship(0);
+  EXPECT_EQ(rel.participants[0].min_card, 1);
+}
+
+TEST(RelToEcrTest, ValidationErrorsPropagate) {
+  RelationalSchema db("bad");
+  ASSERT_TRUE(db.AddTable(Table{"t",
+                                {{"id", Domain::Int(), false}},
+                                {"missing"},
+                                {}})
+                  .ok());
+  EXPECT_FALSE(RelationalToEcr(db).ok());
+
+  RelationalSchema dangling("dangling");
+  ASSERT_TRUE(dangling
+                  .AddTable(Table{"t",
+                                  {{"id", Domain::Int(), false}},
+                                  {"id"},
+                                  {{{"id"}, "nowhere", {"id"}}}})
+                  .ok());
+  EXPECT_FALSE(RelationalToEcr(dangling).ok());
+}
+
+TEST(RelationalSchemaTest, AddTableRejectsDuplicates) {
+  RelationalSchema db("x");
+  ASSERT_TRUE(db.AddTable(Table{"t",
+                                {{"id", Domain::Int(), false}},
+                                {"id"},
+                                {}})
+                  .ok());
+  EXPECT_EQ(db.AddTable(Table{"t", {}, {}, {}}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(db.AddTable(Table{"u",
+                              {{"a", Domain::Int(), false},
+                               {"a", Domain::Int(), false}},
+                              {"a"},
+                              {}})
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(RelationalSchemaTest, FindHelpers) {
+  RelationalSchema db = Company();
+  const Table* employee = db.FindTable("employee");
+  ASSERT_NE(employee, nullptr);
+  EXPECT_NE(employee->FindColumn("ssn"), nullptr);
+  EXPECT_EQ(employee->FindColumn("nope"), nullptr);
+  EXPECT_TRUE(employee->IsPrimaryKeyColumn("ssn"));
+  EXPECT_FALSE(employee->IsPrimaryKeyColumn("name"));
+  EXPECT_EQ(db.FindTable("nope"), nullptr);
+}
+
+}  // namespace
+}  // namespace ecrint::translate

@@ -1,0 +1,64 @@
+#include "tui/screen.h"
+
+#include <gtest/gtest.h>
+
+namespace ecrint::tui {
+namespace {
+
+TEST(ScreenTest, PutAndRender) {
+  Screen screen(3, 10);
+  screen.Put(1, 2, "hi");
+  std::string out = screen.Render();
+  EXPECT_EQ(out, "\n  hi\n\n");
+}
+
+TEST(ScreenTest, ClipsAtEdges) {
+  Screen screen(2, 5);
+  screen.Put(0, 3, "abcdef");   // clipped right
+  screen.Put(5, 0, "nope");     // off-grid row ignored
+  screen.Put(1, -2, "xyz");     // negative col: only tail visible
+  std::string out = screen.Render();
+  EXPECT_EQ(out, "   ab\nz\n");
+}
+
+TEST(ScreenTest, BoxDrawsBorders) {
+  Screen screen(4, 6);
+  screen.Box(0, 0, 3, 5);
+  EXPECT_EQ(screen.Render(),
+            "+----+\n"
+            "|    |\n"
+            "|    |\n"
+            "+----+\n");
+}
+
+TEST(ScreenTest, PutCentered) {
+  Screen screen(1, 11);
+  screen.PutCentered(0, "abc");
+  EXPECT_EQ(screen.Render(), "    abc\n");
+}
+
+TEST(ScreenTest, HorizontalLine) {
+  Screen screen(1, 8);
+  screen.HorizontalLine(0, 2, 5);
+  EXPECT_EQ(screen.Render(), "  ----\n");
+}
+
+TEST(ScreenTest, DrawTableAlignsColumns) {
+  Screen screen(6, 40);
+  int next = DrawTable(screen, 0, 0,
+                       {{"Name", 10}, {"Type", 6}},
+                       {{"Student", "e"}, {"Majors", "r"}});
+  EXPECT_EQ(next, 4);
+  std::string out = screen.Render();
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("Type"), std::string::npos);
+  EXPECT_NE(out.find("Student"), std::string::npos);
+  // Cells clipped to width.
+  Screen clipped(4, 40);
+  DrawTable(clipped, 0, 0, {{"N", 4}}, {{"extremely_long"}});
+  EXPECT_NE(clipped.Render().find("extr"), std::string::npos);
+  EXPECT_EQ(clipped.Render().find("extremely"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecrint::tui

@@ -1,0 +1,130 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "ecr/printer.h"
+#include "ecr/validate.h"
+
+namespace ecrint::workload {
+namespace {
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  GeneratorConfig config;
+  config.seed = 7;
+  Result<Workload> a = GenerateWorkload(config);
+  Result<Workload> b = GenerateWorkload(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->schema_names, b->schema_names);
+  for (const std::string& name : a->schema_names) {
+    EXPECT_EQ(ecr::ToDdl(**a->catalog.GetSchema(name)),
+              ecr::ToDdl(**b->catalog.GetSchema(name)));
+  }
+  EXPECT_EQ(a->object_relations.size(), b->object_relations.size());
+  EXPECT_EQ(a->attribute_matches.size(), b->attribute_matches.size());
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorConfig a;
+  a.seed = 1;
+  GeneratorConfig b;
+  b.seed = 2;
+  Result<Workload> wa = GenerateWorkload(a);
+  Result<Workload> wb = GenerateWorkload(b);
+  ASSERT_TRUE(wa.ok());
+  ASSERT_TRUE(wb.ok());
+  std::string da;
+  std::string db;
+  for (const std::string& name : wa->schema_names) {
+    da += ecr::ToDdl(**wa->catalog.GetSchema(name));
+  }
+  for (const std::string& name : wb->schema_names) {
+    db += ecr::ToDdl(**wb->catalog.GetSchema(name));
+  }
+  EXPECT_NE(da, db);
+}
+
+TEST(GeneratorTest, SchemasAreValidEcr) {
+  GeneratorConfig config;
+  config.num_schemas = 4;
+  config.num_concepts = 30;
+  config.rename_noise = 0.5;
+  Result<Workload> workload = GenerateWorkload(config);
+  ASSERT_TRUE(workload.ok()) << workload.status();
+  ASSERT_EQ(workload->schema_names.size(), 4u);
+  for (const std::string& name : workload->schema_names) {
+    Result<const ecr::Schema*> schema = workload->catalog.GetSchema(name);
+    ASSERT_TRUE(schema.ok());
+    EXPECT_TRUE(ecr::CheckSchemaValid(**schema).ok()) << name;
+    EXPECT_GT((*schema)->num_objects(), 0) << name;
+  }
+}
+
+TEST(GeneratorTest, GroundTruthRefersToRealStructures) {
+  GeneratorConfig config;
+  config.num_schemas = 3;
+  Result<Workload> workload = GenerateWorkload(config);
+  ASSERT_TRUE(workload.ok());
+  for (const TrueObjectRelation& relation : workload->object_relations) {
+    Result<const ecr::Schema*> s1 =
+        workload->catalog.GetSchema(relation.first.schema);
+    Result<const ecr::Schema*> s2 =
+        workload->catalog.GetSchema(relation.second.schema);
+    ASSERT_TRUE(s1.ok());
+    ASSERT_TRUE(s2.ok());
+    EXPECT_NE((*s1)->FindObject(relation.first.object), ecr::kNoObject);
+    EXPECT_NE((*s2)->FindObject(relation.second.object), ecr::kNoObject);
+  }
+  for (const TrueAttributeMatch& match : workload->attribute_matches) {
+    Result<const ecr::Schema*> s1 =
+        workload->catalog.GetSchema(match.first.schema);
+    ASSERT_TRUE(s1.ok());
+    ecr::ObjectId id = (*s1)->FindObject(match.first.object);
+    ASSERT_NE(id, ecr::kNoObject);
+    bool found = false;
+    for (const ecr::Attribute& a : (*s1)->object(id).attributes) {
+      found |= a.name == match.first.attribute;
+    }
+    EXPECT_TRUE(found) << match.first.ToString();
+  }
+}
+
+TEST(GeneratorTest, FullCoverageMeansEveryConceptShared) {
+  GeneratorConfig config;
+  config.num_schemas = 2;
+  config.num_concepts = 10;
+  config.concept_coverage = 1.0;
+  config.partial_extent = 0.0;
+  Result<Workload> workload = GenerateWorkload(config);
+  ASSERT_TRUE(workload.ok());
+  // Every concept appears in both schemas with the full extent => 10 object
+  // relations, all "equals".
+  ASSERT_EQ(workload->object_relations.size(), 10u);
+  for (const TrueObjectRelation& relation : workload->object_relations) {
+    EXPECT_EQ(relation.assertion, core::AssertionType::kEquals);
+  }
+}
+
+TEST(GeneratorTest, PartialExtentsYieldVariedAssertions) {
+  GeneratorConfig config;
+  config.num_schemas = 3;
+  config.num_concepts = 40;
+  config.partial_extent = 0.9;
+  Result<Workload> workload = GenerateWorkload(config);
+  ASSERT_TRUE(workload.ok());
+  std::set<core::AssertionType> seen;
+  for (const TrueObjectRelation& relation : workload->object_relations) {
+    seen.insert(relation.assertion);
+  }
+  // With heavy partial extents at least three distinct relation kinds occur.
+  EXPECT_GE(seen.size(), 3u);
+}
+
+TEST(GeneratorTest, InvalidConfigRejected) {
+  GeneratorConfig config;
+  config.num_concepts = 0;
+  EXPECT_FALSE(GenerateWorkload(config).ok());
+}
+
+}  // namespace
+}  // namespace ecrint::workload

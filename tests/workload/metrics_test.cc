@@ -1,0 +1,93 @@
+#include "workload/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ecrint::workload {
+namespace {
+
+Workload TinyWorkload() {
+  Workload w;
+  w.schema_names = {"v1", "v2"};
+  w.object_relations = {
+      {{"v1", "A"}, {"v2", "A"}, core::AssertionType::kEquals},
+      {{"v1", "B"}, {"v2", "B"}, core::AssertionType::kContains},
+  };
+  w.attribute_matches = {
+      {{"v1", "A", "Id"}, {"v2", "A", "Id"}},
+      {{"v1", "B", "Name"}, {"v2", "B", "Label"}},
+  };
+  return w;
+}
+
+TEST(MetricsTest, PerfectRankingScoresOne) {
+  Workload w = TinyWorkload();
+  std::vector<std::pair<core::ObjectRef, core::ObjectRef>> ranking = {
+      {{"v1", "A"}, {"v2", "A"}},
+      {{"v1", "B"}, {"v2", "B"}},
+      {{"v1", "A"}, {"v2", "B"}},  // false pair after all true ones
+  };
+  RankingQuality q = EvaluateRanking(w, "v1", "v2", ranking);
+  EXPECT_EQ(q.true_pairs, 2);
+  EXPECT_DOUBLE_EQ(q.precision_at_k, 1.0);
+  EXPECT_DOUBLE_EQ(q.recall_at_k, 1.0);
+  EXPECT_DOUBLE_EQ(q.average_precision, 1.0);
+}
+
+TEST(MetricsTest, ReversedRankingScoresLower) {
+  Workload w = TinyWorkload();
+  std::vector<std::pair<core::ObjectRef, core::ObjectRef>> ranking = {
+      {{"v1", "A"}, {"v2", "B"}},  // false first
+      {{"v1", "B"}, {"v2", "A"}},  // false
+      {{"v1", "A"}, {"v2", "A"}},  // true at rank 3
+      {{"v1", "B"}, {"v2", "B"}},  // true at rank 4
+  };
+  RankingQuality q = EvaluateRanking(w, "v1", "v2", ranking);
+  EXPECT_DOUBLE_EQ(q.precision_at_k, 0.0);
+  // AP = (1/3 + 2/4) / 2.
+  EXPECT_NEAR(q.average_precision, (1.0 / 3 + 0.5) / 2, 1e-9);
+}
+
+TEST(MetricsTest, PairOrderWithinRankingIgnored) {
+  Workload w = TinyWorkload();
+  std::vector<std::pair<core::ObjectRef, core::ObjectRef>> ranking = {
+      {{"v2", "A"}, {"v1", "A"}},  // swapped sides still counts
+  };
+  RankingQuality q = EvaluateRanking(w, "v1", "v2", ranking);
+  EXPECT_DOUBLE_EQ(q.precision_at_k, 0.5);
+}
+
+TEST(MetricsTest, EmptyInputsAreSafe) {
+  Workload w = TinyWorkload();
+  RankingQuality q = EvaluateRanking(w, "v1", "v2", {});
+  EXPECT_EQ(q.ranked_pairs, 0);
+  EXPECT_DOUBLE_EQ(q.average_precision, 0.0);
+  RankingQuality none = EvaluateRanking(w, "v1", "v9", {});
+  EXPECT_EQ(none.true_pairs, 0);
+  EXPECT_FALSE(q.ToString().empty());
+}
+
+TEST(MetricsTest, SuggestionPrecisionRecall) {
+  Workload w = TinyWorkload();
+  std::vector<std::pair<ecr::AttributePath, ecr::AttributePath>> suggestions =
+      {
+          {{"v1", "A", "Id"}, {"v2", "A", "Id"}},        // correct
+          {{"v1", "A", "Id"}, {"v2", "B", "Label"}},     // wrong
+      };
+  SuggestionQuality q = EvaluateSuggestions(w, "v1", "v2", suggestions);
+  EXPECT_EQ(q.suggested, 2);
+  EXPECT_EQ(q.correct, 1);
+  EXPECT_EQ(q.possible, 2);
+  EXPECT_DOUBLE_EQ(q.precision, 0.5);
+  EXPECT_DOUBLE_EQ(q.recall, 0.5);
+  EXPECT_FALSE(q.ToString().empty());
+}
+
+TEST(MetricsTest, SuggestionEmptyInputs) {
+  Workload w = TinyWorkload();
+  SuggestionQuality q = EvaluateSuggestions(w, "v1", "v2", {});
+  EXPECT_DOUBLE_EQ(q.precision, 0.0);
+  EXPECT_DOUBLE_EQ(q.recall, 0.0);
+}
+
+}  // namespace
+}  // namespace ecrint::workload
