@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ranking_quality.dir/ablation_ranking_quality.cc.o"
+  "CMakeFiles/ablation_ranking_quality.dir/ablation_ranking_quality.cc.o.d"
+  "ablation_ranking_quality"
+  "ablation_ranking_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ranking_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

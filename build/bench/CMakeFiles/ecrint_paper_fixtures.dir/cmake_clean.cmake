@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecrint_paper_fixtures.dir/paper_fixtures.cc.o"
+  "CMakeFiles/ecrint_paper_fixtures.dir/paper_fixtures.cc.o.d"
+  "libecrint_paper_fixtures.a"
+  "libecrint_paper_fixtures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecrint_paper_fixtures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

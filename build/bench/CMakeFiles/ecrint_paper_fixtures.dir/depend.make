@@ -1,0 +1,2 @@
+# Empty dependencies file for ecrint_paper_fixtures.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_assertion_outcomes.dir/fig2_assertion_outcomes.cc.o"
+  "CMakeFiles/fig2_assertion_outcomes.dir/fig2_assertion_outcomes.cc.o.d"
+  "fig2_assertion_outcomes"
+  "fig2_assertion_outcomes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_assertion_outcomes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_university_integration.dir/fig5_university_integration.cc.o"
+  "CMakeFiles/fig5_university_integration.dir/fig5_university_integration.cc.o.d"
+  "fig5_university_integration"
+  "fig5_university_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_university_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

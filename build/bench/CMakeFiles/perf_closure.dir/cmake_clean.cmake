@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_closure.dir/perf_closure.cc.o"
+  "CMakeFiles/perf_closure.dir/perf_closure.cc.o.d"
+  "perf_closure"
+  "perf_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

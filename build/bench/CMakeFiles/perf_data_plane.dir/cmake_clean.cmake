@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_data_plane.dir/perf_data_plane.cc.o"
+  "CMakeFiles/perf_data_plane.dir/perf_data_plane.cc.o.d"
+  "perf_data_plane"
+  "perf_data_plane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_data_plane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

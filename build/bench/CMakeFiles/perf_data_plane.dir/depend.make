@@ -1,0 +1,2 @@
+# Empty dependencies file for perf_data_plane.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_integration.dir/perf_integration.cc.o"
+  "CMakeFiles/perf_integration.dir/perf_integration.cc.o.d"
+  "perf_integration"
+  "perf_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_nary_vs_binary.dir/perf_nary_vs_binary.cc.o"
+  "CMakeFiles/perf_nary_vs_binary.dir/perf_nary_vs_binary.cc.o.d"
+  "perf_nary_vs_binary"
+  "perf_nary_vs_binary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_nary_vs_binary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for perf_nary_vs_binary.
+# This may be replaced when dependencies are built.

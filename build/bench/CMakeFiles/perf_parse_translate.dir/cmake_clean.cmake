@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_parse_translate.dir/perf_parse_translate.cc.o"
+  "CMakeFiles/perf_parse_translate.dir/perf_parse_translate.cc.o.d"
+  "perf_parse_translate"
+  "perf_parse_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_parse_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

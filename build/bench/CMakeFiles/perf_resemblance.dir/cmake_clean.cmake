@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_resemblance.dir/perf_resemblance.cc.o"
+  "CMakeFiles/perf_resemblance.dir/perf_resemblance.cc.o.d"
+  "perf_resemblance"
+  "perf_resemblance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_resemblance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

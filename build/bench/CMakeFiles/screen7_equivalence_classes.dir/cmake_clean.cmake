@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/screen7_equivalence_classes.dir/screen7_equivalence_classes.cc.o"
+  "CMakeFiles/screen7_equivalence_classes.dir/screen7_equivalence_classes.cc.o.d"
+  "screen7_equivalence_classes"
+  "screen7_equivalence_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/screen7_equivalence_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for screen7_equivalence_classes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/screen8_assertion_ranking.dir/screen8_assertion_ranking.cc.o"
+  "CMakeFiles/screen8_assertion_ranking.dir/screen8_assertion_ranking.cc.o.d"
+  "screen8_assertion_ranking"
+  "screen8_assertion_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/screen8_assertion_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for screen8_assertion_ranking.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/screen9_conflict_resolution.dir/screen9_conflict_resolution.cc.o"
+  "CMakeFiles/screen9_conflict_resolution.dir/screen9_conflict_resolution.cc.o.d"
+  "screen9_conflict_resolution"
+  "screen9_conflict_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/screen9_conflict_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/screens_collection.dir/screens_collection.cc.o"
+  "CMakeFiles/screens_collection.dir/screens_collection.cc.o.d"
+  "screens_collection"
+  "screens_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/screens_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for screens_collection.
+# This may be replaced when dependencies are built.

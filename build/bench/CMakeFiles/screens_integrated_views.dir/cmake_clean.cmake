@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/screens_integrated_views.dir/screens_integrated_views.cc.o"
+  "CMakeFiles/screens_integrated_views.dir/screens_integrated_views.cc.o.d"
+  "screens_integrated_views"
+  "screens_integrated_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/screens_integrated_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/interactive_tool.cpp" "examples/CMakeFiles/interactive_tool.dir/interactive_tool.cpp.o" "gcc" "examples/CMakeFiles/interactive_tool.dir/interactive_tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tui/CMakeFiles/ecrint_tui.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ecrint_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecr/CMakeFiles/ecrint_ecr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ecrint_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

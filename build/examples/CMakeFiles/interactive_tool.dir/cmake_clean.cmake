@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_tool.dir/interactive_tool.cpp.o"
+  "CMakeFiles/interactive_tool.dir/interactive_tool.cpp.o.d"
+  "interactive_tool"
+  "interactive_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

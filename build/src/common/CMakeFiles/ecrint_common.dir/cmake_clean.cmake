@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecrint_common.dir/status.cc.o"
+  "CMakeFiles/ecrint_common.dir/status.cc.o.d"
+  "CMakeFiles/ecrint_common.dir/strings.cc.o"
+  "CMakeFiles/ecrint_common.dir/strings.cc.o.d"
+  "libecrint_common.a"
+  "libecrint_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecrint_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

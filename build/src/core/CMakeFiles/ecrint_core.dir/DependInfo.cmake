@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assertion.cc" "src/core/CMakeFiles/ecrint_core.dir/assertion.cc.o" "gcc" "src/core/CMakeFiles/ecrint_core.dir/assertion.cc.o.d"
+  "/root/repo/src/core/assertion_store.cc" "src/core/CMakeFiles/ecrint_core.dir/assertion_store.cc.o" "gcc" "src/core/CMakeFiles/ecrint_core.dir/assertion_store.cc.o.d"
+  "/root/repo/src/core/attribute_equivalence.cc" "src/core/CMakeFiles/ecrint_core.dir/attribute_equivalence.cc.o" "gcc" "src/core/CMakeFiles/ecrint_core.dir/attribute_equivalence.cc.o.d"
+  "/root/repo/src/core/cluster.cc" "src/core/CMakeFiles/ecrint_core.dir/cluster.cc.o" "gcc" "src/core/CMakeFiles/ecrint_core.dir/cluster.cc.o.d"
+  "/root/repo/src/core/equivalence.cc" "src/core/CMakeFiles/ecrint_core.dir/equivalence.cc.o" "gcc" "src/core/CMakeFiles/ecrint_core.dir/equivalence.cc.o.d"
+  "/root/repo/src/core/integration_result.cc" "src/core/CMakeFiles/ecrint_core.dir/integration_result.cc.o" "gcc" "src/core/CMakeFiles/ecrint_core.dir/integration_result.cc.o.d"
+  "/root/repo/src/core/integrator.cc" "src/core/CMakeFiles/ecrint_core.dir/integrator.cc.o" "gcc" "src/core/CMakeFiles/ecrint_core.dir/integrator.cc.o.d"
+  "/root/repo/src/core/nary.cc" "src/core/CMakeFiles/ecrint_core.dir/nary.cc.o" "gcc" "src/core/CMakeFiles/ecrint_core.dir/nary.cc.o.d"
+  "/root/repo/src/core/project_io.cc" "src/core/CMakeFiles/ecrint_core.dir/project_io.cc.o" "gcc" "src/core/CMakeFiles/ecrint_core.dir/project_io.cc.o.d"
+  "/root/repo/src/core/request_translation.cc" "src/core/CMakeFiles/ecrint_core.dir/request_translation.cc.o" "gcc" "src/core/CMakeFiles/ecrint_core.dir/request_translation.cc.o.d"
+  "/root/repo/src/core/resemblance.cc" "src/core/CMakeFiles/ecrint_core.dir/resemblance.cc.o" "gcc" "src/core/CMakeFiles/ecrint_core.dir/resemblance.cc.o.d"
+  "/root/repo/src/core/seeding.cc" "src/core/CMakeFiles/ecrint_core.dir/seeding.cc.o" "gcc" "src/core/CMakeFiles/ecrint_core.dir/seeding.cc.o.d"
+  "/root/repo/src/core/set_relation.cc" "src/core/CMakeFiles/ecrint_core.dir/set_relation.cc.o" "gcc" "src/core/CMakeFiles/ecrint_core.dir/set_relation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ecr/CMakeFiles/ecrint_ecr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ecrint_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecrint_core.dir/assertion.cc.o"
+  "CMakeFiles/ecrint_core.dir/assertion.cc.o.d"
+  "CMakeFiles/ecrint_core.dir/assertion_store.cc.o"
+  "CMakeFiles/ecrint_core.dir/assertion_store.cc.o.d"
+  "CMakeFiles/ecrint_core.dir/attribute_equivalence.cc.o"
+  "CMakeFiles/ecrint_core.dir/attribute_equivalence.cc.o.d"
+  "CMakeFiles/ecrint_core.dir/cluster.cc.o"
+  "CMakeFiles/ecrint_core.dir/cluster.cc.o.d"
+  "CMakeFiles/ecrint_core.dir/equivalence.cc.o"
+  "CMakeFiles/ecrint_core.dir/equivalence.cc.o.d"
+  "CMakeFiles/ecrint_core.dir/integration_result.cc.o"
+  "CMakeFiles/ecrint_core.dir/integration_result.cc.o.d"
+  "CMakeFiles/ecrint_core.dir/integrator.cc.o"
+  "CMakeFiles/ecrint_core.dir/integrator.cc.o.d"
+  "CMakeFiles/ecrint_core.dir/nary.cc.o"
+  "CMakeFiles/ecrint_core.dir/nary.cc.o.d"
+  "CMakeFiles/ecrint_core.dir/project_io.cc.o"
+  "CMakeFiles/ecrint_core.dir/project_io.cc.o.d"
+  "CMakeFiles/ecrint_core.dir/request_translation.cc.o"
+  "CMakeFiles/ecrint_core.dir/request_translation.cc.o.d"
+  "CMakeFiles/ecrint_core.dir/resemblance.cc.o"
+  "CMakeFiles/ecrint_core.dir/resemblance.cc.o.d"
+  "CMakeFiles/ecrint_core.dir/seeding.cc.o"
+  "CMakeFiles/ecrint_core.dir/seeding.cc.o.d"
+  "CMakeFiles/ecrint_core.dir/set_relation.cc.o"
+  "CMakeFiles/ecrint_core.dir/set_relation.cc.o.d"
+  "libecrint_core.a"
+  "libecrint_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecrint_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/federation.cc" "src/data/CMakeFiles/ecrint_data.dir/federation.cc.o" "gcc" "src/data/CMakeFiles/ecrint_data.dir/federation.cc.o.d"
+  "/root/repo/src/data/instance_store.cc" "src/data/CMakeFiles/ecrint_data.dir/instance_store.cc.o" "gcc" "src/data/CMakeFiles/ecrint_data.dir/instance_store.cc.o.d"
+  "/root/repo/src/data/materialize.cc" "src/data/CMakeFiles/ecrint_data.dir/materialize.cc.o" "gcc" "src/data/CMakeFiles/ecrint_data.dir/materialize.cc.o.d"
+  "/root/repo/src/data/value.cc" "src/data/CMakeFiles/ecrint_data.dir/value.cc.o" "gcc" "src/data/CMakeFiles/ecrint_data.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ecrint_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecr/CMakeFiles/ecrint_ecr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ecrint_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecrint_data.dir/federation.cc.o"
+  "CMakeFiles/ecrint_data.dir/federation.cc.o.d"
+  "CMakeFiles/ecrint_data.dir/instance_store.cc.o"
+  "CMakeFiles/ecrint_data.dir/instance_store.cc.o.d"
+  "CMakeFiles/ecrint_data.dir/materialize.cc.o"
+  "CMakeFiles/ecrint_data.dir/materialize.cc.o.d"
+  "CMakeFiles/ecrint_data.dir/value.cc.o"
+  "CMakeFiles/ecrint_data.dir/value.cc.o.d"
+  "libecrint_data.a"
+  "libecrint_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecrint_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecr/attribute.cc" "src/ecr/CMakeFiles/ecrint_ecr.dir/attribute.cc.o" "gcc" "src/ecr/CMakeFiles/ecrint_ecr.dir/attribute.cc.o.d"
+  "/root/repo/src/ecr/builder.cc" "src/ecr/CMakeFiles/ecrint_ecr.dir/builder.cc.o" "gcc" "src/ecr/CMakeFiles/ecrint_ecr.dir/builder.cc.o.d"
+  "/root/repo/src/ecr/catalog.cc" "src/ecr/CMakeFiles/ecrint_ecr.dir/catalog.cc.o" "gcc" "src/ecr/CMakeFiles/ecrint_ecr.dir/catalog.cc.o.d"
+  "/root/repo/src/ecr/ddl_parser.cc" "src/ecr/CMakeFiles/ecrint_ecr.dir/ddl_parser.cc.o" "gcc" "src/ecr/CMakeFiles/ecrint_ecr.dir/ddl_parser.cc.o.d"
+  "/root/repo/src/ecr/domain.cc" "src/ecr/CMakeFiles/ecrint_ecr.dir/domain.cc.o" "gcc" "src/ecr/CMakeFiles/ecrint_ecr.dir/domain.cc.o.d"
+  "/root/repo/src/ecr/dot_export.cc" "src/ecr/CMakeFiles/ecrint_ecr.dir/dot_export.cc.o" "gcc" "src/ecr/CMakeFiles/ecrint_ecr.dir/dot_export.cc.o.d"
+  "/root/repo/src/ecr/printer.cc" "src/ecr/CMakeFiles/ecrint_ecr.dir/printer.cc.o" "gcc" "src/ecr/CMakeFiles/ecrint_ecr.dir/printer.cc.o.d"
+  "/root/repo/src/ecr/schema.cc" "src/ecr/CMakeFiles/ecrint_ecr.dir/schema.cc.o" "gcc" "src/ecr/CMakeFiles/ecrint_ecr.dir/schema.cc.o.d"
+  "/root/repo/src/ecr/transform.cc" "src/ecr/CMakeFiles/ecrint_ecr.dir/transform.cc.o" "gcc" "src/ecr/CMakeFiles/ecrint_ecr.dir/transform.cc.o.d"
+  "/root/repo/src/ecr/validate.cc" "src/ecr/CMakeFiles/ecrint_ecr.dir/validate.cc.o" "gcc" "src/ecr/CMakeFiles/ecrint_ecr.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ecrint_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecrint_ecr.dir/attribute.cc.o"
+  "CMakeFiles/ecrint_ecr.dir/attribute.cc.o.d"
+  "CMakeFiles/ecrint_ecr.dir/builder.cc.o"
+  "CMakeFiles/ecrint_ecr.dir/builder.cc.o.d"
+  "CMakeFiles/ecrint_ecr.dir/catalog.cc.o"
+  "CMakeFiles/ecrint_ecr.dir/catalog.cc.o.d"
+  "CMakeFiles/ecrint_ecr.dir/ddl_parser.cc.o"
+  "CMakeFiles/ecrint_ecr.dir/ddl_parser.cc.o.d"
+  "CMakeFiles/ecrint_ecr.dir/domain.cc.o"
+  "CMakeFiles/ecrint_ecr.dir/domain.cc.o.d"
+  "CMakeFiles/ecrint_ecr.dir/dot_export.cc.o"
+  "CMakeFiles/ecrint_ecr.dir/dot_export.cc.o.d"
+  "CMakeFiles/ecrint_ecr.dir/printer.cc.o"
+  "CMakeFiles/ecrint_ecr.dir/printer.cc.o.d"
+  "CMakeFiles/ecrint_ecr.dir/schema.cc.o"
+  "CMakeFiles/ecrint_ecr.dir/schema.cc.o.d"
+  "CMakeFiles/ecrint_ecr.dir/transform.cc.o"
+  "CMakeFiles/ecrint_ecr.dir/transform.cc.o.d"
+  "CMakeFiles/ecrint_ecr.dir/validate.cc.o"
+  "CMakeFiles/ecrint_ecr.dir/validate.cc.o.d"
+  "libecrint_ecr.a"
+  "libecrint_ecr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecrint_ecr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libecrint_ecr.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for ecrint_ecr.
+# This may be replaced when dependencies are built.

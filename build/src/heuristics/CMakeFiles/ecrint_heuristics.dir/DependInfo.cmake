@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/heuristics/construct_match.cc" "src/heuristics/CMakeFiles/ecrint_heuristics.dir/construct_match.cc.o" "gcc" "src/heuristics/CMakeFiles/ecrint_heuristics.dir/construct_match.cc.o.d"
+  "/root/repo/src/heuristics/schema_resemblance.cc" "src/heuristics/CMakeFiles/ecrint_heuristics.dir/schema_resemblance.cc.o" "gcc" "src/heuristics/CMakeFiles/ecrint_heuristics.dir/schema_resemblance.cc.o.d"
+  "/root/repo/src/heuristics/string_sim.cc" "src/heuristics/CMakeFiles/ecrint_heuristics.dir/string_sim.cc.o" "gcc" "src/heuristics/CMakeFiles/ecrint_heuristics.dir/string_sim.cc.o.d"
+  "/root/repo/src/heuristics/suggest.cc" "src/heuristics/CMakeFiles/ecrint_heuristics.dir/suggest.cc.o" "gcc" "src/heuristics/CMakeFiles/ecrint_heuristics.dir/suggest.cc.o.d"
+  "/root/repo/src/heuristics/synonyms.cc" "src/heuristics/CMakeFiles/ecrint_heuristics.dir/synonyms.cc.o" "gcc" "src/heuristics/CMakeFiles/ecrint_heuristics.dir/synonyms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ecrint_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecr/CMakeFiles/ecrint_ecr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ecrint_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

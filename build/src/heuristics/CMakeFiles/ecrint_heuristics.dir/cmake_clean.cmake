@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecrint_heuristics.dir/construct_match.cc.o"
+  "CMakeFiles/ecrint_heuristics.dir/construct_match.cc.o.d"
+  "CMakeFiles/ecrint_heuristics.dir/schema_resemblance.cc.o"
+  "CMakeFiles/ecrint_heuristics.dir/schema_resemblance.cc.o.d"
+  "CMakeFiles/ecrint_heuristics.dir/string_sim.cc.o"
+  "CMakeFiles/ecrint_heuristics.dir/string_sim.cc.o.d"
+  "CMakeFiles/ecrint_heuristics.dir/suggest.cc.o"
+  "CMakeFiles/ecrint_heuristics.dir/suggest.cc.o.d"
+  "CMakeFiles/ecrint_heuristics.dir/synonyms.cc.o"
+  "CMakeFiles/ecrint_heuristics.dir/synonyms.cc.o.d"
+  "libecrint_heuristics.a"
+  "libecrint_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecrint_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

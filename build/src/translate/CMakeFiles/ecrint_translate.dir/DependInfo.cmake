@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/translate/hier_to_ecr.cc" "src/translate/CMakeFiles/ecrint_translate.dir/hier_to_ecr.cc.o" "gcc" "src/translate/CMakeFiles/ecrint_translate.dir/hier_to_ecr.cc.o.d"
+  "/root/repo/src/translate/hierarchical.cc" "src/translate/CMakeFiles/ecrint_translate.dir/hierarchical.cc.o" "gcc" "src/translate/CMakeFiles/ecrint_translate.dir/hierarchical.cc.o.d"
+  "/root/repo/src/translate/rel_to_ecr.cc" "src/translate/CMakeFiles/ecrint_translate.dir/rel_to_ecr.cc.o" "gcc" "src/translate/CMakeFiles/ecrint_translate.dir/rel_to_ecr.cc.o.d"
+  "/root/repo/src/translate/relational.cc" "src/translate/CMakeFiles/ecrint_translate.dir/relational.cc.o" "gcc" "src/translate/CMakeFiles/ecrint_translate.dir/relational.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ecr/CMakeFiles/ecrint_ecr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ecrint_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

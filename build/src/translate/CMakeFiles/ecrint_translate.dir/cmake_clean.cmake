@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecrint_translate.dir/hier_to_ecr.cc.o"
+  "CMakeFiles/ecrint_translate.dir/hier_to_ecr.cc.o.d"
+  "CMakeFiles/ecrint_translate.dir/hierarchical.cc.o"
+  "CMakeFiles/ecrint_translate.dir/hierarchical.cc.o.d"
+  "CMakeFiles/ecrint_translate.dir/rel_to_ecr.cc.o"
+  "CMakeFiles/ecrint_translate.dir/rel_to_ecr.cc.o.d"
+  "CMakeFiles/ecrint_translate.dir/relational.cc.o"
+  "CMakeFiles/ecrint_translate.dir/relational.cc.o.d"
+  "libecrint_translate.a"
+  "libecrint_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecrint_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecrint_tui.dir/screen.cc.o"
+  "CMakeFiles/ecrint_tui.dir/screen.cc.o.d"
+  "CMakeFiles/ecrint_tui.dir/session.cc.o"
+  "CMakeFiles/ecrint_tui.dir/session.cc.o.d"
+  "libecrint_tui.a"
+  "libecrint_tui.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecrint_tui.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

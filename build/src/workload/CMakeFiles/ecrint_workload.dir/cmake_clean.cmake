@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecrint_workload.dir/generator.cc.o"
+  "CMakeFiles/ecrint_workload.dir/generator.cc.o.d"
+  "CMakeFiles/ecrint_workload.dir/metrics.cc.o"
+  "CMakeFiles/ecrint_workload.dir/metrics.cc.o.d"
+  "libecrint_workload.a"
+  "libecrint_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecrint_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/assertion_store_test.cc" "tests/CMakeFiles/core_test.dir/core/assertion_store_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/assertion_store_test.cc.o.d"
+  "/root/repo/tests/core/assertion_test.cc" "tests/CMakeFiles/core_test.dir/core/assertion_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/assertion_test.cc.o.d"
+  "/root/repo/tests/core/attribute_equivalence_test.cc" "tests/CMakeFiles/core_test.dir/core/attribute_equivalence_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/attribute_equivalence_test.cc.o.d"
+  "/root/repo/tests/core/cluster_test.cc" "tests/CMakeFiles/core_test.dir/core/cluster_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/cluster_test.cc.o.d"
+  "/root/repo/tests/core/equivalence_test.cc" "tests/CMakeFiles/core_test.dir/core/equivalence_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/equivalence_test.cc.o.d"
+  "/root/repo/tests/core/integrator_test.cc" "tests/CMakeFiles/core_test.dir/core/integrator_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/integrator_test.cc.o.d"
+  "/root/repo/tests/core/nary_test.cc" "tests/CMakeFiles/core_test.dir/core/nary_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/nary_test.cc.o.d"
+  "/root/repo/tests/core/project_io_test.cc" "tests/CMakeFiles/core_test.dir/core/project_io_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/project_io_test.cc.o.d"
+  "/root/repo/tests/core/relationship_integration_test.cc" "tests/CMakeFiles/core_test.dir/core/relationship_integration_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/relationship_integration_test.cc.o.d"
+  "/root/repo/tests/core/request_translation_test.cc" "tests/CMakeFiles/core_test.dir/core/request_translation_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/request_translation_test.cc.o.d"
+  "/root/repo/tests/core/resemblance_test.cc" "tests/CMakeFiles/core_test.dir/core/resemblance_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/resemblance_test.cc.o.d"
+  "/root/repo/tests/core/seeding_test.cc" "tests/CMakeFiles/core_test.dir/core/seeding_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/seeding_test.cc.o.d"
+  "/root/repo/tests/core/set_relation_test.cc" "tests/CMakeFiles/core_test.dir/core/set_relation_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/set_relation_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ecrint_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecr/CMakeFiles/ecrint_ecr.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ecrint_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

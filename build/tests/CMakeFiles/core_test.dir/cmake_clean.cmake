@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/assertion_store_test.cc.o"
+  "CMakeFiles/core_test.dir/core/assertion_store_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/assertion_test.cc.o"
+  "CMakeFiles/core_test.dir/core/assertion_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/attribute_equivalence_test.cc.o"
+  "CMakeFiles/core_test.dir/core/attribute_equivalence_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/cluster_test.cc.o"
+  "CMakeFiles/core_test.dir/core/cluster_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/equivalence_test.cc.o"
+  "CMakeFiles/core_test.dir/core/equivalence_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/integrator_test.cc.o"
+  "CMakeFiles/core_test.dir/core/integrator_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/nary_test.cc.o"
+  "CMakeFiles/core_test.dir/core/nary_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/project_io_test.cc.o"
+  "CMakeFiles/core_test.dir/core/project_io_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/relationship_integration_test.cc.o"
+  "CMakeFiles/core_test.dir/core/relationship_integration_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/request_translation_test.cc.o"
+  "CMakeFiles/core_test.dir/core/request_translation_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/resemblance_test.cc.o"
+  "CMakeFiles/core_test.dir/core/resemblance_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/seeding_test.cc.o"
+  "CMakeFiles/core_test.dir/core/seeding_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/set_relation_test.cc.o"
+  "CMakeFiles/core_test.dir/core/set_relation_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ecr/builder_test.cc" "tests/CMakeFiles/ecr_test.dir/ecr/builder_test.cc.o" "gcc" "tests/CMakeFiles/ecr_test.dir/ecr/builder_test.cc.o.d"
+  "/root/repo/tests/ecr/catalog_test.cc" "tests/CMakeFiles/ecr_test.dir/ecr/catalog_test.cc.o" "gcc" "tests/CMakeFiles/ecr_test.dir/ecr/catalog_test.cc.o.d"
+  "/root/repo/tests/ecr/ddl_parser_test.cc" "tests/CMakeFiles/ecr_test.dir/ecr/ddl_parser_test.cc.o" "gcc" "tests/CMakeFiles/ecr_test.dir/ecr/ddl_parser_test.cc.o.d"
+  "/root/repo/tests/ecr/domain_test.cc" "tests/CMakeFiles/ecr_test.dir/ecr/domain_test.cc.o" "gcc" "tests/CMakeFiles/ecr_test.dir/ecr/domain_test.cc.o.d"
+  "/root/repo/tests/ecr/dot_export_test.cc" "tests/CMakeFiles/ecr_test.dir/ecr/dot_export_test.cc.o" "gcc" "tests/CMakeFiles/ecr_test.dir/ecr/dot_export_test.cc.o.d"
+  "/root/repo/tests/ecr/printer_test.cc" "tests/CMakeFiles/ecr_test.dir/ecr/printer_test.cc.o" "gcc" "tests/CMakeFiles/ecr_test.dir/ecr/printer_test.cc.o.d"
+  "/root/repo/tests/ecr/schema_test.cc" "tests/CMakeFiles/ecr_test.dir/ecr/schema_test.cc.o" "gcc" "tests/CMakeFiles/ecr_test.dir/ecr/schema_test.cc.o.d"
+  "/root/repo/tests/ecr/transform_test.cc" "tests/CMakeFiles/ecr_test.dir/ecr/transform_test.cc.o" "gcc" "tests/CMakeFiles/ecr_test.dir/ecr/transform_test.cc.o.d"
+  "/root/repo/tests/ecr/validate_test.cc" "tests/CMakeFiles/ecr_test.dir/ecr/validate_test.cc.o" "gcc" "tests/CMakeFiles/ecr_test.dir/ecr/validate_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ecrint_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecr/CMakeFiles/ecrint_ecr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecr_test.dir/ecr/builder_test.cc.o"
+  "CMakeFiles/ecr_test.dir/ecr/builder_test.cc.o.d"
+  "CMakeFiles/ecr_test.dir/ecr/catalog_test.cc.o"
+  "CMakeFiles/ecr_test.dir/ecr/catalog_test.cc.o.d"
+  "CMakeFiles/ecr_test.dir/ecr/ddl_parser_test.cc.o"
+  "CMakeFiles/ecr_test.dir/ecr/ddl_parser_test.cc.o.d"
+  "CMakeFiles/ecr_test.dir/ecr/domain_test.cc.o"
+  "CMakeFiles/ecr_test.dir/ecr/domain_test.cc.o.d"
+  "CMakeFiles/ecr_test.dir/ecr/dot_export_test.cc.o"
+  "CMakeFiles/ecr_test.dir/ecr/dot_export_test.cc.o.d"
+  "CMakeFiles/ecr_test.dir/ecr/printer_test.cc.o"
+  "CMakeFiles/ecr_test.dir/ecr/printer_test.cc.o.d"
+  "CMakeFiles/ecr_test.dir/ecr/schema_test.cc.o"
+  "CMakeFiles/ecr_test.dir/ecr/schema_test.cc.o.d"
+  "CMakeFiles/ecr_test.dir/ecr/transform_test.cc.o"
+  "CMakeFiles/ecr_test.dir/ecr/transform_test.cc.o.d"
+  "CMakeFiles/ecr_test.dir/ecr/validate_test.cc.o"
+  "CMakeFiles/ecr_test.dir/ecr/validate_test.cc.o.d"
+  "ecr_test"
+  "ecr_test.pdb"
+  "ecr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

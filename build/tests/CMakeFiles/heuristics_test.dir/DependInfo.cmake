@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/heuristics/construct_match_test.cc" "tests/CMakeFiles/heuristics_test.dir/heuristics/construct_match_test.cc.o" "gcc" "tests/CMakeFiles/heuristics_test.dir/heuristics/construct_match_test.cc.o.d"
+  "/root/repo/tests/heuristics/schema_resemblance_test.cc" "tests/CMakeFiles/heuristics_test.dir/heuristics/schema_resemblance_test.cc.o" "gcc" "tests/CMakeFiles/heuristics_test.dir/heuristics/schema_resemblance_test.cc.o.d"
+  "/root/repo/tests/heuristics/string_sim_test.cc" "tests/CMakeFiles/heuristics_test.dir/heuristics/string_sim_test.cc.o" "gcc" "tests/CMakeFiles/heuristics_test.dir/heuristics/string_sim_test.cc.o.d"
+  "/root/repo/tests/heuristics/suggest_test.cc" "tests/CMakeFiles/heuristics_test.dir/heuristics/suggest_test.cc.o" "gcc" "tests/CMakeFiles/heuristics_test.dir/heuristics/suggest_test.cc.o.d"
+  "/root/repo/tests/heuristics/synonyms_test.cc" "tests/CMakeFiles/heuristics_test.dir/heuristics/synonyms_test.cc.o" "gcc" "tests/CMakeFiles/heuristics_test.dir/heuristics/synonyms_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ecrint_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecr/CMakeFiles/ecrint_ecr.dir/DependInfo.cmake"
+  "/root/repo/build/src/heuristics/CMakeFiles/ecrint_heuristics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ecrint_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

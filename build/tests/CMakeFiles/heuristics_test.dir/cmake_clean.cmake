@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heuristics_test.dir/heuristics/construct_match_test.cc.o"
+  "CMakeFiles/heuristics_test.dir/heuristics/construct_match_test.cc.o.d"
+  "CMakeFiles/heuristics_test.dir/heuristics/schema_resemblance_test.cc.o"
+  "CMakeFiles/heuristics_test.dir/heuristics/schema_resemblance_test.cc.o.d"
+  "CMakeFiles/heuristics_test.dir/heuristics/string_sim_test.cc.o"
+  "CMakeFiles/heuristics_test.dir/heuristics/string_sim_test.cc.o.d"
+  "CMakeFiles/heuristics_test.dir/heuristics/suggest_test.cc.o"
+  "CMakeFiles/heuristics_test.dir/heuristics/suggest_test.cc.o.d"
+  "CMakeFiles/heuristics_test.dir/heuristics/synonyms_test.cc.o"
+  "CMakeFiles/heuristics_test.dir/heuristics/synonyms_test.cc.o.d"
+  "heuristics_test"
+  "heuristics_test.pdb"
+  "heuristics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heuristics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property/closure_property_test.cc" "tests/CMakeFiles/property_test.dir/property/closure_property_test.cc.o" "gcc" "tests/CMakeFiles/property_test.dir/property/closure_property_test.cc.o.d"
+  "/root/repo/tests/property/data_roundtrip_property_test.cc" "tests/CMakeFiles/property_test.dir/property/data_roundtrip_property_test.cc.o" "gcc" "tests/CMakeFiles/property_test.dir/property/data_roundtrip_property_test.cc.o.d"
+  "/root/repo/tests/property/integrator_property_test.cc" "tests/CMakeFiles/property_test.dir/property/integrator_property_test.cc.o" "gcc" "tests/CMakeFiles/property_test.dir/property/integrator_property_test.cc.o.d"
+  "/root/repo/tests/property/roundtrip_property_test.cc" "tests/CMakeFiles/property_test.dir/property/roundtrip_property_test.cc.o" "gcc" "tests/CMakeFiles/property_test.dir/property/roundtrip_property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ecrint_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecr/CMakeFiles/ecrint_ecr.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ecrint_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ecrint_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ecrint_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

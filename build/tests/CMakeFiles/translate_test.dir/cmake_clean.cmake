@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translate_test.dir/translate/hier_to_ecr_test.cc.o"
+  "CMakeFiles/translate_test.dir/translate/hier_to_ecr_test.cc.o.d"
+  "CMakeFiles/translate_test.dir/translate/rel_to_ecr_test.cc.o"
+  "CMakeFiles/translate_test.dir/translate/rel_to_ecr_test.cc.o.d"
+  "translate_test"
+  "translate_test.pdb"
+  "translate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tui_test.dir/tui/screen_test.cc.o"
+  "CMakeFiles/tui_test.dir/tui/screen_test.cc.o.d"
+  "CMakeFiles/tui_test.dir/tui/session_test.cc.o"
+  "CMakeFiles/tui_test.dir/tui/session_test.cc.o.d"
+  "tui_test"
+  "tui_test.pdb"
+  "tui_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tui_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecrint_cli.dir/ecrint_cli.cpp.o"
+  "CMakeFiles/ecrint_cli.dir/ecrint_cli.cpp.o.d"
+  "ecrint"
+  "ecrint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecrint_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
