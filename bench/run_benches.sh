@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Runs the resemblance/closure perf sweeps with google-benchmark's JSON
+# reporter and merges them into BENCH_resemblance.json at the repo root.
+#
+# Usage:
+#   bench/run_benches.sh [--build-dir DIR] [--out FILE] [--smoke]
+#
+# --smoke caps every benchmark at --benchmark_min_time=0.01 so the script
+# doubles as a ctest-safe liveness check (the JSON is still written, just
+# with noisy numbers). Without it, benchmark's default min time applies and
+# the merged JSON is suitable for recording in the repo. --out redirects the
+# merged JSON away from the repo-root BENCH_resemblance.json — the ctest
+# smoke uses it so a quick run never clobbers recorded numbers.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+out_file="${repo_root}/BENCH_resemblance.json"
+min_time=""
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir)
+      build_dir="$2"
+      shift 2
+      ;;
+    --out)
+      out_file="$2"
+      shift 2
+      ;;
+    --smoke)
+      min_time="--benchmark_min_time=0.01"
+      shift
+      ;;
+    *)
+      echo "unknown argument: $1" >&2
+      exit 2
+      ;;
+  esac
+done
+
+binaries=(perf_resemblance perf_closure)
+out_dir="$(mktemp -d)"
+trap 'rm -rf "${out_dir}"' EXIT
+
+for bin in "${binaries[@]}"; do
+  path="${build_dir}/bench/${bin}"
+  if [[ ! -x "${path}" ]]; then
+    echo "missing ${path}; build first: cmake --build ${build_dir} -j" >&2
+    exit 1
+  fi
+  echo "== ${bin}" >&2
+  # shellcheck disable=SC2086  # min_time is intentionally word-split
+  "${path}" --benchmark_format=json ${min_time} \
+    > "${out_dir}/${bin}.json"
+done
+
+# Merge: keep one context block (they describe the same host), concatenate
+# the benchmark arrays in binary order, and attach the recorded seed
+# baseline so the speedup base travels with the numbers.
+python3 - "${out_file}" "${repo_root}/bench/baseline_seed.json" \
+  "${out_dir}"/*.json <<'PY'
+import json
+import os
+import sys
+
+out_path, baseline_path = sys.argv[1], sys.argv[2]
+merged = {"context": None, "seed_baseline": None, "benchmarks": []}
+if os.path.exists(baseline_path):
+    with open(baseline_path) as f:
+        merged["seed_baseline"] = json.load(f)
+for path in sys.argv[3:]:
+    with open(path) as f:
+        report = json.load(f)
+    if merged["context"] is None:
+        merged["context"] = report.get("context", {})
+    merged["benchmarks"].extend(report.get("benchmarks", []))
+
+baseline = {
+    b["name"]: b["real_time"]
+    for b in (merged["seed_baseline"] or {}).get("benchmarks", [])
+}
+speedups = {}
+for b in merged["benchmarks"]:
+    base = baseline.get(b["name"])
+    if base and b.get("real_time"):
+        speedups[b["name"]] = round(base / b["real_time"], 2)
+if speedups:
+    merged["speedup_vs_seed"] = speedups
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path} ({len(merged['benchmarks'])} benchmarks)")
+for name, s in sorted(speedups.items()):
+    print(f"  {name}: {s}x vs seed")
+PY

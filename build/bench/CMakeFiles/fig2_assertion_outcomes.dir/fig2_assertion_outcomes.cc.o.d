@@ -171,16 +171,17 @@ bench/CMakeFiles/fig2_assertion_outcomes.dir/fig2_assertion_outcomes.cc.o: \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /root/repo/src/core/assertion_store.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/result.h \
+ /root/repo/src/core/assertion_store.h /root/repo/src/common/result.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/optional /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/status.h \
  /root/repo/src/core/assertion.h /root/repo/src/core/object_ref.h \
- /root/repo/src/core/set_relation.h /root/repo/src/core/equivalence.h \
- /root/repo/src/ecr/attribute.h /root/repo/src/ecr/domain.h \
- /root/repo/src/ecr/catalog.h /root/repo/src/ecr/schema.h \
+ /usr/include/c++/12/cstddef /root/repo/src/core/set_relation.h \
+ /root/repo/src/core/equivalence.h /root/repo/src/ecr/attribute.h \
+ /root/repo/src/ecr/domain.h /root/repo/src/ecr/catalog.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/ecr/schema.h \
  /root/repo/src/core/integrator.h \
  /root/repo/src/core/integration_result.h /root/repo/src/core/cluster.h \
  /root/repo/src/ecr/builder.h /root/repo/src/ecr/printer.h

@@ -183,12 +183,14 @@ bench/CMakeFiles/perf_closure.dir/perf_closure.cc.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/core/assertion_store.h /root/repo/src/common/result.h \
- /usr/include/c++/12/optional \
+ /root/repo/src/core/assertion_store.h /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/common/status.h /usr/include/c++/12/ostream \
- /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
- /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/common/result.h \
+ /usr/include/c++/12/optional /root/repo/src/common/status.h \
+ /usr/include/c++/12/ostream /usr/include/c++/12/ios \
+ /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
  /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
  /usr/include/c++/12/bits/locale_classes.h \
@@ -203,8 +205,9 @@ bench/CMakeFiles/perf_closure.dir/perf_closure.cc.o: \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /root/repo/src/core/assertion.h \
- /root/repo/src/core/object_ref.h /root/repo/src/core/set_relation.h \
- /root/repo/bench/paper_fixtures.h /root/repo/src/core/equivalence.h \
- /root/repo/src/ecr/attribute.h /root/repo/src/ecr/domain.h \
- /root/repo/src/ecr/catalog.h /root/repo/src/ecr/schema.h \
- /root/repo/src/workload/generator.h
+ /root/repo/src/core/object_ref.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
+ /root/repo/src/core/set_relation.h /root/repo/bench/paper_fixtures.h \
+ /root/repo/src/core/equivalence.h /root/repo/src/ecr/attribute.h \
+ /root/repo/src/ecr/domain.h /root/repo/src/ecr/catalog.h \
+ /root/repo/src/ecr/schema.h /root/repo/src/workload/generator.h

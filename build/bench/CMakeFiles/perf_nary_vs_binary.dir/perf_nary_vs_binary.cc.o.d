@@ -204,6 +204,10 @@ bench/CMakeFiles/perf_nary_vs_binary.dir/perf_nary_vs_binary.cc.o: \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /root/repo/src/ecr/catalog.h \
  /root/repo/src/ecr/schema.h /root/repo/src/ecr/attribute.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /root/repo/src/ecr/domain.h /root/repo/src/core/assertion_store.h \
  /root/repo/src/core/assertion.h /root/repo/src/core/object_ref.h \
  /root/repo/src/core/set_relation.h /root/repo/src/core/equivalence.h \

@@ -4,3 +4,5 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(bench_json_smoke "/root/repo/bench/run_benches.sh" "--build-dir" "/root/repo/build" "--out" "/root/repo/build/BENCH_resemblance.smoke.json" "--smoke")
+set_tests_properties(bench_json_smoke PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/ecrint_common.dir/status.cc.o.d"
   "CMakeFiles/ecrint_common.dir/strings.cc.o"
   "CMakeFiles/ecrint_common.dir/strings.cc.o.d"
+  "CMakeFiles/ecrint_common.dir/thread_pool.cc.o"
+  "CMakeFiles/ecrint_common.dir/thread_pool.cc.o.d"
   "libecrint_common.a"
   "libecrint_common.pdb"
 )

@@ -207,7 +207,15 @@ src/data/CMakeFiles/ecrint_data.dir/materialize.cc.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/common/status.h /root/repo/src/core/integration_result.h \
- /root/repo/src/ecr/attribute.h /root/repo/src/ecr/domain.h \
+ /root/repo/src/ecr/attribute.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/ecr/domain.h \
  /root/repo/src/ecr/schema.h /root/repo/src/core/cluster.h \
  /root/repo/src/core/assertion_store.h /root/repo/src/core/assertion.h \
  /root/repo/src/core/object_ref.h /root/repo/src/core/set_relation.h \
@@ -215,10 +223,6 @@ src/data/CMakeFiles/ecrint_data.dir/materialize.cc.o: \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/data/value.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -172,17 +172,21 @@ src/heuristics/CMakeFiles/ecrint_heuristics.dir/schema_resemblance.cc.o: \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/ecr/schema.h \
- /root/repo/src/ecr/attribute.h /root/repo/src/ecr/domain.h \
- /root/repo/src/heuristics/synonyms.h /usr/include/c++/12/algorithm \
+ /root/repo/src/ecr/attribute.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/ecr/domain.h \
+ /root/repo/src/heuristics/synonyms.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/heuristics/suggest.h /root/repo/src/core/equivalence.h \
- /root/repo/src/core/object_ref.h
+ /root/repo/src/core/object_ref.h /root/repo/src/core/resemblance.h

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/common_test.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/status_test.cc.o.d"
   "/root/repo/tests/common/strings_test.cc" "tests/CMakeFiles/common_test.dir/common/strings_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/strings_test.cc.o.d"
+  "/root/repo/tests/common/thread_pool_test.cc" "tests/CMakeFiles/common_test.dir/common/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/thread_pool_test.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/common_test.dir/common/status_test.cc.o.d"
   "CMakeFiles/common_test.dir/common/strings_test.cc.o"
   "CMakeFiles/common_test.dir/common/strings_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/thread_pool_test.cc.o"
+  "CMakeFiles/common_test.dir/common/thread_pool_test.cc.o.d"
   "common_test"
   "common_test.pdb"
   "common_test[1]_tests.cmake"

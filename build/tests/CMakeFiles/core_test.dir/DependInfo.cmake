@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/core/assertion_test.cc" "tests/CMakeFiles/core_test.dir/core/assertion_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/assertion_test.cc.o.d"
   "/root/repo/tests/core/attribute_equivalence_test.cc" "tests/CMakeFiles/core_test.dir/core/attribute_equivalence_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/attribute_equivalence_test.cc.o.d"
   "/root/repo/tests/core/cluster_test.cc" "tests/CMakeFiles/core_test.dir/core/cluster_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/cluster_test.cc.o.d"
+  "/root/repo/tests/core/equivalence_perf_semantics_test.cc" "tests/CMakeFiles/core_test.dir/core/equivalence_perf_semantics_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/equivalence_perf_semantics_test.cc.o.d"
   "/root/repo/tests/core/equivalence_test.cc" "tests/CMakeFiles/core_test.dir/core/equivalence_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/equivalence_test.cc.o.d"
   "/root/repo/tests/core/integrator_test.cc" "tests/CMakeFiles/core_test.dir/core/integrator_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/integrator_test.cc.o.d"
   "/root/repo/tests/core/nary_test.cc" "tests/CMakeFiles/core_test.dir/core/nary_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/nary_test.cc.o.d"
@@ -28,6 +29,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/common/CMakeFiles/ecrint_common.dir/DependInfo.cmake"
   "/root/repo/build/src/ecr/CMakeFiles/ecrint_ecr.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/ecrint_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ecrint_workload.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/core_test.dir/core/attribute_equivalence_test.cc.o.d"
   "CMakeFiles/core_test.dir/core/cluster_test.cc.o"
   "CMakeFiles/core_test.dir/core/cluster_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/equivalence_perf_semantics_test.cc.o"
+  "CMakeFiles/core_test.dir/core/equivalence_perf_semantics_test.cc.o.d"
   "CMakeFiles/core_test.dir/core/equivalence_test.cc.o"
   "CMakeFiles/core_test.dir/core/equivalence_test.cc.o.d"
   "CMakeFiles/core_test.dir/core/integrator_test.cc.o"

@@ -207,7 +207,15 @@ tests/CMakeFiles/data_test.dir/data/materialize_test.cc.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/common/status.h /root/repo/src/core/integration_result.h \
- /root/repo/src/ecr/attribute.h /root/repo/src/ecr/domain.h \
+ /root/repo/src/ecr/attribute.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/ecr/domain.h \
  /root/repo/src/ecr/schema.h /root/repo/src/core/cluster.h \
  /root/repo/src/core/assertion_store.h /root/repo/src/core/assertion.h \
  /root/repo/src/core/object_ref.h /root/repo/src/core/set_relation.h \
@@ -215,8 +223,7 @@ tests/CMakeFiles/data_test.dir/data/materialize_test.cc.o: \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/data/value.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
- /usr/include/c++/12/limits \
+ /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \
@@ -283,14 +290,6 @@ tests/CMakeFiles/data_test.dir/data/materialize_test.cc.o: \
  /root/miniconda/include/gtest/gtest-matchers.h \
  /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \
  /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \

@@ -39,6 +39,10 @@ class Result {
 
   const T& operator*() const& { return value(); }
   T& operator*() & { return value(); }
+  // Without this overload `*std::move(result)` silently binds to the
+  // const& accessor and deep-copies the value — for a populated
+  // EquivalenceMap that copy dwarfed the map construction itself.
+  T&& operator*() && { return std::move(*this).value(); }
   const T* operator->() const { return &value(); }
   T* operator->() { return &value(); }
 

@@ -1,0 +1,95 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace ecrint::common {
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = std::max(1, num_threads);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::ParallelFor(int begin, int end, int grain,
+                             const std::function<void(int, int)>& fn) {
+  if (begin >= end) return;
+  grain = std::max(1, grain);
+  int chunks = (end - begin + grain - 1) / grain;
+  if (chunks == 1 || size() <= 1) {
+    fn(begin, end);
+    return;
+  }
+
+  // One latch-style counter for the batch; the first exception in chunk
+  // order wins so a failing ParallelFor reports deterministically.
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  int remaining = chunks;
+  std::vector<std::exception_ptr> errors(chunks);
+
+  for (int c = 0; c < chunks; ++c) {
+    int chunk_begin = begin + c * grain;
+    int chunk_end = std::min(end, chunk_begin + grain);
+    Submit([&, c, chunk_begin, chunk_end] {
+      try {
+        fn(chunk_begin, chunk_end);
+      } catch (...) {
+        errors[c] = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        --remaining;
+      }
+      done_cv.notify_one();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  }
+  for (std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool(
+      static_cast<int>(std::thread::hardware_concurrency()));
+  return *pool;
+}
+
+}  // namespace ecrint::common

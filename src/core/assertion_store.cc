@@ -32,14 +32,22 @@ int AssertionStore::Intern(const ObjectRef& ref) {
   objects_.push_back(ref);
   index_[ref] = old_n;
 
-  std::vector<PairState> grown(static_cast<size_t>(new_n) * new_n);
-  for (int i = 0; i < old_n; ++i) {
-    for (int j = 0; j < old_n; ++j) {
-      grown[static_cast<size_t>(i) * new_n + j] =
-          std::move(matrix_[static_cast<size_t>(i) * old_n + j]);
+  if (new_n > capacity_) {
+    // Double the stride so the O(n^2) move happens O(log n) times over the
+    // store's lifetime; untouched cells default to kAnyRelation, which is
+    // exactly the initial state of a fresh pair.
+    int new_capacity = std::max(new_n, capacity_ == 0 ? 8 : capacity_ * 2);
+    std::vector<PairState> grown(static_cast<size_t>(new_capacity) *
+                                 new_capacity);
+    for (int i = 0; i < old_n; ++i) {
+      for (int j = 0; j < old_n; ++j) {
+        grown[static_cast<size_t>(i) * new_capacity + j] =
+            std::move(matrix_[static_cast<size_t>(i) * capacity_ + j]);
+      }
     }
+    matrix_ = std::move(grown);
+    capacity_ = new_capacity;
   }
-  matrix_ = std::move(grown);
   At(old_n, old_n).possible = MaskOf(SetRelation::kEqual);
   return old_n;
 }
@@ -60,7 +68,9 @@ std::vector<int> MergeSupport(const std::vector<int>& a,
 }  // namespace
 
 void AssertionStore::SaveUndo(int i, int j) {
-  size_t cell = static_cast<size_t>(i) * num_objects() + j;
+  // Flat capacity_-strided index; Assert interns its operands before the
+  // first SaveUndo, so the stride cannot change while an undo log is live.
+  size_t cell = static_cast<size_t>(i) * capacity_ + j;
   undo_.emplace_back(cell, matrix_[cell]);
 }
 

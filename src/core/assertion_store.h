@@ -1,8 +1,8 @@
 #ifndef ECRINT_CORE_ASSERTION_STORE_H_
 #define ECRINT_CORE_ASSERTION_STORE_H_
 
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -121,9 +121,12 @@ class AssertionStore {
   };
 
   int Intern(const ObjectRef& ref);
-  PairState& At(int i, int j) { return matrix_[i * num_objects() + j]; }
+  // The matrix is allocated with a row stride of `capacity_` (>= the object
+  // count) and regrown geometrically, so interning N objects moves O(N^2)
+  // cells in total instead of O(N^2) per insert.
+  PairState& At(int i, int j) { return matrix_[i * capacity_ + j]; }
   const PairState& At(int i, int j) const {
-    return matrix_[i * num_objects() + j];
+    return matrix_[i * capacity_ + j];
   }
 
   // Runs path consistency after (i,j) was refined. Returns the conflicting
@@ -142,8 +145,9 @@ class AssertionStore {
   void SaveUndo(int i, int j);
 
   std::vector<ObjectRef> objects_;
-  std::map<ObjectRef, int> index_;
+  std::unordered_map<ObjectRef, int, ObjectRefHash> index_;
   std::vector<PairState> matrix_;
+  int capacity_ = 0;  // row stride of matrix_; grown by doubling
   std::vector<Assertion> user_assertions_;
   // Pairs (i,j) refined since the last full propagation, used as worklist.
   std::vector<std::pair<int, int>> dirty_;

@@ -1,35 +1,90 @@
 #include "core/equivalence.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace ecrint::core {
 
-void EquivalenceMap::Register(ecr::AttributePath path,
-                              const ecr::Attribute& attribute) {
+namespace {
+
+size_t HashPath(const ecr::AttributePath& path) {
+  return ecr::AttributePathHash{}(path);
+}
+
+size_t HashRef(const ObjectRef& ref) { return ObjectRefHash{}(ref); }
+
+}  // namespace
+
+int EquivalenceMap::Register(ecr::AttributePath path,
+                             const ecr::Attribute& attribute,
+                             size_t hash) {
   int index = static_cast<int>(entries_.size());
-  entries_.push_back(Entry{path, attribute.domain, attribute.is_key, index});
+  entries_.push_back(
+      Entry{std::move(path), attribute.domain, attribute.is_key});
   parent_.push_back(index);
-  index_[path] = index;
-  by_object_[ObjectRef{path.schema, path.object}].push_back(index);
+  next_.push_back(index);  // a singleton ring
+  class_size_.push_back(1);
+  min_id_.push_back(index);
+  attribute_index_.Insert(hash, index, entries_.size());
+  return index;
 }
 
 Result<EquivalenceMap> EquivalenceMap::Create(
     const ecr::Catalog& catalog, const std::vector<std::string>& schemas) {
   EquivalenceMap map;
+  // Pre-size everything; registration is append-only.
+  size_t total_attributes = 0;
+  size_t total_structures = 0;
+  for (const std::string& name : schemas) {
+    ECRINT_ASSIGN_OR_RETURN(const ecr::Schema* schema,
+                            catalog.GetSchema(name));
+    total_structures += schema->num_objects() + schema->num_relationships();
+    for (ecr::ObjectId i = 0; i < schema->num_objects(); ++i) {
+      total_attributes += schema->object(i).attributes.size();
+    }
+    for (ecr::RelationshipId i = 0; i < schema->num_relationships(); ++i) {
+      total_attributes += schema->relationship(i).attributes.size();
+    }
+  }
+  map.entries_.reserve(total_attributes);
+  map.parent_.reserve(total_attributes);
+  map.next_.reserve(total_attributes);
+  map.class_size_.reserve(total_attributes);
+  map.min_id_.reserve(total_attributes);
+  map.attribute_index_.Reserve(total_attributes);
+  map.structures_.reserve(total_structures);
+  map.structure_index_.Reserve(total_structures);
+
+  // A structure's attributes are the contiguous id range registered here,
+  // so the per-structure bookkeeping is one StructureEntry, no id vector.
+  auto register_structure = [&map](const std::string& schema,
+                                   const std::string& structure,
+                                   const std::vector<ecr::Attribute>& attrs) {
+    if (attrs.empty()) return;
+    int begin = static_cast<int>(map.entries_.size());
+    size_t prefix = ecr::AttributePathHash::PrefixHash(schema, structure);
+    for (const ecr::Attribute& a : attrs) {
+      map.Register({schema, structure, a.name}, a,
+                   ecr::AttributePathHash::WithAttribute(prefix, a.name));
+    }
+    int end = static_cast<int>(map.entries_.size());
+    ObjectRef ref{schema, structure};
+    size_t hash = HashRef(ref);
+    map.structures_.push_back({std::move(ref), begin, end});
+    map.structure_index_.Insert(
+        hash, static_cast<int>(map.structures_.size()) - 1,
+        map.structures_.size());
+  };
   for (const std::string& name : schemas) {
     ECRINT_ASSIGN_OR_RETURN(const ecr::Schema* schema,
                             catalog.GetSchema(name));
     for (ecr::ObjectId i = 0; i < schema->num_objects(); ++i) {
       const ecr::ObjectClass& object = schema->object(i);
-      for (const ecr::Attribute& a : object.attributes) {
-        map.Register({name, object.name, a.name}, a);
-      }
+      register_structure(name, object.name, object.attributes);
     }
     for (ecr::RelationshipId i = 0; i < schema->num_relationships(); ++i) {
       const ecr::RelationshipSet& rel = schema->relationship(i);
-      for (const ecr::Attribute& a : rel.attributes) {
-        map.Register({name, rel.name, a.name}, a);
-      }
+      register_structure(name, rel.name, rel.attributes);
     }
   }
   return map;
@@ -44,12 +99,18 @@ int EquivalenceMap::Find(int index) const {
 }
 
 Result<int> EquivalenceMap::IndexOf(const ecr::AttributePath& path) const {
-  auto it = index_.find(path);
-  if (it == index_.end()) {
+  int id = attribute_index_.Find(
+      HashPath(path), [&](int i) { return entries_[i].path == path; });
+  if (id < 0) {
     return NotFoundError("attribute '" + path.ToString() +
                          "' is not registered");
   }
-  return it->second;
+  return id;
+}
+
+int EquivalenceMap::StructureIndexOf(const ObjectRef& ref) const {
+  return structure_index_.Find(
+      HashRef(ref), [&](int i) { return structures_[i].ref == ref; });
 }
 
 Status EquivalenceMap::DeclareEquivalent(const ecr::AttributePath& a,
@@ -64,29 +125,54 @@ Status EquivalenceMap::DeclareEquivalent(const ecr::AttributePath& a,
   }
   int ra = Find(ia);
   int rb = Find(ib);
-  if (ra != rb) parent_[rb] = ra;
+  if (ra == rb) return Status::Ok();
+  // Union by size. The class number does not depend on which root wins: it
+  // is derived from the cached smallest member id. Swapping the two roots'
+  // next pointers concatenates their member rings in O(1).
+  if (class_size_[ra] < class_size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  class_size_[ra] += class_size_[rb];
+  min_id_[ra] = std::min(min_id_[ra], min_id_[rb]);
+  std::swap(next_[ra], next_[rb]);
   return Status::Ok();
+}
+
+void EquivalenceMap::AppendClassIds(int root, std::vector<int>& out) const {
+  int member = root;
+  do {
+    out.push_back(member);
+    member = next_[member];
+  } while (member != root);
 }
 
 Status EquivalenceMap::RemoveFromClass(const ecr::AttributePath& path) {
   ECRINT_ASSIGN_OR_RETURN(int index, IndexOf(path));
-  // Union-find does not support deletion directly; rebuild the forest with
-  // `index` excluded from its class. Class sizes are tiny, so this is cheap.
-  std::vector<std::vector<int>> classes;
-  std::map<int, int> root_to_class;
-  for (int i = 0; i < static_cast<int>(entries_.size()); ++i) {
-    int root = Find(i);
-    auto [it, inserted] =
-        root_to_class.emplace(root, static_cast<int>(classes.size()));
-    if (inserted) classes.emplace_back();
-    if (i != index) classes[it->second].push_back(i);
+  int root = Find(index);
+  if (class_size_[root] <= 1) return Status::Ok();  // already singleton
+  // Re-root only the affected class: the ring names its members, so no
+  // global rebuild is needed.
+  std::vector<int> rest;
+  rest.reserve(class_size_[root] - 1);
+  int member = root;
+  do {
+    if (member != index) rest.push_back(member);
+    member = next_[member];
+  } while (member != root);
+
+  int new_root = rest.front();
+  int min_id = rest.front();
+  for (size_t i = 0; i < rest.size(); ++i) {
+    parent_[rest[i]] = new_root;
+    min_id = std::min(min_id, rest[i]);
+    next_[rest[i]] = rest[(i + 1) % rest.size()];
   }
-  for (int i = 0; i < static_cast<int>(entries_.size()); ++i) parent_[i] = i;
-  for (const std::vector<int>& members : classes) {
-    for (size_t i = 1; i < members.size(); ++i) {
-      parent_[Find(members[i])] = Find(members[0]);
-    }
-  }
+  class_size_[new_root] = static_cast<int>(rest.size());
+  min_id_[new_root] = min_id;
+
+  parent_[index] = index;
+  next_[index] = index;
+  class_size_[index] = 1;
+  min_id_[index] = index;
   return Status::Ok();
 }
 
@@ -94,13 +180,9 @@ Result<int> EquivalenceMap::ClassOf(const ecr::AttributePath& path) const {
   ECRINT_ASSIGN_OR_RETURN(int index, IndexOf(path));
   // Class number = 1 + smallest declaration index in the class. Mirrors the
   // paper's behaviour where merging "changes the value of Eq_Class # of one
-  // to that of the other": the earlier attribute's number wins.
-  int root = Find(index);
-  int smallest = index;
-  for (int i = 0; i < static_cast<int>(entries_.size()); ++i) {
-    if (Find(i) == root) smallest = std::min(smallest, i);
-  }
-  return smallest + 1;
+  // to that of the other": the earlier attribute's number wins. The root
+  // caches that minimum, so this is O(α).
+  return min_id_[Find(index)] + 1;
 }
 
 bool EquivalenceMap::AreEquivalent(const ecr::AttributePath& a,
@@ -113,13 +195,35 @@ bool EquivalenceMap::AreEquivalent(const ecr::AttributePath& a,
 
 int EquivalenceMap::EquivalentAttributeCount(const ObjectRef& a,
                                              const ObjectRef& b) const {
-  auto ita = by_object_.find(a);
-  auto itb = by_object_.find(b);
-  if (ita == by_object_.end() || itb == by_object_.end()) return 0;
+  int sa = StructureIndexOf(a);
+  int sb = StructureIndexOf(b);
+  if (sa < 0 || sb < 0) return 0;
+  // Merge the two sorted root lists; a root shared k_a · k_b times counts
+  // k_a · k_b equivalent pairs. O((|A|+|B|) log) instead of O(|A|·|B|).
+  std::vector<int> roots_a, roots_b;
+  roots_a.reserve(structures_[sa].end - structures_[sa].begin);
+  roots_b.reserve(structures_[sb].end - structures_[sb].begin);
+  for (int i = structures_[sa].begin; i < structures_[sa].end; ++i) {
+    roots_a.push_back(Find(i));
+  }
+  for (int j = structures_[sb].begin; j < structures_[sb].end; ++j) {
+    roots_b.push_back(Find(j));
+  }
+  std::sort(roots_a.begin(), roots_a.end());
+  std::sort(roots_b.begin(), roots_b.end());
   int count = 0;
-  for (int i : ita->second) {
-    for (int j : itb->second) {
-      if (Find(i) == Find(j)) ++count;
+  size_t x = 0, y = 0;
+  while (x < roots_a.size() && y < roots_b.size()) {
+    if (roots_a[x] < roots_b[y]) {
+      ++x;
+    } else if (roots_b[y] < roots_a[x]) {
+      ++y;
+    } else {
+      int root = roots_a[x];
+      size_t run_a = 0, run_b = 0;
+      while (x < roots_a.size() && roots_a[x] == root) ++x, ++run_a;
+      while (y < roots_b.size() && roots_b[y] == root) ++y, ++run_b;
+      count += static_cast<int>(run_a * run_b);
     }
   }
   return count;
@@ -128,36 +232,45 @@ int EquivalenceMap::EquivalentAttributeCount(const ObjectRef& a,
 std::vector<AttributeClassEntry> EquivalenceMap::EntriesFor(
     const ObjectRef& object) const {
   std::vector<AttributeClassEntry> out;
-  auto it = by_object_.find(object);
-  if (it == by_object_.end()) return out;
-  out.reserve(it->second.size());
-  for (int index : it->second) {
-    out.push_back({entries_[index].path, *ClassOf(entries_[index].path)});
+  int s = StructureIndexOf(object);
+  if (s < 0) return out;
+  out.reserve(structures_[s].end - structures_[s].begin);
+  for (int index = structures_[s].begin; index < structures_[s].end;
+       ++index) {
+    out.push_back({entries_[index].path, min_id_[Find(index)] + 1});
   }
+  return out;
+}
+
+std::vector<std::vector<int>> EquivalenceMap::NontrivialClassIndices() const {
+  std::vector<std::vector<int>> out;
+  for (int i = 0; i < static_cast<int>(entries_.size()); ++i) {
+    if (parent_[i] != i || class_size_[i] < 2) continue;
+    std::vector<int> ids;
+    ids.reserve(class_size_[i]);
+    AppendClassIds(i, ids);
+    std::sort(ids.begin(), ids.end());
+    out.push_back(std::move(ids));
+  }
+  // Class number order == smallest-member order, which is ids.front() after
+  // the per-class sort.
+  std::sort(out.begin(), out.end(),
+            [](const std::vector<int>& x, const std::vector<int>& y) {
+              return x.front() < y.front();
+            });
   return out;
 }
 
 std::vector<std::vector<ecr::AttributePath>>
 EquivalenceMap::NontrivialClasses() const {
-  std::map<int, std::vector<ecr::AttributePath>> by_root;
-  for (int i = 0; i < static_cast<int>(entries_.size()); ++i) {
-    by_root[Find(i)].push_back(entries_[i].path);
-  }
-  std::vector<std::pair<int, std::vector<ecr::AttributePath>>> ordered;
-  for (auto& [root, members] : by_root) {
-    if (members.size() < 2) continue;
-    int smallest = static_cast<int>(entries_.size());
-    for (int i = 0; i < static_cast<int>(entries_.size()); ++i) {
-      if (Find(i) == root) smallest = std::min(smallest, i);
-    }
-    std::sort(members.begin(), members.end());
-    ordered.emplace_back(smallest, std::move(members));
-  }
-  std::sort(ordered.begin(), ordered.end(),
-            [](const auto& x, const auto& y) { return x.first < y.first; });
   std::vector<std::vector<ecr::AttributePath>> out;
-  out.reserve(ordered.size());
-  for (auto& [order, members] : ordered) out.push_back(std::move(members));
+  for (const std::vector<int>& ids : NontrivialClassIndices()) {
+    std::vector<ecr::AttributePath> members;
+    members.reserve(ids.size());
+    for (int id : ids) members.push_back(entries_[id].path);
+    std::sort(members.begin(), members.end());
+    out.push_back(std::move(members));
+  }
   return out;
 }
 
@@ -167,9 +280,11 @@ std::vector<ecr::AttributePath> EquivalenceMap::ClassMembers(
   Result<int> index = IndexOf(path);
   if (!index.ok()) return out;
   int root = Find(*index);
-  for (int i = 0; i < static_cast<int>(entries_.size()); ++i) {
-    if (Find(i) == root) out.push_back(entries_[i].path);
-  }
+  std::vector<int> ids;
+  ids.reserve(class_size_[root]);
+  AppendClassIds(root, ids);
+  out.reserve(ids.size());
+  for (int id : ids) out.push_back(entries_[id].path);
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -177,10 +292,13 @@ std::vector<ecr::AttributePath> EquivalenceMap::ClassMembers(
 std::vector<ecr::AttributePath> EquivalenceMap::AttributesOf(
     const ObjectRef& object) const {
   std::vector<ecr::AttributePath> out;
-  auto it = by_object_.find(object);
-  if (it == by_object_.end()) return out;
-  out.reserve(it->second.size());
-  for (int index : it->second) out.push_back(entries_[index].path);
+  int s = StructureIndexOf(object);
+  if (s < 0) return out;
+  out.reserve(structures_[s].end - structures_[s].begin);
+  for (int index = structures_[s].begin; index < structures_[s].end;
+       ++index) {
+    out.push_back(entries_[index].path);
+  }
   return out;
 }
 

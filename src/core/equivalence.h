@@ -1,8 +1,9 @@
 #ifndef ECRINT_CORE_EQUIVALENCE_H_
 #define ECRINT_CORE_EQUIVALENCE_H_
 
-#include <map>
+#include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -21,10 +22,26 @@ struct AttributeClassEntry {
 
 // The phase-2 bookkeeping structure: which attributes across the loaded
 // schemas the DDA has declared equivalent. This is the paper's Attribute
-// Class Similarity (ACS) matrix, kept as a union-find over attribute paths
-// (equivalent storage: the ACS cell for two attributes is 1 iff they are in
-// the same class). Every attribute starts in a singleton class with its own
-// class number, exactly as Screen 7 shows.
+// Class Similarity (ACS) matrix, kept as a union-find over interned
+// attribute ids (equivalent storage: the ACS cell for two attributes is 1
+// iff they are in the same class). Every attribute starts in a singleton
+// class with its own class number, exactly as Screen 7 shows.
+//
+// Alongside the union-find forest the map maintains a class-inverted index
+// kept intrusively (no per-class heap storage): every attribute sits on a
+// circular linked list of its class's members, and each root caches the
+// class size and the smallest member id. DeclareEquivalent merges two
+// classes by swapping the roots' next pointers (O(1)); RemoveFromClass
+// walks and re-roots only the affected class. So class queries never scan
+// all attributes:
+//   - ClassOf is O(α): the class number is 1 + the root's cached min id.
+//   - NontrivialClasses / ClassMembers walk only their class's ring.
+//   - EquivalentAttributeCount merges the two objects' sorted root lists
+//     instead of probing all |A|·|B| pairs.
+// Attribute and structure ids are interned through flat linear-probing hash
+// indexes, and a structure's attributes are the contiguous id range handed
+// out while registering it, so registration performs no per-attribute or
+// per-structure node allocation.
 class EquivalenceMap {
  public:
   // Registers every attribute of every object class and relationship set of
@@ -40,7 +57,7 @@ class EquivalenceMap {
                            const ecr::AttributePath& b);
 
   // Removes one attribute from its class back into a fresh singleton class
-  // (the screen's "(D)elete from equiv. class").
+  // (the screen's "(D)elete from equiv. class"). O(class size).
   Status RemoveFromClass(const ecr::AttributePath& path);
 
   // The class number of an attribute (stable until the map is mutated).
@@ -60,12 +77,27 @@ class EquivalenceMap {
   // by class number.
   std::vector<std::vector<ecr::AttributePath>> NontrivialClasses() const;
 
+  // The same classes as interned attribute ids, each sorted ascending
+  // (which is declaration order), ordered by class number. This is the
+  // entry point for bulk consumers such as the OCS matrix build, which
+  // scatter per-class counts instead of probing every structure pair.
+  std::vector<std::vector<int>> NontrivialClassIndices() const;
+
   // Members of the class containing `path` (including `path` itself).
   std::vector<ecr::AttributePath> ClassMembers(
       const ecr::AttributePath& path) const;
 
   // Attributes registered for a structure, in declaration order.
   std::vector<ecr::AttributePath> AttributesOf(const ObjectRef& object) const;
+
+  // The path of an interned attribute id (ids are dense, 0-based, in
+  // registration order).
+  const ecr::AttributePath& PathAt(int id) const { return entries_[id].path; }
+
+  // The structure an interned attribute id belongs to.
+  ObjectRef ObjectAt(int id) const {
+    return {entries_[id].path.schema, entries_[id].path.object};
+  }
 
   int num_attributes() const { return static_cast<int>(entries_.size()); }
 
@@ -74,20 +106,82 @@ class EquivalenceMap {
     ecr::AttributePath path;
     ecr::Domain domain;
     bool is_key = false;
-    int declaration_order = 0;
+  };
+
+  // A registered structure and the contiguous attribute-id range
+  // [begin, end) handed out while registering it.
+  struct StructureEntry {
+    ObjectRef ref;
+    int begin = 0;
+    int end = 0;
+  };
+
+  // Flat linear-probing hash index over dense ids. Slots hold
+  // (hash, id + 1); 0 marks an empty slot. Grown to the next power of two
+  // at load factor 0.5. The caller resolves hash collisions by comparing
+  // the candidate id's key.
+  struct ProbeTable {
+    std::vector<std::pair<size_t, int>> slots;
+    size_t mask = 0;
+
+    void Reserve(size_t ids) {
+      size_t wanted = 16;
+      while (wanted < ids * 2) wanted <<= 1;
+      if (wanted <= slots.size()) return;
+      std::vector<std::pair<size_t, int>> old = std::move(slots);
+      slots.assign(wanted, {0, 0});
+      mask = wanted - 1;
+      for (const auto& [hash, id_plus_1] : old) {
+        if (id_plus_1 == 0) continue;
+        size_t slot = hash & mask;
+        while (slots[slot].second != 0) slot = (slot + 1) & mask;
+        slots[slot] = {hash, id_plus_1};
+      }
+    }
+
+    void Insert(size_t hash, int id, size_t population) {
+      Reserve(population);
+      size_t slot = hash & mask;
+      while (slots[slot].second != 0) slot = (slot + 1) & mask;
+      slots[slot] = {hash, id + 1};
+    }
+
+    // The id whose key hashes to `hash` and satisfies eq(id), or -1.
+    template <typename Eq>
+    int Find(size_t hash, Eq eq) const {
+      if (slots.empty()) return -1;
+      size_t slot = hash & mask;
+      while (slots[slot].second != 0) {
+        int id = slots[slot].second - 1;
+        if (slots[slot].first == hash && eq(id)) return id;
+        slot = (slot + 1) & mask;
+      }
+      return -1;
+    }
   };
 
   int Find(int index) const;  // union-find root with path compression
 
   Result<int> IndexOf(const ecr::AttributePath& path) const;
+  int StructureIndexOf(const ObjectRef& ref) const;  // -1 if unknown
 
-  void Register(ecr::AttributePath path, const ecr::Attribute& attribute);
+  // `hash` must equal AttributePathHash{}(path); Create precomputes the
+  // structure prefix once per structure.
+  int Register(ecr::AttributePath path, const ecr::Attribute& attribute,
+               size_t hash);
+
+  // Member ids of the class rooted at `root` (ring walk), unsorted.
+  void AppendClassIds(int root, std::vector<int>& out) const;
 
   std::vector<Entry> entries_;
-  mutable std::vector<int> parent_;   // union-find forest
-  std::map<ecr::AttributePath, int> index_;
-  // Attributes per structure, in declaration order.
-  std::map<ObjectRef, std::vector<int>> by_object_;
+  mutable std::vector<int> parent_;  // union-find forest
+  std::vector<int> next_;            // circular ring of class co-members
+  std::vector<int> class_size_;      // valid at roots
+  std::vector<int> min_id_;          // valid at roots; drives ClassOf
+  ProbeTable attribute_index_;
+  // Structures with their attribute-id ranges, plus their probe index.
+  std::vector<StructureEntry> structures_;
+  ProbeTable structure_index_;
 };
 
 }  // namespace ecrint::core

@@ -1,6 +1,8 @@
 #ifndef ECRINT_CORE_OBJECT_REF_H_
 #define ECRINT_CORE_OBJECT_REF_H_
 
+#include <cstddef>
+#include <functional>
 #include <string>
 
 namespace ecrint::core {
@@ -29,6 +31,16 @@ struct ObjectRef {
   friend bool operator<(const ObjectRef& a, const ObjectRef& b) {
     if (a.schema != b.schema) return a.schema < b.schema;
     return a.object < b.object;
+  }
+};
+
+// Hash for unordered containers keyed by ObjectRef (the interning indexes
+// of the equivalence and assertion data planes).
+struct ObjectRefHash {
+  size_t operator()(const ObjectRef& ref) const {
+    size_t h = std::hash<std::string>{}(ref.schema);
+    return h ^ (std::hash<std::string>{}(ref.object) + 0x9e3779b97f4a7c15ULL +
+                (h << 6) + (h >> 2));
   }
 };
 

@@ -1,10 +1,22 @@
 #include "core/resemblance.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "common/thread_pool.h"
 
 namespace ecrint::core {
 
 namespace {
+
+// Below these sizes the build and the scoring run entirely on the calling
+// thread. Paper-sized fixtures (a dozen structures) are far below both, so
+// their outputs cannot depend on the pool even in principle; above them the
+// parallel path still applies integer partials in fixed chunk order, so
+// results stay bit-identical to the sequential path.
+constexpr int kParallelClassThreshold = 256;    // nontrivial classes
+constexpr size_t kParallelCellThreshold = 1 << 14;  // R*C pairs
 
 // Structures of one kind with their own-attribute counts.
 std::vector<std::pair<ObjectRef, int>> StructuresOf(const ecr::Schema& schema,
@@ -26,6 +38,17 @@ std::vector<std::pair<ObjectRef, int>> StructuresOf(const ecr::Schema& schema,
   return out;
 }
 
+// Appends a unit count for `index` to a small (index, count) accumulator.
+void Bump(std::vector<std::pair<int, int>>& hits, int index) {
+  for (auto& [i, count] : hits) {
+    if (i == index) {
+      ++count;
+      return;
+    }
+  }
+  hits.emplace_back(index, 1);
+}
+
 }  // namespace
 
 Result<OcsMatrix> OcsMatrix::Create(const ecr::Catalog& catalog,
@@ -40,54 +63,154 @@ Result<OcsMatrix> OcsMatrix::Create(const ecr::Catalog& catalog,
         "OCS matrix needs two distinct schemas, got '" + schema1 + "' twice");
   }
   OcsMatrix matrix;
+  std::unordered_map<ObjectRef, int, ObjectRefHash> row_index;
+  std::unordered_map<ObjectRef, int, ObjectRefHash> column_index;
   for (auto& [ref, count] : StructuresOf(*s1, kind)) {
+    row_index.emplace(ref, static_cast<int>(matrix.rows_.size()));
     matrix.rows_.push_back(ref);
     matrix.row_attribute_counts_.push_back(count);
   }
   for (auto& [ref, count] : StructuresOf(*s2, kind)) {
+    column_index.emplace(ref, static_cast<int>(matrix.columns_.size()));
     matrix.columns_.push_back(ref);
     matrix.column_attribute_counts_.push_back(count);
   }
-  matrix.counts_.resize(matrix.rows_.size() * matrix.columns_.size(), 0);
-  for (size_t r = 0; r < matrix.rows_.size(); ++r) {
-    for (size_t c = 0; c < matrix.columns_.size(); ++c) {
-      matrix.counts_[r * matrix.columns_.size() + c] =
-          equivalence.EquivalentAttributeCount(matrix.rows_[r],
-                                               matrix.columns_[c]);
+  int columns = static_cast<int>(matrix.columns_.size());
+  matrix.counts_.assign(matrix.rows_.size() * matrix.columns_.size(), 0);
+
+  // Only a class with members on both sides can make a cell nonzero, so
+  // instead of probing every (row, column) pair, walk the nontrivial
+  // classes once and scatter each class's per-structure member counts: a
+  // class with k_r members in row structure r and k_c in column structure c
+  // contributes k_r * k_c equivalent pairs to that cell.
+  std::vector<std::vector<int>> classes = equivalence.NontrivialClassIndices();
+  auto scatter = [&](int begin, int end,
+                     std::vector<std::pair<size_t, int>>& deltas) {
+    std::vector<std::pair<int, int>> row_hits;     // (row index, members)
+    std::vector<std::pair<int, int>> column_hits;  // (column index, members)
+    for (int ci = begin; ci < end; ++ci) {
+      row_hits.clear();
+      column_hits.clear();
+      for (int id : classes[ci]) {
+        ObjectRef ref = equivalence.ObjectAt(id);
+        auto rit = row_index.find(ref);
+        if (rit != row_index.end()) {
+          Bump(row_hits, rit->second);
+          continue;  // schemas are distinct; a structure is on one side only
+        }
+        auto cit = column_index.find(ref);
+        if (cit != column_index.end()) Bump(column_hits, cit->second);
+      }
+      for (auto& [r, kr] : row_hits) {
+        for (auto& [c, kc] : column_hits) {
+          deltas.emplace_back(static_cast<size_t>(r) * columns + c, kr * kc);
+        }
+      }
+    }
+  };
+
+  int num_classes = static_cast<int>(classes.size());
+  common::ThreadPool& pool = common::ThreadPool::Shared();
+  if (num_classes < kParallelClassThreshold || pool.size() <= 1) {
+    std::vector<std::pair<size_t, int>> deltas;
+    scatter(0, num_classes, deltas);
+    for (auto& [cell, add] : deltas) matrix.counts_[cell] += add;
+  } else {
+    int grain = std::max(1, num_classes / (pool.size() * 4));
+    int chunks = (num_classes + grain - 1) / grain;
+    std::vector<std::vector<std::pair<size_t, int>>> per_chunk(chunks);
+    pool.ParallelFor(0, num_classes, grain, [&](int begin, int end) {
+      scatter(begin, end, per_chunk[begin / grain]);
+    });
+    for (const auto& deltas : per_chunk) {
+      for (auto& [cell, add] : deltas) matrix.counts_[cell] += add;
     }
   }
   return matrix;
 }
 
-std::vector<ObjectPair> OcsMatrix::RankedPairs(bool include_zero) const {
-  std::vector<ObjectPair> pairs;
-  for (size_t r = 0; r < rows_.size(); ++r) {
-    for (size_t c = 0; c < columns_.size(); ++c) {
-      int eq = Count(static_cast<int>(r), static_cast<int>(c));
-      if (eq == 0 && !include_zero) continue;
-      ObjectPair pair;
-      pair.first = rows_[r];
-      pair.second = columns_[c];
-      pair.equivalent_attributes = eq;
-      pair.smaller_attribute_count =
-          std::min(row_attribute_counts_[r], column_attribute_counts_[c]);
-      int denominator = eq + pair.smaller_attribute_count;
-      pair.attribute_ratio =
-          denominator == 0 ? 0.0 : static_cast<double>(eq) / denominator;
-      pairs.push_back(pair);
+std::vector<ObjectPair> OcsMatrix::CollectPairs(bool include_zero) const {
+  int rows = static_cast<int>(rows_.size());
+  int columns = static_cast<int>(columns_.size());
+  auto collect_rows = [&](int begin, int end, std::vector<ObjectPair>& out) {
+    for (int r = begin; r < end; ++r) {
+      for (int c = 0; c < columns; ++c) {
+        int eq = Count(r, c);
+        if (eq == 0 && !include_zero) continue;
+        ObjectPair pair;
+        pair.first = rows_[r];
+        pair.second = columns_[c];
+        pair.equivalent_attributes = eq;
+        pair.smaller_attribute_count =
+            std::min(row_attribute_counts_[r], column_attribute_counts_[c]);
+        int denominator = eq + pair.smaller_attribute_count;
+        pair.attribute_ratio =
+            denominator == 0 ? 0.0 : static_cast<double>(eq) / denominator;
+        out.push_back(pair);
+      }
     }
+  };
+
+  common::ThreadPool& pool = common::ThreadPool::Shared();
+  size_t cells = static_cast<size_t>(rows) * columns;
+  if (cells < kParallelCellThreshold || pool.size() <= 1 || rows < 2) {
+    std::vector<ObjectPair> pairs;
+    collect_rows(0, rows, pairs);
+    return pairs;
   }
-  std::sort(pairs.begin(), pairs.end(),
-            [](const ObjectPair& a, const ObjectPair& b) {
-              if (a.attribute_ratio != b.attribute_ratio) {
-                return a.attribute_ratio > b.attribute_ratio;
-              }
-              // Ties in name order, matching the paper's Screen 8 (the
-              // equal-ratio Department and Student pairs list Department
-              // first).
-              if (!(a.first == b.first)) return a.first < b.first;
-              return a.second < b.second;
-            });
+  // Each chunk scores its row range into a private vector; concatenating in
+  // chunk order reproduces the sequential row-major order exactly.
+  int grain = std::max(1, rows / (pool.size() * 4));
+  int chunks = (rows + grain - 1) / grain;
+  std::vector<std::vector<ObjectPair>> per_chunk(chunks);
+  pool.ParallelFor(0, rows, grain, [&](int begin, int end) {
+    collect_rows(begin, end, per_chunk[begin / grain]);
+  });
+  std::vector<ObjectPair> pairs;
+  size_t total = 0;
+  for (const auto& chunk : per_chunk) total += chunk.size();
+  pairs.reserve(total);
+  for (auto& chunk : per_chunk) {
+    pairs.insert(pairs.end(), chunk.begin(), chunk.end());
+  }
+  return pairs;
+}
+
+namespace {
+
+// Strict total order: ratio desc, then names, so sorts are deterministic
+// and any k-prefix is unambiguous. A functor (not a function pointer) so
+// std::sort / std::partial_sort inline the comparison.
+struct PairBefore {
+  bool operator()(const ObjectPair& a, const ObjectPair& b) const {
+    if (a.attribute_ratio != b.attribute_ratio) {
+      return a.attribute_ratio > b.attribute_ratio;
+    }
+    // Ties in name order, matching the paper's Screen 8 (the equal-ratio
+    // Department and Student pairs list Department first).
+    if (!(a.first == b.first)) return a.first < b.first;
+    return a.second < b.second;
+  }
+};
+
+}  // namespace
+
+std::vector<ObjectPair> OcsMatrix::RankedPairs(bool include_zero) const {
+  std::vector<ObjectPair> pairs = CollectPairs(include_zero);
+  std::sort(pairs.begin(), pairs.end(), PairBefore{});
+  return pairs;
+}
+
+std::vector<ObjectPair> OcsMatrix::TopKPairs(int k, bool include_zero) const {
+  if (k <= 0) return {};
+  std::vector<ObjectPair> pairs = CollectPairs(include_zero);
+  if (static_cast<size_t>(k) >= pairs.size()) {
+    std::sort(pairs.begin(), pairs.end(), PairBefore{});
+    return pairs;
+  }
+  std::partial_sort(pairs.begin(), pairs.begin() + k, pairs.end(),
+                    PairBefore{});
+  pairs.resize(k);
   return pairs;
 }
 

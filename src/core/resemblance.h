@@ -26,6 +26,15 @@ struct ObjectPair {
 
 // The derived Object Class Similarity matrix for two schemas: the number of
 // equivalent attributes for every cross-schema structure pair of one kind.
+//
+// The build never probes the dense R×C pair grid: it walks the equivalence
+// map's nontrivial classes once and scatters each class's per-structure
+// member counts into the (few) cells that can be nonzero, so it costs
+// O(total attributes + matches). Above a size threshold the class scatter
+// and the pair scoring fan out over the shared thread pool; below it (and
+// on all paper-sized fixtures) everything runs on the calling thread, and
+// the parallel path accumulates integer partials in a fixed chunk order so
+// results are bit-identical either way.
 class OcsMatrix {
  public:
   // Builds the matrix for structures of `kind` across `schema1` x `schema2`.
@@ -48,7 +57,16 @@ class OcsMatrix {
   // by names for determinism. Set `include_zero` to list all pairs.
   std::vector<ObjectPair> RankedPairs(bool include_zero = false) const;
 
+  // The first `k` pairs of RankedPairs() without paying a full sort
+  // (std::partial_sort): interactive suggestion over large matrices only
+  // ever shows a screenful. The comparator is a strict total order, so the
+  // prefix is identical to RankedPairs().
+  std::vector<ObjectPair> TopKPairs(int k, bool include_zero = false) const;
+
  private:
+  // Unsorted pair construction shared by RankedPairs and TopKPairs.
+  std::vector<ObjectPair> CollectPairs(bool include_zero) const;
+
   // Own-attribute count per structure (what the ratio denominator counts).
   std::vector<int> row_attribute_counts_;
   std::vector<int> column_attribute_counts_;

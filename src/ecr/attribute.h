@@ -1,6 +1,8 @@
 #ifndef ECRINT_ECR_ATTRIBUTE_H_
 #define ECRINT_ECR_ATTRIBUTE_H_
 
+#include <cstddef>
+#include <functional>
 #include <string>
 
 #include "ecr/domain.h"
@@ -42,6 +44,29 @@ struct AttributePath {
     if (a.schema != b.schema) return a.schema < b.schema;
     if (a.object != b.object) return a.object < b.object;
     return a.attribute < b.attribute;
+  }
+};
+
+// Hash for unordered containers keyed by AttributePath (the attribute
+// interning index of the equivalence data plane). Exposed as a two-step
+// combine so bulk registration can hash a structure's (schema, object)
+// prefix once and extend it per attribute.
+struct AttributePathHash {
+  static size_t Mix(size_t seed, size_t value) {
+    return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                   (seed >> 2));
+  }
+  static size_t PrefixHash(const std::string& schema,
+                           const std::string& object) {
+    std::hash<std::string> h;
+    return Mix(h(schema), h(object));
+  }
+  static size_t WithAttribute(size_t prefix, const std::string& attribute) {
+    return Mix(prefix, std::hash<std::string>{}(attribute));
+  }
+  size_t operator()(const AttributePath& path) const {
+    return WithAttribute(PrefixHash(path.schema, path.object),
+                         path.attribute);
   }
 };
 

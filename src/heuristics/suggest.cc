@@ -72,7 +72,7 @@ double KeyScore(const StructureView& a, const StructureView& b,
 Result<std::vector<EquivalenceSuggestion>> SuggestAttributeEquivalences(
     const ecr::Catalog& catalog, const std::string& schema1,
     const std::string& schema2, const SynonymDictionary& synonyms,
-    double threshold, double object_threshold) {
+    double threshold, double object_threshold, int max_results) {
   ECRINT_ASSIGN_OR_RETURN(const ecr::Schema* s1, catalog.GetSchema(schema1));
   ECRINT_ASSIGN_OR_RETURN(const ecr::Schema* s2, catalog.GetSchema(schema2));
 
@@ -135,14 +135,32 @@ Result<std::vector<EquivalenceSuggestion>> SuggestAttributeEquivalences(
     }
   }
 
-  std::sort(out.begin(), out.end(),
-            [](const EquivalenceSuggestion& a,
-               const EquivalenceSuggestion& b) {
-              if (a.score != b.score) return a.score > b.score;
-              if (!(a.first == b.first)) return a.first < b.first;
-              return a.second < b.second;
-            });
+  auto better = [](const EquivalenceSuggestion& a,
+                   const EquivalenceSuggestion& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (!(a.first == b.first)) return a.first < b.first;
+    return a.second < b.second;
+  };
+  if (max_results > 0 && static_cast<size_t>(max_results) < out.size()) {
+    // The comparator is a strict total order, so the partial-sorted prefix
+    // equals the same prefix of the fully sorted list.
+    std::partial_sort(out.begin(), out.begin() + max_results, out.end(),
+                      better);
+    out.resize(max_results);
+  } else {
+    std::sort(out.begin(), out.end(), better);
+  }
   return out;
+}
+
+Result<std::vector<core::ObjectPair>> SuggestAssertionCandidates(
+    const ecr::Catalog& catalog, const core::EquivalenceMap& equivalence,
+    const std::string& schema1, const std::string& schema2,
+    core::StructureKind kind, int k) {
+  ECRINT_ASSIGN_OR_RETURN(
+      core::OcsMatrix matrix,
+      core::OcsMatrix::Create(catalog, equivalence, schema1, schema2, kind));
+  return matrix.TopKPairs(k);
 }
 
 Result<std::vector<WeightedPair>> RankByWeightedResemblance(

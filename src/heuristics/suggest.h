@@ -8,6 +8,7 @@
 #include "ecr/catalog.h"
 #include "core/equivalence.h"
 #include "core/object_ref.h"
+#include "core/resemblance.h"
 #include "heuristics/synonyms.h"
 
 namespace ecrint::heuristics {
@@ -46,10 +47,23 @@ struct WeightedPair {
 // unrelated classes. The DDA reviews and applies suggestions via
 // EquivalenceMap::DeclareEquivalent — suggestion never mutates the map
 // (assertion specification "cannot be completely automated", Section 3.4).
+// With a positive `max_results`, only the `max_results` best suggestions
+// are returned, selected with a partial sort so an interactive screenful
+// never pays a full sort on large workloads.
 Result<std::vector<EquivalenceSuggestion>> SuggestAttributeEquivalences(
     const ecr::Catalog& catalog, const std::string& schema1,
     const std::string& schema2, const SynonymDictionary& synonyms,
-    double threshold = 0.6, double object_threshold = 0.0);
+    double threshold = 0.6, double object_threshold = 0.0,
+    int max_results = 0);
+
+// The `k` most promising structure pairs for assertion collection, straight
+// from the OCS matrix's partial-sorted TopKPairs: the interactive path for
+// "which pairs should the DDA look at next" on schemas far larger than a
+// Screen 8 page. The result is exactly the k-prefix of RankObjectPairs.
+Result<std::vector<core::ObjectPair>> SuggestAssertionCandidates(
+    const ecr::Catalog& catalog, const core::EquivalenceMap& equivalence,
+    const std::string& schema1, const std::string& schema2,
+    core::StructureKind kind, int k);
 
 // Ranks object-class pairs by the weighted sum of resemblance functions.
 // Generalizes the paper's attribute-ratio ordering; with `weights.attribute`

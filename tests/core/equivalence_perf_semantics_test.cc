@@ -1,0 +1,268 @@
+// Semantics guard for the class-indexed resemblance data plane: the
+// inverted-index EquivalentAttributeCount and the class-scatter OCS build
+// must be indistinguishable from the naive O(|A|·|B|) / dense R×C reference
+// they replaced, on the paper's university fixtures and on a generated
+// 100-concept workload.
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "core/equivalence.h"
+#include "core/resemblance.h"
+#include "ecr/builder.h"
+#include "workload/generator.h"
+
+namespace ecrint::core {
+namespace {
+
+using ecr::AttributePath;
+using ecr::Domain;
+using ecr::SchemaBuilder;
+
+ecr::Catalog UniversityCatalog() {
+  ecr::Catalog catalog;
+  SchemaBuilder b1("sc1");
+  b1.Entity("Student")
+      .Attr("Name", Domain::Char(), true)
+      .Attr("GPA", Domain::Real());
+  b1.Entity("Department").Attr("Dname", Domain::Char(), true);
+  b1.Relationship("Majors", {{"Student", 1, 1, ""},
+                             {"Department", 0, SchemaBuilder::kN, ""}});
+  EXPECT_TRUE(catalog.AddSchema(*b1.Build()).ok());
+  SchemaBuilder b2("sc2");
+  b2.Entity("Grad_student")
+      .Attr("Name", Domain::Char(), true)
+      .Attr("GPA", Domain::Real())
+      .Attr("Support_type", Domain::Char());
+  b2.Entity("Faculty")
+      .Attr("Name", Domain::Char(), true)
+      .Attr("Rank", Domain::Char());
+  b2.Entity("Department").Attr("Dname", Domain::Char(), true);
+  b2.Relationship("Study", {{"Grad_student", 1, 1, ""},
+                            {"Department", 0, SchemaBuilder::kN, ""}});
+  EXPECT_TRUE(catalog.AddSchema(*b2.Build()).ok());
+  return catalog;
+}
+
+// The pre-index reference: count equivalent pairs by probing every
+// attribute pair with AreEquivalent.
+int BruteForceCount(const EquivalenceMap& map, const ObjectRef& a,
+                    const ObjectRef& b) {
+  int count = 0;
+  for (const AttributePath& pa : map.AttributesOf(a)) {
+    for (const AttributePath& pb : map.AttributesOf(b)) {
+      if (map.AreEquivalent(pa, pb)) ++count;
+    }
+  }
+  return count;
+}
+
+// The pre-index reference for ClassOf: 1 + the smallest registration index
+// among equivalent attributes, scanning every registered attribute.
+int BruteForceClassOf(const EquivalenceMap& map, const AttributePath& path) {
+  for (int i = 0; i < map.num_attributes(); ++i) {
+    if (map.AreEquivalent(map.PathAt(i), path)) return i + 1;
+  }
+  ADD_FAILURE() << "unregistered path " << path.ToString();
+  return -1;
+}
+
+void ExpectMatrixMatchesBruteForce(const ecr::Catalog& catalog,
+                                   const EquivalenceMap& map,
+                                   const std::string& s1,
+                                   const std::string& s2,
+                                   StructureKind kind) {
+  Result<OcsMatrix> matrix = OcsMatrix::Create(catalog, map, s1, s2, kind);
+  ASSERT_TRUE(matrix.ok()) << matrix.status();
+  for (size_t r = 0; r < matrix->rows().size(); ++r) {
+    for (size_t c = 0; c < matrix->columns().size(); ++c) {
+      EXPECT_EQ(matrix->Count(static_cast<int>(r), static_cast<int>(c)),
+                BruteForceCount(map, matrix->rows()[r],
+                                matrix->columns()[c]))
+          << matrix->rows()[r].ToString() << " x "
+          << matrix->columns()[c].ToString();
+      EXPECT_EQ(matrix->Count(static_cast<int>(r), static_cast<int>(c)),
+                map.EquivalentAttributeCount(matrix->rows()[r],
+                                             matrix->columns()[c]));
+    }
+  }
+}
+
+TEST(EquivalencePerfSemanticsTest, UniversityMatrixMatchesBruteForce) {
+  ecr::Catalog catalog = UniversityCatalog();
+  Result<EquivalenceMap> map = EquivalenceMap::Create(catalog, {"sc1", "sc2"});
+  ASSERT_TRUE(map.ok());
+  ASSERT_TRUE(map->DeclareEquivalent({"sc1", "Student", "Name"},
+                                     {"sc2", "Grad_student", "Name"})
+                  .ok());
+  ASSERT_TRUE(map->DeclareEquivalent({"sc1", "Student", "GPA"},
+                                     {"sc2", "Grad_student", "GPA"})
+                  .ok());
+  ASSERT_TRUE(map->DeclareEquivalent({"sc1", "Department", "Dname"},
+                                     {"sc2", "Department", "Dname"})
+                  .ok());
+  ASSERT_TRUE(map->DeclareEquivalent({"sc1", "Student", "Name"},
+                                     {"sc2", "Faculty", "Name"})
+                  .ok());
+  ExpectMatrixMatchesBruteForce(catalog, *map, "sc1", "sc2",
+                                StructureKind::kObjectClass);
+  ExpectMatrixMatchesBruteForce(catalog, *map, "sc1", "sc2",
+                                StructureKind::kRelationshipSet);
+}
+
+TEST(EquivalencePerfSemanticsTest, UniversityClassNumbersMatchBruteForce) {
+  ecr::Catalog catalog = UniversityCatalog();
+  Result<EquivalenceMap> map = EquivalenceMap::Create(catalog, {"sc1", "sc2"});
+  ASSERT_TRUE(map.ok());
+  ASSERT_TRUE(map->DeclareEquivalent({"sc1", "Student", "Name"},
+                                     {"sc2", "Faculty", "Name"})
+                  .ok());
+  ASSERT_TRUE(map->DeclareEquivalent({"sc2", "Grad_student", "GPA"},
+                                     {"sc1", "Student", "GPA"})
+                  .ok());
+  for (int i = 0; i < map->num_attributes(); ++i) {
+    EXPECT_EQ(*map->ClassOf(map->PathAt(i)),
+              BruteForceClassOf(*map, map->PathAt(i)));
+  }
+}
+
+// Removal must re-root correctly even when the removed attribute is the
+// union-find root, and class numbers must track the brute-force reference
+// through arbitrary mutation.
+TEST(EquivalencePerfSemanticsTest, RemoveRootKeepsIndexConsistent) {
+  ecr::Catalog catalog = UniversityCatalog();
+  Result<EquivalenceMap> map = EquivalenceMap::Create(catalog, {"sc1", "sc2"});
+  ASSERT_TRUE(map.ok());
+  ASSERT_TRUE(map->DeclareEquivalent({"sc1", "Student", "Name"},
+                                     {"sc2", "Grad_student", "Name"})
+                  .ok());
+  ASSERT_TRUE(map->DeclareEquivalent({"sc1", "Student", "Name"},
+                                     {"sc2", "Faculty", "Name"})
+                  .ok());
+  // sc1.Student.Name is the first-registered member and the class's number
+  // source; remove it and the survivors must renumber to the next smallest.
+  ASSERT_TRUE(map->RemoveFromClass({"sc1", "Student", "Name"}).ok());
+  EXPECT_TRUE(map->AreEquivalent({"sc2", "Grad_student", "Name"},
+                                 {"sc2", "Faculty", "Name"}));
+  EXPECT_FALSE(map->AreEquivalent({"sc1", "Student", "Name"},
+                                  {"sc2", "Faculty", "Name"}));
+  for (int i = 0; i < map->num_attributes(); ++i) {
+    EXPECT_EQ(*map->ClassOf(map->PathAt(i)),
+              BruteForceClassOf(*map, map->PathAt(i)));
+  }
+  ASSERT_EQ(map->NontrivialClasses().size(), 1u);
+  EXPECT_EQ(map->NontrivialClasses()[0].size(), 2u);
+}
+
+workload::Workload MakeWorkload() {
+  workload::GeneratorConfig config;
+  config.num_concepts = 100;
+  config.num_schemas = 2;
+  config.concept_coverage = 0.9;
+  Result<workload::Workload> workload = workload::GenerateWorkload(config);
+  EXPECT_TRUE(workload.ok());
+  return *std::move(workload);
+}
+
+TEST(EquivalencePerfSemanticsTest, GeneratedWorkloadMatrixMatchesBruteForce) {
+  workload::Workload w = MakeWorkload();
+  Result<EquivalenceMap> map =
+      EquivalenceMap::Create(w.catalog, w.schema_names);
+  ASSERT_TRUE(map.ok());
+  for (const workload::TrueAttributeMatch& match : w.attribute_matches) {
+    (void)map->DeclareEquivalent(match.first, match.second);
+  }
+  ExpectMatrixMatchesBruteForce(w.catalog, *map, w.schema_names[0],
+                                w.schema_names[1],
+                                StructureKind::kObjectClass);
+}
+
+TEST(EquivalencePerfSemanticsTest, GeneratedWorkloadRankingIsReferenceOrder) {
+  workload::Workload w = MakeWorkload();
+  Result<EquivalenceMap> map =
+      EquivalenceMap::Create(w.catalog, w.schema_names);
+  ASSERT_TRUE(map.ok());
+  for (const workload::TrueAttributeMatch& match : w.attribute_matches) {
+    (void)map->DeclareEquivalent(match.first, match.second);
+  }
+  Result<OcsMatrix> matrix =
+      OcsMatrix::Create(w.catalog, *map, w.schema_names[0], w.schema_names[1],
+                        StructureKind::kObjectClass);
+  ASSERT_TRUE(matrix.ok());
+
+  // Reference ranking built from brute-force counts and a plain stable
+  // recomputation of the documented comparator.
+  std::vector<ObjectPair> reference;
+  for (size_t r = 0; r < matrix->rows().size(); ++r) {
+    std::vector<AttributePath> row_attrs =
+        map->AttributesOf(matrix->rows()[r]);
+    for (size_t c = 0; c < matrix->columns().size(); ++c) {
+      int eq = BruteForceCount(*map, matrix->rows()[r], matrix->columns()[c]);
+      if (eq == 0) continue;
+      ObjectPair pair;
+      pair.first = matrix->rows()[r];
+      pair.second = matrix->columns()[c];
+      pair.equivalent_attributes = eq;
+      pair.smaller_attribute_count = static_cast<int>(
+          std::min(row_attrs.size(),
+                   map->AttributesOf(matrix->columns()[c]).size()));
+      pair.attribute_ratio = static_cast<double>(eq) /
+                             (eq + pair.smaller_attribute_count);
+      reference.push_back(pair);
+    }
+  }
+  std::sort(reference.begin(), reference.end(),
+            [](const ObjectPair& a, const ObjectPair& b) {
+              if (a.attribute_ratio != b.attribute_ratio) {
+                return a.attribute_ratio > b.attribute_ratio;
+              }
+              if (!(a.first == b.first)) return a.first < b.first;
+              return a.second < b.second;
+            });
+
+  std::vector<ObjectPair> ranked = matrix->RankedPairs();
+  ASSERT_EQ(ranked.size(), reference.size());
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    EXPECT_EQ(ranked[i].first, reference[i].first) << "rank " << i;
+    EXPECT_EQ(ranked[i].second, reference[i].second) << "rank " << i;
+    EXPECT_EQ(ranked[i].equivalent_attributes,
+              reference[i].equivalent_attributes);
+    EXPECT_DOUBLE_EQ(ranked[i].attribute_ratio, reference[i].attribute_ratio);
+  }
+
+  // TopKPairs must be exactly the k-prefix of the full ranking.
+  for (int k : {1, 5, static_cast<int>(ranked.size()),
+                static_cast<int>(ranked.size()) + 10}) {
+    std::vector<ObjectPair> top = matrix->TopKPairs(k);
+    ASSERT_EQ(top.size(), std::min<size_t>(k, ranked.size()));
+    for (size_t i = 0; i < top.size(); ++i) {
+      EXPECT_EQ(top[i].first, ranked[i].first) << "k=" << k << " rank " << i;
+      EXPECT_EQ(top[i].second, ranked[i].second);
+    }
+  }
+}
+
+TEST(EquivalencePerfSemanticsTest, GeneratedWorkloadSurvivesRemovals) {
+  workload::Workload w = MakeWorkload();
+  Result<EquivalenceMap> map =
+      EquivalenceMap::Create(w.catalog, w.schema_names);
+  ASSERT_TRUE(map.ok());
+  for (const workload::TrueAttributeMatch& match : w.attribute_matches) {
+    (void)map->DeclareEquivalent(match.first, match.second);
+  }
+  // Remove every 7th registered attribute from its class, then recheck a
+  // slice of class numbers against the brute-force reference.
+  for (int i = 0; i < map->num_attributes(); i += 7) {
+    ASSERT_TRUE(map->RemoveFromClass(map->PathAt(i)).ok());
+  }
+  for (int i = 0; i < map->num_attributes(); i += 13) {
+    EXPECT_EQ(*map->ClassOf(map->PathAt(i)),
+              BruteForceClassOf(*map, map->PathAt(i)));
+  }
+  ExpectMatrixMatchesBruteForce(w.catalog, *map, w.schema_names[0],
+                                w.schema_names[1],
+                                StructureKind::kObjectClass);
+}
+
+}  // namespace
+}  // namespace ecrint::core

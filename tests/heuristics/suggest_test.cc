@@ -99,6 +99,50 @@ TEST(SuggestTest, NameOnlyBaselineIgnoresAttributes) {
   EXPECT_DOUBLE_EQ((*ranked)[0].score, 1.0);
 }
 
+TEST(SuggestTest, MaxResultsReturnsBestPrefix) {
+  ecr::Catalog catalog = PayrollCatalog();
+  SynonymDictionary dict = SynonymDictionary::WithBuiltins();
+  Result<std::vector<EquivalenceSuggestion>> all =
+      SuggestAttributeEquivalences(catalog, "hr", "payroll", dict, 0.7);
+  ASSERT_TRUE(all.ok());
+  ASSERT_GE(all->size(), 2u);
+  Result<std::vector<EquivalenceSuggestion>> top =
+      SuggestAttributeEquivalences(catalog, "hr", "payroll", dict, 0.7,
+                                   /*object_threshold=*/0.0,
+                                   /*max_results=*/2);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 2u);
+  for (size_t i = 0; i < top->size(); ++i) {
+    EXPECT_EQ((*top)[i].first.ToString(), (*all)[i].first.ToString());
+    EXPECT_EQ((*top)[i].second.ToString(), (*all)[i].second.ToString());
+    EXPECT_DOUBLE_EQ((*top)[i].score, (*all)[i].score);
+  }
+}
+
+TEST(SuggestTest, AssertionCandidatesMatchRankedPrefix) {
+  ecr::Catalog catalog = PayrollCatalog();
+  Result<core::EquivalenceMap> map =
+      core::EquivalenceMap::Create(catalog, {"hr", "payroll"});
+  ASSERT_TRUE(map.ok());
+  ASSERT_TRUE(map->DeclareEquivalent({"hr", "Employee", "Ssn"},
+                                     {"payroll", "Emp", "Ssn"})
+                  .ok());
+  ASSERT_TRUE(map->DeclareEquivalent({"hr", "Employee", "Salary"},
+                                     {"payroll", "Emp", "Pay"})
+                  .ok());
+  Result<std::vector<core::ObjectPair>> full = core::RankObjectPairs(
+      catalog, *map, "hr", "payroll", core::StructureKind::kObjectClass);
+  ASSERT_TRUE(full.ok());
+  Result<std::vector<core::ObjectPair>> top = SuggestAssertionCandidates(
+      catalog, *map, "hr", "payroll", core::StructureKind::kObjectClass, 1);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 1u);
+  EXPECT_EQ((*top)[0].first, (*full)[0].first);
+  EXPECT_EQ((*top)[0].second, (*full)[0].second);
+  EXPECT_EQ((*top)[0].first.object, "Employee");
+  EXPECT_EQ((*top)[0].second.object, "Emp");
+}
+
 TEST(SuggestTest, UnknownSchemaFails) {
   ecr::Catalog catalog = PayrollCatalog();
   SynonymDictionary dict;
