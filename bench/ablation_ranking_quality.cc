@@ -10,6 +10,7 @@
 
 #include "common/strings.h"
 #include "core/resemblance.h"
+#include "engine/engine.h"
 #include "heuristics/suggest.h"
 #include "paper_fixtures.h"
 #include "workload/generator.h"
@@ -31,6 +32,21 @@ workload::Workload Make(double rename_noise, uint64_t seed) {
   Result<workload::Workload> w = workload::GenerateWorkload(config);
   if (!w.ok()) std::abort();
   return *std::move(w);
+}
+
+// The DDA's session as the pipeline sees it: the workload schemas loaded
+// into an Engine with the ground-truth equivalences declared.
+engine::Engine LoadEngine(const workload::Workload& w) {
+  engine::Engine engine;
+  for (const std::string& name : w.schema_names) {
+    Result<const ecr::Schema*> schema = w.catalog.GetSchema(name);
+    if (!schema.ok() || !engine.AddSchema(**schema).ok()) std::abort();
+  }
+  for (const workload::TrueAttributeMatch& match : w.attribute_matches) {
+    // Renames can make domains diverge only in edge cases; skip those.
+    (void)engine.AssertEquivalence(match.first, match.second);
+  }
+  return engine;
 }
 
 std::string Row(const std::string& method, double noise,
@@ -61,10 +77,10 @@ int main() {
       const std::string& s1 = w.schema_names[0];
       const std::string& s2 = w.schema_names[1];
 
-      // (a) the paper's attribute-ratio ranking.
-      core::EquivalenceMap equivalence = bench::TruthEquivalences(w);
-      Result<std::vector<core::ObjectPair>> ranked = core::RankObjectPairs(
-          w.catalog, equivalence, s1, s2, core::StructureKind::kObjectClass,
+      // (a) the paper's attribute-ratio ranking, through the Engine.
+      engine::Engine engine = LoadEngine(w);
+      Result<std::vector<core::ObjectPair>> ranked = engine.RankedPairs(
+          s1, s2, core::StructureKind::kObjectClass,
           /*include_zero=*/true);
       if (!ranked.ok()) std::abort();
       RefPairs pairs;
@@ -105,9 +121,7 @@ int main() {
 
       // (d) automatic equivalence suggestions vs the attribute truth.
       Result<std::vector<heuristics::EquivalenceSuggestion>> suggestions =
-          heuristics::SuggestAttributeEquivalences(w.catalog, s1, s2,
-                                                   synonyms, 0.8,
-                                                   /*object_threshold=*/0.5);
+          engine.Suggest(s1, s2, synonyms, 0.8, /*object_threshold=*/0.5);
       if (!suggestions.ok()) std::abort();
       std::vector<std::pair<ecr::AttributePath, ecr::AttributePath>>
           suggested_pairs;

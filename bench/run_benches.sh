@@ -1,21 +1,26 @@
 #!/usr/bin/env bash
-# Runs the resemblance/closure perf sweeps with google-benchmark's JSON
-# reporter and merges them into BENCH_resemblance.json at the repo root.
+# Runs the perf sweeps with google-benchmark's JSON reporter and merges them
+# into the recorded JSON files at the repo root:
+#   BENCH_resemblance.json  <- perf_resemblance + perf_closure
+#   BENCH_engine.json       <- perf_engine, plus the engine_trace phase
+#                              breakdown and the incremental-vs-full speedup
 #
 # Usage:
-#   bench/run_benches.sh [--build-dir DIR] [--out FILE] [--smoke]
+#   bench/run_benches.sh [--build-dir DIR] [--out FILE] [--engine-out FILE]
+#                        [--smoke]
 #
 # --smoke caps every benchmark at --benchmark_min_time=0.01 so the script
 # doubles as a ctest-safe liveness check (the JSON is still written, just
 # with noisy numbers). Without it, benchmark's default min time applies and
-# the merged JSON is suitable for recording in the repo. --out redirects the
-# merged JSON away from the repo-root BENCH_resemblance.json — the ctest
-# smoke uses it so a quick run never clobbers recorded numbers.
+# the merged JSON is suitable for recording in the repo. --out/--engine-out
+# redirect the merged JSON away from the repo-root files — the ctest smoke
+# uses them so a quick run never clobbers recorded numbers.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build"
 out_file="${repo_root}/BENCH_resemblance.json"
+engine_out_file="${repo_root}/BENCH_engine.json"
 min_time=""
 
 while [[ $# -gt 0 ]]; do
@@ -26,6 +31,10 @@ while [[ $# -gt 0 ]]; do
       ;;
     --out)
       out_file="$2"
+      shift 2
+      ;;
+    --engine-out)
+      engine_out_file="$2"
       shift 2
       ;;
     --smoke)
@@ -40,36 +49,59 @@ while [[ $# -gt 0 ]]; do
 done
 
 binaries=(perf_resemblance perf_closure)
+engine_binaries=(perf_engine)
 out_dir="$(mktemp -d)"
 trap 'rm -rf "${out_dir}"' EXIT
 
-for bin in "${binaries[@]}"; do
-  path="${build_dir}/bench/${bin}"
+run_bench() {
+  local bin="$1" dest="$2"
+  local path="${build_dir}/bench/${bin}"
   if [[ ! -x "${path}" ]]; then
     echo "missing ${path}; build first: cmake --build ${build_dir} -j" >&2
     exit 1
   fi
   echo "== ${bin}" >&2
   # shellcheck disable=SC2086  # min_time is intentionally word-split
-  "${path}" --benchmark_format=json ${min_time} \
-    > "${out_dir}/${bin}.json"
+  "${path}" --benchmark_format=json ${min_time} > "${dest}"
+}
+
+for bin in "${binaries[@]}"; do
+  run_bench "${bin}" "${out_dir}/${bin}.json"
 done
+mkdir -p "${out_dir}/engine"
+for bin in "${engine_binaries[@]}"; do
+  run_bench "${bin}" "${out_dir}/engine/${bin}.json"
+done
+
+# The Engine's phase breakdown travels with the perf numbers.
+trace_bin="${build_dir}/bench/engine_trace"
+mkdir -p "${out_dir}/trace"
+if [[ -x "${trace_bin}" ]]; then
+  echo "== engine_trace" >&2
+  "${trace_bin}" > "${out_dir}/trace/engine_trace.json"
+else
+  echo "missing ${trace_bin}; build first: cmake --build ${build_dir} -j" >&2
+  exit 1
+fi
 
 # Merge: keep one context block (they describe the same host), concatenate
 # the benchmark arrays in binary order, and attach the recorded seed
 # baseline so the speedup base travels with the numbers.
-python3 - "${out_file}" "${repo_root}/bench/baseline_seed.json" \
-  "${out_dir}"/*.json <<'PY'
+merge() {
+  python3 - "$@" <<'PY'
 import json
 import os
 import sys
 
-out_path, baseline_path = sys.argv[1], sys.argv[2]
-merged = {"context": None, "seed_baseline": None, "benchmarks": []}
-if os.path.exists(baseline_path):
+out_path, baseline_path, trace_path = sys.argv[1], sys.argv[2], sys.argv[3]
+merged = {"context": None, "benchmarks": []}
+if baseline_path and os.path.exists(baseline_path):
     with open(baseline_path) as f:
         merged["seed_baseline"] = json.load(f)
-for path in sys.argv[3:]:
+if trace_path and os.path.exists(trace_path):
+    with open(trace_path) as f:
+        merged["phase_trace"] = json.load(f)
+for path in sys.argv[4:]:
     with open(path) as f:
         report = json.load(f)
     if merged["context"] is None:
@@ -78,7 +110,7 @@ for path in sys.argv[3:]:
 
 baseline = {
     b["name"]: b["real_time"]
-    for b in (merged["seed_baseline"] or {}).get("benchmarks", [])
+    for b in merged.get("seed_baseline", {}).get("benchmarks", [])
 }
 speedups = {}
 for b in merged["benchmarks"]:
@@ -87,10 +119,35 @@ for b in merged["benchmarks"]:
         speedups[b["name"]] = round(base / b["real_time"], 2)
 if speedups:
     merged["speedup_vs_seed"] = speedups
+
+# Incremental-edit vs full-rebuild at matching workload sizes: the headline
+# number of the Engine's dirty tracking.
+times = {b["name"]: b["real_time"] for b in merged["benchmarks"]
+         if b.get("real_time")}
+incremental = {}
+for name, full_time in times.items():
+    prefix = "BM_EngineFullRebuild/"
+    if not name.startswith(prefix):
+        continue
+    arg = name[len(prefix):]
+    inc_time = times.get(f"BM_EngineIncrementalEdit/{arg}")
+    if inc_time:
+        incremental[arg] = round(full_time / inc_time, 2)
+if incremental:
+    merged["incremental_speedup"] = incremental
+
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=2)
     f.write("\n")
 print(f"wrote {out_path} ({len(merged['benchmarks'])} benchmarks)")
 for name, s in sorted(speedups.items()):
     print(f"  {name}: {s}x vs seed")
+for arg, s in sorted(incremental.items(), key=lambda kv: int(kv[0])):
+    print(f"  incremental edit @{arg} classes: {s}x vs full rebuild")
 PY
+}
+
+merge "${out_file}" "${repo_root}/bench/baseline_seed.json" "" \
+  "${out_dir}"/*.json
+merge "${engine_out_file}" "" "${out_dir}/trace/engine_trace.json" \
+  "${out_dir}/engine"/*.json

@@ -4,6 +4,8 @@
 // user view joins them, heuristics propose attribute equivalences, and the
 // n-ary integrator produces a federated global schema whose mappings
 // translate a request against the global schema into per-database requests.
+// The pipeline state (catalog, equivalences, assertions, result) lives in
+// one engine::Engine.
 //
 //   ./build/examples/federation
 
@@ -11,14 +13,10 @@
 #include <iostream>
 
 #include "common/strings.h"
-#include "core/assertion_store.h"
-#include "core/equivalence.h"
-#include "core/integrator.h"
-#include "core/request_translation.h"
 #include "data/federation.h"
 #include "data/instance_store.h"
-#include "ecr/ddl_parser.h"
 #include "ecr/printer.h"
+#include "engine/engine.h"
 #include "heuristics/suggest.h"
 #include "translate/hier_to_ecr.h"
 #include "translate/rel_to_ecr.h"
@@ -87,14 +85,16 @@ translate::HierarchicalSchema PersonnelDatabase() {
 }  // namespace
 
 int main() {
-  ecr::Catalog catalog;
+  engine::EngineOptions options;
+  options.integration.result_name = "global";
+  engine::Engine engine(options);
 
   // Phase 1: translate the two databases and add the native ECR view.
-  Check(catalog.AddSchema(Check(translate::RelationalToEcr(
+  Check(engine.AddSchema(Check(translate::RelationalToEcr(
       PayrollDatabase()))));
-  Check(catalog.AddSchema(Check(translate::HierarchicalToEcr(
+  Check(engine.AddSchema(Check(translate::HierarchicalToEcr(
       PersonnelDatabase()))));
-  Check(ecr::ParseInto(catalog, R"(
+  Check(engine.DefineSchema(R"(
     schema directory {
       entity Person {
         Ssn: int key;
@@ -106,50 +106,42 @@ int main() {
 
   std::cout << "Component schemas after translation\n"
             << "-----------------------------------\n";
-  for (const std::string& name : catalog.SchemaNames()) {
-    std::cout << ecr::Summarize(**catalog.GetSchema(name)) << "\n";
+  for (const std::string& name : engine.catalog().SchemaNames()) {
+    std::cout << ecr::Summarize(**engine.catalog().GetSchema(name)) << "\n";
   }
   std::cout << "\n";
 
   // Phase 2: let the heuristics propose equivalences, then apply them.
   heuristics::SynonymDictionary synonyms =
       heuristics::SynonymDictionary::WithBuiltins();
-  EquivalenceMap equivalence = Check(EquivalenceMap::Create(
-      catalog, catalog.SchemaNames()));
   std::cout << "Suggested attribute equivalences\n"
             << "--------------------------------\n";
-  std::vector<std::string> names = catalog.SchemaNames();
+  std::vector<std::string> names = engine.catalog().SchemaNames();
   for (size_t i = 0; i < names.size(); ++i) {
     for (size_t j = i + 1; j < names.size(); ++j) {
       for (const heuristics::EquivalenceSuggestion& suggestion :
-           Check(heuristics::SuggestAttributeEquivalences(
-               catalog, names[i], names[j], synonyms, 0.95))) {
+           Check(engine.Suggest(names[i], names[j], synonyms, 0.95))) {
         std::cout << "  " << suggestion.first.ToString() << " == "
                   << suggestion.second.ToString() << "  ("
                   << suggestion.rationale << ")\n";
-        Check(equivalence.DeclareEquivalent(suggestion.first,
-                                            suggestion.second));
+        Check(engine.AssertEquivalence(suggestion.first, suggestion.second));
       }
     }
   }
   std::cout << "\n";
 
   // Phase 3: the administrator reviews and asserts domain relations.
-  AssertionStore assertions;
-  Check(assertions
-            .Assert({"payroll", "employee"}, {"directory", "Person"},
-                    AssertionType::kContainedIn)
+  Check(engine
+            .AssertRelation({"payroll", "employee"}, {"directory", "Person"},
+                            AssertionType::kContainedIn)
             .status());
-  Check(assertions
-            .Assert({"personnel", "Worker"}, {"payroll", "employee"},
-                    AssertionType::kEquals)
+  Check(engine
+            .AssertRelation({"personnel", "Worker"}, {"payroll", "employee"},
+                            AssertionType::kEquals)
             .status());
 
   // Phase 4: n-ary integration over all three components at once.
-  IntegrationOptions options;
-  options.result_name = "global";
-  IntegrationResult result = Check(
-      Integrate(catalog, names, equivalence, assertions, options));
+  const IntegrationResult& result = *Check(engine.Integrate(names));
 
   std::cout << "Global schema\n-------------\n"
             << ecr::ToOutline(result.schema) << "\n";
@@ -167,13 +159,13 @@ int main() {
     }
   }
   Request query{{result.schema.name(), "Person"}, {name_attribute}};
-  FanoutPlan plan = Check(TranslateToComponents(result, query));
+  FanoutPlan plan = Check(engine.TranslateRequestToComponents(query));
   std::cout << plan.ToString();
 
   // Execute the plan over actual component data.
-  const ecr::Schema& payroll_ecr = **catalog.GetSchema("payroll");
-  const ecr::Schema& personnel_ecr = **catalog.GetSchema("personnel");
-  const ecr::Schema& directory_ecr = **catalog.GetSchema("directory");
+  const ecr::Schema& payroll_ecr = **engine.catalog().GetSchema("payroll");
+  const ecr::Schema& personnel_ecr = **engine.catalog().GetSchema("personnel");
+  const ecr::Schema& directory_ecr = **engine.catalog().GetSchema("directory");
   data::InstanceStore payroll_db(&payroll_ecr);
   data::InstanceStore personnel_db(&personnel_ecr);
   data::InstanceStore directory_db(&directory_ecr);
@@ -201,7 +193,7 @@ int main() {
   // And the other direction (the logical-design context): a request against
   // the payroll view rewrites onto the global schema.
   Request view_query{{"payroll", "employee"}, {"ssn", "name"}};
-  Request rewritten = Check(TranslateToIntegrated(result, view_query));
+  Request rewritten = Check(engine.TranslateRequest(view_query));
   std::cout << "\nview query:    " << view_query.ToString() << "\n"
             << "rewritten to:  " << rewritten.ToString() << "\n";
   return 0;

@@ -1,4 +1,4 @@
-// Quickstart: integrate two tiny user views with the programmatic API.
+// Quickstart: integrate two tiny user views with the Engine API.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -7,21 +7,15 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/assertion_store.h"
-#include "core/equivalence.h"
-#include "core/integrator.h"
 #include "ecr/builder.h"
 #include "ecr/printer.h"
+#include "engine/engine.h"
 
-using ecrint::core::Assertion;
-using ecrint::core::AssertionStore;
 using ecrint::core::AssertionType;
-using ecrint::core::EquivalenceMap;
-using ecrint::core::Integrate;
 using ecrint::core::IntegrationResult;
-using ecrint::ecr::Catalog;
 using ecrint::ecr::Domain;
 using ecrint::ecr::SchemaBuilder;
+using ecrint::engine::Engine;
 
 namespace {
 
@@ -46,37 +40,34 @@ void Check(const ecrint::Status& status) {
 
 int main() {
   // 1. Phase 1 — define two component views.
-  Catalog catalog;
+  Engine engine;
   SchemaBuilder hr("hr");
   hr.Entity("Employee")
       .Attr("Ssn", Domain::Int(), /*key=*/true)
       .Attr("Name", Domain::Char())
       .Attr("Salary", Domain::Real());
-  Check(catalog.AddSchema(Check(hr.Build())));
+  Check(engine.AddSchema(Check(hr.Build())));
 
   SchemaBuilder payroll("payroll");
   payroll.Entity("Manager")
       .Attr("Ssn", Domain::Int(), /*key=*/true)
       .Attr("Bonus", Domain::Real());
-  Check(catalog.AddSchema(Check(payroll.Build())));
+  Check(engine.AddSchema(Check(payroll.Build())));
 
   // 2. Phase 2 — tell the tool which attributes mean the same thing.
-  EquivalenceMap equivalence =
-      Check(EquivalenceMap::Create(catalog, {"hr", "payroll"}));
-  Check(equivalence.DeclareEquivalent({"hr", "Employee", "Ssn"},
-                                      {"payroll", "Manager", "Ssn"}));
+  Check(engine.AssertEquivalence({"hr", "Employee", "Ssn"},
+                                 {"payroll", "Manager", "Ssn"}));
 
   // 3. Phase 3 — assert how the domains relate: every manager is an
   //    employee.
-  AssertionStore assertions;
-  Check(assertions
-            .Assert({"payroll", "Manager"}, {"hr", "Employee"},
-                    AssertionType::kContainedIn)
+  Check(engine
+            .AssertRelation({"payroll", "Manager"}, {"hr", "Employee"},
+                            AssertionType::kContainedIn)
             .status());
 
   // 4. Phase 4 — integrate and inspect.
-  IntegrationResult result =
-      Check(Integrate(catalog, {"hr", "payroll"}, equivalence, assertions));
+  const IntegrationResult& result =
+      *Check(engine.Integrate({"hr", "payroll"}));
 
   std::cout << "Integrated schema\n=================\n"
             << ecrint::ecr::ToOutline(result.schema) << "\n";

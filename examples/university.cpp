@@ -2,6 +2,8 @@
 // (Figure 4) are loaded from DDL, attribute equivalences and the Screen 8
 // assertions are applied, and the integrated schema of Figure 5 is printed
 // together with its derived-attribute provenance and a Graphviz rendering.
+// The whole pipeline runs through an engine::Engine, whose phase trace is
+// printed at the end with --trace.
 //
 //   ./build/examples/university
 
@@ -9,14 +11,10 @@
 #include <iostream>
 
 #include "common/strings.h"
-#include "core/assertion_store.h"
-#include "core/equivalence.h"
-#include "core/integrator.h"
 #include "core/resemblance.h"
-#include "ecr/catalog.h"
-#include "ecr/ddl_parser.h"
 #include "ecr/dot_export.h"
 #include "ecr/printer.h"
+#include "engine/engine.h"
 
 using namespace ecrint;        // NOLINT: example brevity
 using namespace ecrint::core;  // NOLINT: example brevity
@@ -75,30 +73,29 @@ void Check(const Status& status) {
 
 int main(int argc, char** argv) {
   bool emit_dot = argc > 1 && std::string(argv[1]) == "--dot";
+  bool emit_trace = argc > 1 && std::string(argv[1]) == "--trace";
 
-  ecr::Catalog catalog;
-  Check(ecr::ParseInto(catalog, kUniversityDdl).status());
+  engine::Engine engine;
+  Check(engine.DefineSchema(kUniversityDdl).status());
 
   std::cout << "Component schemas\n-----------------\n";
-  std::cout << ecr::ToOutline(**catalog.GetSchema("sc1")) << "\n";
-  std::cout << ecr::ToOutline(**catalog.GetSchema("sc2")) << "\n";
+  std::cout << ecr::ToOutline(**engine.catalog().GetSchema("sc1")) << "\n";
+  std::cout << ecr::ToOutline(**engine.catalog().GetSchema("sc2")) << "\n";
 
   // Phase 2: the DDA's equivalence classes.
-  EquivalenceMap equivalence =
-      Check(EquivalenceMap::Create(catalog, {"sc1", "sc2"}));
-  Check(equivalence.DeclareEquivalent({"sc1", "Student", "Name"},
-                                      {"sc2", "Grad_student", "Name"}));
-  Check(equivalence.DeclareEquivalent({"sc1", "Student", "GPA"},
-                                      {"sc2", "Grad_student", "GPA"}));
-  Check(equivalence.DeclareEquivalent({"sc1", "Department", "Dname"},
-                                      {"sc2", "Department", "Dname"}));
+  Check(engine.AssertEquivalence({"sc1", "Student", "Name"},
+                                 {"sc2", "Grad_student", "Name"}));
+  Check(engine.AssertEquivalence({"sc1", "Student", "GPA"},
+                                 {"sc2", "Grad_student", "GPA"}));
+  Check(engine.AssertEquivalence({"sc1", "Department", "Dname"},
+                                 {"sc2", "Department", "Dname"}));
 
   // The resemblance ranking the tool shows on Screen 8.
   std::cout << "Ranked object pairs (Screen 8)\n"
             << "------------------------------\n";
-  for (const ObjectPair& pair : Check(RankObjectPairs(
-           catalog, equivalence, "sc1", "sc2",
-           StructureKind::kObjectClass, /*include_zero=*/true))) {
+  for (const ObjectPair& pair : Check(engine.RankedPairs(
+           "sc1", "sc2", StructureKind::kObjectClass,
+           /*include_zero=*/true))) {
     std::cout << "  " << pair.first.ToString() << " / "
               << pair.second.ToString() << "  ratio "
               << FormatFixed(pair.attribute_ratio, 4) << "\n";
@@ -106,27 +103,26 @@ int main(int argc, char** argv) {
   std::cout << "\n";
 
   // Phase 3: the paper's "likely set of assertions".
-  AssertionStore assertions;
-  Check(assertions
-            .Assert({"sc1", "Department"}, {"sc2", "Department"},
-                    AssertionType::kEquals)
+  Check(engine
+            .AssertRelation({"sc1", "Department"}, {"sc2", "Department"},
+                            AssertionType::kEquals)
             .status());
-  Check(assertions
-            .Assert({"sc1", "Student"}, {"sc2", "Grad_student"},
-                    AssertionType::kContains)
+  Check(engine
+            .AssertRelation({"sc1", "Student"}, {"sc2", "Grad_student"},
+                            AssertionType::kContains)
             .status());
-  Check(assertions
-            .Assert({"sc1", "Student"}, {"sc2", "Faculty"},
-                    AssertionType::kDisjointIntegrable)
+  Check(engine
+            .AssertRelation({"sc1", "Student"}, {"sc2", "Faculty"},
+                            AssertionType::kDisjointIntegrable)
             .status());
-  Check(assertions
-            .Assert({"sc1", "Majors"}, {"sc2", "Study"},
-                    AssertionType::kEquals)
+  Check(engine
+            .AssertRelation({"sc1", "Majors"}, {"sc2", "Study"},
+                            AssertionType::kEquals)
             .status());
 
   // Phase 4.
-  IntegrationResult result =
-      Check(Integrate(catalog, {"sc1", "sc2"}, equivalence, assertions));
+  const IntegrationResult& result =
+      *Check(engine.Integrate({"sc1", "sc2"}));
 
   std::cout << "Integrated schema (Figure 5)\n"
             << "----------------------------\n"
@@ -156,6 +152,9 @@ int main(int argc, char** argv) {
     std::cout << "\nGraphviz (pipe through `dot -Tpng`)\n"
               << "-----------------------------------\n"
               << ecr::ToDot(result.schema);
+  }
+  if (emit_trace) {
+    std::cout << "\nPhase trace\n-----------\n" << engine.TraceJson() << "\n";
   }
   return 0;
 }

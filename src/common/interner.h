@@ -1,0 +1,106 @@
+#ifndef ECRINT_COMMON_INTERNER_H_
+#define ECRINT_COMMON_INTERNER_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ecrint::common {
+
+// Flat linear-probing hash index over dense ids. Slots hold (hash, id + 1);
+// 0 marks an empty slot. Grown to the next power of two at load factor 0.5.
+// The caller resolves hash collisions by comparing the candidate id's key,
+// so the table itself stores no keys and works for any keyed id space
+// (attribute paths, object refs, plain strings).
+struct ProbeTable {
+  std::vector<std::pair<size_t, int>> slots;
+  size_t mask = 0;
+
+  void Reserve(size_t ids) {
+    size_t wanted = 16;
+    while (wanted < ids * 2) wanted <<= 1;
+    if (wanted <= slots.size()) return;
+    std::vector<std::pair<size_t, int>> old = std::move(slots);
+    slots.assign(wanted, {0, 0});
+    mask = wanted - 1;
+    for (const auto& [hash, id_plus_1] : old) {
+      if (id_plus_1 == 0) continue;
+      size_t slot = hash & mask;
+      while (slots[slot].second != 0) slot = (slot + 1) & mask;
+      slots[slot] = {hash, id_plus_1};
+    }
+  }
+
+  void Insert(size_t hash, int id, size_t population) {
+    Reserve(population);
+    size_t slot = hash & mask;
+    while (slots[slot].second != 0) slot = (slot + 1) & mask;
+    slots[slot] = {hash, id + 1};
+  }
+
+  // The id whose key hashes to `hash` and satisfies eq(id), or -1.
+  template <typename Eq>
+  int Find(size_t hash, Eq eq) const {
+    if (slots.empty()) return -1;
+    size_t slot = hash & mask;
+    while (slots[slot].second != 0) {
+      int id = slots[slot].second - 1;
+      if (slots[slot].first == hash && eq(id)) return id;
+      slot = (slot + 1) & mask;
+    }
+    return -1;
+  }
+};
+
+// Dense string → id table: the schema-layer counterpart of the
+// EquivalenceMap's attribute interning. Ids are dense, 0-based, handed out
+// in first-insertion order, and stable for the interner's lifetime, so they
+// index plain vectors directly where a std::map<std::string, ...> would
+// re-hash and re-compare keys on every lookup.
+class StringInterner {
+ public:
+  // The id of `key`, interning it if unseen.
+  int Intern(std::string_view key) {
+    size_t hash = Hash(key);
+    int id = FindWithHash(hash, key);
+    if (id >= 0) return id;
+    id = static_cast<int>(keys_.size());
+    keys_.emplace_back(key);
+    index_.Insert(hash, id, keys_.size());
+    return id;
+  }
+
+  // The id of `key`, or -1 when it was never interned.
+  int Find(std::string_view key) const { return FindWithHash(Hash(key), key); }
+
+  const std::string& KeyOf(int id) const {
+    return keys_[static_cast<size_t>(id)];
+  }
+
+  int size() const { return static_cast<int>(keys_.size()); }
+  bool empty() const { return keys_.empty(); }
+  void Reserve(size_t n) {
+    keys_.reserve(n);
+    index_.Reserve(n);
+  }
+
+ private:
+  static size_t Hash(std::string_view key) {
+    return std::hash<std::string_view>{}(key);
+  }
+  int FindWithHash(size_t hash, std::string_view key) const {
+    return index_.Find(hash, [&](int id) {
+      return keys_[static_cast<size_t>(id)] == key;
+    });
+  }
+
+  ProbeTable index_;
+  std::vector<std::string> keys_;
+};
+
+}  // namespace ecrint::common
+
+#endif  // ECRINT_COMMON_INTERNER_H_

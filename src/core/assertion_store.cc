@@ -115,6 +115,7 @@ std::pair<int, int> AssertionStore::Propagate(int i, int j) {
 }
 
 Result<ConflictReport> AssertionStore::Assert(const Assertion& assertion) {
+  last_conflict_.reset();
   int i = Intern(assertion.first);
   int j = Intern(assertion.second);
   RelationSet mask = MaskOf(RelationOf(assertion.type));
@@ -130,7 +131,8 @@ Result<ConflictReport> AssertionStore::Assert(const Assertion& assertion) {
     report.existing_is_derived = current.user_assertion_index < 0;
     for (int id : current.support) report.supporting.push_back(
         user_assertions_[id]);
-    return ConflictError(report.ToString());
+    last_conflict_ = report;
+    return ConflictError(last_conflict_->ToString());
   }
 
   // Transactional apply: log changed cells, refine, propagate, and roll the
@@ -169,7 +171,8 @@ Result<ConflictReport> AssertionStore::Assert(const Assertion& assertion) {
     for (int id : before.support) {
       report.supporting.push_back(user_assertions_[id]);
     }
-    return ConflictError(report.ToString());
+    last_conflict_ = report;
+    return ConflictError(last_conflict_->ToString());
   }
   undo_.clear();
 
@@ -188,6 +191,7 @@ Result<ConflictReport> AssertionStore::Assert(const ObjectRef& first,
 Result<ConflictReport> AssertionStore::Constrain(const ObjectRef& first,
                                                  const ObjectRef& second,
                                                  RelationSet allowed) {
+  last_conflict_.reset();
   int i = Intern(first);
   int j = Intern(second);
   std::string description = first.ToString() + " " +
@@ -204,7 +208,8 @@ Result<ConflictReport> AssertionStore::Constrain(const ObjectRef& first,
     for (int id : current.support) {
       report.supporting.push_back(user_assertions_[id]);
     }
-    return ConflictError(report.ToString());
+    last_conflict_ = report;
+    return ConflictError(last_conflict_->ToString());
   }
 
   undo_.clear();
@@ -231,7 +236,8 @@ Result<ConflictReport> AssertionStore::Constrain(const ObjectRef& first,
     for (int id : before.support) {
       report.supporting.push_back(user_assertions_[id]);
     }
-    return ConflictError(report.ToString());
+    last_conflict_ = report;
+    return ConflictError(last_conflict_->ToString());
   }
   undo_.clear();
   ConflictReport ok;

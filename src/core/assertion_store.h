@@ -1,6 +1,7 @@
 #ifndef ECRINT_CORE_ASSERTION_STORE_H_
 #define ECRINT_CORE_ASSERTION_STORE_H_
 
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -111,6 +112,14 @@ class AssertionStore {
   std::vector<Assertion> SupportingAssertions(const ObjectRef& first,
                                               const ObjectRef& second) const;
 
+  // The structured report behind the most recent Assert/Constrain failure
+  // (the status message is its ToString). Reset on every call; engaged only
+  // while the last call conflicted. Lets diagnostic layers surface the
+  // Screen-9 derivation chain without parsing the message text.
+  const std::optional<ConflictReport>& last_conflict() const {
+    return last_conflict_;
+  }
+
  private:
   // Dense pair state. Indexed [i][j]; invariant: matrix_[j][i] is the
   // converse of matrix_[i][j] and support_[i][j] == support_[j][i].
@@ -121,6 +130,7 @@ class AssertionStore {
   };
 
   int Intern(const ObjectRef& ref);
+
   // The matrix is allocated with a row stride of `capacity_` (>= the object
   // count) and regrown geometrically, so interning N objects moves O(N^2)
   // cells in total instead of O(N^2) per insert.
@@ -153,6 +163,7 @@ class AssertionStore {
   std::vector<std::pair<int, int>> dirty_;
   // (flat cell index, previous state) entries for the in-flight Assert.
   std::vector<std::pair<size_t, PairState>> undo_;
+  std::optional<ConflictReport> last_conflict_;
 };
 
 }  // namespace ecrint::core

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/result.h"
 #include "ecr/attribute.h"
 #include "ecr/catalog.h"
@@ -116,50 +117,6 @@ class EquivalenceMap {
     int end = 0;
   };
 
-  // Flat linear-probing hash index over dense ids. Slots hold
-  // (hash, id + 1); 0 marks an empty slot. Grown to the next power of two
-  // at load factor 0.5. The caller resolves hash collisions by comparing
-  // the candidate id's key.
-  struct ProbeTable {
-    std::vector<std::pair<size_t, int>> slots;
-    size_t mask = 0;
-
-    void Reserve(size_t ids) {
-      size_t wanted = 16;
-      while (wanted < ids * 2) wanted <<= 1;
-      if (wanted <= slots.size()) return;
-      std::vector<std::pair<size_t, int>> old = std::move(slots);
-      slots.assign(wanted, {0, 0});
-      mask = wanted - 1;
-      for (const auto& [hash, id_plus_1] : old) {
-        if (id_plus_1 == 0) continue;
-        size_t slot = hash & mask;
-        while (slots[slot].second != 0) slot = (slot + 1) & mask;
-        slots[slot] = {hash, id_plus_1};
-      }
-    }
-
-    void Insert(size_t hash, int id, size_t population) {
-      Reserve(population);
-      size_t slot = hash & mask;
-      while (slots[slot].second != 0) slot = (slot + 1) & mask;
-      slots[slot] = {hash, id + 1};
-    }
-
-    // The id whose key hashes to `hash` and satisfies eq(id), or -1.
-    template <typename Eq>
-    int Find(size_t hash, Eq eq) const {
-      if (slots.empty()) return -1;
-      size_t slot = hash & mask;
-      while (slots[slot].second != 0) {
-        int id = slots[slot].second - 1;
-        if (slots[slot].first == hash && eq(id)) return id;
-        slot = (slot + 1) & mask;
-      }
-      return -1;
-    }
-  };
-
   int Find(int index) const;  // union-find root with path compression
 
   Result<int> IndexOf(const ecr::AttributePath& path) const;
@@ -178,10 +135,10 @@ class EquivalenceMap {
   std::vector<int> next_;            // circular ring of class co-members
   std::vector<int> class_size_;      // valid at roots
   std::vector<int> min_id_;          // valid at roots; drives ClassOf
-  ProbeTable attribute_index_;
+  common::ProbeTable attribute_index_;
   // Structures with their attribute-id ranges, plus their probe index.
   std::vector<StructureEntry> structures_;
-  ProbeTable structure_index_;
+  common::ProbeTable structure_index_;
 };
 
 }  // namespace ecrint::core

@@ -168,24 +168,24 @@ Result<Lattice> BuildLattice(const std::vector<ObjectRef>& universe,
   }
 
   // Derived generalizations: one per node pair connected by an established
-  // overlap or a user-asserted disjoint-integrable assertion.
+  // overlap or a user-asserted disjoint-integrable assertion. Pre-index the
+  // disjoint-integrable assertions so the pair loop does a set probe instead
+  // of scanning every user assertion per pair (O(n²·|assertions|) before).
+  std::set<std::pair<ObjectRef, ObjectRef>> disjoint_integrable_pairs;
+  for (const Assertion& a : store.user_assertions()) {
+    if (a.type != AssertionType::kDisjointIntegrable) continue;
+    disjoint_integrable_pairs.insert({a.first, a.second});
+    disjoint_integrable_pairs.insert({a.second, a.first});
+  }
   std::set<std::pair<int, int>> derived_pairs;
   for (int i = 0; i < n; ++i) {
     for (int j = i + 1; j < n; ++j) {
       RelationSet r = relation(i, j);
       bool overlap = RelationCount(r) == 1 &&
                      TheRelation(r) == SetRelation::kOverlap;
-      bool disjoint_integrable = false;
-      if (!overlap) {
-        for (const Assertion& a : store.user_assertions()) {
-          if (a.type != AssertionType::kDisjointIntegrable) continue;
-          if ((a.first == universe[i] && a.second == universe[j]) ||
-              (a.first == universe[j] && a.second == universe[i])) {
-            disjoint_integrable = true;
-            break;
-          }
-        }
-      }
+      bool disjoint_integrable =
+          !overlap && disjoint_integrable_pairs.count(
+                          {universe[i], universe[j]}) > 0;
       if (!overlap && !disjoint_integrable) continue;
       int a = lattice.node_of[universe[i]];
       int b = lattice.node_of[universe[j]];
@@ -494,11 +494,37 @@ std::vector<NodeParticipation> MergeParticipantLists(
 // Integrate().
 // ---------------------------------------------------------------------------
 
+Status SeedForIntegration(AssertionStore& assertions,
+                          const ecr::Catalog& catalog,
+                          const std::vector<std::string>& schemas,
+                          const IntegrationOptions& options) {
+  // Seed within-schema structure into the closure; contradictions between
+  // DDA assertions and component structure surface here.
+  SeedOptions seed;
+  seed.category_containment = options.seed_category_containment;
+  seed.entity_disjointness = options.seed_entity_disjointness;
+  for (const std::string& name : schemas) {
+    ECRINT_ASSIGN_OR_RETURN(const ecr::Schema* schema,
+                            catalog.GetSchema(name));
+    ECRINT_RETURN_IF_ERROR(SeedSchemaRelations(assertions, *schema, seed));
+  }
+  return Status::Ok();
+}
+
 Result<IntegrationResult> Integrate(const ecr::Catalog& catalog,
                                     const std::vector<std::string>& schemas,
                                     const EquivalenceMap& equivalence,
                                     AssertionStore assertions,
                                     const IntegrationOptions& options) {
+  ECRINT_RETURN_IF_ERROR(
+      SeedForIntegration(assertions, catalog, schemas, options));
+  return IntegrateSeeded(catalog, schemas, equivalence, assertions, options);
+}
+
+Result<IntegrationResult> IntegrateSeeded(
+    const ecr::Catalog& catalog, const std::vector<std::string>& schemas,
+    const EquivalenceMap& equivalence, const AssertionStore& assertions,
+    const IntegrationOptions& options) {
   if (schemas.empty()) {
     return InvalidArgumentError("Integrate needs at least one schema");
   }
@@ -508,15 +534,6 @@ Result<IntegrationResult> Integrate(const ecr::Catalog& catalog,
     ECRINT_ASSIGN_OR_RETURN(const ecr::Schema* schema,
                             catalog.GetSchema(name));
     components.push_back(schema);
-  }
-
-  // Seed within-schema structure into the closure; contradictions between
-  // DDA assertions and component structure surface here.
-  SeedOptions seed;
-  seed.category_containment = options.seed_category_containment;
-  seed.entity_disjointness = options.seed_entity_disjointness;
-  for (const ecr::Schema* schema : components) {
-    ECRINT_RETURN_IF_ERROR(SeedSchemaRelations(assertions, *schema, seed));
   }
 
   // Universes, in schema order then declaration order.

@@ -49,6 +49,28 @@ Result<IntegrationResult> Integrate(const ecr::Catalog& catalog,
                                     AssertionStore assertions,
                                     const IntegrationOptions& options = {});
 
+// Seeds within-schema structure (category containment, entity disjointness
+// per `options`) of the named schemas into `assertions`. This is the first —
+// and by far the most expensive — step of Integrate; callers that re-run
+// integration after small assertion edits can seed once, keep the seeded
+// store, and call IntegrateSeeded. Contradictions between DDA assertions and
+// component structure surface here.
+Status SeedForIntegration(AssertionStore& assertions,
+                          const ecr::Catalog& catalog,
+                          const std::vector<std::string>& schemas,
+                          const IntegrationOptions& options = {});
+
+// Phase 4 proper, over an already-seeded closure. `seeded` must hold the
+// user assertions plus the output of SeedForIntegration for the same
+// catalog/schemas/options; because path-consistency closure is confluent
+// (the fixpoint is the intersection of all derivable constraints, so it is
+// independent of assertion order), a cached seeded store extended by one
+// incremental Assert yields exactly the matrix a full replay would.
+Result<IntegrationResult> IntegrateSeeded(
+    const ecr::Catalog& catalog, const std::vector<std::string>& schemas,
+    const EquivalenceMap& equivalence, const AssertionStore& seeded,
+    const IntegrationOptions& options = {});
+
 }  // namespace ecrint::core
 
 #endif  // ECRINT_CORE_INTEGRATOR_H_

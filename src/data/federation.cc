@@ -26,18 +26,25 @@ Result<ResultSet> ExecuteFanout(
                            leg.component.schema + "'");
     }
     const InstanceStore& store = *it->second;
+    // Resolve the request-attribute renames once per leg into a
+    // position-indexed table; the per-row loop then never touches the
+    // string-keyed attribute map.
+    std::vector<const std::string*> sources(plan.request.attributes.size(),
+                                            nullptr);
+    for (size_t i = 0; i < plan.request.attributes.size(); ++i) {
+      auto mapped = leg.attribute_map.find(plan.request.attributes[i]);
+      if (mapped != leg.attribute_map.end()) sources[i] = &mapped->second;
+    }
     for (EntityId id : store.MembersOf(leg.component.object)) {
       std::vector<Value> row;
-      row.reserve(plan.request.attributes.size());
-      for (const std::string& attribute : plan.request.attributes) {
-        auto mapped = leg.attribute_map.find(attribute);
-        if (mapped == leg.attribute_map.end()) {
+      row.reserve(sources.size());
+      for (const std::string* source : sources) {
+        if (source == nullptr) {
           row.push_back(Value::Null());
           continue;
         }
         ECRINT_ASSIGN_OR_RETURN(
-            Value value,
-            store.GetValue(id, leg.component.object, mapped->second));
+            Value value, store.GetValue(id, leg.component.object, *source));
         row.push_back(std::move(value));
       }
       result.rows.push_back(std::move(row));

@@ -4,6 +4,31 @@
 
 namespace ecrint::data {
 
+InstanceStore::InstanceStore(const ecr::Schema* schema) : schema_(schema) {
+  // Intern every attribute list up front, in declaration order, so the
+  // interned id doubles as the value slot: all later name lookups are O(1)
+  // probes instead of linear scans or string-map walks.
+  object_attribute_ids_.resize(static_cast<size_t>(schema_->num_objects()));
+  for (ecr::ObjectId i = 0; i < schema_->num_objects(); ++i) {
+    common::StringInterner& ids =
+        object_attribute_ids_[static_cast<size_t>(i)];
+    ids.Reserve(schema_->object(i).attributes.size());
+    for (const ecr::Attribute& a : schema_->object(i).attributes) {
+      ids.Intern(a.name);
+    }
+  }
+  relationship_attribute_ids_.resize(
+      static_cast<size_t>(schema_->num_relationships()));
+  for (ecr::RelationshipId r = 0; r < schema_->num_relationships(); ++r) {
+    common::StringInterner& ids =
+        relationship_attribute_ids_[static_cast<size_t>(r)];
+    ids.Reserve(schema_->relationship(r).attributes.size());
+    for (const ecr::Attribute& a : schema_->relationship(r).attributes) {
+      ids.Intern(a.name);
+    }
+  }
+}
+
 Result<ecr::ObjectId> InstanceStore::ResolveObject(
     const std::string& name) const {
   ecr::ObjectId id = schema_->FindObject(name);
@@ -14,27 +39,51 @@ Result<ecr::ObjectId> InstanceStore::ResolveObject(
   return id;
 }
 
-Status InstanceStore::CheckValues(
+Result<std::vector<std::pair<int, Value>>> InstanceStore::CheckValues(
     const std::vector<ecr::Attribute>& attributes,
+    const common::StringInterner& ids,
     const std::vector<std::pair<std::string, Value>>& values,
     const std::string& owner) const {
+  std::vector<std::pair<int, Value>> resolved;
+  resolved.reserve(values.size());
   for (const auto& [name, value] : values) {
-    const ecr::Attribute* found = nullptr;
-    for (const ecr::Attribute& a : attributes) {
-      if (a.name == name) found = &a;
-    }
-    if (found == nullptr) {
+    int ordinal = ids.Find(name);
+    if (ordinal < 0) {
       return NotFoundError("'" + owner + "' has no own attribute '" + name +
                            "'");
     }
-    if (!value.Matches(found->domain)) {
+    const ecr::Attribute& found = attributes[static_cast<size_t>(ordinal)];
+    if (!value.Matches(found.domain)) {
       return InvalidArgumentError("value " + value.ToString() +
                                   " does not fit domain " +
-                                  found->domain.ToString() + " of '" +
+                                  found.domain.ToString() + " of '" +
                                   owner + "." + name + "'");
     }
+    resolved.push_back({ordinal, value});
   }
-  return Status::Ok();
+  return resolved;
+}
+
+void InstanceStore::StoreValues(
+    ecr::ObjectId object, EntityId id, size_t num_attributes,
+    const std::vector<std::pair<int, Value>>& resolved) {
+  std::vector<Value>& stored = values_[{object, id}];
+  if (stored.size() < num_attributes) {
+    stored.resize(num_attributes, Value::Null());
+  }
+  for (const auto& [ordinal, value] : resolved) {
+    stored[static_cast<size_t>(ordinal)] = value;
+  }
+}
+
+Value InstanceStore::StoredValue(ecr::ObjectId object, EntityId id,
+                                 int ordinal) const {
+  auto it = values_.find({object, id});
+  if (it == values_.end() || ordinal < 0 ||
+      ordinal >= static_cast<int>(it->second.size())) {
+    return Value::Null();
+  }
+  return it->second[static_cast<size_t>(ordinal)];
 }
 
 Result<EntityId> InstanceStore::Insert(
@@ -47,24 +96,26 @@ Result<EntityId> InstanceStore::Insert(
         "'" + entity_set + "' is a category; Insert into its root entity "
         "set and use AddToCategory");
   }
-  ECRINT_RETURN_IF_ERROR(CheckValues(object.attributes, values, entity_set));
+  const common::StringInterner& ids =
+      object_attribute_ids_[static_cast<size_t>(id)];
+  ECRINT_ASSIGN_OR_RETURN(
+      auto resolved,
+      CheckValues(object.attributes, ids, values, entity_set));
 
   // Key uniqueness within the entity set.
   for (const ecr::Attribute& a : object.attributes) {
     if (!a.is_key) continue;
+    int ordinal = ids.Find(a.name);
     const Value* incoming = nullptr;
-    for (const auto& [name, value] : values) {
-      if (name == a.name) incoming = &value;
+    for (const auto& [slot, value] : resolved) {
+      if (slot == ordinal) incoming = &value;
     }
     if (incoming == nullptr || incoming->is_null()) {
       return InvalidArgumentError("key attribute '" + a.name +
                                   "' of '" + entity_set + "' needs a value");
     }
     for (EntityId existing : MembersOf(entity_set)) {
-      auto it = values_.find({id, existing});
-      if (it == values_.end()) continue;
-      auto vit = it->second.find(a.name);
-      if (vit != it->second.end() && vit->second == *incoming) {
+      if (StoredValue(id, existing, ordinal) == *incoming) {
         return AlreadyExistsError("duplicate key " + incoming->ToString() +
                                   " for '" + entity_set + "." + a.name +
                                   "'");
@@ -75,8 +126,7 @@ Result<EntityId> InstanceStore::Insert(
   EntityId entity = static_cast<EntityId>(owner_.size());
   owner_.push_back(id);
   members_[id].insert(entity);
-  std::map<std::string, Value>& stored = values_[{id, entity}];
-  for (const auto& [name, value] : values) stored[name] = value;
+  StoreValues(id, entity, object.attributes.size(), resolved);
   return entity;
 }
 
@@ -99,10 +149,13 @@ Status InstanceStore::AddToCategory(
           schema_->object(parent).name + "' of category '" + category + "'");
     }
   }
-  ECRINT_RETURN_IF_ERROR(CheckValues(object.attributes, values, category));
+  ECRINT_ASSIGN_OR_RETURN(
+      auto resolved,
+      CheckValues(object.attributes,
+                  object_attribute_ids_[static_cast<size_t>(cid)], values,
+                  category));
   members_[cid].insert(id);
-  std::map<std::string, Value>& stored = values_[{cid, id}];
-  for (const auto& [name, value] : values) stored[name] = value;
+  StoreValues(cid, id, object.attributes.size(), resolved);
   return Status::Ok();
 }
 
@@ -115,9 +168,13 @@ Status InstanceStore::SetValue(EntityId id, const std::string& object_class,
                                    " is not a member of '" + object_class +
                                    "'");
   }
-  ECRINT_RETURN_IF_ERROR(CheckValues(schema_->object(oid).attributes,
-                                     {{attribute, value}}, object_class));
-  values_[{oid, id}][attribute] = value;
+  const ecr::ObjectClass& object = schema_->object(oid);
+  ECRINT_ASSIGN_OR_RETURN(
+      auto resolved,
+      CheckValues(object.attributes,
+                  object_attribute_ids_[static_cast<size_t>(oid)],
+                  {{attribute, value}}, object_class));
+  StoreValues(oid, id, object.attributes.size(), resolved);
   return Status::Ok();
 }
 
@@ -146,10 +203,17 @@ Status InstanceStore::Connect(
           std::to_string(i) + " of '" + relationship + "')");
     }
   }
-  ECRINT_RETURN_IF_ERROR(CheckValues(rel.attributes, values, relationship));
+  ECRINT_ASSIGN_OR_RETURN(
+      auto resolved,
+      CheckValues(rel.attributes,
+                  relationship_attribute_ids_[static_cast<size_t>(rid)],
+                  values, relationship));
   RelationshipInstance instance;
   instance.participants = participants;
-  for (const auto& [name, value] : values) instance.values[name] = value;
+  instance.values.assign(rel.attributes.size(), Value::Null());
+  for (const auto& [ordinal, value] : resolved) {
+    instance.values[static_cast<size_t>(ordinal)] = value;
+  }
   relationship_instances_[rid].push_back(std::move(instance));
   return Status::Ok();
 }
@@ -187,13 +251,9 @@ Result<Value> InstanceStore::GetValue(EntityId id,
     ecr::ObjectId node = stack.back();
     stack.pop_back();
     if (!seen.insert(node).second) continue;
-    for (const ecr::Attribute& a : schema_->object(node).attributes) {
-      if (a.name != attribute) continue;
-      auto it = values_.find({node, id});
-      if (it == values_.end()) return Value::Null();
-      auto vit = it->second.find(attribute);
-      return vit == it->second.end() ? Value::Null() : vit->second;
-    }
+    int ordinal =
+        object_attribute_ids_[static_cast<size_t>(node)].Find(attribute);
+    if (ordinal >= 0) return StoredValue(node, id, ordinal);
     for (ecr::ObjectId parent : schema_->object(node).parents) {
       stack.push_back(parent);
     }
@@ -241,16 +301,15 @@ std::vector<std::string> InstanceStore::CheckIntegrity() const {
     const ecr::ObjectClass& object = schema_->object(i);
     for (const ecr::Attribute& a : object.attributes) {
       if (!a.is_key) continue;
+      int ordinal = object_attribute_ids_[static_cast<size_t>(i)].Find(a.name);
       std::set<Value> seen;
       auto mit = members_.find(i);
       if (mit == members_.end()) continue;
       for (EntityId id : mit->second) {
-        auto vit = values_.find({i, id});
-        if (vit == values_.end()) continue;
-        auto found = vit->second.find(a.name);
-        if (found == vit->second.end() || found->second.is_null()) continue;
-        if (!seen.insert(found->second).second) {
-          issues.push_back("duplicate key " + found->second.ToString() +
+        Value stored = StoredValue(i, id, ordinal);
+        if (stored.is_null()) continue;
+        if (!seen.insert(stored).second) {
+          issues.push_back("duplicate key " + stored.ToString() +
                            " in '" + object.name + "." + a.name + "'");
         }
       }

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/result.h"
 #include "ecr/schema.h"
 #include "data/value.h"
@@ -22,10 +23,14 @@ using EntityId = int;
 // own attributes; relationship instances connect member entities and carry
 // relationship attributes. This is the substrate that lets the integration
 // mappings be validated on actual data (federated query execution).
+//
+// Attribute values are stored by the attribute's ordinal within its owning
+// class (resolved through a per-class interned name table), so the schema's
+// attribute lists must not change for the store's lifetime.
 class InstanceStore {
  public:
-  // `schema` must outlive the store.
-  explicit InstanceStore(const ecr::Schema* schema) : schema_(schema) {}
+  // `schema` must outlive the store and keep its shape.
+  explicit InstanceStore(const ecr::Schema* schema);
 
   const ecr::Schema& schema() const { return *schema_; }
 
@@ -87,25 +92,43 @@ class InstanceStore {
  private:
   struct RelationshipInstance {
     std::vector<EntityId> participants;
-    std::map<std::string, Value> values;
+    // Own-attribute values by the attribute's ordinal in
+    // RelationshipSet::attributes; null == unset.
+    std::vector<Value> values;
   };
 
   Result<ecr::ObjectId> ResolveObject(const std::string& name) const;
 
-  // Validates names/types of `values` against `attributes`.
-  Status CheckValues(
+  // Validates names/types of `values` against `attributes` (whose name
+  // table is `ids`) and resolves every name to its ordinal.
+  Result<std::vector<std::pair<int, Value>>> CheckValues(
       const std::vector<ecr::Attribute>& attributes,
+      const common::StringInterner& ids,
       const std::vector<std::pair<std::string, Value>>& values,
       const std::string& owner) const;
 
+  // Writes resolved (ordinal, value) pairs into the slot vector of
+  // (object class, entity), growing it to `num_attributes` null slots.
+  void StoreValues(ecr::ObjectId object, EntityId id, size_t num_attributes,
+                   const std::vector<std::pair<int, Value>>& resolved);
+
+  // The stored value at `ordinal` for (object class, entity); null when the
+  // entity has no slots there or the slot was never written.
+  Value StoredValue(ecr::ObjectId object, EntityId id, int ordinal) const;
+
   const ecr::Schema* schema_;
+  // Attribute name -> ordinal, one table per object class / relationship
+  // set, interned in declaration order so the interned id IS the index into
+  // the class's attribute vector.
+  std::vector<common::StringInterner> object_attribute_ids_;
+  std::vector<common::StringInterner> relationship_attribute_ids_;
   // Entity -> owning entity set.
   std::vector<ecr::ObjectId> owner_;
   // Object class id -> member set (entity sets and categories alike).
   std::map<ecr::ObjectId, std::set<EntityId>> members_;
-  // (object class id, entity) -> values of that class's own attributes.
-  std::map<std::pair<ecr::ObjectId, EntityId>, std::map<std::string, Value>>
-      values_;
+  // (object class id, entity) -> that class's own-attribute values by
+  // attribute ordinal (null == unset).
+  std::map<std::pair<ecr::ObjectId, EntityId>, std::vector<Value>> values_;
   std::map<ecr::RelationshipId, std::vector<RelationshipInstance>>
       relationship_instances_;
 };

@@ -1,66 +1,86 @@
 #include "ecr/catalog.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/strings.h"
 
 namespace ecrint::ecr {
 
-Result<Schema*> Catalog::CreateSchema(const std::string& name) {
+Catalog& Catalog::operator=(const Catalog& other) {
+  if (this == &other) return *this;
+  names_ = other.names_;
+  order_ = other.order_;
+  next_order_ = other.next_order_;
+  size_ = other.size_;
+  schemas_.clear();
+  schemas_.reserve(other.schemas_.size());
+  for (const std::unique_ptr<Schema>& schema : other.schemas_) {
+    schemas_.push_back(schema ? std::make_unique<Schema>(*schema) : nullptr);
+  }
+  return *this;
+}
+
+Result<int> Catalog::ClaimSlot(const std::string& name) {
   if (!IsIdentifier(name)) {
     return InvalidArgumentError("'" + name + "' is not a valid schema name");
   }
-  if (schemas_.count(name)) {
+  int id = names_.Intern(name);
+  if (static_cast<size_t>(id) >= schemas_.size()) {
+    schemas_.resize(static_cast<size_t>(id) + 1);
+    order_.resize(static_cast<size_t>(id) + 1, 0);
+  }
+  if (schemas_[static_cast<size_t>(id)]) {
     return AlreadyExistsError("schema '" + name + "' already defined");
   }
-  auto [it, inserted] = schemas_.emplace(name, Schema(name));
-  (void)inserted;
-  index_[name] = next_order_++;
-  return &it->second;
+  order_[static_cast<size_t>(id)] = next_order_++;
+  ++size_;
+  return id;
+}
+
+Result<Schema*> Catalog::CreateSchema(const std::string& name) {
+  ECRINT_ASSIGN_OR_RETURN(int id, ClaimSlot(name));
+  schemas_[static_cast<size_t>(id)] = std::make_unique<Schema>(name);
+  return schemas_[static_cast<size_t>(id)].get();
 }
 
 Status Catalog::AddSchema(Schema schema) {
-  if (!IsIdentifier(schema.name())) {
-    return InvalidArgumentError("'" + schema.name() +
-                                "' is not a valid schema name");
-  }
-  if (schemas_.count(schema.name())) {
-    return AlreadyExistsError("schema '" + schema.name() +
-                              "' already defined");
-  }
-  index_[schema.name()] = next_order_++;
-  schemas_.emplace(schema.name(), std::move(schema));
+  ECRINT_ASSIGN_OR_RETURN(int id, ClaimSlot(schema.name()));
+  schemas_[static_cast<size_t>(id)] =
+      std::make_unique<Schema>(std::move(schema));
   return Status::Ok();
 }
 
 Status Catalog::DropSchema(const std::string& name) {
-  if (schemas_.erase(name) == 0) {
-    return NotFoundError("no schema '" + name + "'");
-  }
-  index_.erase(name);
+  int id = IndexOf(name);
+  if (id < 0) return NotFoundError("no schema '" + name + "'");
+  schemas_[static_cast<size_t>(id)].reset();
+  --size_;
   return Status::Ok();
 }
 
 Result<const Schema*> Catalog::GetSchema(const std::string& name) const {
-  auto it = schemas_.find(name);
-  if (it == schemas_.end()) return NotFoundError("no schema '" + name + "'");
-  return &it->second;
+  int id = IndexOf(name);
+  if (id < 0) return NotFoundError("no schema '" + name + "'");
+  return schemas_[static_cast<size_t>(id)].get();
 }
 
 Result<Schema*> Catalog::GetMutableSchema(const std::string& name) {
-  auto it = schemas_.find(name);
-  if (it == schemas_.end()) return NotFoundError("no schema '" + name + "'");
-  return &it->second;
+  int id = IndexOf(name);
+  if (id < 0) return NotFoundError("no schema '" + name + "'");
+  return schemas_[static_cast<size_t>(id)].get();
 }
 
 std::vector<std::string> Catalog::SchemaNames() const {
-  std::vector<std::pair<int, std::string>> ordered;
-  ordered.reserve(index_.size());
-  for (const auto& [name, order] : index_) ordered.emplace_back(order, name);
+  std::vector<std::pair<int, int>> ordered;  // (definition order, slot id)
+  ordered.reserve(static_cast<size_t>(size_));
+  for (size_t id = 0; id < schemas_.size(); ++id) {
+    if (schemas_[id]) ordered.emplace_back(order_[id], static_cast<int>(id));
+  }
   std::sort(ordered.begin(), ordered.end());
   std::vector<std::string> out;
   out.reserve(ordered.size());
-  for (auto& [order, name] : ordered) out.push_back(std::move(name));
+  for (const auto& [order, id] : ordered) out.push_back(names_.KeyOf(id));
   return out;
 }
 

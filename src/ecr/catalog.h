@@ -1,10 +1,11 @@
 #ifndef ECRINT_ECR_CATALOG_H_
 #define ECRINT_ECR_CATALOG_H_
 
-#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/result.h"
 #include "ecr/schema.h"
 
@@ -13,9 +14,20 @@ namespace ecrint::ecr {
 // The tool's working set of component schemas (the paper's phase-1 "Schema
 // Name Collection" registry). A user can define any number of schemas; the
 // integration phases pick two (or, with the n-ary driver, more) of them.
+//
+// Schema names are interned to dense ids: a name resolves to its slot with
+// one hash probe instead of a std::map walk, and each schema lives behind a
+// stable unique_ptr so Schema* handed out by CreateSchema/GetMutableSchema
+// stay valid until DropSchema. A dropped name keeps its id; re-adding the
+// schema reuses the slot with a fresh definition-order stamp, so
+// SchemaNames() lists it last, exactly as the map-based registry did.
 class Catalog {
  public:
   Catalog() = default;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+  Catalog(const Catalog& other) { *this = other; }
+  Catalog& operator=(const Catalog& other);
 
   // Registers an empty schema under `name`.
   Result<Schema*> CreateSchema(const std::string& name);
@@ -26,10 +38,8 @@ class Catalog {
   // Removes the named schema (the Schema Name Collection Screen's delete).
   Status DropSchema(const std::string& name);
 
-  bool Contains(const std::string& name) const {
-    return index_.count(name) > 0;
-  }
-  int size() const { return static_cast<int>(schemas_.size()); }
+  bool Contains(const std::string& name) const { return IndexOf(name) >= 0; }
+  int size() const { return size_; }
 
   Result<const Schema*> GetSchema(const std::string& name) const;
   Result<Schema*> GetMutableSchema(const std::string& name);
@@ -38,11 +48,22 @@ class Catalog {
   std::vector<std::string> SchemaNames() const;
 
  private:
-  // Stable storage: schemas are never moved once created, so Schema*
-  // returned from CreateSchema stays valid until DropSchema.
-  std::map<std::string, Schema> schemas_;
-  std::map<std::string, int> index_;  // insertion order for SchemaNames()
+  // The live slot id of `name`, or -1.
+  int IndexOf(const std::string& name) const {
+    int id = names_.Find(name);
+    if (id < 0 || !schemas_[static_cast<size_t>(id)]) return -1;
+    return id;
+  }
+
+  // Claims (and validates) the slot for `name`, or fails if taken.
+  Result<int> ClaimSlot(const std::string& name);
+
+  common::StringInterner names_;
+  // Indexed by interned name id; null marks a dropped schema.
+  std::vector<std::unique_ptr<Schema>> schemas_;
+  std::vector<int> order_;  // definition-order stamp, valid for live slots
   int next_order_ = 0;
+  int size_ = 0;
 };
 
 }  // namespace ecrint::ecr

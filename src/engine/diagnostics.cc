@@ -1,0 +1,52 @@
+#include "engine/diagnostics.h"
+
+#include <utility>
+
+#include "core/set_relation.h"
+
+namespace ecrint::engine {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "INFO";
+    case Severity::kWarning: return "WARNING";
+    case Severity::kError: return "ERROR";
+  }
+  return "ERROR";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = std::string(SeverityName(severity)) + " " + code + ": " +
+                    message;
+  for (const std::string& step : derivation) {
+    out += "\n    " + step;
+  }
+  return out;
+}
+
+Diagnostic ConflictDiagnostic(const core::ConflictReport& report) {
+  Diagnostic d;
+  d.code = "assertion-conflict";
+  d.severity = Severity::kError;
+  d.message = report.ToString();
+  d.objects = {report.conflict_first, report.conflict_second};
+  d.derivation.push_back(
+      std::string(report.existing_is_derived ? "derived" : "asserted") +
+      " constraint " + core::RelationSetToString(report.existing) + " on " +
+      report.conflict_first.ToString() + " / " +
+      report.conflict_second.ToString());
+  for (const core::Assertion& a : report.supporting) {
+    d.derivation.push_back(a.ToString());
+  }
+  return d;
+}
+
+Diagnostic StatusDiagnostic(std::string code, const Status& status) {
+  Diagnostic d;
+  d.code = std::move(code);
+  d.severity = Severity::kError;
+  d.message = status.message();
+  return d;
+}
+
+}  // namespace ecrint::engine

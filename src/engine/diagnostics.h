@@ -1,0 +1,43 @@
+#ifndef ECRINT_ENGINE_DIAGNOSTICS_H_
+#define ECRINT_ENGINE_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/assertion_store.h"
+#include "core/object_ref.h"
+
+namespace ecrint::engine {
+
+enum class Severity { kInfo, kWarning, kError };
+
+const char* SeverityName(Severity severity);
+
+// One structured engine finding: a stable machine-readable code, the
+// structures involved, and — for assertion conflicts — the derivation chain
+// the paper's Screen 9 lays out (the established constraint plus the user
+// assertions whose composition supports it). `message` stays byte-equal to
+// the legacy free-text status the frontends displayed, so screens built on
+// top of the engine render identically.
+struct Diagnostic {
+  std::string code;  // e.g. "assertion-conflict", "integration-failed"
+  Severity severity = Severity::kError;
+  std::string message;
+  std::vector<core::ObjectRef> objects;
+  std::vector<std::string> derivation;
+
+  // "<SEVERITY> <code>: <message>" plus indented derivation lines.
+  std::string ToString() const;
+};
+
+// Builds the Screen-9 diagnostic for a failed Assert/Constrain from the
+// store's structured conflict report.
+Diagnostic ConflictDiagnostic(const core::ConflictReport& report);
+
+// A generic error diagnostic wrapping a Status message.
+Diagnostic StatusDiagnostic(std::string code, const Status& status);
+
+}  // namespace ecrint::engine
+
+#endif  // ECRINT_ENGINE_DIAGNOSTICS_H_

@@ -1,0 +1,434 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "ecr/ddl_parser.h"
+
+namespace ecrint::engine {
+
+namespace {
+
+// Schemas that hold at least one member of the equivalence class of `path`.
+std::set<std::string> ClassSchemas(const core::EquivalenceMap& map,
+                                   const ecr::AttributePath& path) {
+  std::set<std::string> out;
+  for (const ecr::AttributePath& member : map.ClassMembers(path)) {
+    out.insert(member.schema);
+  }
+  return out;
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {}
+
+// ---------------------------------------------------------------------------
+// Phase 1: schema collection.
+// ---------------------------------------------------------------------------
+
+Result<std::vector<std::string>> Engine::DefineSchema(std::string_view ddl) {
+  PhaseTrace::Scope scope(trace_, "collect");
+  Result<std::vector<std::string>> names =
+      ecr::ParseInto(catalog_, std::string(ddl));
+  if (!names.ok()) {
+    AddDiagnostic(StatusDiagnostic("schema-parse-failed", names.status()));
+    return names;
+  }
+  trace_.Count("collect", "schemas_defined",
+               static_cast<int64_t>(names->size()));
+  MarkSchemasDirty();
+  return names;
+}
+
+Result<ecr::Schema*> Engine::CreateSchema(const std::string& name) {
+  PhaseTrace::Scope scope(trace_, "collect");
+  Result<ecr::Schema*> schema = catalog_.CreateSchema(name);
+  if (schema.ok()) MarkSchemasDirty();
+  return schema;
+}
+
+Status Engine::AddSchema(ecr::Schema schema) {
+  PhaseTrace::Scope scope(trace_, "collect");
+  ECRINT_RETURN_IF_ERROR(catalog_.AddSchema(std::move(schema)));
+  MarkSchemasDirty();
+  return Status::Ok();
+}
+
+Status Engine::DropSchema(const std::string& name) {
+  PhaseTrace::Scope scope(trace_, "collect");
+  ECRINT_RETURN_IF_ERROR(catalog_.DropSchema(name));
+  MarkSchemasDirty();
+  return Status::Ok();
+}
+
+ecr::Catalog& Engine::MutableCatalog() {
+  MarkSchemasDirty();
+  return catalog_;
+}
+
+void Engine::MarkSchemasDirty() { ++schema_generation_; }
+
+// ---------------------------------------------------------------------------
+// Phase 2: attribute equivalence.
+// ---------------------------------------------------------------------------
+
+const core::EquivalenceMap& Engine::EnsureEquivalence() {
+  if (!equivalence_.has_value()) {
+    Status status = RebuildEquivalence();
+    if (!status.ok()) {
+      // Degenerate fallback (unregisterable catalog): an empty map, so
+      // queries answer "nothing equivalent" instead of failing.
+      equivalence_.emplace(*core::EquivalenceMap::Create(catalog_, {}));
+    }
+  }
+  return *equivalence_;
+}
+
+const core::EquivalenceMap& Engine::Equivalence() {
+  return EnsureEquivalence();
+}
+
+Status Engine::RebuildEquivalence() {
+  PhaseTrace::Scope scope(trace_, "equivalence");
+  Result<core::EquivalenceMap> map =
+      core::EquivalenceMap::Create(catalog_, catalog_.SchemaNames());
+  if (!map.ok()) return map.status();
+  equivalence_ = *std::move(map);
+  for (const EquivalenceEdit& edit : equivalence_log_) {
+    // Replays may reference attributes deleted since; ignore those.
+    if (edit.declare) {
+      (void)equivalence_->DeclareEquivalent(edit.first, edit.second);
+    } else {
+      (void)equivalence_->RemoveFromClass(edit.first);
+    }
+  }
+  trace_.Count("equivalence", "rebuilds");
+  InvalidateAllRanks();
+  return Status::Ok();
+}
+
+void Engine::ResetEquivalence() {
+  equivalence_.reset();
+  InvalidateAllRanks();
+}
+
+Status Engine::AssertEquivalence(const ecr::AttributePath& a,
+                                 const ecr::AttributePath& b) {
+  PhaseTrace::Scope scope(trace_, "equivalence");
+  EnsureEquivalence();
+  Status status = equivalence_->DeclareEquivalent(a, b);
+  if (!status.ok()) {
+    AddDiagnostic(StatusDiagnostic("equivalence-rejected", status));
+    return status;
+  }
+  equivalence_log_.push_back({true, a, b});
+  trace_.Count("equivalence", "declared");
+  // The merged class now contains both sides; only rankings between schemas
+  // it spans can have changed.
+  InvalidateRanksTouching(a);
+  return Status::Ok();
+}
+
+Status Engine::RetractEquivalence(const ecr::AttributePath& path) {
+  PhaseTrace::Scope scope(trace_, "equivalence");
+  EnsureEquivalence();
+  // The affected schema set is the class as it stands BEFORE the removal.
+  std::set<std::string> affected = ClassSchemas(*equivalence_, path);
+  Status status = equivalence_->RemoveFromClass(path);
+  if (!status.ok()) {
+    AddDiagnostic(StatusDiagnostic("equivalence-rejected", status));
+    return status;
+  }
+  equivalence_log_.push_back({false, path, {}});
+  trace_.Count("equivalence", "removed");
+  ++equivalence_generation_;
+  std::vector<RankCacheEntry> kept;
+  for (RankCacheEntry& entry : rank_cache_) {
+    if (affected.count(entry.schema1) && affected.count(entry.schema2)) {
+      trace_.Count("rank", "entries_invalidated");
+      continue;
+    }
+    entry.equivalence_generation = equivalence_generation_;
+    trace_.Count("rank", "entries_kept");
+    kept.push_back(std::move(entry));
+  }
+  rank_cache_ = std::move(kept);
+  return Status::Ok();
+}
+
+void Engine::InvalidateRanksTouching(const ecr::AttributePath& touched) {
+  ++equivalence_generation_;
+  std::set<std::string> affected = ClassSchemas(*equivalence_, touched);
+  std::vector<RankCacheEntry> kept;
+  for (RankCacheEntry& entry : rank_cache_) {
+    // A ranking changes only when the touched class has members in both of
+    // its schemas; anything else is provably unaffected and re-tagged.
+    if (affected.count(entry.schema1) && affected.count(entry.schema2)) {
+      trace_.Count("rank", "entries_invalidated");
+      continue;
+    }
+    entry.equivalence_generation = equivalence_generation_;
+    trace_.Count("rank", "entries_kept");
+    kept.push_back(std::move(entry));
+  }
+  rank_cache_ = std::move(kept);
+}
+
+void Engine::InvalidateAllRanks() {
+  ++equivalence_generation_;
+  rank_cache_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2/3 analysis.
+// ---------------------------------------------------------------------------
+
+Result<std::vector<core::ObjectPair>> Engine::RankedPairs(
+    const std::string& schema1, const std::string& schema2,
+    core::StructureKind kind, bool include_zero) {
+  PhaseTrace::Scope scope(trace_, "rank");
+  const core::EquivalenceMap& equivalence = EnsureEquivalence();
+  for (const RankCacheEntry& entry : rank_cache_) {
+    if (entry.schema1 == schema1 && entry.schema2 == schema2 &&
+        entry.kind == kind && entry.include_zero == include_zero &&
+        entry.schema_generation == schema_generation_ &&
+        entry.equivalence_generation == equivalence_generation_) {
+      trace_.Count("rank", "cache_hits");
+      return entry.pairs;
+    }
+  }
+  Result<std::vector<core::ObjectPair>> ranked = core::RankObjectPairs(
+      catalog_, equivalence, schema1, schema2, kind, include_zero);
+  if (!ranked.ok()) return ranked;
+  trace_.Count("rank", "recomputes");
+  trace_.Count("rank", "pairs_ranked", static_cast<int64_t>(ranked->size()));
+  rank_cache_.push_back({schema1, schema2, kind, include_zero,
+                         schema_generation_, equivalence_generation_,
+                         *ranked});
+  return ranked;
+}
+
+Result<std::vector<heuristics::EquivalenceSuggestion>> Engine::Suggest(
+    const std::string& schema1, const std::string& schema2,
+    const heuristics::SynonymDictionary& synonyms, double threshold,
+    double object_threshold, int max_results) {
+  PhaseTrace::Scope scope(trace_, "suggest");
+  Result<std::vector<heuristics::EquivalenceSuggestion>> suggestions =
+      heuristics::SuggestAttributeEquivalences(catalog_, schema1, schema2,
+                                               synonyms, threshold,
+                                               object_threshold, max_results);
+  if (suggestions.ok()) {
+    trace_.Count("suggest", "suggestions",
+                 static_cast<int64_t>(suggestions->size()));
+  }
+  return suggestions;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 3: assertions.
+// ---------------------------------------------------------------------------
+
+Result<core::ConflictReport> Engine::AssertRelation(
+    const core::ObjectRef& first, const core::ObjectRef& second,
+    core::AssertionType type) {
+  PhaseTrace::Scope scope(trace_, "assert");
+  Result<core::ConflictReport> result =
+      assertions_.Assert(first, second, type);
+  if (!result.ok()) {
+    trace_.Count("assert", "conflicts");
+    if (assertions_.last_conflict().has_value()) {
+      AddDiagnostic(ConflictDiagnostic(*assertions_.last_conflict()));
+    } else {
+      AddDiagnostic(StatusDiagnostic("assertion-conflict", result.status()));
+    }
+    return result;
+  }
+  trace_.Count("assert", "asserted");
+  return result;
+}
+
+Status Engine::RetractRelation(int index) {
+  PhaseTrace::Scope scope(trace_, "assert");
+  const std::vector<core::Assertion>& current = assertions_.user_assertions();
+  if (index < 0 || index >= static_cast<int>(current.size())) {
+    return InvalidArgumentError("no user assertion #" +
+                                std::to_string(index));
+  }
+  core::AssertionStore rebuilt;
+  for (int i = 0; i < static_cast<int>(current.size()); ++i) {
+    if (i == index) continue;
+    // A subset of a consistent assertion set stays consistent (constraints
+    // only ever intersect), so replay cannot conflict.
+    Result<core::ConflictReport> replayed = rebuilt.Assert(current[i]);
+    if (!replayed.ok()) {
+      return InternalError("assertion replay conflicted after retract: " +
+                           replayed.status().message());
+    }
+  }
+  assertions_ = std::move(rebuilt);
+  ++assertion_epoch_;  // non-append change: seeded closure no longer extends
+  trace_.Count("assert", "retracted");
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Phase 4: integration.
+// ---------------------------------------------------------------------------
+
+Result<const core::IntegrationResult*> Engine::Integrate(
+    std::vector<std::string> schemas) {
+  PhaseTrace::Scope scope(trace_, "integrate");
+  std::vector<std::string> names =
+      schemas.empty() ? catalog_.SchemaNames() : std::move(schemas);
+  int log_size = static_cast<int>(assertions_.user_assertions().size());
+
+  if (integration_.has_value() && integrated_schemas_ == names &&
+      integrated_schema_generation_ == schema_generation_ &&
+      integrated_equivalence_generation_ == equivalence_generation_ &&
+      integrated_assertion_epoch_ == assertion_epoch_ &&
+      integrated_log_pos_ == log_size) {
+    trace_.Count("integrate", "cache_hits");
+    return &*integration_;
+  }
+
+  const core::EquivalenceMap& equivalence = EnsureEquivalence();
+
+  // Try to extend the cached seeded closure: valid when the schema layer is
+  // unchanged and the assertion log is an append-only extension of what the
+  // closure already absorbed. Closure confluence makes the extended store
+  // bit-equal (in its `possible` matrix) to a full replay.
+  bool incremental = options_.incremental && seeded_.has_value() &&
+                     seeded_schemas_ == names &&
+                     seeded_schema_generation_ == schema_generation_ &&
+                     seeded_assertion_epoch_ == assertion_epoch_ &&
+                     seeded_log_pos_ <= log_size;
+  if (incremental) {
+    const std::vector<core::Assertion>& log = assertions_.user_assertions();
+    for (int i = seeded_log_pos_; i < log_size; ++i) {
+      Result<core::ConflictReport> applied = seeded_->Assert(log[i]);
+      if (!applied.ok()) {
+        // The new assertion contradicts seeded schema structure. Fall back
+        // to the full path so the error (and blame order) is exactly what a
+        // from-scratch Integrate reports.
+        seeded_.reset();
+        incremental = false;
+        break;
+      }
+      ++seeded_log_pos_;
+    }
+  }
+
+  Result<core::IntegrationResult> result = InternalError("unreachable");
+  if (incremental) {
+    trace_.Count("integrate", "incremental_reuses");
+    result = core::IntegrateSeeded(catalog_, names, equivalence, *seeded_,
+                                   options_.integration);
+  } else {
+    trace_.Count("integrate", "full_rebuilds");
+    core::AssertionStore seeded = assertions_;
+    Status status = core::SeedForIntegration(seeded, catalog_, names,
+                                             options_.integration);
+    if (!status.ok()) {
+      integration_.reset();
+      seeded_.reset();
+      AddDiagnostic(StatusDiagnostic("integration-failed", status));
+      return status;
+    }
+    trace_.Count("integrate", "assertions_derived",
+                 static_cast<int64_t>(seeded.user_assertions().size()) -
+                     log_size);
+    seeded_ = std::move(seeded);
+    seeded_schemas_ = names;
+    seeded_schema_generation_ = schema_generation_;
+    seeded_assertion_epoch_ = assertion_epoch_;
+    seeded_log_pos_ = log_size;
+    result = core::IntegrateSeeded(catalog_, names, equivalence, *seeded_,
+                                   options_.integration);
+  }
+
+  if (!result.ok()) {
+    integration_.reset();
+    AddDiagnostic(StatusDiagnostic("integration-failed", result.status()));
+    return result.status();
+  }
+  integration_ = *std::move(result);
+  integrated_schemas_ = std::move(names);
+  integrated_schema_generation_ = schema_generation_;
+  integrated_equivalence_generation_ = equivalence_generation_;
+  integrated_assertion_epoch_ = assertion_epoch_;
+  integrated_log_pos_ = log_size;
+  trace_.Count("integrate", "clusters_built",
+               static_cast<int64_t>(integration_->object_clusters.size() +
+                                    integration_->relationship_clusters
+                                        .size()));
+  return &*integration_;
+}
+
+Status Engine::FullRebuild() {
+  seeded_.reset();
+  integration_.reset();
+  rank_cache_.clear();
+  ++schema_generation_;
+  ++assertion_epoch_;
+  trace_.Count("integrate", "explicit_full_rebuilds");
+  return RebuildEquivalence();
+}
+
+// ---------------------------------------------------------------------------
+// Request translation.
+// ---------------------------------------------------------------------------
+
+Result<core::Request> Engine::TranslateRequest(const core::Request& request) {
+  PhaseTrace::Scope scope(trace_, "translate");
+  if (!integration_.has_value()) {
+    return FailedPreconditionError(
+        "no integration result; run Integrate first");
+  }
+  return core::TranslateToIntegrated(*integration_, request);
+}
+
+Result<core::FanoutPlan> Engine::TranslateRequestToComponents(
+    const core::Request& request) {
+  PhaseTrace::Scope scope(trace_, "translate");
+  if (!integration_.has_value()) {
+    return FailedPreconditionError(
+        "no integration result; run Integrate first");
+  }
+  return core::TranslateToComponents(*integration_, request);
+}
+
+// ---------------------------------------------------------------------------
+// Persistence.
+// ---------------------------------------------------------------------------
+
+Status Engine::ImportProject(core::Project project) {
+  PhaseTrace::Scope scope(trace_, "project");
+  // Validate the decisions against the schemas before adopting anything.
+  ECRINT_RETURN_IF_ERROR(project.BuildEquivalence().status());
+  ECRINT_ASSIGN_OR_RETURN(core::AssertionStore store,
+                          project.BuildAssertions());
+  catalog_ = std::move(project.catalog);
+  equivalence_log_.clear();
+  for (auto& [a, b] : project.equivalences) {
+    equivalence_log_.push_back({true, std::move(a), std::move(b)});
+  }
+  assertions_ = std::move(store);
+  integration_.reset();
+  seeded_.reset();
+  MarkSchemasDirty();
+  ++assertion_epoch_;
+  return RebuildEquivalence();
+}
+
+std::string Engine::ExportProject() {
+  PhaseTrace::Scope scope(trace_, "project");
+  return core::SerializeProject(catalog_, EnsureEquivalence(), assertions_);
+}
+
+void Engine::AddDiagnostic(Diagnostic diagnostic) {
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+}  // namespace ecrint::engine

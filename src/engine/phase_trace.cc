@@ -1,0 +1,38 @@
+#include "engine/phase_trace.h"
+
+#include <cstdio>
+
+namespace ecrint::engine {
+
+namespace {
+
+std::string MsString(int64_t ns) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f",
+                static_cast<double>(ns) / 1e6);
+  return buffer;
+}
+
+}  // namespace
+
+std::string PhaseTrace::ToJson() const {
+  std::string out = "{\"phases\": {";
+  bool first_phase = true;
+  for (const auto& [name, stats] : phases_) {
+    if (!first_phase) out += ", ";
+    first_phase = false;
+    out += "\"" + name + "\": {\"calls\": " + std::to_string(stats.calls) +
+           ", \"wall_ms\": " + MsString(stats.wall_ns) + ", \"counters\": {";
+    bool first_counter = true;
+    for (const auto& [counter, value] : stats.counters) {
+      if (!first_counter) out += ", ";
+      first_counter = false;
+      out += "\"" + counter + "\": " + std::to_string(value);
+    }
+    out += "}}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace ecrint::engine

@@ -56,42 +56,15 @@ void Session::Fail(const Status& status) { message_ = status.ToString(); }
 
 void Session::Note(std::string message) { message_ = std::move(message); }
 
-Status Session::RebuildEquivalence() {
-  std::vector<std::string> names = catalog_.SchemaNames();
-  Result<core::EquivalenceMap> map =
-      core::EquivalenceMap::Create(catalog_, names);
-  if (!map.ok()) return map.status();
-  equivalence_ = *std::move(map);
-  for (const auto& [a, b] : declared_) {
-    // Replays may reference attributes deleted since; ignore those.
-    (void)equivalence_->DeclareEquivalent(a, b);
-  }
-  for (const ecr::AttributePath& path : removed_) {
-    (void)equivalence_->RemoveFromClass(path);
-  }
-  return Status::Ok();
-}
-
-core::EquivalenceMap& Session::Equivalence() {
-  if (!equivalence_.has_value()) {
-    Status status = RebuildEquivalence();
-    if (!status.ok()) {
-      equivalence_.emplace(*core::EquivalenceMap::Create(catalog_, {}));
-    }
-  }
-  return *equivalence_;
-}
-
 std::vector<core::ObjectPair> Session::RankedPairs() const {
-  if (!equivalence_.has_value() || schema1_.empty() || schema2_.empty()) {
+  if (!engine_.has_equivalence() || schema1_.empty() || schema2_.empty()) {
     return {};
   }
   // Zero-resemblance pairs are listed too (at the bottom) so the DDA can
   // assert over pairs with no equivalent attributes, e.g. attribute-less
   // relationship sets.
-  Result<std::vector<core::ObjectPair>> ranked = core::RankObjectPairs(
-      catalog_, *equivalence_, schema1_, schema2_, kind_,
-      /*include_zero=*/true);
+  Result<std::vector<core::ObjectPair>> ranked =
+      engine_.RankedPairs(schema1_, schema2_, kind_, /*include_zero=*/true);
   return ranked.ok() ? *std::move(ranked) : std::vector<core::ObjectPair>{};
 }
 
@@ -100,43 +73,31 @@ void Session::RunIntegration() {
   if (!schema1_.empty() && !schema2_.empty()) {
     names = {schema1_, schema2_};
   } else {
-    names = catalog_.SchemaNames();
+    names = engine_.catalog().SchemaNames();
   }
   if (names.empty()) {
     Note("no schemas defined; use task 1 first");
-    integration_.reset();
+    engine_.DiscardIntegration();
     return;
   }
-  Result<core::IntegrationResult> result = core::Integrate(
-      catalog_, names, Equivalence(), assertions_);
+  Result<const core::IntegrationResult*> result =
+      engine_.Integrate(std::move(names));
   if (!result.ok()) {
     Fail(result.status());
-    integration_.reset();
     return;
   }
-  integration_ = *std::move(result);
   view_object_.clear();
   view_relationship_.clear();
 }
 
 Status Session::ImportProject(core::Project project) {
-  // Validate the decisions against the schemas before adopting anything.
-  ECRINT_RETURN_IF_ERROR(project.BuildEquivalence().status());
-  ECRINT_ASSIGN_OR_RETURN(core::AssertionStore store,
-                          project.BuildAssertions());
-  catalog_ = std::move(project.catalog);
-  declared_ = std::move(project.equivalences);
-  removed_.clear();
-  assertions_ = std::move(store);
-  integration_.reset();
+  ECRINT_RETURN_IF_ERROR(engine_.ImportProject(std::move(project)));
   schema1_.clear();
   schema2_.clear();
-  return RebuildEquivalence();
+  return Status::Ok();
 }
 
-std::string Session::ExportProject() {
-  return core::SerializeProject(catalog_, Equivalence(), assertions_);
-}
+std::string Session::ExportProject() { return engine_.ExportProject(); }
 
 // ---------------------------------------------------------------------------
 // Input dispatch.
@@ -209,7 +170,7 @@ void Session::HandleMainMenu(const std::vector<std::string>& args) {
   if (choice == "2" || choice == "4") {
     kind_ = choice == "2" ? core::StructureKind::kObjectClass
                           : core::StructureKind::kRelationshipSet;
-    Status status = RebuildEquivalence();
+    Status status = engine_.RebuildEquivalence();
     if (!status.ok()) {
       Fail(status);
       return;
@@ -221,8 +182,8 @@ void Session::HandleMainMenu(const std::vector<std::string>& args) {
   if (choice == "3" || choice == "5") {
     kind_ = choice == "3" ? core::StructureKind::kObjectClass
                           : core::StructureKind::kRelationshipSet;
-    if (!equivalence_.has_value()) {
-      Status status = RebuildEquivalence();
+    if (!engine_.has_equivalence()) {
+      Status status = engine_.RebuildEquivalence();
       if (!status.ok()) {
         Fail(status);
         return;
@@ -235,7 +196,9 @@ void Session::HandleMainMenu(const std::vector<std::string>& args) {
   }
   if (choice == "6") {
     RunIntegration();
-    if (integration_.has_value()) screen_ = ScreenId::kObjectClassScreen;
+    if (engine_.integration().has_value()) {
+      screen_ = ScreenId::kObjectClassScreen;
+    }
     return;
   }
   Note("choose a task 1-6 or (E)xit");
@@ -245,12 +208,12 @@ void Session::HandleSchemaNameCollection(const std::vector<std::string>& args) {
   if (args.empty()) return;
   const std::string& op = args[0];
   if (op == "e" || op == "E") {
-    equivalence_.reset();  // schemas may have changed; rebuild on demand
+    engine_.ResetEquivalence();  // schemas may have changed; rebuild on demand
     screen_ = ScreenId::kMainMenu;
     return;
   }
   if ((op == "a" || op == "A") && args.size() == 2) {
-    Result<ecr::Schema*> schema = catalog_.CreateSchema(args[1]);
+    Result<ecr::Schema*> schema = engine_.CreateSchema(args[1]);
     if (!schema.ok()) {
       Fail(schema.status());
       return;
@@ -260,7 +223,7 @@ void Session::HandleSchemaNameCollection(const std::vector<std::string>& args) {
     return;
   }
   if ((op == "u" || op == "U") && args.size() == 2) {
-    if (!catalog_.Contains(args[1])) {
+    if (!engine_.catalog().Contains(args[1])) {
       Fail(NotFoundError("no schema '" + args[1] + "'"));
       return;
     }
@@ -269,7 +232,7 @@ void Session::HandleSchemaNameCollection(const std::vector<std::string>& args) {
     return;
   }
   if ((op == "d" || op == "D") && args.size() == 2) {
-    Status status = catalog_.DropSchema(args[1]);
+    Status status = engine_.DropSchema(args[1]);
     if (!status.ok()) Fail(status);
     return;
   }
@@ -286,7 +249,8 @@ void Session::HandleStructureCollection(const std::vector<std::string>& args) {
   if ((op == "a" || op == "A") && args.size() == 3) {
     const std::string& name = args[1];
     const std::string& type = args[2];
-    Result<ecr::Schema*> schema = catalog_.GetMutableSchema(edit_schema_);
+    Result<ecr::Schema*> schema =
+        engine_.MutableCatalog().GetMutableSchema(edit_schema_);
     if (!schema.ok()) {
       Fail(schema.status());
       return;
@@ -321,7 +285,8 @@ void Session::HandleStructureCollection(const std::vector<std::string>& args) {
 void Session::HandleCategoryInfo(const std::vector<std::string>& args) {
   if (args.empty()) return;
   if (args[0] == "e" || args[0] == "E") {
-    Result<ecr::Schema*> schema = catalog_.GetMutableSchema(edit_schema_);
+    Result<ecr::Schema*> schema =
+        engine_.MutableCatalog().GetMutableSchema(edit_schema_);
     if (!schema.ok()) {
       Fail(schema.status());
       screen_ = ScreenId::kStructureCollection;
@@ -354,7 +319,8 @@ void Session::HandleCategoryInfo(const std::vector<std::string>& args) {
 void Session::HandleRelationshipInfo(const std::vector<std::string>& args) {
   if (args.empty()) return;
   if (args[0] == "e" || args[0] == "E") {
-    Result<ecr::Schema*> schema = catalog_.GetMutableSchema(edit_schema_);
+    Result<ecr::Schema*> schema =
+        engine_.MutableCatalog().GetMutableSchema(edit_schema_);
     if (!schema.ok()) {
       Fail(schema.status());
       screen_ = ScreenId::kStructureCollection;
@@ -420,7 +386,8 @@ void Session::HandleAttributeCollection(const std::vector<std::string>& args,
     Fail(domain.status());
     return;
   }
-  Result<ecr::Schema*> schema = catalog_.GetMutableSchema(edit_schema_);
+  Result<ecr::Schema*> schema =
+      engine_.MutableCatalog().GetMutableSchema(edit_schema_);
   if (!schema.ok()) {
     Fail(schema.status());
     return;
@@ -450,8 +417,8 @@ void Session::HandleSchemaNameSelection(const std::vector<std::string>& args) {
     Note("enter: <schema1> <schema2>, or (E) to cancel");
     return;
   }
-  if (!catalog_.Contains(args[0]) || !catalog_.Contains(args[1]) ||
-      args[0] == args[1]) {
+  if (!engine_.catalog().Contains(args[0]) ||
+      !engine_.catalog().Contains(args[1]) || args[0] == args[1]) {
     Note("need two distinct existing schemas");
     return;
   }
@@ -472,8 +439,8 @@ void Session::HandleObjectNameSelection(const std::vector<std::string>& args) {
   }
   pair_first_ = {schema1_, args[0]};
   pair_second_ = {schema2_, args[1]};
-  if (Equivalence().AttributesOf(pair_first_).empty() &&
-      Equivalence().AttributesOf(pair_second_).empty()) {
+  if (engine_.Equivalence().AttributesOf(pair_first_).empty() &&
+      engine_.Equivalence().AttributesOf(pair_second_).empty()) {
     Note("unknown structures or no attributes to relate");
     return;
   }
@@ -490,24 +457,16 @@ void Session::HandleEquivalenceEditor(const std::vector<std::string>& args) {
   if ((op == "a" || op == "A") && args.size() == 3) {
     ecr::AttributePath a{pair_first_.schema, pair_first_.object, args[1]};
     ecr::AttributePath b{pair_second_.schema, pair_second_.object, args[2]};
-    Status status = Equivalence().DeclareEquivalent(a, b);
-    if (!status.ok()) {
-      Fail(status);
-      return;
-    }
-    declared_.emplace_back(a, b);
+    Status status = engine_.AssertEquivalence(a, b);
+    if (!status.ok()) Fail(status);
     return;
   }
   if ((op == "d" || op == "D") && args.size() == 3) {
     const std::string& side = args[1];
     core::ObjectRef ref = side == "1" ? pair_first_ : pair_second_;
     ecr::AttributePath path{ref.schema, ref.object, args[2]};
-    Status status = Equivalence().RemoveFromClass(path);
-    if (!status.ok()) {
-      Fail(status);
-      return;
-    }
-    removed_.push_back(path);
+    Status status = engine_.RetractEquivalence(path);
+    if (!status.ok()) Fail(status);
     return;
   }
   Note("choose (A)dd <attr1> <attr2>, (D)elete <1|2> <attr>, (E)xit");
@@ -537,7 +496,7 @@ void Session::HandleAssertionCollection(const std::vector<std::string>& args) {
   }
   const core::ObjectPair& pair = ranked[row - 1];
   Result<core::ConflictReport> result =
-      assertions_.Assert(pair.first, pair.second, *type);
+      engine_.AssertRelation(pair.first, pair.second, *type);
   if (!result.ok()) {
     conflict_text_ = result.status().message();
     screen_ = ScreenId::kAssertionConflict;
@@ -550,7 +509,7 @@ void Session::HandleViewing(const std::vector<std::string>& args) {
   // An empty line is a keypress too: the press-any-key screens advance on
   // it, the menu screens fall through to their usage note.
   const std::string op = args.empty() ? "" : args[0];
-  const core::IntegrationResult& result = *integration_;
+  const core::IntegrationResult& result = *engine_.integration();
   const ecr::Schema& s = result.schema;
 
   switch (screen_) {
@@ -736,7 +695,7 @@ std::string Session::RenderSchemaNameCollection() const {
   screen.Put(4, 2, "SCHEMAS DEFINED:");
   int row = 5;
   int index = 1;
-  for (const std::string& name : catalog_.SchemaNames()) {
+  for (const std::string& name : engine_.catalog().SchemaNames()) {
     screen.Put(row++, 4, std::to_string(index++) + "> " + name);
     if (row >= kRows - 4) break;
   }
@@ -751,7 +710,7 @@ std::string Session::RenderStructureCollection() const {
   Screen screen = Frame("Structure Information Collection Screen");
   screen.Put(4, 2, "SCHEMA NAME: " + edit_schema_);
   std::vector<std::vector<std::string>> rows;
-  Result<const ecr::Schema*> schema = catalog_.GetSchema(edit_schema_);
+  Result<const ecr::Schema*> schema = engine_.catalog().GetSchema(edit_schema_);
   if (schema.ok()) {
     int index = 1;
     for (ecr::ObjectId i = 0; i < (*schema)->num_objects(); ++i) {
@@ -808,7 +767,7 @@ std::string Session::RenderRelationshipInfo() const {
 
 std::string Session::RenderAttributeCollection() const {
   Screen screen = Frame("Attribute Information Collection Screen");
-  Result<const ecr::Schema*> schema = catalog_.GetSchema(edit_schema_);
+  Result<const ecr::Schema*> schema = engine_.catalog().GetSchema(edit_schema_);
   std::string type = edit_is_relationship_ ? "r" : "e";
   std::vector<std::vector<std::string>> rows;
   if (schema.ok()) {
@@ -848,7 +807,7 @@ std::string Session::RenderSchemaNameSelection() const {
   Screen screen = Frame("Schema Name Selection Screen");
   screen.Put(4, 2, "SCHEMAS DEFINED:");
   int row = 5;
-  for (const std::string& name : catalog_.SchemaNames()) {
+  for (const std::string& name : engine_.catalog().SchemaNames()) {
     screen.Put(row++, 4, name);
     if (row >= kRows - 4) break;
   }
@@ -866,7 +825,8 @@ std::string Session::RenderObjectNameSelection() const {
   Screen screen = Frame(subtitle);
   auto list = [&](const std::string& schema_name, int col) {
     screen.Put(4, col, "schema: " + schema_name);
-    Result<const ecr::Schema*> schema = catalog_.GetSchema(schema_name);
+    Result<const ecr::Schema*> schema =
+        engine_.catalog().GetSchema(schema_name);
     if (!schema.ok()) return;
     int row = 6;
     if (kind_ == core::StructureKind::kObjectClass) {
@@ -899,8 +859,8 @@ std::string Session::RenderEquivalenceEditor() const {
   auto list = [&](const core::ObjectRef& ref, int col) {
     screen.Put(4, col, ref.ToString());
     std::vector<core::AttributeClassEntry> entries =
-        equivalence_.has_value()
-            ? equivalence_->EntriesFor(ref)
+        engine_.has_equivalence()
+            ? engine_.equivalence().EntriesFor(ref)
             : std::vector<core::AttributeClassEntry>{};
     std::vector<std::vector<std::string>> rows;
     int index = 1;
@@ -926,7 +886,7 @@ std::string Session::RenderAssertionCollection() const {
   int index = 1;
   for (const core::ObjectPair& pair : ranked) {
     std::string current = "=>";
-    for (const core::Assertion& a : assertions_.user_assertions()) {
+    for (const core::Assertion& a : engine_.assertions().user_assertions()) {
       if ((a.first == pair.first && a.second == pair.second) ||
           (a.first == pair.second && a.second == pair.first)) {
         current = "=>" + std::to_string(core::AssertionTypeCode(a.type));
@@ -945,9 +905,9 @@ std::string Session::RenderAssertionCollection() const {
   // Section-4 extension: domain-derived hints for pairs whose keys the DDA
   // declared equivalent (closed-world reading of the key domains).
   if (kind_ == core::StructureKind::kObjectClass &&
-      equivalence_.has_value()) {
+      engine_.has_equivalence()) {
     Result<std::vector<core::AssertionHint>> hints = core::HintAssertions(
-        catalog_, *equivalence_, schema1_, schema2_);
+        engine_.catalog(), engine_.equivalence(), schema1_, schema2_);
     if (hints.ok() && !hints->empty()) {
       int hint_row = 5 + 2 + static_cast<int>(rows.size());
       for (const core::AssertionHint& hint : *hints) {
@@ -1005,11 +965,11 @@ std::string Session::RenderAssertionConflict() const {
 
 std::string Session::RenderObjectClassScreen() const {
   Screen screen = ViewFrame("Object Class Screen");
-  if (!integration_.has_value()) {
+  if (!engine_.integration().has_value()) {
     screen.Put(5, 2, "no integration result");
     return screen.Render();
   }
-  const ecr::Schema& s = integration_->schema;
+  const ecr::Schema& s = engine_.integration()->schema;
   std::vector<std::string> entities;
   std::vector<std::string> categories;
   for (ecr::ObjectId i = 0; i < s.num_objects(); ++i) {
@@ -1050,7 +1010,7 @@ std::string Session::RenderObjectClassScreen() const {
 
 std::string Session::RenderEntityScreen() const {
   Screen screen = ViewFrame("Entity Screen");
-  const ecr::Schema& s = integration_->schema;
+  const ecr::Schema& s = engine_.integration()->schema;
   ecr::ObjectId id = s.FindObject(view_object_);
   screen.PutCentered(4, "< " + view_object_ + " >");
   if (id != ecr::kNoObject) {
@@ -1071,7 +1031,7 @@ std::string Session::RenderEntityScreen() const {
 
 std::string Session::RenderCategoryScreen() const {
   Screen screen = ViewFrame("Category Screen");
-  const ecr::Schema& s = integration_->schema;
+  const ecr::Schema& s = engine_.integration()->schema;
   ecr::ObjectId id = s.FindObject(view_object_);
   screen.PutCentered(4, "< " + view_object_ + " >");
   if (id != ecr::kNoObject) {
@@ -1105,7 +1065,7 @@ std::string Session::RenderCategoryScreen() const {
 
 std::string Session::RenderRelationshipScreen() const {
   Screen screen = ViewFrame("Relationship Screen");
-  const ecr::Schema& s = integration_->schema;
+  const ecr::Schema& s = engine_.integration()->schema;
   ecr::RelationshipId id = s.FindRelationship(view_relationship_);
   screen.PutCentered(4, "< " + view_relationship_ + " >");
   if (id >= 0) {
@@ -1134,7 +1094,7 @@ std::string Session::RenderRelationshipScreen() const {
 
 std::string Session::RenderAttributeScreen() const {
   Screen screen = ViewFrame("Attribute Screen");
-  const ecr::Schema& s = integration_->schema;
+  const ecr::Schema& s = engine_.integration()->schema;
   ecr::ObjectId id = s.FindObject(view_object_);
   if (id != ecr::kNoObject) {
     screen.PutCentered(
@@ -1142,8 +1102,8 @@ std::string Session::RenderAttributeScreen() const {
                ecr::ObjectKindName(s.object(id).kind) + " >");
     std::vector<std::vector<std::string>> rows;
     for (const ecr::Attribute& a : s.object(id).attributes) {
-      bool derived =
-          integration_->FindDerivedAttribute(view_object_, a.name) != nullptr;
+      bool derived = engine_.integration()->FindDerivedAttribute(
+                         view_object_, a.name) != nullptr;
       rows.push_back({a.name, a.domain.ToString(), a.is_key ? "YES" : "NO",
                       derived ? "derived" : ""});
     }
@@ -1164,8 +1124,9 @@ std::string Session::RenderAttributeScreen() const {
 std::string Session::RenderComponentAttributeScreen() const {
   Screen screen = ViewFrame("Component Attribute Screen");
   const core::DerivedAttributeInfo* info =
-      integration_->FindDerivedAttribute(view_object_, view_attribute_);
-  const ecr::Schema& s = integration_->schema;
+      engine_.integration()->FindDerivedAttribute(view_object_,
+                                                  view_attribute_);
+  const ecr::Schema& s = engine_.integration()->schema;
   ecr::ObjectId id = s.FindObject(view_object_);
   if (id != ecr::kNoObject) {
     screen.PutCentered(
@@ -1181,7 +1142,8 @@ std::string Session::RenderComponentAttributeScreen() const {
     std::string domain = "?";
     std::string key = "?";
     std::string type = "?";
-    Result<const ecr::Schema*> source = catalog_.GetSchema(component.schema);
+    Result<const ecr::Schema*> source =
+        engine_.catalog().GetSchema(component.schema);
     if (source.ok()) {
       ecr::ObjectId oid = (*source)->FindObject(component.object);
       const std::vector<ecr::Attribute>* attrs = nullptr;
@@ -1231,7 +1193,7 @@ std::string Session::RenderEquivalentScreen() const {
                          : view_object_;
   screen.PutCentered(4, "< " + name + " >");
   const core::IntegratedStructureInfo* info =
-      integration_->FindStructure(name);
+      engine_.integration()->FindStructure(name);
   int row = 6;
   if (info != nullptr) {
     screen.Put(row++, 2, "integrated from:");
@@ -1249,7 +1211,7 @@ std::string Session::RenderEquivalentScreen() const {
 
 std::string Session::RenderParticipatingScreen() const {
   Screen screen = ViewFrame("Participating Objects In Relationship Screen");
-  const ecr::Schema& s = integration_->schema;
+  const ecr::Schema& s = engine_.integration()->schema;
   ecr::RelationshipId id = s.FindRelationship(view_relationship_);
   screen.PutCentered(4, "< " + view_relationship_ + " >");
   if (id >= 0) {

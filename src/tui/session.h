@@ -10,10 +10,10 @@
 #include "core/assertion_store.h"
 #include "core/equivalence.h"
 #include "core/integration_result.h"
-#include "core/integrator.h"
 #include "core/object_ref.h"
 #include "core/project_io.h"
 #include "core/resemblance.h"
+#include "engine/engine.h"
 
 namespace ecrint::tui {
 
@@ -54,6 +54,10 @@ enum class ScreenId {
 // Input conventions (shown in each frame's bottom menu): single-letter menu
 // choices, names separated by spaces, 'e' to leave a form, 'x' to leave the
 // viewing phase.
+//
+// The session is a thin view: all pipeline state (catalog, equivalence map,
+// assertion store, integration result) lives in an engine::Engine, the
+// session only keeps screen/cursor state and renders frames.
 class Session {
  public:
   Session();
@@ -69,12 +73,17 @@ class Session {
 
   // Backing state, exposed so examples and harnesses can pre-load schemas
   // or inspect results.
-  ecr::Catalog& catalog() { return catalog_; }
-  const ecr::Catalog& catalog() const { return catalog_; }
-  const core::AssertionStore& assertions() const { return assertions_; }
-  const std::optional<core::IntegrationResult>& integration() const {
-    return integration_;
+  ecr::Catalog& catalog() { return engine_.MutableCatalog(); }
+  const ecr::Catalog& catalog() const { return engine_.catalog(); }
+  const core::AssertionStore& assertions() const {
+    return engine_.assertions();
   }
+  const std::optional<core::IntegrationResult>& integration() const {
+    return engine_.integration();
+  }
+  // The pipeline engine behind the screens (phase stats, diagnostics, ...).
+  engine::Engine& engine() { return engine_; }
+  const engine::Engine& engine() const { return engine_; }
   // Last status line (errors from parsing/commands are surfaced here and in
   // the frame's message row).
   const std::string& message() const { return message_; }
@@ -126,21 +135,14 @@ class Session {
   // --- helpers ---------------------------------------------------------------
   void Fail(const Status& status);
   void Note(std::string message);
-  // (Re)builds the equivalence map over all schemas and replays the DDA's
-  // declarations.
-  Status RebuildEquivalence();
-  core::EquivalenceMap& Equivalence();
   // Runs integration over the selected pair (or all schemas).
   void RunIntegration();
   // Ranked pairs for the assertion screen (current structure kind).
   std::vector<core::ObjectPair> RankedPairs() const;
 
-  ecr::Catalog catalog_;
-  core::AssertionStore assertions_;
-  std::optional<core::EquivalenceMap> equivalence_;
-  std::vector<std::pair<ecr::AttributePath, ecr::AttributePath>> declared_;
-  std::vector<ecr::AttributePath> removed_;
-  std::optional<core::IntegrationResult> integration_;
+  // Mutable because rendering is const while the engine memoizes rankings
+  // and lazily builds the equivalence map behind const-looking queries.
+  mutable engine::Engine engine_;
 
   ScreenId screen_ = ScreenId::kMainMenu;
   std::string message_;

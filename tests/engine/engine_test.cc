@@ -1,0 +1,223 @@
+// The Engine's structured diagnostics and dirty tracking: assertion
+// conflicts surface through diagnostics() with the Screen-9 derivation
+// chain, repeated Integrate calls hit the result cache, schema edits
+// invalidate it, and the incremental path reproduces the full pipeline's
+// result on the paper's university example.
+
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "ecr/builder.h"
+#include "ecr/printer.h"
+
+namespace ecrint::engine {
+namespace {
+
+using core::AssertionType;
+using core::ObjectRef;
+using ecr::Domain;
+using ecr::SchemaBuilder;
+
+int64_t Counter(const Engine& engine, const std::string& phase,
+                const std::string& counter) {
+  auto it = engine.trace().phases().find(phase);
+  if (it == engine.trace().phases().end()) return 0;
+  auto cit = it->second.counters.find(counter);
+  return cit == it->second.counters.end() ? 0 : cit->second;
+}
+
+// The paper's university session (Figures 3-5, Screens 6-12) loaded into an
+// Engine: schemas sc1/sc2, the DDA's attribute equivalences, and the Screen
+// 8 answers.
+Engine UniversityEngine() {
+  Engine engine;
+  SchemaBuilder b1("sc1");
+  b1.Entity("Student")
+      .Attr("Name", Domain::Char(), true)
+      .Attr("GPA", Domain::Real());
+  b1.Entity("Department").Attr("Dname", Domain::Char(), true);
+  b1.Relationship("Majors", {{"Student", 1, 1, ""},
+                             {"Department", 0, SchemaBuilder::kN, ""}});
+  EXPECT_TRUE(engine.AddSchema(*b1.Build()).ok());
+
+  SchemaBuilder b2("sc2");
+  b2.Entity("Grad_student")
+      .Attr("Name", Domain::Char(), true)
+      .Attr("GPA", Domain::Real())
+      .Attr("Support_type", Domain::Char());
+  b2.Entity("Faculty")
+      .Attr("Name", Domain::Char(), true)
+      .Attr("Rank", Domain::Char());
+  b2.Entity("Department").Attr("Dname", Domain::Char(), true);
+  b2.Relationship("Study", {{"Grad_student", 1, 1, ""},
+                            {"Department", 0, SchemaBuilder::kN, ""}});
+  b2.Relationship("Works", {{"Faculty", 1, 1, ""},
+                            {"Department", 1, SchemaBuilder::kN, ""}});
+  EXPECT_TRUE(engine.AddSchema(*b2.Build()).ok());
+
+  EXPECT_TRUE(engine
+                  .AssertEquivalence({"sc1", "Student", "Name"},
+                                     {"sc2", "Grad_student", "Name"})
+                  .ok());
+  EXPECT_TRUE(engine
+                  .AssertEquivalence({"sc1", "Student", "GPA"},
+                                     {"sc2", "Grad_student", "GPA"})
+                  .ok());
+  EXPECT_TRUE(engine
+                  .AssertEquivalence({"sc1", "Department", "Dname"},
+                                     {"sc2", "Department", "Dname"})
+                  .ok());
+
+  EXPECT_TRUE(engine
+                  .AssertRelation({"sc1", "Department"}, {"sc2", "Department"},
+                                  AssertionType::kEquals)
+                  .ok());
+  EXPECT_TRUE(engine
+                  .AssertRelation({"sc1", "Student"}, {"sc2", "Grad_student"},
+                                  AssertionType::kContains)
+                  .ok());
+  EXPECT_TRUE(engine
+                  .AssertRelation({"sc1", "Student"}, {"sc2", "Faculty"},
+                                  AssertionType::kDisjointIntegrable)
+                  .ok());
+  return engine;
+}
+
+// Screen 9's scenario: Instructor ⊆ Grad_student and Grad_student ⊆ Student
+// derive Instructor ⊆ Student; asserting the pair disjoint must be rejected
+// with the derivation chain attached to the diagnostic.
+TEST(EngineDiagnosticsTest, ConflictCarriesScreen9DerivationChain) {
+  Engine engine;
+  const ObjectRef instructor{"sc3", "Instructor"};
+  const ObjectRef grad{"sc4", "Grad_student"};
+  const ObjectRef student{"sc4", "Student"};
+  ASSERT_TRUE(
+      engine.AssertRelation(instructor, grad, AssertionType::kContainedIn)
+          .ok());
+  ASSERT_TRUE(
+      engine.AssertRelation(grad, student, AssertionType::kContainedIn).ok());
+
+  Result<core::ConflictReport> rejected = engine.AssertRelation(
+      instructor, student, AssertionType::kDisjointNonintegrable);
+  ASSERT_FALSE(rejected.ok());
+  ASSERT_EQ(engine.diagnostics().size(), 1u);
+  const Diagnostic& d = engine.diagnostics().back();
+
+  EXPECT_EQ(d.code, "assertion-conflict");
+  EXPECT_EQ(d.severity, Severity::kError);
+  // The free text stays what the legacy screens printed.
+  EXPECT_EQ(d.message, rejected.status().message());
+  // The structures in conflict, machine-readable.
+  ASSERT_EQ(d.objects.size(), 2u);
+  EXPECT_TRUE(d.objects[0] == instructor);
+  EXPECT_TRUE(d.objects[1] == student);
+  // Line 1 of the screen: the derived constraint; lines 3-4: the user
+  // assertions whose composition supports it.
+  ASSERT_EQ(d.derivation.size(), 3u);
+  EXPECT_NE(d.derivation[0].find("derived constraint"), std::string::npos)
+      << d.derivation[0];
+  EXPECT_NE(d.derivation[0].find("sc3.Instructor / sc4.Student"),
+            std::string::npos)
+      << d.derivation[0];
+  EXPECT_NE(d.derivation[1].find("sc3.Instructor contained in "
+                                 "sc4.Grad_student"),
+            std::string::npos)
+      << d.derivation[1];
+  EXPECT_NE(d.derivation[2].find("sc4.Grad_student contained in "
+                                 "sc4.Student"),
+            std::string::npos)
+      << d.derivation[2];
+
+  // Counters record the rejection, and the failed assert left no trace in
+  // the store (Assert is transactional).
+  EXPECT_EQ(Counter(engine, "assert", "conflicts"), 1);
+  EXPECT_EQ(engine.assertions().user_assertions().size(), 2u);
+
+  engine.ClearDiagnostics();
+  EXPECT_TRUE(engine.diagnostics().empty());
+}
+
+TEST(EngineDiagnosticsTest, ToStringFormatsSeverityCodeAndDerivation) {
+  Diagnostic d;
+  d.code = "assertion-conflict";
+  d.severity = Severity::kError;
+  d.message = "cannot do that";
+  d.derivation = {"first step", "second step"};
+  EXPECT_EQ(d.ToString(),
+            "ERROR assertion-conflict: cannot do that"
+            "\n    first step"
+            "\n    second step");
+  EXPECT_STREQ(SeverityName(Severity::kWarning), "WARNING");
+  EXPECT_STREQ(SeverityName(Severity::kInfo), "INFO");
+}
+
+TEST(EngineCacheTest, RepeatedIntegrateHitsTheResultCache) {
+  Engine engine = UniversityEngine();
+  ASSERT_TRUE(engine.Integrate({"sc1", "sc2"}).ok());
+  EXPECT_EQ(Counter(engine, "integrate", "full_rebuilds"), 1);
+  EXPECT_EQ(Counter(engine, "integrate", "cache_hits"), 0);
+
+  ASSERT_TRUE(engine.Integrate({"sc1", "sc2"}).ok());
+  EXPECT_EQ(Counter(engine, "integrate", "full_rebuilds"), 1);
+  EXPECT_EQ(Counter(engine, "integrate", "cache_hits"), 1);
+}
+
+TEST(EngineCacheTest, SchemaEditInvalidatesTheResultCache) {
+  Engine engine = UniversityEngine();
+  ASSERT_TRUE(engine.Integrate({"sc1", "sc2"}).ok());
+  // Touching the catalog through the mutable accessor marks the schemas
+  // dirty; the next Integrate must rebuild instead of serving the cache.
+  (void)engine.MutableCatalog();
+  ASSERT_TRUE(engine.Integrate({"sc1", "sc2"}).ok());
+  EXPECT_EQ(Counter(engine, "integrate", "cache_hits"), 0);
+  EXPECT_EQ(Counter(engine, "integrate", "full_rebuilds"), 2);
+}
+
+TEST(EngineIncrementalTest, IncrementalEditMatchesFullPipeline) {
+  Engine engine = UniversityEngine();
+  ASSERT_TRUE(engine.Integrate({"sc1", "sc2"}).ok());
+
+  // Retract the last Screen 8 answer, integrate (re-seeds the closure
+  // cache), then re-assert it: the final Integrate may only extend the
+  // cached closure by the one appended assertion.
+  int last =
+      static_cast<int>(engine.assertions().user_assertions().size()) - 1;
+  core::Assertion edit = engine.assertions().user_assertions()[last];
+  ASSERT_TRUE(engine.RetractRelation(last).ok());
+  ASSERT_TRUE(engine.Integrate({"sc1", "sc2"}).ok());
+  ASSERT_TRUE(engine.AssertRelation(edit.first, edit.second, edit.type).ok());
+  ASSERT_TRUE(engine.Integrate({"sc1", "sc2"}).ok());
+  EXPECT_GE(Counter(engine, "integrate", "incremental_reuses"), 1);
+
+  Engine fresh = UniversityEngine();
+  ASSERT_TRUE(fresh.Integrate({"sc1", "sc2"}).ok());
+
+  ASSERT_TRUE(engine.integration().has_value());
+  ASSERT_TRUE(fresh.integration().has_value());
+  EXPECT_EQ(ecr::ToOutline(engine.integration()->schema),
+            ecr::ToOutline(fresh.integration()->schema));
+  std::map<ObjectRef, std::string> incremental_targets;
+  for (const core::StructureMapping& m : engine.integration()->mappings) {
+    incremental_targets[m.source] = m.target;
+  }
+  std::map<ObjectRef, std::string> fresh_targets;
+  for (const core::StructureMapping& m : fresh.integration()->mappings) {
+    fresh_targets[m.source] = m.target;
+  }
+  EXPECT_EQ(incremental_targets, fresh_targets);
+}
+
+TEST(EngineIncrementalTest, RetractDropsTheAssertionAndItsConsequences) {
+  Engine engine = UniversityEngine();
+  size_t before = engine.assertions().user_assertions().size();
+  ASSERT_TRUE(engine.RetractRelation(0).ok());
+  EXPECT_EQ(engine.assertions().user_assertions().size(), before - 1);
+  EXPECT_FALSE(engine.RetractRelation(99).ok());
+}
+
+}  // namespace
+}  // namespace ecrint::engine

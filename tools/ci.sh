@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Tier-1 verification, twice: a Release build (what the benchmarks and the
+# recorded numbers assume) and a Debug build under AddressSanitizer +
+# UndefinedBehaviorSanitizer (what shakes out lifetime and UB bugs the
+# optimizer hides). Both runs execute the full ctest suite.
+#
+# Usage: tools/ci.sh [--jobs N] [--keep]
+#   --jobs N  parallelism for build and ctest (default: nproc)
+#   --keep    leave the build trees (build-ci-release/, build-ci-asan/)
+#             in place for inspection instead of removing them on success
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc)"
+keep=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --jobs)
+      jobs="$2"
+      shift 2
+      ;;
+    --keep)
+      keep=1
+      shift
+      ;;
+    *)
+      echo "unknown argument: $1" >&2
+      exit 2
+      ;;
+  esac
+done
+
+run_suite() {
+  local name="$1"
+  shift
+  local build_dir="${repo_root}/build-ci-${name}"
+  echo "=== ${name}: configure" >&2
+  cmake -S "${repo_root}" -B "${build_dir}" "$@" >/dev/null
+  echo "=== ${name}: build" >&2
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "=== ${name}: ctest" >&2
+  (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}")
+  if [[ "${keep}" -eq 0 ]]; then
+    rm -rf "${build_dir}"
+  fi
+}
+
+run_suite release -DCMAKE_BUILD_TYPE=Release
+
+# ASan's allocator and UBSan's checks both want symbols and no optimizer
+# surprises; -fno-omit-frame-pointer keeps the reports readable.
+san_flags="-fsanitize=address,undefined -fno-omit-frame-pointer"
+run_suite asan \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="${san_flags}" \
+  -DCMAKE_EXE_LINKER_FLAGS="${san_flags}" \
+  -DCMAKE_SHARED_LINKER_FLAGS="${san_flags}"
+
+echo "=== tier-1 verification passed (release + asan/ubsan)" >&2
