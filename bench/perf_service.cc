@@ -1,0 +1,317 @@
+// perf_service — closed-loop load generator for the integration service
+// plane. Unlike the google-benchmark sweeps, this harness measures the
+// service's *concurrent* behaviour: N client threads drive an in-process
+// RequestRouter (same dispatch path as the TCP front end, minus the socket)
+// against one shared project, and the emitted JSON records
+//
+//   * read throughput at 1 thread vs N threads (snapshot reads are
+//     lock-free, so the scaling factor is the headline number),
+//   * a mixed read/write phase whose writes serialize on the project lock
+//     while readers keep running on the previous snapshot,
+//   * client-observed error tallies per code (the acceptance bar: zero
+//     CONFLICT and zero TIMEOUT at the default queue depth), and
+//   * the service's own MetricsRegistry dump — per-verb latency histograms
+//     with p50/p95/p99, snapshot publish counts, queue-depth high-water.
+//
+//   perf_service [--threads N] [--ops N] [--queue-depth N] [--smoke]
+//
+// All writes are idempotent replays of the workload's ground truth
+// (re-declaring an equivalence or re-asserting a true relation is a no-op
+// for the closure), so any interleaving stays conflict-free — making
+// "errors.CONFLICT == 0" a real invariant rather than luck. Exit status is
+// nonzero when a CONFLICT or TIMEOUT is observed. bench/run_benches.sh
+// --service captures stdout into BENCH_service.json.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/assertion.h"
+#include "ecr/printer.h"
+#include "service/protocol.h"
+#include "service/router.h"
+#include "service/service.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace ecrint;  // NOLINT: harness brevity
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One client: its own RouterSession (and service session) bound to the
+// shared project, issuing one request at a time like a blocking connection.
+struct Client {
+  service::RouterSession session;
+  service::RequestRouter* router = nullptr;
+  std::map<std::string, int64_t> errors_by_code;
+  int64_t ops = 0;
+
+  // Sends one line, parses the framed response, tallies errors. Returns
+  // true when the response was ok.
+  bool Send(const std::string& line) {
+    std::string wire = router->HandleLine(line, &session);
+    Result<service::ServiceResponse> response =
+        service::ParseResponse(wire);
+    ++ops;
+    if (!response.ok()) {
+      ++errors_by_code["UNPARSEABLE"];
+      return false;
+    }
+    if (response->error.has_value()) {
+      ++errors_by_code[service::ServiceErrorCodeName(
+          response->error->code)];
+      return false;
+    }
+    return true;
+  }
+};
+
+struct Phase {
+  std::string name;
+  int threads = 0;
+  int64_t ops = 0;
+  double elapsed_ms = 0;
+  double ops_per_sec = 0;
+  std::map<std::string, int64_t> errors_by_code;
+};
+
+// Drives `threads` clients through `ops_per_thread` calls of `op(rng, i)`.
+Phase RunPhase(const std::string& name, service::RequestRouter* router,
+               const std::string& project, int threads,
+               int64_t ops_per_thread,
+               const std::function<void(Client&, std::mt19937&, int64_t)>&
+                   op) {
+  std::vector<Client> clients(threads);
+  for (int t = 0; t < threads; ++t) {
+    clients[t].router = router;
+    clients[t].Send("open " + project);
+  }
+  std::vector<std::thread> workers;
+  int64_t start = NowNs();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      std::mt19937 rng(1000 + static_cast<uint32_t>(t));
+      for (int64_t i = 0; i < ops_per_thread; ++i) op(clients[t], rng, i);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  int64_t elapsed = NowNs() - start;
+  for (int t = 0; t < threads; ++t) clients[t].Send("close");
+
+  Phase phase;
+  phase.name = name;
+  phase.threads = threads;
+  phase.ops = threads * ops_per_thread;
+  phase.elapsed_ms = static_cast<double>(elapsed) / 1e6;
+  phase.ops_per_sec =
+      elapsed > 0 ? static_cast<double>(phase.ops) * 1e9 /
+                        static_cast<double>(elapsed)
+                  : 0;
+  for (const Client& client : clients) {
+    // Setup sends (open/close) count toward errors but not the timed ops.
+    for (const auto& [code, count] : client.errors_by_code) {
+      phase.errors_by_code[code] += count;
+    }
+  }
+  return phase;
+}
+
+std::string JsonErrors(const std::map<std::string, int64_t>& errors) {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& [code, count] : errors) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << code << "\": " << count;
+  }
+  out << "}";
+  return out.str();
+}
+
+std::string JsonPhase(const Phase& phase) {
+  std::ostringstream out;
+  out << "{\"threads\": " << phase.threads << ", \"ops\": " << phase.ops
+      << ", \"elapsed_ms\": " << phase.elapsed_ms
+      << ", \"ops_per_sec\": " << phase.ops_per_sec
+      << ", \"errors\": " << JsonErrors(phase.errors_by_code) << "}";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int threads = 8;
+  int64_t ops = 2000;  // per thread, per phase
+  service::ServiceConfig config;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (arg == "--ops" && i + 1 < argc) {
+      ops = std::atoll(argv[++i]);
+    } else if (arg == "--queue-depth" && i + 1 < argc) {
+      config.queue_depth = std::atoi(argv[++i]);
+    } else if (arg == "--smoke") {
+      ops = 50;
+    } else {
+      std::cerr << "usage: perf_service [--threads N] [--ops N] "
+                   "[--queue-depth N] [--smoke]\n";
+      return 2;
+    }
+  }
+  if (threads < 1) threads = 1;
+
+  service::IntegrationService service(config);
+  service::RequestRouter router(&service);
+
+  // --- seed the shared project over the wire -------------------------------
+  workload::GeneratorConfig generator;
+  generator.seed = 7;
+  generator.num_concepts = 12;
+  generator.num_schemas = 3;
+  Result<workload::Workload> workload =
+      workload::GenerateWorkload(generator);
+  if (!workload.ok()) {
+    std::cerr << "workload: " << workload.status() << "\n";
+    return 1;
+  }
+  Client setup;
+  setup.router = &router;
+  bool seeded = setup.Send("open bench");
+  for (const std::string& name : workload->schema_names) {
+    const ecr::Schema& schema = **workload->catalog.GetSchema(name);
+    seeded &= setup.Send("define " +
+                         service::EscapeField(ecr::ToDdl(schema)));
+  }
+  for (const workload::TrueAttributeMatch& match :
+       workload->attribute_matches) {
+    seeded &= setup.Send("equiv " + match.first.ToString() + " " +
+                         match.second.ToString());
+  }
+  for (const workload::TrueObjectRelation& relation :
+       workload->object_relations) {
+    seeded &= setup.Send(
+        "assert " + relation.first.ToString() + " " +
+        std::to_string(core::AssertionTypeCode(relation.assertion)) + " " +
+        relation.second.ToString());
+  }
+  seeded &= setup.Send("integrate");
+  if (!seeded) {
+    std::cerr << "project seeding failed: "
+              << JsonErrors(setup.errors_by_code) << "\n";
+    return 1;
+  }
+
+  const std::vector<std::string>& names = workload->schema_names;
+  auto read_op = [&](Client& client, std::mt19937& rng, int64_t) {
+    size_t a = rng() % names.size();
+    size_t b = (a + 1 + rng() % (names.size() - 1)) % names.size();
+    // No `metrics` in the mix: MetricsJson serializes on the registry
+    // mutex, which would measure the dump, not the read plane.
+    switch (rng() % 4) {
+      case 0:
+      case 1:
+        client.Send("rank " + names[a] + " " + names[b] + " zero");
+        break;
+      case 2:
+        client.Send("suggest " + names[a] + " " + names[b]);
+        break;
+      default:
+        client.Send("outline");
+        break;
+    }
+  };
+  auto mixed_op = [&](Client& client, std::mt19937& rng, int64_t i) {
+    // ~80/20 read/write; writes replay ground truth, so they commute.
+    if (rng() % 5 != 0) {
+      read_op(client, rng, i);
+      return;
+    }
+    switch (rng() % 3) {
+      case 0: {
+        const workload::TrueAttributeMatch& match =
+            workload->attribute_matches[rng() %
+                                        workload->attribute_matches.size()];
+        client.Send("equiv " + match.first.ToString() + " " +
+                    match.second.ToString());
+        break;
+      }
+      case 1: {
+        const workload::TrueObjectRelation& relation =
+            workload->object_relations[rng() %
+                                       workload->object_relations.size()];
+        client.Send(
+            "assert " + relation.first.ToString() + " " +
+            std::to_string(core::AssertionTypeCode(relation.assertion)) +
+            " " + relation.second.ToString());
+        break;
+      }
+      default:
+        client.Send("integrate");
+        break;
+    }
+  };
+
+  // --- phases --------------------------------------------------------------
+  Phase read_1 =
+      RunPhase("read_1thread", &router, "bench", 1, ops * threads, read_op);
+  Phase read_n =
+      RunPhase("read_nthread", &router, "bench", threads, ops, read_op);
+  Phase mixed = RunPhase("mixed", &router, "bench", threads, ops, mixed_op);
+
+  double scaling = read_1.ops_per_sec > 0
+                       ? read_n.ops_per_sec / read_1.ops_per_sec
+                       : 0;
+
+  // Per-verb histograms, snapshot publishes, queue high-water.
+  std::string metrics_json = service.metrics().MetricsJson();
+
+  int64_t conflicts = 0, timeouts = 0;
+  for (const Phase* phase : {&read_1, &read_n, &mixed}) {
+    auto conflict = phase->errors_by_code.find("CONFLICT");
+    if (conflict != phase->errors_by_code.end()) {
+      conflicts += conflict->second;
+    }
+    auto timeout = phase->errors_by_code.find("TIMEOUT");
+    if (timeout != phase->errors_by_code.end()) timeouts += timeout->second;
+  }
+
+  // On a 1-core host the expected read_scaling is ~1.0 (parity, i.e. no
+  // contention collapse); >1 needs real hardware parallelism. Record the
+  // host's thread count so the number stays interpretable.
+  std::cout << "{\n"
+            << "  \"config\": {\"threads\": " << threads
+            << ", \"ops_per_thread\": " << ops
+            << ", \"queue_depth\": " << config.queue_depth
+            << ", \"hardware_threads\": "
+            << std::thread::hardware_concurrency() << "},\n"
+            << "  \"read_1thread\": " << JsonPhase(read_1) << ",\n"
+            << "  \"read_nthread\": " << JsonPhase(read_n) << ",\n"
+            << "  \"mixed\": " << JsonPhase(mixed) << ",\n"
+            << "  \"read_scaling\": " << scaling << ",\n"
+            << "  \"conflicts\": " << conflicts << ",\n"
+            << "  \"timeouts\": " << timeouts << ",\n"
+            << "  \"service_metrics\": " << metrics_json << "\n"
+            << "}\n";
+
+  if (conflicts > 0 || timeouts > 0) {
+    std::cerr << "FAIL: " << conflicts << " conflicts, " << timeouts
+              << " timeouts\n";
+    return 1;
+  }
+  return 0;
+}

@@ -5,9 +5,15 @@
 #   BENCH_engine.json       <- perf_engine, plus the engine_trace phase
 #                              breakdown and the incremental-vs-full speedup
 #
+#   BENCH_service.json      <- perf_service closed-loop loadgen (concurrent
+#                              throughput + the service MetricsRegistry dump)
+#
 # Usage:
 #   bench/run_benches.sh [--build-dir DIR] [--out FILE] [--engine-out FILE]
-#                        [--smoke]
+#                        [--service] [--service-out FILE] [--smoke]
+#
+# --service additionally runs the service-plane loadgen (skipped by default:
+# it is a multi-threaded soak, not a google-benchmark sweep).
 #
 # --smoke caps every benchmark at --benchmark_min_time=0.01 so the script
 # doubles as a ctest-safe liveness check (the JSON is still written, just
@@ -21,7 +27,10 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build"
 out_file="${repo_root}/BENCH_resemblance.json"
 engine_out_file="${repo_root}/BENCH_engine.json"
+service_out_file="${repo_root}/BENCH_service.json"
+run_service=0
 min_time=""
+service_args=()
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -37,8 +46,17 @@ while [[ $# -gt 0 ]]; do
       engine_out_file="$2"
       shift 2
       ;;
+    --service)
+      run_service=1
+      shift
+      ;;
+    --service-out)
+      service_out_file="$2"
+      shift 2
+      ;;
     --smoke)
       min_time="--benchmark_min_time=0.01"
+      service_args=(--smoke)
       shift
       ;;
     *)
@@ -151,3 +169,17 @@ merge "${out_file}" "${repo_root}/bench/baseline_seed.json" "" \
   "${out_dir}"/*.json
 merge "${engine_out_file}" "" "${out_dir}/trace/engine_trace.json" \
   "${out_dir}/engine"/*.json
+
+# The service loadgen emits its own JSON (per-phase throughput, error
+# tallies, the MetricsRegistry dump with per-verb p50/p95/p99); it exits
+# nonzero on any CONFLICT or TIMEOUT, so the stage doubles as a soak check.
+if [[ "${run_service}" -eq 1 ]]; then
+  service_bin="${build_dir}/bench/perf_service"
+  if [[ ! -x "${service_bin}" ]]; then
+    echo "missing ${service_bin}; build first: cmake --build ${build_dir} -j" >&2
+    exit 1
+  fi
+  echo "== perf_service" >&2
+  "${service_bin}" "${service_args[@]}" > "${service_out_file}"
+  echo "wrote ${service_out_file}"
+fi

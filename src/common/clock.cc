@@ -1,0 +1,10 @@
+#include "common/clock.h"
+
+namespace ecrint::common {
+
+const Clock* RealClock() {
+  static const SteadyClock clock;
+  return &clock;
+}
+
+}  // namespace ecrint::common

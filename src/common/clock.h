@@ -1,0 +1,75 @@
+#ifndef ECRINT_COMMON_CLOCK_H_
+#define ECRINT_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ecrint::common {
+
+// The process-wide monotonic time source, as a virtual interface so
+// time-dependent policies (session idle reaping, request deadlines, latency
+// histograms) are testable without sleeping: production code holds a
+// `const Clock*` defaulting to RealClock(), tests inject a ManualClock and
+// advance it explicitly.
+//
+// Time is carried as nanoseconds-since-an-arbitrary-epoch (steady clock
+// semantics: never goes backwards, unrelated to wall time). Helpers below
+// convert to the std::chrono vocabulary where needed.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Monotonic now, in nanoseconds.
+  virtual int64_t NowNs() const = 0;
+};
+
+// The real steady clock.
+class SteadyClock : public Clock {
+ public:
+  int64_t NowNs() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+// Process-wide SteadyClock singleton (stateless, safe to share).
+const Clock* RealClock();
+
+// Test clock: starts at zero and moves only when told to. Not
+// thread-safe for concurrent Advance calls; tests advance it from one
+// thread (typically between deterministic service calls).
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(int64_t start_ns = 0) : now_ns_(start_ns) {}
+
+  int64_t NowNs() const override { return now_ns_; }
+
+  void AdvanceNs(int64_t delta_ns) { now_ns_ += delta_ns; }
+  void Advance(std::chrono::nanoseconds delta) {
+    now_ns_ += delta.count();
+  }
+  void SetNs(int64_t now_ns) { now_ns_ = now_ns; }
+
+ private:
+  int64_t now_ns_;
+};
+
+// Shorthand for the common "charge elapsed wall time" pattern (phase
+// tracing, bench timing, per-request latency): capture NowNs() at
+// construction, read the delta when done.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock* clock) : clock_(clock) { Restart(); }
+
+  void Restart() { start_ns_ = clock_->NowNs(); }
+  int64_t ElapsedNs() const { return clock_->NowNs() - start_ns_; }
+
+ private:
+  const Clock* clock_;
+  int64_t start_ns_ = 0;
+};
+
+}  // namespace ecrint::common
+
+#endif  // ECRINT_COMMON_CLOCK_H_

@@ -36,7 +36,7 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::Post(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     tasks_.push(std::move(task));
@@ -64,7 +64,7 @@ void ThreadPool::ParallelFor(int begin, int end, int grain,
   for (int c = 0; c < chunks; ++c) {
     int chunk_begin = begin + c * grain;
     int chunk_end = std::min(end, chunk_begin + grain);
-    Submit([&, c, chunk_begin, chunk_end] {
+    Post([&, c, chunk_begin, chunk_end] {
       try {
         fn(chunk_begin, chunk_end);
       } catch (...) {
@@ -73,8 +73,12 @@ void ThreadPool::ParallelFor(int begin, int end, int grain,
       {
         std::lock_guard<std::mutex> lock(done_mutex);
         --remaining;
+        // Notify under the lock: once the waiter observes remaining == 0
+        // it destroys done_cv/done_mutex (they live on its stack), so this
+        // worker's last touch of them must happen-before that observation
+        // — which holding the lock through the notify guarantees.
+        done_cv.notify_one();
       }
-      done_cv.notify_one();
     });
   }
   {

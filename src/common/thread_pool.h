@@ -40,13 +40,19 @@ class ThreadPool {
   void ParallelFor(int begin, int end, int grain,
                    const std::function<void(int, int)>& fn);
 
+  // Enqueues one task for any worker; returns immediately. The fire-and-
+  // forget primitive ParallelFor is built on, exposed for callers that
+  // manage their own completion (the service plane runs snapshot reads
+  // here). Tasks posted after the destructor started are never executed;
+  // the destructor drains tasks already queued.
+  void Post(std::function<void()> task);
+
   // Process-wide pool sized to the hardware concurrency. Lazily constructed
   // on first use and kept alive for the process lifetime.
   static ThreadPool& Shared();
 
  private:
   void WorkerLoop();
-  void Submit(std::function<void()> task);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

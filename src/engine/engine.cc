@@ -4,6 +4,7 @@
 #include <set>
 #include <utility>
 
+#include "core/nary.h"
 #include "ecr/ddl_parser.h"
 
 namespace ecrint::engine {
@@ -295,6 +296,26 @@ Result<const core::IntegrationResult*> Engine::Integrate(
 
   const core::EquivalenceMap& equivalence = EnsureEquivalence();
 
+  if (options_.binary_ladder) {
+    trace_.Count("integrate", "ladder_rebuilds");
+    Result<core::IntegrationResult> ladder = core::IntegrateBinaryLadder(
+        catalog_, names, equivalence, assertions_, options_.integration);
+    if (!ladder.ok()) {
+      integration_.reset();
+      ++integration_version_;
+      AddDiagnostic(StatusDiagnostic("integration-failed", ladder.status()));
+      return ladder.status();
+    }
+    integration_ = *std::move(ladder);
+    ++integration_version_;
+    integrated_schemas_ = std::move(names);
+    integrated_schema_generation_ = schema_generation_;
+    integrated_equivalence_generation_ = equivalence_generation_;
+    integrated_assertion_epoch_ = assertion_epoch_;
+    integrated_log_pos_ = log_size;
+    return &*integration_;
+  }
+
   // Try to extend the cached seeded closure: valid when the schema layer is
   // unchanged and the assertion log is an append-only extension of what the
   // closure already absorbed. Closure confluence makes the extended store
@@ -332,6 +353,7 @@ Result<const core::IntegrationResult*> Engine::Integrate(
                                              options_.integration);
     if (!status.ok()) {
       integration_.reset();
+      ++integration_version_;
       seeded_.reset();
       AddDiagnostic(StatusDiagnostic("integration-failed", status));
       return status;
@@ -350,10 +372,12 @@ Result<const core::IntegrationResult*> Engine::Integrate(
 
   if (!result.ok()) {
     integration_.reset();
+    ++integration_version_;
     AddDiagnostic(StatusDiagnostic("integration-failed", result.status()));
     return result.status();
   }
   integration_ = *std::move(result);
+  ++integration_version_;
   integrated_schemas_ = std::move(names);
   integrated_schema_generation_ = schema_generation_;
   integrated_equivalence_generation_ = equivalence_generation_;
@@ -369,6 +393,7 @@ Result<const core::IntegrationResult*> Engine::Integrate(
 Status Engine::FullRebuild() {
   seeded_.reset();
   integration_.reset();
+  ++integration_version_;
   rank_cache_.clear();
   ++schema_generation_;
   ++assertion_epoch_;
@@ -416,6 +441,7 @@ Status Engine::ImportProject(core::Project project) {
   }
   assertions_ = std::move(store);
   integration_.reset();
+  ++integration_version_;
   seeded_.reset();
   MarkSchemasDirty();
   ++assertion_epoch_;

@@ -29,6 +29,30 @@ struct EngineOptions {
   // assertions were appended since it was built. FullRebuild() and setting
   // this false are the escape hatches back to replay-everything behaviour.
   bool incremental = true;
+  // Integrate by folding the schemas pairwise (the n-ary driver's binary
+  // ladder) instead of one n-ary run. Ladder runs never use the seeded
+  // closure, so this disables the incremental path; result caching by
+  // generation still applies.
+  bool binary_ladder = false;
+};
+
+// Versions of every Engine state plane, exported for copy-on-write snapshot
+// publication (src/service/snapshot.h). Two stamps compare equal exactly
+// when no observable engine state changed between them, and each component
+// tells the publisher which snapshot parts it may share with the previous
+// one: `schema_generation` guards the catalog, (`schema_generation`,
+// `equivalence_generation`) guard the equivalence map, and
+// `integration_version` counts assignments/resets of the cached
+// IntegrationResult (it is NOT the validity tag — a stale cached result
+// keeps its version until recomputed or discarded).
+struct EngineStamp {
+  int64_t schema_generation = -1;
+  int64_t equivalence_generation = -1;
+  int64_t assertion_epoch = -1;
+  int64_t assertion_log_size = -1;
+  int64_t integration_version = -1;
+
+  friend bool operator==(const EngineStamp&, const EngineStamp&) = default;
 };
 
 // The integration pipeline behind every frontend: owns the project state —
@@ -136,7 +160,10 @@ class Engine {
   // Drops the cached integration result without touching the other derived
   // caches (frontends call this when the "show results" precondition lapses,
   // e.g. every schema was deleted).
-  void DiscardIntegration() { integration_.reset(); }
+  void DiscardIntegration() {
+    integration_.reset();
+    ++integration_version_;
+  }
 
   // Escape hatch: drop every derived artifact and rebuild the equivalence
   // map; the next Integrate replays everything from first principles.
@@ -160,6 +187,13 @@ class Engine {
   void ClearDiagnostics() { diagnostics_.clear(); }
   const PhaseTrace& trace() const { return trace_; }
   std::string TraceJson() const { return trace_.ToJson(); }
+
+  // Current state versions (the snapshot publisher's change detector).
+  EngineStamp Stamp() const {
+    return {schema_generation_, equivalence_generation_, assertion_epoch_,
+            static_cast<int64_t>(assertions_.user_assertions().size()),
+            integration_version_};
+  }
 
  private:
   // One ordered phase-2 edit; replayed in order by RebuildEquivalence so a
@@ -201,6 +235,7 @@ class Engine {
   int64_t schema_generation_ = 0;
   int64_t equivalence_generation_ = 0;
   int64_t assertion_epoch_ = 0;
+  int64_t integration_version_ = 0;
 
   std::vector<RankCacheEntry> rank_cache_;
 

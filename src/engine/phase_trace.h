@@ -1,10 +1,11 @@
 #ifndef ECRINT_ENGINE_PHASE_TRACE_H_
 #define ECRINT_ENGINE_PHASE_TRACE_H_
 
-#include <chrono>
 #include <cstdint>
 #include <map>
 #include <string>
+
+#include "common/clock.h"
 
 namespace ecrint::engine {
 
@@ -26,21 +27,16 @@ class PhaseTrace {
   class Scope {
    public:
     Scope(PhaseTrace& trace, const std::string& phase)
-        : stats_(&trace.phases_[phase]),
-          start_(std::chrono::steady_clock::now()) {
+        : stats_(&trace.phases_[phase]), watch_(common::RealClock()) {
       ++stats_->calls;
     }
-    ~Scope() {
-      stats_->wall_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
-                             std::chrono::steady_clock::now() - start_)
-                             .count();
-    }
+    ~Scope() { stats_->wall_ns += watch_.ElapsedNs(); }
     Scope(const Scope&) = delete;
     Scope& operator=(const Scope&) = delete;
 
    private:
     PhaseStats* stats_;
-    std::chrono::steady_clock::time_point start_;
+    common::Stopwatch watch_;
   };
 
   void Count(const std::string& phase, const std::string& counter,

@@ -1,0 +1,130 @@
+#include "service/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ecrint::service {
+
+const std::array<int64_t, Histogram::kNumBuckets - 1>&
+Histogram::BucketBoundsUs() {
+  static const std::array<int64_t, kNumBuckets - 1> bounds = {
+      1,    2,    5,     10,    25,    50,     100,    250,    500,   1000,
+      2500, 5000, 10000, 25000, 50000, 100000, 250000, 500000, 1000000};
+  return bounds;
+}
+
+void Histogram::Record(int64_t latency_us) {
+  if (latency_us < 0) latency_us = 0;
+  const auto& bounds = BucketBoundsUs();
+  size_t index =
+      std::lower_bound(bounds.begin(), bounds.end(), latency_us) -
+      bounds.begin();
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(latency_us, std::memory_order_relaxed);
+}
+
+double Histogram::PercentileUs(double p) const {
+  int64_t total = count();
+  if (total <= 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the requested observation, 1-based.
+  double rank = p * static_cast<double>(total);
+  const auto& bounds = BucketBoundsUs();
+  int64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    int64_t in_bucket = bucket_count(i);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    double lower = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+    // The unbounded last bucket has no upper edge; report its lower edge
+    // (an underestimate, but bounded).
+    if (i == kNumBuckets - 1) return lower;
+    double upper = static_cast<double>(bounds[i]);
+    double fraction = (rank - static_cast<double>(cumulative)) /
+                      static_cast<double>(in_bucket);
+    return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);
+  }
+  return static_cast<double>(bounds.back());
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+namespace {
+
+void AppendQuoted(std::ostringstream& out, const std::string& text) {
+  out << '"';
+  for (char c : text) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string MetricsRegistry::MetricsJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out << ", ";
+    first = false;
+    AppendQuoted(out, name);
+    out << ": " << counter->value();
+  }
+  out << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out << ", ";
+    first = false;
+    AppendQuoted(out, name);
+    out << ": {\"value\": " << gauge->value() << ", \"max\": "
+        << gauge->max() << "}";
+  }
+  out << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out << ", ";
+    first = false;
+    AppendQuoted(out, name);
+    out << ": {\"count\": " << histogram->count()
+        << ", \"sum_us\": " << histogram->sum_us()
+        << ", \"p50_us\": " << histogram->PercentileUs(0.5)
+        << ", \"p95_us\": " << histogram->PercentileUs(0.95)
+        << ", \"p99_us\": " << histogram->PercentileUs(0.99)
+        << ", \"buckets\": [";
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (i > 0) out << ", ";
+      out << histogram->bucket_count(i);
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace ecrint::service

@@ -1,0 +1,106 @@
+#ifndef ECRINT_SERVICE_METRICS_H_
+#define ECRINT_SERVICE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace ecrint::service {
+
+// A monotonically increasing event count. All operations are lock-free.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// An instantaneous level (queue depth, live sessions) that also remembers
+// its high-water mark. Set() is safe from any thread.
+class Gauge {
+ public:
+  void Set(int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+    int64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+// A fixed-bucket latency histogram over microseconds. The bucket layout is
+// compiled in (roughly logarithmic from 1us to 1s) so recording is one
+// linear scan of 20 bounds plus three relaxed atomic adds — no allocation,
+// no locks, safe from any number of threads. Percentiles are estimated by
+// linear interpolation inside the bucket that crosses the requested rank;
+// with ~5 buckets per decade the estimate is within ~±30% of the true
+// value, which is the resolution a latency SLO dashboard needs.
+class Histogram {
+ public:
+  // Upper bounds (inclusive) of each bucket, in microseconds; the final
+  // bucket is unbounded.
+  static constexpr int kNumBuckets = 20;
+  static const std::array<int64_t, kNumBuckets - 1>& BucketBoundsUs();
+
+  void Record(int64_t latency_us);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum_us() const { return sum_us_.load(std::memory_order_relaxed); }
+
+  // Estimated latency at quantile p in [0,1] (0.5 = median). Returns 0 for
+  // an empty histogram.
+  double PercentileUs(double p) const;
+
+  int64_t bucket_count(int index) const {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_us_{0};
+};
+
+// Named counters, gauges, and histograms for one service instance. Lookup
+// creates on first use and returns a stable pointer (instruments live as
+// long as the registry); the hot path therefore resolves each instrument
+// once and then updates it lock-free. MetricsJson() renders every
+// instrument deterministically (sorted by name) — this is the blob
+// bench/run_benches.sh embeds into BENCH_service.json and the `metrics`
+// wire verb returns.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  // {"counters": {...}, "gauges": {"name": {"value": v, "max": m}},
+  //  "histograms": {"name": {"count": n, "sum_us": s, "p50_us": ...,
+  //                          "p95_us": ..., "p99_us": ..., "buckets": [...]}}}
+  std::string MetricsJson() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace ecrint::service
+
+#endif  // ECRINT_SERVICE_METRICS_H_

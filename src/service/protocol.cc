@@ -1,0 +1,138 @@
+#include "service/protocol.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace ecrint::service {
+
+std::string EscapeField(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeField(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (i + 1 >= text.size()) {
+      return ParseError("dangling escape at end of field");
+    }
+    char next = text[++i];
+    switch (next) {
+      case 'n':
+        out += '\n';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case '\\':
+        out += '\\';
+        break;
+      default:
+        return ParseError(std::string("unknown escape '\\") + next + "'");
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t begin = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > begin) tokens.emplace_back(line.substr(begin, i - begin));
+  }
+  return tokens;
+}
+
+std::string FormatResponse(const ServiceResponse& response) {
+  std::ostringstream out;
+  if (response.ok()) {
+    out << "ok\n";
+  } else {
+    out << "err " << ServiceErrorCodeName(response.error->code) << " "
+        << EscapeField(response.error->message) << "\n";
+  }
+  for (const std::string& line : response.lines) {
+    std::string escaped = EscapeField(line);
+    if (!escaped.empty() && escaped[0] == '.') out << '.';
+    out << escaped << "\n";
+  }
+  out << ".\n";
+  return out.str();
+}
+
+Result<ServiceResponse> ParseResponse(std::string_view wire) {
+  std::vector<std::string> lines = Split(wire, '\n');
+  // A well-formed frame ends "...\n.\n" -> trailing empty piece from Split.
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+  if (lines.size() < 2 || lines.back() != ".") {
+    return ParseError("response frame missing '.' terminator");
+  }
+  lines.pop_back();
+
+  ServiceResponse response;
+  const std::string& status_line = lines.front();
+  if (status_line == "ok") {
+    // success
+  } else if (StartsWith(status_line, "err ")) {
+    std::vector<std::string> parts = Tokenize(status_line);
+    if (parts.size() < 2) return ParseError("malformed err line");
+    ServiceError error;
+    if (parts[1] == "OVERLOADED") {
+      error.code = ServiceErrorCode::kOverloaded;
+    } else if (parts[1] == "TIMEOUT") {
+      error.code = ServiceErrorCode::kTimeout;
+    } else if (parts[1] == "CONFLICT") {
+      error.code = ServiceErrorCode::kConflict;
+    } else if (parts[1] == "BAD_REQUEST") {
+      error.code = ServiceErrorCode::kBadRequest;
+    } else {
+      return ParseError("unknown error code '" + parts[1] + "'");
+    }
+    size_t message_at = status_line.find(parts[1]) + parts[1].size();
+    while (message_at < status_line.size() &&
+           status_line[message_at] == ' ') {
+      ++message_at;
+    }
+    ECRINT_ASSIGN_OR_RETURN(error.message,
+                            UnescapeField(status_line.substr(message_at)));
+    response.error = std::move(error);
+  } else {
+    return ParseError("malformed status line '" + status_line + "'");
+  }
+
+  for (size_t i = 1; i < lines.size(); ++i) {
+    std::string_view payload = lines[i];
+    if (!payload.empty() && payload[0] == '.') payload.remove_prefix(1);
+    ECRINT_ASSIGN_OR_RETURN(std::string unescaped, UnescapeField(payload));
+    response.lines.push_back(std::move(unescaped));
+  }
+  return response;
+}
+
+}  // namespace ecrint::service

@@ -1,0 +1,52 @@
+#ifndef ECRINT_SERVICE_PROTOCOL_H_
+#define ECRINT_SERVICE_PROTOCOL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "service/service.h"
+
+namespace ecrint::service {
+
+// The newline-delimited text protocol (see docs/FORMATS.md for the full
+// grammar). One request is one line:
+//
+//   request  = verb *( SP arg ) LF
+//
+// Multi-line arguments (DDL text) travel escaped: "\n" for newline, "\t"
+// for tab, "\\" for backslash; spaces inside an escaped tail argument do
+// NOT split it (the router knows which verbs take a tail). A response is a
+// status line, zero or more payload lines, and a lone "." terminator:
+//
+//   response = ( "ok" / "err" SP code SP message ) LF
+//              *( payload-line LF )
+//              "." LF
+//
+// Payload lines are escaped the same way (so they never contain a raw
+// newline) and dot-stuffed: a payload line starting with "." is sent with
+// the dot doubled, SMTP-style, so the terminator stays unambiguous.
+
+// Escapes newline, tab, and backslash.
+std::string EscapeField(std::string_view text);
+
+// Reverses EscapeField. Unknown escape sequences are an error.
+Result<std::string> UnescapeField(std::string_view text);
+
+// Splits a request line into whitespace-separated tokens (no unescaping;
+// callers unescape tail arguments per verb).
+std::vector<std::string> Tokenize(std::string_view line);
+
+// Renders a ServiceResponse in wire framing (status line, escaped and
+// dot-stuffed payload lines, "." terminator). Every line ends with '\n'.
+std::string FormatResponse(const ServiceResponse& response);
+
+// Parses one framed response back into a ServiceResponse — the client-side
+// inverse of FormatResponse, used by tests and the loadgen. `wire` must
+// contain exactly one complete response.
+Result<ServiceResponse> ParseResponse(std::string_view wire);
+
+}  // namespace ecrint::service
+
+#endif  // ECRINT_SERVICE_PROTOCOL_H_

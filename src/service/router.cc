@@ -1,0 +1,251 @@
+#include "service/router.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/strings.h"
+#include "common/thread_pool.h"
+
+namespace ecrint::service {
+
+namespace {
+
+ServiceResponse BadRequest(std::string message) {
+  ServiceResponse response;
+  response.error = {ServiceErrorCode::kBadRequest, std::move(message)};
+  return response;
+}
+
+Result<ecr::AttributePath> ParsePath(const std::string& token) {
+  std::vector<std::string> parts = Split(token, '.');
+  if (parts.size() != 3) {
+    return ParseError("expected schema.object.attribute, got '" + token +
+                      "'");
+  }
+  return ecr::AttributePath{parts[0], parts[1], parts[2]};
+}
+
+Result<core::ObjectRef> ParseRef(const std::string& token) {
+  std::vector<std::string> parts = Split(token, '.');
+  if (parts.size() != 2) {
+    return ParseError("expected schema.object, got '" + token + "'");
+  }
+  return core::ObjectRef{parts[0], parts[1]};
+}
+
+Result<int> ParseInt(const std::string& token) {
+  char* end = nullptr;
+  long value = std::strtol(token.c_str(), &end, 10);
+  if (end == token.c_str() || *end != '\0') {
+    return ParseError("expected integer, got '" + token + "'");
+  }
+  return static_cast<int>(value);
+}
+
+Result<double> ParseDouble(const std::string& token) {
+  char* end = nullptr;
+  double value = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0') {
+    return ParseError("expected number, got '" + token + "'");
+  }
+  return value;
+}
+
+// The raw text after the verb token (for verbs whose single argument may
+// contain spaces, like define's escaped DDL).
+std::string TailAfterVerb(const std::string& line) {
+  std::string_view rest = StripWhitespace(line);
+  size_t space = rest.find_first_of(" \t");
+  if (space == std::string_view::npos) return "";
+  rest.remove_prefix(space);
+  return std::string(StripWhitespace(rest));
+}
+
+}  // namespace
+
+std::string RequestRouter::HandleLine(const std::string& line,
+                                      RouterSession* session) {
+  return FormatResponse(Dispatch(line, session));
+}
+
+void RequestRouter::HandleLineAsync(std::string line, RouterSession* session,
+                                    std::function<void(std::string)> done) {
+  common::ThreadPool::Shared().Post(
+      [this, line = std::move(line), session, done = std::move(done)] {
+        done(HandleLine(line, session));
+      });
+}
+
+ServiceResponse RequestRouter::Dispatch(const std::string& line,
+                                        RouterSession* session) {
+  std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty()) return BadRequest("empty request");
+  const std::string& verb = tokens[0];
+
+  if (verb == "ping") {
+    ServiceResponse response;
+    response.lines.push_back("pong");
+    return response;
+  }
+
+  if (verb == "open") {
+    if (tokens.size() > 2) return BadRequest("usage: open [project]");
+    std::string project = tokens.size() == 2 ? tokens[1] : "default";
+    session->session_id = service_->OpenSession(project);
+    ServiceResponse response;
+    response.lines.push_back(session->session_id);
+    return response;
+  }
+
+  if (session->session_id.empty()) {
+    return BadRequest("no session; send: open [project]");
+  }
+
+  if (verb == "close") {
+    Status status = service_->CloseSession(session->session_id);
+    session->session_id.clear();
+    if (!status.ok()) return BadRequest(status.ToString());
+    return {};
+  }
+
+  if (verb == "deadline") {
+    if (tokens.size() != 2) return BadRequest("usage: deadline <ms>|default");
+    if (tokens[1] == "default") {
+      session->deadline_override_ns.reset();
+    } else {
+      Result<int> ms = ParseInt(tokens[1]);
+      if (!ms.ok()) return BadRequest(ms.status().ToString());
+      if (*ms < 0) return BadRequest("deadline must be >= 0 ms");
+      session->deadline_override_ns = static_cast<int64_t>(*ms) * 1'000'000;
+    }
+    return {};
+  }
+
+  // Absolute deadline for this request: connection override, or 0 to let
+  // the service apply its default.
+  int64_t deadline_ns =
+      session->deadline_override_ns.has_value()
+          ? service_->clock()->NowNs() + *session->deadline_override_ns
+          : 0;
+
+  if (verb == "define") {
+    std::string tail = TailAfterVerb(line);
+    if (tail.empty()) return BadRequest("usage: define <escaped-ddl>");
+    Result<std::string> ddl = UnescapeField(tail);
+    if (!ddl.ok()) return BadRequest(ddl.status().ToString());
+    return service_->Define(session->session_id, *ddl, deadline_ns);
+  }
+
+  if (verb == "equiv") {
+    if (tokens.size() != 3) {
+      return BadRequest("usage: equiv <s.o.a> <s.o.a>");
+    }
+    Result<ecr::AttributePath> a = ParsePath(tokens[1]);
+    if (!a.ok()) return BadRequest(a.status().ToString());
+    Result<ecr::AttributePath> b = ParsePath(tokens[2]);
+    if (!b.ok()) return BadRequest(b.status().ToString());
+    return service_->DeclareEquivalence(session->session_id, *a, *b,
+                                        deadline_ns);
+  }
+
+  if (verb == "assert") {
+    if (tokens.size() != 4) {
+      return BadRequest("usage: assert <s.o> <0-5> <s.o>");
+    }
+    Result<core::ObjectRef> first = ParseRef(tokens[1]);
+    if (!first.ok()) return BadRequest(first.status().ToString());
+    Result<int> code = ParseInt(tokens[2]);
+    if (!code.ok()) return BadRequest(code.status().ToString());
+    Result<core::ObjectRef> second = ParseRef(tokens[3]);
+    if (!second.ok()) return BadRequest(second.status().ToString());
+    return service_->AssertRelation(session->session_id, *first, *code,
+                                    *second, deadline_ns);
+  }
+
+  if (verb == "integrate") {
+    std::vector<std::string> schemas(tokens.begin() + 1, tokens.end());
+    return service_->Integrate(session->session_id, std::move(schemas),
+                               deadline_ns);
+  }
+
+  if (verb == "export") {
+    if (tokens.size() != 1) return BadRequest("usage: export");
+    return service_->ExportProject(session->session_id, deadline_ns);
+  }
+
+  if (verb == "rank") {
+    if (tokens.size() < 3 || tokens.size() > 5) {
+      return BadRequest("usage: rank <schema1> <schema2> [rel] [zero]");
+    }
+    core::StructureKind kind = core::StructureKind::kObjectClass;
+    bool include_zero = false;
+    for (size_t i = 3; i < tokens.size(); ++i) {
+      if (tokens[i] == "rel") {
+        kind = core::StructureKind::kRelationshipSet;
+      } else if (tokens[i] == "zero") {
+        include_zero = true;
+      } else {
+        return BadRequest("unknown rank flag '" + tokens[i] + "'");
+      }
+    }
+    return service_->RankedPairs(session->session_id, tokens[1], tokens[2],
+                                 kind, include_zero, deadline_ns);
+  }
+
+  if (verb == "suggest") {
+    if (tokens.size() < 3 || tokens.size() > 4) {
+      return BadRequest("usage: suggest <schema1> <schema2> [threshold]");
+    }
+    double threshold = 0.6;
+    if (tokens.size() == 4) {
+      Result<double> parsed = ParseDouble(tokens[3]);
+      if (!parsed.ok()) return BadRequest(parsed.status().ToString());
+      threshold = *parsed;
+    }
+    return service_->Suggest(session->session_id, tokens[1], tokens[2],
+                             threshold, deadline_ns);
+  }
+
+  if (verb == "translate") {
+    size_t at = 1;
+    bool to_components = false;
+    if (at < tokens.size() && tokens[at] == "components") {
+      to_components = true;
+      ++at;
+    }
+    if (at >= tokens.size()) {
+      return BadRequest(
+          "usage: translate [components] <s.o> [attr,attr,...]");
+    }
+    Result<core::ObjectRef> structure = ParseRef(tokens[at++]);
+    if (!structure.ok()) return BadRequest(structure.status().ToString());
+    core::Request request;
+    request.structure = *structure;
+    if (at < tokens.size()) {
+      for (const std::string& attribute : Split(tokens[at], ',')) {
+        if (!attribute.empty()) request.attributes.push_back(attribute);
+      }
+      ++at;
+    }
+    if (at != tokens.size()) {
+      return BadRequest(
+          "usage: translate [components] <s.o> [attr,attr,...]");
+    }
+    return service_->Translate(session->session_id, request, to_components,
+                               deadline_ns);
+  }
+
+  if (verb == "outline") {
+    if (tokens.size() != 1) return BadRequest("usage: outline");
+    return service_->IntegratedOutline(session->session_id, deadline_ns);
+  }
+
+  if (verb == "metrics") {
+    if (tokens.size() != 1) return BadRequest("usage: metrics");
+    return service_->MetricsDump(session->session_id, deadline_ns);
+  }
+
+  return BadRequest("unknown verb '" + verb + "'");
+}
+
+}  // namespace ecrint::service

@@ -1,0 +1,71 @@
+#ifndef ECRINT_SERVICE_ROUTER_H_
+#define ECRINT_SERVICE_ROUTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "service/protocol.h"
+#include "service/service.h"
+
+namespace ecrint::service {
+
+// Per-connection protocol state: which session the connection is bound to
+// (set by `open`) and the connection's relative deadline override (set by
+// `deadline`). One transport connection owns one RouterSession and issues
+// requests on it one at a time.
+struct RouterSession {
+  std::string session_id;
+  // Relative deadline applied to subsequent requests; unset = server
+  // default. `deadline 0` makes every request expire immediately (the
+  // deterministic TIMEOUT path tests use with a ManualClock).
+  std::optional<int64_t> deadline_override_ns;
+};
+
+// Translates protocol lines into IntegrationService calls. The router is
+// stateless and thread-safe: all per-connection state lives in the
+// RouterSession the transport passes in, all shared state in the service.
+//
+// Verbs (see docs/FORMATS.md for the grammar):
+//   open [project]              bind this connection to a session
+//   close                       end the session
+//   deadline <ms>|default       set/reset the connection's deadline
+//   define <ddl>                (write) parse DDL into the catalog
+//   equiv <a.b.c> <d.e.f>       (write) declare attributes equivalent
+//   assert <s.o> <0-5> <s.o>    (write) record a domain-relation assertion
+//   integrate [schema ...]      (write) integrate; returns the outline
+//   export                      (write lock) serialize the project
+//   rank <s1> <s2> [rel] [zero] (read) Screen-8 ranked pairs
+//   suggest <s1> <s2> [thresh]  (read) heuristic equivalence proposals
+//   translate [components] <s.o> [a,b,...]   (read) request translation
+//   outline                     (read) integrated-schema outline
+//   metrics                     (read) MetricsJson dump
+//   ping                        liveness, no session required
+class RequestRouter {
+ public:
+  explicit RequestRouter(IntegrationService* service) : service_(service) {}
+
+  // Handles one request line synchronously; returns the framed response
+  // (FormatResponse output, ready to write to the wire).
+  std::string HandleLine(const std::string& line, RouterSession* session);
+
+  // Same, but executes on a common::ThreadPool::Shared() worker and
+  // invokes `done` with the framed response from that worker. The caller
+  // must keep `session` alive and must not issue another request on the
+  // same RouterSession until `done` ran (one connection = one request in
+  // flight, exactly like a blocking transport).
+  void HandleLineAsync(std::string line, RouterSession* session,
+                       std::function<void(std::string)> done);
+
+  IntegrationService* service() { return service_; }
+
+ private:
+  ServiceResponse Dispatch(const std::string& line, RouterSession* session);
+
+  IntegrationService* service_;
+};
+
+}  // namespace ecrint::service
+
+#endif  // ECRINT_SERVICE_ROUTER_H_

@@ -1,0 +1,418 @@
+#include "service/service.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "core/assertion.h"
+#include "ecr/printer.h"
+
+namespace ecrint::service {
+
+namespace {
+
+// Splits a multi-line engine artifact (outline, project text) into wire
+// payload lines, dropping a trailing empty piece from a terminal newline.
+std::vector<std::string> ToLines(const std::string& text) {
+  std::vector<std::string> lines = Split(text, '\n');
+  while (!lines.empty() && lines.back().empty()) lines.pop_back();
+  return lines;
+}
+
+ServiceResponse ErrorResponse(ServiceError error) {
+  ServiceResponse response;
+  response.error = std::move(error);
+  return response;
+}
+
+// A write failure response; prefers the engine's structured diagnostic
+// (which carries the Screen-9 derivation chain) over the bare status text.
+ServiceResponse WriteFailure(const engine::Engine& engine,
+                             size_t diagnostics_before,
+                             const Status& status) {
+  ServiceError error = ErrorFromStatus(status);
+  if (engine.diagnostics().size() > diagnostics_before) {
+    error.message = engine.diagnostics().back().ToString();
+  }
+  return ErrorResponse(std::move(error));
+}
+
+}  // namespace
+
+const char* ServiceErrorCodeName(ServiceErrorCode code) {
+  switch (code) {
+    case ServiceErrorCode::kOverloaded:
+      return "OVERLOADED";
+    case ServiceErrorCode::kTimeout:
+      return "TIMEOUT";
+    case ServiceErrorCode::kBadRequest:
+      return "BAD_REQUEST";
+    case ServiceErrorCode::kConflict:
+      return "CONFLICT";
+  }
+  return "BAD_REQUEST";
+}
+
+ServiceError ErrorFromStatus(const Status& status) {
+  ServiceError error;
+  error.code = status.code() == StatusCode::kConflict
+                   ? ServiceErrorCode::kConflict
+                   : ServiceErrorCode::kBadRequest;
+  error.message = status.ToString();
+  return error;
+}
+
+IntegrationService::IntegrationService(ServiceConfig config)
+    : config_(config),
+      clock_(config.clock != nullptr ? config.clock : common::RealClock()),
+      sessions_(clock_, config.session_idle_timeout_ns) {}
+
+std::string IntegrationService::OpenSession(const std::string& project) {
+  {
+    std::lock_guard<std::mutex> lock(projects_mutex_);
+    std::unique_ptr<ProjectState>& slot = projects_[project];
+    if (!slot) {
+      slot = std::make_unique<ProjectState>();
+      // Publish the empty generation up front so readers opened before the
+      // first write still get a (vacuous) snapshot instead of null.
+      slot->snapshots.Publish(slot->engine);
+      metrics_.GetCounter("snapshots.published")->Increment();
+    }
+  }
+  std::string id = sessions_.Open(project);
+  metrics_.GetGauge("sessions.live")->Set(sessions_.size());
+  return id;
+}
+
+Status IntegrationService::CloseSession(const std::string& session_id) {
+  Status status = sessions_.Close(session_id);
+  metrics_.GetGauge("sessions.live")->Set(sessions_.size());
+  return status;
+}
+
+IntegrationService::ProjectState* IntegrationService::FindProject(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(projects_mutex_);
+  auto it = projects_.find(name);
+  return it == projects_.end() ? nullptr : it->second.get();
+}
+
+IntegrationService::ProjectState* IntegrationService::ProjectForSession(
+    const std::string& session_id, ServiceError* error) {
+  Result<std::string> project_name = sessions_.ProjectOf(session_id);
+  if (!project_name.ok()) {
+    *error = ErrorFromStatus(project_name.status());
+    return nullptr;
+  }
+  ProjectState* project = FindProject(*project_name);
+  if (project == nullptr) {
+    *error = {ServiceErrorCode::kBadRequest,
+              "no project '" + *project_name + "'"};
+  }
+  return project;
+}
+
+template <typename Fn>
+ServiceResponse IntegrationService::Admit(const std::string& session_id,
+                                          const char* verb,
+                                          int64_t deadline_ns, Fn&& fn) {
+  // Opportunistic reaping keeps the session table tight without a timer
+  // thread; idle sessions die on the next request from anyone.
+  if (int reaped = sessions_.ReapIdle(); reaped > 0) {
+    metrics_.GetCounter("sessions.reaped")->Increment(reaped);
+    metrics_.GetGauge("sessions.live")->Set(sessions_.size());
+  }
+  metrics_.GetCounter(std::string("requests.") + verb)->Increment();
+
+  ServiceError route_error;
+  ProjectState* project = ProjectForSession(session_id, &route_error);
+  ServiceResponse response;
+  if (project == nullptr) {
+    response.error = std::move(route_error);
+  } else {
+    (void)sessions_.Touch(session_id);
+    int64_t now = clock_->NowNs();
+    int64_t deadline =
+        deadline_ns > 0 ? deadline_ns : now + config_.default_deadline_ns;
+
+    int64_t in_flight =
+        in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
+    metrics_.GetGauge("queue.depth")->Set(in_flight);
+    if (in_flight > config_.queue_depth) {
+      response.error = {ServiceErrorCode::kOverloaded,
+                        "request queue at capacity (" +
+                            std::to_string(config_.queue_depth) + ")"};
+    } else if (now >= deadline) {
+      response.error = {ServiceErrorCode::kTimeout,
+                        "deadline expired before execution"};
+    } else {
+      common::Stopwatch watch(clock_);
+      response = fn(*project, deadline);
+      metrics_.GetHistogram(std::string("latency.") + verb)
+          ->Record(watch.ElapsedNs() / 1000);
+    }
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (response.error.has_value()) {
+    metrics_
+        .GetCounter(std::string("errors.") +
+                    ServiceErrorCodeName(response.error->code))
+        ->Increment();
+  }
+  return response;
+}
+
+template <typename Fn>
+ServiceResponse IntegrationService::RunWrite(ProjectState& project,
+                                             int64_t deadline_ns, Fn&& fn) {
+  std::lock_guard<std::mutex> lock(project.write_mutex);
+  // Time queued behind other writers counts against the deadline: a client
+  // whose deadline lapsed while waiting sees TIMEOUT, not a late mutation.
+  if (clock_->NowNs() >= deadline_ns) {
+    return ErrorResponse({ServiceErrorCode::kTimeout,
+                          "deadline expired while queued for write"});
+  }
+  ServiceResponse response = fn(project.engine);
+  if (project.snapshots.Publish(project.engine)) {
+    metrics_.GetCounter("snapshots.published")->Increment();
+  }
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Write verbs.
+// ---------------------------------------------------------------------------
+
+ServiceResponse IntegrationService::Define(const std::string& session_id,
+                                           const std::string& ddl,
+                                           int64_t deadline_ns) {
+  return Admit(session_id, "define", deadline_ns,
+               [&](ProjectState& project, int64_t deadline) {
+                 return RunWrite(
+                     project, deadline, [&](engine::Engine& engine) {
+                       size_t before = engine.diagnostics().size();
+                       Result<std::vector<std::string>> names =
+                           engine.DefineSchema(ddl);
+                       if (!names.ok()) {
+                         return WriteFailure(engine, before, names.status());
+                       }
+                       // The engine leaves equivalence rebuild timing to the
+                       // frontend (it is DDA-visible); the service's policy
+                       // is that every define ends schema collection, so the
+                       // snapshot publish below re-registers the new catalog.
+                       engine.ResetEquivalence();
+                       ServiceResponse response;
+                       response.lines = *std::move(names);
+                       return response;
+                     });
+               });
+}
+
+ServiceResponse IntegrationService::DeclareEquivalence(
+    const std::string& session_id, const ecr::AttributePath& a,
+    const ecr::AttributePath& b, int64_t deadline_ns) {
+  return Admit(session_id, "equiv", deadline_ns,
+               [&](ProjectState& project, int64_t deadline) {
+                 return RunWrite(
+                     project, deadline, [&](engine::Engine& engine) {
+                       size_t before = engine.diagnostics().size();
+                       Status status = engine.AssertEquivalence(a, b);
+                       if (!status.ok()) {
+                         return WriteFailure(engine, before, status);
+                       }
+                       ServiceResponse response;
+                       response.lines.push_back("declared " + a.ToString() +
+                                                " = " + b.ToString());
+                       return response;
+                     });
+               });
+}
+
+ServiceResponse IntegrationService::AssertRelation(
+    const std::string& session_id, const core::ObjectRef& first,
+    int type_code, const core::ObjectRef& second, int64_t deadline_ns) {
+  return Admit(
+      session_id, "assert", deadline_ns,
+      [&](ProjectState& project, int64_t deadline) {
+        return RunWrite(project, deadline, [&](engine::Engine& engine) {
+          Result<core::AssertionType> type =
+              core::AssertionTypeFromCode(type_code);
+          if (!type.ok()) {
+            return ErrorResponse(ErrorFromStatus(type.status()));
+          }
+          size_t before = engine.diagnostics().size();
+          Result<core::ConflictReport> report =
+              engine.AssertRelation(first, second, *type);
+          if (!report.ok()) {
+            return WriteFailure(engine, before, report.status());
+          }
+          ServiceResponse response;
+          response.lines.push_back(
+              "asserted " + first.ToString() + " " +
+              std::to_string(type_code) + " " + second.ToString());
+          return response;
+        });
+      });
+}
+
+ServiceResponse IntegrationService::Integrate(
+    const std::string& session_id, std::vector<std::string> schemas,
+    int64_t deadline_ns) {
+  return Admit(
+      session_id, "integrate", deadline_ns,
+      [&](ProjectState& project, int64_t deadline) {
+        return RunWrite(project, deadline, [&](engine::Engine& engine) {
+          size_t before = engine.diagnostics().size();
+          Result<const core::IntegrationResult*> result =
+              engine.Integrate(std::move(schemas));
+          if (!result.ok()) {
+            return WriteFailure(engine, before, result.status());
+          }
+          ServiceResponse response;
+          response.lines = ToLines(ecr::ToOutline((*result)->schema));
+          for (const core::DerivedAttributeInfo& info :
+               (*result)->derived_attributes) {
+            std::string line =
+                "derived " + info.owner + "." + info.name + " <-";
+            for (const ecr::AttributePath& component : info.components) {
+              line += " " + component.ToString();
+            }
+            response.lines.push_back(std::move(line));
+          }
+          return response;
+        });
+      });
+}
+
+ServiceResponse IntegrationService::ExportProject(
+    const std::string& session_id, int64_t deadline_ns) {
+  return Admit(session_id, "export", deadline_ns,
+               [&](ProjectState& project, int64_t deadline) {
+                 return RunWrite(project, deadline,
+                                 [&](engine::Engine& engine) {
+                                   ServiceResponse response;
+                                   response.lines =
+                                       ToLines(engine.ExportProject());
+                                   return response;
+                                 });
+               });
+}
+
+// ---------------------------------------------------------------------------
+// Read verbs: snapshot-only, no engine access, no project lock.
+// ---------------------------------------------------------------------------
+
+ServiceResponse IntegrationService::RankedPairs(
+    const std::string& session_id, const std::string& schema1,
+    const std::string& schema2, core::StructureKind kind, bool include_zero,
+    int64_t deadline_ns) {
+  return Admit(
+      session_id, "rank", deadline_ns,
+      [&](ProjectState& project, int64_t) {
+        std::shared_ptr<const EngineSnapshot> snapshot =
+            project.snapshots.Current();
+        Result<std::vector<core::ObjectPair>> ranked = SnapshotRankedPairs(
+            *snapshot, schema1, schema2, kind, include_zero);
+        if (!ranked.ok()) {
+          return ErrorResponse(ErrorFromStatus(ranked.status()));
+        }
+        ServiceResponse response;
+        for (const core::ObjectPair& pair : *ranked) {
+          response.lines.push_back(pair.first.ToString() + " " +
+                                   pair.second.ToString() + " " +
+                                   FormatFixed(pair.attribute_ratio, 4));
+        }
+        return response;
+      });
+}
+
+ServiceResponse IntegrationService::Suggest(const std::string& session_id,
+                                            const std::string& schema1,
+                                            const std::string& schema2,
+                                            double threshold,
+                                            int64_t deadline_ns) {
+  return Admit(
+      session_id, "suggest", deadline_ns,
+      [&](ProjectState& project, int64_t) {
+        std::shared_ptr<const EngineSnapshot> snapshot =
+            project.snapshots.Current();
+        Result<std::vector<heuristics::EquivalenceSuggestion>> suggestions =
+            SnapshotSuggest(*snapshot, schema1, schema2, threshold,
+                            /*object_threshold=*/0.0, /*max_results=*/0);
+        if (!suggestions.ok()) {
+          return ErrorResponse(ErrorFromStatus(suggestions.status()));
+        }
+        ServiceResponse response;
+        for (const heuristics::EquivalenceSuggestion& s : *suggestions) {
+          response.lines.push_back(s.first.ToString() + " = " +
+                                   s.second.ToString() + "  # " +
+                                   s.rationale);
+        }
+        return response;
+      });
+}
+
+ServiceResponse IntegrationService::Translate(const std::string& session_id,
+                                              const core::Request& request,
+                                              bool to_components,
+                                              int64_t deadline_ns) {
+  return Admit(
+      session_id, "translate", deadline_ns,
+      [&](ProjectState& project, int64_t) {
+        std::shared_ptr<const EngineSnapshot> snapshot =
+            project.snapshots.Current();
+        ServiceResponse response;
+        if (to_components) {
+          Result<core::FanoutPlan> plan =
+              SnapshotTranslateToComponents(*snapshot, request);
+          if (!plan.ok()) {
+            return ErrorResponse(ErrorFromStatus(plan.status()));
+          }
+          response.lines = ToLines(plan->ToString());
+        } else {
+          Result<core::Request> translated =
+              SnapshotTranslate(*snapshot, request);
+          if (!translated.ok()) {
+            return ErrorResponse(ErrorFromStatus(translated.status()));
+          }
+          response.lines = ToLines(translated->ToString());
+        }
+        return response;
+      });
+}
+
+ServiceResponse IntegrationService::IntegratedOutline(
+    const std::string& session_id, int64_t deadline_ns) {
+  return Admit(session_id, "outline", deadline_ns,
+               [&](ProjectState& project, int64_t) {
+                 std::shared_ptr<const EngineSnapshot> snapshot =
+                     project.snapshots.Current();
+                 Result<std::string> outline =
+                     SnapshotIntegratedOutline(*snapshot);
+                 if (!outline.ok()) {
+                   return ErrorResponse(ErrorFromStatus(outline.status()));
+                 }
+                 ServiceResponse response;
+                 response.lines = ToLines(*outline);
+                 return response;
+               });
+}
+
+ServiceResponse IntegrationService::MetricsDump(
+    const std::string& session_id, int64_t deadline_ns) {
+  return Admit(session_id, "metrics", deadline_ns,
+               [&](ProjectState&, int64_t) {
+                 ServiceResponse response;
+                 response.lines.push_back(metrics_.MetricsJson());
+                 return response;
+               });
+}
+
+std::shared_ptr<const EngineSnapshot> IntegrationService::CurrentSnapshot(
+    const std::string& session_id) {
+  ServiceError error;
+  ProjectState* project = ProjectForSession(session_id, &error);
+  if (project == nullptr) return nullptr;
+  return project->snapshots.Current();
+}
+
+}  // namespace ecrint::service

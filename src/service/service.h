@@ -1,0 +1,189 @@
+#ifndef ECRINT_SERVICE_SERVICE_H_
+#define ECRINT_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "core/object_ref.h"
+#include "core/request_translation.h"
+#include "engine/engine.h"
+#include "service/metrics.h"
+#include "service/session.h"
+#include "service/snapshot.h"
+
+namespace ecrint::service {
+
+// What a client sees when the service refuses or fails a request. The four
+// codes partition every failure the service plane can produce:
+//   OVERLOADED  - admission control shed the request (queue at capacity);
+//                 retry with backoff, the project state is untouched.
+//   TIMEOUT     - the request's deadline expired before execution started;
+//                 the project state is untouched.
+//   CONFLICT    - the engine rejected the mutation as contradictory (the
+//                 paper's Screen-9 case); message carries the derivation.
+//   BAD_REQUEST - anything else the caller got wrong: unknown verb or
+//                 session, parse errors, missing schemas/attributes,
+//                 operations out of phase order.
+enum class ServiceErrorCode {
+  kOverloaded,
+  kTimeout,
+  kBadRequest,
+  kConflict,
+};
+
+// Wire name of a code ("OVERLOADED", "TIMEOUT", ...).
+const char* ServiceErrorCodeName(ServiceErrorCode code);
+
+struct ServiceError {
+  ServiceErrorCode code = ServiceErrorCode::kBadRequest;
+  std::string message;
+};
+
+// Maps an engine/library Status onto the service error vocabulary:
+// kConflict -> CONFLICT, everything else -> BAD_REQUEST (admission codes
+// never come from a Status).
+ServiceError ErrorFromStatus(const Status& status);
+
+struct ServiceResponse {
+  std::optional<ServiceError> error;
+  std::vector<std::string> lines;  // payload, one wire line each
+
+  bool ok() const { return !error.has_value(); }
+};
+
+struct ServiceConfig {
+  // Admission bound: requests in flight (queued on a write lock or
+  // executing) beyond this are refused with OVERLOADED instead of queuing
+  // without bound.
+  int queue_depth = 64;
+  // Deadline applied when a request does not carry its own.
+  int64_t default_deadline_ns = 5'000'000'000;  // 5 s
+  // Sessions idle longer than this are reaped (opportunistically, on the
+  // request path).
+  int64_t session_idle_timeout_ns = 600'000'000'000;  // 10 min
+  // Time source; null means the real steady clock. Tests inject a
+  // ManualClock so deadline and reaping behaviour never sleeps.
+  const common::Clock* clock = nullptr;
+};
+
+// The multi-session, thread-safe service plane over engine::Engine.
+//
+// Concurrency model: one engine per project, guarded by a per-project
+// write mutex — writers (define / equiv / assert / integrate / export)
+// serialize per project, and after every successful mutation the writer
+// republishes an immutable EngineSnapshot. Readers (rank / suggest /
+// translate / outline) never touch the engine: they grab the current
+// snapshot shared_ptr and compute from it, so any number run concurrently
+// — on client threads or common::ThreadPool workers — while a writer is
+// mid-mutation.
+//
+// Every operation passes admission control (bounded in-flight count,
+// per-request deadline) and charges a per-verb latency histogram plus
+// request/error counters to the MetricsRegistry.
+class IntegrationService {
+ public:
+  explicit IntegrationService(ServiceConfig config = {});
+
+  IntegrationService(const IntegrationService&) = delete;
+  IntegrationService& operator=(const IntegrationService&) = delete;
+
+  // --- session plane -------------------------------------------------------
+  // Opens a session bound to `project`, creating the project (with an
+  // empty published snapshot) on first use. Returns the session id.
+  std::string OpenSession(const std::string& project);
+  Status CloseSession(const std::string& session_id);
+  SessionManager& sessions() { return sessions_; }
+
+  // --- write verbs (serialized per project) --------------------------------
+  ServiceResponse Define(const std::string& session_id,
+                         const std::string& ddl, int64_t deadline_ns = 0);
+  ServiceResponse DeclareEquivalence(const std::string& session_id,
+                                     const ecr::AttributePath& a,
+                                     const ecr::AttributePath& b,
+                                     int64_t deadline_ns = 0);
+  ServiceResponse AssertRelation(const std::string& session_id,
+                                 const core::ObjectRef& first, int type_code,
+                                 const core::ObjectRef& second,
+                                 int64_t deadline_ns = 0);
+  ServiceResponse Integrate(const std::string& session_id,
+                            std::vector<std::string> schemas,
+                            int64_t deadline_ns = 0);
+  ServiceResponse ExportProject(const std::string& session_id,
+                                int64_t deadline_ns = 0);
+
+  // --- read verbs (lock-free against the current snapshot) ----------------
+  ServiceResponse RankedPairs(const std::string& session_id,
+                              const std::string& schema1,
+                              const std::string& schema2,
+                              core::StructureKind kind, bool include_zero,
+                              int64_t deadline_ns = 0);
+  ServiceResponse Suggest(const std::string& session_id,
+                          const std::string& schema1,
+                          const std::string& schema2, double threshold,
+                          int64_t deadline_ns = 0);
+  ServiceResponse Translate(const std::string& session_id,
+                            const core::Request& request, bool to_components,
+                            int64_t deadline_ns = 0);
+  ServiceResponse IntegratedOutline(const std::string& session_id,
+                                    int64_t deadline_ns = 0);
+  ServiceResponse MetricsDump(const std::string& session_id,
+                              int64_t deadline_ns = 0);
+
+  // The current snapshot of a session's project (null if the session or
+  // project is unknown). Exposed for readers that drive snapshot
+  // operations directly (tests, the stress harness).
+  std::shared_ptr<const EngineSnapshot> CurrentSnapshot(
+      const std::string& session_id);
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const ServiceConfig& config() const { return config_; }
+  const common::Clock* clock() const { return clock_; }
+
+ private:
+  // One hosted project: the single-writer engine behind its lock, plus the
+  // published snapshot chain.
+  struct ProjectState {
+    std::mutex write_mutex;
+    engine::Engine engine;  // guarded by write_mutex
+    SnapshotManager snapshots;
+  };
+
+  // Admission + deadline + session routing + metrics around one verb.
+  // `fn(project)` runs with no lock held for reads and must itself take
+  // the write mutex for writes (see RunWrite).
+  template <typename Fn>
+  ServiceResponse Admit(const std::string& session_id, const char* verb,
+                        int64_t deadline_ns, Fn&& fn);
+
+  // The write path body: lock, re-check deadline (time spent queued counts
+  // against it), run, republish.
+  template <typename Fn>
+  ServiceResponse RunWrite(ProjectState& project, int64_t deadline_ns,
+                           Fn&& fn);
+
+  ProjectState* FindProject(const std::string& name);
+  ProjectState* ProjectForSession(const std::string& session_id,
+                                  ServiceError* error);
+
+  ServiceConfig config_;
+  const common::Clock* clock_;
+  SessionManager sessions_;
+  MetricsRegistry metrics_;
+
+  std::mutex projects_mutex_;
+  std::map<std::string, std::unique_ptr<ProjectState>> projects_;
+
+  std::atomic<int64_t> in_flight_{0};
+};
+
+}  // namespace ecrint::service
+
+#endif  // ECRINT_SERVICE_SERVICE_H_

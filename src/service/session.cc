@@ -1,0 +1,71 @@
+#include "service/session.h"
+
+namespace ecrint::service {
+
+SessionManager::SessionManager(const common::Clock* clock,
+                               int64_t idle_timeout_ns)
+    : clock_(clock), idle_timeout_ns_(idle_timeout_ns) {}
+
+std::string SessionManager::Open(const std::string& project) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string id = "s" + std::to_string(next_id_++);
+  sessions_[id] = {id, project, clock_->NowNs()};
+  return id;
+}
+
+Status SessionManager::Touch(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return NotFoundError("no session '" + id + "'");
+  }
+  it->second.last_active_ns = clock_->NowNs();
+  return Status::Ok();
+}
+
+Result<std::string> SessionManager::ProjectOf(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return NotFoundError("no session '" + id + "'");
+  }
+  return it->second.project;
+}
+
+Status SessionManager::Close(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sessions_.erase(id) == 0) {
+    return NotFoundError("no session '" + id + "'");
+  }
+  return Status::Ok();
+}
+
+int SessionManager::ReapIdle() {
+  int64_t now = clock_->NowNs();
+  std::lock_guard<std::mutex> lock(mutex_);
+  int reaped = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (now - it->second.last_active_ns > idle_timeout_ns_) {
+      it = sessions_.erase(it);
+      ++reaped;
+    } else {
+      ++it;
+    }
+  }
+  return reaped;
+}
+
+int SessionManager::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(sessions_.size());
+}
+
+std::vector<SessionInfo> SessionManager::Sessions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SessionInfo> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, info] : sessions_) out.push_back(info);
+  return out;
+}
+
+}  // namespace ecrint::service

@@ -1,0 +1,65 @@
+#ifndef ECRINT_SERVICE_SESSION_H_
+#define ECRINT_SERVICE_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+
+namespace ecrint::service {
+
+// One connected designer or federated-query client. A session binds a
+// client to a project and carries its activity timestamp; the id is the
+// client's handle on the wire ("s1", "s2", ...).
+struct SessionInfo {
+  std::string id;
+  std::string project;
+  int64_t last_active_ns = 0;
+};
+
+// Issues, tracks, and reaps sessions. All operations are thread-safe; time
+// comes exclusively from the injected Clock so idle reaping is testable
+// with a ManualClock and no test ever sleeps.
+//
+// Reaping is opportunistic: the service calls ReapIdle() on its request
+// path (cheap — one pass over a small map) rather than from a background
+// timer thread, so a paused process reaps on its next request instead of
+// keeping a wheel spinning.
+class SessionManager {
+ public:
+  SessionManager(const common::Clock* clock, int64_t idle_timeout_ns);
+
+  // Creates a session bound to `project` and returns its id.
+  std::string Open(const std::string& project);
+
+  // Marks activity. kNotFound once the session was closed or reaped.
+  Status Touch(const std::string& id);
+
+  // The project a session is bound to.
+  Result<std::string> ProjectOf(const std::string& id) const;
+
+  Status Close(const std::string& id);
+
+  // Removes every session idle longer than the timeout; returns how many
+  // were reaped.
+  int ReapIdle();
+
+  int size() const;
+  std::vector<SessionInfo> Sessions() const;
+
+ private:
+  const common::Clock* clock_;
+  const int64_t idle_timeout_ns_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, SessionInfo> sessions_;
+  int64_t next_id_ = 1;
+};
+
+}  // namespace ecrint::service
+
+#endif  // ECRINT_SERVICE_SESSION_H_

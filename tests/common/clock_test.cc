@@ -1,0 +1,45 @@
+// The injectable time plane: ManualClock moves only when told, Stopwatch
+// charges exactly the clock's delta, and the real clock is monotonic.
+
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace ecrint::common {
+namespace {
+
+TEST(ManualClockTest, AdvancesOnlyWhenTold) {
+  ManualClock clock;
+  EXPECT_EQ(clock.NowNs(), 0);
+  clock.AdvanceNs(5);
+  clock.AdvanceNs(7);
+  EXPECT_EQ(clock.NowNs(), 12);
+  clock.Advance(std::chrono::microseconds(1));
+  EXPECT_EQ(clock.NowNs(), 1012);
+  clock.SetNs(100);
+  EXPECT_EQ(clock.NowNs(), 100);
+}
+
+TEST(StopwatchTest, MeasuresClockDelta) {
+  ManualClock clock(1000);
+  Stopwatch watch(&clock);
+  EXPECT_EQ(watch.ElapsedNs(), 0);
+  clock.AdvanceNs(250);
+  EXPECT_EQ(watch.ElapsedNs(), 250);
+  watch.Restart();
+  EXPECT_EQ(watch.ElapsedNs(), 0);
+  clock.AdvanceNs(30);
+  EXPECT_EQ(watch.ElapsedNs(), 30);
+}
+
+TEST(RealClockTest, SingletonAndMonotonic) {
+  const Clock* clock = RealClock();
+  ASSERT_NE(clock, nullptr);
+  EXPECT_EQ(clock, RealClock());
+  int64_t a = clock->NowNs();
+  int64_t b = clock->NowNs();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace ecrint::common

@@ -1,0 +1,105 @@
+// Wire framing: field escaping round-trips, responses frame and parse back
+// exactly (including dot-stuffing and error codes), and malformed input is
+// rejected rather than mis-parsed.
+
+#include "service/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ecrint::service {
+namespace {
+
+TEST(EscapeFieldTest, RoundTripsControlCharacters) {
+  const std::string raw = "line1\nline2\tcol\\back";
+  std::string escaped = EscapeField(raw);
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  EXPECT_EQ(escaped.find('\t'), std::string::npos);
+  Result<std::string> back = UnescapeField(escaped);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, raw);
+}
+
+TEST(EscapeFieldTest, PlainTextPassesThrough) {
+  EXPECT_EQ(EscapeField("hello world"), "hello world");
+  Result<std::string> back = UnescapeField("hello world");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, "hello world");
+}
+
+TEST(EscapeFieldTest, UnknownEscapeIsAnError) {
+  EXPECT_FALSE(UnescapeField("bad\\x").ok());
+  EXPECT_FALSE(UnescapeField("trailing\\").ok());
+}
+
+TEST(TokenizeTest, SplitsOnRunsOfWhitespace) {
+  std::vector<std::string> tokens = Tokenize("  rank  sc1\tsc2  zero ");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "rank");
+  EXPECT_EQ(tokens[3], "zero");
+  EXPECT_TRUE(Tokenize("   ").empty());
+}
+
+TEST(ResponseFramingTest, OkResponseRoundTrips) {
+  ServiceResponse response;
+  response.lines = {"first", "second line", ". starts with dot",
+                    "tab\there"};
+  std::string wire = FormatResponse(response);
+  EXPECT_EQ(wire.substr(0, 3), "ok\n");
+  EXPECT_EQ(wire.substr(wire.size() - 2), ".\n");
+
+  Result<ServiceResponse> parsed = ParseResponse(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->ok());
+  EXPECT_EQ(parsed->lines, response.lines);
+}
+
+TEST(ResponseFramingTest, ErrorResponseRoundTrips) {
+  ServiceResponse response;
+  response.error = ServiceError{ServiceErrorCode::kConflict,
+                                "contradicts a CONTAINS chain"};
+  std::string wire = FormatResponse(response);
+  EXPECT_EQ(wire.rfind("err CONFLICT ", 0), 0u);
+
+  Result<ServiceResponse> parsed = ParseResponse(wire);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed->error.has_value());
+  EXPECT_EQ(parsed->error->code, ServiceErrorCode::kConflict);
+  EXPECT_EQ(parsed->error->message, "contradicts a CONTAINS chain");
+}
+
+TEST(ResponseFramingTest, DotStuffingKeepsTerminatorUnambiguous) {
+  ServiceResponse response;
+  response.lines = {"."};
+  std::string wire = FormatResponse(response);
+  // The payload dot is doubled; only the final lone dot terminates.
+  EXPECT_EQ(wire, "ok\n..\n.\n");
+  Result<ServiceResponse> parsed = ParseResponse(wire);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->lines.size(), 1u);
+  EXPECT_EQ(parsed->lines[0], ".");
+}
+
+TEST(ResponseFramingTest, MissingTerminatorIsAnError) {
+  EXPECT_FALSE(ParseResponse("ok\npayload\n").ok());
+  EXPECT_FALSE(ParseResponse("").ok());
+}
+
+TEST(ResponseFramingTest, EveryErrorCodeRoundTrips) {
+  for (ServiceErrorCode code :
+       {ServiceErrorCode::kOverloaded, ServiceErrorCode::kTimeout,
+        ServiceErrorCode::kBadRequest, ServiceErrorCode::kConflict}) {
+    ServiceResponse response;
+    response.error = ServiceError{code, "msg"};
+    Result<ServiceResponse> parsed =
+        ParseResponse(FormatResponse(response));
+    ASSERT_TRUE(parsed.ok()) << ServiceErrorCodeName(code);
+    ASSERT_TRUE(parsed->error.has_value());
+    EXPECT_EQ(parsed->error->code, code);
+  }
+}
+
+}  // namespace
+}  // namespace ecrint::service

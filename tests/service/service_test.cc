@@ -1,0 +1,265 @@
+// The service plane end to end: verb semantics over sessions, admission
+// control (queue depth, deadlines) driven by a ManualClock — no test ever
+// sleeps — engine-failure mapping onto the four wire codes, idle-session
+// reaping, and the router's line protocol.
+
+#include "service/service.h"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "service/protocol.h"
+#include "service/router.h"
+
+namespace ecrint::service {
+namespace {
+
+constexpr const char* kUniversityDdl =
+    "schema sc1 { entity Student { Name: char key; GPA: real; } }\n"
+    "schema sc2 { entity Grad { Name: char key; GPA: real; } }";
+
+// A service on a manual clock plus one open session, the fixture every
+// test starts from.
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest() {
+    config_.clock = &clock_;
+    service_ = std::make_unique<IntegrationService>(config_);
+    session_ = service_->OpenSession("uni");
+  }
+
+  // Declares the standard equivalences and asserts Student = Grad.
+  void SeedProject() {
+    ASSERT_TRUE(service_->Define(session_, kUniversityDdl).ok());
+    ASSERT_TRUE(service_
+                    ->DeclareEquivalence(session_,
+                                         {"sc1", "Student", "Name"},
+                                         {"sc2", "Grad", "Name"})
+                    .ok());
+    ASSERT_TRUE(service_
+                    ->DeclareEquivalence(session_, {"sc1", "Student", "GPA"},
+                                         {"sc2", "Grad", "GPA"})
+                    .ok());
+    ASSERT_TRUE(service_
+                    ->AssertRelation(session_, {"sc1", "Student"},
+                                     /*type_code=*/1, {"sc2", "Grad"})
+                    .ok());
+  }
+
+  common::ManualClock clock_;
+  ServiceConfig config_;
+  std::unique_ptr<IntegrationService> service_;
+  std::string session_;
+};
+
+TEST_F(ServiceTest, WriteReadPipeline) {
+  SeedProject();
+  ServiceResponse integrated = service_->Integrate(session_, {});
+  ASSERT_TRUE(integrated.ok());
+  EXPECT_FALSE(integrated.lines.empty());
+
+  ServiceResponse ranked = service_->RankedPairs(
+      session_, "sc1", "sc2", core::StructureKind::kObjectClass,
+      /*include_zero=*/true);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked.lines.size(), 1u);
+  // Two shared attribute classes across four attribute slots.
+  EXPECT_EQ(ranked.lines[0], "sc1.Student sc2.Grad 0.5000");
+
+  ServiceResponse outline = service_->IntegratedOutline(session_);
+  ASSERT_TRUE(outline.ok());
+  EXPECT_FALSE(outline.lines.empty());
+
+  ServiceResponse exported = service_->ExportProject(session_);
+  ASSERT_TRUE(exported.ok());
+  EXPECT_EQ(exported.lines[0], "# ecrint project file");
+}
+
+TEST_F(ServiceTest, UnknownSessionIsBadRequest) {
+  ServiceResponse response = service_->IntegratedOutline("s999");
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.error->code, ServiceErrorCode::kBadRequest);
+}
+
+TEST_F(ServiceTest, ConflictingAssertionMapsToConflict) {
+  SeedProject();
+  // Student = Grad already holds; DISJOINT contradicts it.
+  ServiceResponse response = service_->AssertRelation(
+      session_, {"sc1", "Student"}, /*type_code=*/0, {"sc2", "Grad"});
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.error->code, ServiceErrorCode::kConflict);
+  EXPECT_FALSE(response.error->message.empty());
+}
+
+TEST_F(ServiceTest, ExpiredDeadlineIsTimeout) {
+  SeedProject();
+  clock_.AdvanceNs(1'000'000);
+  // An absolute deadline already in the past: refused before execution.
+  ServiceResponse response =
+      service_->IntegratedOutline(session_, /*deadline_ns=*/500'000);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.error->code, ServiceErrorCode::kTimeout);
+}
+
+TEST_F(ServiceTest, QueueDepthZeroShedsEverything) {
+  ServiceConfig config;
+  config.clock = &clock_;
+  config.queue_depth = 0;
+  IntegrationService strict(config);
+  std::string session = strict.OpenSession("p");
+  ServiceResponse response = strict.Define(session, kUniversityDdl);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.error->code, ServiceErrorCode::kOverloaded);
+}
+
+TEST_F(ServiceTest, IdleSessionsAreReaped) {
+  std::string idle = service_->OpenSession("uni");
+  EXPECT_EQ(service_->sessions().size(), 2);
+  // Activity keeps a session alive across the timeout window...
+  clock_.AdvanceNs(config_.session_idle_timeout_ns / 2);
+  ASSERT_TRUE(service_->Define(session_, kUniversityDdl).ok());
+  clock_.AdvanceNs(config_.session_idle_timeout_ns / 2 + 1);
+  // ...while `idle` is now past its lease: the next request from anyone
+  // reaps it (opportunistic, no timer thread), and its own requests fail.
+  ASSERT_TRUE(service_
+                  ->DeclareEquivalence(session_, {"sc1", "Student", "Name"},
+                                       {"sc2", "Grad", "Name"})
+                  .ok());
+  EXPECT_EQ(service_->sessions().size(), 1);
+  ServiceResponse stale = service_->IntegratedOutline(idle);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.error->code, ServiceErrorCode::kBadRequest);
+}
+
+TEST_F(ServiceTest, SnapshotIsolatesReadersFromWrites) {
+  SeedProject();
+  ASSERT_TRUE(service_->Integrate(session_, {}).ok());
+  std::shared_ptr<const EngineSnapshot> held =
+      service_->CurrentSnapshot(session_);
+  ASSERT_NE(held, nullptr);
+
+  // A write after the grab does not disturb the held snapshot.
+  ASSERT_TRUE(
+      service_->Define(session_, "schema sc3 { entity E { A: char key; } }")
+          .ok());
+  EXPECT_EQ(held->catalog->SchemaNames().size(), 2u);
+  std::shared_ptr<const EngineSnapshot> fresh =
+      service_->CurrentSnapshot(session_);
+  EXPECT_EQ(fresh->catalog->SchemaNames().size(), 3u);
+  // The untouched integration result is shared, not copied.
+  EXPECT_EQ(held->integration.get(), fresh->integration.get());
+}
+
+TEST_F(ServiceTest, MetricsCountRequestsAndErrors) {
+  SeedProject();
+  (void)service_->IntegratedOutline("s999");  // BAD_REQUEST
+  std::string json = service_->metrics().MetricsJson();
+  EXPECT_NE(json.find("\"requests.define\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"requests.equiv\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"errors.BAD_REQUEST\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"snapshots.published\""), std::string::npos);
+  EXPECT_NE(json.find("latency.define"), std::string::npos);
+}
+
+// --- router / line protocol ----------------------------------------------
+
+class RouterTest : public ServiceTest {
+ protected:
+  RouterTest() : router_(service_.get()) {}
+
+  // Sends one line, expects success, returns the payload lines.
+  std::vector<std::string> Ok(const std::string& line) {
+    Result<ServiceResponse> response =
+        ParseResponse(router_.HandleLine(line, &wire_session_));
+    EXPECT_TRUE(response.ok()) << line;
+    EXPECT_TRUE(response->ok()) << line << ": "
+                                << response->error->message;
+    return response->lines;
+  }
+
+  // Sends one line, expects failure, returns the error.
+  ServiceError Err(const std::string& line) {
+    Result<ServiceResponse> response =
+        ParseResponse(router_.HandleLine(line, &wire_session_));
+    EXPECT_TRUE(response.ok()) << line;
+    EXPECT_FALSE(response->ok()) << line;
+    return response->error.value_or(ServiceError{});
+  }
+
+  RequestRouter router_;
+  RouterSession wire_session_;
+};
+
+TEST_F(RouterTest, FullSessionOverTheWire) {
+  EXPECT_EQ(Ok("ping"), std::vector<std::string>{"pong"});
+  Ok("open uni2");
+  Ok("define " + EscapeField(kUniversityDdl));
+  Ok("equiv sc1.Student.Name sc2.Grad.Name");
+  Ok("equiv sc1.Student.GPA sc2.Grad.GPA");
+  Ok("assert sc1.Student 1 sc2.Grad");
+  std::vector<std::string> ranked = Ok("rank sc1 sc2 zero");
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_EQ(ranked[0], "sc1.Student sc2.Grad 0.5000");
+  EXPECT_FALSE(Ok("integrate").empty());
+  EXPECT_FALSE(Ok("outline").empty());
+  EXPECT_FALSE(Ok("suggest sc1 sc2").empty());
+  Ok("close");
+}
+
+TEST_F(RouterTest, VerbsRequireASession) {
+  ServiceError error = Err("outline");
+  EXPECT_EQ(error.code, ServiceErrorCode::kBadRequest);
+}
+
+TEST_F(RouterTest, UnknownVerbAndBadArguments) {
+  Ok("open uni");
+  EXPECT_EQ(Err("frobnicate").code, ServiceErrorCode::kBadRequest);
+  EXPECT_EQ(Err("equiv one two").code, ServiceErrorCode::kBadRequest);
+  EXPECT_EQ(Err("assert sc1.Student nine sc2.Grad").code,
+            ServiceErrorCode::kBadRequest);
+  EXPECT_EQ(Err("rank sc1").code, ServiceErrorCode::kBadRequest);
+}
+
+TEST_F(RouterTest, DeadlineZeroExpiresEveryRequest) {
+  // A nonzero clock, so the computed absolute deadline (now + 0) is
+  // distinguishable from the "no deadline set" sentinel 0.
+  clock_.AdvanceNs(1);
+  Ok("open uni");
+  Ok("deadline 0");
+  EXPECT_EQ(Err("outline").code, ServiceErrorCode::kTimeout);
+  Ok("deadline default");
+  SeedProject();  // direct API writes still work
+  ASSERT_TRUE(service_->Integrate(session_, {}).ok());
+  EXPECT_FALSE(Ok("outline").empty());
+}
+
+TEST_F(RouterTest, AsyncMatchesSynchronous) {
+  Ok("open uni");
+  Ok("define " + EscapeField(kUniversityDdl));
+  std::string sync = router_.HandleLine("rank sc1 sc2 zero",
+                                        &wire_session_);
+  std::string async;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  router_.HandleLineAsync("rank sc1 sc2 zero", &wire_session_,
+                          [&](std::string response) {
+                            std::lock_guard<std::mutex> lock(mutex);
+                            async = std::move(response);
+                            done = true;
+                            cv.notify_one();
+                          });
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [&] { return done; });
+  EXPECT_EQ(sync, async);
+}
+
+}  // namespace
+}  // namespace ecrint::service

@@ -1,18 +1,25 @@
 #!/usr/bin/env bash
-# Tier-1 verification, twice: a Release build (what the benchmarks and the
-# recorded numbers assume) and a Debug build under AddressSanitizer +
-# UndefinedBehaviorSanitizer (what shakes out lifetime and UB bugs the
-# optimizer hides). Both runs execute the full ctest suite.
+# Tier-1 verification across three suites:
+#   release  Release build + full ctest (what the recorded numbers assume)
+#   asan     Debug + ASan/UBSan + full ctest (lifetime and UB bugs the
+#            optimizer hides)
+#   tsan     Debug + ThreadSanitizer, running the concurrency surfaces —
+#            thread pool, engine, and the whole service plane (snapshot
+#            publication, admission control, the stress test) — as direct
+#            gtest binaries (build-ci-tsan/)
 #
-# Usage: tools/ci.sh [--jobs N] [--keep]
-#   --jobs N  parallelism for build and ctest (default: nproc)
-#   --keep    leave the build trees (build-ci-release/, build-ci-asan/)
-#             in place for inspection instead of removing them on success
+# Usage: tools/ci.sh [--jobs N] [--keep] [--suite NAME ...]
+#   --jobs N      parallelism for build and ctest (default: nproc)
+#   --keep        leave the build trees (build-ci-<suite>/) in place for
+#                 inspection instead of removing them on success
+#   --suite NAME  run only NAME (release|asan|tsan); repeatable. Default
+#                 is release + asan; CI runs tsan as its own job.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc)"
 keep=0
+suites=()
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -24,37 +31,98 @@ while [[ $# -gt 0 ]]; do
       keep=1
       shift
       ;;
+    --suite)
+      suites+=("$2")
+      shift 2
+      ;;
     *)
       echo "unknown argument: $1" >&2
       exit 2
       ;;
   esac
 done
+if [[ ${#suites[@]} -eq 0 ]]; then
+  suites=(release asan)
+fi
 
-run_suite() {
-  local name="$1"
+configure_and_build() {
+  local build_dir="$1"
   shift
-  local build_dir="${repo_root}/build-ci-${name}"
-  echo "=== ${name}: configure" >&2
+  local targets=()
+  while [[ $# -gt 0 && "$1" != "--" ]]; do
+    targets+=("$1")
+    shift
+  done
+  shift || true
   cmake -S "${repo_root}" -B "${build_dir}" "$@" >/dev/null
-  echo "=== ${name}: build" >&2
-  cmake --build "${build_dir}" -j "${jobs}"
-  echo "=== ${name}: ctest" >&2
-  (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}")
-  if [[ "${keep}" -eq 0 ]]; then
-    rm -rf "${build_dir}"
+  if [[ ${#targets[@]} -gt 0 ]]; then
+    cmake --build "${build_dir}" -j "${jobs}" --target "${targets[@]}"
+  else
+    cmake --build "${build_dir}" -j "${jobs}"
   fi
 }
 
-run_suite release -DCMAKE_BUILD_TYPE=Release
+cleanup() {
+  if [[ "${keep}" -eq 0 ]]; then
+    rm -rf "$1"
+  fi
+}
 
-# ASan's allocator and UBSan's checks both want symbols and no optimizer
-# surprises; -fno-omit-frame-pointer keeps the reports readable.
-san_flags="-fsanitize=address,undefined -fno-omit-frame-pointer"
-run_suite asan \
-  -DCMAKE_BUILD_TYPE=Debug \
-  -DCMAKE_CXX_FLAGS="${san_flags}" \
-  -DCMAKE_EXE_LINKER_FLAGS="${san_flags}" \
-  -DCMAKE_SHARED_LINKER_FLAGS="${san_flags}"
+run_ctest_suite() {
+  local name="$1"
+  shift
+  local build_dir="${repo_root}/build-ci-${name}"
+  echo "=== ${name}: configure + build" >&2
+  configure_and_build "${build_dir}" -- "$@"
+  echo "=== ${name}: ctest" >&2
+  (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}")
+  cleanup "${build_dir}"
+}
 
-echo "=== tier-1 verification passed (release + asan/ubsan)" >&2
+# TSan is incompatible with ASan and wants its own tree; the full ctest
+# suite would multiply CI time ~15x, so this suite runs the binaries that
+# exercise shared state across threads, directly and serially.
+run_tsan_suite() {
+  local build_dir="${repo_root}/build-ci-tsan"
+  local tsan_flags="-fsanitize=thread -fno-omit-frame-pointer"
+  echo "=== tsan: configure + build" >&2
+  configure_and_build "${build_dir}" common_test engine_test service_test -- \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="${tsan_flags}" \
+    -DCMAKE_EXE_LINKER_FLAGS="${tsan_flags}" \
+    -DCMAKE_SHARED_LINKER_FLAGS="${tsan_flags}"
+  echo "=== tsan: run" >&2
+  # halt_on_error makes a single race fail the suite instead of scrolling by.
+  TSAN_OPTIONS="halt_on_error=1" \
+    "${build_dir}/tests/common_test" --gtest_filter='ThreadPool*:*Clock*:*Stopwatch*'
+  TSAN_OPTIONS="halt_on_error=1" "${build_dir}/tests/engine_test"
+  TSAN_OPTIONS="halt_on_error=1" "${build_dir}/tests/service_test"
+  cleanup "${build_dir}"
+}
+
+for suite in "${suites[@]}"; do
+  case "${suite}" in
+    release)
+      run_ctest_suite release -DCMAKE_BUILD_TYPE=Release
+      ;;
+    asan)
+      # ASan's allocator and UBSan's checks both want symbols and no
+      # optimizer surprises; -fno-omit-frame-pointer keeps reports readable.
+      san_flags="-fsanitize=address,undefined -fno-omit-frame-pointer"
+      run_ctest_suite asan \
+        -DCMAKE_BUILD_TYPE=Debug \
+        -DCMAKE_CXX_FLAGS="${san_flags}" \
+        -DCMAKE_EXE_LINKER_FLAGS="${san_flags}" \
+        -DCMAKE_SHARED_LINKER_FLAGS="${san_flags}"
+      ;;
+    tsan)
+      run_tsan_suite
+      ;;
+    *)
+      echo "unknown suite: ${suite} (release|asan|tsan)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo "=== verification passed (${suites[*]})" >&2

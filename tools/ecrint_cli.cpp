@@ -4,11 +4,17 @@
 //   ecrint outline <ddl-file> [schema]               print schema outlines
 //   ecrint dot <ddl-file> <schema>                   Graphviz export
 //   ecrint suggest <ddl-file> <schema1> <schema2>    propose equivalences
-//   ecrint rank <project-file> <schema1> <schema2>   Screen-8 ranking
+//   ecrint rank <project-file> <schema1> <schema2> [--trace]
 //   ecrint integrate <project-file> [--ladder] [--name <n>] [--mappings]
+//                    [--trace]
 //
 // DDL files hold `schema ... { ... }` blocks; project files additionally
 // carry %equivalences and %assertions sections (see core/project_io.h).
+//
+// rank and integrate drive engine::Engine — the same pipeline layer behind
+// the TUI and the service plane — so project decisions replay, caches
+// invalidate, and failures diagnose identically across every frontend.
+// --trace prints the engine's per-phase breakdown (TraceJson) to stderr.
 
 #include <fstream>
 #include <iostream>
@@ -17,14 +23,13 @@
 #include <vector>
 
 #include "common/strings.h"
-#include "core/integrator.h"
-#include "core/nary.h"
 #include "core/project_io.h"
 #include "core/resemblance.h"
 #include "ecr/ddl_parser.h"
 #include "ecr/dot_export.h"
 #include "ecr/printer.h"
 #include "ecr/validate.h"
+#include "engine/engine.h"
 #include "heuristics/suggest.h"
 
 namespace {
@@ -127,17 +132,28 @@ int CmdSuggest(const std::vector<std::string>& args) {
 }
 
 int CmdRank(const std::vector<std::string>& args) {
-  if (args.size() != 3) {
-    std::cerr << "usage: ecrint rank <project-file> <schema1> <schema2>\n";
+  bool trace = false;
+  std::vector<std::string> positional;
+  for (const std::string& arg : args) {
+    if (arg == "--trace") {
+      trace = true;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 3) {
+    std::cerr << "usage: ecrint rank <project-file> <schema1> <schema2> "
+                 "[--trace]\n";
     return 2;
   }
-  Result<core::Project> project = core::LoadProjectFile(args[0]);
+  Result<core::Project> project = core::LoadProjectFile(positional[0]);
   if (!project.ok()) return Fail(project.status());
-  Result<core::EquivalenceMap> equivalence = project->BuildEquivalence();
-  if (!equivalence.ok()) return Fail(equivalence.status());
-  Result<std::vector<core::ObjectPair>> ranked = core::RankObjectPairs(
-      project->catalog, *equivalence, args[1], args[2],
-      core::StructureKind::kObjectClass, /*include_zero=*/true);
+  engine::Engine engine;
+  Status imported = engine.ImportProject(*std::move(project));
+  if (!imported.ok()) return Fail(imported);
+  Result<std::vector<core::ObjectPair>> ranked = engine.RankedPairs(
+      positional[1], positional[2], core::StructureKind::kObjectClass,
+      /*include_zero=*/true);
   if (!ranked.ok()) return Fail(ranked.status());
   for (const core::ObjectPair& pair : *ranked) {
     std::string left = pair.first.ToString();
@@ -147,26 +163,29 @@ int CmdRank(const std::vector<std::string>& args) {
     std::cout << left << right << FormatFixed(pair.attribute_ratio, 4)
               << "\n";
   }
+  if (trace) std::cerr << engine.TraceJson() << "\n";
   return 0;
 }
 
 int CmdIntegrate(const std::vector<std::string>& args) {
   if (args.empty()) {
     std::cerr << "usage: ecrint integrate <project-file> [--ladder] "
-                 "[--name <n>] [--mappings]\n";
+                 "[--name <n>] [--mappings] [--trace]\n";
     return 2;
   }
-  bool ladder = false;
   bool show_mappings = false;
-  core::IntegrationOptions options;
+  bool trace = false;
+  engine::EngineOptions options;
   std::string path = args[0];
   for (size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--ladder") {
-      ladder = true;
+      options.binary_ladder = true;
     } else if (args[i] == "--mappings") {
       show_mappings = true;
+    } else if (args[i] == "--trace") {
+      trace = true;
     } else if (args[i] == "--name" && i + 1 < args.size()) {
-      options.result_name = args[++i];
+      options.integration.result_name = args[++i];
     } else {
       std::cerr << "unknown flag '" << args[i] << "'\n";
       return 2;
@@ -174,25 +193,24 @@ int CmdIntegrate(const std::vector<std::string>& args) {
   }
   Result<core::Project> project = core::LoadProjectFile(path);
   if (!project.ok()) return Fail(project.status());
-  Result<core::EquivalenceMap> equivalence = project->BuildEquivalence();
-  if (!equivalence.ok()) return Fail(equivalence.status());
-  Result<core::AssertionStore> assertions = project->BuildAssertions();
-  if (!assertions.ok()) return Fail(assertions.status());
+  engine::Engine engine(options);
+  Status imported = engine.ImportProject(*std::move(project));
+  if (!imported.ok()) return Fail(imported);
+  Result<const core::IntegrationResult*> integrated = engine.Integrate();
+  if (!integrated.ok()) {
+    // The engine's structured diagnostic carries the derivation chain.
+    for (const engine::Diagnostic& diagnostic : engine.diagnostics()) {
+      std::cerr << diagnostic.ToString() << "\n";
+    }
+    return Fail(integrated.status());
+  }
+  const core::IntegrationResult& result = **integrated;
 
-  std::vector<std::string> names = project->catalog.SchemaNames();
-  Result<core::IntegrationResult> result =
-      ladder ? core::IntegrateBinaryLadder(project->catalog, names,
-                                           *equivalence, *assertions,
-                                           options)
-             : core::Integrate(project->catalog, names, *equivalence,
-                               *assertions, options);
-  if (!result.ok()) return Fail(result.status());
-
-  std::cout << ecr::ToOutline(result->schema);
-  if (!result->derived_attributes.empty()) {
+  std::cout << ecr::ToOutline(result.schema);
+  if (!result.derived_attributes.empty()) {
     std::cout << "\nderived attributes:\n";
     for (const core::DerivedAttributeInfo& info :
-         result->derived_attributes) {
+         result.derived_attributes) {
       std::cout << "  " << info.owner << "." << info.name << " <-";
       for (const ecr::AttributePath& component : info.components) {
         std::cout << " " << component.ToString();
@@ -202,7 +220,7 @@ int CmdIntegrate(const std::vector<std::string>& args) {
   }
   if (show_mappings) {
     std::cout << "\nmappings:\n";
-    for (const core::StructureMapping& mapping : result->mappings) {
+    for (const core::StructureMapping& mapping : result.mappings) {
       std::cout << "  " << mapping.source.ToString() << " -> "
                 << mapping.target << "\n";
       for (const core::AttributeMapping& attribute : mapping.attributes) {
@@ -212,6 +230,7 @@ int CmdIntegrate(const std::vector<std::string>& args) {
       }
     }
   }
+  if (trace) std::cerr << engine.TraceJson() << "\n";
   return 0;
 }
 

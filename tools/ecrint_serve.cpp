@@ -1,0 +1,141 @@
+// ecrint_serve — blocking TCP front end to the integration service plane.
+//
+//   ecrint_serve [--port N] [--queue-depth N] [--deadline-ms N] [--once]
+//
+// Speaks the newline-delimited protocol of src/service/protocol.h (grammar
+// in docs/FORMATS.md): one request per line, responses framed with a "."
+// terminator. Each accepted connection gets its own thread and its own
+// RouterSession; concurrency control (per-project write serialization,
+// snapshot isolation, admission, deadlines) all lives in the shared
+// IntegrationService.
+//
+// --port 0 binds an ephemeral port; the chosen port is printed either way
+// as "listening on <port>" so scripts can scrape it. --once serves a
+// single connection and exits (used by smoke tests).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/router.h"
+#include "service/service.h"
+
+namespace {
+
+using namespace ecrint;  // NOLINT: CLI brevity
+
+// Reads lines from the socket, feeds the router, writes framed responses.
+void ServeConnection(int fd, service::RequestRouter* router) {
+  service::RouterSession session;
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    size_t newline = buffer.find('\n');
+    if (newline == std::string::npos) {
+      ssize_t n = read(fd, chunk, sizeof(chunk));
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    std::string line = buffer.substr(0, newline);
+    buffer.erase(0, newline + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::string response = router->HandleLine(line, &session);
+    size_t written = 0;
+    while (written < response.size()) {
+      ssize_t n = write(fd, response.data() + written,
+                        response.size() - written);
+      if (n <= 0) {
+        close(fd);
+        return;
+      }
+      written += static_cast<size_t>(n);
+    }
+  }
+  // Connection gone: release its session so reaping has less to do.
+  if (!session.session_id.empty()) {
+    (void)router->service()->CloseSession(session.session_id);
+  }
+  close(fd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 7400;
+  bool once = false;
+  service::ServiceConfig config;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--queue-depth" && i + 1 < argc) {
+      config.queue_depth = std::atoi(argv[++i]);
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      config.default_deadline_ns =
+          static_cast<int64_t>(std::atoll(argv[++i])) * 1'000'000;
+    } else if (arg == "--once") {
+      once = true;
+    } else {
+      std::cerr << "usage: ecrint_serve [--port N] [--queue-depth N] "
+                   "[--deadline-ms N] [--once]\n";
+      return 2;
+    }
+  }
+
+  // A client that disconnects mid-response must not kill the server.
+  signal(SIGPIPE, SIG_IGN);
+
+  service::IntegrationService service(config);
+  service::RequestRouter router(&service);
+
+  int listener = socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::cerr << "socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  int reuse = 1;
+  setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::cerr << "bind: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  if (listen(listener, 64) < 0) {
+    std::cerr << "listen: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  socklen_t addr_len = sizeof(addr);
+  getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  std::cout << "listening on " << ntohs(addr.sin_port) << std::endl;
+
+  std::vector<std::thread> connections;
+  for (;;) {
+    int fd = accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      std::cerr << "accept: " << std::strerror(errno) << "\n";
+      break;
+    }
+    if (once) {
+      ServeConnection(fd, &router);
+      break;
+    }
+    connections.emplace_back(ServeConnection, fd, &router);
+  }
+  for (std::thread& connection : connections) connection.join();
+  close(listener);
+  return 0;
+}
