@@ -9,7 +9,9 @@
 //   * a mixed read/write phase whose writes serialize on the project lock
 //     while readers keep running on the previous snapshot,
 //   * client-observed error tallies per code (the acceptance bar: zero
-//     CONFLICT and zero TIMEOUT at the default queue depth), and
+//     CONFLICT and zero TIMEOUT at the default queue depth),
+//   * journal write latency (p50/p95 per mutation) without a journal vs
+//     --fsync batch vs --fsync always, on the real filesystem, and
 //   * the service's own MetricsRegistry dump — per-verb latency histograms
 //     with p50/p95/p99, snapshot publish counts, queue-depth high-water.
 //
@@ -22,9 +24,11 @@
 // nonzero when a CONFLICT or TIMEOUT is observed. bench/run_benches.sh
 // --service captures stdout into BENCH_service.json.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <functional>
 #include <iostream>
 #include <map>
@@ -148,6 +152,87 @@ std::string JsonPhase(const Phase& phase) {
       << ", \"elapsed_ms\": " << phase.elapsed_ms
       << ", \"ops_per_sec\": " << phase.ops_per_sec
       << ", \"errors\": " << JsonErrors(phase.errors_by_code) << "}";
+  return out.str();
+}
+
+// --- journal overhead ------------------------------------------------------
+// What durability costs per write, by fsync policy: a single-threaded
+// client re-declares ground-truth equivalences against its own project,
+// once without a journal, once with the journal on the real filesystem
+// under each policy. Auto-checkpointing is off so the number isolates
+// append + fsync, not snapshot serialization.
+
+struct JournalLatency {
+  std::string mode;
+  int64_t ops = 0;
+  double p50_us = 0;
+  double p95_us = 0;
+  double ops_per_sec = 0;
+  bool ok = true;
+};
+
+JournalLatency MeasureJournalMode(const std::string& mode, int64_t ops,
+                                  const workload::Workload& workload) {
+  JournalLatency result;
+  result.mode = mode;
+  service::ServiceConfig config;
+  std::string dir;
+  if (mode != "none") {
+    dir = "perf_journal_tmp_" + mode;
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    config.data_dir = dir;
+    config.durability.checkpoint_interval_records = 0;
+    config.durability.fsync = mode == "fsync_always"
+                                  ? service::FsyncPolicy::kAlways
+                                  : service::FsyncPolicy::kBatch;
+  }
+  {
+    service::IntegrationService service(config);
+    std::string session = service.OpenSession("bench");
+    for (const std::string& name : workload.schema_names) {
+      const ecr::Schema& schema = **workload.catalog.GetSchema(name);
+      result.ok &= service.Define(session, ecr::ToDdl(schema)).ok();
+    }
+    std::vector<int64_t> latencies;
+    latencies.reserve(static_cast<size_t>(ops));
+    int64_t start = NowNs();
+    for (int64_t i = 0; i < ops; ++i) {
+      const workload::TrueAttributeMatch& match =
+          workload.attribute_matches[static_cast<size_t>(i) %
+                                     workload.attribute_matches.size()];
+      int64_t op_start = NowNs();
+      result.ok &= service
+                       .DeclareEquivalence(session, match.first,
+                                           match.second)
+                       .ok();
+      latencies.push_back(NowNs() - op_start);
+    }
+    int64_t elapsed = NowNs() - start;
+    std::sort(latencies.begin(), latencies.end());
+    if (!latencies.empty()) {
+      result.ops = ops;
+      result.p50_us =
+          static_cast<double>(latencies[latencies.size() / 2]) / 1e3;
+      result.p95_us =
+          static_cast<double>(latencies[latencies.size() * 95 / 100]) / 1e3;
+      result.ops_per_sec = elapsed > 0 ? static_cast<double>(ops) * 1e9 /
+                                             static_cast<double>(elapsed)
+                                       : 0;
+    }
+  }
+  if (!dir.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+  return result;
+}
+
+std::string JsonJournalLatency(const JournalLatency& latency) {
+  std::ostringstream out;
+  out << "{\"ops\": " << latency.ops << ", \"p50_us\": " << latency.p50_us
+      << ", \"p95_us\": " << latency.p95_us
+      << ", \"ops_per_sec\": " << latency.ops_per_sec << "}";
   return out.str();
 }
 
@@ -277,6 +362,19 @@ int main(int argc, char** argv) {
                        ? read_n.ops_per_sec / read_1.ops_per_sec
                        : 0;
 
+  // Journal overhead, single-threaded: no journal vs batched fsync vs
+  // fsync-per-record on the real filesystem.
+  std::map<std::string, JournalLatency> journal_latency;
+  for (const std::string& mode : {std::string("none"),
+                                  std::string("fsync_batch"),
+                                  std::string("fsync_always")}) {
+    journal_latency[mode] = MeasureJournalMode(mode, ops, *workload);
+    if (!journal_latency[mode].ok) {
+      std::cerr << "journal phase " << mode << " saw write failures\n";
+      return 1;
+    }
+  }
+
   // Per-verb histograms, snapshot publishes, queue high-water.
   std::string metrics_json = service.metrics().MetricsJson();
 
@@ -302,6 +400,12 @@ int main(int argc, char** argv) {
             << "  \"read_1thread\": " << JsonPhase(read_1) << ",\n"
             << "  \"read_nthread\": " << JsonPhase(read_n) << ",\n"
             << "  \"mixed\": " << JsonPhase(mixed) << ",\n"
+            << "  \"journal_write_latency\": {"
+            << "\"none\": " << JsonJournalLatency(journal_latency["none"])
+            << ", \"fsync_batch\": "
+            << JsonJournalLatency(journal_latency["fsync_batch"])
+            << ", \"fsync_always\": "
+            << JsonJournalLatency(journal_latency["fsync_always"]) << "},\n"
             << "  \"read_scaling\": " << scaling << ",\n"
             << "  \"conflicts\": " << conflicts << ",\n"
             << "  \"timeouts\": " << timeouts << ",\n"

@@ -1,0 +1,22 @@
+#ifndef ECRINT_COMMON_CHECKSUM_H_
+#define ECRINT_COMMON_CHECKSUM_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace ecrint::common {
+
+// CRC-32C (Castagnoli polynomial, reflected 0x82F63B78) — the checksum the
+// service journal stamps on every record so recovery can tell a torn or
+// bit-rotted tail from a valid one. Table-driven software implementation:
+// no hardware intrinsics, so the value is identical on every platform the
+// journal file might move between.
+uint32_t Crc32c(std::string_view data);
+
+// Incremental form: extends `crc` (a previous Crc32c result) by `data`,
+// as if the two byte ranges had been checksummed in one call.
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data);
+
+}  // namespace ecrint::common
+
+#endif  // ECRINT_COMMON_CHECKSUM_H_

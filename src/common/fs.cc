@@ -1,0 +1,407 @@
+#include "common/fs.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+namespace ecrint::common {
+
+namespace {
+
+Status ErrnoError(const std::string& op, const std::string& path) {
+  return InternalError(op + " " + path + ": " + std::strerror(errno));
+}
+
+// ---------------------------------------------------------------------------
+// RealFs: POSIX.
+// ---------------------------------------------------------------------------
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return InternalError("append on closed file " + path_);
+    size_t written = 0;
+    while (written < data.size()) {
+      ssize_t n = ::write(fd_, data.data() + written, data.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoError("write", path_);
+      }
+      written += static_cast<size_t>(n);
+    }
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return InternalError("sync on closed file " + path_);
+    if (::fsync(fd_) != 0) return ErrnoError("fsync", path_);
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::Ok();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoError("close", path_);
+    return Status::Ok();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+// fsync the directory containing `path` so a rename/creation in it is
+// itself durable. Best effort: some filesystems refuse O_RDONLY on dirs.
+void SyncParentDir(const std::string& path) {
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (parent.empty()) parent = ".";
+  int fd = ::open(parent.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    ::close(fd);
+  }
+}
+
+class PosixFs : public Fs {
+ public:
+  Result<std::unique_ptr<WritableFile>> OpenAppend(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) return ErrnoError("open", path);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return ErrnoError("open", path);
+    std::string out;
+    char buffer[1 << 16];
+    for (;;) {
+      ssize_t n = ::read(fd, buffer, sizeof(buffer));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        return ErrnoError("read", path);
+      }
+      if (n == 0) break;
+      out.append(buffer, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  Status WriteFileAtomic(const std::string& path,
+                         std::string_view content) override {
+    std::string tmp = path + ".tmp";
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return ErrnoError("open", tmp);
+    {
+      PosixWritableFile file(fd, tmp);  // owns fd
+      Status status = file.Append(content);
+      if (status.ok()) status = file.Sync();
+      if (!status.ok()) {
+        (void)file.Close();
+        (void)::unlink(tmp.c_str());
+        return status;
+      }
+      ECRINT_RETURN_IF_ERROR(file.Close());
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+      (void)::unlink(tmp.c_str());
+      return ErrnoError("rename", tmp);
+    }
+    SyncParentDir(path);
+    return Status::Ok();
+  }
+
+  Status Truncate(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return ErrnoError("truncate", path);
+    }
+    return Status::Ok();
+  }
+
+  Status Remove(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    if (ec) return InternalError("remove " + path + ": " + ec.message());
+    return Status::Ok();
+  }
+
+  Status CreateDirs(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    if (ec) return InternalError("mkdir " + path + ": " + ec.message());
+    return Status::Ok();
+  }
+
+  bool Exists(const std::string& path) override {
+    std::error_code ec;
+    return std::filesystem::exists(path, ec);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MemFs.
+// ---------------------------------------------------------------------------
+
+class MemWritableFile : public WritableFile {
+ public:
+  MemWritableFile(MemFs* fs, std::string path)
+      : fs_(fs), path_(std::move(path)) {}
+
+  Status Append(std::string_view data) override {
+    if (fs_ == nullptr) return InternalError("append on closed file " + path_);
+    fs_->SetFile(path_, [&] {
+      Result<std::string> current = fs_->ReadFileToString(path_);
+      std::string bytes = current.ok() ? *std::move(current) : std::string();
+      bytes.append(data);
+      return bytes;
+    }());
+    return Status::Ok();
+  }
+
+  Status Sync() override { return Status::Ok(); }
+  Status Close() override {
+    fs_ = nullptr;
+    return Status::Ok();
+  }
+
+ private:
+  MemFs* fs_;
+  std::string path_;
+};
+
+}  // namespace
+
+Fs* RealFs() {
+  static PosixFs* fs = new PosixFs();
+  return fs;
+}
+
+Result<std::unique_ptr<WritableFile>> MemFs::OpenAppend(
+    const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    files_.try_emplace(path);
+  }
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<MemWritableFile>(this, path));
+}
+
+Result<std::string> MemFs::ReadFileToString(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return NotFoundError("no file " + path);
+  return it->second;
+}
+
+Status MemFs::WriteFileAtomic(const std::string& path,
+                              std::string_view content) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  files_[path] = std::string(content);
+  return Status::Ok();
+}
+
+Status MemFs::Truncate(const std::string& path, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return NotFoundError("no file " + path);
+  if (size < it->second.size()) it->second.resize(size);
+  return Status::Ok();
+}
+
+Status MemFs::Remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  files_.erase(path);
+  return Status::Ok();
+}
+
+Status MemFs::CreateDirs(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  dirs_.insert(path);
+  return Status::Ok();
+}
+
+bool MemFs::Exists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_.count(path) > 0 || dirs_.count(path) > 0;
+}
+
+std::map<std::string, std::string> MemFs::Files() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_;
+}
+
+void MemFs::SetFile(const std::string& path, std::string content) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  files_[path] = std::move(content);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectingFs.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class FaultInjectingFileImpl : public WritableFile {
+ public:
+  FaultInjectingFileImpl(FaultInjectingFs* owner,
+                         std::unique_ptr<WritableFile> base)
+      : owner_(owner), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override;
+  Status Sync() override;
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectingFs* owner_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+}  // namespace
+
+// Hidden friend shim: the nested impl lives in an anonymous namespace, so
+// route through the owner's private hooks declared as friends via
+// FaultInjectingFile.
+class FaultInjectingFile {
+ public:
+  static Status Append(FaultInjectingFs* owner, WritableFile* base,
+                       std::string_view data) {
+    return owner->OnAppend(base, data);
+  }
+  static Status Sync(FaultInjectingFs* owner, WritableFile* base) {
+    return owner->OnSync(base);
+  }
+};
+
+namespace {
+
+Status FaultInjectingFileImpl::Append(std::string_view data) {
+  return FaultInjectingFile::Append(owner_, base_.get(), data);
+}
+
+Status FaultInjectingFileImpl::Sync() {
+  return FaultInjectingFile::Sync(owner_, base_.get());
+}
+
+}  // namespace
+
+Status FaultInjectingFs::OnAppend(WritableFile* file, std::string_view data) {
+  int64_t index;
+  bool inject;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    index = appends_++;
+    inject = failed_ && plan_.sticky;
+    if (plan_.fail_append_at >= 0 && index == plan_.fail_append_at) {
+      inject = true;
+    }
+    if (inject) failed_ = true;
+  }
+  if (!inject) return file->Append(data);
+  // A short write persists a prefix before the device gives up — exactly
+  // the torn tail the journal scanner must detect and drop.
+  int64_t keep = plan_.short_write_bytes;
+  if (keep > 0 && plan_.fail_append_at == index) {
+    if (keep > static_cast<int64_t>(data.size())) {
+      keep = static_cast<int64_t>(data.size());
+    }
+    (void)file->Append(data.substr(0, static_cast<size_t>(keep)));
+  }
+  return InternalError("injected append failure at op " +
+                       std::to_string(index));
+}
+
+Status FaultInjectingFs::OnSync(WritableFile* file) {
+  int64_t index;
+  bool inject;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    index = syncs_++;
+    inject = failed_ && plan_.sticky;
+    if (plan_.fail_sync_at >= 0 && index == plan_.fail_sync_at) inject = true;
+    if (inject) failed_ = true;
+  }
+  if (!inject) return file->Sync();
+  return InternalError("injected fsync failure at op " +
+                       std::to_string(index));
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingFs::OpenAppend(
+    const std::string& path) {
+  Result<std::unique_ptr<WritableFile>> base = base_->OpenAppend(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<WritableFile>(std::make_unique<FaultInjectingFileImpl>(
+      this, *std::move(base)));
+}
+
+Result<std::string> FaultInjectingFs::ReadFileToString(
+    const std::string& path) {
+  return base_->ReadFileToString(path);
+}
+
+Status FaultInjectingFs::WriteFileAtomic(const std::string& path,
+                                         std::string_view content) {
+  int64_t index;
+  bool inject;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    index = atomic_writes_++;
+    inject = failed_ && plan_.sticky;
+    if (plan_.fail_atomic_write_at >= 0 &&
+        index == plan_.fail_atomic_write_at) {
+      inject = true;
+    }
+    if (inject) failed_ = true;
+  }
+  if (!inject) return base_->WriteFileAtomic(path, content);
+  return InternalError("injected atomic-write failure at op " +
+                       std::to_string(index));
+}
+
+Status FaultInjectingFs::Truncate(const std::string& path, uint64_t size) {
+  return base_->Truncate(path, size);
+}
+
+Status FaultInjectingFs::Remove(const std::string& path) {
+  return base_->Remove(path);
+}
+
+Status FaultInjectingFs::CreateDirs(const std::string& path) {
+  return base_->CreateDirs(path);
+}
+
+bool FaultInjectingFs::Exists(const std::string& path) {
+  return base_->Exists(path);
+}
+
+int64_t FaultInjectingFs::appends_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return appends_;
+}
+
+int64_t FaultInjectingFs::syncs_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return syncs_;
+}
+
+bool FaultInjectingFs::failed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failed_;
+}
+
+}  // namespace ecrint::common

@@ -1,0 +1,151 @@
+#ifndef ECRINT_COMMON_FS_H_
+#define ECRINT_COMMON_FS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace ecrint::common {
+
+// One open append-only file handle. Append and Sync are the two operations
+// a write-ahead log needs; both can fail, and the journal layer treats any
+// failure as "the device is gone" (degraded mode), so implementations must
+// report errors rather than silently dropping bytes.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(std::string_view data) = 0;
+  // Durability barrier: on return, every previously appended byte survives
+  // a crash (fsync for the real filesystem).
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+// Filesystem abstraction behind the durability subsystem. Three
+// implementations: RealFs() (POSIX, production), MemFs (in-memory, the
+// hermetic substrate for crash-at-every-byte recovery tests), and
+// FaultInjectingFs (wraps another Fs and injects write/fsync failures,
+// short writes, and sticky device-gone behaviour).
+class Fs {
+ public:
+  virtual ~Fs() = default;
+
+  // Opens `path` for appending, creating it if absent.
+  virtual Result<std::unique_ptr<WritableFile>> OpenAppend(
+      const std::string& path) = 0;
+
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+
+  // Replaces `path` with `content` such that a crash at any point leaves
+  // either the old content or the new, never a torn mix (temp file + fsync
+  // + rename for the real filesystem). Used for checkpoints.
+  virtual Status WriteFileAtomic(const std::string& path,
+                                 std::string_view content) = 0;
+
+  // Truncates `path` to `size` bytes (drops a torn journal tail).
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+
+  // Deletes `path`; removing a file that does not exist is not an error
+  // (the desired state already holds).
+  virtual Status Remove(const std::string& path) = 0;
+
+  // mkdir -p.
+  virtual Status CreateDirs(const std::string& path) = 0;
+
+  virtual bool Exists(const std::string& path) = 0;
+};
+
+// The process-wide POSIX filesystem.
+Fs* RealFs();
+
+// An in-memory filesystem. Thread-safe. Sync is a no-op (memory is the
+// durable medium), so "what survives a crash" is exactly the file content,
+// which tests can read, copy, and truncate byte-by-byte via the accessors.
+class MemFs : public Fs {
+ public:
+  Result<std::unique_ptr<WritableFile>> OpenAppend(
+      const std::string& path) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  Status WriteFileAtomic(const std::string& path,
+                         std::string_view content) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status Remove(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+
+  // Test accessors: snapshot of all files, and direct content overwrite
+  // (e.g. to simulate a torn tail or bit rot).
+  std::map<std::string, std::string> Files() const;
+  void SetFile(const std::string& path, std::string content);
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::string> files_;
+  std::set<std::string> dirs_;
+};
+
+// What to break, when. Operation indices are 0-based and global across all
+// files opened through the wrapper (the journal opens one file, so "the
+// Nth append" is "the Nth journal record").
+struct FaultPlan {
+  // The Nth Append call fails (-1 = never) ...
+  int64_t fail_append_at = -1;
+  // ... after persisting this many bytes of it to the base Fs first (a
+  // short write: the classic torn-record producer).
+  int64_t short_write_bytes = 0;
+  // The Nth Sync call fails (-1 = never).
+  int64_t fail_sync_at = -1;
+  // The Nth WriteFileAtomic call fails, leaving the old file intact
+  // (-1 = never). Exercises checkpoint failure.
+  int64_t fail_atomic_write_at = -1;
+  // Once any injected failure fired, every later Append/Sync/
+  // WriteFileAtomic also fails ("the device is gone"), which is how real
+  // journal devices die.
+  bool sticky = true;
+};
+
+// Wraps a base Fs and injects the failures described by the plan. Reads,
+// truncates, and directory operations always pass through.
+class FaultInjectingFs : public Fs {
+ public:
+  FaultInjectingFs(Fs* base, FaultPlan plan) : base_(base), plan_(plan) {}
+
+  Result<std::unique_ptr<WritableFile>> OpenAppend(
+      const std::string& path) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  Status WriteFileAtomic(const std::string& path,
+                         std::string_view content) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status Remove(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+
+  int64_t appends_seen() const;
+  int64_t syncs_seen() const;
+  bool failed() const;
+
+ private:
+  friend class FaultInjectingFile;
+
+  // Consult-and-count helpers used by the wrapped file handles.
+  Status OnAppend(WritableFile* file, std::string_view data);
+  Status OnSync(WritableFile* file);
+
+  Fs* base_;
+  FaultPlan plan_;
+  mutable std::mutex mutex_;
+  int64_t appends_ = 0;
+  int64_t syncs_ = 0;
+  int64_t atomic_writes_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace ecrint::common
+
+#endif  // ECRINT_COMMON_FS_H_

@@ -72,4 +72,55 @@ bool IsIdentifier(std::string_view s) {
   return true;
 }
 
+std::string EscapeBackslash(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeBackslash(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (i + 1 >= text.size()) {
+      return ParseError("dangling escape at end of field");
+    }
+    char next = text[++i];
+    switch (next) {
+      case 'n':
+        out += '\n';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case '\\':
+        out += '\\';
+        break;
+      default:
+        return ParseError(std::string("unknown escape '\\") + next + "'");
+    }
+  }
+  return out;
+}
+
 }  // namespace ecrint

@@ -5,6 +5,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/result.h"
+
 namespace ecrint {
 
 // Returns `s` without leading/trailing ASCII whitespace.
@@ -29,6 +31,15 @@ std::string FormatFixed(double value, int digits);
 
 // True if `s` is a valid identifier: [A-Za-z_][A-Za-z0-9_]*.
 bool IsIdentifier(std::string_view s);
+
+// Escapes newline, tab, and backslash as "\n", "\t", "\\" — the encoding
+// shared by wire-protocol fields and journal payloads, so multi-line text
+// (DDL) fits on one line.
+std::string EscapeBackslash(std::string_view text);
+
+// Reverses EscapeBackslash. Unknown escape sequences and a dangling
+// trailing backslash are errors.
+Result<std::string> UnescapeBackslash(std::string_view text);
 
 }  // namespace ecrint
 

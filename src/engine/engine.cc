@@ -453,6 +453,47 @@ std::string Engine::ExportProject() {
   return core::SerializeProject(catalog_, EnsureEquivalence(), assertions_);
 }
 
+Status Engine::AdoptReplayStamp(const EngineStamp& stamp) {
+  if (stamp.assertion_log_size !=
+      static_cast<int64_t>(assertions_.user_assertions().size())) {
+    return InternalError(
+        "replay stamp records " + std::to_string(stamp.assertion_log_size) +
+        " user assertions but the store holds " +
+        std::to_string(assertions_.user_assertions().size()));
+  }
+  // Which caches are valid for the state as it stands right now? Those keep
+  // their validity across the renumbering; everything else is dropped so a
+  // stale tag cannot coincide with an adopted counter value.
+  bool integration_current = IntegrationCurrent();
+  bool seeded_current = seeded_.has_value() &&
+                        seeded_schema_generation_ == schema_generation_ &&
+                        seeded_assertion_epoch_ == assertion_epoch_;
+
+  schema_generation_ = stamp.schema_generation;
+  equivalence_generation_ = stamp.equivalence_generation;
+  assertion_epoch_ = stamp.assertion_epoch;
+  integration_version_ = stamp.integration_version;
+
+  if (integration_current) {
+    integrated_schema_generation_ = schema_generation_;
+    integrated_equivalence_generation_ = equivalence_generation_;
+    integrated_assertion_epoch_ = assertion_epoch_;
+  } else {
+    integrated_schema_generation_ = -1;
+    integrated_equivalence_generation_ = -1;
+    integrated_assertion_epoch_ = -1;
+    integrated_log_pos_ = -1;
+  }
+  if (seeded_current) {
+    seeded_schema_generation_ = schema_generation_;
+    seeded_assertion_epoch_ = assertion_epoch_;
+  } else {
+    seeded_.reset();
+  }
+  rank_cache_.clear();
+  return Status::Ok();
+}
+
 void Engine::AddDiagnostic(Diagnostic diagnostic) {
   diagnostics_.push_back(std::move(diagnostic));
 }

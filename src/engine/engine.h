@@ -195,6 +195,36 @@ class Engine {
             integration_version_};
   }
 
+  // True when integration() holds a result computed from the *current*
+  // schema / equivalence / assertion state (a repeat Integrate over the
+  // same schemas would cache-hit). Checkpoints record this so recovery
+  // knows whether to rebuild the integration result.
+  bool IntegrationCurrent() const {
+    return integration_.has_value() &&
+           integrated_schema_generation_ == schema_generation_ &&
+           integrated_equivalence_generation_ == equivalence_generation_ &&
+           integrated_assertion_epoch_ == assertion_epoch_ &&
+           integrated_log_pos_ ==
+               static_cast<int>(assertions_.user_assertions().size());
+  }
+  // The schema list the cached integration result was computed over.
+  const std::vector<std::string>& integrated_schemas() const {
+    return integrated_schemas_;
+  }
+
+  // Crash-recovery hook: overwrites the generation counters with a stamp
+  // recorded from the engine this one is a replica of (checkpoint import
+  // reaches the same logical state through different internal steps, so
+  // the counters diverge even though the state is identical). Re-tags
+  // derived caches that are valid for the current state so their validity
+  // survives the renumbering, and drops the rest. Replaying the journal
+  // suffix after adoption then bumps the counters exactly as the original
+  // execution did, which is what makes recovered state Stamp()-identical
+  // to a serial replay of the full verb log. Fails (engine untouched) when
+  // the stamp's assertion log size contradicts the store — a corrupt or
+  // mismatched checkpoint.
+  Status AdoptReplayStamp(const EngineStamp& stamp);
+
  private:
   // One ordered phase-2 edit; replayed in order by RebuildEquivalence so a
   // rebuilt map matches the live-mutated one even when declares and removes

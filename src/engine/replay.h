@@ -1,0 +1,66 @@
+#ifndef ECRINT_ENGINE_REPLAY_H_
+#define ECRINT_ENGINE_REPLAY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/object_ref.h"
+#include "ecr/attribute.h"
+#include "engine/engine.h"
+
+namespace ecrint::engine {
+
+// One durable mutation, exactly as the service plane journals it. The four
+// kinds are the wire protocol's write verbs; everything else the service
+// does (reads, exports, snapshot publication) is derivable and never
+// journaled.
+struct ReplayVerb {
+  enum class Kind { kDefine, kEquivalence, kRelation, kIntegrate };
+
+  Kind kind = Kind::kDefine;
+  std::string ddl;                        // kDefine
+  ecr::AttributePath first_path;          // kEquivalence
+  ecr::AttributePath second_path;         // kEquivalence
+  core::ObjectRef first;                  // kRelation
+  core::ObjectRef second;                 // kRelation
+  int type_code = 0;                      // kRelation
+  std::vector<std::string> schemas;       // kIntegrate (empty = all)
+};
+
+ReplayVerb DefineVerb(std::string ddl);
+ReplayVerb EquivalenceVerb(ecr::AttributePath a, ecr::AttributePath b);
+ReplayVerb RelationVerb(core::ObjectRef first, int type_code,
+                        core::ObjectRef second);
+ReplayVerb IntegrateVerb(std::vector<std::string> schemas);
+
+// Journal payload text for a verb — one line, space-separated tokens, the
+// DDL tail backslash-escaped (see docs/FORMATS.md, "Durability files"):
+//
+//   payload = "define" SP escaped-ddl
+//           / "equiv" SP s.o.a SP s.o.a
+//           / "assert" SP s.o SP type-code SP s.o
+//           / "integrate" *( SP schema )
+std::string EncodeReplayVerb(const ReplayVerb& verb);
+Result<ReplayVerb> DecodeReplayVerb(std::string_view payload);
+
+// Puts a fresh engine into the state the service plane's initial snapshot
+// publication leaves it in (the equivalence map materialized over the
+// empty catalog). Serial replay must start here, or its generation
+// counters drift off the live engine's by the initial publish.
+void BeginReplay(Engine& engine);
+
+// Applies one verb with the service plane's exact engine interaction
+// sequence: the verb's engine calls (define additionally ends schema
+// collection via ResetEquivalence, mirroring IntegrationService::Define),
+// then the equivalence-map materialization that snapshot publication
+// forces after every write — success or failure. A failing verb returns
+// its status but leaves the engine in the same state the original failing
+// request did, so journals that contain rejected verbs (the WAL is written
+// before the engine runs) replay deterministically.
+Status ApplyReplayVerb(Engine& engine, const ReplayVerb& verb);
+
+}  // namespace ecrint::engine
+
+#endif  // ECRINT_ENGINE_REPLAY_H_

@@ -1,0 +1,188 @@
+#include "service/journal.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/checksum.h"
+
+namespace ecrint::service {
+
+namespace {
+
+void PutU32Le(std::string& out, uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void PutU64Le(std::string& out, uint64_t v) {
+  PutU32Le(out, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  PutU32Le(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetU32Le(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+uint64_t GetU64Le(const char* p) {
+  return static_cast<uint64_t>(GetU32Le(p)) |
+         static_cast<uint64_t>(GetU32Le(p + 4)) << 32;
+}
+
+uint32_t RecordCrc(uint64_t seq, std::string_view payload) {
+  std::string seq_bytes;
+  seq_bytes.reserve(8);
+  PutU64Le(seq_bytes, seq);
+  uint32_t crc = common::Crc32c(seq_bytes);
+  return common::Crc32cExtend(crc, payload);
+}
+
+}  // namespace
+
+std::string EncodeJournalRecord(uint64_t seq, std::string_view payload) {
+  std::string out;
+  out.reserve(kJournalHeaderBytes + payload.size());
+  PutU32Le(out, static_cast<uint32_t>(payload.size()));
+  PutU32Le(out, RecordCrc(seq, payload));
+  PutU64Le(out, seq);
+  out.append(payload);
+  return out;
+}
+
+JournalScanResult ScanJournal(std::string_view bytes) {
+  JournalScanResult result;
+  result.total_bytes = bytes.size();
+  uint64_t offset = 0;
+  uint64_t last_seq = 0;
+  bool have_seq = false;
+  while (offset < bytes.size()) {
+    uint64_t left = bytes.size() - offset;
+    if (left < kJournalHeaderBytes) {
+      result.clean = false;
+      result.damage = "torn header (" + std::to_string(left) +
+                      " trailing bytes) at offset " + std::to_string(offset);
+      break;
+    }
+    const char* header = bytes.data() + offset;
+    uint32_t length = GetU32Le(header);
+    uint32_t crc = GetU32Le(header + 4);
+    uint64_t seq = GetU64Le(header + 8);
+    if (length > kMaxJournalPayloadBytes) {
+      result.clean = false;
+      result.damage = "implausible record length " + std::to_string(length) +
+                      " at offset " + std::to_string(offset);
+      break;
+    }
+    if (left - kJournalHeaderBytes < length) {
+      result.clean = false;
+      result.damage = "torn payload (want " + std::to_string(length) +
+                      " bytes, have " +
+                      std::to_string(left - kJournalHeaderBytes) +
+                      ") at offset " + std::to_string(offset);
+      break;
+    }
+    std::string_view payload =
+        bytes.substr(offset + kJournalHeaderBytes, length);
+    if (RecordCrc(seq, payload) != crc) {
+      result.clean = false;
+      result.damage =
+          "checksum mismatch at offset " + std::to_string(offset);
+      break;
+    }
+    if (have_seq && seq <= last_seq) {
+      result.clean = false;
+      result.damage = "sequence regression (" + std::to_string(last_seq) +
+                      " -> " + std::to_string(seq) + ") at offset " +
+                      std::to_string(offset);
+      break;
+    }
+    JournalRecord record;
+    record.seq = seq;
+    record.payload = std::string(payload);
+    record.offset = offset;
+    result.records.push_back(std::move(record));
+    last_seq = seq;
+    have_seq = true;
+    offset += kJournalHeaderBytes + length;
+  }
+  result.valid_bytes = offset;
+  return result;
+}
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kAlways:
+      return "always";
+    case FsyncPolicy::kBatch:
+      return "batch";
+    case FsyncPolicy::kNever:
+      return "never";
+  }
+  return "unknown";
+}
+
+Result<FsyncPolicy> ParseFsyncPolicy(std::string_view name) {
+  if (name == "always") return FsyncPolicy::kAlways;
+  if (name == "batch") return FsyncPolicy::kBatch;
+  if (name == "never") return FsyncPolicy::kNever;
+  return ParseError("unknown fsync policy '" + std::string(name) +
+                    "' (want always|batch|never)");
+}
+
+Result<std::unique_ptr<Journal>> Journal::Open(common::Fs* fs,
+                                               std::string path,
+                                               uint64_t next_seq,
+                                               FsyncPolicy policy,
+                                               int batch_records) {
+  std::unique_ptr<Journal> journal(
+      new Journal(fs, std::move(path), next_seq, policy, batch_records));
+  ECRINT_ASSIGN_OR_RETURN(journal->file_, fs->OpenAppend(journal->path_));
+  return journal;
+}
+
+Status Journal::Append(std::string_view payload) {
+  if (file_ == nullptr) {
+    return InternalError("journal unusable after failed rotation");
+  }
+  std::string framed = EncodeJournalRecord(next_seq_, payload);
+  ECRINT_RETURN_IF_ERROR(file_->Append(framed));
+  ++next_seq_;
+  ++appends_;
+  appended_bytes_ += static_cast<int64_t>(framed.size());
+  ++since_sync_;
+  bool want_sync = policy_ == FsyncPolicy::kAlways ||
+                   (policy_ == FsyncPolicy::kBatch &&
+                    since_sync_ >= batch_records_);
+  if (want_sync) {
+    ECRINT_RETURN_IF_ERROR(file_->Sync());
+    ++fsyncs_;
+    since_sync_ = 0;
+  }
+  return Status::Ok();
+}
+
+Status Journal::SyncNow() {
+  if (since_sync_ == 0) return Status::Ok();
+  if (file_ == nullptr) {
+    return InternalError("journal unusable after failed rotation");
+  }
+  ECRINT_RETURN_IF_ERROR(file_->Sync());
+  ++fsyncs_;
+  since_sync_ = 0;
+  return Status::Ok();
+}
+
+Status Journal::Rotate() {
+  ECRINT_RETURN_IF_ERROR(file_->Close());
+  file_.reset();
+  ECRINT_RETURN_IF_ERROR(fs_->Truncate(path_, 0));
+  ECRINT_ASSIGN_OR_RETURN(file_, fs_->OpenAppend(path_));
+  since_sync_ = 0;
+  return Status::Ok();
+}
+
+}  // namespace ecrint::service

@@ -1,0 +1,124 @@
+#ifndef ECRINT_SERVICE_JOURNAL_H_
+#define ECRINT_SERVICE_JOURNAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/fs.h"
+#include "common/result.h"
+
+namespace ecrint::service {
+
+// The per-project write-ahead journal: an append-only file of checksummed,
+// length-prefixed records, one per mutating verb, written BEFORE the verb
+// runs against the engine. On-disk framing (docs/FORMATS.md, "Durability
+// files"):
+//
+//   record = length:u32le | crc:u32le | seq:u64le | payload[length]
+//   crc    = CRC-32C over the 8 seq bytes followed by the payload
+//
+// A crash can leave a torn tail (partial header, partial payload, or a
+// record whose checksum no longer matches); ScanJournal finds the longest
+// valid prefix and recovery truncates the file there. Sequence numbers are
+// strictly increasing across checkpoints, which is how recovery tells
+// pre-checkpoint leftovers (skip) from the suffix to replay.
+
+inline constexpr size_t kJournalHeaderBytes = 16;
+// Sanity cap on a single record; a corrupted length field must not make
+// the scanner trust (or a reader allocate) gigabytes.
+inline constexpr uint32_t kMaxJournalPayloadBytes = 16u << 20;
+
+struct JournalRecord {
+  uint64_t seq = 0;
+  std::string payload;
+  // Byte offset of this record's header in the file (where a truncation
+  // would cut if the record had been damaged).
+  uint64_t offset = 0;
+};
+
+struct JournalScanResult {
+  // The longest valid record prefix, in file order.
+  std::vector<JournalRecord> records;
+  // Offset just past the last valid record — the length recovery truncates
+  // the file to when the tail is damaged.
+  uint64_t valid_bytes = 0;
+  uint64_t total_bytes = 0;
+  // True when the file ends exactly at a record boundary with every
+  // checksum intact.
+  bool clean = true;
+  // Human-readable reason the scan stopped early (empty when clean).
+  std::string damage;
+};
+
+// Frames one record.
+std::string EncodeJournalRecord(uint64_t seq, std::string_view payload);
+
+// Decodes the longest valid record prefix of `bytes`. Never fails: damage
+// is reported in-band so recovery can both use the prefix and truncate.
+// Enforces strictly increasing sequence numbers; a regression is damage.
+JournalScanResult ScanJournal(std::string_view bytes);
+
+// When appended records hit the durable medium.
+enum class FsyncPolicy {
+  kAlways,  // fsync after every record: a positive reply implies durable
+  kBatch,   // fsync every Nth record: bounded loss window, much cheaper
+  kNever,   // leave it to the OS: fastest, loss window unbounded
+};
+
+const char* FsyncPolicyName(FsyncPolicy policy);
+Result<FsyncPolicy> ParseFsyncPolicy(std::string_view name);
+
+// Appender over one journal file. Not thread-safe: the caller is the
+// project's single writer (the service already serializes writes per
+// project on the write mutex).
+class Journal {
+ public:
+  // Opens `path` for appending; the next record gets `next_seq`.
+  static Result<std::unique_ptr<Journal>> Open(common::Fs* fs,
+                                               std::string path,
+                                               uint64_t next_seq,
+                                               FsyncPolicy policy,
+                                               int batch_records);
+
+  // Frames, checksums, appends, and (per policy) syncs one record. Any
+  // failure means the device is suspect; the caller flips the project to
+  // degraded mode and stops calling.
+  Status Append(std::string_view payload);
+
+  // Forces a durability barrier now (checkpoint and shutdown paths).
+  Status SyncNow();
+
+  uint64_t next_seq() const { return next_seq_; }
+  int64_t appends() const { return appends_; }
+  int64_t fsyncs() const { return fsyncs_; }
+  int64_t appended_bytes() const { return appended_bytes_; }
+
+  // Rotation support: truncates the file to empty and restarts the append
+  // handle. Sequence numbers keep counting up (never reused).
+  Status Rotate();
+
+ private:
+  Journal(common::Fs* fs, std::string path, uint64_t next_seq,
+          FsyncPolicy policy, int batch_records)
+      : fs_(fs), path_(std::move(path)), next_seq_(next_seq),
+        policy_(policy), batch_records_(batch_records < 1 ? 1
+                                                          : batch_records) {}
+
+  common::Fs* fs_;
+  std::string path_;
+  std::unique_ptr<common::WritableFile> file_;
+  uint64_t next_seq_;
+  FsyncPolicy policy_;
+  int batch_records_;
+  int since_sync_ = 0;
+  int64_t appends_ = 0;
+  int64_t fsyncs_ = 0;
+  int64_t appended_bytes_ = 0;
+};
+
+}  // namespace ecrint::service
+
+#endif  // ECRINT_SERVICE_JOURNAL_H_

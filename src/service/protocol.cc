@@ -6,55 +6,27 @@
 
 namespace ecrint::service {
 
-std::string EscapeField(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (char c : text) {
-    switch (c) {
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      default:
-        out += c;
-    }
+Status ValidateRequestLine(std::string_view line) {
+  if (line.size() > kMaxRequestLineBytes) {
+    return InvalidArgumentError(
+        "request line of " + std::to_string(line.size()) +
+        " bytes exceeds the " + std::to_string(kMaxRequestLineBytes) +
+        "-byte limit");
   }
-  return out;
+  if (line.find('\0') != std::string_view::npos) {
+    return InvalidArgumentError("request line contains a NUL byte");
+  }
+  return Status::Ok();
+}
+
+std::string EscapeField(std::string_view text) {
+  // The wire escaping and the journal-payload escaping are the same
+  // encoding on purpose: one set of invariants, one implementation.
+  return EscapeBackslash(text);
 }
 
 Result<std::string> UnescapeField(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (size_t i = 0; i < text.size(); ++i) {
-    char c = text[i];
-    if (c != '\\') {
-      out += c;
-      continue;
-    }
-    if (i + 1 >= text.size()) {
-      return ParseError("dangling escape at end of field");
-    }
-    char next = text[++i];
-    switch (next) {
-      case 'n':
-        out += '\n';
-        break;
-      case 't':
-        out += '\t';
-        break;
-      case '\\':
-        out += '\\';
-        break;
-      default:
-        return ParseError(std::string("unknown escape '\\") + next + "'");
-    }
-  }
-  return out;
+  return UnescapeBackslash(text);
 }
 
 std::vector<std::string> Tokenize(std::string_view line) {
@@ -74,8 +46,11 @@ std::string FormatResponse(const ServiceResponse& response) {
   if (response.ok()) {
     out << "ok\n";
   } else {
-    out << "err " << ServiceErrorCodeName(response.error->code) << " "
-        << EscapeField(response.error->message) << "\n";
+    out << "err " << ServiceErrorCodeName(response.error->code);
+    if (response.error->retry_after_ms > 0) {
+      out << " retry-after-ms=" << response.error->retry_after_ms;
+    }
+    out << " " << EscapeField(response.error->message) << "\n";
   }
   for (const std::string& line : response.lines) {
     std::string escaped = EscapeField(line);
@@ -87,6 +62,11 @@ std::string FormatResponse(const ServiceResponse& response) {
 }
 
 Result<ServiceResponse> ParseResponse(std::string_view wire) {
+  if (wire.size() > kMaxResponseFrameBytes) {
+    return ParseError("response frame of " + std::to_string(wire.size()) +
+                      " bytes exceeds the " +
+                      std::to_string(kMaxResponseFrameBytes) + "-byte limit");
+  }
   std::vector<std::string> lines = Split(wire, '\n');
   // A well-formed frame ends "...\n.\n" -> trailing empty piece from Split.
   if (!lines.empty() && lines.back().empty()) lines.pop_back();
@@ -111,6 +91,8 @@ Result<ServiceResponse> ParseResponse(std::string_view wire) {
       error.code = ServiceErrorCode::kConflict;
     } else if (parts[1] == "BAD_REQUEST") {
       error.code = ServiceErrorCode::kBadRequest;
+    } else if (parts[1] == "UNAVAILABLE") {
+      error.code = ServiceErrorCode::kUnavailable;
     } else {
       return ParseError("unknown error code '" + parts[1] + "'");
     }
@@ -118,6 +100,27 @@ Result<ServiceResponse> ParseResponse(std::string_view wire) {
     while (message_at < status_line.size() &&
            status_line[message_at] == ' ') {
       ++message_at;
+    }
+    constexpr std::string_view kRetryToken = "retry-after-ms=";
+    if (status_line.compare(message_at, kRetryToken.size(), kRetryToken) ==
+        0) {
+      size_t value_at = message_at + kRetryToken.size();
+      size_t value_end = value_at;
+      int64_t value = 0;
+      while (value_end < status_line.size() &&
+             status_line[value_end] >= '0' && status_line[value_end] <= '9') {
+        value = value * 10 + (status_line[value_end] - '0');
+        ++value_end;
+      }
+      if (value_end == value_at) {
+        return ParseError("malformed retry-after-ms token");
+      }
+      error.retry_after_ms = value;
+      message_at = value_end;
+      while (message_at < status_line.size() &&
+             status_line[message_at] == ' ') {
+        ++message_at;
+      }
     }
     ECRINT_ASSIGN_OR_RETURN(error.message,
                             UnescapeField(status_line.substr(message_at)));

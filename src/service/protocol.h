@@ -27,6 +27,27 @@ namespace ecrint::service {
 // Payload lines are escaped the same way (so they never contain a raw
 // newline) and dot-stuffed: a payload line starting with "." is sent with
 // the dot doubled, SMTP-style, so the terminator stays unambiguous.
+//
+// An UNAVAILABLE error line carries a machine-readable retry hint between
+// the code and the message:
+//
+//   err UNAVAILABLE retry-after-ms=1000 project is read-only (...)
+
+// Hard ceiling on one request line (verb + args + newline). The largest
+// legitimate request is a `define` whose escaped DDL rides in the tail;
+// 1 MiB of DDL is orders of magnitude beyond any real schema, so anything
+// bigger is a protocol error (or an attack) and must not grow the read
+// buffer without bound.
+inline constexpr size_t kMaxRequestLineBytes = 1u << 20;
+// Same ceiling for one framed response a client will buffer (exports are
+// the largest frames; they are bounded by the DDL that defined them).
+inline constexpr size_t kMaxResponseFrameBytes = 8u << 20;
+
+// Rejects a request line the server must not process: longer than
+// kMaxRequestLineBytes or containing a NUL byte (no legitimate verb or
+// escaped argument contains one; C-string handling downstream would
+// silently truncate).
+Status ValidateRequestLine(std::string_view line);
 
 // Escapes newline, tab, and backslash.
 std::string EscapeField(std::string_view text);

@@ -1,0 +1,317 @@
+#include "service/recovery.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/strings.h"
+#include "core/project_io.h"
+
+namespace ecrint::service {
+
+namespace {
+
+constexpr char kCheckpointMagic[] = "ecrint-checkpoint v1";
+constexpr char kProjectMarker[] = "%project";
+
+void Bump(Counter* counter, int64_t delta = 1) {
+  if (counter != nullptr && delta != 0) counter->Increment(delta);
+}
+
+Result<int64_t> ParseInt64(const std::string& token) {
+  char* end = nullptr;
+  long long value = std::strtoll(token.c_str(), &end, 10);
+  if (end == token.c_str() || *end != '\0') {
+    return ParseError("expected integer, got '" + token + "'");
+  }
+  return static_cast<int64_t>(value);
+}
+
+}  // namespace
+
+std::string SerializeCheckpoint(const Checkpoint& checkpoint) {
+  std::string out = kCheckpointMagic;
+  out += "\nseq " + std::to_string(checkpoint.seq);
+  out += "\nstamp " + std::to_string(checkpoint.stamp.schema_generation) +
+         " " + std::to_string(checkpoint.stamp.equivalence_generation) + " " +
+         std::to_string(checkpoint.stamp.assertion_epoch) + " " +
+         std::to_string(checkpoint.stamp.assertion_log_size) + " " +
+         std::to_string(checkpoint.stamp.integration_version);
+  if (checkpoint.integrated) {
+    out += "\nintegrated";
+    for (const std::string& schema : checkpoint.integrated_schemas) {
+      out += " " + schema;
+    }
+  }
+  out += "\n";
+  out += kProjectMarker;
+  out += "\n";
+  out += checkpoint.project_text;
+  return out;
+}
+
+Result<Checkpoint> ParseCheckpoint(std::string_view text) {
+  Checkpoint checkpoint;
+  bool saw_magic = false, saw_seq = false, saw_stamp = false;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line = eol == std::string_view::npos
+                                ? text.substr(pos)
+                                : text.substr(pos, eol - pos);
+    size_t next = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    if (!saw_magic) {
+      if (line != kCheckpointMagic) {
+        return ParseError("not a checkpoint file (bad magic line)");
+      }
+      saw_magic = true;
+      pos = next;
+      continue;
+    }
+    if (line == kProjectMarker) {
+      checkpoint.project_text =
+          eol == std::string_view::npos ? std::string()
+                                        : std::string(text.substr(eol + 1));
+      if (!saw_seq || !saw_stamp) {
+        return ParseError("checkpoint header missing seq or stamp line");
+      }
+      return checkpoint;
+    }
+    std::vector<std::string> tokens;
+    for (const std::string& token : Split(line, ' ')) {
+      if (!token.empty()) tokens.push_back(token);
+    }
+    if (tokens.empty()) {
+      pos = next;
+      continue;
+    }
+    if (tokens[0] == "seq") {
+      if (tokens.size() != 2) return ParseError("malformed seq line");
+      ECRINT_ASSIGN_OR_RETURN(int64_t seq, ParseInt64(tokens[1]));
+      if (seq < 0) return ParseError("negative checkpoint seq");
+      checkpoint.seq = static_cast<uint64_t>(seq);
+      saw_seq = true;
+    } else if (tokens[0] == "stamp") {
+      if (tokens.size() != 6) {
+        return ParseError("stamp line wants 5 counters, got " +
+                          std::to_string(tokens.size() - 1));
+      }
+      ECRINT_ASSIGN_OR_RETURN(checkpoint.stamp.schema_generation,
+                              ParseInt64(tokens[1]));
+      ECRINT_ASSIGN_OR_RETURN(checkpoint.stamp.equivalence_generation,
+                              ParseInt64(tokens[2]));
+      ECRINT_ASSIGN_OR_RETURN(checkpoint.stamp.assertion_epoch,
+                              ParseInt64(tokens[3]));
+      ECRINT_ASSIGN_OR_RETURN(checkpoint.stamp.assertion_log_size,
+                              ParseInt64(tokens[4]));
+      ECRINT_ASSIGN_OR_RETURN(checkpoint.stamp.integration_version,
+                              ParseInt64(tokens[5]));
+      saw_stamp = true;
+    } else if (tokens[0] == "integrated") {
+      checkpoint.integrated = true;
+      checkpoint.integrated_schemas.assign(tokens.begin() + 1, tokens.end());
+    } else {
+      return ParseError("unknown checkpoint header line '" +
+                        std::string(line) + "'");
+    }
+    pos = next;
+  }
+  return ParseError("checkpoint has no " + std::string(kProjectMarker) +
+                    " section");
+}
+
+std::string ProjectDirName(const std::string& project) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(project.size());
+  for (unsigned char c : project) {
+    bool safe = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (safe) {
+      out.push_back(static_cast<char>(c));
+    } else {
+      out.push_back('%');
+      out.push_back(kHex[c >> 4]);
+      out.push_back(kHex[c & 0xF]);
+    }
+  }
+  return out;
+}
+
+std::string RecoveryManager::JournalPath(const std::string& dir) {
+  return dir + "/journal.wal";
+}
+
+std::string RecoveryManager::CheckpointPath(const std::string& dir) {
+  return dir + "/checkpoint.ecr";
+}
+
+RecoveryManager::RecoveryManager(common::Fs* fs, std::string dir,
+                                 const DurabilityOptions& options,
+                                 MetricsRegistry* metrics)
+    : fs_(fs), dir_(std::move(dir)), options_(options) {
+  if (metrics != nullptr) {
+    appends_ = metrics->GetCounter("journal.appends");
+    append_bytes_ = metrics->GetCounter("journal.append_bytes");
+    fsyncs_ = metrics->GetCounter("journal.fsyncs");
+    append_failures_ = metrics->GetCounter("journal.append_failures");
+    checkpoints_ = metrics->GetCounter("journal.checkpoints");
+    checkpoint_failures_ = metrics->GetCounter("journal.checkpoint_failures");
+  }
+}
+
+Result<std::unique_ptr<RecoveryManager>> RecoveryManager::Open(
+    common::Fs* fs, std::string dir, const DurabilityOptions& options,
+    engine::Engine& engine, RecoveryStats* stats, MetricsRegistry* metrics) {
+  RecoveryStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = RecoveryStats{};
+
+  ECRINT_RETURN_IF_ERROR(fs->CreateDirs(dir));
+  std::unique_ptr<RecoveryManager> manager(
+      new RecoveryManager(fs, std::move(dir), options, metrics));
+
+  // 1. Checkpoint, when present: the engine state with records <= seq
+  //    folded in, stamped exactly as the original engine was.
+  const std::string checkpoint_path = CheckpointPath(manager->dir_);
+  if (fs->Exists(checkpoint_path)) {
+    ECRINT_ASSIGN_OR_RETURN(std::string text,
+                            fs->ReadFileToString(checkpoint_path));
+    ECRINT_ASSIGN_OR_RETURN(Checkpoint checkpoint, ParseCheckpoint(text));
+    ECRINT_ASSIGN_OR_RETURN(core::Project project,
+                            core::ParseProject(checkpoint.project_text));
+    ECRINT_RETURN_IF_ERROR(engine.ImportProject(std::move(project)));
+    if (checkpoint.integrated) {
+      Result<const core::IntegrationResult*> integrated =
+          engine.Integrate(checkpoint.integrated_schemas);
+      if (!integrated.ok()) {
+        return InternalError("checkpoint claims a current integration but "
+                             "rebuilding it failed: " +
+                             integrated.status().message());
+      }
+    }
+    ECRINT_RETURN_IF_ERROR(engine.AdoptReplayStamp(checkpoint.stamp));
+    stats->restored_checkpoint = true;
+    stats->checkpoint_seq = checkpoint.seq;
+  } else {
+    engine::BeginReplay(engine);
+  }
+
+  // 2. Journal: longest valid prefix replays; a torn tail is truncated so
+  //    the next append starts at a clean record boundary.
+  const std::string journal_path = JournalPath(manager->dir_);
+  uint64_t last_seq = stats->checkpoint_seq;
+  if (fs->Exists(journal_path)) {
+    ECRINT_ASSIGN_OR_RETURN(std::string bytes,
+                            fs->ReadFileToString(journal_path));
+    JournalScanResult scan = ScanJournal(bytes);
+    uint64_t cut = scan.valid_bytes;
+    for (const JournalRecord& record : scan.records) {
+      if (record.seq <= stats->checkpoint_seq) {
+        ++stats->skipped_records;
+        continue;
+      }
+      Result<engine::ReplayVerb> verb =
+          engine::DecodeReplayVerb(record.payload);
+      if (!verb.ok()) {
+        // Checksum-valid but unparseable: damage the CRC cannot see
+        // (version skew, writer bug). Cut here like any other torn tail.
+        cut = record.offset;
+        scan.clean = false;
+        break;
+      }
+      // The verb's own outcome is irrelevant: the engine is deterministic,
+      // so a rejected verb replays to the identical rejection, and the
+      // original execution journaled it regardless.
+      (void)engine::ApplyReplayVerb(engine, *verb);
+      ++stats->replayed_records;
+      last_seq = record.seq;
+    }
+    if (!scan.clean) {
+      stats->truncated_bytes =
+          static_cast<int64_t>(scan.total_bytes - cut);
+      ECRINT_RETURN_IF_ERROR(fs->Truncate(journal_path, cut));
+    }
+  }
+
+  // 3. Reopen for appending; sequence numbers continue past everything
+  //    ever assigned (checkpointed or replayed).
+  ECRINT_ASSIGN_OR_RETURN(
+      manager->journal_,
+      Journal::Open(fs, journal_path, last_seq + 1, options.fsync,
+                    options.fsync_batch_records));
+
+  if (metrics != nullptr) {
+    metrics->GetCounter("journal.recoveries")->Increment();
+    Bump(metrics->GetCounter("journal.replay.records"),
+         stats->replayed_records);
+    Bump(metrics->GetCounter("journal.replay.skipped"),
+         stats->skipped_records);
+    Bump(metrics->GetCounter("journal.replay.truncated_bytes"),
+         stats->truncated_bytes);
+  }
+  return manager;
+}
+
+Status RecoveryManager::LogVerb(const engine::ReplayVerb& verb) {
+  int64_t appends_before = journal_->appends();
+  int64_t bytes_before = journal_->appended_bytes();
+  int64_t fsyncs_before = journal_->fsyncs();
+  Status status = journal_->Append(engine::EncodeReplayVerb(verb));
+  Bump(appends_, journal_->appends() - appends_before);
+  Bump(append_bytes_, journal_->appended_bytes() - bytes_before);
+  Bump(fsyncs_, journal_->fsyncs() - fsyncs_before);
+  if (!status.ok()) {
+    Bump(append_failures_);
+    return status;
+  }
+  ++records_since_checkpoint_;
+  return Status::Ok();
+}
+
+Status RecoveryManager::WriteCheckpoint(engine::Engine& engine) {
+  Checkpoint checkpoint;
+  checkpoint.seq = journal_->next_seq() - 1;
+  // Export first: it materializes the equivalence map if absent, which
+  // bumps a generation — the stamp must be read after.
+  checkpoint.project_text = engine.ExportProject();
+  checkpoint.stamp = engine.Stamp();
+  checkpoint.integrated = engine.IntegrationCurrent();
+  if (checkpoint.integrated) {
+    checkpoint.integrated_schemas = engine.integrated_schemas();
+  }
+
+  // Make everything the checkpoint covers durable before the rotation can
+  // discard the journal copy of it.
+  ECRINT_RETURN_IF_ERROR(journal_->SyncNow());
+  Status written = fs_->WriteFileAtomic(CheckpointPath(dir_),
+                                        SerializeCheckpoint(checkpoint));
+  if (!written.ok()) {
+    // Non-fatal: the previous checkpoint plus the intact journal still
+    // recover everything.
+    Bump(checkpoint_failures_);
+    return written;
+  }
+  Bump(checkpoints_);
+  records_since_checkpoint_ = 0;
+  Status rotated = journal_->Rotate();
+  if (!rotated.ok()) {
+    // The append handle is gone; the next LogVerb fails and the service
+    // degrades the project. Recovery skips the stale records by sequence.
+    Bump(checkpoint_failures_);
+    return rotated;
+  }
+  return Status::Ok();
+}
+
+void RecoveryManager::MaybeCheckpoint(engine::Engine& engine) {
+  if (options_.checkpoint_interval_records <= 0) return;
+  if (records_since_checkpoint_ < options_.checkpoint_interval_records) {
+    return;
+  }
+  // Reset even on failure so a persistently failing checkpoint is retried
+  // once per interval, not once per write.
+  records_since_checkpoint_ = 0;
+  (void)WriteCheckpoint(engine);
+}
+
+}  // namespace ecrint::service

@@ -1,0 +1,129 @@
+#ifndef ECRINT_SERVICE_RECOVERY_H_
+#define ECRINT_SERVICE_RECOVERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fs.h"
+#include "common/result.h"
+#include "engine/engine.h"
+#include "engine/replay.h"
+#include "service/journal.h"
+#include "service/metrics.h"
+
+namespace ecrint::service {
+
+// Knobs of the durability subsystem, set once per service instance.
+struct DurabilityOptions {
+  FsyncPolicy fsync = FsyncPolicy::kAlways;
+  // For FsyncPolicy::kBatch: fsync every Nth appended record.
+  int fsync_batch_records = 8;
+  // Write a checkpoint (and rotate the journal) every Nth logged verb;
+  // bounds replay work after a crash. 0 disables automatic checkpoints
+  // (shutdown and explicit requests still write them).
+  int checkpoint_interval_records = 256;
+  // The retry-after hint attached to UNAVAILABLE responses once a project
+  // is degraded.
+  int64_t degraded_retry_after_ms = 1000;
+};
+
+// What recovery did, for logs, tests, and the ecrint_journal tool.
+struct RecoveryStats {
+  bool restored_checkpoint = false;
+  uint64_t checkpoint_seq = 0;
+  int64_t replayed_records = 0;
+  // Journal records at or below the checkpoint sequence — leftovers of a
+  // rotation that failed after the checkpoint landed.
+  int64_t skipped_records = 0;
+  // Bytes cut from a torn or corrupt journal tail.
+  int64_t truncated_bytes = 0;
+};
+
+// A parsed checkpoint: the engine state with every journal record up to
+// `seq` folded in. Text format (docs/FORMATS.md):
+//
+//   ecrint-checkpoint v1
+//   seq <N>
+//   stamp <schema-gen> <equiv-gen> <assert-epoch> <log-size> <integ-version>
+//   integrated <schema>...        ; present iff integration was current
+//   %project
+//   <core::SerializeProject text>
+struct Checkpoint {
+  uint64_t seq = 0;
+  engine::EngineStamp stamp;
+  bool integrated = false;
+  std::vector<std::string> integrated_schemas;
+  std::string project_text;
+};
+
+std::string SerializeCheckpoint(const Checkpoint& checkpoint);
+Result<Checkpoint> ParseCheckpoint(std::string_view text);
+
+// Filesystem-safe directory name for a project: bytes outside
+// [A-Za-z0-9_-] are %XX percent-encoded, so "../evil" cannot escape the
+// data dir and distinct project names never collide.
+std::string ProjectDirName(const std::string& project);
+
+// Owns one project's durability state: recovers the engine at open (load
+// checkpoint, replay the journal suffix, truncate any torn tail), then
+// journals every verb ahead of execution and periodically checkpoints.
+// Not thread-safe — lives under the project's write mutex, exactly like
+// the engine it protects.
+class RecoveryManager {
+ public:
+  // Recovers `engine` from `dir` (creating it on first use) and opens the
+  // journal for appending. On any error the engine's content is
+  // unspecified and the caller must treat the project as unavailable.
+  // `metrics` may be null (standalone tools).
+  static Result<std::unique_ptr<RecoveryManager>> Open(
+      common::Fs* fs, std::string dir, const DurabilityOptions& options,
+      engine::Engine& engine, RecoveryStats* stats,
+      MetricsRegistry* metrics);
+
+  // Appends one verb to the journal (syncing per policy). Called BEFORE
+  // the verb runs against the engine; failure means nothing was applied
+  // anywhere and the caller flips the project to degraded read-only mode.
+  Status LogVerb(const engine::ReplayVerb& verb);
+
+  // Writes a checkpoint of the engine's current state and rotates the
+  // journal. An atomic-write failure is non-fatal (the previous checkpoint
+  // and the full journal still recover everything); a rotation failure
+  // closes the journal, so the next LogVerb fails and degrades the
+  // project.
+  Status WriteCheckpoint(engine::Engine& engine);
+
+  // WriteCheckpoint every checkpoint_interval_records logged verbs.
+  // Failures are swallowed (counted in journal.checkpoint_failures).
+  void MaybeCheckpoint(engine::Engine& engine);
+
+  uint64_t next_seq() const { return journal_->next_seq(); }
+  const std::string& dir() const { return dir_; }
+  const DurabilityOptions& options() const { return options_; }
+
+  static std::string JournalPath(const std::string& dir);
+  static std::string CheckpointPath(const std::string& dir);
+
+ private:
+  RecoveryManager(common::Fs* fs, std::string dir,
+                  const DurabilityOptions& options, MetricsRegistry* metrics);
+
+  common::Fs* fs_;
+  std::string dir_;
+  DurabilityOptions options_;
+  std::unique_ptr<Journal> journal_;
+  int records_since_checkpoint_ = 0;
+
+  // Resolved once; null when no registry was supplied.
+  Counter* appends_ = nullptr;
+  Counter* append_bytes_ = nullptr;
+  Counter* fsyncs_ = nullptr;
+  Counter* append_failures_ = nullptr;
+  Counter* checkpoints_ = nullptr;
+  Counter* checkpoint_failures_ = nullptr;
+};
+
+}  // namespace ecrint::service
+
+#endif  // ECRINT_SERVICE_RECOVERY_H_

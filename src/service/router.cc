@@ -78,6 +78,11 @@ void RequestRouter::HandleLineAsync(std::string line, RouterSession* session,
 
 ServiceResponse RequestRouter::Dispatch(const std::string& line,
                                         RouterSession* session) {
+  // Size and byte-content limits come first: an oversized or NUL-bearing
+  // line is refused before any token of it is interpreted.
+  if (Status valid = ValidateRequestLine(line); !valid.ok()) {
+    return BadRequest(valid.message());
+  }
   std::vector<std::string> tokens = Tokenize(line);
   if (tokens.empty()) return BadRequest("empty request");
   const std::string& verb = tokens[0];

@@ -48,6 +48,8 @@ const char* ServiceErrorCodeName(ServiceErrorCode code) {
       return "BAD_REQUEST";
     case ServiceErrorCode::kConflict:
       return "CONFLICT";
+    case ServiceErrorCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "BAD_REQUEST";
 }
@@ -64,6 +66,7 @@ ServiceError ErrorFromStatus(const Status& status) {
 IntegrationService::IntegrationService(ServiceConfig config)
     : config_(config),
       clock_(config.clock != nullptr ? config.clock : common::RealClock()),
+      fs_(config.fs != nullptr ? config.fs : common::RealFs()),
       sessions_(clock_, config.session_idle_timeout_ns) {}
 
 std::string IntegrationService::OpenSession(const std::string& project) {
@@ -72,8 +75,24 @@ std::string IntegrationService::OpenSession(const std::string& project) {
     std::unique_ptr<ProjectState>& slot = projects_[project];
     if (!slot) {
       slot = std::make_unique<ProjectState>();
-      // Publish the empty generation up front so readers opened before the
-      // first write still get a (vacuous) snapshot instead of null.
+      if (!config_.data_dir.empty()) {
+        // Recover the engine from the project's journal + checkpoint (a
+        // fresh directory on first use). Recovery failure does not fail
+        // the open: the project comes up degraded — reads serve whatever
+        // state was recovered (possibly none), writes get UNAVAILABLE.
+        RecoveryStats stats;
+        Result<std::unique_ptr<RecoveryManager>> opened =
+            RecoveryManager::Open(
+                fs_, config_.data_dir + "/" + ProjectDirName(project),
+                config_.durability, slot->engine, &stats, &metrics_);
+        if (opened.ok()) {
+          slot->durability = *std::move(opened);
+        } else {
+          DegradeProject(*slot, opened.status());
+        }
+      }
+      // Publish the (empty or recovered) generation up front so readers
+      // opened before the first write still get a snapshot instead of null.
       slot->snapshots.Publish(slot->engine);
       metrics_.GetCounter("snapshots.published")->Increment();
     }
@@ -161,9 +180,29 @@ ServiceResponse IntegrationService::Admit(const std::string& session_id,
   return response;
 }
 
+void IntegrationService::DegradeProject(ProjectState& project,
+                                        const Status& cause) {
+  project.degraded = true;
+  project.degraded_reason = cause.ToString();
+  metrics_.GetCounter("journal.degraded_flips")->Increment();
+}
+
+ServiceError IntegrationService::UnavailableError(
+    const ProjectState& project) const {
+  ServiceError error;
+  error.code = ServiceErrorCode::kUnavailable;
+  error.message =
+      "project is read-only (journal failure: " + project.degraded_reason +
+      ")";
+  error.retry_after_ms = config_.durability.degraded_retry_after_ms;
+  return error;
+}
+
 template <typename Fn>
 ServiceResponse IntegrationService::RunWrite(ProjectState& project,
-                                             int64_t deadline_ns, Fn&& fn) {
+                                             int64_t deadline_ns,
+                                             const engine::ReplayVerb* verb,
+                                             Fn&& fn) {
   std::lock_guard<std::mutex> lock(project.write_mutex);
   // Time queued behind other writers counts against the deadline: a client
   // whose deadline lapsed while waiting sees TIMEOUT, not a late mutation.
@@ -171,11 +210,48 @@ ServiceResponse IntegrationService::RunWrite(ProjectState& project,
     return ErrorResponse({ServiceErrorCode::kTimeout,
                           "deadline expired while queued for write"});
   }
+  if (verb != nullptr) {
+    if (project.degraded) {
+      return ErrorResponse(UnavailableError(project));
+    }
+    if (project.durability != nullptr) {
+      // WAL-first: the verb hits the journal before the engine, so a
+      // journal failure leaves memory and disk agreeing (verb happened
+      // nowhere) and the project flips to degraded read-only mode.
+      Status logged = project.durability->LogVerb(*verb);
+      if (!logged.ok()) {
+        DegradeProject(project, logged);
+        return ErrorResponse(UnavailableError(project));
+      }
+    }
+  }
   ServiceResponse response = fn(project.engine);
   if (project.snapshots.Publish(project.engine)) {
     metrics_.GetCounter("snapshots.published")->Increment();
   }
+  // After publish so the checkpoint captures the published stamp (publish
+  // materializes the equivalence map; replay mirrors that).
+  if (verb != nullptr && project.durability != nullptr) {
+    project.durability->MaybeCheckpoint(project.engine);
+  }
   return response;
+}
+
+int IntegrationService::CheckpointProjects() {
+  std::vector<ProjectState*> all;
+  {
+    std::lock_guard<std::mutex> lock(projects_mutex_);
+    for (auto& [name, project] : projects_) all.push_back(project.get());
+  }
+  int written = 0;
+  for (ProjectState* project : all) {
+    std::lock_guard<std::mutex> lock(project->write_mutex);
+    if (project->degraded || project->durability == nullptr) continue;
+    if (project->durability->WriteCheckpoint(project->engine).ok()) {
+      ++written;
+    }
+  }
+  return written;
 }
 
 // ---------------------------------------------------------------------------
@@ -187,8 +263,9 @@ ServiceResponse IntegrationService::Define(const std::string& session_id,
                                            int64_t deadline_ns) {
   return Admit(session_id, "define", deadline_ns,
                [&](ProjectState& project, int64_t deadline) {
+                 engine::ReplayVerb verb = engine::DefineVerb(ddl);
                  return RunWrite(
-                     project, deadline, [&](engine::Engine& engine) {
+                     project, deadline, &verb, [&](engine::Engine& engine) {
                        size_t before = engine.diagnostics().size();
                        Result<std::vector<std::string>> names =
                            engine.DefineSchema(ddl);
@@ -212,8 +289,9 @@ ServiceResponse IntegrationService::DeclareEquivalence(
     const ecr::AttributePath& b, int64_t deadline_ns) {
   return Admit(session_id, "equiv", deadline_ns,
                [&](ProjectState& project, int64_t deadline) {
+                 engine::ReplayVerb verb = engine::EquivalenceVerb(a, b);
                  return RunWrite(
-                     project, deadline, [&](engine::Engine& engine) {
+                     project, deadline, &verb, [&](engine::Engine& engine) {
                        size_t before = engine.diagnostics().size();
                        Status status = engine.AssertEquivalence(a, b);
                        if (!status.ok()) {
@@ -233,7 +311,10 @@ ServiceResponse IntegrationService::AssertRelation(
   return Admit(
       session_id, "assert", deadline_ns,
       [&](ProjectState& project, int64_t deadline) {
-        return RunWrite(project, deadline, [&](engine::Engine& engine) {
+        engine::ReplayVerb verb = engine::RelationVerb(first, type_code,
+                                                       second);
+        return RunWrite(project, deadline, &verb,
+                        [&](engine::Engine& engine) {
           Result<core::AssertionType> type =
               core::AssertionTypeFromCode(type_code);
           if (!type.ok()) {
@@ -260,7 +341,9 @@ ServiceResponse IntegrationService::Integrate(
   return Admit(
       session_id, "integrate", deadline_ns,
       [&](ProjectState& project, int64_t deadline) {
-        return RunWrite(project, deadline, [&](engine::Engine& engine) {
+        engine::ReplayVerb verb = engine::IntegrateVerb(schemas);
+        return RunWrite(project, deadline, &verb,
+                        [&](engine::Engine& engine) {
           size_t before = engine.diagnostics().size();
           Result<const core::IntegrationResult*> result =
               engine.Integrate(std::move(schemas));
@@ -271,10 +354,14 @@ ServiceResponse IntegrationService::Integrate(
           response.lines = ToLines(ecr::ToOutline((*result)->schema));
           for (const core::DerivedAttributeInfo& info :
                (*result)->derived_attributes) {
-            std::string line =
-                "derived " + info.owner + "." + info.name + " <-";
+            std::string line = "derived ";
+            line += info.owner;
+            line += ".";
+            line += info.name;
+            line += " <-";
             for (const ecr::AttributePath& component : info.components) {
-              line += " " + component.ToString();
+              line += " ";
+              line += component.ToString();
             }
             response.lines.push_back(std::move(line));
           }
@@ -287,7 +374,10 @@ ServiceResponse IntegrationService::ExportProject(
     const std::string& session_id, int64_t deadline_ns) {
   return Admit(session_id, "export", deadline_ns,
                [&](ProjectState& project, int64_t deadline) {
-                 return RunWrite(project, deadline,
+                 // Export mutates nothing; it rides the write lock only for
+                 // a consistent view, so it is not journaled and still
+                 // works in degraded mode.
+                 return RunWrite(project, deadline, /*verb=*/nullptr,
                                  [&](engine::Engine& engine) {
                                    ServiceResponse response;
                                    response.lines =

@@ -11,17 +11,20 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/fs.h"
 #include "common/result.h"
 #include "core/object_ref.h"
 #include "core/request_translation.h"
 #include "engine/engine.h"
+#include "engine/replay.h"
 #include "service/metrics.h"
+#include "service/recovery.h"
 #include "service/session.h"
 #include "service/snapshot.h"
 
 namespace ecrint::service {
 
-// What a client sees when the service refuses or fails a request. The four
+// What a client sees when the service refuses or fails a request. The five
 // codes partition every failure the service plane can produce:
 //   OVERLOADED  - admission control shed the request (queue at capacity);
 //                 retry with backoff, the project state is untouched.
@@ -32,11 +35,16 @@ namespace ecrint::service {
 //   BAD_REQUEST - anything else the caller got wrong: unknown verb or
 //                 session, parse errors, missing schemas/attributes,
 //                 operations out of phase order.
+//   UNAVAILABLE - the project's journal device failed, so mutations are
+//                 refused (degraded read-only mode); nothing was applied.
+//                 Carries a retry-after hint; reads keep working against
+//                 the last published snapshot.
 enum class ServiceErrorCode {
   kOverloaded,
   kTimeout,
   kBadRequest,
   kConflict,
+  kUnavailable,
 };
 
 // Wire name of a code ("OVERLOADED", "TIMEOUT", ...).
@@ -45,6 +53,9 @@ const char* ServiceErrorCodeName(ServiceErrorCode code);
 struct ServiceError {
   ServiceErrorCode code = ServiceErrorCode::kBadRequest;
   std::string message;
+  // For UNAVAILABLE: how long the client should wait before retrying
+  // (0 = no hint).
+  int64_t retry_after_ms = 0;
 };
 
 // Maps an engine/library Status onto the service error vocabulary:
@@ -72,6 +83,14 @@ struct ServiceConfig {
   // Time source; null means the real steady clock. Tests inject a
   // ManualClock so deadline and reaping behaviour never sleeps.
   const common::Clock* clock = nullptr;
+  // Root of the durability tree: each project journals and checkpoints
+  // under <data_dir>/<encoded-project-name>/. Empty disables durability
+  // entirely (the pre-journal in-memory behaviour).
+  std::string data_dir;
+  // Filesystem behind the durability tree; null means the real POSIX
+  // filesystem. Tests inject MemFs or FaultInjectingFs.
+  common::Fs* fs = nullptr;
+  DurabilityOptions durability;
 };
 
 // The multi-session, thread-safe service plane over engine::Engine.
@@ -137,6 +156,10 @@ class IntegrationService {
   ServiceResponse MetricsDump(const std::string& session_id,
                               int64_t deadline_ns = 0);
 
+  // Checkpoints every healthy durable project now (shutdown/drain path);
+  // returns how many checkpoints were written. A no-op without a data dir.
+  int CheckpointProjects();
+
   // The current snapshot of a session's project (null if the session or
   // project is unknown). Exposed for readers that drive snapshot
   // operations directly (tests, the stress harness).
@@ -149,11 +172,19 @@ class IntegrationService {
 
  private:
   // One hosted project: the single-writer engine behind its lock, plus the
-  // published snapshot chain.
+  // published snapshot chain and (when a data dir is configured) its
+  // write-ahead journal.
   struct ProjectState {
     std::mutex write_mutex;
     engine::Engine engine;  // guarded by write_mutex
     SnapshotManager snapshots;
+    // Null when durability is disabled or recovery failed at open.
+    std::unique_ptr<RecoveryManager> durability;  // guarded by write_mutex
+    // Degraded read-only mode: the journal device failed (or recovery
+    // did), so mutations are refused with UNAVAILABLE while reads keep
+    // serving the last published snapshot.
+    bool degraded = false;            // guarded by write_mutex
+    std::string degraded_reason;      // guarded by write_mutex
   };
 
   // Admission + deadline + session routing + metrics around one verb.
@@ -164,10 +195,17 @@ class IntegrationService {
                         int64_t deadline_ns, Fn&& fn);
 
   // The write path body: lock, re-check deadline (time spent queued counts
-  // against it), run, republish.
+  // against it), journal the verb (WAL-first: a journal failure leaves the
+  // engine untouched and degrades the project), run, republish, maybe
+  // checkpoint. `verb` is null for non-mutating verbs routed through the
+  // write lock (export), which also skip the degraded check.
   template <typename Fn>
   ServiceResponse RunWrite(ProjectState& project, int64_t deadline_ns,
-                           Fn&& fn);
+                           const engine::ReplayVerb* verb, Fn&& fn);
+
+  // Flips the project to degraded read-only mode. Caller holds write_mutex.
+  void DegradeProject(ProjectState& project, const Status& cause);
+  ServiceError UnavailableError(const ProjectState& project) const;
 
   ProjectState* FindProject(const std::string& name);
   ProjectState* ProjectForSession(const std::string& session_id,
@@ -175,6 +213,7 @@ class IntegrationService {
 
   ServiceConfig config_;
   const common::Clock* clock_;
+  common::Fs* fs_;
   SessionManager sessions_;
   MetricsRegistry metrics_;
 

@@ -1,0 +1,224 @@
+#include "common/fs.h"
+
+#include <cstdio>
+#include <string>
+
+#include "common/checksum.h"
+#include "gtest/gtest.h"
+
+namespace ecrint::common {
+namespace {
+
+// --- CRC-32C ---------------------------------------------------------------
+
+TEST(ChecksumTest, KnownVectors) {
+  // RFC 3720 appendix B.4 test vectors for CRC-32C.
+  EXPECT_EQ(Crc32c(""), 0x00000000u);
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+  std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones), 0x62A8AB43u);
+}
+
+TEST(ChecksumTest, ExtendMatchesOneShot) {
+  std::string data = "the quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = Crc32c(std::string_view(data).substr(0, split));
+    crc = Crc32cExtend(crc, std::string_view(data).substr(split));
+    EXPECT_EQ(crc, Crc32c(data)) << "split at " << split;
+  }
+}
+
+TEST(ChecksumTest, SensitiveToEveryBitFlip) {
+  std::string data = "journal record payload";
+  uint32_t reference = Crc32c(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = data;
+      flipped[i] = static_cast<char>(flipped[i] ^ (1 << bit));
+      EXPECT_NE(Crc32c(flipped), reference);
+    }
+  }
+}
+
+// --- MemFs ----------------------------------------------------------------
+
+TEST(MemFsTest, AppendReadRoundtrip) {
+  MemFs fs;
+  auto file = fs.OpenAppend("dir/a.log");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("hello ").ok());
+  ASSERT_TRUE((*file)->Append("world").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  auto content = fs.ReadFileToString("dir/a.log");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "hello world");
+  EXPECT_TRUE(fs.Exists("dir/a.log"));
+  EXPECT_FALSE(fs.Exists("dir/b.log"));
+}
+
+TEST(MemFsTest, WriteFileAtomicReplaces) {
+  MemFs fs;
+  ASSERT_TRUE(fs.WriteFileAtomic("x", "old").ok());
+  ASSERT_TRUE(fs.WriteFileAtomic("x", "new").ok());
+  EXPECT_EQ(*fs.ReadFileToString("x"), "new");
+}
+
+TEST(MemFsTest, TruncateDropsTail) {
+  MemFs fs;
+  ASSERT_TRUE(fs.WriteFileAtomic("x", "0123456789").ok());
+  ASSERT_TRUE(fs.Truncate("x", 4).ok());
+  EXPECT_EQ(*fs.ReadFileToString("x"), "0123");
+  // Truncating past the end is a no-op, not an extension.
+  ASSERT_TRUE(fs.Truncate("x", 100).ok());
+  EXPECT_EQ(*fs.ReadFileToString("x"), "0123");
+}
+
+TEST(MemFsTest, RemoveAndMissingFileErrors) {
+  MemFs fs;
+  EXPECT_FALSE(fs.ReadFileToString("nope").ok());
+  // Remove is idempotent across all implementations: a missing target is
+  // already the desired state.
+  EXPECT_TRUE(fs.Remove("nope").ok());
+  ASSERT_TRUE(fs.WriteFileAtomic("x", "v").ok());
+  ASSERT_TRUE(fs.Remove("x").ok());
+  EXPECT_FALSE(fs.Exists("x"));
+}
+
+// --- RealFs ---------------------------------------------------------------
+
+class RealFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "fs_test_tmp_" +
+           std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+           "_" + ::testing::UnitTest::GetInstance()
+                     ->current_test_info()
+                     ->name();
+    ASSERT_TRUE(RealFs()->CreateDirs(dir_).ok());
+  }
+  void TearDown() override {
+    // Best-effort cleanup of the files this suite creates.
+    (void)RealFs()->Remove(dir_ + "/a.log");
+    (void)RealFs()->Remove(dir_ + "/atomic");
+    (void)std::remove(dir_.c_str());
+  }
+  std::string dir_;
+};
+
+TEST_F(RealFsTest, AppendReadTruncateRoundtrip) {
+  Fs* fs = RealFs();
+  auto file = fs->OpenAppend(dir_ + "/a.log");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("abcdef").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  // A second open appends, not truncates.
+  file = fs->OpenAppend(dir_ + "/a.log");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("ghi").ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  EXPECT_EQ(*fs->ReadFileToString(dir_ + "/a.log"), "abcdefghi");
+
+  ASSERT_TRUE(fs->Truncate(dir_ + "/a.log", 6).ok());
+  EXPECT_EQ(*fs->ReadFileToString(dir_ + "/a.log"), "abcdef");
+}
+
+TEST_F(RealFsTest, WriteFileAtomicLeavesNoTempBehind) {
+  Fs* fs = RealFs();
+  ASSERT_TRUE(fs->WriteFileAtomic(dir_ + "/atomic", "v1").ok());
+  ASSERT_TRUE(fs->WriteFileAtomic(dir_ + "/atomic", "v2").ok());
+  EXPECT_EQ(*fs->ReadFileToString(dir_ + "/atomic"), "v2");
+  EXPECT_FALSE(fs->Exists(dir_ + "/atomic.tmp"));
+}
+
+// --- FaultInjectingFs ------------------------------------------------------
+
+TEST(FaultInjectingFsTest, FailAppendAtIndexIsSticky) {
+  MemFs base;
+  FaultPlan plan;
+  plan.fail_append_at = 1;  // second append fails
+  FaultInjectingFs fs(&base, plan);
+
+  auto file = fs.OpenAppend("j");
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE((*file)->Append("first").ok());
+  EXPECT_FALSE((*file)->Append("second").ok());
+  EXPECT_TRUE(fs.failed());
+  // Sticky device death: later operations fail too.
+  EXPECT_FALSE((*file)->Append("third").ok());
+  EXPECT_FALSE((*file)->Sync().ok());
+  // Only the pre-failure bytes reached the base.
+  EXPECT_EQ(*base.ReadFileToString("j"), "first");
+}
+
+TEST(FaultInjectingFsTest, ShortWritePersistsPrefix) {
+  MemFs base;
+  FaultPlan plan;
+  plan.fail_append_at = 0;
+  plan.short_write_bytes = 3;
+  FaultInjectingFs fs(&base, plan);
+
+  auto file = fs.OpenAppend("j");
+  ASSERT_TRUE(file.ok());
+  EXPECT_FALSE((*file)->Append("abcdef").ok());
+  // The torn prefix landed: exactly what a crash mid-write leaves.
+  EXPECT_EQ(*base.ReadFileToString("j"), "abc");
+}
+
+TEST(FaultInjectingFsTest, FailSyncAt) {
+  MemFs base;
+  FaultPlan plan;
+  plan.fail_sync_at = 0;
+  FaultInjectingFs fs(&base, plan);
+
+  auto file = fs.OpenAppend("j");
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE((*file)->Append("data").ok());
+  EXPECT_FALSE((*file)->Sync().ok());
+  EXPECT_TRUE(fs.failed());
+  // The append itself landed in the base before the barrier failed.
+  EXPECT_EQ(*base.ReadFileToString("j"), "data");
+}
+
+TEST(FaultInjectingFsTest, FailAtomicWriteLeavesOldContent) {
+  MemFs base;
+  ASSERT_TRUE(base.WriteFileAtomic("c", "old").ok());
+  FaultPlan plan;
+  plan.fail_atomic_write_at = 0;
+  FaultInjectingFs fs(&base, plan);
+
+  EXPECT_FALSE(fs.WriteFileAtomic("c", "new").ok());
+  EXPECT_EQ(*base.ReadFileToString("c"), "old");
+}
+
+TEST(FaultInjectingFsTest, NonStickyFailsOnlyOnce) {
+  MemFs base;
+  FaultPlan plan;
+  plan.fail_append_at = 0;
+  plan.sticky = false;
+  FaultInjectingFs fs(&base, plan);
+
+  auto file = fs.OpenAppend("j");
+  ASSERT_TRUE(file.ok());
+  EXPECT_FALSE((*file)->Append("a").ok());
+  EXPECT_TRUE((*file)->Append("b").ok());
+  EXPECT_EQ(*base.ReadFileToString("j"), "b");
+}
+
+TEST(FaultInjectingFsTest, ReadsPassThrough) {
+  MemFs base;
+  ASSERT_TRUE(base.WriteFileAtomic("x", "content").ok());
+  FaultPlan plan;
+  plan.fail_append_at = 0;
+  FaultInjectingFs fs(&base, plan);
+  EXPECT_EQ(*fs.ReadFileToString("x"), "content");
+  EXPECT_TRUE(fs.Exists("x"));
+}
+
+}  // namespace
+}  // namespace ecrint::common

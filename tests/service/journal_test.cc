@@ -1,0 +1,225 @@
+#include "service/journal.h"
+
+#include <string>
+#include <vector>
+
+#include "common/fs.h"
+#include "gtest/gtest.h"
+
+namespace ecrint::service {
+namespace {
+
+std::string JournalOf(common::MemFs& fs, const std::string& path = "j") {
+  auto content = fs.ReadFileToString(path);
+  return content.ok() ? *content : std::string();
+}
+
+TEST(JournalRecordTest, EncodeScanRoundtrip) {
+  std::string bytes = EncodeJournalRecord(1, "define x");
+  bytes += EncodeJournalRecord(2, "equiv a.b.c d.e.f");
+  bytes += EncodeJournalRecord(7, "");  // gaps are fine, regressions are not
+
+  JournalScanResult scan = ScanJournal(bytes);
+  EXPECT_TRUE(scan.clean);
+  EXPECT_EQ(scan.valid_bytes, bytes.size());
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(scan.records[0].seq, 1u);
+  EXPECT_EQ(scan.records[0].payload, "define x");
+  EXPECT_EQ(scan.records[0].offset, 0u);
+  EXPECT_EQ(scan.records[1].seq, 2u);
+  EXPECT_EQ(scan.records[1].payload, "equiv a.b.c d.e.f");
+  EXPECT_EQ(scan.records[2].seq, 7u);
+  EXPECT_EQ(scan.records[2].payload, "");
+}
+
+TEST(JournalRecordTest, EmptyJournalIsClean) {
+  JournalScanResult scan = ScanJournal("");
+  EXPECT_TRUE(scan.clean);
+  EXPECT_EQ(scan.valid_bytes, 0u);
+  EXPECT_TRUE(scan.records.empty());
+}
+
+// The central torn-tail property: for EVERY possible crash point (byte
+// length) of a multi-record journal, the scan keeps exactly the records
+// that fit entirely within the prefix and flags everything else as damage.
+TEST(JournalRecordTest, TruncationAtEveryByteKeepsWholeRecordPrefix) {
+  std::vector<std::string> payloads = {"define schema", "equiv a.b.c d.e.f",
+                                       "assert s.o 3 t.p", "integrate", ""};
+  std::string bytes;
+  std::vector<size_t> boundaries = {0};  // valid end offsets
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    bytes += EncodeJournalRecord(i + 1, payloads[i]);
+    boundaries.push_back(bytes.size());
+  }
+
+  for (size_t cut = 0; cut <= bytes.size(); ++cut) {
+    JournalScanResult scan = ScanJournal(std::string_view(bytes).substr(0, cut));
+    // Records survive iff they fit entirely below the cut.
+    size_t expect_records = 0;
+    while (expect_records + 1 < boundaries.size() &&
+           boundaries[expect_records + 1] <= cut) {
+      ++expect_records;
+    }
+    EXPECT_EQ(scan.records.size(), expect_records) << "cut at " << cut;
+    EXPECT_EQ(scan.valid_bytes, boundaries[expect_records])
+        << "cut at " << cut;
+    bool at_boundary = boundaries[expect_records] == cut;
+    EXPECT_EQ(scan.clean, at_boundary) << "cut at " << cut;
+    if (!at_boundary) {
+      EXPECT_FALSE(scan.damage.empty());
+    }
+  }
+}
+
+// Flipping any single byte of a record must invalidate it (and cut the
+// scan there), while preceding records stay valid.
+TEST(JournalRecordTest, CorruptionAnywhereInSecondRecordCutsAfterFirst) {
+  std::string first = EncodeJournalRecord(1, "define schema");
+  std::string second = EncodeJournalRecord(2, "integrate");
+  for (size_t i = 0; i < second.size(); ++i) {
+    std::string bytes = first + second;
+    bytes[first.size() + i] =
+        static_cast<char>(bytes[first.size() + i] ^ 0x40);
+    JournalScanResult scan = ScanJournal(bytes);
+    EXPECT_FALSE(scan.clean) << "flip at " << i;
+    ASSERT_GE(scan.records.size(), 1u) << "flip at " << i;
+    EXPECT_EQ(scan.records[0].payload, "define schema");
+    // The damaged record never surfaces (the flip may corrupt the length
+    // field into implausible territory, torn territory, or a CRC
+    // mismatch — all must stop the scan at the first record).
+    EXPECT_EQ(scan.records.size(), 1u) << "flip at " << i;
+    EXPECT_EQ(scan.valid_bytes, first.size()) << "flip at " << i;
+  }
+}
+
+TEST(JournalRecordTest, SequenceRegressionIsDamage) {
+  std::string bytes = EncodeJournalRecord(5, "a");
+  bytes += EncodeJournalRecord(5, "b");  // duplicate seq
+  JournalScanResult scan = ScanJournal(bytes);
+  EXPECT_FALSE(scan.clean);
+  EXPECT_EQ(scan.records.size(), 1u);
+
+  bytes = EncodeJournalRecord(5, "a") + EncodeJournalRecord(4, "b");
+  scan = ScanJournal(bytes);
+  EXPECT_FALSE(scan.clean);
+  EXPECT_EQ(scan.records.size(), 1u);
+}
+
+TEST(JournalRecordTest, ImplausibleLengthIsDamageNotAllocation) {
+  // A header claiming a 4 GiB payload must be rejected up front.
+  std::string bytes(kJournalHeaderBytes, '\0');
+  bytes[0] = '\xff';
+  bytes[1] = '\xff';
+  bytes[2] = '\xff';
+  bytes[3] = '\xff';
+  JournalScanResult scan = ScanJournal(bytes);
+  EXPECT_FALSE(scan.clean);
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_NE(scan.damage.find("implausible"), std::string::npos);
+}
+
+TEST(FsyncPolicyTest, NamesRoundtrip) {
+  for (FsyncPolicy policy :
+       {FsyncPolicy::kAlways, FsyncPolicy::kBatch, FsyncPolicy::kNever}) {
+    Result<FsyncPolicy> parsed = ParseFsyncPolicy(FsyncPolicyName(policy));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, policy);
+  }
+  EXPECT_FALSE(ParseFsyncPolicy("sometimes").ok());
+}
+
+TEST(JournalTest, AppendAssignsSequenceAndFrames) {
+  common::MemFs fs;
+  auto journal = Journal::Open(&fs, "j", /*next_seq=*/1,
+                               FsyncPolicy::kAlways, /*batch_records=*/1);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE((*journal)->Append("one").ok());
+  ASSERT_TRUE((*journal)->Append("two").ok());
+  EXPECT_EQ((*journal)->next_seq(), 3u);
+  EXPECT_EQ((*journal)->appends(), 2);
+
+  JournalScanResult scan = ScanJournal(JournalOf(fs));
+  EXPECT_TRUE(scan.clean);
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[0].seq, 1u);
+  EXPECT_EQ(scan.records[1].seq, 2u);
+}
+
+TEST(JournalTest, FsyncPolicyCounts) {
+  common::MemFs fs;
+  // always: one fsync per append.
+  auto always = Journal::Open(&fs, "a", 1, FsyncPolicy::kAlways, 1);
+  ASSERT_TRUE(always.ok());
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE((*always)->Append("x").ok());
+  EXPECT_EQ((*always)->fsyncs(), 5);
+
+  // batch of 3: fsync on the 3rd append only; SyncNow flushes the rest.
+  auto batch = Journal::Open(&fs, "b", 1, FsyncPolicy::kBatch, 3);
+  ASSERT_TRUE(batch.ok());
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE((*batch)->Append("x").ok());
+  EXPECT_EQ((*batch)->fsyncs(), 1);
+  ASSERT_TRUE((*batch)->SyncNow().ok());
+  EXPECT_EQ((*batch)->fsyncs(), 2);
+  // Nothing pending: SyncNow is a no-op.
+  ASSERT_TRUE((*batch)->SyncNow().ok());
+  EXPECT_EQ((*batch)->fsyncs(), 2);
+
+  // never: no fsync from appends.
+  auto never = Journal::Open(&fs, "n", 1, FsyncPolicy::kNever, 1);
+  ASSERT_TRUE(never.ok());
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE((*never)->Append("x").ok());
+  EXPECT_EQ((*never)->fsyncs(), 0);
+}
+
+TEST(JournalTest, RotateTruncatesAndKeepsCounting) {
+  common::MemFs fs;
+  auto journal = Journal::Open(&fs, "j", 1, FsyncPolicy::kAlways, 1);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE((*journal)->Append("before").ok());
+  ASSERT_TRUE((*journal)->Rotate().ok());
+  EXPECT_EQ(JournalOf(fs), "");
+  ASSERT_TRUE((*journal)->Append("after").ok());
+
+  JournalScanResult scan = ScanJournal(JournalOf(fs));
+  ASSERT_EQ(scan.records.size(), 1u);
+  // Sequence numbers never restart: that is how recovery distinguishes
+  // pre-checkpoint leftovers from new records.
+  EXPECT_EQ(scan.records[0].seq, 2u);
+  EXPECT_EQ(scan.records[0].payload, "after");
+}
+
+TEST(JournalTest, AppendFailurePropagates) {
+  common::MemFs base;
+  common::FaultPlan plan;
+  plan.fail_append_at = 1;
+  common::FaultInjectingFs fs(&base, plan);
+  auto journal = Journal::Open(&fs, "j", 1, FsyncPolicy::kAlways, 1);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE((*journal)->Append("ok").ok());
+  EXPECT_FALSE((*journal)->Append("boom").ok());
+  // The surviving journal still scans clean up to the failure.
+  JournalScanResult scan = ScanJournal(*base.ReadFileToString("j"));
+  EXPECT_TRUE(scan.clean);
+  EXPECT_EQ(scan.records.size(), 1u);
+}
+
+TEST(JournalTest, ShortWriteLeavesScannableTornTail) {
+  common::MemFs base;
+  common::FaultPlan plan;
+  plan.fail_append_at = 1;
+  plan.short_write_bytes = 5;  // half a header
+  common::FaultInjectingFs fs(&base, plan);
+  auto journal = Journal::Open(&fs, "j", 1, FsyncPolicy::kNever, 1);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE((*journal)->Append("first").ok());
+  EXPECT_FALSE((*journal)->Append("second").ok());
+
+  JournalScanResult scan = ScanJournal(*base.ReadFileToString("j"));
+  EXPECT_FALSE(scan.clean);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0].payload, "first");
+  EXPECT_EQ(scan.total_bytes - scan.valid_bytes, 5u);
+}
+
+}  // namespace
+}  // namespace ecrint::service

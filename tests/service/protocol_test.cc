@@ -90,7 +90,8 @@ TEST(ResponseFramingTest, MissingTerminatorIsAnError) {
 TEST(ResponseFramingTest, EveryErrorCodeRoundTrips) {
   for (ServiceErrorCode code :
        {ServiceErrorCode::kOverloaded, ServiceErrorCode::kTimeout,
-        ServiceErrorCode::kBadRequest, ServiceErrorCode::kConflict}) {
+        ServiceErrorCode::kBadRequest, ServiceErrorCode::kConflict,
+        ServiceErrorCode::kUnavailable}) {
     ServiceResponse response;
     response.error = ServiceError{code, "msg"};
     Result<ServiceResponse> parsed =
@@ -99,6 +100,53 @@ TEST(ResponseFramingTest, EveryErrorCodeRoundTrips) {
     ASSERT_TRUE(parsed->error.has_value());
     EXPECT_EQ(parsed->error->code, code);
   }
+}
+
+TEST(ResponseFramingTest, UnavailableCarriesRetryAfterHint) {
+  ServiceResponse response;
+  response.error = ServiceError{ServiceErrorCode::kUnavailable,
+                                "project is read-only", 1500};
+  std::string wire = FormatResponse(response);
+  EXPECT_EQ(wire.rfind("err UNAVAILABLE retry-after-ms=1500 ", 0), 0u);
+
+  Result<ServiceResponse> parsed = ParseResponse(wire);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed->error.has_value());
+  EXPECT_EQ(parsed->error->code, ServiceErrorCode::kUnavailable);
+  EXPECT_EQ(parsed->error->retry_after_ms, 1500);
+  EXPECT_EQ(parsed->error->message, "project is read-only");
+
+  // No hint, no token: the pre-durability wire shape is unchanged.
+  response.error->retry_after_ms = 0;
+  wire = FormatResponse(response);
+  EXPECT_EQ(wire.rfind("err UNAVAILABLE project", 0), 0u);
+  EXPECT_FALSE(ParseResponse("err UNAVAILABLE retry-after-ms= x\n.\n").ok());
+}
+
+TEST(RequestLimitTest, OversizedLineIsRejected) {
+  std::string line = "define p ";
+  line.append(kMaxRequestLineBytes, 'x');
+  Status status = ValidateRequestLine(line);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("exceeds"), std::string::npos);
+  // At the limit exactly is still fine.
+  EXPECT_TRUE(
+      ValidateRequestLine(std::string(kMaxRequestLineBytes, 'x')).ok());
+}
+
+TEST(RequestLimitTest, EmbeddedNulIsRejected) {
+  std::string line = "define p schema";
+  line.push_back('\0');
+  line += " s {}";
+  EXPECT_FALSE(ValidateRequestLine(line).ok());
+  EXPECT_TRUE(ValidateRequestLine("define p schema s {}").ok());
+}
+
+TEST(RequestLimitTest, ParseResponseRefusesOversizedFrames) {
+  std::string frame = "ok\n";
+  frame.append(kMaxResponseFrameBytes, 'x');
+  frame += "\n.\n";
+  EXPECT_FALSE(ParseResponse(frame).ok());
 }
 
 }  // namespace

@@ -1,0 +1,487 @@
+// Crash recovery, end to end: checkpoint format roundtrips, the
+// crash-at-every-byte property (recovered state is Stamp()-identical to a
+// serial replay of whatever journal prefix survived), the fault-injection
+// matrix (a dying journal device flips the project to degraded read-only
+// instead of crashing or corrupting), and checkpoint-failure semantics.
+
+#include "service/recovery.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fs.h"
+#include "engine/engine.h"
+#include "engine/replay.h"
+#include "service/journal.h"
+#include "service/service.h"
+
+namespace ecrint::service {
+namespace {
+
+constexpr const char* kUniversityDdl =
+    "schema sc1 { entity Student { Name: char key; GPA: real; } }\n"
+    "schema sc2 { entity Grad { Name: char key; GPA: real; } }";
+
+// --- checkpoint format -----------------------------------------------------
+
+TEST(CheckpointTest, SerializeParseRoundtrip) {
+  Checkpoint checkpoint;
+  checkpoint.seq = 42;
+  checkpoint.stamp = {3, 7, 1, 2, 5};
+  checkpoint.integrated = true;
+  checkpoint.integrated_schemas = {"sc1", "sc2"};
+  checkpoint.project_text = "%schema sc1\nentity Student\n";
+
+  Result<Checkpoint> parsed = ParseCheckpoint(SerializeCheckpoint(checkpoint));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->seq, 42u);
+  EXPECT_EQ(parsed->stamp, checkpoint.stamp);
+  EXPECT_TRUE(parsed->integrated);
+  EXPECT_EQ(parsed->integrated_schemas, checkpoint.integrated_schemas);
+  EXPECT_EQ(parsed->project_text, checkpoint.project_text);
+}
+
+TEST(CheckpointTest, RoundtripWithoutIntegration) {
+  Checkpoint checkpoint;
+  checkpoint.seq = 1;
+  checkpoint.stamp = {1, 1, 0, 0, 0};
+  checkpoint.project_text = "x";
+  Result<Checkpoint> parsed = ParseCheckpoint(SerializeCheckpoint(checkpoint));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->integrated);
+  EXPECT_TRUE(parsed->integrated_schemas.empty());
+}
+
+TEST(CheckpointTest, RejectsDamage) {
+  Checkpoint checkpoint;
+  checkpoint.seq = 9;
+  checkpoint.stamp = {1, 1, 0, 0, 0};
+  std::string good = SerializeCheckpoint(checkpoint);
+
+  EXPECT_FALSE(ParseCheckpoint("").ok());
+  EXPECT_FALSE(ParseCheckpoint("not a checkpoint\n").ok());
+  // Wrong magic/version line.
+  EXPECT_FALSE(ParseCheckpoint("ecrint-checkpoint v9\nseq 1\n").ok());
+  // Truncation that loses the stamp line.
+  EXPECT_FALSE(ParseCheckpoint(good.substr(0, good.find("stamp"))).ok());
+  // Garbage where the sequence number belongs.
+  std::string bad_seq = good;
+  bad_seq.replace(bad_seq.find("seq 9"), 5, "seq x");
+  EXPECT_FALSE(ParseCheckpoint(bad_seq).ok());
+}
+
+TEST(ProjectDirNameTest, EncodesHostileNames) {
+  EXPECT_EQ(ProjectDirName("uni"), "uni");
+  EXPECT_EQ(ProjectDirName("a_b-C9"), "a_b-C9");
+  // Path separators and dots are neutralized: no escape from the data dir.
+  std::string evil = ProjectDirName("../evil");
+  EXPECT_EQ(evil.find('/'), std::string::npos);
+  EXPECT_EQ(evil.find('.'), std::string::npos);
+  EXPECT_NE(ProjectDirName("a/b"), ProjectDirName("a%2Fb"));
+  EXPECT_NE(ProjectDirName("a b"), ProjectDirName("a_b"));
+}
+
+// --- shared machinery for the property tests -------------------------------
+
+// The scripted mutation sequence the property tests journal: all four verb
+// kinds, including two the engine REJECTS (the WAL is written before the
+// engine runs, so rejected verbs are journaled too and must replay to the
+// same rejection).
+std::vector<engine::ReplayVerb> ScriptVerbs() {
+  std::vector<engine::ReplayVerb> verbs;
+  verbs.push_back(engine::DefineVerb(kUniversityDdl));
+  verbs.push_back(engine::DefineVerb("schema broken {"));  // rejected: parse
+  verbs.push_back(engine::EquivalenceVerb({"sc1", "Student", "Name"},
+                                          {"sc2", "Grad", "Name"}));
+  verbs.push_back(engine::EquivalenceVerb({"sc1", "Student", "Nope"},
+                                          {"sc2", "Grad", "Name"}));  // rejected
+  verbs.push_back(engine::EquivalenceVerb({"sc1", "Student", "GPA"},
+                                          {"sc2", "Grad", "GPA"}));
+  verbs.push_back(engine::RelationVerb({"sc1", "Student"}, /*type_code=*/1,
+                                       {"sc2", "Grad"}));
+  verbs.push_back(engine::IntegrateVerb({}));
+  verbs.push_back(
+      engine::DefineVerb("schema sc3 { entity Alum { Name: char key; } }"));
+  verbs.push_back(engine::EquivalenceVerb({"sc1", "Student", "Name"},
+                                          {"sc3", "Alum", "Name"}));
+  verbs.push_back(engine::IntegrateVerb({}));
+  return verbs;
+}
+
+// Routes a ReplayVerb through the real service entry point for its kind.
+ServiceResponse Drive(IntegrationService& service, const std::string& session,
+                      const engine::ReplayVerb& verb) {
+  switch (verb.kind) {
+    case engine::ReplayVerb::Kind::kDefine:
+      return service.Define(session, verb.ddl);
+    case engine::ReplayVerb::Kind::kEquivalence:
+      return service.DeclareEquivalence(session, verb.first_path,
+                                        verb.second_path);
+    case engine::ReplayVerb::Kind::kRelation:
+      return service.AssertRelation(session, verb.first, verb.type_code,
+                                    verb.second);
+    case engine::ReplayVerb::Kind::kIntegrate:
+      return service.Integrate(session, verb.schemas);
+  }
+  return {};
+}
+
+struct ReferenceState {
+  engine::EngineStamp stamp;
+  std::string exported;
+};
+
+// Ground truth: a fresh engine taken through the service plane's exact
+// replay sequence for the first `count` verbs.
+ReferenceState SerialReplay(const std::vector<engine::ReplayVerb>& verbs,
+                            size_t count) {
+  engine::Engine engine;
+  engine::BeginReplay(engine);
+  for (size_t i = 0; i < count; ++i) {
+    (void)engine::ApplyReplayVerb(engine, verbs[i]);
+  }
+  ReferenceState reference;
+  reference.stamp = engine.Stamp();
+  reference.exported = engine.ExportProject();
+  return reference;
+}
+
+constexpr const char* kProjectDir = "data/uni";
+constexpr const char* kJournalPath = "data/uni/journal.wal";
+constexpr const char* kCheckpointPath = "data/uni/checkpoint.ecr";
+
+// Drives the script through a durable service over `fs` and returns the
+// per-verb responses.
+std::vector<ServiceResponse> RunScript(common::Fs* fs,
+                                       int checkpoint_interval) {
+  ServiceConfig config;
+  config.data_dir = "data";
+  config.fs = fs;
+  config.durability.checkpoint_interval_records = checkpoint_interval;
+  IntegrationService service(config);
+  std::string session = service.OpenSession("uni");
+  std::vector<ServiceResponse> responses;
+  for (const engine::ReplayVerb& verb : ScriptVerbs()) {
+    responses.push_back(Drive(service, session, verb));
+  }
+  return responses;
+}
+
+// --- the tentpole property test --------------------------------------------
+
+// Journal K verbs through the real service, then simulate a crash at EVERY
+// byte boundary of the journal: recovery must reproduce exactly the state
+// a serial replay of the surviving whole-record prefix produces —
+// identical EngineStamp, identical project export — and must truncate the
+// torn tail so the journal is append-ready again.
+TEST(RecoveryPropertyTest, CrashAtEveryByteMatchesSerialReplay) {
+  common::MemFs fs;
+  std::vector<ServiceResponse> responses =
+      RunScript(&fs, /*checkpoint_interval=*/0);
+  // The script's two poisoned verbs really were rejected (and journaled).
+  EXPECT_TRUE(responses[0].ok());
+  EXPECT_FALSE(responses[1].ok());
+  EXPECT_FALSE(responses[3].ok());
+  EXPECT_TRUE(responses[9].ok());
+
+  Result<std::string> journal = fs.ReadFileToString(kJournalPath);
+  ASSERT_TRUE(journal.ok());
+  std::vector<engine::ReplayVerb> verbs = ScriptVerbs();
+  JournalScanResult full = ScanJournal(*journal);
+  ASSERT_TRUE(full.clean);
+  ASSERT_EQ(full.records.size(), verbs.size());
+
+  // Precompute the serial-replay reference for every prefix length.
+  std::vector<ReferenceState> references;
+  for (size_t k = 0; k <= verbs.size(); ++k) {
+    references.push_back(SerialReplay(verbs, k));
+  }
+
+  for (size_t cut = 0; cut <= journal->size(); ++cut) {
+    common::MemFs crashed;
+    crashed.SetFile(kJournalPath, journal->substr(0, cut));
+
+    engine::Engine engine;
+    RecoveryStats stats;
+    auto manager =
+        RecoveryManager::Open(&crashed, kProjectDir, DurabilityOptions{},
+                              engine, &stats, /*metrics=*/nullptr);
+    ASSERT_TRUE(manager.ok()) << "cut at " << cut << ": "
+                              << manager.status().ToString();
+
+    JournalScanResult prefix = ScanJournal(journal->substr(0, cut));
+    size_t k = prefix.records.size();
+    EXPECT_EQ(stats.replayed_records, static_cast<int64_t>(k))
+        << "cut at " << cut;
+    EXPECT_EQ(stats.truncated_bytes,
+              static_cast<int64_t>(cut - prefix.valid_bytes))
+        << "cut at " << cut;
+    EXPECT_TRUE(engine.Stamp() == references[k].stamp) << "cut at " << cut;
+    EXPECT_EQ(engine.ExportProject(), references[k].exported)
+        << "cut at " << cut;
+    // The torn tail is gone and sequencing resumes after the survivors.
+    EXPECT_EQ(crashed.ReadFileToString(kJournalPath)->size(),
+              prefix.valid_bytes)
+        << "cut at " << cut;
+    uint64_t last_seq = k == 0 ? 0 : prefix.records.back().seq;
+    EXPECT_EQ((*manager)->next_seq(), last_seq + 1) << "cut at " << cut;
+  }
+}
+
+// Same property with checkpoints in the mix: crashes land on a journal
+// that only holds the suffix past the last checkpoint, and recovery =
+// checkpoint restore + suffix replay must still match a full serial
+// replay from scratch.
+TEST(RecoveryPropertyTest, CrashAtEveryByteWithCheckpoint) {
+  common::MemFs fs;
+  RunScript(&fs, /*checkpoint_interval=*/4);
+
+  Result<std::string> checkpoint_bytes = fs.ReadFileToString(kCheckpointPath);
+  ASSERT_TRUE(checkpoint_bytes.ok());
+  Result<Checkpoint> checkpoint = ParseCheckpoint(*checkpoint_bytes);
+  ASSERT_TRUE(checkpoint.ok());
+  ASSERT_GT(checkpoint->seq, 0u);
+
+  Result<std::string> journal = fs.ReadFileToString(kJournalPath);
+  ASSERT_TRUE(journal.ok());
+  std::vector<engine::ReplayVerb> verbs = ScriptVerbs();
+  ASSERT_LT(checkpoint->seq, verbs.size());  // suffix is non-empty
+
+  for (size_t cut = 0; cut <= journal->size(); ++cut) {
+    common::MemFs crashed;
+    crashed.SetFile(kCheckpointPath, *checkpoint_bytes);
+    crashed.SetFile(kJournalPath, journal->substr(0, cut));
+
+    engine::Engine engine;
+    RecoveryStats stats;
+    auto manager =
+        RecoveryManager::Open(&crashed, kProjectDir, DurabilityOptions{},
+                              engine, &stats, /*metrics=*/nullptr);
+    ASSERT_TRUE(manager.ok()) << "cut at " << cut << ": "
+                              << manager.status().ToString();
+    EXPECT_TRUE(stats.restored_checkpoint) << "cut at " << cut;
+    EXPECT_EQ(stats.checkpoint_seq, checkpoint->seq) << "cut at " << cut;
+
+    JournalScanResult prefix = ScanJournal(journal->substr(0, cut));
+    size_t applied = checkpoint->seq + prefix.records.size();
+    ReferenceState reference = SerialReplay(verbs, applied);
+    EXPECT_TRUE(engine.Stamp() == reference.stamp) << "cut at " << cut;
+    EXPECT_EQ(engine.ExportProject(), reference.exported)
+        << "cut at " << cut;
+  }
+}
+
+// A recovered service keeps working: restart on the same filesystem, read
+// the project back, and append new mutations.
+TEST(RecoveryTest, ServiceRestartResumesWriting) {
+  common::MemFs fs;
+  std::string exported_before;
+  {
+    ServiceConfig config;
+    config.data_dir = "data";
+    config.fs = &fs;
+    IntegrationService service(config);
+    std::string session = service.OpenSession("uni");
+    ASSERT_TRUE(service.Define(session, kUniversityDdl).ok());
+    ServiceResponse exported = service.ExportProject(session);
+    ASSERT_TRUE(exported.ok());
+    exported_before = exported.lines.empty() ? "" : exported.lines[0];
+  }
+  ServiceConfig config;
+  config.data_dir = "data";
+  config.fs = &fs;
+  IntegrationService service(config);
+  std::string session = service.OpenSession("uni");
+  ServiceResponse exported = service.ExportProject(session);
+  ASSERT_TRUE(exported.ok());
+  ASSERT_FALSE(exported.lines.empty());
+  EXPECT_EQ(exported.lines[0], exported_before);
+  // The journal position carried over: new writes land after the old.
+  EXPECT_TRUE(service
+                  .DeclareEquivalence(session, {"sc1", "Student", "Name"},
+                                      {"sc2", "Grad", "Name"})
+                  .ok());
+  JournalScanResult scan = ScanJournal(*fs.ReadFileToString(kJournalPath));
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[1].seq, 2u);
+}
+
+// --- fault-injection matrix ------------------------------------------------
+
+// For every append index in the script: the failing write returns
+// UNAVAILABLE with a retry-after hint, nothing after it mutates, reads
+// still serve, and a restart on the surviving bytes recovers exactly the
+// serial replay of the journaled prefix.
+TEST(RecoveryFaultTest, AppendFailureAtEveryIndexDegradesThenRecovers) {
+  std::vector<engine::ReplayVerb> verbs = ScriptVerbs();
+  for (size_t fail_at = 0; fail_at < verbs.size(); ++fail_at) {
+    common::MemFs base;
+    common::FaultPlan plan;
+    plan.fail_append_at = static_cast<int64_t>(fail_at);
+    common::FaultInjectingFs faulty(&base, plan);
+
+    ServiceConfig config;
+    config.data_dir = "data";
+    config.fs = &faulty;
+    config.durability.checkpoint_interval_records = 0;
+    config.durability.degraded_retry_after_ms = 1234;
+    IntegrationService service(config);
+    std::string session = service.OpenSession("uni");
+
+    for (size_t i = 0; i < verbs.size(); ++i) {
+      ServiceResponse response = Drive(service, session, verbs[i]);
+      if (i < fail_at) continue;  // pre-fault behaviour covered elsewhere
+      // The faulted write and everything after it: UNAVAILABLE + hint.
+      ASSERT_FALSE(response.ok()) << "fail_at=" << fail_at << " verb " << i;
+      EXPECT_EQ(response.error->code, ServiceErrorCode::kUnavailable)
+          << "fail_at=" << fail_at << " verb " << i;
+      EXPECT_EQ(response.error->retry_after_ms, 1234);
+    }
+    EXPECT_EQ(service.metrics().GetCounter("journal.degraded_flips")->value(),
+              1);
+    // Reads still work against the last published snapshot.
+    EXPECT_TRUE(service.ExportProject(session).ok());
+    ASSERT_TRUE(service.CurrentSnapshot(session) != nullptr);
+
+    // Restart on the surviving device: state == serial replay of the
+    // journaled prefix (the faulted record never made it in whole).
+    Result<std::string> journal = base.ReadFileToString(kJournalPath);
+    std::string surviving = journal.ok() ? *journal : std::string();
+    JournalScanResult scan = ScanJournal(surviving);
+    EXPECT_EQ(scan.records.size(), fail_at);
+
+    common::MemFs recovered_fs;
+    recovered_fs.SetFile(kJournalPath, surviving);
+    engine::Engine engine;
+    RecoveryStats stats;
+    auto manager =
+        RecoveryManager::Open(&recovered_fs, kProjectDir, DurabilityOptions{},
+                              engine, &stats, /*metrics=*/nullptr);
+    ASSERT_TRUE(manager.ok());
+    ReferenceState reference = SerialReplay(verbs, scan.records.size());
+    EXPECT_TRUE(engine.Stamp() == reference.stamp) << "fail_at=" << fail_at;
+    EXPECT_EQ(engine.ExportProject(), reference.exported);
+  }
+}
+
+// Same matrix for short writes: the failure tears a record mid-byte, and
+// recovery must drop the torn tail, not trip over it.
+TEST(RecoveryFaultTest, ShortWriteTornTailIsDroppedOnRecovery) {
+  std::vector<engine::ReplayVerb> verbs = ScriptVerbs();
+  for (size_t torn_bytes : {1u, 7u, 15u, 17u, 40u}) {
+    common::MemFs base;
+    common::FaultPlan plan;
+    plan.fail_append_at = 4;
+    plan.short_write_bytes = static_cast<int64_t>(torn_bytes);
+    common::FaultInjectingFs faulty(&base, plan);
+
+    ServiceConfig config;
+    config.data_dir = "data";
+    config.fs = &faulty;
+    config.durability.checkpoint_interval_records = 0;
+    IntegrationService service(config);
+    std::string session = service.OpenSession("uni");
+    for (const engine::ReplayVerb& verb : verbs) {
+      (void)Drive(service, session, verb);
+    }
+
+    std::string surviving = *base.ReadFileToString(kJournalPath);
+    JournalScanResult scan = ScanJournal(surviving);
+    EXPECT_FALSE(scan.clean) << "torn_bytes=" << torn_bytes;
+    EXPECT_EQ(scan.records.size(), 4u);
+
+    common::MemFs recovered_fs;
+    recovered_fs.SetFile(kJournalPath, surviving);
+    engine::Engine engine;
+    RecoveryStats stats;
+    auto manager =
+        RecoveryManager::Open(&recovered_fs, kProjectDir, DurabilityOptions{},
+                              engine, &stats, /*metrics=*/nullptr);
+    ASSERT_TRUE(manager.ok());
+    EXPECT_EQ(stats.truncated_bytes, static_cast<int64_t>(torn_bytes));
+    ReferenceState reference = SerialReplay(verbs, 4);
+    EXPECT_TRUE(engine.Stamp() == reference.stamp)
+        << "torn_bytes=" << torn_bytes;
+    EXPECT_EQ(engine.ExportProject(), reference.exported);
+  }
+}
+
+// Fsync barrier failure counts as device death too: the project degrades
+// even though the bytes of the current record reached the file.
+TEST(RecoveryFaultTest, SyncFailureDegrades) {
+  common::MemFs base;
+  common::FaultPlan plan;
+  plan.fail_sync_at = 2;
+  common::FaultInjectingFs faulty(&base, plan);
+
+  ServiceConfig config;
+  config.data_dir = "data";
+  config.fs = &faulty;
+  IntegrationService service(config);  // fsync=always: one sync per record
+  std::string session = service.OpenSession("uni");
+  std::vector<engine::ReplayVerb> verbs = ScriptVerbs();
+
+  EXPECT_TRUE(Drive(service, session, verbs[0]).ok());
+  EXPECT_FALSE(Drive(service, session, verbs[1]).ok());  // engine-rejected
+  ServiceResponse faulted = Drive(service, session, verbs[2]);
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_EQ(faulted.error->code, ServiceErrorCode::kUnavailable);
+  EXPECT_EQ(service.metrics().GetCounter("journal.degraded_flips")->value(),
+            1);
+  EXPECT_TRUE(service.ExportProject(session).ok());
+}
+
+// A checkpoint that cannot land atomically is non-fatal: writes keep
+// flowing, the failure is counted, and recovery still has the full
+// journal to replay from.
+TEST(RecoveryFaultTest, CheckpointWriteFailureIsNonFatal) {
+  common::MemFs base;
+  common::FaultPlan plan;
+  plan.fail_atomic_write_at = 0;
+  plan.sticky = false;  // the device hiccups once, then heals
+  common::FaultInjectingFs faulty(&base, plan);
+
+  ServiceConfig config;
+  config.data_dir = "data";
+  config.fs = &faulty;
+  config.durability.checkpoint_interval_records = 2;
+  IntegrationService service(config);
+  std::string session = service.OpenSession("uni");
+  std::vector<engine::ReplayVerb> verbs = ScriptVerbs();
+  for (const engine::ReplayVerb& verb : verbs) {
+    ServiceResponse response = Drive(service, session, verb);
+    // Only the two engine-rejected verbs fail; checkpoint trouble never
+    // surfaces to the writer.
+    if (response.ok()) continue;
+    EXPECT_NE(response.error->code, ServiceErrorCode::kUnavailable);
+  }
+  EXPECT_GE(
+      service.metrics().GetCounter("journal.checkpoint_failures")->value(),
+      1);
+  EXPECT_GE(service.metrics().GetCounter("journal.checkpoints")->value(), 1);
+  EXPECT_EQ(service.metrics().GetCounter("journal.degraded_flips")->value(),
+            0);
+}
+
+// Recovery itself bumps the metrics the operators watch.
+TEST(RecoveryTest, RecoveryMetricsAreCharged) {
+  common::MemFs fs;
+  RunScript(&fs, /*checkpoint_interval=*/0);
+
+  ServiceConfig config;
+  config.data_dir = "data";
+  config.fs = &fs;
+  IntegrationService service(config);
+  (void)service.OpenSession("uni");
+  EXPECT_EQ(service.metrics().GetCounter("journal.recoveries")->value(), 1);
+  EXPECT_EQ(service.metrics().GetCounter("journal.replay.records")->value(),
+            static_cast<int64_t>(ScriptVerbs().size()));
+  EXPECT_EQ(service.metrics().GetCounter("journal.degraded_flips")->value(),
+            0);
+}
+
+}  // namespace
+}  // namespace ecrint::service

@@ -7,13 +7,20 @@
 #            thread pool, engine, and the whole service plane (snapshot
 #            publication, admission control, the stress test) — as direct
 #            gtest binaries (build-ci-tsan/)
+#   recovery Debug + ASan/UBSan, running the durability surfaces — the
+#            fault-injection matrix, the crash-at-every-byte property
+#            tests — plus a real kill -9 smoke against ecrint_serve: write
+#            through the wire, kill the process ungracefully, verify the
+#            journal with ecrint_journal, restart, read the state back,
+#            and check the SIGTERM drain path exits 0.
 #
 # Usage: tools/ci.sh [--jobs N] [--keep] [--suite NAME ...]
 #   --jobs N      parallelism for build and ctest (default: nproc)
 #   --keep        leave the build trees (build-ci-<suite>/) in place for
 #                 inspection instead of removing them on success
-#   --suite NAME  run only NAME (release|asan|tsan); repeatable. Default
-#                 is release + asan; CI runs tsan as its own job.
+#   --suite NAME  run only NAME (release|asan|tsan|recovery); repeatable.
+#                 Default is release + asan; CI runs tsan and recovery as
+#                 their own jobs.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -100,6 +107,115 @@ run_tsan_suite() {
   cleanup "${build_dir}"
 }
 
+# One scripted protocol exchange over /dev/tcp: sends every argument line,
+# then echoes response lines until `frames` "."-terminated frames arrived.
+smoke_request() {
+  local port="$1" frames="$2"
+  shift 2
+  exec 3<>"/dev/tcp/127.0.0.1/${port}"
+  printf '%s\n' "$@" >&3
+  local seen=0 line
+  while [[ "${seen}" -lt "${frames}" ]]; do
+    if ! IFS= read -r -t 10 -u 3 line; then
+      echo "recovery smoke: timed out waiting for response" >&2
+      return 1
+    fi
+    line="${line%$'\r'}"
+    echo "${line}"
+    [[ "${line}" == "." ]] && seen=$((seen + 1))
+  done
+  exec 3<&- 3>&-
+}
+
+# Starts ecrint_serve writing to `log`, scrapes the ephemeral port into
+# the global `smoke_port`, and the pid into `smoke_pid`.
+start_smoke_server() {
+  local serve="$1" data_dir="$2" log="$3"
+  "${serve}" --port 0 --data-dir "${data_dir}" >"${log}" &
+  smoke_pid=$!
+  smoke_port=""
+  for _ in $(seq 1 100); do
+    smoke_port="$(sed -n 's/^listening on //p' "${log}" | head -n 1)"
+    [[ -n "${smoke_port}" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "${smoke_port}" ]]; then
+    echo "recovery smoke: server never reported a port" >&2
+    kill -9 "${smoke_pid}" 2>/dev/null || true
+    return 1
+  fi
+}
+
+kill_recover_smoke() {
+  local build_dir="$1"
+  local serve="${build_dir}/tools/ecrint_serve"
+  local journal_tool="${build_dir}/tools/ecrint_journal"
+  local data_dir="${build_dir}/smoke-data"
+  local log="${build_dir}/serve-smoke.log"
+  rm -rf "${data_dir}"
+
+  # Round 1: one durable define over the wire, then die without warning.
+  start_smoke_server "${serve}" "${data_dir}" "${log}"
+  local define_out
+  define_out="$(smoke_request "${smoke_port}" 2 \
+    "open smoke" \
+    "define schema s1 { entity Student { Name: char key; } }")"
+  if grep -q '^err ' <<<"${define_out}"; then
+    echo "recovery smoke: define failed:" >&2
+    echo "${define_out}" >&2
+    return 1
+  fi
+  kill -9 "${smoke_pid}"
+  wait "${smoke_pid}" 2>/dev/null || true
+
+  # The journal survived the kill and scans clean.
+  "${journal_tool}" verify "${data_dir}/smoke/journal.wal"
+
+  # Round 2: restart, recover, read the schema back, drain on SIGTERM.
+  : >"${log}"
+  start_smoke_server "${serve}" "${data_dir}" "${log}"
+  local export_out
+  export_out="$(smoke_request "${smoke_port}" 2 "open smoke" "export")"
+  if ! grep -q 'Student' <<<"${export_out}"; then
+    echo "recovery smoke: recovered export is missing the schema:" >&2
+    echo "${export_out}" >&2
+    kill -9 "${smoke_pid}" 2>/dev/null || true
+    return 1
+  fi
+  kill -TERM "${smoke_pid}"
+  local drain_status=0
+  wait "${smoke_pid}" || drain_status=$?
+  if [[ "${drain_status}" -ne 0 ]]; then
+    echo "recovery smoke: SIGTERM drain exited ${drain_status}, want 0" >&2
+    return 1
+  fi
+  if ! grep -q 'drained' "${log}"; then
+    echo "recovery smoke: drain message missing from server log" >&2
+    return 1
+  fi
+  echo "recovery smoke: kill -9 recovery and SIGTERM drain OK" >&2
+}
+
+run_recovery_suite() {
+  local build_dir="${repo_root}/build-ci-recovery"
+  local san_flags="-fsanitize=address,undefined -fno-omit-frame-pointer"
+  echo "=== recovery: configure + build" >&2
+  configure_and_build "${build_dir}" \
+    common_test service_test ecrint_serve ecrint_journal -- \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="${san_flags}" \
+    -DCMAKE_EXE_LINKER_FLAGS="${san_flags}" \
+    -DCMAKE_SHARED_LINKER_FLAGS="${san_flags}"
+  echo "=== recovery: fault injection + crash-at-every-byte" >&2
+  "${build_dir}/tests/common_test" \
+    --gtest_filter='Checksum*:MemFs*:RealFs*:FaultInjectingFs*'
+  "${build_dir}/tests/service_test" \
+    --gtest_filter='Journal*:FsyncPolicy*:Checkpoint*:ProjectDirName*:Recovery*'
+  echo "=== recovery: kill -9 smoke" >&2
+  kill_recover_smoke "${build_dir}"
+  cleanup "${build_dir}"
+}
+
 for suite in "${suites[@]}"; do
   case "${suite}" in
     release)
@@ -118,8 +234,11 @@ for suite in "${suites[@]}"; do
     tsan)
       run_tsan_suite
       ;;
+    recovery)
+      run_recovery_suite
+      ;;
     *)
-      echo "unknown suite: ${suite} (release|asan|tsan)" >&2
+      echo "unknown suite: ${suite} (release|asan|tsan|recovery)" >&2
       exit 2
       ;;
   esac

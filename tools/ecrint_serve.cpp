@@ -1,6 +1,8 @@
 // ecrint_serve — blocking TCP front end to the integration service plane.
 //
 //   ecrint_serve [--port N] [--queue-depth N] [--deadline-ms N] [--once]
+//                [--data-dir PATH] [--fsync always|batch|never]
+//                [--checkpoint-interval N]
 //
 // Speaks the newline-delimited protocol of src/service/protocol.h (grammar
 // in docs/FORMATS.md): one request per line, responses framed with a "."
@@ -8,6 +10,15 @@
 // RouterSession; concurrency control (per-project write serialization,
 // snapshot isolation, admission, deadlines) all lives in the shared
 // IntegrationService.
+//
+// With --data-dir the service journals every mutation to
+// <data-dir>/<project>/journal.wal ahead of applying it and periodically
+// checkpoints, so a crash (or kill -9) loses at most the fsync window and
+// the next start recovers the state (see docs/OPERATIONS.md).
+//
+// SIGTERM/SIGINT drain instead of dying: the listener closes, in-flight
+// connections are shut down and joined, every project is checkpointed,
+// and the process exits 0.
 //
 // --port 0 binds an ephemeral port; the chosen port is printed either way
 // as "listening on <port>" so scripts can scrape it. --once serves a
@@ -21,10 +32,13 @@
 #include <csignal>
 #include <cstring>
 #include <iostream>
+#include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "service/protocol.h"
 #include "service/router.h"
 #include "service/service.h"
 
@@ -32,14 +46,64 @@ namespace {
 
 using namespace ecrint;  // NOLINT: CLI brevity
 
+// Signal plumbing: the handler may only touch async-signal-safe state, so
+// it sets a flag and closes the listener via shutdown() (also
+// async-signal-safe), which pops the accept loop out of its block.
+volatile std::sig_atomic_t g_shutting_down = 0;
+int g_listener_fd = -1;
+
+void HandleShutdownSignal(int) {
+  g_shutting_down = 1;
+  if (g_listener_fd >= 0) shutdown(g_listener_fd, SHUT_RDWR);
+}
+
+// Live connection fds, so the drain path can shut them down and unblock
+// their reader threads.
+std::mutex g_connections_mutex;
+std::set<int> g_connection_fds;
+
+void RegisterConnection(int fd) {
+  std::lock_guard<std::mutex> lock(g_connections_mutex);
+  g_connection_fds.insert(fd);
+}
+
+void UnregisterConnection(int fd) {
+  std::lock_guard<std::mutex> lock(g_connections_mutex);
+  g_connection_fds.erase(fd);
+}
+
+// Writes the whole buffer or gives up (peer gone).
+bool WriteAll(int fd, const std::string& data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = write(fd, data.data() + written, data.size() - written);
+    if (n <= 0) return false;
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
 // Reads lines from the socket, feeds the router, writes framed responses.
 void ServeConnection(int fd, service::RequestRouter* router) {
+  RegisterConnection(fd);
   service::RouterSession session;
   std::string buffer;
   char chunk[4096];
   for (;;) {
     size_t newline = buffer.find('\n');
     if (newline == std::string::npos) {
+      // A peer that streams bytes without ever sending a newline must not
+      // grow the buffer without bound: past the request-line limit the
+      // connection gets one error frame and is closed.
+      if (buffer.size() > service::kMaxRequestLineBytes) {
+        service::ServiceResponse refusal;
+        refusal.error = {service::ServiceErrorCode::kBadRequest,
+                         "request line exceeds " +
+                             std::to_string(service::kMaxRequestLineBytes) +
+                             " bytes"};
+        (void)WriteAll(fd, service::FormatResponse(refusal));
+        break;
+      }
       ssize_t n = read(fd, chunk, sizeof(chunk));
       if (n <= 0) break;
       buffer.append(chunk, static_cast<size_t>(n));
@@ -49,21 +113,13 @@ void ServeConnection(int fd, service::RequestRouter* router) {
     buffer.erase(0, newline + 1);
     if (!line.empty() && line.back() == '\r') line.pop_back();
     std::string response = router->HandleLine(line, &session);
-    size_t written = 0;
-    while (written < response.size()) {
-      ssize_t n = write(fd, response.data() + written,
-                        response.size() - written);
-      if (n <= 0) {
-        close(fd);
-        return;
-      }
-      written += static_cast<size_t>(n);
-    }
+    if (!WriteAll(fd, response)) break;
   }
   // Connection gone: release its session so reaping has less to do.
   if (!session.session_id.empty()) {
     (void)router->service()->CloseSession(session.session_id);
   }
+  UnregisterConnection(fd);
   close(fd);
 }
 
@@ -82,11 +138,25 @@ int main(int argc, char** argv) {
     } else if (arg == "--deadline-ms" && i + 1 < argc) {
       config.default_deadline_ns =
           static_cast<int64_t>(std::atoll(argv[++i])) * 1'000'000;
+    } else if (arg == "--data-dir" && i + 1 < argc) {
+      config.data_dir = argv[++i];
+    } else if (arg == "--fsync" && i + 1 < argc) {
+      Result<service::FsyncPolicy> policy =
+          service::ParseFsyncPolicy(argv[++i]);
+      if (!policy.ok()) {
+        std::cerr << policy.status().ToString() << "\n";
+        return 2;
+      }
+      config.durability.fsync = *policy;
+    } else if (arg == "--checkpoint-interval" && i + 1 < argc) {
+      config.durability.checkpoint_interval_records = std::atoi(argv[++i]);
     } else if (arg == "--once") {
       once = true;
     } else {
       std::cerr << "usage: ecrint_serve [--port N] [--queue-depth N] "
-                   "[--deadline-ms N] [--once]\n";
+                   "[--deadline-ms N] [--data-dir PATH] "
+                   "[--fsync always|batch|never] [--checkpoint-interval N] "
+                   "[--once]\n";
       return 2;
     }
   }
@@ -121,9 +191,24 @@ int main(int argc, char** argv) {
   getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &addr_len);
   std::cout << "listening on " << ntohs(addr.sin_port) << std::endl;
 
+  // Drain-then-checkpoint on SIGTERM/SIGINT. No SA_RESTART: accept() must
+  // come back with EINTR so the loop observes the flag even on kernels
+  // where shutdown() on a listening socket does not wake it.
+  g_listener_fd = listener;
+  struct sigaction drain_action {};
+  drain_action.sa_handler = HandleShutdownSignal;
+  sigemptyset(&drain_action.sa_mask);
+  drain_action.sa_flags = 0;
+  sigaction(SIGTERM, &drain_action, nullptr);
+  sigaction(SIGINT, &drain_action, nullptr);
+
   std::vector<std::thread> connections;
   for (;;) {
     int fd = accept(listener, nullptr, nullptr);
+    if (g_shutting_down) {
+      if (fd >= 0) close(fd);
+      break;
+    }
     if (fd < 0) {
       if (errno == EINTR) continue;
       std::cerr << "accept: " << std::strerror(errno) << "\n";
@@ -135,7 +220,20 @@ int main(int argc, char** argv) {
     }
     connections.emplace_back(ServeConnection, fd, &router);
   }
+
+  // Drain: stop reading from every live connection (their threads finish
+  // the response in flight, then see EOF), join them, and make the final
+  // state durable in one checkpoint per project.
+  {
+    std::lock_guard<std::mutex> lock(g_connections_mutex);
+    for (int fd : g_connection_fds) shutdown(fd, SHUT_RD);
+  }
   for (std::thread& connection : connections) connection.join();
+  int checkpointed = service.CheckpointProjects();
+  if (g_shutting_down) {
+    std::cout << "drained, checkpointed " << checkpointed
+              << " project(s), exiting" << std::endl;
+  }
   close(listener);
   return 0;
 }
