@@ -2,7 +2,9 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "ecr/ddl_parser.h"
 
 namespace ecrint::bench {
@@ -110,12 +112,16 @@ core::EquivalenceMap TruthEquivalences(const workload::Workload& workload) {
 
 core::AssertionStore TruthAssertions(const workload::Workload& workload) {
   core::AssertionStore store;
+  std::vector<core::Assertion> batch;
+  batch.reserve(workload.object_relations.size());
   for (const workload::TrueObjectRelation& relation :
        workload.object_relations) {
-    Result<core::ConflictReport> r =
-        store.Assert(relation.first, relation.second, relation.assertion);
-    if (!r.ok()) Die(r.status());  // ground truth is consistent by design
+    batch.push_back(
+        core::Assertion{relation.first, relation.second, relation.assertion});
   }
+  Result<core::ConflictReport> r =
+      store.AssertBatch(batch, &common::ThreadPool::Shared());
+  if (!r.ok()) Die(r.status());  // ground truth is consistent by design
   return store;
 }
 

@@ -1,9 +1,17 @@
 // Scalability of phase 3: the assertion closure. Measures asserting chains
 // (worst-case propagation depth), dense ground-truth assertion sets, and
 // the cost of conflict detection with rollback.
+//
+// The kernel is a change-driven worklist over bitset-packed relation rows,
+// so cost tracks the number of cells that actually narrow, not the N^3
+// triple loop of a full path-consistency recompute. The chain workload
+// narrows Θ(N^2) cells (every pair becomes comparable), so BM_AssertChain's
+// ->Complexity() fit lands around N^2 — sub-cubic is the invariant the
+// bench CI suite (tools/ci.sh --suite bench) guards via BM_AssertChain/64.
 
 #include <benchmark/benchmark.h>
 
+#include "common/thread_pool.h"
 #include "core/assertion_store.h"
 #include "paper_fixtures.h"
 #include "workload/generator.h"
@@ -63,6 +71,29 @@ void BM_ConflictDetection(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ConflictDetection)->Arg(8)->Arg(32)->Arg(64);
+
+// Bulk seeding across independent constraint clusters: the batch entry
+// point closes each island's worklist on its own ThreadPool worker and
+// merges the scratch stores. Arg = number of 12-object chain islands.
+void BM_AssertBatchClustered(benchmark::State& state) {
+  int islands = static_cast<int>(state.range(0));
+  constexpr int kPerIsland = 12;
+  std::vector<core::Assertion> batch;
+  for (int g = 0; g < islands; ++g) {
+    for (int m = 0; m + 1 < kPerIsland; ++m) {
+      batch.push_back(core::Assertion{
+          ObjectRef{"isle" + std::to_string(g), "O" + std::to_string(m)},
+          ObjectRef{"isle" + std::to_string(g), "O" + std::to_string(m + 1)},
+          AssertionType::kContainedIn});
+    }
+  }
+  for (auto _ : state) {
+    AssertionStore store;
+    benchmark::DoNotOptimize(
+        store.AssertBatch(batch, &common::ThreadPool::Shared()));
+  }
+}
+BENCHMARK(BM_AssertBatchClustered)->Arg(1)->Arg(4)->Arg(16);
 
 // Querying derived facts over a populated store.
 void BM_DerivedFacts(benchmark::State& state) {

@@ -11,9 +11,16 @@
 # Usage:
 #   bench/run_benches.sh [--build-dir DIR] [--out FILE] [--engine-out FILE]
 #                        [--service] [--service-out FILE] [--smoke]
+#                        [--allow-debug]
 #
 # --service additionally runs the service-plane loadgen (skipped by default:
 # it is a multi-threaded soak, not a google-benchmark sweep).
+#
+# Recorded numbers must come from an optimized build: unless --smoke or
+# --allow-debug is given, the script refuses a build dir whose
+# CMAKE_BUILD_TYPE is not Release. The detected build type is stamped into
+# the merged JSON context either way, so a debug provenance can never pass
+# silently again.
 #
 # --smoke caps every benchmark at --benchmark_min_time=0.01 so the script
 # doubles as a ctest-safe liveness check (the JSON is still written, just
@@ -31,6 +38,8 @@ service_out_file="${repo_root}/BENCH_service.json"
 run_service=0
 min_time=""
 service_args=()
+allow_debug=0
+smoke=0
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -57,6 +66,11 @@ while [[ $# -gt 0 ]]; do
     --smoke)
       min_time="--benchmark_min_time=0.01"
       service_args=(--smoke)
+      smoke=1
+      shift
+      ;;
+    --allow-debug)
+      allow_debug=1
       shift
       ;;
     *)
@@ -65,6 +79,24 @@ while [[ $# -gt 0 ]]; do
       ;;
   esac
 done
+
+# Provenance gate: numbers destined for the repo root must come from an
+# optimized build. The ctest smoke runs against whatever build tree hosts
+# it (often Debug/ASan), so --smoke bypasses the refusal but the stamp in
+# the JSON still records what was measured.
+build_type="unknown"
+if [[ -f "${build_dir}/CMakeCache.txt" ]]; then
+  build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+    "${build_dir}/CMakeCache.txt")"
+  build_type="${build_type:-unspecified}"
+fi
+if [[ "${build_type}" != "Release" && "${smoke}" -eq 0 \
+      && "${allow_debug}" -eq 0 ]]; then
+  echo "refusing to record benchmarks from a '${build_type}' build" >&2
+  echo "(${build_dir}); configure with -DCMAKE_BUILD_TYPE=Release or pass" >&2
+  echo "--allow-debug / --smoke for throwaway numbers" >&2
+  exit 3
+fi
 
 binaries=(perf_resemblance perf_closure)
 engine_binaries=(perf_engine)
@@ -113,6 +145,7 @@ import sys
 
 out_path, baseline_path, trace_path = sys.argv[1], sys.argv[2], sys.argv[3]
 merged = {"context": None, "benchmarks": []}
+build_type = os.environ.get("ECRINT_BUILD_TYPE", "unknown")
 if baseline_path and os.path.exists(baseline_path):
     with open(baseline_path) as f:
         merged["seed_baseline"] = json.load(f)
@@ -125,6 +158,23 @@ for path in sys.argv[4:]:
     if merged["context"] is None:
         merged["context"] = report.get("context", {})
     merged["benchmarks"].extend(report.get("benchmarks", []))
+if merged["context"] is None:
+    merged["context"] = {}
+# Provenance stamp: the CMake build type of the tree that produced these
+# numbers (checked against "Release" by the gate above and by tools/ci.sh).
+merged["context"]["ecrint_build_type"] = build_type
+merged["context"]["ecrint_release_build"] = build_type == "Release"
+
+# Asymptotic fits from ->Complexity() sweeps (e.g. the closure worklist
+# kernel): surfaced top-level so regressions back toward N^3 are visible in
+# a diff without re-deriving the fit from raw timings.
+complexity_fits = {}
+for b in merged["benchmarks"]:
+    if b.get("run_type") == "aggregate" and b.get("aggregate_name") == "BigO":
+        family = b["name"].split("_BigO")[0].split("/")[0]
+        complexity_fits[family] = b.get("big_o", "").strip()
+if complexity_fits:
+    merged["complexity_fits"] = complexity_fits
 
 baseline = {
     b["name"]: b["real_time"]
@@ -165,6 +215,7 @@ for arg, s in sorted(incremental.items(), key=lambda kv: int(kv[0])):
 PY
 }
 
+export ECRINT_BUILD_TYPE="${build_type}"
 merge "${out_file}" "${repo_root}/bench/baseline_seed.json" "" \
   "${out_dir}"/*.json
 merge "${engine_out_file}" "" "${out_dir}/trace/engine_trace.json" \

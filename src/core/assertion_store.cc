@@ -1,8 +1,28 @@
 #include "core/assertion_store.h"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
+#include <numeric>
+#include <utility>
+
+#if defined(__SSSE3__)
+#include <immintrin.h>
+#endif
+
+#include "common/thread_pool.h"
 
 namespace ecrint::core {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 std::string ConflictReport::ToString() const {
   std::string out = "conflict: asserting '" +
@@ -23,95 +43,252 @@ std::string ConflictReport::ToString() const {
   return out;
 }
 
+void AssertionStore::Grow(int min_capacity) {
+  int new_capacity = capacity_ == 0 ? 64 : capacity_;
+  while (new_capacity < min_capacity) new_capacity *= 2;
+  if (new_capacity == capacity_) return;
+  int new_words = new_capacity / 64;
+  size_t cells = static_cast<size_t>(new_capacity) * new_capacity;
+
+  // Row stride changes, so every per-cell array is rebuilt row by row.
+  // Intern (the only caller) runs strictly between transactions, so the
+  // worklist and undo log are empty and queued_/visited_stamp_ can simply
+  // be re-zeroed.
+  std::vector<RelationSet> rel(cells, kAnyRelation);
+  std::vector<uint64_t> constrained(
+      static_cast<size_t>(new_capacity) * new_words, 0);
+  std::vector<int32_t> direct(cells, -1);
+  std::vector<int32_t> deriv_head(cells, -1);
+  int n = num_objects();
+  for (int i = 0; i < n; ++i) {
+    std::copy_n(rel_.begin() + static_cast<size_t>(i) * capacity_, n,
+                rel.begin() + static_cast<size_t>(i) * new_capacity);
+    std::copy_n(constrained_.begin() + static_cast<size_t>(i) * words_,
+                words_,
+                constrained.begin() + static_cast<size_t>(i) * new_words);
+    std::copy_n(direct_.begin() + static_cast<size_t>(i) * capacity_, n,
+                direct.begin() + static_cast<size_t>(i) * new_capacity);
+    std::copy_n(deriv_head_.begin() + static_cast<size_t>(i) * capacity_, n,
+                deriv_head.begin() + static_cast<size_t>(i) * new_capacity);
+  }
+  rel_ = std::move(rel);
+  constrained_ = std::move(constrained);
+  direct_ = std::move(direct);
+  deriv_head_ = std::move(deriv_head);
+  queued_.assign(cells, 0);
+  visited_stamp_.assign(cells, 0);
+  visited_epoch_ = 0;
+  capacity_ = new_capacity;
+  words_ = new_words;
+}
+
 int AssertionStore::Intern(const ObjectRef& ref) {
   auto it = index_.find(ref);
   if (it != index_.end()) return it->second;
-
-  int old_n = num_objects();
-  int new_n = old_n + 1;
+  int id = num_objects();
+  if (id + 1 > capacity_) Grow(id + 1);
   objects_.push_back(ref);
-  index_[ref] = old_n;
-
-  if (new_n > capacity_) {
-    // Double the stride so the O(n^2) move happens O(log n) times over the
-    // store's lifetime; untouched cells default to kAnyRelation, which is
-    // exactly the initial state of a fresh pair.
-    int new_capacity = std::max(new_n, capacity_ == 0 ? 8 : capacity_ * 2);
-    std::vector<PairState> grown(static_cast<size_t>(new_capacity) *
-                                 new_capacity);
-    for (int i = 0; i < old_n; ++i) {
-      for (int j = 0; j < old_n; ++j) {
-        grown[static_cast<size_t>(i) * new_capacity + j] =
-            std::move(matrix_[static_cast<size_t>(i) * capacity_ + j]);
-      }
-    }
-    matrix_ = std::move(grown);
-    capacity_ = new_capacity;
-  }
-  At(old_n, old_n).possible = MaskOf(SetRelation::kEqual);
-  return old_n;
+  index_[ref] = id;
+  rel_[Cell(id, id)] = MaskOf(SetRelation::kEqual);
+  return id;
 }
 
 int AssertionStore::AddObject(const ObjectRef& ref) { return Intern(ref); }
 
-namespace {
+void AssertionStore::BeginTxn() {
+  undo_.clear();
+  deriv_pool_mark_ = deriv_pool_.size();
+}
 
-std::vector<int> MergeSupport(const std::vector<int>& a,
-                              const std::vector<int>& b) {
-  std::vector<int> out;
-  out.reserve(a.size() + b.size());
-  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
-                 std::back_inserter(out));
+void AssertionStore::CommitTxn() {
+  undo_.clear();
+  deriv_pool_mark_ = deriv_pool_.size();
+}
+
+void AssertionStore::Rollback() {
+  // Reverse order so the earliest save of a multiply-narrowed cell wins.
+  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+    int a = static_cast<int>(it->cell / capacity_);
+    int b = static_cast<int>(it->cell % capacity_);
+    rel_[it->cell] = it->rel;
+    rel_[Cell(b, a)] = Converse(it->rel);
+    if (it->rel == kAnyRelation) {
+      ClearConstrainedBit(a, b);
+      ClearConstrainedBit(b, a);
+    }
+    direct_[it->cell] = it->direct;
+    deriv_head_[it->cell] = it->deriv_head;
+  }
+  undo_.clear();
+  deriv_pool_.resize(deriv_pool_mark_);
+  // Undrained worklist entries still carry queued marks.
+  for (size_t p = work_head_; p < worklist_.size(); ++p) {
+    queued_[worklist_[p]] = 0;
+  }
+  worklist_.clear();
+  work_head_ = 0;
+}
+
+bool AssertionStore::Narrow(int x, int y, RelationSet refined, int via) {
+  int64_t cn = NormCell(x, y);
+  undo_.push_back({cn, rel_[cn], direct_[cn], deriv_head_[cn]});
+  rel_[Cell(x, y)] = refined;
+  rel_[Cell(y, x)] = Converse(refined);
+  SetConstrainedBit(x, y);
+  SetConstrainedBit(y, x);
+  if (via >= 0) {
+    deriv_pool_.push_back({static_cast<int32_t>(via), deriv_head_[cn]});
+    deriv_head_[cn] = static_cast<int32_t>(deriv_pool_.size() - 1);
+  }
+  ++stats_.narrowings;
+  if (!queued_[cn]) {
+    queued_[cn] = 1;
+    worklist_.push_back(cn);
+  }
+  return refined != kNoRelation;
+}
+
+int AssertionStore::SweepRow(int x, int y, const RelationSet* table) {
+  RelationSet* row_x = &rel_[static_cast<size_t>(x) * capacity_];
+  const RelationSet* row_y = &rel_[static_cast<size_t>(y) * capacity_];
+  const uint64_t* bits_y = &constrained_[static_cast<size_t>(y) * words_];
+  int64_t visited = 0;
+  // No k == x / k == y guards are needed in either variant: for k == x the
+  // current value is kEqual and Compose(r, Converse(r)) ⊇ {=}, and for
+  // k == y the composed mask is Compose(r, {=}) == r — both are no-ops.
+#if defined(__SSSE3__)
+  // 16 columns per step: pshufb performs the 32-byte compose-table lookup
+  // in-register (two 16-entry shuffles blended on bit 4 of the index).
+  // Columns with no constrained bit hold kAnyRelation and the table maps
+  // kAnyRelation rows to kAnyRelation, so lanes never need masking — a
+  // block is touched at all only if its 16-bit slice of the bitmap is
+  // nonzero, and only lanes whose AND actually changed take the scalar
+  // Narrow path. Blocks never cross the row edge (capacity_ % 64 == 0).
+  const __m128i t_lo =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(table));
+  const __m128i t_hi =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(table + 16));
+  const __m128i bit4 = _mm_set1_epi8(0x10);
+  for (int w = 0; w < words_; ++w) {
+    uint64_t bits = bits_y[w];
+    if (bits == 0) continue;
+    for (int blk = 0; blk < 4; ++blk) {
+      if (((bits >> (blk * 16)) & 0xFFFFu) == 0) continue;
+      int k0 = (w << 6) + (blk << 4);
+      visited += 16;
+      __m128i v =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(row_y + k0));
+      __m128i lo = _mm_shuffle_epi8(t_lo, v);
+      __m128i hi = _mm_shuffle_epi8(t_hi, v);
+      __m128i hi_mask = _mm_cmpeq_epi8(_mm_and_si128(v, bit4), bit4);
+      __m128i composed = _mm_or_si128(_mm_and_si128(hi_mask, hi),
+                                      _mm_andnot_si128(hi_mask, lo));
+      __m128i cur =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(row_x + k0));
+      __m128i same = _mm_cmpeq_epi8(_mm_and_si128(cur, composed), cur);
+      unsigned changed =
+          0xFFFFu ^ static_cast<unsigned>(_mm_movemask_epi8(same));
+      while (changed != 0) {
+        int k = k0 + std::countr_zero(changed);
+        changed &= changed - 1;
+        RelationSet refined =
+            static_cast<RelationSet>(row_x[k] & table[row_y[k]]);
+        if (!Narrow(x, k, refined, y)) {
+          stats_.row_compositions += visited;
+          return k;
+        }
+      }
+    }
+  }
+#else
+  for (int w = 0; w < words_; ++w) {
+    uint64_t bits = bits_y[w];
+    while (bits != 0) {
+      int k = (w << 6) + std::countr_zero(bits);
+      bits &= bits - 1;
+      ++visited;
+      RelationSet cur = row_x[k];
+      RelationSet refined = static_cast<RelationSet>(cur & table[row_y[k]]);
+      if (refined != cur && !Narrow(x, k, refined, y)) {
+        stats_.row_compositions += visited;
+        return k;
+      }
+    }
+  }
+#endif
+  stats_.row_compositions += visited;
+  return -1;
+}
+
+std::pair<int, int> AssertionStore::Drain() {
+  while (work_head_ < worklist_.size()) {
+    int64_t cell = worklist_[work_head_++];
+    queued_[cell] = 0;
+    int a = static_cast<int>(cell / capacity_);
+    int b = static_cast<int>(cell % capacity_);
+    RelationSet r_ab = rel_[cell];
+    ++stats_.worklist_pops;
+    // Row r_ab of the packed compose table refines a whole relation row
+    // with one lookup + AND per constrained column; unconstrained columns
+    // are skipped wholesale via the bitmap (Compose(x, kAnyRelation) ==
+    // kAnyRelation, so they can never refine). The two sweeps cover all
+    // four composition directions through (a,b): the converse invariant of
+    // the matrix (rel[y][x] == Converse(rel[x][y]) always) makes the other
+    // two redundant.
+    int ck = SweepRow(a, b, kComposeSetTable[r_ab].data());
+    if (ck >= 0) return {a, ck};
+    ck = SweepRow(b, a, kComposeSetTable[Converse(r_ab)].data());
+    if (ck >= 0) return {b, ck};
+  }
+  worklist_.clear();
+  work_head_ = 0;
+  return {-1, -1};
+}
+
+std::vector<int32_t> AssertionStore::ExpandSupportIds(int i, int j) const {
+  std::vector<int32_t> out;
+  if (capacity_ == 0) return out;
+  if (++visited_epoch_ == 0) {  // epoch wrap: invalidate all stamps
+    std::fill(visited_stamp_.begin(), visited_stamp_.end(), 0);
+    visited_epoch_ = 1;
+  }
+  std::vector<int64_t> stack;
+  stack.push_back(NormCell(i, j));
+  while (!stack.empty()) {
+    int64_t cell = stack.back();
+    stack.pop_back();
+    if (visited_stamp_[cell] == visited_epoch_) continue;
+    visited_stamp_[cell] = visited_epoch_;
+    if (direct_[cell] >= 0) out.push_back(direct_[cell]);
+    int a = static_cast<int>(cell / capacity_);
+    int b = static_cast<int>(cell % capacity_);
+    for (int32_t rec = deriv_head_[cell]; rec >= 0;
+         rec = deriv_pool_[rec].next) {
+      int via = deriv_pool_[rec].via;
+      stack.push_back(NormCell(a, via));
+      stack.push_back(NormCell(via, b));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 
-}  // namespace
-
-void AssertionStore::SaveUndo(int i, int j) {
-  // Flat capacity_-strided index; Assert interns its operands before the
-  // first SaveUndo, so the stride cannot change while an undo log is live.
-  size_t cell = static_cast<size_t>(i) * capacity_ + j;
-  undo_.emplace_back(cell, matrix_[cell]);
-}
-
-bool AssertionStore::Refine(int i, int k, RelationSet mask,
-                            const std::vector<int>& via1,
-                            const std::vector<int>& via2) {
-  PairState& state = At(i, k);
-  RelationSet refined = state.possible & mask;
-  if (refined == state.possible) return false;
-  SaveUndo(i, k);
-  SaveUndo(k, i);
-  state.possible = refined;
-  state.support = MergeSupport(state.support, MergeSupport(via1, via2));
-  PairState& mirror = At(k, i);
-  mirror.possible = Converse(refined);
-  mirror.support = state.support;
-  dirty_.push_back({i, k});
-  return true;
-}
-
-std::pair<int, int> AssertionStore::Propagate(int i, int j) {
-  dirty_.clear();
-  dirty_.push_back({i, j});
-  while (!dirty_.empty()) {
-    auto [a, b] = dirty_.back();
-    dirty_.pop_back();
-    if (At(a, b).possible == kNoRelation) return {a, b};
-    const std::vector<int>& support_ab = At(a, b).support;
-    for (int k = 0; k < num_objects(); ++k) {
-      if (k == a || k == b) continue;
-      // (a,k) via b: R(a,k) ∈ R(a,b) ∘ R(b,k).
-      Refine(a, k, Compose(At(a, b).possible, At(b, k).possible), support_ab,
-             At(b, k).support);
-      if (At(a, k).possible == kNoRelation) return {a, k};
-      // (k,b) via a: R(k,b) ∈ R(k,a) ∘ R(a,b).
-      Refine(k, b, Compose(At(k, a).possible, At(a, b).possible),
-             At(k, a).support, support_ab);
-      if (At(k, b).possible == kNoRelation) return {k, b};
-    }
+void AssertionStore::AppendSupport(int i, int j,
+                                   std::vector<Assertion>& out) const {
+  for (int32_t id : ExpandSupportIds(i, j)) {
+    out.push_back(user_assertions_[id]);
   }
-  return {-1, -1};
+}
+
+ConflictReport AssertionStore::ReportFor(int ci, int cj) const {
+  ConflictReport report;
+  report.conflict_first = objects_[ci];
+  report.conflict_second = objects_[cj];
+  report.existing = rel_[Cell(ci, cj)];
+  report.existing_is_derived = direct_[NormCell(ci, cj)] < 0;
+  AppendSupport(ci, cj, report.supporting);
+  return report;
 }
 
 Result<ConflictReport> AssertionStore::Assert(const Assertion& assertion) {
@@ -121,64 +298,57 @@ Result<ConflictReport> AssertionStore::Assert(const Assertion& assertion) {
   RelationSet mask = MaskOf(RelationOf(assertion.type));
 
   // Fast-path direct contradiction: report without touching state.
-  const PairState& current = At(i, j);
-  if ((current.possible & mask) == kNoRelation) {
-    ConflictReport report;
+  RelationSet current = rel_[Cell(i, j)];
+  if ((current & mask) == kNoRelation) {
+    ++stats_.conflicts;
+    ConflictReport report = ReportFor(i, j);
     report.attempted = assertion;
-    report.conflict_first = assertion.first;
-    report.conflict_second = assertion.second;
-    report.existing = current.possible;
-    report.existing_is_derived = current.user_assertion_index < 0;
-    for (int id : current.support) report.supporting.push_back(
-        user_assertions_[id]);
-    last_conflict_ = report;
+    last_conflict_ = std::move(report);
     return ConflictError(last_conflict_->ToString());
   }
 
-  // Transactional apply: log changed cells, refine, propagate, and roll the
-  // log back on conflict.
-  undo_.clear();
-  int assertion_id = static_cast<int>(user_assertions_.size());
+  // Transactional apply: narrow the pair, drain the worklist, and roll the
+  // undo log back on contradiction.
+  int64_t t0 = NowNs();
+  BeginTxn();
+  int32_t assertion_id = static_cast<int32_t>(user_assertions_.size());
   user_assertions_.push_back(assertion);
 
-  SaveUndo(i, j);
-  if (i != j) SaveUndo(j, i);
-  PairState& state = At(i, j);
-  state.possible &= mask;
-  state.support = MergeSupport(state.support, {assertion_id});
-  state.user_assertion_index = assertion_id;
-  PairState& mirror = At(j, i);
-  mirror.possible = Converse(state.possible);
-  mirror.support = state.support;
-  mirror.user_assertion_index = assertion_id;
+  int a = std::min(i, j);
+  int b = std::max(i, j);
+  int64_t cn = Cell(a, b);
+  RelationSet norm_mask = i <= j ? mask : Converse(mask);
+  RelationSet refined = static_cast<RelationSet>(rel_[cn] & norm_mask);
+  undo_.push_back({cn, rel_[cn], direct_[cn], deriv_head_[cn]});
+  bool changed = refined != rel_[cn];
+  rel_[cn] = refined;
+  rel_[Cell(b, a)] = Converse(refined);
+  direct_[cn] = assertion_id;
+  if (a != b) {
+    SetConstrainedBit(a, b);
+    SetConstrainedBit(b, a);
+    if (changed && !queued_[cn]) {
+      queued_[cn] = 1;
+      worklist_.push_back(cn);
+    }
+  }
 
-  auto [ci, cj] = Propagate(i, j);
+  auto [ci, cj] = Drain();
+  stats_.kernel_ns += NowNs() - t0;
   if (ci >= 0) {
-    // Roll back in reverse order so earlier saves win.
-    for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
-      matrix_[it->first] = std::move(it->second);
-    }
-    undo_.clear();
+    ++stats_.conflicts;
+    Rollback();
     user_assertions_.pop_back();
-
-    ConflictReport report;
+    ConflictReport report = ReportFor(ci, cj);  // post-rollback == before
     report.attempted = assertion;
-    report.conflict_first = objects_[ci];
-    report.conflict_second = objects_[cj];
-    const PairState& before = At(ci, cj);  // post-rollback == pre-attempt
-    report.existing = before.possible;
-    report.existing_is_derived = before.user_assertion_index < 0;
-    for (int id : before.support) {
-      report.supporting.push_back(user_assertions_[id]);
-    }
-    last_conflict_ = report;
+    last_conflict_ = std::move(report);
     return ConflictError(last_conflict_->ToString());
   }
-  undo_.clear();
+  CommitTxn();
 
   ConflictReport ok;  // empty report signals success
   ok.attempted = assertion;
-  ok.existing = At(i, j).possible;
+  ok.existing = rel_[Cell(i, j)];
   return ok;
 }
 
@@ -197,52 +367,43 @@ Result<ConflictReport> AssertionStore::Constrain(const ObjectRef& first,
   std::string description = first.ToString() + " " +
                             RelationSetToString(allowed) + " " +
                             second.ToString();
-  const PairState& current = At(i, j);
-  if ((current.possible & allowed) == kNoRelation) {
-    ConflictReport report;
-    report.attempted_description = description;
-    report.conflict_first = first;
-    report.conflict_second = second;
-    report.existing = current.possible;
-    report.existing_is_derived = current.user_assertion_index < 0;
-    for (int id : current.support) {
-      report.supporting.push_back(user_assertions_[id]);
-    }
-    last_conflict_ = report;
+  RelationSet current = rel_[Cell(i, j)];
+  if ((current & allowed) == kNoRelation) {
+    ++stats_.conflicts;
+    ConflictReport report = ReportFor(i, j);
+    report.attempted_description = std::move(description);
+    last_conflict_ = std::move(report);
     return ConflictError(last_conflict_->ToString());
   }
-
-  undo_.clear();
-  if (!Refine(i, j, allowed, {}, {})) {
+  if ((current & allowed) == current) {
     ConflictReport ok;
     ok.attempted_description = std::move(description);
-    ok.existing = current.possible;
+    ok.existing = current;
     return ok;  // already at least this tight
   }
-  // Refine queued (i,j); drain the propagation from there.
-  auto [ci, cj] = Propagate(i, j);
+
+  int64_t t0 = NowNs();
+  BeginTxn();
+  // The narrowing is real but carries no user assertion and no derivation
+  // record — its provenance lives with the caller (e.g. the closed-world
+  // key bound), so support expansion through it contributes nothing, which
+  // matches the Screen-9 contract for domain-derived constraints.
+  Narrow(i, j, static_cast<RelationSet>(current & allowed), -1);
+  has_constraints_ = true;
+  auto [ci, cj] = Drain();
+  stats_.kernel_ns += NowNs() - t0;
   if (ci >= 0) {
-    for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
-      matrix_[it->first] = std::move(it->second);
-    }
-    undo_.clear();
-    ConflictReport report;
+    ++stats_.conflicts;
+    Rollback();
+    ConflictReport report = ReportFor(ci, cj);
     report.attempted_description = std::move(description);
-    report.conflict_first = objects_[ci];
-    report.conflict_second = objects_[cj];
-    const PairState& before = At(ci, cj);
-    report.existing = before.possible;
-    report.existing_is_derived = before.user_assertion_index < 0;
-    for (int id : before.support) {
-      report.supporting.push_back(user_assertions_[id]);
-    }
-    last_conflict_ = report;
+    last_conflict_ = std::move(report);
     return ConflictError(last_conflict_->ToString());
   }
-  undo_.clear();
+  CommitTxn();
   ConflictReport ok;
   ok.attempted_description = std::move(description);
-  ok.existing = At(i, j).possible;
+  ok.existing = rel_[Cell(i, j)];
   return ok;
 }
 
@@ -251,7 +412,7 @@ RelationSet AssertionStore::PossibleRelations(const ObjectRef& first,
   auto it = index_.find(first);
   auto jt = index_.find(second);
   if (it == index_.end() || jt == index_.end()) return kAnyRelation;
-  return At(it->second, jt->second).possible;
+  return rel_[Cell(it->second, jt->second)];
 }
 
 Result<SetRelation> AssertionStore::EstablishedRelation(
@@ -270,16 +431,16 @@ bool AssertionStore::IsIntegrating(const ObjectRef& first,
   auto it = index_.find(first);
   auto jt = index_.find(second);
   if (it == index_.end() || jt == index_.end()) return false;
-  const PairState& state = At(it->second, jt->second);
-  if (state.user_assertion_index >= 0) {
-    return core::IsIntegrating(
-        user_assertions_[state.user_assertion_index].type);
+  int32_t direct = direct_[NormCell(it->second, jt->second)];
+  if (direct >= 0) {
+    return core::IsIntegrating(user_assertions_[direct].type);
   }
   // Derived-only: integrate when pinned to a non-disjoint relation. A
   // derived disjointness never connects a cluster (nobody asked for a
   // generalization over the pair).
-  return RelationCount(state.possible) == 1 &&
-         TheRelation(state.possible) != SetRelation::kDisjoint;
+  RelationSet possible = rel_[Cell(it->second, jt->second)];
+  return RelationCount(possible) == 1 &&
+         TheRelation(possible) != SetRelation::kDisjoint;
 }
 
 std::vector<AssertionStore::DerivedFact> AssertionStore::DerivedFacts()
@@ -287,15 +448,16 @@ std::vector<AssertionStore::DerivedFact> AssertionStore::DerivedFacts()
   std::vector<DerivedFact> out;
   for (int i = 0; i < num_objects(); ++i) {
     for (int j = i + 1; j < num_objects(); ++j) {
-      const PairState& state = At(i, j);
-      if (state.user_assertion_index >= 0) continue;
-      if (RelationCount(state.possible) != 1) continue;
-      if (state.support.empty()) continue;  // trivial (e.g. diagonal)
+      int64_t cn = Cell(i, j);
+      if (direct_[cn] >= 0) continue;
+      if (RelationCount(rel_[cn]) != 1) continue;
+      std::vector<int32_t> support = ExpandSupportIds(i, j);
+      if (support.empty()) continue;  // trivial (e.g. Constrain-pinned)
       DerivedFact fact;
       fact.first = objects_[i];
       fact.second = objects_[j];
-      fact.relation = TheRelation(state.possible);
-      for (int id : state.support) {
+      fact.relation = TheRelation(rel_[cn]);
+      for (int32_t id : support) {
         fact.supporting.push_back(user_assertions_[id]);
       }
       out.push_back(std::move(fact));
@@ -310,10 +472,227 @@ std::vector<Assertion> AssertionStore::SupportingAssertions(
   auto it = index_.find(first);
   auto jt = index_.find(second);
   if (it == index_.end() || jt == index_.end()) return out;
-  for (int id : At(it->second, jt->second).support) {
-    out.push_back(user_assertions_[id]);
-  }
+  AppendSupport(it->second, jt->second, out);
   return out;
+}
+
+int AssertionStore::num_clusters() const {
+  int n = num_objects();
+  if (n == 0) return 0;
+  std::vector<int> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&parent](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  std::vector<uint8_t> touched(n, 0);
+  for (int i = 0; i < n; ++i) {
+    const uint64_t* bits_i = &constrained_[static_cast<size_t>(i) * words_];
+    for (int w = 0; w < words_; ++w) {
+      uint64_t bits = bits_i[w];
+      while (bits != 0) {
+        int k = (w << 6) + std::countr_zero(bits);
+        bits &= bits - 1;
+        if (k <= i) continue;
+        touched[i] = 1;
+        touched[k] = 1;
+        parent[find(i)] = find(k);
+      }
+    }
+  }
+  int clusters = 0;
+  for (int i = 0; i < n; ++i) {
+    if (touched[i] && find(i) == i) ++clusters;
+  }
+  return clusters;
+}
+
+Result<ConflictReport> AssertionStore::AssertSequential(
+    const std::vector<Assertion>& batch) {
+  ConflictReport last_ok;
+  for (const Assertion& assertion : batch) {
+    Result<ConflictReport> r = Assert(assertion);
+    if (!r.ok()) return r;
+    last_ok = std::move(*r);
+  }
+  return last_ok;
+}
+
+void AssertionStore::MergeComponent(
+    const AssertionStore& scratch, const std::vector<int>& object_map,
+    const std::vector<int32_t>& assertion_map) {
+  std::vector<int32_t> chain;
+  for (int i = 0; i < scratch.num_objects(); ++i) {
+    int mi = object_map[i];
+    // Diagonal: a self-assertion leaves its id on the diagonal cell.
+    int32_t self = scratch.direct_[scratch.Cell(i, i)];
+    if (self >= 0) direct_[Cell(mi, mi)] = assertion_map[self];
+    for (int j = i + 1; j < scratch.num_objects(); ++j) {
+      int64_t sc = scratch.Cell(i, j);
+      RelationSet v = scratch.rel_[sc];
+      if (v == kAnyRelation && scratch.direct_[sc] < 0) continue;
+      int mj = object_map[j];
+      rel_[Cell(mi, mj)] = v;
+      rel_[Cell(mj, mi)] = Converse(v);
+      if (v != kAnyRelation) {
+        SetConstrainedBit(mi, mj);
+        SetConstrainedBit(mj, mi);
+      }
+      int64_t cn = NormCell(mi, mj);
+      direct_[cn] =
+          scratch.direct_[sc] >= 0 ? assertion_map[scratch.direct_[sc]] : -1;
+      // Re-link the derivation chain in scratch order (head = most recent
+      // narrowing). The closure confined to this component ran the exact
+      // sequence a sequential replay would, so the rebuilt chain is the
+      // sequential chain; the cell's previous records in deriv_pool_ are
+      // orphaned, which only costs their 8 bytes until the store is copied.
+      chain.clear();
+      for (int32_t rec = scratch.deriv_head_[sc]; rec >= 0;
+           rec = scratch.deriv_pool_[rec].next) {
+        chain.push_back(rec);
+      }
+      int32_t head = -1;
+      for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        deriv_pool_.push_back(
+            {static_cast<int32_t>(object_map[scratch.deriv_pool_[*it].via]),
+             head});
+        head = static_cast<int32_t>(deriv_pool_.size() - 1);
+      }
+      deriv_head_[cn] = head;
+    }
+  }
+  deriv_pool_mark_ = deriv_pool_.size();
+}
+
+Result<ConflictReport> AssertionStore::AssertBatch(
+    const std::vector<Assertion>& batch, common::ThreadPool* pool) {
+  if (pool == nullptr || pool->size() <= 1 || has_constraints_ ||
+      batch.size() <= 1) {
+    return AssertSequential(batch);
+  }
+
+  // Intern every endpoint up front, in batch order — the same ids a
+  // sequential replay would assign, so the merged store is bit-identical.
+  for (const Assertion& a : batch) {
+    Intern(a.first);
+    Intern(a.second);
+  }
+  int n = num_objects();
+
+  // Connected components of the constraint graph: existing constrained
+  // pairs plus the batch edges.
+  std::vector<int> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&parent](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (int i = 0; i < n; ++i) {
+    const uint64_t* bits_i = &constrained_[static_cast<size_t>(i) * words_];
+    for (int w = 0; w < words_; ++w) {
+      uint64_t bits = bits_i[w];
+      while (bits != 0) {
+        int k = (w << 6) + std::countr_zero(bits);
+        bits &= bits - 1;
+        if (k > i) parent[find(i)] = find(k);
+      }
+    }
+  }
+  for (const Assertion& a : batch) {
+    parent[find(index_.at(a.first))] = find(index_.at(a.second));
+  }
+
+  // Group batch assertions by component root.
+  std::unordered_map<int, int> group_of_root;
+  std::vector<std::vector<int>> groups;
+  for (size_t bi = 0; bi < batch.size(); ++bi) {
+    int root = find(index_.at(batch[bi].first));
+    auto [it, inserted] =
+        group_of_root.try_emplace(root, static_cast<int>(groups.size()));
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(static_cast<int>(bi));
+  }
+  if (groups.size() <= 1) return AssertSequential(batch);
+
+  int64_t t0 = NowNs();
+  ++stats_.batch_parallel_runs;
+  int32_t base_id = static_cast<int32_t>(user_assertions_.size());
+
+  // Each group's replay sequence: the existing user assertions of its
+  // component (by original id), then its batch slice — in global order.
+  struct Task {
+    std::vector<Assertion> replay;
+    std::vector<int32_t> assertion_map;  // scratch assertion id -> main id
+    AssertionStore scratch;
+    bool conflicted = false;
+  };
+  std::vector<Task> tasks(groups.size());
+  for (size_t ai = 0; ai < user_assertions_.size(); ++ai) {
+    int root = find(index_.at(user_assertions_[ai].first));
+    auto it = group_of_root.find(root);
+    if (it == group_of_root.end()) continue;  // component untouched by batch
+    Task& task = tasks[it->second];
+    task.replay.push_back(user_assertions_[ai]);
+    task.assertion_map.push_back(static_cast<int32_t>(ai));
+  }
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (int bi : groups[g]) {
+      tasks[g].replay.push_back(batch[bi]);
+      tasks[g].assertion_map.push_back(base_id + bi);
+    }
+  }
+
+  pool->ParallelFor(0, static_cast<int>(tasks.size()), 1,
+                    [&tasks](int lo, int hi) {
+                      for (int g = lo; g < hi; ++g) {
+                        for (const Assertion& a : tasks[g].replay) {
+                          if (!tasks[g].scratch.Assert(a).ok()) {
+                            tasks[g].conflicted = true;
+                            break;
+                          }
+                        }
+                      }
+                    });
+
+  for (const Task& task : tasks) {
+    if (!task.conflicted) continue;
+    // Some cluster contradicts. Sequential replay on the (untouched) main
+    // store reproduces the exact first-conflict report and prefix state the
+    // plain Assert() loop would have produced.
+    stats_.kernel_ns += NowNs() - t0;
+    return AssertSequential(batch);
+  }
+
+  // Merge: component closures are independent (composition through an
+  // unconstrained edge derives nothing), so copying each scratch matrix
+  // over its component yields the sequential result.
+  for (size_t g = 0; g < tasks.size(); ++g) {
+    const AssertionStore& scratch = tasks[g].scratch;
+    std::vector<int> object_map(scratch.num_objects());
+    for (int s = 0; s < scratch.num_objects(); ++s) {
+      object_map[s] = index_.at(scratch.objects_[s]);
+    }
+    MergeComponent(scratch, object_map, tasks[g].assertion_map);
+    stats_.worklist_pops += scratch.stats_.worklist_pops;
+    stats_.row_compositions += scratch.stats_.row_compositions;
+    stats_.narrowings += scratch.stats_.narrowings;
+  }
+  user_assertions_.insert(user_assertions_.end(), batch.begin(), batch.end());
+  last_conflict_.reset();
+  stats_.kernel_ns += NowNs() - t0;
+
+  ConflictReport ok;
+  if (!batch.empty()) {
+    ok.attempted = batch.back();
+    ok.existing = PossibleRelations(batch.back().first, batch.back().second);
+  }
+  return ok;
 }
 
 }  // namespace ecrint::core

@@ -1,6 +1,7 @@
 #ifndef ECRINT_CORE_ASSERTION_STORE_H_
 #define ECRINT_CORE_ASSERTION_STORE_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -10,6 +11,10 @@
 #include "core/assertion.h"
 #include "core/object_ref.h"
 #include "core/set_relation.h"
+
+namespace ecrint::common {
+class ThreadPool;
+}  // namespace ecrint::common
 
 namespace ecrint::core {
 
@@ -34,6 +39,29 @@ struct ConflictReport {
   std::string ToString() const;
 };
 
+// Work counters for the change-driven closure kernel, accumulated over the
+// store's lifetime. Externally synchronized like the store itself; the
+// service plane samples these around each verb and feeds the deltas into
+// MetricsRegistry as closure.* instruments.
+struct ClosureStats {
+  int64_t worklist_pops = 0;      // narrowed edges taken off the worklist
+  int64_t row_compositions = 0;   // packed-row cells visited by sweeps
+  int64_t narrowings = 0;         // cells whose relation set shrank
+  int64_t conflicts = 0;          // rejected Assert/Constrain attempts
+  int64_t batch_parallel_runs = 0;  // AssertBatch calls that ran clustered
+  int64_t kernel_ns = 0;          // wall time inside Assert/Constrain/batch
+
+  ClosureStats& operator+=(const ClosureStats& other) {
+    worklist_pops += other.worklist_pops;
+    row_compositions += other.row_compositions;
+    narrowings += other.narrowings;
+    conflicts += other.conflicts;
+    batch_parallel_runs += other.batch_parallel_runs;
+    kernel_ns += other.kernel_ns;
+    return *this;
+  }
+};
+
 // The paper's Entity Assertion matrix plus its derivation machinery. Each
 // pair of registered structures carries the set of still-possible domain
 // relations; a user assertion pins a pair to one relation, and path
@@ -41,6 +69,18 @@ struct ConflictReport {
 // ("if Worker ⊆ Employee and Employee ⊆ Person then Worker ⊆ Person") and
 // rejects contradictions ("if Employee = Person and Person = Worker then
 // Worker cannot be a subset of Employee").
+//
+// Representation: relation rows are packed — one byte (5 live bits) per
+// pair in a row-major matrix, with a parallel bitmap marking the columns
+// that are constrained at all (≠ kAnyRelation). Closure is change-driven:
+// a worklist holds exactly the edges whose relation set narrowed, and each
+// popped edge (a,b) refines row a against row b (and row b against row a)
+// through the precomputed 32×32 kComposeSetTable — Compose(x, kAnyRelation)
+// is always kAnyRelation, so sweeps skip unconstrained columns wholesale by
+// scanning the bitmap words. Provenance is recorded per narrowing as the
+// intermediate vertex whose two edges composed (a derivation DAG), and
+// Screen-9 support sets are reconstructed on demand by walking that DAG to
+// the user assertions — no per-cell support vectors on the hot path.
 //
 // Assert() is transactional: on conflict the store is left unchanged and a
 // ConflictReport describes the contradiction, so the DDA can revise
@@ -67,6 +107,18 @@ class AssertionStore {
   // Convenience overload.
   Result<ConflictReport> Assert(const ObjectRef& first,
                                 const ObjectRef& second, AssertionType type);
+
+  // Asserts `batch` in order, stopping at (and reporting) the first
+  // conflict exactly as the equivalent Assert() loop would. When the batch
+  // spans several connected components of the (store ∪ batch) constraint
+  // graph and a pool is supplied, each cluster's closure runs on its own
+  // worker over a scratch store and the results are merged — closure never
+  // crosses a component boundary (composing with kAnyRelation derives
+  // nothing), so the merged matrix, user-assertion log, and derivation
+  // records are identical to the sequential replay. This is the bulk entry
+  // point for integration seeding and full rebuilds.
+  Result<ConflictReport> AssertBatch(const std::vector<Assertion>& batch,
+                                     common::ThreadPool* pool = nullptr);
 
   // Restricts the pair's possible relations to `allowed` without recording
   // a user assertion — the entry point for domain-derived bounds such as
@@ -120,50 +172,123 @@ class AssertionStore {
     return last_conflict_;
   }
 
+  // Closure kernel work counters (lifetime totals for this store).
+  const ClosureStats& closure_stats() const { return stats_; }
+
+  // Number of connected components among objects that carry at least one
+  // constrained pair — the independent clusters the batch kernel can close
+  // in parallel. Computed on demand from the constrained bitmaps.
+  int num_clusters() const;
+
  private:
-  // Dense pair state. Indexed [i][j]; invariant: matrix_[j][i] is the
-  // converse of matrix_[i][j] and support_[i][j] == support_[j][i].
-  struct PairState {
-    RelationSet possible = kAnyRelation;
-    std::vector<int> support;        // indices into user_assertions_
-    int user_assertion_index = -1;   // latest direct assertion, -1 if none
+  // One provenance record: the cell it hangs off was narrowed by composing
+  // its two edges through `via`. Records chain per cell through `next`
+  // (index into deriv_pool_, -1 ends); a cell can narrow at most four times
+  // (bits only disappear), so chains are short.
+  struct DerivRecord {
+    int32_t via = -1;
+    int32_t next = -1;
+  };
+
+  // Undo log entry for the in-flight transactional Assert/Constrain: the
+  // normalized cell plus everything needed to restore it (the mirror cell
+  // is recomputed as the converse).
+  struct UndoEntry {
+    int64_t cell = -1;
+    RelationSet rel = kAnyRelation;
+    int32_t direct = -1;
+    int32_t deriv_head = -1;
   };
 
   int Intern(const ObjectRef& ref);
+  void Grow(int min_capacity);
 
-  // The matrix is allocated with a row stride of `capacity_` (>= the object
-  // count) and regrown geometrically, so interning N objects moves O(N^2)
-  // cells in total instead of O(N^2) per insert.
-  PairState& At(int i, int j) { return matrix_[i * capacity_ + j]; }
-  const PairState& At(int i, int j) const {
-    return matrix_[i * capacity_ + j];
+  int64_t Cell(int i, int j) const {
+    return static_cast<int64_t>(i) * capacity_ + j;
+  }
+  int64_t NormCell(int i, int j) const {
+    return i <= j ? Cell(i, j) : Cell(j, i);
+  }
+  void SetConstrainedBit(int i, int j) {
+    constrained_[static_cast<size_t>(i) * words_ + (j >> 6)] |=
+        uint64_t{1} << (j & 63);
+  }
+  void ClearConstrainedBit(int i, int j) {
+    constrained_[static_cast<size_t>(i) * words_ + (j >> 6)] &=
+        ~(uint64_t{1} << (j & 63));
   }
 
-  // Runs path consistency after (i,j) was refined. Returns the conflicting
-  // pair on contradiction, or {-1,-1}. Mutates matrix_ in place; Assert()
-  // snapshots and restores on conflict.
-  std::pair<int, int> Propagate(int i, int j);
+  void BeginTxn();
+  void CommitTxn();
+  void Rollback();
 
-  // Refines (i,k) with `mask` from the composition through j, merging
-  // support sets. Returns true if the pair changed.
-  bool Refine(int i, int k, RelationSet mask, const std::vector<int>& via1,
-              const std::vector<int>& via2);
+  // Applies `refined` to pair (x,y) (already a strict narrowing), records
+  // the derivation via `via` (< 0 for direct assertions / constraints,
+  // which carry their provenance elsewhere), and queues the edge. Returns
+  // false when the pair just became empty — a contradiction.
+  bool Narrow(int x, int y, RelationSet refined, int via);
 
-  // Records the pre-change state of a cell so a conflicting Assert can roll
-  // back exactly the cells it touched (cheaper than snapshotting the whole
-  // matrix, which made seeding large schemas quadratic-times-quadratic).
-  void SaveUndo(int i, int j);
+  // Drains the worklist to the path-consistency fixpoint. Returns the
+  // conflicting pair on contradiction, or {-1,-1}.
+  std::pair<int, int> Drain();
+
+  // One direction of a popped edge's propagation: R(x,k) &= table[R(y,k)]
+  // for every column k constrained in row y, recording derivations via y.
+  // Returns the conflicting k (pair (x,k) became empty) or -1.
+  int SweepRow(int x, int y, const RelationSet* table);
+
+  // Sorted, deduplicated user-assertion ids reachable through the
+  // derivation DAG from pair (i,j) — the Screen-9 support set.
+  std::vector<int32_t> ExpandSupportIds(int i, int j) const;
+  void AppendSupport(int i, int j, std::vector<Assertion>& out) const;
+
+  ConflictReport ReportFor(int ci, int cj) const;
+
+  Result<ConflictReport> AssertSequential(
+      const std::vector<Assertion>& batch);
+  // Copies every constrained pair of `scratch` into this store, remapping
+  // object ids via `object_map` (scratch id -> this-store id) and user
+  // assertion ids via `assertion_map`.
+  void MergeComponent(const AssertionStore& scratch,
+                      const std::vector<int>& object_map,
+                      const std::vector<int32_t>& assertion_map);
 
   std::vector<ObjectRef> objects_;
   std::unordered_map<ObjectRef, int, ObjectRefHash> index_;
-  std::vector<PairState> matrix_;
-  int capacity_ = 0;  // row stride of matrix_; grown by doubling
+
+  // Packed pair state, all row-major with stride capacity_ (a multiple of
+  // 64, grown geometrically). rel_ holds both orientations (the mirror cell
+  // is always the converse); direct_/deriv_head_/queued_ are meaningful on
+  // the normalized (min,max) cell only.
+  int capacity_ = 0;
+  int words_ = 0;  // 64-bit bitmap words per row == capacity_ / 64
+  std::vector<RelationSet> rel_;
+  std::vector<uint64_t> constrained_;  // bit j of row i: rel_[i][j] != ANY
+  std::vector<int32_t> direct_;        // latest direct assertion id, -1 none
+  std::vector<int32_t> deriv_head_;    // head of DerivRecord chain, -1 none
+  std::vector<DerivRecord> deriv_pool_;
+
   std::vector<Assertion> user_assertions_;
-  // Pairs (i,j) refined since the last full propagation, used as worklist.
-  std::vector<std::pair<int, int>> dirty_;
-  // (flat cell index, previous state) entries for the in-flight Assert.
-  std::vector<std::pair<size_t, PairState>> undo_;
+
+  // Worklist of narrowed (normalized) cells, drained FIFO; queued_ prevents
+  // duplicate entries.
+  std::vector<int64_t> worklist_;
+  size_t work_head_ = 0;
+  std::vector<uint8_t> queued_;
+
+  // Transaction state for the in-flight Assert/Constrain.
+  std::vector<UndoEntry> undo_;
+  size_t deriv_pool_mark_ = 0;
+
+  // Epoch-stamped visited marks for support expansion (no per-call clear).
+  mutable std::vector<uint32_t> visited_stamp_;
+  mutable uint32_t visited_epoch_ = 0;
+
   std::optional<ConflictReport> last_conflict_;
+  // Constrain() state cannot be reproduced by replaying user_assertions_,
+  // so its presence disables the replay-based parallel batch path.
+  bool has_constraints_ = false;
+  ClosureStats stats_;
 };
 
 }  // namespace ecrint::core

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "core/seeding.h"
 
 namespace ecrint::core {
@@ -499,16 +500,20 @@ Status SeedForIntegration(AssertionStore& assertions,
                           const std::vector<std::string>& schemas,
                           const IntegrationOptions& options) {
   // Seed within-schema structure into the closure; contradictions between
-  // DDA assertions and component structure surface here.
+  // DDA assertions and component structure surface here. All schemas are
+  // collected into one batch: each component schema's seeds usually form
+  // their own connected clusters, which AssertBatch closes in parallel.
   SeedOptions seed;
   seed.category_containment = options.seed_category_containment;
   seed.entity_disjointness = options.seed_entity_disjointness;
+  std::vector<Assertion> seeds;
   for (const std::string& name : schemas) {
     ECRINT_ASSIGN_OR_RETURN(const ecr::Schema* schema,
                             catalog.GetSchema(name));
-    ECRINT_RETURN_IF_ERROR(SeedSchemaRelations(assertions, *schema, seed));
+    CollectSchemaSeedAssertions(*schema, seed, seeds);
   }
-  return Status::Ok();
+  return assertions.AssertBatch(seeds, &common::ThreadPool::Shared())
+      .status();
 }
 
 Result<IntegrationResult> Integrate(const ecr::Catalog& catalog,

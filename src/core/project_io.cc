@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "ecr/ddl_parser.h"
 #include "ecr/printer.h"
 
@@ -21,10 +22,9 @@ Result<EquivalenceMap> Project::BuildEquivalence() const {
 
 Result<AssertionStore> Project::BuildAssertions() const {
   AssertionStore store;
-  for (const Assertion& assertion : assertions) {
-    Result<ConflictReport> r = store.Assert(assertion);
-    if (!r.ok()) return r.status();
-  }
+  Result<ConflictReport> r =
+      store.AssertBatch(assertions, &common::ThreadPool::Shared());
+  if (!r.ok()) return r.status();
   return store;
 }
 

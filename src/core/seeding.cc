@@ -5,18 +5,17 @@
 
 namespace ecrint::core {
 
-Status SeedSchemaRelations(AssertionStore& store, const ecr::Schema& schema,
-                           const SeedOptions& options) {
+void CollectSchemaSeedAssertions(const ecr::Schema& schema,
+                                 const SeedOptions& options,
+                                 std::vector<Assertion>& out) {
   const std::string& name = schema.name();
   if (options.category_containment) {
     for (ecr::ObjectId i = 0; i < schema.num_objects(); ++i) {
       const ecr::ObjectClass& object = schema.object(i);
       for (ecr::ObjectId parent : object.parents) {
-        Result<ConflictReport> r = store.Assert(
-            ObjectRef{name, object.name},
-            ObjectRef{name, schema.object(parent).name},
-            AssertionType::kContainedIn);
-        if (!r.ok()) return r.status();
+        out.push_back(Assertion{ObjectRef{name, object.name},
+                                ObjectRef{name, schema.object(parent).name},
+                                AssertionType::kContainedIn});
       }
     }
   }
@@ -46,15 +45,20 @@ Status SeedSchemaRelations(AssertionStore& store, const ecr::Schema& schema,
           shared |= descendants[j].count(node) > 0;
         }
         if (shared) continue;
-        Result<ConflictReport> r = store.Assert(
-            ObjectRef{name, schema.object(entities[i]).name},
-            ObjectRef{name, schema.object(entities[j]).name},
-            AssertionType::kDisjointNonintegrable);
-        if (!r.ok()) return r.status();
+        out.push_back(
+            Assertion{ObjectRef{name, schema.object(entities[i]).name},
+                      ObjectRef{name, schema.object(entities[j]).name},
+                      AssertionType::kDisjointNonintegrable});
       }
     }
   }
-  return Status::Ok();
+}
+
+Status SeedSchemaRelations(AssertionStore& store, const ecr::Schema& schema,
+                           const SeedOptions& options) {
+  std::vector<Assertion> seeds;
+  CollectSchemaSeedAssertions(schema, options, seeds);
+  return store.AssertBatch(seeds).status();
 }
 
 }  // namespace ecrint::core

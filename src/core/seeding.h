@@ -1,6 +1,8 @@
 #ifndef ECRINT_CORE_SEEDING_H_
 #define ECRINT_CORE_SEEDING_H_
 
+#include <vector>
+
 #include "common/status.h"
 #include "ecr/schema.h"
 #include "core/assertion_store.h"
@@ -19,6 +21,13 @@ struct SeedOptions {
   // caught. Never connects a cluster.
   bool entity_disjointness = true;
 };
+
+// Appends the schema's structural seed assertions to `out` in the order
+// SeedSchemaRelations would assert them, without touching any store. Lets
+// callers seed several schemas in one AssertBatch (cluster-parallel).
+void CollectSchemaSeedAssertions(const ecr::Schema& schema,
+                                 const SeedOptions& options,
+                                 std::vector<Assertion>& out);
 
 // Preloads the schema's structural relations. Returns kConflict if the
 // store's existing assertions contradict the schema structure.

@@ -1,40 +1,9 @@
 #include "core/set_relation.h"
 
-#include <array>
 #include <bit>
 #include <cassert>
 
 namespace ecrint::core {
-
-namespace {
-
-constexpr RelationSet EQ = MaskOf(SetRelation::kEqual);
-constexpr RelationSet SUB = MaskOf(SetRelation::kSubset);
-constexpr RelationSet SUP = MaskOf(SetRelation::kSuperset);
-constexpr RelationSet OVR = MaskOf(SetRelation::kOverlap);
-constexpr RelationSet DSJ = MaskOf(SetRelation::kDisjoint);
-constexpr RelationSet ALL = kAnyRelation;
-
-// kComposeTable[r1][r2] = possible relations of A~C given A r1 B and B r2 C,
-// for non-empty sets with proper containment/overlap semantics. Derivations
-// are spelled out in tests/core/set_relation_test.cc, which re-derives the
-// whole table by enumerating subsets of a small universe.
-constexpr std::array<std::array<RelationSet, kNumSetRelations>,
-                     kNumSetRelations>
-    kComposeTable = {{
-        // r1 = kEqual
-        {{EQ, SUB, SUP, OVR, DSJ}},
-        // r1 = kSubset
-        {{SUB, SUB, ALL, SUB | OVR | DSJ, DSJ}},
-        // r1 = kSuperset
-        {{SUP, EQ | SUB | SUP | OVR, SUP, SUP | OVR, SUP | OVR | DSJ}},
-        // r1 = kOverlap
-        {{OVR, SUB | OVR, SUP | OVR | DSJ, ALL, SUP | OVR | DSJ}},
-        // r1 = kDisjoint
-        {{DSJ, SUB | OVR | DSJ, DSJ, SUB | OVR | DSJ, ALL}},
-    }};
-
-}  // namespace
 
 const char* SetRelationName(SetRelation relation) {
   switch (relation) {
@@ -52,25 +21,6 @@ int RelationCount(RelationSet set) { return std::popcount(set); }
 SetRelation TheRelation(RelationSet set) {
   assert(RelationCount(set) == 1);
   return static_cast<SetRelation>(std::countr_zero(set));
-}
-
-RelationSet Converse(RelationSet set) {
-  RelationSet out = set & (EQ | OVR | DSJ);
-  if (set & SUB) out |= SUP;
-  if (set & SUP) out |= SUB;
-  return out;
-}
-
-RelationSet Compose(RelationSet r1, RelationSet r2) {
-  RelationSet out = kNoRelation;
-  for (int i = 0; i < kNumSetRelations; ++i) {
-    if (!(r1 & (1u << i))) continue;
-    for (int j = 0; j < kNumSetRelations; ++j) {
-      if (!(r2 & (1u << j))) continue;
-      out |= kComposeTable[i][j];
-    }
-  }
-  return out;
 }
 
 std::string RelationSetToString(RelationSet set) {

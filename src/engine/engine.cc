@@ -4,6 +4,7 @@
 #include <set>
 #include <utility>
 
+#include "common/thread_pool.h"
 #include "core/nary.h"
 #include "ecr/ddl_parser.h"
 
@@ -247,6 +248,27 @@ Result<core::ConflictReport> Engine::AssertRelation(
     return result;
   }
   trace_.Count("assert", "asserted");
+  // Eagerly extend the cached seeded closure with the accepted assertion,
+  // so a following Integrate is a pure cache hit on the assertion layer
+  // instead of replaying the delta at integrate time. Sound for the same
+  // reason as the catch-up loop in Integrate: closure confluence. Guard on
+  // the exact log position so retracts/imports (epoch bumps) and schema
+  // edits fall back to the full path.
+  if (options_.incremental && seeded_.has_value() &&
+      seeded_schema_generation_ == schema_generation_ &&
+      seeded_assertion_epoch_ == assertion_epoch_ &&
+      seeded_log_pos_ ==
+          static_cast<int>(assertions_.user_assertions().size()) - 1) {
+    if (seeded_->Assert(assertions_.user_assertions().back()).ok()) {
+      ++seeded_log_pos_;
+      trace_.Count("assert", "seeded_extended");
+    } else {
+      // Accepted against the user assertions but contradicts seeded schema
+      // structure. Drop the cache: Integrate's full path reproduces the
+      // error with exactly the from-scratch blame order.
+      seeded_.reset();
+    }
+  }
   return result;
 }
 
@@ -257,16 +279,20 @@ Status Engine::RetractRelation(int index) {
     return InvalidArgumentError("no user assertion #" +
                                 std::to_string(index));
   }
-  core::AssertionStore rebuilt;
+  std::vector<core::Assertion> survivors;
+  survivors.reserve(current.size() - 1);
   for (int i = 0; i < static_cast<int>(current.size()); ++i) {
-    if (i == index) continue;
-    // A subset of a consistent assertion set stays consistent (constraints
-    // only ever intersect), so replay cannot conflict.
-    Result<core::ConflictReport> replayed = rebuilt.Assert(current[i]);
-    if (!replayed.ok()) {
-      return InternalError("assertion replay conflicted after retract: " +
-                           replayed.status().message());
-    }
+    if (i != index) survivors.push_back(current[i]);
+  }
+  // A subset of a consistent assertion set stays consistent (constraints
+  // only ever intersect), so replay cannot conflict. AssertBatch closes
+  // independent clusters of the surviving assertions in parallel.
+  core::AssertionStore rebuilt;
+  Result<core::ConflictReport> replayed =
+      rebuilt.AssertBatch(survivors, &common::ThreadPool::Shared());
+  if (!replayed.ok()) {
+    return InternalError("assertion replay conflicted after retract: " +
+                         replayed.status().message());
   }
   assertions_ = std::move(rebuilt);
   ++assertion_epoch_;  // non-append change: seeded closure no longer extends

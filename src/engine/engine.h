@@ -183,6 +183,18 @@ class Engine {
   std::string ExportProject();
 
   // --- observability -------------------------------------------------------
+  // Closure kernel work totals across the two stores the engine drives: the
+  // live assertion store and the cached seeded closure. The service plane
+  // samples these around each verb to emit closure.* metrics deltas.
+  core::ClosureStats ClosureTotals() const {
+    core::ClosureStats totals = assertions_.closure_stats();
+    if (seeded_.has_value()) totals += seeded_->closure_stats();
+    return totals;
+  }
+  // Independent constraint clusters in the live assertion store (the units
+  // the batch kernel can close in parallel).
+  int ClosureClusterCount() const { return assertions_.num_clusters(); }
+
   const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
   void ClearDiagnostics() { diagnostics_.clear(); }
   const PhaseTrace& trace() const { return trace_; }

@@ -180,6 +180,32 @@ ServiceResponse IntegrationService::Admit(const std::string& session_id,
   return response;
 }
 
+void IntegrationService::RecordClosureMetrics(ProjectState& project,
+                                              const core::ClosureStats& before) {
+  const core::ClosureStats after = project.engine.ClosureTotals();
+  // Deltas are clamped at zero: totals are monotone within one store, but a
+  // retract or re-seed swaps stores, which can shrink the lifetime sums.
+  auto delta = [](int64_t now, int64_t then) {
+    return now > then ? now - then : 0;
+  };
+  // Increment(0) still registers the instrument, so every closure.* name is
+  // present in MetricsJson() from the first write onward.
+  metrics_.GetCounter("closure.worklist_pops")
+      ->Increment(delta(after.worklist_pops, before.worklist_pops));
+  metrics_.GetCounter("closure.row_compositions")
+      ->Increment(delta(after.row_compositions, before.row_compositions));
+  metrics_.GetCounter("closure.narrowings")
+      ->Increment(delta(after.narrowings, before.narrowings));
+  metrics_.GetCounter("closure.conflicts")
+      ->Increment(delta(after.conflicts, before.conflicts));
+  int64_t kernel_ns = delta(after.kernel_ns, before.kernel_ns);
+  if (kernel_ns > 0) {
+    metrics_.GetHistogram("closure.kernel")->Record(kernel_ns / 1000);
+  }
+  metrics_.GetGauge("closure.clusters")
+      ->Set(project.engine.ClosureClusterCount());
+}
+
 void IntegrationService::DegradeProject(ProjectState& project,
                                         const Status& cause) {
   project.degraded = true;
@@ -225,7 +251,9 @@ ServiceResponse IntegrationService::RunWrite(ProjectState& project,
       }
     }
   }
+  const core::ClosureStats closure_before = project.engine.ClosureTotals();
   ServiceResponse response = fn(project.engine);
+  RecordClosureMetrics(project, closure_before);
   if (project.snapshots.Publish(project.engine)) {
     metrics_.GetCounter("snapshots.published")->Increment();
   }

@@ -203,6 +203,12 @@ class IntegrationService {
   ServiceResponse RunWrite(ProjectState& project, int64_t deadline_ns,
                            const engine::ReplayVerb* verb, Fn&& fn);
 
+  // Publishes closure.* deltas for the write that just ran. `before` is the
+  // engine's closure totals sampled before the verb body. Caller holds
+  // write_mutex.
+  void RecordClosureMetrics(ProjectState& project,
+                            const core::ClosureStats& before);
+
   // Flips the project to degraded read-only mode. Caller holds write_mutex.
   void DegradeProject(ProjectState& project, const Status& cause);
   ServiceError UnavailableError(const ProjectState& project) const;

@@ -8,7 +8,10 @@ SessionManager::SessionManager(const common::Clock* clock,
 
 std::string SessionManager::Open(const std::string& project) {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::string id = "s" + std::to_string(next_id_++);
+  // Built with insert() rather than "s" + to_string(): GCC 12's -Wrestrict
+  // false-positives on operator+(const char*, string&&) at -O2.
+  std::string id = std::to_string(next_id_++);
+  id.insert(0, 1, 's');
   sessions_[id] = {id, project, clock_->NowNs()};
   return id;
 }

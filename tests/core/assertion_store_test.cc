@@ -275,5 +275,72 @@ TEST(AssertionStoreTest, RollbackRestoresDerivedState) {
   EXPECT_EQ(*store.EstablishedRelation(a, c), SetRelation::kSubset);
 }
 
+TEST(AssertionStoreTest, ClosureStatsCountKernelWork) {
+  AssertionStore store;
+  ASSERT_TRUE(store.Assert(kWorker, kEmployee,
+                           AssertionType::kContainedIn).ok());
+  ASSERT_TRUE(store.Assert(kEmployee, kPerson,
+                           AssertionType::kContainedIn).ok());
+  ClosureStats after_asserts = store.closure_stats();
+  EXPECT_GT(after_asserts.worklist_pops, 0);
+  EXPECT_GT(after_asserts.row_compositions, 0);
+  // Worker ⊆ Person was derived, so at least one cell narrowed beyond the
+  // directly asserted pairs.
+  EXPECT_GT(after_asserts.narrowings, 0);
+  EXPECT_EQ(after_asserts.conflicts, 0);
+
+  ASSERT_FALSE(store.Assert(kPerson, kWorker,
+                            AssertionType::kContainedIn).ok());
+  ClosureStats after_conflict = store.closure_stats();
+  EXPECT_EQ(after_conflict.conflicts, 1);
+  // Counters are lifetime totals: never reset by a rolled-back attempt.
+  EXPECT_GE(after_conflict.worklist_pops, after_asserts.worklist_pops);
+  EXPECT_GE(after_conflict.row_compositions, after_asserts.row_compositions);
+  EXPECT_GE(after_conflict.narrowings, after_asserts.narrowings);
+}
+
+TEST(AssertionStoreTest, NumClustersCountsConstraintComponents) {
+  AssertionStore store;
+  EXPECT_EQ(store.num_clusters(), 0);
+  ASSERT_TRUE(store.Assert(kWorker, kEmployee,
+                           AssertionType::kContainedIn).ok());
+  EXPECT_EQ(store.num_clusters(), 1);
+  // A second island, unconnected to the first.
+  ASSERT_TRUE(store.Assert({"sc4", "Course"}, {"sc5", "Seminar"},
+                           AssertionType::kContains).ok());
+  EXPECT_EQ(store.num_clusters(), 2);
+  // Bridging the islands merges them.
+  ASSERT_TRUE(store.Assert(kPerson, {"sc4", "Course"},
+                           AssertionType::kDisjointNonintegrable).ok());
+  ASSERT_TRUE(store.Assert(kEmployee, kPerson,
+                           AssertionType::kContainedIn).ok());
+  EXPECT_EQ(store.num_clusters(), 1);
+}
+
+TEST(AssertionStoreTest, AssertBatchStopsAtFirstConflictLikeAssertLoop) {
+  const std::vector<Assertion> batch = {
+      {kWorker, kEmployee, AssertionType::kContainedIn},
+      {kEmployee, kPerson, AssertionType::kContainedIn},
+      // Contradicts the derived Worker ⊆ Person.
+      {kPerson, kWorker, AssertionType::kContainedIn},
+      // Never reached.
+      {{"sc4", "Course"}, {"sc5", "Seminar"}, AssertionType::kEquals},
+  };
+  AssertionStore batched;
+  Result<ConflictReport> batch_result = batched.AssertBatch(batch);
+  AssertionStore sequential;
+  Result<ConflictReport> loop_result = sequential.Assert(batch[0]);
+  for (size_t i = 1; i < batch.size() && loop_result.ok(); ++i) {
+    loop_result = sequential.Assert(batch[i]);
+  }
+  ASSERT_FALSE(batch_result.ok());
+  ASSERT_FALSE(loop_result.ok());
+  EXPECT_EQ(batch_result.status().message(), loop_result.status().message());
+  EXPECT_EQ(batched.user_assertions(), sequential.user_assertions());
+  EXPECT_EQ(batched.PossibleRelations(kWorker, kPerson),
+            sequential.PossibleRelations(kWorker, kPerson));
+  EXPECT_FALSE(batched.Knows({"sc4", "Course"}));
+}
+
 }  // namespace
 }  // namespace ecrint::core

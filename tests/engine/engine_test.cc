@@ -211,6 +211,41 @@ TEST(EngineIncrementalTest, IncrementalEditMatchesFullPipeline) {
   EXPECT_EQ(incremental_targets, fresh_targets);
 }
 
+TEST(EngineIncrementalTest, AssertAfterIntegrateExtendsSeededClosure) {
+  Engine engine = UniversityEngine();
+  ASSERT_TRUE(engine.Integrate({"sc1", "sc2"}).ok());
+  // The closure cache is seeded; the next compatible assertion must be
+  // folded into it eagerly (delta-incremental) rather than invalidating it.
+  ASSERT_TRUE(engine
+                  .AssertRelation({"sc1", "Department"}, {"sc2", "Faculty"},
+                                  AssertionType::kDisjointNonintegrable)
+                  .ok());
+  EXPECT_EQ(Counter(engine, "assert", "seeded_extended"), 1);
+  ASSERT_TRUE(engine.Integrate({"sc1", "sc2"}).ok());
+  EXPECT_GE(Counter(engine, "integrate", "incremental_reuses"), 1);
+
+  // A rejected assertion must neither extend nor poison the seeded cache.
+  ASSERT_FALSE(engine
+                   .AssertRelation({"sc1", "Department"}, {"sc2", "Faculty"},
+                                   AssertionType::kEquals)
+                   .ok());
+  EXPECT_EQ(Counter(engine, "assert", "seeded_extended"), 1);
+  ASSERT_TRUE(engine.Integrate({"sc1", "sc2"}).ok());
+}
+
+TEST(EngineIncrementalTest, ClosureTotalsExposeKernelCounters) {
+  Engine engine = UniversityEngine();
+  core::ClosureStats before = engine.ClosureTotals();
+  EXPECT_GT(before.worklist_pops, 0);  // Screen-8 answers already asserted
+  ASSERT_TRUE(engine.Integrate({"sc1", "sc2"}).ok());
+  core::ClosureStats after = engine.ClosureTotals();
+  // Integration seeding runs through the same kernel, so the lifetime
+  // totals (assertion store + seeded closure cache) only grow.
+  EXPECT_GE(after.worklist_pops, before.worklist_pops);
+  EXPECT_GE(after.row_compositions, before.row_compositions);
+  EXPECT_GT(engine.ClosureClusterCount(), 0);
+}
+
 TEST(EngineIncrementalTest, RetractDropsTheAssertionAndItsConsequences) {
   Engine engine = UniversityEngine();
   size_t before = engine.assertions().user_assertions().size();

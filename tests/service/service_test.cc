@@ -168,6 +168,27 @@ TEST_F(ServiceTest, MetricsCountRequestsAndErrors) {
   EXPECT_NE(json.find("latency.define"), std::string::npos);
 }
 
+TEST_F(ServiceTest, ClosureMetricsSurfaceKernelActivity) {
+  SeedProject();
+  // Integrate seeds schema structure through the closure kernel, so the
+  // closure.* instruments must show pops/narrowings and a kernel sample.
+  ASSERT_TRUE(service_->Integrate(session_, {}).ok());
+  std::string json = service_->metrics().MetricsJson();
+  EXPECT_NE(json.find("closure.worklist_pops"), std::string::npos);
+  EXPECT_NE(json.find("closure.row_compositions"), std::string::npos);
+  EXPECT_NE(json.find("closure.narrowings"), std::string::npos);
+  EXPECT_NE(json.find("closure.kernel"), std::string::npos);
+  EXPECT_NE(json.find("closure.clusters"), std::string::npos);
+  EXPECT_GT(service_->metrics().GetCounter("closure.worklist_pops")->value(),
+            0);
+  // A rejected contradiction bumps the conflict counter.
+  ASSERT_FALSE(service_
+                   ->AssertRelation(session_, {"sc1", "Student"},
+                                    /*type_code=*/0, {"sc2", "Grad"})
+                   .ok());
+  EXPECT_GT(service_->metrics().GetCounter("closure.conflicts")->value(), 0);
+}
+
 // --- router / line protocol ----------------------------------------------
 
 class RouterTest : public ServiceTest {

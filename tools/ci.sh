@@ -13,14 +13,17 @@
 #            through the wire, kill the process ungracefully, verify the
 #            journal with ecrint_journal, restart, read the state back,
 #            and check the SIGTERM drain path exits 0.
+#   bench    Release build of perf_closure, short sweep of the closure
+#            kernel, then BM_AssertChain/64 compared against the recorded
+#            number in BENCH_resemblance.json: fail on >2x regression.
 #
 # Usage: tools/ci.sh [--jobs N] [--keep] [--suite NAME ...]
 #   --jobs N      parallelism for build and ctest (default: nproc)
 #   --keep        leave the build trees (build-ci-<suite>/) in place for
 #                 inspection instead of removing them on success
-#   --suite NAME  run only NAME (release|asan|tsan|recovery); repeatable.
-#                 Default is release + asan; CI runs tsan and recovery as
-#                 their own jobs.
+#   --suite NAME  run only NAME (release|asan|tsan|recovery|bench);
+#                 repeatable. Default is release + asan; CI runs tsan,
+#                 recovery, and bench as their own jobs.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -216,6 +219,57 @@ run_recovery_suite() {
   cleanup "${build_dir}"
 }
 
+# Guards the closure worklist kernel against silent perf regressions: a
+# Release build of perf_closure, a short BM_AssertChain sweep, and a gate
+# at 2x the recorded BENCH_resemblance.json number for BM_AssertChain/64.
+# The recorded number comes from a long Release run on the reference host;
+# 2x absorbs host jitter while still catching an accidental return to the
+# O(N^3) recompute path (a ~30x slowdown).
+run_bench_suite() {
+  local build_dir="${repo_root}/build-ci-bench"
+  echo "=== bench: configure + build (Release)" >&2
+  configure_and_build "${build_dir}" perf_closure -- \
+    -DCMAKE_BUILD_TYPE=Release
+  echo "=== bench: BM_AssertChain sweep" >&2
+  local report="${build_dir}/bench_smoke.json"
+  "${build_dir}/bench/perf_closure" \
+    --benchmark_filter='BM_AssertChain' \
+    --benchmark_format=json >"${report}"
+  python3 - "${report}" "${repo_root}/BENCH_resemblance.json" <<'PY'
+import json
+import sys
+
+NAME = "BM_AssertChain/64"
+LIMIT = 2.0
+
+with open(sys.argv[1]) as f:
+    fresh = {b["name"]: b["real_time"] for b in json.load(f)["benchmarks"]
+             if b.get("run_type") == "iteration"}
+with open(sys.argv[2]) as f:
+    recorded_doc = json.load(f)
+recorded = {b["name"]: b["real_time"]
+            for b in recorded_doc.get("benchmarks", [])
+            if b.get("run_type") == "iteration"}
+
+if NAME not in fresh:
+    sys.exit(f"bench gate: {NAME} missing from the fresh sweep")
+if NAME not in recorded:
+    sys.exit(f"bench gate: {NAME} missing from BENCH_resemblance.json; "
+             "re-record with bench/run_benches.sh from a Release build")
+if not recorded_doc.get("context", {}).get("ecrint_release_build"):
+    sys.exit("bench gate: recorded baseline was not stamped as a Release "
+             "build; re-record with bench/run_benches.sh")
+
+ratio = fresh[NAME] / recorded[NAME]
+print(f"bench gate: {NAME} fresh={fresh[NAME]:.0f}ns "
+      f"recorded={recorded[NAME]:.0f}ns ratio={ratio:.2f}x (limit {LIMIT}x)")
+if ratio > LIMIT:
+    sys.exit(f"bench gate: {NAME} regressed {ratio:.2f}x over the recorded "
+             f"baseline (limit {LIMIT}x)")
+PY
+  cleanup "${build_dir}"
+}
+
 for suite in "${suites[@]}"; do
   case "${suite}" in
     release)
@@ -237,8 +291,11 @@ for suite in "${suites[@]}"; do
     recovery)
       run_recovery_suite
       ;;
+    bench)
+      run_bench_suite
+      ;;
     *)
-      echo "unknown suite: ${suite} (release|asan|tsan|recovery)" >&2
+      echo "unknown suite: ${suite} (release|asan|tsan|recovery|bench)" >&2
       exit 2
       ;;
   esac
