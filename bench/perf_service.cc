@@ -62,6 +62,8 @@ struct Client {
   service::RequestRouter* router = nullptr;
   std::map<std::string, int64_t> errors_by_code;
   int64_t ops = 0;
+  // Requests queued for the next batch frame (binary batch mode).
+  std::vector<service::BinaryRequest> pending;
 
   // Sends one line, parses the framed response, tallies errors. Returns
   // true when the response was ok.
@@ -81,6 +83,58 @@ struct Client {
     }
     return true;
   }
+
+  // Sends one complete binary frame through the router (the in-process
+  // equivalent of writing it to the socket), decodes the response frame,
+  // tallies one op and any error per response item.
+  bool SendEncodedFrame(const std::string& frame, int64_t items) {
+    std::string_view body;
+    size_t consumed = 0;
+    std::string frame_error;
+    if (service::ExtractFrame(frame, &body, &consumed, &frame_error) !=
+        service::FrameStatus::kComplete) {
+      ops += items;
+      errors_by_code["UNPARSEABLE"] += items;
+      return false;
+    }
+    std::string reply = router->HandleFrame(body, &session);
+    if (service::ExtractFrame(reply, &body, &consumed, &frame_error) !=
+        service::FrameStatus::kComplete) {
+      ops += items;
+      errors_by_code["UNPARSEABLE"] += items;
+      return false;
+    }
+    Result<service::DecodedResponse> decoded =
+        service::DecodeBinaryResponse(body);
+    if (!decoded.ok()) {
+      ops += items;
+      errors_by_code["UNPARSEABLE"] += items;
+      return false;
+    }
+    bool all_ok = true;
+    for (const service::ServiceResponse& response : decoded->items) {
+      ++ops;
+      if (response.error.has_value()) {
+        ++errors_by_code[service::ServiceErrorCodeName(
+            response.error->code)];
+        all_ok = false;
+      }
+    }
+    return all_ok;
+  }
+
+  bool SendBinary(const service::BinaryRequest& request) {
+    return SendEncodedFrame(service::EncodeBinaryRequest(request), 1);
+  }
+
+  // Flushes the queued requests as one batch frame.
+  bool Flush() {
+    if (pending.empty()) return true;
+    std::string frame = service::EncodeBinaryBatch(pending);
+    int64_t items = static_cast<int64_t>(pending.size());
+    pending.clear();
+    return SendEncodedFrame(frame, items);
+  }
 };
 
 struct Phase {
@@ -93,15 +147,20 @@ struct Phase {
 };
 
 // Drives `threads` clients through `ops_per_thread` calls of `op(rng, i)`.
+// `protocol` 2 negotiates the binary framing before the clock starts.
 Phase RunPhase(const std::string& name, service::RequestRouter* router,
                const std::string& project, int threads,
                int64_t ops_per_thread,
                const std::function<void(Client&, std::mt19937&, int64_t)>&
-                   op) {
+                   op,
+               int protocol = service::kProtocolTextVersion) {
   std::vector<Client> clients(threads);
   for (int t = 0; t < threads; ++t) {
     clients[t].router = router;
     clients[t].Send("open " + project);
+    if (protocol == service::kProtocolBinaryVersion) {
+      clients[t].Send("proto 2");
+    }
   }
   std::vector<std::thread> workers;
   int64_t start = NowNs();
@@ -241,6 +300,7 @@ std::string JsonJournalLatency(const JournalLatency& latency) {
 int main(int argc, char** argv) {
   int threads = 8;
   int64_t ops = 2000;  // per thread, per phase
+  int batch = 64;      // requests per batch frame in the batched phases
   service::ServiceConfig config;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -248,17 +308,23 @@ int main(int argc, char** argv) {
       threads = std::atoi(argv[++i]);
     } else if (arg == "--ops" && i + 1 < argc) {
       ops = std::atoll(argv[++i]);
+    } else if (arg == "--batch" && i + 1 < argc) {
+      batch = std::atoi(argv[++i]);
     } else if (arg == "--queue-depth" && i + 1 < argc) {
       config.queue_depth = std::atoi(argv[++i]);
     } else if (arg == "--smoke") {
       ops = 50;
     } else {
       std::cerr << "usage: perf_service [--threads N] [--ops N] "
-                   "[--queue-depth N] [--smoke]\n";
+                   "[--batch N] [--queue-depth N] [--smoke]\n";
       return 2;
     }
   }
   if (threads < 1) threads = 1;
+  if (batch < 1) batch = 1;
+  if (batch > static_cast<int>(service::kMaxBatchItems)) {
+    batch = static_cast<int>(service::kMaxBatchItems);
+  }
 
   service::IntegrationService service(config);
   service::RequestRouter router(&service);
@@ -351,12 +417,78 @@ int main(int argc, char** argv) {
     }
   };
 
+  // --- binary-protocol ops -------------------------------------------------
+  auto make_read = [&](std::mt19937& rng) {
+    size_t a = rng() % names.size();
+    size_t b = (a + 1 + rng() % (names.size() - 1)) % names.size();
+    service::BinaryRequest request;
+    switch (rng() % 4) {
+      case 0:
+      case 1:
+        request.verb = service::WireVerb::kRank;
+        request.args = {names[a], names[b], "zero"};
+        break;
+      case 2:
+        request.verb = service::WireVerb::kSuggest;
+        request.args = {names[a], names[b]};
+        break;
+      default:
+        request.verb = service::WireVerb::kOutline;
+        break;
+    }
+    return request;
+  };
+  auto make_mixed = [&](std::mt19937& rng) {
+    if (rng() % 5 != 0) return make_read(rng);
+    service::BinaryRequest request;
+    switch (rng() % 3) {
+      case 0: {
+        const workload::TrueAttributeMatch& match =
+            workload->attribute_matches[rng() %
+                                        workload->attribute_matches.size()];
+        request.verb = service::WireVerb::kEquiv;
+        request.args = {match.first.ToString(), match.second.ToString()};
+        break;
+      }
+      case 1: {
+        const workload::TrueObjectRelation& relation =
+            workload->object_relations[rng() %
+                                       workload->object_relations.size()];
+        request.verb = service::WireVerb::kAssert;
+        request.args = {
+            relation.first.ToString(),
+            std::to_string(core::AssertionTypeCode(relation.assertion)),
+            relation.second.ToString()};
+        break;
+      }
+      default:
+        request.verb = service::WireVerb::kIntegrate;
+        break;
+    }
+    return request;
+  };
+  auto binary_mixed_op = [&](Client& client, std::mt19937& rng, int64_t) {
+    client.SendBinary(make_mixed(rng));
+  };
+  auto batch_mixed_op = [&](Client& client, std::mt19937& rng, int64_t i) {
+    client.pending.push_back(make_mixed(rng));
+    if (static_cast<int>(client.pending.size()) >= batch || i == ops - 1) {
+      client.Flush();
+    }
+  };
+
   // --- phases --------------------------------------------------------------
   Phase read_1 =
       RunPhase("read_1thread", &router, "bench", 1, ops * threads, read_op);
   Phase read_n =
       RunPhase("read_nthread", &router, "bench", threads, ops, read_op);
   Phase mixed = RunPhase("mixed", &router, "bench", threads, ops, mixed_op);
+  Phase mixed_binary =
+      RunPhase("mixed_binary", &router, "bench", threads, ops,
+               binary_mixed_op, service::kProtocolBinaryVersion);
+  Phase mixed_batch =
+      RunPhase("mixed_binary_batch", &router, "bench", threads, ops,
+               batch_mixed_op, service::kProtocolBinaryVersion);
 
   double scaling = read_1.ops_per_sec > 0
                        ? read_n.ops_per_sec / read_1.ops_per_sec
@@ -379,7 +511,8 @@ int main(int argc, char** argv) {
   std::string metrics_json = service.metrics().MetricsJson();
 
   int64_t conflicts = 0, timeouts = 0;
-  for (const Phase* phase : {&read_1, &read_n, &mixed}) {
+  for (const Phase* phase :
+       {&read_1, &read_n, &mixed, &mixed_binary, &mixed_batch}) {
     auto conflict = phase->errors_by_code.find("CONFLICT");
     if (conflict != phase->errors_by_code.end()) {
       conflicts += conflict->second;
@@ -395,11 +528,22 @@ int main(int argc, char** argv) {
             << "  \"config\": {\"threads\": " << threads
             << ", \"ops_per_thread\": " << ops
             << ", \"queue_depth\": " << config.queue_depth
+            << ", \"batch\": " << batch
             << ", \"hardware_threads\": "
-            << std::thread::hardware_concurrency() << "},\n"
+            << std::thread::hardware_concurrency()
+            // Provenance: tools/ci.sh refuses recorded numbers from
+            // unoptimized builds.
+#ifdef NDEBUG
+            << ", \"release_build\": true},\n"
+#else
+            << ", \"release_build\": false},\n"
+#endif
             << "  \"read_1thread\": " << JsonPhase(read_1) << ",\n"
             << "  \"read_nthread\": " << JsonPhase(read_n) << ",\n"
             << "  \"mixed\": " << JsonPhase(mixed) << ",\n"
+            << "  \"mixed_binary\": " << JsonPhase(mixed_binary) << ",\n"
+            << "  \"mixed_binary_batch\": " << JsonPhase(mixed_batch)
+            << ",\n"
             << "  \"journal_write_latency\": {"
             << "\"none\": " << JsonJournalLatency(journal_latency["none"])
             << ", \"fsync_batch\": "

@@ -1,6 +1,8 @@
 #include "common/fs.h"
 
 #include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -62,6 +64,36 @@ class PosixWritableFile : public WritableFile {
   std::string path_;
 };
 
+// A true mmap(2) mapping. Read-only and private: the kernel faults pages
+// in on first touch, so opening a multi-gigabyte checkpoint and reading
+// its section table costs a handful of page faults.
+class PosixMmapFile : public MmapFile {
+ public:
+  PosixMmapFile(void* addr, size_t size) : addr_(addr), size_(size) {}
+  ~PosixMmapFile() override {
+    if (addr_ != nullptr) ::munmap(addr_, size_);
+  }
+
+  std::string_view view() const override {
+    return std::string_view(static_cast<const char*>(addr_), size_);
+  }
+
+ private:
+  void* addr_;
+  size_t size_;
+};
+
+// An owned-buffer "mapping" — the fallback for empty files (mmap of length
+// 0 is EINVAL) and for filesystems without a real address space (MemFs).
+class OwnedMmapFile : public MmapFile {
+ public:
+  explicit OwnedMmapFile(std::string bytes) : bytes_(std::move(bytes)) {}
+  std::string_view view() const override { return bytes_; }
+
+ private:
+  std::string bytes_;
+};
+
 // fsync the directory containing `path` so a rename/creation in it is
 // itself durable. Best effort: some filesystems refuse O_RDONLY on dirs.
 void SyncParentDir(const std::string& path) {
@@ -101,6 +133,32 @@ class PosixFs : public Fs {
     }
     ::close(fd);
     return out;
+  }
+
+  Result<std::unique_ptr<MmapFile>> OpenMmap(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return ErrnoError("open", path);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      Status status = ErrnoError("fstat", path);
+      ::close(fd);
+      return status;
+    }
+    size_t size = static_cast<size_t>(st.st_size);
+    if (size == 0) {
+      ::close(fd);
+      return std::unique_ptr<MmapFile>(
+          std::make_unique<OwnedMmapFile>(std::string()));
+    }
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping keeps its own reference
+    if (addr == MAP_FAILED) {
+      // Some filesystems (and odd mount options) refuse mmap; fall back to
+      // a plain read so callers never have to care.
+      return Fs::OpenMmap(path);
+    }
+    return std::unique_ptr<MmapFile>(
+        std::make_unique<PosixMmapFile>(addr, size));
   }
 
   Status WriteFileAtomic(const std::string& path,
@@ -190,6 +248,13 @@ class MemWritableFile : public WritableFile {
 Fs* RealFs() {
   static PosixFs* fs = new PosixFs();
   return fs;
+}
+
+Result<std::unique_ptr<MmapFile>> Fs::OpenMmap(const std::string& path) {
+  Result<std::string> bytes = ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  return std::unique_ptr<MmapFile>(
+      std::make_unique<OwnedMmapFile>(*std::move(bytes)));
 }
 
 Result<std::unique_ptr<WritableFile>> MemFs::OpenAppend(
@@ -352,6 +417,11 @@ Result<std::unique_ptr<WritableFile>> FaultInjectingFs::OpenAppend(
 Result<std::string> FaultInjectingFs::ReadFileToString(
     const std::string& path) {
   return base_->ReadFileToString(path);
+}
+
+Result<std::unique_ptr<MmapFile>> FaultInjectingFs::OpenMmap(
+    const std::string& path) {
+  return base_->OpenMmap(path);
 }
 
 Status FaultInjectingFs::WriteFileAtomic(const std::string& path,

@@ -27,6 +27,19 @@ class WritableFile {
   virtual Status Close() = 0;
 };
 
+// A read-only view of an entire file's contents. For the real filesystem
+// this is an mmap(2) mapping: bytes are faulted in lazily, so a consumer
+// that parses a header and one section touches O(touched pages), not
+// O(file size). In-memory filesystems return a view over an owned copy of
+// the bytes. The view stays valid for the lifetime of the MmapFile object;
+// callers that need bytes past that lifetime must copy them out.
+class MmapFile {
+ public:
+  virtual ~MmapFile() = default;
+  virtual std::string_view view() const = 0;
+  size_t size() const { return view().size(); }
+};
+
 // Filesystem abstraction behind the durability subsystem. Three
 // implementations: RealFs() (POSIX, production), MemFs (in-memory, the
 // hermetic substrate for crash-at-every-byte recovery tests), and
@@ -41,6 +54,11 @@ class Fs {
       const std::string& path) = 0;
 
   virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+
+  // Maps `path` read-only. The default implementation reads the file into
+  // an owned buffer (correct everywhere, O(file size)); RealFs overrides
+  // it with a true mmap so large checkpoints open in O(touched pages).
+  virtual Result<std::unique_ptr<MmapFile>> OpenMmap(const std::string& path);
 
   // Replaces `path` with `content` such that a crash at any point leaves
   // either the old content or the new, never a torn mix (temp file + fsync
@@ -119,6 +137,7 @@ class FaultInjectingFs : public Fs {
   Result<std::unique_ptr<WritableFile>> OpenAppend(
       const std::string& path) override;
   Result<std::string> ReadFileToString(const std::string& path) override;
+  Result<std::unique_ptr<MmapFile>> OpenMmap(const std::string& path) override;
   Status WriteFileAtomic(const std::string& path,
                          std::string_view content) override;
   Status Truncate(const std::string& path, uint64_t size) override;

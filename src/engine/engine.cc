@@ -120,6 +120,16 @@ Status Engine::AssertEquivalence(const ecr::AttributePath& a,
                                  const ecr::AttributePath& b) {
   PhaseTrace::Scope scope(trace_, "equivalence");
   EnsureEquivalence();
+  // Idempotent fast path: re-declaring an equivalence that already holds
+  // changes nothing observable, so the map, the edit log, and the
+  // generation counter all stay put — downstream caches (rankings, the
+  // snapshot publisher's stamp comparison) remain valid. Replaying the
+  // original declare through RebuildEquivalence reaches the same map, so
+  // skipping the log entry is sound.
+  if (equivalence_->AreEquivalent(a, b)) {
+    trace_.Count("equivalence", "redundant_declares");
+    return Status::Ok();
+  }
   Status status = equivalence_->DeclareEquivalent(a, b);
   if (!status.ok()) {
     AddDiagnostic(StatusDiagnostic("equivalence-rejected", status));
@@ -232,10 +242,46 @@ Result<std::vector<heuristics::EquivalenceSuggestion>> Engine::Suggest(
 // Phase 3: assertions.
 // ---------------------------------------------------------------------------
 
+namespace {
+
+std::string AssertionKey(const core::ObjectRef& first,
+                         const core::ObjectRef& second,
+                         core::AssertionType type) {
+  std::string key = first.ToString();
+  key.push_back('\x01');
+  key += std::to_string(static_cast<int>(type));
+  key.push_back('\x01');
+  key += second.ToString();
+  return key;
+}
+
+}  // namespace
+
 Result<core::ConflictReport> Engine::AssertRelation(
     const core::ObjectRef& first, const core::ObjectRef& second,
     core::AssertionType type) {
   PhaseTrace::Scope scope(trace_, "assert");
+  // Idempotent fast path: an exact repeat of a recorded user assertion is
+  // a no-op for the store (the constraint is already in the closure), so
+  // answering without touching it keeps the log, the epoch, and every
+  // derived cache — and with them the engine stamp — unchanged. The key
+  // set is rebuilt lazily whenever the store changed through any other
+  // door (retract, import, epoch bump).
+  std::string key = AssertionKey(first, second, type);
+  int64_t log_size = static_cast<int64_t>(assertions_.user_assertions().size());
+  if (dedup_epoch_ != assertion_epoch_ || dedup_log_size_ != log_size) {
+    assertion_keys_.clear();
+    for (const core::Assertion& assertion : assertions_.user_assertions()) {
+      assertion_keys_.insert(
+          AssertionKey(assertion.first, assertion.second, assertion.type));
+    }
+    dedup_epoch_ = assertion_epoch_;
+    dedup_log_size_ = log_size;
+  }
+  if (assertion_keys_.count(key) != 0) {
+    trace_.Count("assert", "redundant_asserts");
+    return core::ConflictReport{};
+  }
   Result<core::ConflictReport> result =
       assertions_.Assert(first, second, type);
   if (!result.ok()) {
@@ -248,6 +294,8 @@ Result<core::ConflictReport> Engine::AssertRelation(
     return result;
   }
   trace_.Count("assert", "asserted");
+  assertion_keys_.insert(std::move(key));
+  dedup_log_size_ = static_cast<int64_t>(assertions_.user_assertions().size());
   // Eagerly extend the cached seeded closure with the accepted assertion,
   // so a following Integrate is a pure cache hit on the assertion layer
   // instead of replaying the delta at integrate time. Sound for the same

@@ -5,6 +5,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
@@ -280,6 +281,13 @@ class Engine {
   int64_t integration_version_ = 0;
 
   std::vector<RankCacheEntry> rank_cache_;
+
+  // Exact-duplicate detector for AssertRelation's idempotent fast path:
+  // one key per recorded user assertion, valid only while the tags match
+  // the store's epoch and log size (anything else rebuilds it lazily).
+  std::unordered_set<std::string> assertion_keys_;
+  int64_t dedup_epoch_ = -1;
+  int64_t dedup_log_size_ = -1;
 
   // Cached seeded closure: seeds + user assertions [0, seeded_log_pos_).
   std::optional<core::AssertionStore> seeded_;

@@ -165,6 +165,30 @@ Status Journal::Append(std::string_view payload) {
   return Status::Ok();
 }
 
+Status Journal::AppendDeferred(std::string_view payload) {
+  if (file_ == nullptr) {
+    return InternalError("journal unusable after failed rotation");
+  }
+  std::string framed = EncodeJournalRecord(next_seq_, payload);
+  ECRINT_RETURN_IF_ERROR(file_->Append(framed));
+  ++next_seq_;
+  ++appends_;
+  appended_bytes_ += static_cast<int64_t>(framed.size());
+  ++since_sync_;
+  return Status::Ok();
+}
+
+Status Journal::CommitBatch() {
+  if (policy_ == FsyncPolicy::kNever || since_sync_ == 0) return Status::Ok();
+  if (file_ == nullptr) {
+    return InternalError("journal unusable after failed rotation");
+  }
+  ECRINT_RETURN_IF_ERROR(file_->Sync());
+  ++fsyncs_;
+  since_sync_ = 0;
+  return Status::Ok();
+}
+
 Status Journal::SyncNow() {
   if (since_sync_ == 0) return Status::Ok();
   if (file_ == nullptr) {

@@ -88,6 +88,15 @@ class Journal {
   // degraded mode and stops calling.
   Status Append(std::string_view payload);
 
+  // Group-commit pair: AppendDeferred frames and appends WITHOUT any
+  // policy sync; the caller ends the run with CommitBatch, which applies
+  // one durability barrier covering every record appended since the last
+  // sync (kAlways and kBatch sync once per batch — true group commit;
+  // kNever still leaves it to the OS). Replies for the batched verbs must
+  // not be sent before CommitBatch returns Ok.
+  Status AppendDeferred(std::string_view payload);
+  Status CommitBatch();
+
   // Forces a durability barrier now (checkpoint and shutdown paths).
   Status SyncNow();
 

@@ -1,6 +1,8 @@
 #ifndef ECRINT_SERVICE_PROTOCOL_H_
 #define ECRINT_SERVICE_PROTOCOL_H_
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -67,6 +69,115 @@ std::string FormatResponse(const ServiceResponse& response);
 // inverse of FormatResponse, used by tests and the loadgen. `wire` must
 // contain exactly one complete response.
 Result<ServiceResponse> ParseResponse(std::string_view wire);
+
+// ---------------------------------------------------------------------------
+// Binary framing (protocol v2).
+// ---------------------------------------------------------------------------
+//
+// Negotiated per connection with the text verb `proto 2` (the server
+// replies in text, then both sides switch). Every frame is length-prefixed
+// — no escaping, no dot-stuffing, no scanning for terminators:
+//
+//   frame    = varint(len) body                  ; len = |body|
+//   body     = type:u8 rest
+//   type 0x01 (request)        rest = req
+//   type 0x02 (batch request)  rest = varint(n) n*req
+//   type 0x81 (response)       rest = resp
+//   type 0x82 (batch response) rest = varint(n) n*resp
+//   req      = verb:u8 varint(argc) argc*lpstr
+//   resp     = status:u8
+//              status!=0: varint(retry-after-ms) lpstr(message)
+//              varint(nlines) nlines*lpstr
+//   lpstr    = varint(len) bytes
+//
+// varint is LEB128 (7 bits per byte, little-endian, high bit = continue),
+// at most 10 bytes. status 0 is ok; otherwise ServiceErrorCode + 1.
+// Payload lines travel as raw bytes — a line may contain anything except
+// what the verb itself forbids. Full grammar in docs/FORMATS.md.
+
+inline constexpr int kProtocolTextVersion = 1;
+inline constexpr int kProtocolBinaryVersion = 2;
+
+// Frame body ceiling, both directions (mirrors kMaxResponseFrameBytes).
+inline constexpr size_t kMaxBinaryFrameBytes = 8u << 20;
+// Requests per batch frame: bounds the write-lock hold time and the memory
+// a single frame can pin.
+inline constexpr size_t kMaxBatchItems = 1024;
+
+inline constexpr uint8_t kFrameRequest = 0x01;
+inline constexpr uint8_t kFrameBatchRequest = 0x02;
+inline constexpr uint8_t kFrameResponse = 0x81;
+inline constexpr uint8_t kFrameBatchResponse = 0x82;
+
+// Wire verb identifiers. Frozen once shipped — append, never renumber.
+enum class WireVerb : uint8_t {
+  kPing = 1,
+  kOpen = 2,
+  kClose = 3,
+  kDeadline = 4,
+  kDefine = 5,
+  kEquiv = 6,
+  kAssert = 7,
+  kIntegrate = 8,
+  kExport = 9,
+  kRank = 10,
+  kSuggest = 11,
+  kTranslate = 12,
+  kOutline = 13,
+  kMetrics = 14,
+  kProto = 15,
+};
+
+// Text name of a wire verb ("ping", ...); null for an unknown code.
+const char* WireVerbName(WireVerb verb);
+// Inverse; nullopt for names that are not verbs.
+std::optional<WireVerb> WireVerbFromName(std::string_view name);
+
+// LEB128 varint append / consume. GetVarint returns false on truncation or
+// an overlong (> 10 byte) encoding and leaves `in` unspecified.
+void PutVarint(std::string& out, uint64_t value);
+bool GetVarint(std::string_view& in, uint64_t& value);
+
+// Length-prefixed byte string append / consume.
+void PutLpString(std::string& out, std::string_view bytes);
+bool GetLpString(std::string_view& in, std::string_view& bytes);
+
+// One request of the binary protocol: a verb and raw (unescaped) args.
+struct BinaryRequest {
+  WireVerb verb = WireVerb::kPing;
+  std::vector<std::string> args;
+};
+
+// Encodes one complete frame (length prefix included).
+std::string EncodeBinaryRequest(const BinaryRequest& request);
+std::string EncodeBinaryBatch(const std::vector<BinaryRequest>& requests);
+std::string EncodeBinaryResponse(const ServiceResponse& response);
+std::string EncodeBinaryBatchResponse(
+    const std::vector<ServiceResponse>& responses);
+
+// Incremental frame extraction from a connection buffer.
+enum class FrameStatus {
+  kComplete,  // *body is one frame body; drop *consumed buffer bytes
+  kNeedMore,  // keep reading
+  kError,     // malformed length prefix or oversized frame; close
+};
+FrameStatus ExtractFrame(std::string_view buffer, std::string_view* body,
+                         size_t* consumed, std::string* error);
+
+// A decoded request frame body (type 0x01 or 0x02).
+struct DecodedRequest {
+  bool batch = false;
+  std::vector<BinaryRequest> items;  // exactly 1 when !batch
+};
+Result<DecodedRequest> DecodeBinaryRequest(std::string_view body);
+
+// A decoded response frame body (type 0x81 or 0x82) — the client-side
+// inverse of EncodeBinaryResponse/EncodeBinaryBatchResponse.
+struct DecodedResponse {
+  bool batch = false;
+  std::vector<ServiceResponse> items;
+};
+Result<DecodedResponse> DecodeBinaryResponse(std::string_view body);
 
 }  // namespace ecrint::service
 

@@ -1,8 +1,10 @@
 #include "service/recovery.h"
 
 #include <cstdlib>
+#include <cstring>
 #include <utility>
 
+#include "common/checksum.h"
 #include "common/strings.h"
 #include "core/project_io.h"
 
@@ -24,6 +26,154 @@ Result<int64_t> ParseInt64(const std::string& token) {
     return ParseError("expected integer, got '" + token + "'");
   }
   return static_cast<int64_t>(value);
+}
+
+void PutU32Le(std::string& out, uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void PutU64Le(std::string& out, uint64_t v) {
+  PutU32Le(out, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  PutU32Le(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetU32Le(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+uint64_t GetU64Le(const char* p) {
+  return static_cast<uint64_t>(GetU32Le(p)) |
+         static_cast<uint64_t>(GetU32Le(p + 4)) << 32;
+}
+
+// The META section carries the v1 header lines (no magic): seq, stamp,
+// and the optional integrated line.
+std::string SerializeMetaSection(const Checkpoint& checkpoint) {
+  std::string out = "seq " + std::to_string(checkpoint.seq);
+  out += "\nstamp " + std::to_string(checkpoint.stamp.schema_generation) +
+         " " + std::to_string(checkpoint.stamp.equivalence_generation) + " " +
+         std::to_string(checkpoint.stamp.assertion_epoch) + " " +
+         std::to_string(checkpoint.stamp.assertion_log_size) + " " +
+         std::to_string(checkpoint.stamp.integration_version);
+  if (checkpoint.integrated) {
+    out += "\nintegrated";
+    for (const std::string& schema : checkpoint.integrated_schemas) {
+      out += " " + schema;
+    }
+  }
+  out += "\n";
+  return out;
+}
+
+Status ParseMetaSection(std::string_view text, CheckpointView& view) {
+  bool saw_seq = false, saw_stamp = false;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line = eol == std::string_view::npos
+                                ? text.substr(pos)
+                                : text.substr(pos, eol - pos);
+    pos = eol == std::string_view::npos ? text.size() : eol + 1;
+    std::vector<std::string> tokens;
+    for (const std::string& token : Split(line, ' ')) {
+      if (!token.empty()) tokens.push_back(token);
+    }
+    if (tokens.empty()) continue;
+    if (tokens[0] == "seq") {
+      if (tokens.size() != 2) return ParseError("malformed seq line");
+      ECRINT_ASSIGN_OR_RETURN(int64_t seq, ParseInt64(tokens[1]));
+      if (seq < 0) return ParseError("negative checkpoint seq");
+      view.seq = static_cast<uint64_t>(seq);
+      saw_seq = true;
+    } else if (tokens[0] == "stamp") {
+      if (tokens.size() != 6) {
+        return ParseError("stamp line wants 5 counters, got " +
+                          std::to_string(tokens.size() - 1));
+      }
+      ECRINT_ASSIGN_OR_RETURN(view.stamp.schema_generation,
+                              ParseInt64(tokens[1]));
+      ECRINT_ASSIGN_OR_RETURN(view.stamp.equivalence_generation,
+                              ParseInt64(tokens[2]));
+      ECRINT_ASSIGN_OR_RETURN(view.stamp.assertion_epoch,
+                              ParseInt64(tokens[3]));
+      ECRINT_ASSIGN_OR_RETURN(view.stamp.assertion_log_size,
+                              ParseInt64(tokens[4]));
+      ECRINT_ASSIGN_OR_RETURN(view.stamp.integration_version,
+                              ParseInt64(tokens[5]));
+      saw_stamp = true;
+    } else if (tokens[0] == "integrated") {
+      view.integrated = true;
+      view.integrated_schemas.assign(tokens.begin() + 1, tokens.end());
+    } else {
+      return ParseError("unknown checkpoint meta line '" +
+                        std::string(line) + "'");
+    }
+  }
+  if (!saw_seq || !saw_stamp) {
+    return ParseError("checkpoint meta missing seq or stamp line");
+  }
+  return Status::Ok();
+}
+
+Result<CheckpointView> ParseCheckpointV2(std::string_view bytes) {
+  if (bytes.size() < kCheckpointV2HeaderBytes) {
+    return ParseError("checkpoint v2 truncated inside header (" +
+                      std::to_string(bytes.size()) + " bytes)");
+  }
+  const char* p = bytes.data();
+  uint32_t section_count = GetU32Le(p + 8);
+  uint32_t table_crc = GetU32Le(p + 12);
+  if (section_count > kMaxCheckpointSections) {
+    return ParseError("implausible checkpoint section count " +
+                      std::to_string(section_count));
+  }
+  size_t table_bytes =
+      static_cast<size_t>(section_count) * kCheckpointV2EntryBytes;
+  if (bytes.size() - kCheckpointV2HeaderBytes < table_bytes) {
+    return ParseError("checkpoint v2 truncated inside section table");
+  }
+  std::string_view table = bytes.substr(kCheckpointV2HeaderBytes, table_bytes);
+  if (common::Crc32c(table) != table_crc) {
+    return ParseError("checkpoint v2 section table checksum mismatch");
+  }
+  CheckpointView view;
+  bool saw_meta = false, saw_project = false;
+  for (uint32_t i = 0; i < section_count; ++i) {
+    const char* entry = table.data() + i * kCheckpointV2EntryBytes;
+    uint32_t tag = GetU32Le(entry);
+    uint32_t crc = GetU32Le(entry + 4);
+    uint64_t offset = GetU64Le(entry + 8);
+    uint64_t length = GetU64Le(entry + 16);
+    if (tag != kCheckpointSectionMeta && tag != kCheckpointSectionProject) {
+      continue;  // Forward compat: never read, never checksummed.
+    }
+    if (offset > bytes.size() || bytes.size() - offset < length) {
+      return ParseError("checkpoint v2 section " + std::to_string(tag) +
+                        " extends past end of file");
+    }
+    std::string_view section = bytes.substr(offset, length);
+    if (common::Crc32c(section) != crc) {
+      return ParseError("checkpoint v2 section " + std::to_string(tag) +
+                        " checksum mismatch");
+    }
+    if (tag == kCheckpointSectionMeta) {
+      ECRINT_RETURN_IF_ERROR(ParseMetaSection(section, view));
+      saw_meta = true;
+    } else {
+      view.project_text = section;
+      saw_project = true;
+    }
+  }
+  if (!saw_meta || !saw_project) {
+    return ParseError("checkpoint v2 missing meta or project section");
+  }
+  return view;
 }
 
 }  // namespace
@@ -119,6 +269,66 @@ Result<Checkpoint> ParseCheckpoint(std::string_view text) {
                     " section");
 }
 
+std::string SerializeCheckpointV2(const Checkpoint& checkpoint) {
+  std::string meta = SerializeMetaSection(checkpoint);
+  struct Section {
+    uint32_t tag;
+    std::string_view bytes;
+  };
+  const Section sections[] = {
+      {kCheckpointSectionMeta, meta},
+      {kCheckpointSectionProject, checkpoint.project_text},
+  };
+  constexpr uint32_t kCount =
+      static_cast<uint32_t>(sizeof(sections) / sizeof(sections[0]));
+
+  // Sections start right after the header and table, in table order.
+  uint64_t offset =
+      kCheckpointV2HeaderBytes + kCount * kCheckpointV2EntryBytes;
+  std::string table;
+  table.reserve(kCount * kCheckpointV2EntryBytes);
+  for (const Section& section : sections) {
+    PutU32Le(table, section.tag);
+    PutU32Le(table, common::Crc32c(section.bytes));
+    PutU64Le(table, offset);
+    PutU64Le(table, section.bytes.size());
+    offset += section.bytes.size();
+  }
+
+  std::string out;
+  out.reserve(offset);
+  out.append(kCheckpointV2Magic);
+  PutU32Le(out, kCount);
+  PutU32Le(out, common::Crc32c(table));
+  PutU64Le(out, 0);  // reserved
+  out.append(table);
+  for (const Section& section : sections) {
+    out.append(section.bytes);
+  }
+  return out;
+}
+
+Result<CheckpointView> ParseCheckpointAny(std::string_view bytes) {
+  if (bytes.size() >= kCheckpointV2Magic.size() &&
+      bytes.substr(0, kCheckpointV2Magic.size()) == kCheckpointV2Magic) {
+    return ParseCheckpointV2(bytes);
+  }
+  ECRINT_ASSIGN_OR_RETURN(Checkpoint v1, ParseCheckpoint(bytes));
+  CheckpointView view;
+  view.seq = v1.seq;
+  view.stamp = v1.stamp;
+  view.integrated = v1.integrated;
+  view.integrated_schemas = std::move(v1.integrated_schemas);
+  // v1's parser copied the project text; re-point the view at the original
+  // region of `bytes` so both formats share one lifetime rule.
+  size_t marker = bytes.find(std::string("\n") + kProjectMarker + "\n");
+  view.project_text =
+      marker == std::string_view::npos
+          ? std::string_view()
+          : bytes.substr(marker + 1 + std::strlen(kProjectMarker) + 1);
+  return view;
+}
+
 std::string ProjectDirName(const std::string& project) {
   static constexpr char kHex[] = "0123456789ABCDEF";
   std::string out;
@@ -171,14 +381,20 @@ Result<std::unique_ptr<RecoveryManager>> RecoveryManager::Open(
       new RecoveryManager(fs, std::move(dir), options, metrics));
 
   // 1. Checkpoint, when present: the engine state with records <= seq
-  //    folded in, stamped exactly as the original engine was.
+  //    folded in, stamped exactly as the original engine was. The file is
+  //    mapped, not read: v2's header and section table are validated from
+  //    the first page(s), and only the bytes the parsers actually touch
+  //    are faulted in.
   const std::string checkpoint_path = CheckpointPath(manager->dir_);
   if (fs->Exists(checkpoint_path)) {
-    ECRINT_ASSIGN_OR_RETURN(std::string text,
-                            fs->ReadFileToString(checkpoint_path));
-    ECRINT_ASSIGN_OR_RETURN(Checkpoint checkpoint, ParseCheckpoint(text));
-    ECRINT_ASSIGN_OR_RETURN(core::Project project,
-                            core::ParseProject(checkpoint.project_text));
+    ECRINT_ASSIGN_OR_RETURN(std::unique_ptr<common::MmapFile> mapping,
+                            fs->OpenMmap(checkpoint_path));
+    ECRINT_ASSIGN_OR_RETURN(CheckpointView checkpoint,
+                            ParseCheckpointAny(mapping->view()));
+    // core::ParseProject wants an owned string; this is the one copy.
+    ECRINT_ASSIGN_OR_RETURN(
+        core::Project project,
+        core::ParseProject(std::string(checkpoint.project_text)));
     ECRINT_RETURN_IF_ERROR(engine.ImportProject(std::move(project)));
     if (checkpoint.integrated) {
       Result<const core::IntegrationResult*> integrated =
@@ -268,6 +484,31 @@ Status RecoveryManager::LogVerb(const engine::ReplayVerb& verb) {
   return Status::Ok();
 }
 
+Status RecoveryManager::LogVerbDeferred(const engine::ReplayVerb& verb) {
+  int64_t appends_before = journal_->appends();
+  int64_t bytes_before = journal_->appended_bytes();
+  Status status = journal_->AppendDeferred(engine::EncodeReplayVerb(verb));
+  Bump(appends_, journal_->appends() - appends_before);
+  Bump(append_bytes_, journal_->appended_bytes() - bytes_before);
+  if (!status.ok()) {
+    Bump(append_failures_);
+    return status;
+  }
+  ++records_since_checkpoint_;
+  return Status::Ok();
+}
+
+Status RecoveryManager::CommitBatch() {
+  int64_t fsyncs_before = journal_->fsyncs();
+  Status status = journal_->CommitBatch();
+  Bump(fsyncs_, journal_->fsyncs() - fsyncs_before);
+  if (!status.ok()) {
+    Bump(append_failures_);
+    return status;
+  }
+  return Status::Ok();
+}
+
 Status RecoveryManager::WriteCheckpoint(engine::Engine& engine) {
   Checkpoint checkpoint;
   checkpoint.seq = journal_->next_seq() - 1;
@@ -284,7 +525,7 @@ Status RecoveryManager::WriteCheckpoint(engine::Engine& engine) {
   // discard the journal copy of it.
   ECRINT_RETURN_IF_ERROR(journal_->SyncNow());
   Status written = fs_->WriteFileAtomic(CheckpointPath(dir_),
-                                        SerializeCheckpoint(checkpoint));
+                                        SerializeCheckpointV2(checkpoint));
   if (!written.ok()) {
     // Non-fatal: the previous checkpoint plus the intact journal still
     // recover everything.

@@ -61,6 +61,48 @@ struct Checkpoint {
 std::string SerializeCheckpoint(const Checkpoint& checkpoint);
 Result<Checkpoint> ParseCheckpoint(std::string_view text);
 
+// --- checkpoint v2: sectioned binary format --------------------------------
+// Fixed header, then a CRC-guarded section table, then the section bytes.
+// All integers little-endian (docs/FORMATS.md):
+//
+//   header  = "ECRCKPT2" section_count:u32 table_crc:u32 reserved:u64
+//   table   = section_count * entry
+//   entry   = tag:u32 crc:u32 offset:u64 length:u64     ; 24 bytes
+//   tag 1 (META) = the v1 header lines (seq/stamp/integrated), no magic
+//   tag 2 (PROJ) = core::SerializeProject text
+//
+// table_crc covers the raw table bytes; each entry's crc covers its
+// section's bytes. Unknown tags are skipped (forward compat). A reader
+// backed by an mmap touches the header, the table, and only the sections
+// it needs — restart cost is O(touched pages), not O(file size).
+
+inline constexpr std::string_view kCheckpointV2Magic = "ECRCKPT2";
+inline constexpr size_t kCheckpointV2HeaderBytes = 24;
+inline constexpr size_t kCheckpointV2EntryBytes = 24;
+inline constexpr uint32_t kCheckpointSectionMeta = 1;
+inline constexpr uint32_t kCheckpointSectionProject = 2;
+// Sanity cap on section_count: a corrupt count must not make a reader
+// trust (or allocate for) a gigabyte table.
+inline constexpr uint32_t kMaxCheckpointSections = 4096;
+
+std::string SerializeCheckpointV2(const Checkpoint& checkpoint);
+
+// A parsed checkpoint whose project text still references the underlying
+// bytes (the mapping) instead of owning a copy. The referenced buffer must
+// outlive the view.
+struct CheckpointView {
+  uint64_t seq = 0;
+  engine::EngineStamp stamp;
+  bool integrated = false;
+  std::vector<std::string> integrated_schemas;
+  std::string_view project_text;
+};
+
+// Parses a checkpoint in either format, sniffed by magic: v2 validates the
+// table CRC and the CRC of every section it reads; v1 falls back to the
+// text parser (project_text then references `bytes` directly either way).
+Result<CheckpointView> ParseCheckpointAny(std::string_view bytes);
+
 // Filesystem-safe directory name for a project: bytes outside
 // [A-Za-z0-9_-] are %XX percent-encoded, so "../evil" cannot escape the
 // data dir and distinct project names never collide.
@@ -86,6 +128,15 @@ class RecoveryManager {
   // the verb runs against the engine; failure means nothing was applied
   // anywhere and the caller flips the project to degraded read-only mode.
   Status LogVerb(const engine::ReplayVerb& verb);
+
+  // Group-commit pair for batched writes: LogVerbDeferred appends without
+  // a durability barrier; the batch ends with CommitBatch, one barrier
+  // covering every deferred record. Same contract as LogVerb otherwise —
+  // called before the verb runs, failure degrades the project, and no
+  // reply for any verb in the batch may be sent before CommitBatch
+  // returns Ok.
+  Status LogVerbDeferred(const engine::ReplayVerb& verb);
+  Status CommitBatch();
 
   // Writes a checkpoint of the engine's current state and rotates the
   // journal. An atomic-write failure is non-fatal (the previous checkpoint

@@ -1,0 +1,103 @@
+#include "service/response_cache.h"
+
+#include "service/protocol.h"
+
+namespace ecrint::service {
+
+std::string ResponseCache::Key(std::string_view verb,
+                               const std::vector<std::string>& args) {
+  // Length-prefix every arg so the encoding is injective even for raw
+  // binary args that may themselves contain the separator byte.
+  std::string key(verb);
+  for (const std::string& arg : args) {
+    key += '\x01';
+    key += std::to_string(arg.size());
+    key += ':';
+    key += arg;
+  }
+  return key;
+}
+
+bool ResponseCache::Valid(const Entry& entry,
+                          const EngineSnapshot& snapshot) const {
+  if (entry.catalog.lock().get() != snapshot.catalog.get()) return false;
+  if (entry.had_equivalence != (snapshot.equivalence != nullptr)) {
+    return false;
+  }
+  if (entry.had_equivalence &&
+      entry.equivalence.lock().get() != snapshot.equivalence.get()) {
+    return false;
+  }
+  if (entry.had_integration != (snapshot.integration != nullptr)) {
+    return false;
+  }
+  if (entry.had_integration &&
+      entry.integration.lock().get() != snapshot.integration.get()) {
+    return false;
+  }
+  return true;
+}
+
+std::optional<ResponseCache::Hit> ResponseCache::Lookup(
+    const std::string& key, const EngineSnapshot& snapshot,
+    int protocol_version) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  if (!Valid(it->second, snapshot)) {
+    entries_.erase(it);
+    return std::nullopt;
+  }
+  Entry& entry = it->second;
+  Hit hit;
+  hit.response = entry.response;
+  if (protocol_version == kProtocolBinaryVersion) {
+    if (entry.wire_binary.empty()) {
+      entry.wire_binary = EncodeBinaryResponse(entry.response);
+    }
+    hit.wire = entry.wire_binary;
+  } else {
+    if (entry.wire_text.empty()) {
+      entry.wire_text = FormatResponse(entry.response);
+    }
+    hit.wire = entry.wire_text;
+  }
+  return hit;
+}
+
+std::optional<ServiceResponse> ResponseCache::LookupResponse(
+    const std::string& key, const EngineSnapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  if (!Valid(it->second, snapshot)) {
+    entries_.erase(it);
+    return std::nullopt;
+  }
+  return it->second.response;
+}
+
+void ResponseCache::Insert(const std::string& key,
+                           const EngineSnapshot& snapshot,
+                           const ServiceResponse& response) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.size() >= kMaxEntries && entries_.find(key) == entries_.end()) {
+    entries_.clear();
+  }
+  Entry& entry = entries_[key];
+  entry.catalog = snapshot.catalog;
+  entry.equivalence = snapshot.equivalence;
+  entry.integration = snapshot.integration;
+  entry.had_equivalence = snapshot.equivalence != nullptr;
+  entry.had_integration = snapshot.integration != nullptr;
+  entry.response = response;
+  entry.wire_text.clear();
+  entry.wire_binary.clear();
+}
+
+size_t ResponseCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace ecrint::service

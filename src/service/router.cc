@@ -1,7 +1,9 @@
 #include "service/router.h"
 
 #include <cstdlib>
+#include <memory>
 #include <utility>
+#include <vector>
 
 #include "common/strings.h"
 #include "common/thread_pool.h"
@@ -61,10 +63,185 @@ std::string TailAfterVerb(const std::string& line) {
   return std::string(StripWhitespace(rest));
 }
 
+// Verbs whose responses are pure functions of the published snapshot and
+// therefore eligible for the response cache.
+bool IsCacheableVerb(WireVerb verb) {
+  return verb == WireVerb::kRank || verb == WireVerb::kSuggest ||
+         verb == WireVerb::kTranslate || verb == WireVerb::kOutline;
+}
+
+bool IsSessionVerb(WireVerb verb) {
+  return verb == WireVerb::kOpen || verb == WireVerb::kClose ||
+         verb == WireVerb::kDeadline || verb == WireVerb::kProto;
+}
+
+// Parses one binary request into a protocol-independent command. Returns
+// the error response on a malformed request, nullopt on success. Binary
+// arguments are raw bytes — no unescaping (define's DDL travels verbatim
+// as a single argument).
+std::optional<ServiceResponse> BuildCommand(const BinaryRequest& request,
+                                            ServiceCommand* out) {
+  const std::vector<std::string>& args = request.args;
+  switch (request.verb) {
+    case WireVerb::kPing:
+      out->op = ServiceCommand::Op::kPing;
+      return std::nullopt;
+    case WireVerb::kDefine: {
+      if (args.size() != 1 || args[0].empty()) {
+        return BadRequest("usage: define <ddl>");
+      }
+      out->op = ServiceCommand::Op::kDefine;
+      out->text = args[0];
+      return std::nullopt;
+    }
+    case WireVerb::kEquiv: {
+      if (args.size() != 2) return BadRequest("usage: equiv <s.o.a> <s.o.a>");
+      Result<ecr::AttributePath> a = ParsePath(args[0]);
+      if (!a.ok()) return BadRequest(a.status().ToString());
+      Result<ecr::AttributePath> b = ParsePath(args[1]);
+      if (!b.ok()) return BadRequest(b.status().ToString());
+      out->op = ServiceCommand::Op::kEquiv;
+      out->path_a = *a;
+      out->path_b = *b;
+      return std::nullopt;
+    }
+    case WireVerb::kAssert: {
+      if (args.size() != 3) return BadRequest("usage: assert <s.o> <0-5> <s.o>");
+      Result<core::ObjectRef> first = ParseRef(args[0]);
+      if (!first.ok()) return BadRequest(first.status().ToString());
+      Result<int> code = ParseInt(args[1]);
+      if (!code.ok()) return BadRequest(code.status().ToString());
+      Result<core::ObjectRef> second = ParseRef(args[2]);
+      if (!second.ok()) return BadRequest(second.status().ToString());
+      out->op = ServiceCommand::Op::kAssert;
+      out->first = *first;
+      out->type_code = *code;
+      out->second = *second;
+      return std::nullopt;
+    }
+    case WireVerb::kIntegrate:
+      out->op = ServiceCommand::Op::kIntegrate;
+      out->schemas = args;
+      return std::nullopt;
+    case WireVerb::kExport:
+      if (!args.empty()) return BadRequest("usage: export");
+      out->op = ServiceCommand::Op::kExport;
+      return std::nullopt;
+    case WireVerb::kRank: {
+      if (args.size() < 2 || args.size() > 4) {
+        return BadRequest("usage: rank <schema1> <schema2> [rel] [zero]");
+      }
+      out->op = ServiceCommand::Op::kRank;
+      out->schema1 = args[0];
+      out->schema2 = args[1];
+      out->kind = core::StructureKind::kObjectClass;
+      out->include_zero = false;
+      for (size_t i = 2; i < args.size(); ++i) {
+        if (args[i] == "rel") {
+          out->kind = core::StructureKind::kRelationshipSet;
+        } else if (args[i] == "zero") {
+          out->include_zero = true;
+        } else {
+          return BadRequest("unknown rank flag '" + args[i] + "'");
+        }
+      }
+      return std::nullopt;
+    }
+    case WireVerb::kSuggest: {
+      if (args.size() < 2 || args.size() > 3) {
+        return BadRequest("usage: suggest <schema1> <schema2> [threshold]");
+      }
+      out->op = ServiceCommand::Op::kSuggest;
+      out->schema1 = args[0];
+      out->schema2 = args[1];
+      out->threshold = 0.6;
+      if (args.size() == 3) {
+        Result<double> parsed = ParseDouble(args[2]);
+        if (!parsed.ok()) return BadRequest(parsed.status().ToString());
+        out->threshold = *parsed;
+      }
+      return std::nullopt;
+    }
+    case WireVerb::kTranslate: {
+      size_t at = 0;
+      out->to_components = false;
+      if (at < args.size() && args[at] == "components") {
+        out->to_components = true;
+        ++at;
+      }
+      if (at >= args.size()) {
+        return BadRequest(
+            "usage: translate [components] <s.o> [attr,attr,...]");
+      }
+      Result<core::ObjectRef> structure = ParseRef(args[at++]);
+      if (!structure.ok()) return BadRequest(structure.status().ToString());
+      out->op = ServiceCommand::Op::kTranslate;
+      out->request = {};
+      out->request.structure = *structure;
+      if (at < args.size()) {
+        for (const std::string& attribute : Split(args[at], ',')) {
+          if (!attribute.empty()) out->request.attributes.push_back(attribute);
+        }
+        ++at;
+      }
+      if (at != args.size()) {
+        return BadRequest(
+            "usage: translate [components] <s.o> [attr,attr,...]");
+      }
+      return std::nullopt;
+    }
+    case WireVerb::kOutline:
+      if (!args.empty()) return BadRequest("usage: outline");
+      out->op = ServiceCommand::Op::kOutline;
+      return std::nullopt;
+    case WireVerb::kMetrics:
+      if (!args.empty()) return BadRequest("usage: metrics");
+      out->op = ServiceCommand::Op::kMetrics;
+      return std::nullopt;
+    case WireVerb::kOpen:
+    case WireVerb::kClose:
+    case WireVerb::kDeadline:
+    case WireVerb::kProto:
+      return BadRequest("not a command verb");
+  }
+  return BadRequest("unknown verb");
+}
+
 }  // namespace
 
 std::string RequestRouter::HandleLine(const std::string& line,
                                       RouterSession* session) {
+  // The response-cache fast path: cacheable read verb, bound session,
+  // valid line. The snapshot is captured BEFORE execution and the entry
+  // tagged with its parts, so a concurrent write can only make the entry
+  // immediately stale (evicted next lookup) — never serve a stale body.
+  if (!session->session_id.empty() && ValidateRequestLine(line).ok()) {
+    std::vector<std::string> tokens = Tokenize(line);
+    if (!tokens.empty()) {
+      std::optional<WireVerb> verb = WireVerbFromName(tokens[0]);
+      if (verb.has_value() && IsCacheableVerb(*verb)) {
+        std::shared_ptr<const EngineSnapshot> snapshot =
+            service_->CurrentSnapshot(session->session_id);
+        if (snapshot) {
+          std::string key = ResponseCache::Key(
+              tokens[0],
+              std::vector<std::string>(tokens.begin() + 1, tokens.end()));
+          if (std::optional<ResponseCache::Hit> hit =
+                  cache_.Lookup(key, *snapshot, kProtocolTextVersion)) {
+            service_->NoteCacheHit(session->session_id, tokens[0].c_str());
+            return hit->wire;
+          }
+          ServiceResponse response = Dispatch(line, session);
+          std::string wire = FormatResponse(response);
+          // Only successful responses are cached: admission errors
+          // (OVERLOADED, TIMEOUT) are transient and session errors name a
+          // specific session, so neither may outlive this request.
+          if (response.ok()) cache_.Insert(key, *snapshot, response);
+          return wire;
+        }
+      }
+    }
+  }
   return FormatResponse(Dispatch(line, session));
 }
 
@@ -74,6 +251,198 @@ void RequestRouter::HandleLineAsync(std::string line, RouterSession* session,
       [this, line = std::move(line), session, done = std::move(done)] {
         done(HandleLine(line, session));
       });
+}
+
+void RequestRouter::HandleFrameAsync(std::string body, RouterSession* session,
+                                     std::function<void(std::string)> done) {
+  common::ThreadPool::Shared().Post(
+      [this, body = std::move(body), session, done = std::move(done)] {
+        done(HandleFrame(body, session));
+      });
+}
+
+std::optional<ServiceResponse> RequestRouter::HandleSessionVerb(
+    WireVerb verb, const std::vector<std::string>& args,
+    RouterSession* session) {
+  switch (verb) {
+    case WireVerb::kOpen: {
+      if (args.size() > 1) return BadRequest("usage: open [project]");
+      std::string project = args.size() == 1 ? args[0] : "default";
+      session->session_id = service_->OpenSession(project);
+      ServiceResponse response;
+      response.lines.push_back(session->session_id);
+      return response;
+    }
+    case WireVerb::kClose: {
+      if (session->session_id.empty()) {
+        return BadRequest("no session; send: open [project]");
+      }
+      Status status = service_->CloseSession(session->session_id);
+      session->session_id.clear();
+      if (!status.ok()) return BadRequest(status.ToString());
+      return ServiceResponse{};
+    }
+    case WireVerb::kDeadline: {
+      if (args.size() != 1) return BadRequest("usage: deadline <ms>|default");
+      if (session->session_id.empty()) {
+        return BadRequest("no session; send: open [project]");
+      }
+      if (args[0] == "default") {
+        session->deadline_override_ns.reset();
+      } else {
+        Result<int> ms = ParseInt(args[0]);
+        if (!ms.ok()) return BadRequest(ms.status().ToString());
+        if (*ms < 0) return BadRequest("deadline must be >= 0 ms");
+        session->deadline_override_ns = static_cast<int64_t>(*ms) * 1'000'000;
+      }
+      return ServiceResponse{};
+    }
+    case WireVerb::kProto: {
+      if (args.size() != 1) return BadRequest("usage: proto <1|2>");
+      Result<int> version = ParseInt(args[0]);
+      if (!version.ok()) return BadRequest(version.status().ToString());
+      if (*version != kProtocolTextVersion &&
+          *version != kProtocolBinaryVersion) {
+        return BadRequest("unsupported protocol version '" + args[0] + "'");
+      }
+      session->protocol_version = *version;
+      ServiceResponse response;
+      response.lines.push_back("proto " + std::to_string(*version));
+      return response;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+ServiceResponse RequestRouter::ExecuteBinary(const BinaryRequest& request,
+                                             RouterSession* session,
+                                             std::string* wire) {
+  ServiceCommand command;
+  if (std::optional<ServiceResponse> error = BuildCommand(request, &command)) {
+    return *std::move(error);
+  }
+  command.deadline_ns =
+      session->deadline_override_ns.has_value()
+          ? service_->clock()->NowNs() + *session->deadline_override_ns
+          : 0;
+  if (IsCacheableVerb(request.verb)) {
+    std::shared_ptr<const EngineSnapshot> snapshot =
+        service_->CurrentSnapshot(session->session_id);
+    if (snapshot) {
+      const char* name = WireVerbName(request.verb);
+      std::string key = ResponseCache::Key(name, request.args);
+      if (std::optional<ResponseCache::Hit> hit =
+              cache_.Lookup(key, *snapshot, session->protocol_version)) {
+        service_->NoteCacheHit(session->session_id, name);
+        *wire = std::move(hit->wire);
+        return std::move(hit->response);
+      }
+      ServiceResponse response = service_->Execute(session->session_id,
+                                                   command);
+      if (response.ok()) cache_.Insert(key, *snapshot, response);
+      return response;
+    }
+  }
+  return service_->Execute(session->session_id, command);
+}
+
+std::string RequestRouter::HandleFrame(std::string_view body,
+                                       RouterSession* session) {
+  Result<DecodedRequest> decoded = DecodeBinaryRequest(body);
+  if (!decoded.ok()) {
+    return EncodeBinaryResponse(BadRequest(decoded.status().message()));
+  }
+
+  if (!decoded->batch) {
+    const BinaryRequest& request = decoded->items[0];
+    if (std::optional<ServiceResponse> handled =
+            HandleSessionVerb(request.verb, request.args, session)) {
+      return EncodeBinaryResponse(*handled);
+    }
+    if (request.verb == WireVerb::kPing) {
+      ServiceResponse response;
+      response.lines.push_back("pong");
+      return EncodeBinaryResponse(response);
+    }
+    if (session->session_id.empty()) {
+      return EncodeBinaryResponse(
+          BadRequest("no session; send: open [project]"));
+    }
+    std::string wire;
+    ServiceResponse response = ExecuteBinary(request, session, &wire);
+    if (!wire.empty()) return wire;  // pre-serialized cache hit
+    return EncodeBinaryResponse(response);
+  }
+
+  // Batch frame: parse every item first, then hand the runnable commands
+  // to the service as ONE pipelined batch. Items that fail to parse (or
+  // are session verbs, which would mutate connection state mid-pipeline)
+  // get their error response in place; the rest keep their order.
+  const size_t n = decoded->items.size();
+  std::vector<ServiceResponse> out(n);
+  std::vector<ServiceCommand> commands;
+  std::vector<size_t> slots;
+  std::vector<std::string> keys;  // parallel to `commands`; "" = uncacheable
+  commands.reserve(n);
+  slots.reserve(n);
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const BinaryRequest& item = decoded->items[i];
+    if (IsSessionVerb(item.verb)) {
+      const char* name = WireVerbName(item.verb);
+      out[i] = BadRequest(std::string(name ? name : "?") +
+                          " not allowed in batch");
+      continue;
+    }
+    if (session->session_id.empty()) {
+      if (item.verb == WireVerb::kPing) {
+        out[i].lines.push_back("pong");
+      } else {
+        out[i] = BadRequest("no session; send: open [project]");
+      }
+      continue;
+    }
+    ServiceCommand command;
+    if (std::optional<ServiceResponse> error = BuildCommand(item, &command)) {
+      out[i] = *std::move(error);
+      continue;
+    }
+    slots.push_back(i);
+    commands.push_back(std::move(command));
+    keys.push_back(IsCacheableVerb(item.verb)
+                       ? ResponseCache::Key(WireVerbName(item.verb), item.args)
+                       : std::string());
+  }
+  if (!commands.empty()) {
+    // Bridge the service's per-run cache hook to the router's ResponseCache.
+    // The service hands us the snapshot each read run executes under, so
+    // entries are exactly as fresh as re-executing would be.
+    struct BatchCacheAdapter final : BatchReadCache {
+      ResponseCache* cache = nullptr;
+      const std::vector<std::string>* keys = nullptr;
+      std::optional<ServiceResponse> Lookup(
+          size_t index, const EngineSnapshot& snapshot) override {
+        const std::string& key = (*keys)[index];
+        if (key.empty()) return std::nullopt;
+        return cache->LookupResponse(key, snapshot);
+      }
+      void Insert(size_t index, const EngineSnapshot& snapshot,
+                  const ServiceResponse& response) override {
+        const std::string& key = (*keys)[index];
+        if (!key.empty()) cache->Insert(key, snapshot, response);
+      }
+    };
+    BatchCacheAdapter adapter;
+    adapter.cache = &cache_;
+    adapter.keys = &keys;
+    std::vector<ServiceResponse> results =
+        service_->ExecuteBatch(session->session_id, commands, &adapter);
+    for (size_t j = 0; j < results.size(); ++j) {
+      out[slots[j]] = std::move(results[j]);
+    }
+  }
+  return EncodeBinaryBatchResponse(out);
 }
 
 ServiceResponse RequestRouter::Dispatch(const std::string& line,
@@ -91,6 +460,11 @@ ServiceResponse RequestRouter::Dispatch(const std::string& line,
     ServiceResponse response;
     response.lines.push_back("pong");
     return response;
+  }
+
+  if (verb == "proto") {
+    std::vector<std::string> args(tokens.begin() + 1, tokens.end());
+    return *HandleSessionVerb(WireVerb::kProto, args, session);
   }
 
   if (verb == "open") {

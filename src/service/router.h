@@ -5,32 +5,42 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "service/protocol.h"
+#include "service/response_cache.h"
 #include "service/service.h"
 
 namespace ecrint::service {
 
 // Per-connection protocol state: which session the connection is bound to
-// (set by `open`) and the connection's relative deadline override (set by
-// `deadline`). One transport connection owns one RouterSession and issues
-// requests on it one at a time.
+// (set by `open`), the connection's relative deadline override (set by
+// `deadline`), and the negotiated protocol version (set by `proto`). One
+// transport connection owns one RouterSession and issues requests on it
+// one at a time.
 struct RouterSession {
   std::string session_id;
   // Relative deadline applied to subsequent requests; unset = server
   // default. `deadline 0` makes every request expire immediately (the
   // deterministic TIMEOUT path tests use with a ManualClock).
   std::optional<int64_t> deadline_override_ns;
+  // kProtocolTextVersion until the client sends `proto 2`; after the ok
+  // reply to that verb both sides speak the binary framing and the
+  // transport must feed frames to HandleFrame instead of lines to
+  // HandleLine.
+  int protocol_version = kProtocolTextVersion;
 };
 
-// Translates protocol lines into IntegrationService calls. The router is
-// stateless and thread-safe: all per-connection state lives in the
-// RouterSession the transport passes in, all shared state in the service.
+// Translates protocol requests into IntegrationService calls. The router
+// is stateless per request and thread-safe: all per-connection state lives
+// in the RouterSession the transport passes in, all shared state in the
+// service (plus the router's ResponseCache, which is internally locked).
 //
 // Verbs (see docs/FORMATS.md for the grammar):
 //   open [project]              bind this connection to a session
 //   close                       end the session
 //   deadline <ms>|default       set/reset the connection's deadline
+//   proto <1|2>                 negotiate the wire protocol version
 //   define <ddl>                (write) parse DDL into the catalog
 //   equiv <a.b.c> <d.e.f>       (write) declare attributes equivalent
 //   assert <s.o> <0-5> <s.o>    (write) record a domain-relation assertion
@@ -46,9 +56,17 @@ class RequestRouter {
  public:
   explicit RequestRouter(IntegrationService* service) : service_(service) {}
 
-  // Handles one request line synchronously; returns the framed response
-  // (FormatResponse output, ready to write to the wire).
+  // Handles one text request line synchronously; returns the framed
+  // response (FormatResponse output, ready to write to the wire).
   std::string HandleLine(const std::string& line, RouterSession* session);
+
+  // Handles one binary frame BODY (the bytes after the length prefix —
+  // what ExtractFrame hands back) and returns a complete response frame
+  // (length prefix included). A request frame yields a response frame; a
+  // batch frame yields a batch response frame with one entry per item, in
+  // order. Session verbs (open / close / deadline / proto) are rejected
+  // inside batches: they mutate connection state mid-pipeline.
+  std::string HandleFrame(std::string_view body, RouterSession* session);
 
   // Same, but executes on a common::ThreadPool::Shared() worker and
   // invokes `done` with the framed response from that worker. The caller
@@ -57,13 +75,28 @@ class RequestRouter {
   // flight, exactly like a blocking transport).
   void HandleLineAsync(std::string line, RouterSession* session,
                        std::function<void(std::string)> done);
+  void HandleFrameAsync(std::string body, RouterSession* session,
+                        std::function<void(std::string)> done);
 
   IntegrationService* service() { return service_; }
+  ResponseCache& cache() { return cache_; }
 
  private:
   ServiceResponse Dispatch(const std::string& line, RouterSession* session);
 
+  // Session-plane verbs shared by both protocols. Each returns nullopt
+  // when `verb` is not its verb.
+  std::optional<ServiceResponse> HandleSessionVerb(
+      WireVerb verb, const std::vector<std::string>& args,
+      RouterSession* session);
+
+  // One non-session binary request -> ServiceCommand -> Execute, through
+  // the response cache for cacheable read verbs.
+  ServiceResponse ExecuteBinary(const BinaryRequest& request,
+                                RouterSession* session, std::string* wire);
+
   IntegrationService* service_;
+  ResponseCache cache_;
 };
 
 }  // namespace ecrint::service

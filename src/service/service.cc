@@ -36,6 +36,130 @@ ServiceResponse WriteFailure(const engine::Engine& engine,
   return ErrorResponse(std::move(error));
 }
 
+// --- shared verb bodies ----------------------------------------------------
+// One body per verb, shared between the typed single-request methods and
+// the batch executor so both paths produce byte-identical payloads.
+
+ServiceResponse DefineBody(engine::Engine& engine, const std::string& ddl) {
+  size_t before = engine.diagnostics().size();
+  Result<std::vector<std::string>> names = engine.DefineSchema(ddl);
+  if (!names.ok()) {
+    return WriteFailure(engine, before, names.status());
+  }
+  // The engine leaves equivalence rebuild timing to the frontend (it is
+  // DDA-visible); the service's policy is that every define ends schema
+  // collection, so the snapshot publish afterwards re-registers the new
+  // catalog.
+  engine.ResetEquivalence();
+  ServiceResponse response;
+  response.lines = *std::move(names);
+  return response;
+}
+
+ServiceResponse EquivBody(engine::Engine& engine, const ecr::AttributePath& a,
+                          const ecr::AttributePath& b) {
+  size_t before = engine.diagnostics().size();
+  Status status = engine.AssertEquivalence(a, b);
+  if (!status.ok()) {
+    return WriteFailure(engine, before, status);
+  }
+  ServiceResponse response;
+  response.lines.push_back("declared " + a.ToString() + " = " + b.ToString());
+  return response;
+}
+
+ServiceResponse AssertBody(engine::Engine& engine,
+                           const core::ObjectRef& first, int type_code,
+                           const core::ObjectRef& second) {
+  Result<core::AssertionType> type = core::AssertionTypeFromCode(type_code);
+  if (!type.ok()) {
+    return ErrorResponse(ErrorFromStatus(type.status()));
+  }
+  size_t before = engine.diagnostics().size();
+  Result<core::ConflictReport> report =
+      engine.AssertRelation(first, second, *type);
+  if (!report.ok()) {
+    return WriteFailure(engine, before, report.status());
+  }
+  ServiceResponse response;
+  response.lines.push_back("asserted " + first.ToString() + " " +
+                           std::to_string(type_code) + " " +
+                           second.ToString());
+  return response;
+}
+
+ServiceResponse ExportBody(engine::Engine& engine) {
+  ServiceResponse response;
+  response.lines = ToLines(engine.ExportProject());
+  return response;
+}
+
+ServiceResponse RankBody(const EngineSnapshot& snapshot,
+                         const std::string& schema1,
+                         const std::string& schema2, core::StructureKind kind,
+                         bool include_zero) {
+  Result<std::vector<core::ObjectPair>> ranked =
+      SnapshotRankedPairs(snapshot, schema1, schema2, kind, include_zero);
+  if (!ranked.ok()) {
+    return ErrorResponse(ErrorFromStatus(ranked.status()));
+  }
+  ServiceResponse response;
+  for (const core::ObjectPair& pair : *ranked) {
+    response.lines.push_back(pair.first.ToString() + " " +
+                             pair.second.ToString() + " " +
+                             FormatFixed(pair.attribute_ratio, 4));
+  }
+  return response;
+}
+
+ServiceResponse SuggestBody(const EngineSnapshot& snapshot,
+                            const std::string& schema1,
+                            const std::string& schema2, double threshold) {
+  Result<std::vector<heuristics::EquivalenceSuggestion>> suggestions =
+      SnapshotSuggest(snapshot, schema1, schema2, threshold,
+                      /*object_threshold=*/0.0, /*max_results=*/0);
+  if (!suggestions.ok()) {
+    return ErrorResponse(ErrorFromStatus(suggestions.status()));
+  }
+  ServiceResponse response;
+  for (const heuristics::EquivalenceSuggestion& s : *suggestions) {
+    response.lines.push_back(s.first.ToString() + " = " + s.second.ToString() +
+                             "  # " + s.rationale);
+  }
+  return response;
+}
+
+ServiceResponse TranslateBody(const EngineSnapshot& snapshot,
+                              const core::Request& request,
+                              bool to_components) {
+  ServiceResponse response;
+  if (to_components) {
+    Result<core::FanoutPlan> plan =
+        SnapshotTranslateToComponents(snapshot, request);
+    if (!plan.ok()) {
+      return ErrorResponse(ErrorFromStatus(plan.status()));
+    }
+    response.lines = ToLines(plan->ToString());
+  } else {
+    Result<core::Request> translated = SnapshotTranslate(snapshot, request);
+    if (!translated.ok()) {
+      return ErrorResponse(ErrorFromStatus(translated.status()));
+    }
+    response.lines = ToLines(translated->ToString());
+  }
+  return response;
+}
+
+ServiceResponse OutlineBody(const EngineSnapshot& snapshot) {
+  Result<std::string> outline = SnapshotIntegratedOutline(snapshot);
+  if (!outline.ok()) {
+    return ErrorResponse(ErrorFromStatus(outline.status()));
+  }
+  ServiceResponse response;
+  response.lines = ToLines(*outline);
+  return response;
+}
+
 }  // namespace
 
 const char* ServiceErrorCodeName(ServiceErrorCode code) {
@@ -63,15 +187,110 @@ ServiceError ErrorFromStatus(const Status& status) {
   return error;
 }
 
+bool IsWriteCommand(ServiceCommand::Op op) {
+  switch (op) {
+    case ServiceCommand::Op::kDefine:
+    case ServiceCommand::Op::kEquiv:
+    case ServiceCommand::Op::kAssert:
+    case ServiceCommand::Op::kIntegrate:
+    case ServiceCommand::Op::kExport:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* CommandVerbName(ServiceCommand::Op op) {
+  switch (op) {
+    case ServiceCommand::Op::kPing:
+      return "ping";
+    case ServiceCommand::Op::kDefine:
+      return "define";
+    case ServiceCommand::Op::kEquiv:
+      return "equiv";
+    case ServiceCommand::Op::kAssert:
+      return "assert";
+    case ServiceCommand::Op::kIntegrate:
+      return "integrate";
+    case ServiceCommand::Op::kExport:
+      return "export";
+    case ServiceCommand::Op::kRank:
+      return "rank";
+    case ServiceCommand::Op::kSuggest:
+      return "suggest";
+    case ServiceCommand::Op::kTranslate:
+      return "translate";
+    case ServiceCommand::Op::kOutline:
+      return "outline";
+    case ServiceCommand::Op::kMetrics:
+      return "metrics";
+  }
+  return "unknown";
+}
+
 IntegrationService::IntegrationService(ServiceConfig config)
     : config_(config),
       clock_(config.clock != nullptr ? config.clock : common::RealClock()),
       fs_(config.fs != nullptr ? config.fs : common::RealFs()),
-      sessions_(clock_, config.session_idle_timeout_ns) {}
+      sessions_(clock_, config.session_idle_timeout_ns) {
+  // Resolve every instrument the request path touches up front: the
+  // registry hands out stable pointers, so the hot path never takes the
+  // registry mutex or builds "requests.<verb>" strings per request.
+  static constexpr const char* kVerbs[] = {
+      "ping",      "define", "equiv",   "assert",  "integrate", "export",
+      "rank",      "suggest", "translate", "outline", "metrics", "batch",
+  };
+  for (const char* verb : kVerbs) {
+    verb_stats_[verb] = {
+        metrics_.GetCounter(std::string("requests.") + verb),
+        metrics_.GetHistogram(std::string("latency.") + verb),
+    };
+  }
+  for (int code = 0; code < static_cast<int>(error_counters_.size()); ++code) {
+    error_counters_[code] = metrics_.GetCounter(
+        std::string("errors.") +
+        ServiceErrorCodeName(static_cast<ServiceErrorCode>(code)));
+  }
+  snapshots_published_ = metrics_.GetCounter("snapshots.published");
+  sessions_reaped_ = metrics_.GetCounter("sessions.reaped");
+  degraded_flips_ = metrics_.GetCounter("journal.degraded_flips");
+  cache_hits_ = metrics_.GetCounter("cache.hits");
+  sessions_live_ = metrics_.GetGauge("sessions.live");
+  queue_depth_ = metrics_.GetGauge("queue.depth");
+  batch_size_ = metrics_.GetHistogram("batch.size");
+  // Scan the session table at most ~4x per idle timeout (capped at once a
+  // second) instead of on every request.
+  int64_t quarter = config_.session_idle_timeout_ns / 4;
+  reap_interval_ns_ = quarter < 1'000'000'000 ? quarter : 1'000'000'000;
+}
+
+IntegrationService::VerbStats IntegrationService::StatsFor(
+    std::string_view verb) {
+  auto it = verb_stats_.find(verb);
+  if (it != verb_stats_.end()) return it->second;
+  // Unknown verb (shouldn't happen): resolve through the registry.
+  std::string name(verb);
+  return {metrics_.GetCounter("requests." + name),
+          metrics_.GetHistogram("latency." + name)};
+}
+
+void IntegrationService::MaybeReapSessions() {
+  int64_t now = clock_->NowNs();
+  int64_t last = last_reap_ns_.load(std::memory_order_relaxed);
+  if (now - last < reap_interval_ns_) return;
+  if (!last_reap_ns_.compare_exchange_strong(last, now,
+                                             std::memory_order_relaxed)) {
+    return;  // Another request took this interval's scan.
+  }
+  if (int reaped = sessions_.ReapIdle(); reaped > 0) {
+    sessions_reaped_->Increment(reaped);
+    sessions_live_->Set(sessions_.size());
+  }
+}
 
 std::string IntegrationService::OpenSession(const std::string& project) {
   {
-    std::lock_guard<std::mutex> lock(projects_mutex_);
+    std::unique_lock<std::shared_mutex> lock(projects_mutex_);
     std::unique_ptr<ProjectState>& slot = projects_[project];
     if (!slot) {
       slot = std::make_unique<ProjectState>();
@@ -94,23 +313,23 @@ std::string IntegrationService::OpenSession(const std::string& project) {
       // Publish the (empty or recovered) generation up front so readers
       // opened before the first write still get a snapshot instead of null.
       slot->snapshots.Publish(slot->engine);
-      metrics_.GetCounter("snapshots.published")->Increment();
+      snapshots_published_->Increment();
     }
   }
   std::string id = sessions_.Open(project);
-  metrics_.GetGauge("sessions.live")->Set(sessions_.size());
+  sessions_live_->Set(sessions_.size());
   return id;
 }
 
 Status IntegrationService::CloseSession(const std::string& session_id) {
   Status status = sessions_.Close(session_id);
-  metrics_.GetGauge("sessions.live")->Set(sessions_.size());
+  sessions_live_->Set(sessions_.size());
   return status;
 }
 
 IntegrationService::ProjectState* IntegrationService::FindProject(
     const std::string& name) {
-  std::lock_guard<std::mutex> lock(projects_mutex_);
+  std::shared_lock<std::shared_mutex> lock(projects_mutex_);
   auto it = projects_.find(name);
   return it == projects_.end() ? nullptr : it->second.get();
 }
@@ -134,28 +353,28 @@ template <typename Fn>
 ServiceResponse IntegrationService::Admit(const std::string& session_id,
                                           const char* verb,
                                           int64_t deadline_ns, Fn&& fn) {
-  // Opportunistic reaping keeps the session table tight without a timer
-  // thread; idle sessions die on the next request from anyone.
-  if (int reaped = sessions_.ReapIdle(); reaped > 0) {
-    metrics_.GetCounter("sessions.reaped")->Increment(reaped);
-    metrics_.GetGauge("sessions.live")->Set(sessions_.size());
-  }
-  metrics_.GetCounter(std::string("requests.") + verb)->Increment();
+  // Opportunistic (throttled) reaping keeps the session table tight
+  // without a timer thread.
+  MaybeReapSessions();
+  VerbStats stats = StatsFor(verb);
+  stats.requests->Increment();
 
-  ServiceError route_error;
-  ProjectState* project = ProjectForSession(session_id, &route_error);
   ServiceResponse response;
-  if (project == nullptr) {
-    response.error = std::move(route_error);
+  Result<std::string> project_name = sessions_.TouchAndProject(session_id);
+  ProjectState* project = nullptr;
+  if (!project_name.ok()) {
+    response.error = ErrorFromStatus(project_name.status());
+  } else if ((project = FindProject(*project_name)) == nullptr) {
+    response.error = {ServiceErrorCode::kBadRequest,
+                      "no project '" + *project_name + "'"};
   } else {
-    (void)sessions_.Touch(session_id);
     int64_t now = clock_->NowNs();
     int64_t deadline =
         deadline_ns > 0 ? deadline_ns : now + config_.default_deadline_ns;
 
     int64_t in_flight =
         in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
-    metrics_.GetGauge("queue.depth")->Set(in_flight);
+    queue_depth_->Set(in_flight);
     if (in_flight > config_.queue_depth) {
       response.error = {ServiceErrorCode::kOverloaded,
                         "request queue at capacity (" +
@@ -166,16 +385,12 @@ ServiceResponse IntegrationService::Admit(const std::string& session_id,
     } else {
       common::Stopwatch watch(clock_);
       response = fn(*project, deadline);
-      metrics_.GetHistogram(std::string("latency.") + verb)
-          ->Record(watch.ElapsedNs() / 1000);
+      stats.latency->Record(watch.ElapsedNs() / 1000);
     }
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
   }
   if (response.error.has_value()) {
-    metrics_
-        .GetCounter(std::string("errors.") +
-                    ServiceErrorCodeName(response.error->code))
-        ->Increment();
+    error_counters_[static_cast<int>(response.error->code)]->Increment();
   }
   return response;
 }
@@ -210,7 +425,7 @@ void IntegrationService::DegradeProject(ProjectState& project,
                                         const Status& cause) {
   project.degraded = true;
   project.degraded_reason = cause.ToString();
-  metrics_.GetCounter("journal.degraded_flips")->Increment();
+  degraded_flips_->Increment();
 }
 
 ServiceError IntegrationService::UnavailableError(
@@ -255,7 +470,7 @@ ServiceResponse IntegrationService::RunWrite(ProjectState& project,
   ServiceResponse response = fn(project.engine);
   RecordClosureMetrics(project, closure_before);
   if (project.snapshots.Publish(project.engine)) {
-    metrics_.GetCounter("snapshots.published")->Increment();
+    snapshots_published_->Increment();
   }
   // After publish so the checkpoint captures the published stamp (publish
   // materializes the equivalence map; replay mirrors that).
@@ -268,7 +483,7 @@ ServiceResponse IntegrationService::RunWrite(ProjectState& project,
 int IntegrationService::CheckpointProjects() {
   std::vector<ProjectState*> all;
   {
-    std::lock_guard<std::mutex> lock(projects_mutex_);
+    std::shared_lock<std::shared_mutex> lock(projects_mutex_);
     for (auto& [name, project] : projects_) all.push_back(project.get());
   }
   int written = 0;
@@ -286,29 +501,53 @@ int IntegrationService::CheckpointProjects() {
 // Write verbs.
 // ---------------------------------------------------------------------------
 
+ServiceResponse IntegrationService::IntegrateBody(
+    ProjectState& project, engine::Engine& engine,
+    std::vector<std::string> schemas) {
+  size_t before = engine.diagnostics().size();
+  Result<const core::IntegrationResult*> result =
+      engine.Integrate(std::move(schemas));
+  if (!result.ok()) {
+    return WriteFailure(engine, before, result.status());
+  }
+  // Rendering the outline + derived lines dominates a cache-hit integrate;
+  // the integration_version tags exactly the result object the lines were
+  // rendered from, so a version match reuses them verbatim.
+  int64_t version = engine.Stamp().integration_version;
+  ServiceResponse response;
+  if (project.integrate_lines_version == version) {
+    response.lines = project.integrate_lines;
+    return response;
+  }
+  response.lines = ToLines(ecr::ToOutline((*result)->schema));
+  for (const core::DerivedAttributeInfo& info :
+       (*result)->derived_attributes) {
+    std::string line = "derived ";
+    line += info.owner;
+    line += ".";
+    line += info.name;
+    line += " <-";
+    for (const ecr::AttributePath& component : info.components) {
+      line += " ";
+      line += component.ToString();
+    }
+    response.lines.push_back(std::move(line));
+  }
+  project.integrate_lines_version = version;
+  project.integrate_lines = response.lines;
+  return response;
+}
+
 ServiceResponse IntegrationService::Define(const std::string& session_id,
                                            const std::string& ddl,
                                            int64_t deadline_ns) {
   return Admit(session_id, "define", deadline_ns,
                [&](ProjectState& project, int64_t deadline) {
                  engine::ReplayVerb verb = engine::DefineVerb(ddl);
-                 return RunWrite(
-                     project, deadline, &verb, [&](engine::Engine& engine) {
-                       size_t before = engine.diagnostics().size();
-                       Result<std::vector<std::string>> names =
-                           engine.DefineSchema(ddl);
-                       if (!names.ok()) {
-                         return WriteFailure(engine, before, names.status());
-                       }
-                       // The engine leaves equivalence rebuild timing to the
-                       // frontend (it is DDA-visible); the service's policy
-                       // is that every define ends schema collection, so the
-                       // snapshot publish below re-registers the new catalog.
-                       engine.ResetEquivalence();
-                       ServiceResponse response;
-                       response.lines = *std::move(names);
-                       return response;
-                     });
+                 return RunWrite(project, deadline, &verb,
+                                 [&](engine::Engine& engine) {
+                                   return DefineBody(engine, ddl);
+                                 });
                });
 }
 
@@ -318,84 +557,40 @@ ServiceResponse IntegrationService::DeclareEquivalence(
   return Admit(session_id, "equiv", deadline_ns,
                [&](ProjectState& project, int64_t deadline) {
                  engine::ReplayVerb verb = engine::EquivalenceVerb(a, b);
-                 return RunWrite(
-                     project, deadline, &verb, [&](engine::Engine& engine) {
-                       size_t before = engine.diagnostics().size();
-                       Status status = engine.AssertEquivalence(a, b);
-                       if (!status.ok()) {
-                         return WriteFailure(engine, before, status);
-                       }
-                       ServiceResponse response;
-                       response.lines.push_back("declared " + a.ToString() +
-                                                " = " + b.ToString());
-                       return response;
-                     });
+                 return RunWrite(project, deadline, &verb,
+                                 [&](engine::Engine& engine) {
+                                   return EquivBody(engine, a, b);
+                                 });
                });
 }
 
 ServiceResponse IntegrationService::AssertRelation(
     const std::string& session_id, const core::ObjectRef& first,
     int type_code, const core::ObjectRef& second, int64_t deadline_ns) {
-  return Admit(
-      session_id, "assert", deadline_ns,
-      [&](ProjectState& project, int64_t deadline) {
-        engine::ReplayVerb verb = engine::RelationVerb(first, type_code,
-                                                       second);
-        return RunWrite(project, deadline, &verb,
-                        [&](engine::Engine& engine) {
-          Result<core::AssertionType> type =
-              core::AssertionTypeFromCode(type_code);
-          if (!type.ok()) {
-            return ErrorResponse(ErrorFromStatus(type.status()));
-          }
-          size_t before = engine.diagnostics().size();
-          Result<core::ConflictReport> report =
-              engine.AssertRelation(first, second, *type);
-          if (!report.ok()) {
-            return WriteFailure(engine, before, report.status());
-          }
-          ServiceResponse response;
-          response.lines.push_back(
-              "asserted " + first.ToString() + " " +
-              std::to_string(type_code) + " " + second.ToString());
-          return response;
-        });
-      });
+  return Admit(session_id, "assert", deadline_ns,
+               [&](ProjectState& project, int64_t deadline) {
+                 engine::ReplayVerb verb =
+                     engine::RelationVerb(first, type_code, second);
+                 return RunWrite(project, deadline, &verb,
+                                 [&](engine::Engine& engine) {
+                                   return AssertBody(engine, first,
+                                                     type_code, second);
+                                 });
+               });
 }
 
 ServiceResponse IntegrationService::Integrate(
     const std::string& session_id, std::vector<std::string> schemas,
     int64_t deadline_ns) {
-  return Admit(
-      session_id, "integrate", deadline_ns,
-      [&](ProjectState& project, int64_t deadline) {
-        engine::ReplayVerb verb = engine::IntegrateVerb(schemas);
-        return RunWrite(project, deadline, &verb,
-                        [&](engine::Engine& engine) {
-          size_t before = engine.diagnostics().size();
-          Result<const core::IntegrationResult*> result =
-              engine.Integrate(std::move(schemas));
-          if (!result.ok()) {
-            return WriteFailure(engine, before, result.status());
-          }
-          ServiceResponse response;
-          response.lines = ToLines(ecr::ToOutline((*result)->schema));
-          for (const core::DerivedAttributeInfo& info :
-               (*result)->derived_attributes) {
-            std::string line = "derived ";
-            line += info.owner;
-            line += ".";
-            line += info.name;
-            line += " <-";
-            for (const ecr::AttributePath& component : info.components) {
-              line += " ";
-              line += component.ToString();
-            }
-            response.lines.push_back(std::move(line));
-          }
-          return response;
-        });
-      });
+  return Admit(session_id, "integrate", deadline_ns,
+               [&](ProjectState& project, int64_t deadline) {
+                 engine::ReplayVerb verb = engine::IntegrateVerb(schemas);
+                 return RunWrite(project, deadline, &verb,
+                                 [&](engine::Engine& engine) {
+                                   return IntegrateBody(project, engine,
+                                                        std::move(schemas));
+                                 });
+               });
 }
 
 ServiceResponse IntegrationService::ExportProject(
@@ -407,10 +602,7 @@ ServiceResponse IntegrationService::ExportProject(
                  // works in degraded mode.
                  return RunWrite(project, deadline, /*verb=*/nullptr,
                                  [&](engine::Engine& engine) {
-                                   ServiceResponse response;
-                                   response.lines =
-                                       ToLines(engine.ExportProject());
-                                   return response;
+                                   return ExportBody(engine);
                                  });
                });
 }
@@ -423,24 +615,13 @@ ServiceResponse IntegrationService::RankedPairs(
     const std::string& session_id, const std::string& schema1,
     const std::string& schema2, core::StructureKind kind, bool include_zero,
     int64_t deadline_ns) {
-  return Admit(
-      session_id, "rank", deadline_ns,
-      [&](ProjectState& project, int64_t) {
-        std::shared_ptr<const EngineSnapshot> snapshot =
-            project.snapshots.Current();
-        Result<std::vector<core::ObjectPair>> ranked = SnapshotRankedPairs(
-            *snapshot, schema1, schema2, kind, include_zero);
-        if (!ranked.ok()) {
-          return ErrorResponse(ErrorFromStatus(ranked.status()));
-        }
-        ServiceResponse response;
-        for (const core::ObjectPair& pair : *ranked) {
-          response.lines.push_back(pair.first.ToString() + " " +
-                                   pair.second.ToString() + " " +
-                                   FormatFixed(pair.attribute_ratio, 4));
-        }
-        return response;
-      });
+  return Admit(session_id, "rank", deadline_ns,
+               [&](ProjectState& project, int64_t) {
+                 std::shared_ptr<const EngineSnapshot> snapshot =
+                     project.snapshots.Current();
+                 return RankBody(*snapshot, schema1, schema2, kind,
+                                 include_zero);
+               });
 }
 
 ServiceResponse IntegrationService::Suggest(const std::string& session_id,
@@ -448,54 +629,24 @@ ServiceResponse IntegrationService::Suggest(const std::string& session_id,
                                             const std::string& schema2,
                                             double threshold,
                                             int64_t deadline_ns) {
-  return Admit(
-      session_id, "suggest", deadline_ns,
-      [&](ProjectState& project, int64_t) {
-        std::shared_ptr<const EngineSnapshot> snapshot =
-            project.snapshots.Current();
-        Result<std::vector<heuristics::EquivalenceSuggestion>> suggestions =
-            SnapshotSuggest(*snapshot, schema1, schema2, threshold,
-                            /*object_threshold=*/0.0, /*max_results=*/0);
-        if (!suggestions.ok()) {
-          return ErrorResponse(ErrorFromStatus(suggestions.status()));
-        }
-        ServiceResponse response;
-        for (const heuristics::EquivalenceSuggestion& s : *suggestions) {
-          response.lines.push_back(s.first.ToString() + " = " +
-                                   s.second.ToString() + "  # " +
-                                   s.rationale);
-        }
-        return response;
-      });
+  return Admit(session_id, "suggest", deadline_ns,
+               [&](ProjectState& project, int64_t) {
+                 std::shared_ptr<const EngineSnapshot> snapshot =
+                     project.snapshots.Current();
+                 return SuggestBody(*snapshot, schema1, schema2, threshold);
+               });
 }
 
 ServiceResponse IntegrationService::Translate(const std::string& session_id,
                                               const core::Request& request,
                                               bool to_components,
                                               int64_t deadline_ns) {
-  return Admit(
-      session_id, "translate", deadline_ns,
-      [&](ProjectState& project, int64_t) {
-        std::shared_ptr<const EngineSnapshot> snapshot =
-            project.snapshots.Current();
-        ServiceResponse response;
-        if (to_components) {
-          Result<core::FanoutPlan> plan =
-              SnapshotTranslateToComponents(*snapshot, request);
-          if (!plan.ok()) {
-            return ErrorResponse(ErrorFromStatus(plan.status()));
-          }
-          response.lines = ToLines(plan->ToString());
-        } else {
-          Result<core::Request> translated =
-              SnapshotTranslate(*snapshot, request);
-          if (!translated.ok()) {
-            return ErrorResponse(ErrorFromStatus(translated.status()));
-          }
-          response.lines = ToLines(translated->ToString());
-        }
-        return response;
-      });
+  return Admit(session_id, "translate", deadline_ns,
+               [&](ProjectState& project, int64_t) {
+                 std::shared_ptr<const EngineSnapshot> snapshot =
+                     project.snapshots.Current();
+                 return TranslateBody(*snapshot, request, to_components);
+               });
 }
 
 ServiceResponse IntegrationService::IntegratedOutline(
@@ -504,14 +655,7 @@ ServiceResponse IntegrationService::IntegratedOutline(
                [&](ProjectState& project, int64_t) {
                  std::shared_ptr<const EngineSnapshot> snapshot =
                      project.snapshots.Current();
-                 Result<std::string> outline =
-                     SnapshotIntegratedOutline(*snapshot);
-                 if (!outline.ok()) {
-                   return ErrorResponse(ErrorFromStatus(outline.status()));
-                 }
-                 ServiceResponse response;
-                 response.lines = ToLines(*outline);
-                 return response;
+                 return OutlineBody(*snapshot);
                });
 }
 
@@ -523,6 +667,279 @@ ServiceResponse IntegrationService::MetricsDump(
                  response.lines.push_back(metrics_.MetricsJson());
                  return response;
                });
+}
+
+// ---------------------------------------------------------------------------
+// Command plane: protocol-independent dispatch and pipelined batches.
+// ---------------------------------------------------------------------------
+
+ServiceResponse IntegrationService::Execute(const std::string& session_id,
+                                            const ServiceCommand& command) {
+  switch (command.op) {
+    case ServiceCommand::Op::kPing: {
+      ServiceResponse response;
+      response.lines.push_back("pong");
+      return response;
+    }
+    case ServiceCommand::Op::kDefine:
+      return Define(session_id, command.text, command.deadline_ns);
+    case ServiceCommand::Op::kEquiv:
+      return DeclareEquivalence(session_id, command.path_a, command.path_b,
+                                command.deadline_ns);
+    case ServiceCommand::Op::kAssert:
+      return AssertRelation(session_id, command.first, command.type_code,
+                            command.second, command.deadline_ns);
+    case ServiceCommand::Op::kIntegrate:
+      return Integrate(session_id, command.schemas, command.deadline_ns);
+    case ServiceCommand::Op::kExport:
+      return ExportProject(session_id, command.deadline_ns);
+    case ServiceCommand::Op::kRank:
+      return RankedPairs(session_id, command.schema1, command.schema2,
+                         command.kind, command.include_zero,
+                         command.deadline_ns);
+    case ServiceCommand::Op::kSuggest:
+      return Suggest(session_id, command.schema1, command.schema2,
+                     command.threshold, command.deadline_ns);
+    case ServiceCommand::Op::kTranslate:
+      return Translate(session_id, command.request, command.to_components,
+                       command.deadline_ns);
+    case ServiceCommand::Op::kOutline:
+      return IntegratedOutline(session_id, command.deadline_ns);
+    case ServiceCommand::Op::kMetrics:
+      return MetricsDump(session_id, command.deadline_ns);
+  }
+  return ErrorResponse({ServiceErrorCode::kBadRequest, "unknown command"});
+}
+
+ServiceResponse IntegrationService::ReadCommandBody(
+    const EngineSnapshot& snapshot, const ServiceCommand& command) {
+  switch (command.op) {
+    case ServiceCommand::Op::kPing: {
+      ServiceResponse response;
+      response.lines.push_back("pong");
+      return response;
+    }
+    case ServiceCommand::Op::kRank:
+      return RankBody(snapshot, command.schema1, command.schema2,
+                      command.kind, command.include_zero);
+    case ServiceCommand::Op::kSuggest:
+      return SuggestBody(snapshot, command.schema1, command.schema2,
+                         command.threshold);
+    case ServiceCommand::Op::kTranslate:
+      return TranslateBody(snapshot, command.request, command.to_components);
+    case ServiceCommand::Op::kOutline:
+      return OutlineBody(snapshot);
+    case ServiceCommand::Op::kMetrics: {
+      ServiceResponse response;
+      response.lines.push_back(metrics_.MetricsJson());
+      return response;
+    }
+    default:
+      return ErrorResponse(
+          {ServiceErrorCode::kBadRequest, "not a read command"});
+  }
+}
+
+ServiceResponse IntegrationService::WriteCommandBody(
+    ProjectState& project, engine::Engine& engine,
+    const ServiceCommand& command) {
+  switch (command.op) {
+    case ServiceCommand::Op::kDefine:
+      return DefineBody(engine, command.text);
+    case ServiceCommand::Op::kEquiv:
+      return EquivBody(engine, command.path_a, command.path_b);
+    case ServiceCommand::Op::kAssert:
+      return AssertBody(engine, command.first, command.type_code,
+                        command.second);
+    case ServiceCommand::Op::kIntegrate:
+      return IntegrateBody(project, engine, command.schemas);
+    case ServiceCommand::Op::kExport:
+      return ExportBody(engine);
+    default:
+      return ErrorResponse(
+          {ServiceErrorCode::kBadRequest, "not a write command"});
+  }
+}
+
+// The replay-journal record for a write command; nullopt for export, which
+// mutates nothing and is never journaled.
+static std::optional<engine::ReplayVerb> ReplayVerbFor(
+    const ServiceCommand& command) {
+  switch (command.op) {
+    case ServiceCommand::Op::kDefine:
+      return engine::DefineVerb(command.text);
+    case ServiceCommand::Op::kEquiv:
+      return engine::EquivalenceVerb(command.path_a, command.path_b);
+    case ServiceCommand::Op::kAssert:
+      return engine::RelationVerb(command.first, command.type_code,
+                                  command.second);
+    case ServiceCommand::Op::kIntegrate:
+      return engine::IntegrateVerb(command.schemas);
+    default:
+      return std::nullopt;
+  }
+}
+
+std::vector<ServiceResponse> IntegrationService::ExecuteBatch(
+    const std::string& session_id,
+    const std::vector<ServiceCommand>& commands, BatchReadCache* cache) {
+  std::vector<ServiceResponse> out(commands.size());
+  if (commands.empty()) return out;
+  MaybeReapSessions();
+  VerbStats batch_stats = StatsFor("batch");
+  batch_stats.requests->Increment();
+  batch_size_->Record(static_cast<int64_t>(commands.size()));
+
+  auto fail_all = [&](const ServiceError& error) {
+    for (ServiceResponse& response : out) response.error = error;
+  };
+
+  Result<std::string> project_name = sessions_.TouchAndProject(session_id);
+  ProjectState* project = nullptr;
+  if (!project_name.ok()) {
+    fail_all(ErrorFromStatus(project_name.status()));
+  } else if ((project = FindProject(*project_name)) == nullptr) {
+    fail_all({ServiceErrorCode::kBadRequest,
+              "no project '" + *project_name + "'"});
+  } else {
+    // ONE admission charge for the whole batch.
+    int64_t now = clock_->NowNs();
+    int64_t deadline = now + config_.default_deadline_ns;
+    int64_t in_flight = in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
+    queue_depth_->Set(in_flight);
+    if (in_flight > config_.queue_depth) {
+      fail_all({ServiceErrorCode::kOverloaded,
+                "request queue at capacity (" +
+                    std::to_string(config_.queue_depth) + ")"});
+    } else {
+      common::Stopwatch watch(clock_);
+      RunBatch(*project, deadline, commands, out, cache);
+      batch_stats.latency->Record(watch.ElapsedNs() / 1000);
+    }
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  for (const ServiceResponse& response : out) {
+    if (response.error.has_value()) {
+      error_counters_[static_cast<int>(response.error->code)]->Increment();
+    }
+  }
+  return out;
+}
+
+void IntegrationService::RunBatch(ProjectState& project, int64_t deadline_ns,
+                                  const std::vector<ServiceCommand>& commands,
+                                  std::vector<ServiceResponse>& out,
+                                  BatchReadCache* cache) {
+  const size_t n = commands.size();
+  size_t i = 0;
+  while (i < n) {
+    if (!IsWriteCommand(commands[i].op)) {
+      // Read run: every read in the run shares ONE snapshot acquisition.
+      // Cache lookups validate against this same snapshot, so a read that
+      // follows a write run in the batch can never be served a pre-write
+      // answer.
+      std::shared_ptr<const EngineSnapshot> snapshot =
+          project.snapshots.Current();
+      for (; i < n && !IsWriteCommand(commands[i].op); ++i) {
+        StatsFor(CommandVerbName(commands[i].op)).requests->Increment();
+        if (cache != nullptr) {
+          if (std::optional<ServiceResponse> hit = cache->Lookup(i, *snapshot)) {
+            cache_hits_->Increment();
+            out[i] = *std::move(hit);
+            continue;
+          }
+        }
+        out[i] = ReadCommandBody(*snapshot, commands[i]);
+        if (cache != nullptr && out[i].ok()) {
+          cache->Insert(i, *snapshot, out[i]);
+        }
+      }
+      continue;
+    }
+    size_t end = i;
+    while (end < n && IsWriteCommand(commands[end].op)) ++end;
+    RunWriteBatch(project, deadline_ns, commands, i, end, out);
+    i = end;
+  }
+}
+
+void IntegrationService::RunWriteBatch(
+    ProjectState& project, int64_t deadline_ns,
+    const std::vector<ServiceCommand>& commands, size_t begin, size_t end,
+    std::vector<ServiceResponse>& out) {
+  std::lock_guard<std::mutex> lock(project.write_mutex);
+  if (clock_->NowNs() >= deadline_ns) {
+    for (size_t k = begin; k < end; ++k) {
+      out[k] = ErrorResponse({ServiceErrorCode::kTimeout,
+                              "deadline expired while queued for write"});
+    }
+    return;
+  }
+  const core::ClosureStats closure_before = project.engine.ClosureTotals();
+  // WAL-first per command, but with deferred appends: each record is
+  // framed and appended before its verb runs, and ONE durability barrier
+  // at the end of the run covers them all (true group commit — under
+  // FsyncPolicy::kAlways a run of W writes costs one fsync, not W).
+  bool append_failed = false;
+  int64_t appended = 0;
+  std::vector<size_t> committed_pending;  // ran; reply gated on the barrier
+  for (size_t k = begin; k < end; ++k) {
+    const ServiceCommand& command = commands[k];
+    StatsFor(CommandVerbName(command.op)).requests->Increment();
+    std::optional<engine::ReplayVerb> verb = ReplayVerbFor(command);
+    if (!verb.has_value()) {
+      // export: not journaled, works in degraded mode.
+      out[k] = ExportBody(project.engine);
+      continue;
+    }
+    if (project.degraded || append_failed) {
+      out[k] = ErrorResponse(UnavailableError(project));
+      continue;
+    }
+    if (project.durability != nullptr) {
+      Status logged = project.durability->LogVerbDeferred(*verb);
+      if (!logged.ok()) {
+        DegradeProject(project, logged);
+        append_failed = true;
+        out[k] = ErrorResponse(UnavailableError(project));
+        continue;
+      }
+      ++appended;
+    }
+    out[k] = WriteCommandBody(project, project.engine, command);
+    committed_pending.push_back(k);
+  }
+  if (project.durability != nullptr && appended > 0) {
+    // No reply for a journaled verb may leave before its record is
+    // durable. Attempted even after a failed append so the records of the
+    // verbs that DID run get their barrier.
+    Status committed = project.durability->CommitBatch();
+    if (!committed.ok()) {
+      if (!project.degraded) DegradeProject(project, committed);
+      // The mutations may be applied in memory but are not durable; the
+      // batch answers UNAVAILABLE for them (readers can observe the
+      // unacknowledged state until restart — docs/OPERATIONS.md).
+      for (size_t k : committed_pending) {
+        out[k] = ErrorResponse(UnavailableError(project));
+      }
+    }
+  }
+  RecordClosureMetrics(project, closure_before);
+  if (project.snapshots.Publish(project.engine)) {
+    snapshots_published_->Increment();
+  }
+  if (!project.degraded && project.durability != nullptr &&
+      !committed_pending.empty()) {
+    project.durability->MaybeCheckpoint(project.engine);
+  }
+}
+
+void IntegrationService::NoteCacheHit(const std::string& session_id,
+                                      const char* verb) {
+  MaybeReapSessions();
+  StatsFor(verb).requests->Increment();
+  cache_hits_->Increment();
+  (void)sessions_.Touch(session_id);
 }
 
 std::shared_ptr<const EngineSnapshot> IntegrationService::CurrentSnapshot(

@@ -1,12 +1,14 @@
 #ifndef ECRINT_SERVICE_SERVICE_H_
 #define ECRINT_SERVICE_SERVICE_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -70,6 +72,48 @@ struct ServiceResponse {
   bool ok() const { return !error.has_value(); }
 };
 
+// One parsed request in protocol-independent form. The router builds these
+// from text tokens or binary frame arguments; the service executes them one
+// at a time (Execute) or as a pipelined batch (ExecuteBatch). Which payload
+// fields matter depends on `op`.
+struct ServiceCommand {
+  enum class Op {
+    kPing,
+    kDefine,
+    kEquiv,
+    kAssert,
+    kIntegrate,
+    kExport,
+    kRank,
+    kSuggest,
+    kTranslate,
+    kOutline,
+    kMetrics,
+  };
+  Op op = Op::kPing;
+  // Absolute deadline; 0 = service default. Ignored inside a batch (the
+  // whole batch runs under one deadline).
+  int64_t deadline_ns = 0;
+
+  std::string text;                   // define: raw DDL
+  ecr::AttributePath path_a, path_b;  // equiv
+  core::ObjectRef first, second;      // assert
+  int type_code = 0;                  // assert
+  std::vector<std::string> schemas;   // integrate
+  std::string schema1, schema2;       // rank / suggest
+  core::StructureKind kind = core::StructureKind::kObjectClass;  // rank
+  bool include_zero = false;          // rank
+  double threshold = 0.6;             // suggest
+  core::Request request;              // translate
+  bool to_components = false;         // translate
+};
+
+// Whether the op mutates (or, for export, must observe) the engine and
+// therefore runs under the project write lock.
+bool IsWriteCommand(ServiceCommand::Op op);
+// The op's verb name on the wire ("define", "rank", ...).
+const char* CommandVerbName(ServiceCommand::Op op);
+
 struct ServiceConfig {
   // Admission bound: requests in flight (queued on a write lock or
   // executing) beyond this are refused with OVERLOADED instead of queuing
@@ -107,6 +151,25 @@ struct ServiceConfig {
 // Every operation passes admission control (bounded in-flight count,
 // per-request deadline) and charges a per-verb latency histogram plus
 // request/error counters to the MetricsRegistry.
+//
+// Optional per-item read cache consulted by ExecuteBatch. Implemented by
+// the router (which owns the ResponseCache and knows each item's wire-level
+// key). The service calls it with the snapshot the read run actually
+// executes against — reads that follow a write run in the same batch are
+// therefore validated against the post-write snapshot, never the pre-batch
+// one, so a hit is exactly as fresh as re-executing would be.
+class BatchReadCache {
+ public:
+  virtual ~BatchReadCache() = default;
+  // A still-valid cached response for commands[index] under `snapshot`,
+  // or nullopt to execute the read normally.
+  virtual std::optional<ServiceResponse> Lookup(
+      size_t index, const EngineSnapshot& snapshot) = 0;
+  // Offers the freshly executed ok() response for commands[index].
+  virtual void Insert(size_t index, const EngineSnapshot& snapshot,
+                      const ServiceResponse& response) = 0;
+};
+
 class IntegrationService {
  public:
   explicit IntegrationService(ServiceConfig config = {});
@@ -156,6 +219,34 @@ class IntegrationService {
   ServiceResponse MetricsDump(const std::string& session_id,
                               int64_t deadline_ns = 0);
 
+  // --- command plane -------------------------------------------------------
+  // Executes one protocol-independent command (dispatches to the typed verb
+  // methods above; kPing answers without touching the project).
+  ServiceResponse Execute(const std::string& session_id,
+                          const ServiceCommand& command);
+
+  // Pipelined batch execution: ONE admission charge for the whole batch,
+  // then consecutive reads share a single snapshot acquisition and
+  // consecutive writes run in a single write-lock pass whose journal
+  // records are covered by one group-commit barrier (FsyncPolicy::kAlways
+  // and kBatch both fsync once per write run). Responses come back in
+  // command order. If the commit barrier fails, every write of that run
+  // answers UNAVAILABLE and the project degrades — the mutations may be
+  // applied in memory but are not durable (see docs/OPERATIONS.md).
+  //
+  // `cache`, when non-null, is consulted for each read item against the
+  // snapshot its run executes under; hits skip the read body entirely and
+  // count toward service.cache_hits.
+  std::vector<ServiceResponse> ExecuteBatch(
+      const std::string& session_id,
+      const std::vector<ServiceCommand>& commands,
+      BatchReadCache* cache = nullptr);
+
+  // Accounting hook for responses the router serves from its cache without
+  // re-executing: bumps the verb's request counter, the cache-hit counter,
+  // and the session's activity stamp.
+  void NoteCacheHit(const std::string& session_id, const char* verb);
+
   // Checkpoints every healthy durable project now (shutdown/drain path);
   // returns how many checkpoints were written. A no-op without a data dir.
   int CheckpointProjects();
@@ -185,6 +276,19 @@ class IntegrationService {
     // serving the last published snapshot.
     bool degraded = false;            // guarded by write_mutex
     std::string degraded_reason;      // guarded by write_mutex
+    // Integrate response cache: the outline + derived lines last rendered,
+    // valid while the engine's integration_version matches (a repeat
+    // integrate that cache-hits in the engine skips re-rendering too).
+    // Guarded by write_mutex.
+    int64_t integrate_lines_version = -1;
+    std::vector<std::string> integrate_lines;
+  };
+
+  // Per-verb instruments, resolved once at construction so the hot path
+  // never takes the registry mutex or builds a name string.
+  struct VerbStats {
+    Counter* requests = nullptr;
+    Histogram* latency = nullptr;
   };
 
   // Admission + deadline + session routing + metrics around one verb.
@@ -217,16 +321,57 @@ class IntegrationService {
   ProjectState* ProjectForSession(const std::string& session_id,
                                   ServiceError* error);
 
+  // Reaps idle sessions at most once per reap interval (an atomic probe on
+  // every other request) instead of scanning the table per request.
+  void MaybeReapSessions();
+
+  VerbStats StatsFor(std::string_view verb);
+
+  // ExecuteBatch internals: segment the batch into read runs and write
+  // runs. `RunWriteBatch` executes commands[begin, end) under one lock
+  // acquisition with deferred journal appends and one commit barrier.
+  void RunBatch(ProjectState& project, int64_t deadline_ns,
+                const std::vector<ServiceCommand>& commands,
+                std::vector<ServiceResponse>& out, BatchReadCache* cache);
+  void RunWriteBatch(ProjectState& project, int64_t deadline_ns,
+                     const std::vector<ServiceCommand>& commands,
+                     size_t begin, size_t end,
+                     std::vector<ServiceResponse>& out);
+
+  // Shared verb bodies (caller holds write_mutex / owns the snapshot).
+  ServiceResponse IntegrateBody(ProjectState& project, engine::Engine& engine,
+                                std::vector<std::string> schemas);
+  ServiceResponse WriteCommandBody(ProjectState& project,
+                                   engine::Engine& engine,
+                                   const ServiceCommand& command);
+  ServiceResponse ReadCommandBody(const EngineSnapshot& snapshot,
+                                  const ServiceCommand& command);
+
   ServiceConfig config_;
   const common::Clock* clock_;
   common::Fs* fs_;
   SessionManager sessions_;
   MetricsRegistry metrics_;
 
-  std::mutex projects_mutex_;
+  // Instruments resolved once (the registry hands out stable pointers).
+  std::map<std::string, VerbStats, std::less<>> verb_stats_;
+  std::array<Counter*, 5> error_counters_{};
+  Counter* snapshots_published_ = nullptr;
+  Counter* sessions_reaped_ = nullptr;
+  Counter* degraded_flips_ = nullptr;
+  Counter* cache_hits_ = nullptr;
+  Gauge* sessions_live_ = nullptr;
+  Gauge* queue_depth_ = nullptr;
+  Histogram* batch_size_ = nullptr;
+
+  // Guards the project table only; per-project state has its own locks.
+  // Readers (every request) take it shared, project creation exclusive.
+  std::shared_mutex projects_mutex_;
   std::map<std::string, std::unique_ptr<ProjectState>> projects_;
 
   std::atomic<int64_t> in_flight_{0};
+  std::atomic<int64_t> last_reap_ns_{0};
+  int64_t reap_interval_ns_ = 0;
 };
 
 }  // namespace ecrint::service

@@ -35,6 +35,16 @@ Result<std::string> SessionManager::ProjectOf(const std::string& id) const {
   return it->second.project;
 }
 
+Result<std::string> SessionManager::TouchAndProject(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return NotFoundError("no session '" + id + "'");
+  }
+  it->second.last_active_ns = clock_->NowNs();
+  return it->second.project;
+}
+
 Status SessionManager::Close(const std::string& id) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (sessions_.erase(id) == 0) {

@@ -42,6 +42,10 @@ class SessionManager {
   // The project a session is bound to.
   Result<std::string> ProjectOf(const std::string& id) const;
 
+  // Touch + ProjectOf in one lock acquisition — the request hot path's
+  // single session-table visit.
+  Result<std::string> TouchAndProject(const std::string& id);
+
   Status Close(const std::string& id);
 
   // Removes every session idle longer than the timeout; returns how many

@@ -58,13 +58,11 @@ Result<std::string> SnapshotIntegratedOutline(
 }
 
 std::shared_ptr<const EngineSnapshot> SnapshotManager::Current() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return current_;
+  return current_.load(std::memory_order_acquire);
 }
 
 int64_t SnapshotManager::generation() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return next_generation_ - 1;
+  return next_generation_.load(std::memory_order_relaxed) - 1;
 }
 
 bool SnapshotManager::Publish(engine::Engine& engine) {
@@ -74,11 +72,8 @@ bool SnapshotManager::Publish(engine::Engine& engine) {
   engine.Equivalence();
   engine::EngineStamp stamp = engine.Stamp();
 
-  std::shared_ptr<const EngineSnapshot> previous;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    previous = current_;
-  }
+  std::shared_ptr<const EngineSnapshot> previous =
+      current_.load(std::memory_order_acquire);
   if (previous && previous->stamp == stamp) return false;
 
   auto next = std::make_shared<EngineSnapshot>();
@@ -109,9 +104,8 @@ bool SnapshotManager::Publish(engine::Engine& engine) {
         *engine.integration());
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  next->generation = next_generation_++;
-  current_ = std::move(next);
+  next->generation = next_generation_.fetch_add(1, std::memory_order_relaxed);
+  current_.store(std::move(next), std::memory_order_release);
   return true;
 }
 

@@ -1,9 +1,9 @@
 #ifndef ECRINT_SERVICE_SNAPSHOT_H_
 #define ECRINT_SERVICE_SNAPSHOT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -90,9 +90,11 @@ class SnapshotManager {
   int64_t generation() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::shared_ptr<const EngineSnapshot> current_;
-  int64_t next_generation_ = 1;
+  // Readers hit Current() on every read verb from every connection; an
+  // atomic shared_ptr keeps that path mutex-free (the writer side is
+  // already serialized externally).
+  std::atomic<std::shared_ptr<const EngineSnapshot>> current_;
+  std::atomic<int64_t> next_generation_{1};
 };
 
 }  // namespace ecrint::service

@@ -136,6 +136,58 @@ TEST_F(RealFsTest, WriteFileAtomicLeavesNoTempBehind) {
   EXPECT_FALSE(fs->Exists(dir_ + "/atomic.tmp"));
 }
 
+// --- OpenMmap --------------------------------------------------------------
+
+TEST(MemFsMmapTest, MmapViewsCurrentContent) {
+  MemFs fs;
+  ASSERT_TRUE(fs.WriteFileAtomic("ckpt", "checkpoint-bytes").ok());
+  auto mapping = fs.OpenMmap("ckpt");
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ((*mapping)->view(), "checkpoint-bytes");
+  EXPECT_EQ((*mapping)->size(), 16u);
+}
+
+TEST(MemFsMmapTest, EmptyFileMapsToEmptyView) {
+  MemFs fs;
+  ASSERT_TRUE(fs.WriteFileAtomic("empty", "").ok());
+  auto mapping = fs.OpenMmap("empty");
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ((*mapping)->size(), 0u);
+}
+
+TEST(MemFsMmapTest, MissingFileIsAnError) {
+  MemFs fs;
+  EXPECT_FALSE(fs.OpenMmap("nope").ok());
+}
+
+TEST_F(RealFsTest, MmapRoundtripsFileBytes) {
+  Fs* fs = RealFs();
+  std::string content(8192, '\0');
+  for (size_t i = 0; i < content.size(); ++i) {
+    content[i] = static_cast<char>(i % 251);
+  }
+  ASSERT_TRUE(fs->WriteFileAtomic(dir_ + "/atomic", content).ok());
+  auto mapping = fs->OpenMmap(dir_ + "/atomic");
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ((*mapping)->view(), content);
+  // The mapping outlives a later rewrite of the path (rename swaps the
+  // inode; the old pages stay valid for the mapping's lifetime).
+  ASSERT_TRUE(fs->WriteFileAtomic(dir_ + "/atomic", "replaced").ok());
+  EXPECT_EQ((*mapping)->view(), content);
+}
+
+TEST_F(RealFsTest, MmapMissingFileIsAnError) {
+  EXPECT_FALSE(RealFs()->OpenMmap(dir_ + "/nope").ok());
+}
+
+TEST_F(RealFsTest, MmapEmptyFileIsUsable) {
+  Fs* fs = RealFs();
+  ASSERT_TRUE(fs->WriteFileAtomic(dir_ + "/atomic", "").ok());
+  auto mapping = fs->OpenMmap(dir_ + "/atomic");
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ((*mapping)->size(), 0u);
+}
+
 // --- FaultInjectingFs ------------------------------------------------------
 
 TEST(FaultInjectingFsTest, FailAppendAtIndexIsSticky) {

@@ -254,5 +254,40 @@ TEST(EngineIncrementalTest, RetractDropsTheAssertionAndItsConsequences) {
   EXPECT_FALSE(engine.RetractRelation(99).ok());
 }
 
+// Replaying a mutation the engine has already absorbed must leave the
+// stamp untouched: the service's snapshot publication and response cache
+// both key on stamp/part identity, so a no-op write that bumped a
+// generation would needlessly evict every cached read.
+TEST(EngineIdempotencyTest, DuplicateEquivalenceLeavesStampUnchanged) {
+  Engine engine = UniversityEngine();
+  EngineStamp before = engine.Stamp();
+  ASSERT_TRUE(engine
+                  .AssertEquivalence({"sc1", "Student", "Name"},
+                                     {"sc2", "Grad_student", "Name"})
+                  .ok());
+  EXPECT_EQ(engine.Stamp(), before);
+}
+
+TEST(EngineIdempotencyTest, DuplicateAssertionLeavesStampUnchanged) {
+  Engine engine = UniversityEngine();
+  EngineStamp before = engine.Stamp();
+  Result<core::ConflictReport> replay =
+      engine.AssertRelation({"sc1", "Student"}, {"sc2", "Grad_student"},
+                            AssertionType::kContains);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(engine.Stamp(), before);
+  EXPECT_EQ(engine.assertions().user_assertions().size(), 3u);
+}
+
+TEST(EngineIdempotencyTest, NewAssertionStillAdvancesTheStamp) {
+  Engine engine = UniversityEngine();
+  EngineStamp before = engine.Stamp();
+  ASSERT_TRUE(engine
+                  .AssertRelation({"sc2", "Faculty"}, {"sc2", "Grad_student"},
+                                  AssertionType::kDisjointIntegrable)
+                  .ok());
+  EXPECT_NE(engine.Stamp(), before);
+}
+
 }  // namespace
 }  // namespace ecrint::engine

@@ -1,0 +1,189 @@
+// Golden v1 transcript: the text protocol must stay byte-identical across
+// refactors. The expected bytes below were captured from the wire before the
+// binary-protocol work landed; this test replays the same request script
+// through RequestRouter and compares the concatenated responses byte for
+// byte. Do NOT regenerate the golden on a diff -- a diff means the text
+// protocol changed, which breaks deployed v1 clients.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+
+#include "service/protocol.h"
+#include "service/router.h"
+#include "service/service.h"
+
+namespace ecrint::service {
+namespace {
+
+const char* const kGoldenScript[] = {
+    R"GOLD(ping)GOLD",
+    R"GOLD(outline)GOLD",
+    R"GOLD(open golden)GOLD",
+    R"GOLD(define schema s1 { entity Student { Name: char key; GPA: real; } entity Department { Dname: char key; } relationship Majors (Student [1,1], Department [0,n]); } schema s2 { entity Pupil { Name: char key; Addr: char; } entity Dept { Dname: char key; } })GOLD",
+    R"GOLD(equiv s1.Student.Name s2.Pupil.Name)GOLD",
+    R"GOLD(equiv s1.Department.Dname s2.Dept.Dname)GOLD",
+    R"GOLD(assert s1.Student 1 s2.Pupil)GOLD",
+    R"GOLD(assert s1.Student 9 s2.Pupil)GOLD",
+    R"GOLD(assert s1.Department 0 s2.Dept)GOLD",
+    R"GOLD(integrate)GOLD",
+    R"GOLD(outline)GOLD",
+    R"GOLD(rank s1 s2 zero)GOLD",
+    R"GOLD(rank s1 s2)GOLD",
+    R"GOLD(suggest s1 s2)GOLD",
+    R"GOLD(suggest s1 s2 0.9)GOLD",
+    R"GOLD(translate s1.Student)GOLD",
+    R"GOLD(export)GOLD",
+    R"GOLD(bogus verb)GOLD",
+    R"GOLD(deadline -4)GOLD",
+    R"GOLD(deadline default)GOLD",
+    R"GOLD(close)GOLD",
+    R"GOLD(rank s1 s2)GOLD",
+};
+
+constexpr std::string_view kGoldenTranscript = R"GOLD(ok
+pong
+.
+err BAD_REQUEST no session; send: open [project]
+.
+ok
+s1
+.
+ok
+s1
+s2
+.
+ok
+declared s1.Student.Name = s2.Pupil.Name
+.
+ok
+declared s1.Department.Dname = s2.Dept.Dname
+.
+ok
+asserted s1.Student 1 s2.Pupil
+.
+err BAD_REQUEST INVALID_ARGUMENT: assertion code must be 0-5, got 9
+.
+ok
+asserted s1.Department 0 s2.Dept
+.
+ok
+schema integrated
+  entity E_Stud_Pupi  (equivalent)
+    D_Name: char key
+    GPA: real
+    Addr: char
+  entity Department
+    Dname: char key
+  entity Dept
+    Dname: char key
+  relationship Majors (E_Stud_Pupi [1,1], Department [0,n])
+derived E_Stud_Pupi.D_Name <- s1.Student.Name s2.Pupil.Name
+.
+ok
+schema integrated
+  entity E_Stud_Pupi  (equivalent)
+    D_Name: char key
+    GPA: real
+    Addr: char
+  entity Department
+    Dname: char key
+  entity Dept
+    Dname: char key
+  relationship Majors (E_Stud_Pupi [1,1], Department [0,n])
+.
+ok
+s1.Department s2.Dept 0.5000
+s1.Student s2.Pupil 0.3333
+s1.Department s2.Pupil 0.0000
+s1.Student s2.Dept 0.0000
+.
+ok
+s1.Department s2.Dept 0.5000
+s1.Student s2.Pupil 0.3333
+.
+ok
+s1.Department.Dname = s2.Dept.Dname  # name similarity (1.00)
+s1.Student.Name = s2.Pupil.Name  # name similarity (1.00)
+s1.Department.Dname = s2.Pupil.Name  # name similarity (0.86)
+s1.Student.Name = s2.Dept.Dname  # name similarity (0.86)
+.
+ok
+s1.Department.Dname = s2.Dept.Dname  # name similarity (1.00)
+s1.Student.Name = s2.Pupil.Name  # name similarity (1.00)
+s1.Department.Dname = s2.Pupil.Name  # name similarity (0.86)
+s1.Student.Name = s2.Dept.Dname  # name similarity (0.86)
+.
+ok
+SELECT * FROM integrated.E_Stud_Pupi
+.
+ok
+# ecrint project file
+%schemas
+schema s1 {
+  entity Student {
+    Name: char key;
+    GPA: real;
+  }
+  entity Department {
+    Dname: char key;
+  }
+  relationship Majors (Student [1,1], Department [0,n]);
+}
+schema s2 {
+  entity Pupil {
+    Name: char key;
+    Addr: char;
+  }
+  entity Dept {
+    Dname: char key;
+  }
+}
+%equivalences
+s1.Student.Name = s2.Pupil.Name
+s1.Department.Dname = s2.Dept.Dname
+%assertions
+s1.Student 1 s2.Pupil
+s1.Department 0 s2.Dept
+.
+err BAD_REQUEST unknown verb 'bogus'
+.
+err BAD_REQUEST deadline must be >= 0 ms
+.
+ok
+.
+ok
+.
+err BAD_REQUEST no session; send: open [project]
+.
+)GOLD";
+
+TEST(GoldenTranscriptTest, TextProtocolV1IsByteIdentical) {
+  ServiceConfig config;
+  IntegrationService service(config);
+  RequestRouter router(&service);
+  RouterSession session;
+  std::string got;
+  for (const char* line : kGoldenScript) {
+    got += router.HandleLine(line, &session);
+  }
+  EXPECT_EQ(got, kGoldenTranscript);
+}
+
+TEST(GoldenTranscriptTest, EveryGoldenFrameParsesBack) {
+  ServiceConfig config;
+  IntegrationService service(config);
+  RequestRouter router(&service);
+  RouterSession session;
+  for (const char* line : kGoldenScript) {
+    std::string frame = router.HandleLine(line, &session);
+    Result<ServiceResponse> parsed = ParseResponse(frame);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().message() << " for: " << line;
+    std::string again = FormatResponse(*parsed);
+    EXPECT_EQ(again, frame) << "parse-format not identity for: " << line;
+  }
+}
+
+}  // namespace
+}  // namespace ecrint::service

@@ -1,0 +1,325 @@
+// Property / fuzz coverage for both wire framings: deterministic
+// pseudo-random adversarial inputs through EscapeField/UnescapeField,
+// FormatResponse/ParseResponse, and the binary encode/decode pair. The
+// invariants under test:
+//
+//   * parse(format(x)) == x for every representable ServiceResponse, in
+//     both framings — including dot-leading lines, embedded backslashes,
+//     control characters, and empty lines;
+//   * decoders never crash, loop, or over-read on arbitrary bytes —
+//     truncations, overlong varints, and trailing garbage all come back
+//     as clean errors;
+//   * the length-prefixed extractor agrees byte-for-byte with the
+//     encoders about frame boundaries.
+//
+// All randomness is a fixed-seed LCG so every run covers the same corpus.
+
+#include "service/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ecrint::service {
+namespace {
+
+// Deterministic 64-bit LCG (MMIX constants): the corpus must be identical
+// on every run and platform.
+class Lcg {
+ public:
+  explicit Lcg(uint64_t seed) : state_(seed) {}
+  uint64_t Next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 17;
+  }
+  uint64_t Next(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+
+ private:
+  uint64_t state_;
+};
+
+std::string RandomBytes(Lcg& rng, size_t max_len) {
+  size_t len = rng.Next(max_len + 1);
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    // Bias toward the bytes the framings treat specially.
+    switch (rng.Next(6)) {
+      case 0:
+        out.push_back('\n');
+        break;
+      case 1:
+        out.push_back('\\');
+        break;
+      case 2:
+        out.push_back('.');
+        break;
+      case 3:
+        out.push_back('\t');
+        break;
+      default:
+        out.push_back(static_cast<char>(rng.Next(255) + 1));  // no NUL
+        break;
+    }
+  }
+  return out;
+}
+
+ServiceResponse RandomResponse(Lcg& rng) {
+  ServiceResponse response;
+  if (rng.Next(3) == 0) {
+    ServiceError error;
+    error.code = static_cast<ServiceErrorCode>(rng.Next(5));
+    // Wire error messages are single-line (the status line owns them).
+    std::string message = RandomBytes(rng, 40);
+    for (char& c : message) {
+      if (c == '\n' || c == '\t' || c == '\\') c = '_';
+    }
+    // Leading/trailing spaces are not representable on the v1 status line
+    // (the parser tokenizes on spaces); real error messages never have them.
+    while (!message.empty() && message.front() == ' ') message.erase(0, 1);
+    while (!message.empty() && message.back() == ' ') message.pop_back();
+    error.message = message;
+    if (error.code == ServiceErrorCode::kUnavailable) {
+      error.retry_after_ms = static_cast<int64_t>(rng.Next(100000));
+    }
+    response.error = error;
+    return response;
+  }
+  size_t lines = rng.Next(8);
+  for (size_t i = 0; i < lines; ++i) {
+    response.lines.push_back(RandomBytes(rng, 60));
+  }
+  return response;
+}
+
+void ExpectSameResponse(const ServiceResponse& a, const ServiceResponse& b,
+                        const std::string& context) {
+  ASSERT_EQ(a.error.has_value(), b.error.has_value()) << context;
+  if (a.error.has_value()) {
+    EXPECT_EQ(static_cast<int>(a.error->code),
+              static_cast<int>(b.error->code))
+        << context;
+    EXPECT_EQ(a.error->message, b.error->message) << context;
+    EXPECT_EQ(a.error->retry_after_ms, b.error->retry_after_ms) << context;
+  }
+  ASSERT_EQ(a.lines, b.lines) << context;
+}
+
+// --- escaping --------------------------------------------------------------
+
+TEST(ProtocolFuzzTest, EscapeUnescapeRoundTripsAdversarialStrings) {
+  Lcg rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    std::string original = RandomBytes(rng, 80);
+    std::string escaped = EscapeField(original);
+    // The escaped form must be wire-safe: single line, no raw tabs.
+    EXPECT_EQ(escaped.find('\n'), std::string::npos);
+    EXPECT_EQ(escaped.find('\t'), std::string::npos);
+    Result<std::string> back = UnescapeField(escaped);
+    ASSERT_TRUE(back.ok()) << "iteration " << i;
+    EXPECT_EQ(*back, original) << "iteration " << i;
+  }
+}
+
+TEST(ProtocolFuzzTest, UnescapeNeverCrashesOnArbitraryInput) {
+  Lcg rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    // May error (unknown escapes, trailing backslash) but must not crash.
+    (void)UnescapeField(RandomBytes(rng, 80));
+  }
+}
+
+// --- text framing ----------------------------------------------------------
+
+TEST(ProtocolFuzzTest, TextFramingRoundTripsRandomResponses) {
+  Lcg rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    ServiceResponse original = RandomResponse(rng);
+    std::string wire = FormatResponse(original);
+    Result<ServiceResponse> parsed = ParseResponse(wire);
+    ASSERT_TRUE(parsed.ok())
+        << "iteration " << i << ": " << parsed.status().ToString();
+    ExpectSameResponse(original, *parsed,
+                       "iteration " + std::to_string(i));
+  }
+}
+
+TEST(ProtocolFuzzTest, ParseResponseNeverCrashesOnArbitraryInput) {
+  Lcg rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    (void)ParseResponse(RandomBytes(rng, 200));
+  }
+  // Truncations of a VALID frame at every byte: either a clean error or,
+  // for the rare prefix that is itself a complete frame, a clean parse.
+  ServiceResponse response;
+  response.lines = {".dot-leading", "back\\slash", "", "plain"};
+  std::string wire = FormatResponse(response);
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    (void)ParseResponse(wire.substr(0, cut));
+  }
+}
+
+// --- binary framing --------------------------------------------------------
+
+TEST(ProtocolFuzzTest, BinaryResponseRoundTripsRandomResponses) {
+  Lcg rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    ServiceResponse original = RandomResponse(rng);
+    std::string frame = EncodeBinaryResponse(original);
+
+    std::string_view body;
+    size_t consumed = 0;
+    std::string error;
+    ASSERT_EQ(ExtractFrame(frame, &body, &consumed, &error),
+              FrameStatus::kComplete)
+        << "iteration " << i;
+    EXPECT_EQ(consumed, frame.size()) << "iteration " << i;
+
+    Result<DecodedResponse> decoded = DecodeBinaryResponse(body);
+    ASSERT_TRUE(decoded.ok())
+        << "iteration " << i << ": " << decoded.status().ToString();
+    ASSERT_FALSE(decoded->batch);
+    ASSERT_EQ(decoded->items.size(), 1u);
+    ExpectSameResponse(original, decoded->items[0],
+                       "iteration " + std::to_string(i));
+  }
+}
+
+TEST(ProtocolFuzzTest, BinaryBatchRoundTripsRandomBatches) {
+  Lcg rng(6);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<ServiceResponse> originals;
+    size_t n = rng.Next(10) + 1;
+    for (size_t j = 0; j < n; ++j) originals.push_back(RandomResponse(rng));
+    std::string frame = EncodeBinaryBatchResponse(originals);
+
+    std::string_view body;
+    size_t consumed = 0;
+    std::string error;
+    ASSERT_EQ(ExtractFrame(frame, &body, &consumed, &error),
+              FrameStatus::kComplete);
+    Result<DecodedResponse> decoded = DecodeBinaryResponse(body);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ASSERT_TRUE(decoded->batch);
+    ASSERT_EQ(decoded->items.size(), originals.size());
+    for (size_t j = 0; j < n; ++j) {
+      ExpectSameResponse(originals[j], decoded->items[j],
+                         "batch " + std::to_string(i) + " item " +
+                             std::to_string(j));
+    }
+  }
+}
+
+TEST(ProtocolFuzzTest, BinaryRequestRoundTripsRawArguments) {
+  Lcg rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    BinaryRequest original;
+    original.verb = static_cast<WireVerb>(rng.Next(15) + 1);
+    size_t argc = rng.Next(5);
+    for (size_t j = 0; j < argc; ++j) {
+      // Binary args are raw bytes: newlines, dots, backslashes, anything.
+      original.args.push_back(RandomBytes(rng, 50));
+    }
+    std::string frame = EncodeBinaryRequest(original);
+
+    std::string_view body;
+    size_t consumed = 0;
+    std::string error;
+    ASSERT_EQ(ExtractFrame(frame, &body, &consumed, &error),
+              FrameStatus::kComplete);
+    Result<DecodedRequest> decoded = DecodeBinaryRequest(body);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ASSERT_FALSE(decoded->batch);
+    ASSERT_EQ(decoded->items.size(), 1u);
+    EXPECT_EQ(static_cast<int>(decoded->items[0].verb),
+              static_cast<int>(original.verb));
+    EXPECT_EQ(decoded->items[0].args, original.args);
+  }
+}
+
+TEST(ProtocolFuzzTest, BinaryDecodersSurviveArbitraryBytes) {
+  Lcg rng(8);
+  for (int i = 0; i < 4000; ++i) {
+    std::string bytes = RandomBytes(rng, 120);
+    std::string_view body;
+    size_t consumed = 0;
+    std::string error;
+    FrameStatus status = ExtractFrame(bytes, &body, &consumed, &error);
+    if (status == FrameStatus::kComplete) {
+      EXPECT_LE(consumed, bytes.size());
+      (void)DecodeBinaryRequest(body);
+      (void)DecodeBinaryResponse(body);
+    }
+    // Raw bodies too (skipping the length prefix entirely).
+    (void)DecodeBinaryRequest(bytes);
+    (void)DecodeBinaryResponse(bytes);
+  }
+}
+
+TEST(ProtocolFuzzTest, BinaryTruncationAtEveryByteIsClean) {
+  BinaryRequest request;
+  request.verb = WireVerb::kDefine;
+  request.args = {std::string(300, 'x'), "a\nb", std::string("\0z", 2)};
+  std::string frame = EncodeBinaryRequest(request);
+  for (size_t cut = 0; cut < frame.size(); ++cut) {
+    std::string_view body;
+    size_t consumed = 0;
+    std::string error;
+    FrameStatus status =
+        ExtractFrame(frame.substr(0, cut), &body, &consumed, &error);
+    // A truncated frame is never "complete": the length prefix promises
+    // more bytes than are present.
+    EXPECT_EQ(status, FrameStatus::kNeedMore) << "cut at " << cut;
+  }
+}
+
+TEST(ProtocolFuzzTest, OverlongVarintIsRejected) {
+  // 11 continuation bytes exceed the 10-byte LEB128 ceiling.
+  std::string overlong(11, '\x80');
+  overlong.push_back('\x01');
+  std::string_view in = overlong;
+  uint64_t value = 0;
+  EXPECT_FALSE(GetVarint(in, value));
+
+  std::string_view body;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(ExtractFrame(overlong, &body, &consumed, &error),
+            FrameStatus::kError);
+}
+
+TEST(ProtocolFuzzTest, OversizedFramePrefixIsRejectedEarly) {
+  // A length prefix past kMaxBinaryFrameBytes must be refused from the
+  // prefix alone, long before that many bytes arrive.
+  std::string prefix;
+  PutVarint(prefix, static_cast<uint64_t>(kMaxBinaryFrameBytes) + 1);
+  std::string_view body;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(ExtractFrame(prefix, &body, &consumed, &error),
+            FrameStatus::kError);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ProtocolFuzzTest, TrailingGarbageDoesNotLeakIntoFrame) {
+  ServiceResponse response;
+  response.lines = {"payload"};
+  std::string frame = EncodeBinaryResponse(response);
+  std::string stream = frame + "GARBAGE-NEXT-FRAME";
+  std::string_view body;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(ExtractFrame(stream, &body, &consumed, &error),
+            FrameStatus::kComplete);
+  // The extractor consumed exactly one frame; the garbage stays buffered.
+  EXPECT_EQ(consumed, frame.size());
+  Result<DecodedResponse> decoded = DecodeBinaryResponse(body);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->items[0].lines, response.lines);
+}
+
+}  // namespace
+}  // namespace ecrint::service

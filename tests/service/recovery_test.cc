@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/checksum.h"
 #include "common/fs.h"
 #include "engine/engine.h"
 #include "engine/replay.h"
@@ -71,6 +72,95 @@ TEST(CheckpointTest, RejectsDamage) {
   std::string bad_seq = good;
   bad_seq.replace(bad_seq.find("seq 9"), 5, "seq x");
   EXPECT_FALSE(ParseCheckpoint(bad_seq).ok());
+}
+
+// --- checkpoint v2 (sectioned, mmap-parseable) -----------------------------
+
+Checkpoint SampleCheckpoint() {
+  Checkpoint checkpoint;
+  checkpoint.seq = 42;
+  checkpoint.stamp = {3, 7, 1, 2, 5};
+  checkpoint.integrated = true;
+  checkpoint.integrated_schemas = {"sc1", "sc2"};
+  checkpoint.project_text = "%schema sc1\nentity Student\n";
+  return checkpoint;
+}
+
+TEST(CheckpointV2Test, SerializeParseRoundtrip) {
+  Checkpoint checkpoint = SampleCheckpoint();
+  std::string bytes = SerializeCheckpointV2(checkpoint);
+  ASSERT_EQ(bytes.substr(0, kCheckpointV2Magic.size()), kCheckpointV2Magic);
+
+  Result<CheckpointView> parsed = ParseCheckpointAny(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->seq, 42u);
+  EXPECT_TRUE(parsed->stamp == checkpoint.stamp);
+  EXPECT_TRUE(parsed->integrated);
+  EXPECT_EQ(parsed->integrated_schemas, checkpoint.integrated_schemas);
+  EXPECT_EQ(parsed->project_text, checkpoint.project_text);
+  // Zero-copy: the view aliases the serialized buffer, no private copy.
+  EXPECT_GE(parsed->project_text.data(), bytes.data());
+  EXPECT_LE(parsed->project_text.data() + parsed->project_text.size(),
+            bytes.data() + bytes.size());
+}
+
+TEST(CheckpointV2Test, V1FormatStillParses) {
+  Checkpoint checkpoint = SampleCheckpoint();
+  std::string v1 = SerializeCheckpoint(checkpoint);
+  Result<CheckpointView> parsed = ParseCheckpointAny(v1);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->seq, 42u);
+  EXPECT_TRUE(parsed->stamp == checkpoint.stamp);
+  EXPECT_EQ(parsed->integrated_schemas, checkpoint.integrated_schemas);
+  EXPECT_EQ(parsed->project_text, checkpoint.project_text);
+}
+
+// The torn-file property: a v2 checkpoint truncated at ANY byte boundary
+// — inside the magic, the header, the section table, or a section body —
+// is rejected with a clean error, never a crash or a half-parsed state.
+TEST(CheckpointV2Test, TruncationAtEveryByteIsRejected) {
+  std::string bytes = SerializeCheckpointV2(SampleCheckpoint());
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    Result<CheckpointView> parsed = ParseCheckpointAny(bytes.substr(0, cut));
+    EXPECT_FALSE(parsed.ok()) << "cut at " << cut << " parsed anyway";
+  }
+}
+
+// Single-bit corruption anywhere past the magic is caught by the table or
+// section checksums.
+TEST(CheckpointV2Test, FlippedByteIsRejected) {
+  std::string good = SerializeCheckpointV2(SampleCheckpoint());
+  for (size_t at : {kCheckpointV2Magic.size() + 1,  // header
+                    kCheckpointV2HeaderBytes + 2,   // section table
+                    good.size() - 3}) {             // project section body
+    std::string bad = good;
+    bad[at] = static_cast<char>(bad[at] ^ 0x40);
+    EXPECT_FALSE(ParseCheckpointAny(bad).ok()) << "flip at " << at;
+  }
+}
+
+// Sections with unknown tags are skipped (forward compatibility): a newer
+// writer may add sections an old reader has never heard of.
+TEST(CheckpointV2Test, UnknownSectionTagIsSkipped) {
+  std::string bytes = SerializeCheckpointV2(SampleCheckpoint());
+  // Patch the PROJECT entry's tag to an unknown value; the parser must
+  // then complain about the MISSING project section, proving it skipped
+  // the unknown tag without tripping over its (now unchecked) payload.
+  size_t project_entry = kCheckpointV2HeaderBytes + kCheckpointV2EntryBytes;
+  std::string bad = bytes;
+  bad[project_entry] = 0x77;  // tag low byte: kSectionProject -> unknown
+  // Re-stamp the table checksum for the patched table.
+  std::string_view table(bad.data() + kCheckpointV2HeaderBytes,
+                         2 * kCheckpointV2EntryBytes);
+  uint32_t crc = common::Crc32c(table);
+  bad[12] = static_cast<char>(crc & 0xFF);
+  bad[13] = static_cast<char>((crc >> 8) & 0xFF);
+  bad[14] = static_cast<char>((crc >> 16) & 0xFF);
+  bad[15] = static_cast<char>((crc >> 24) & 0xFF);
+  Result<CheckpointView> parsed = ParseCheckpointAny(bad);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().ToString().find("missing"), std::string::npos)
+      << parsed.status().ToString();
 }
 
 TEST(ProjectDirNameTest, EncodesHostileNames) {
@@ -241,8 +331,9 @@ TEST(RecoveryPropertyTest, CrashAtEveryByteWithCheckpoint) {
 
   Result<std::string> checkpoint_bytes = fs.ReadFileToString(kCheckpointPath);
   ASSERT_TRUE(checkpoint_bytes.ok());
-  Result<Checkpoint> checkpoint = ParseCheckpoint(*checkpoint_bytes);
-  ASSERT_TRUE(checkpoint.ok());
+  // The service writes v2 sectioned checkpoints now.
+  Result<CheckpointView> checkpoint = ParseCheckpointAny(*checkpoint_bytes);
+  ASSERT_TRUE(checkpoint.ok()) << checkpoint.status().ToString();
   ASSERT_GT(checkpoint->seq, 0u);
 
   Result<std::string> journal = fs.ReadFileToString(kJournalPath);

@@ -65,12 +65,19 @@ int InspectCheckpoint(const std::string& path) {
     std::cerr << path << ": " << bytes.status().ToString() << "\n";
     return 1;
   }
-  Result<service::Checkpoint> checkpoint = service::ParseCheckpoint(*bytes);
+  // ParseCheckpointAny sniffs the magic: v2 sectioned checkpoints and v1
+  // text checkpoints both come back as one view.
+  bool v2 = bytes->size() >= service::kCheckpointV2Magic.size() &&
+            bytes->compare(0, service::kCheckpointV2Magic.size(),
+                           service::kCheckpointV2Magic) == 0;
+  Result<service::CheckpointView> checkpoint =
+      service::ParseCheckpointAny(*bytes);
   if (!checkpoint.ok()) {
     std::cout << "DAMAGED: " << checkpoint.status().ToString() << "\n";
     return 1;
   }
-  std::cout << "seq " << checkpoint->seq << "\n"
+  std::cout << "format " << (v2 ? "v2" : "v1") << "\n"
+            << "seq " << checkpoint->seq << "\n"
             << "stamp " << checkpoint->stamp.schema_generation << " "
             << checkpoint->stamp.equivalence_generation << " "
             << checkpoint->stamp.assertion_epoch << " "

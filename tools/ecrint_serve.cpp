@@ -83,37 +83,82 @@ bool WriteAll(int fd, const std::string& data) {
   return true;
 }
 
-// Reads lines from the socket, feeds the router, writes framed responses.
+// Reads requests from the socket, feeds the router, writes framed
+// responses. Starts in the text protocol; after the router acknowledges
+// `proto 2` the loop switches to length-prefixed binary frames. In binary
+// mode the connection is PIPELINED: every complete frame already buffered
+// is executed before the responses are flushed in one write, so a client
+// that streams N frames back to back pays one syscall round trip, not N.
 void ServeConnection(int fd, service::RequestRouter* router) {
   RegisterConnection(fd);
   service::RouterSession session;
+  service::MetricsRegistry& metrics = router->service()->metrics();
+  service::Counter* bytes_in = metrics.GetCounter("net.bytes_in");
+  service::Counter* bytes_out = metrics.GetCounter("net.bytes_out");
   std::string buffer;
-  char chunk[4096];
-  for (;;) {
-    size_t newline = buffer.find('\n');
-    if (newline == std::string::npos) {
-      // A peer that streams bytes without ever sending a newline must not
-      // grow the buffer without bound: past the request-line limit the
-      // connection gets one error frame and is closed.
-      if (buffer.size() > service::kMaxRequestLineBytes) {
+  char chunk[65536];
+  bool alive = true;
+  while (alive) {
+    std::string responses;
+    if (session.protocol_version == service::kProtocolBinaryVersion) {
+      // Drain every complete frame in the buffer.
+      for (;;) {
+        std::string_view body;
+        size_t consumed = 0;
+        std::string frame_error;
+        service::FrameStatus status =
+            service::ExtractFrame(buffer, &body, &consumed, &frame_error);
+        if (status == service::FrameStatus::kError) {
+          // Malformed framing is unrecoverable (the stream cannot be
+          // resynchronized); answer once and close.
+          service::ServiceResponse refusal;
+          refusal.error = {service::ServiceErrorCode::kBadRequest,
+                           frame_error};
+          responses += service::EncodeBinaryResponse(refusal);
+          alive = false;
+          break;
+        }
+        if (status == service::FrameStatus::kNeedMore) break;
+        responses += router->HandleFrame(body, &session);
+        buffer.erase(0, consumed);
+        if (session.protocol_version !=
+            service::kProtocolBinaryVersion) {
+          break;  // client negotiated back to text mid-stream
+        }
+      }
+    } else {
+      // Text mode: one line per iteration (each response may switch the
+      // protocol, so lines are not batched).
+      size_t newline = buffer.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer.substr(0, newline);
+        buffer.erase(0, newline + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        responses = router->HandleLine(line, &session);
+      } else if (buffer.size() > service::kMaxRequestLineBytes) {
+        // A peer that streams bytes without ever sending a newline must
+        // not grow the buffer without bound: past the request-line limit
+        // the connection gets one error frame and is closed.
         service::ServiceResponse refusal;
         refusal.error = {service::ServiceErrorCode::kBadRequest,
                          "request line exceeds " +
                              std::to_string(service::kMaxRequestLineBytes) +
                              " bytes"};
-        (void)WriteAll(fd, service::FormatResponse(refusal));
-        break;
+        responses = service::FormatResponse(refusal);
+        alive = false;
       }
-      ssize_t n = read(fd, chunk, sizeof(chunk));
-      if (n <= 0) break;
-      buffer.append(chunk, static_cast<size_t>(n));
-      continue;
     }
-    std::string line = buffer.substr(0, newline);
-    buffer.erase(0, newline + 1);
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    std::string response = router->HandleLine(line, &session);
-    if (!WriteAll(fd, response)) break;
+    if (!responses.empty()) {
+      bytes_out->Increment(static_cast<int64_t>(responses.size()));
+      if (!WriteAll(fd, responses)) break;
+      if (!alive) break;
+      continue;  // more requests may already be buffered
+    }
+    if (!alive) break;
+    ssize_t n = read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    bytes_in->Increment(n);
+    buffer.append(chunk, static_cast<size_t>(n));
   }
   // Connection gone: release its session so reaping has less to do.
   if (!session.session_id.empty()) {
