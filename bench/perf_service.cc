@@ -11,7 +11,11 @@
 //   * client-observed error tallies per code (the acceptance bar: zero
 //     CONFLICT and zero TIMEOUT at the default queue depth),
 //   * journal write latency (p50/p95 per mutation) without a journal vs
-//     --fsync batch vs --fsync always, on the real filesystem, and
+//     --fsync batch vs --fsync always, on the real filesystem,
+//   * replica read scaling: a replication leader is seeded with the same
+//     workload, 1/2/4 follower services bootstrap from its checkpoint +
+//     WAL stream (pumped through an in-memory sink), and the aggregate
+//     snapshot-read throughput across the replicas is recorded, and
 //   * the service's own MetricsRegistry dump — per-verb latency histograms
 //     with p50/p95/p99, snapshot publish counts, queue-depth high-water.
 //
@@ -32,15 +36,18 @@
 #include <functional>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <random>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/fs.h"
 #include "core/assertion.h"
 #include "ecr/printer.h"
 #include "service/protocol.h"
+#include "service/replication.h"
 #include "service/router.h"
 #include "service/service.h"
 #include "workload/generator.h"
@@ -295,6 +302,43 @@ std::string JsonJournalLatency(const JournalLatency& latency) {
   return out.str();
 }
 
+// --- replica read scaling --------------------------------------------------
+// In-process stand-in for a follower's socket: every frame the
+// ReplicationServer ships is applied to the FollowerState inline, so
+// Serve() doubles as the bootstrap pump and returns once the stop
+// predicate sees the follower caught up.
+
+struct DirectSink : service::ReplicationSink {
+  explicit DirectSink(service::FollowerState* follower)
+      : follower(follower) {}
+
+  Status Send(std::string_view frame) override {
+    std::string_view body;
+    size_t consumed = 0;
+    std::string error;
+    if (service::ExtractFrame(frame, &body, &consumed, &error) !=
+            service::FrameStatus::kComplete ||
+        consumed != frame.size()) {
+      return InternalError("sink expected exactly one frame: " + error);
+    }
+    ECRINT_ASSIGN_OR_RETURN(service::FollowerState::Outcome outcome,
+                            follower->HandleFrame(body));
+    if (outcome != service::FollowerState::Outcome::kOk) {
+      return InternalError("follower asked to resubscribe mid-bootstrap");
+    }
+    return Status::Ok();
+  }
+
+  service::FollowerState* follower;
+};
+
+// One read replica: a leader_addr-configured service (writes refused with
+// NOT_LEADER) plus its own router, converged off the leader's stream.
+struct Replica {
+  std::unique_ptr<service::IntegrationService> service;
+  std::unique_ptr<service::RequestRouter> router;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -340,32 +384,35 @@ int main(int argc, char** argv) {
     std::cerr << "workload: " << workload.status() << "\n";
     return 1;
   }
-  Client setup;
-  setup.router = &router;
-  bool seeded = setup.Send("open bench");
-  for (const std::string& name : workload->schema_names) {
-    const ecr::Schema& schema = **workload->catalog.GetSchema(name);
-    seeded &= setup.Send("define " +
-                         service::EscapeField(ecr::ToDdl(schema)));
-  }
-  for (const workload::TrueAttributeMatch& match :
-       workload->attribute_matches) {
-    seeded &= setup.Send("equiv " + match.first.ToString() + " " +
-                         match.second.ToString());
-  }
-  for (const workload::TrueObjectRelation& relation :
-       workload->object_relations) {
-    seeded &= setup.Send(
-        "assert " + relation.first.ToString() + " " +
-        std::to_string(core::AssertionTypeCode(relation.assertion)) + " " +
-        relation.second.ToString());
-  }
-  seeded &= setup.Send("integrate");
-  if (!seeded) {
-    std::cerr << "project seeding failed: "
-              << JsonErrors(setup.errors_by_code) << "\n";
-    return 1;
-  }
+  auto seed_project = [&workload](service::RequestRouter* target) {
+    Client setup;
+    setup.router = target;
+    bool seeded = setup.Send("open bench");
+    for (const std::string& name : workload->schema_names) {
+      const ecr::Schema& schema = **workload->catalog.GetSchema(name);
+      seeded &= setup.Send("define " +
+                           service::EscapeField(ecr::ToDdl(schema)));
+    }
+    for (const workload::TrueAttributeMatch& match :
+         workload->attribute_matches) {
+      seeded &= setup.Send("equiv " + match.first.ToString() + " " +
+                           match.second.ToString());
+    }
+    for (const workload::TrueObjectRelation& relation :
+         workload->object_relations) {
+      seeded &= setup.Send(
+          "assert " + relation.first.ToString() + " " +
+          std::to_string(core::AssertionTypeCode(relation.assertion)) +
+          " " + relation.second.ToString());
+    }
+    seeded &= setup.Send("integrate");
+    if (!seeded) {
+      std::cerr << "project seeding failed: "
+                << JsonErrors(setup.errors_by_code) << "\n";
+    }
+    return seeded;
+  };
+  if (!seed_project(&router)) return 1;
 
   const std::vector<std::string>& names = workload->schema_names;
   auto read_op = [&](Client& client, std::mt19937& rng, int64_t) {
@@ -494,6 +541,114 @@ int main(int argc, char** argv) {
                        ? read_n.ops_per_sec / read_1.ops_per_sec
                        : 0;
 
+  // --- replica read scaling ------------------------------------------------
+  // Seed a durable leader with the same workload, checkpoint it, and
+  // bootstrap kMaxReplicas diskless followers off its checkpoint + WAL
+  // stream. Then measure aggregate read throughput with `threads` client
+  // threads per replica at 1, 2, and 4 replicas: replica reads share no
+  // locks across services, so the aggregate should grow with the replica
+  // count until the host runs out of cores.
+  constexpr int kMaxReplicas = 4;
+  common::MemFs repl_fs;
+  service::ServiceConfig leader_config;
+  leader_config.fs = &repl_fs;
+  leader_config.data_dir = "/leader";
+  leader_config.durability.fsync = service::FsyncPolicy::kNever;
+  service::IntegrationService leader(leader_config);
+  service::RequestRouter leader_router(&leader);
+  if (!seed_project(&leader_router)) return 1;
+  leader.CheckpointProjects();
+  auto leader_position = leader.SampleReplicationPosition("bench");
+  if (!leader_position.ok()) {
+    std::cerr << "leader position: " << leader_position.status() << "\n";
+    return 1;
+  }
+
+  service::ReplicationServer repl_server(&leader, &repl_fs, "/leader");
+  std::vector<Replica> replicas;
+  for (int r = 0; r < kMaxReplicas; ++r) {
+    Replica replica;
+    service::ServiceConfig follower_config;
+    follower_config.leader_addr = "in-process:0";
+    replica.service =
+        std::make_unique<service::IntegrationService>(follower_config);
+    replica.router =
+        std::make_unique<service::RequestRouter>(replica.service.get());
+
+    service::FollowerState follower(replica.service.get(), "bench");
+    auto from = follower.Prepare();
+    if (!from.ok()) {
+      std::cerr << "replica prepare: " << from.status() << "\n";
+      return 1;
+    }
+    DirectSink sink(&follower);
+    service::ReplSubscribe subscribe;
+    subscribe.project = "bench";
+    subscribe.have_seq = *from;
+    uint64_t target_seq = leader_position->seq;
+    Status served = repl_server.Serve(subscribe, sink, [&] {
+      return follower.applied_seq() >= target_seq;
+    });
+    if (!served.ok()) {
+      std::cerr << "replica bootstrap: " << served << "\n";
+      return 1;
+    }
+    auto replica_position =
+        replica.service->SampleReplicationPosition("bench");
+    if (!replica_position.ok() ||
+        !(replica_position->stamp == leader_position->stamp)) {
+      std::cerr << "replica " << r << " diverged from the leader\n";
+      return 1;
+    }
+    replicas.push_back(std::move(replica));
+  }
+
+  // `threads` clients per replica, each running `ops` reads; the phase's
+  // ops_per_sec is the aggregate across every replica.
+  auto replica_read_phase = [&](const std::string& name,
+                                int replica_count) {
+    int total = replica_count * threads;
+    std::vector<Client> clients(total);
+    for (int t = 0; t < total; ++t) {
+      clients[t].router = replicas[t % replica_count].router.get();
+      clients[t].Send("open bench");
+    }
+    std::vector<std::thread> workers;
+    int64_t start = NowNs();
+    for (int t = 0; t < total; ++t) {
+      workers.emplace_back([&, t] {
+        std::mt19937 rng(3000 + static_cast<uint32_t>(t));
+        for (int64_t i = 0; i < ops; ++i) read_op(clients[t], rng, i);
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    int64_t elapsed = NowNs() - start;
+    for (int t = 0; t < total; ++t) clients[t].Send("close");
+
+    Phase phase;
+    phase.name = name;
+    phase.threads = total;
+    phase.ops = total * ops;
+    phase.elapsed_ms = static_cast<double>(elapsed) / 1e6;
+    phase.ops_per_sec =
+        elapsed > 0 ? static_cast<double>(phase.ops) * 1e9 /
+                          static_cast<double>(elapsed)
+                    : 0;
+    for (const Client& client : clients) {
+      for (const auto& [code, count] : client.errors_by_code) {
+        phase.errors_by_code[code] += count;
+      }
+    }
+    return phase;
+  };
+  Phase replica_1 = replica_read_phase("replica_read_1", 1);
+  Phase replica_2 = replica_read_phase("replica_read_2", 2);
+  Phase replica_4 = replica_read_phase("replica_read_4", 4);
+  double replica_scaling = replica_1.ops_per_sec > 0
+                               ? replica_4.ops_per_sec /
+                                     replica_1.ops_per_sec
+                               : 0;
+
   // Journal overhead, single-threaded: no journal vs batched fsync vs
   // fsync-per-record on the real filesystem.
   std::map<std::string, JournalLatency> journal_latency;
@@ -512,7 +667,8 @@ int main(int argc, char** argv) {
 
   int64_t conflicts = 0, timeouts = 0;
   for (const Phase* phase :
-       {&read_1, &read_n, &mixed, &mixed_binary, &mixed_batch}) {
+       {&read_1, &read_n, &mixed, &mixed_binary, &mixed_batch,
+        &replica_1, &replica_2, &replica_4}) {
     auto conflict = phase->errors_by_code.find("CONFLICT");
     if (conflict != phase->errors_by_code.end()) {
       conflicts += conflict->second;
@@ -550,6 +706,11 @@ int main(int argc, char** argv) {
             << JsonJournalLatency(journal_latency["fsync_batch"])
             << ", \"fsync_always\": "
             << JsonJournalLatency(journal_latency["fsync_always"]) << "},\n"
+            << "  \"replica_read_scaling\": {"
+            << "\"replicas_1\": " << JsonPhase(replica_1)
+            << ", \"replicas_2\": " << JsonPhase(replica_2)
+            << ", \"replicas_4\": " << JsonPhase(replica_4)
+            << ", \"scaling_4x\": " << replica_scaling << "},\n"
             << "  \"read_scaling\": " << scaling << ",\n"
             << "  \"conflicts\": " << conflicts << ",\n"
             << "  \"timeouts\": " << timeouts << ",\n"

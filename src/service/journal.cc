@@ -209,4 +209,82 @@ Status Journal::Rotate() {
   return Status::Ok();
 }
 
+Status Journal::RotateTo(uint64_t next_seq) {
+  if (next_seq < next_seq_) {
+    return InternalError("journal seq may not move backwards (" +
+                         std::to_string(next_seq_) + " -> " +
+                         std::to_string(next_seq) + ")");
+  }
+  ECRINT_RETURN_IF_ERROR(Rotate());
+  next_seq_ = next_seq;
+  return Status::Ok();
+}
+
+TailResult JournalTailer::Poll(size_t max_records) {
+  TailResult result;
+  if (!fs_->Exists(path_)) return result;
+  auto bytes_or = fs_->ReadFileToString(path_);
+  if (!bytes_or.ok()) {
+    result.status = TailStatus::kError;
+    result.message = bytes_or.status().message();
+    return result;
+  }
+  std::string bytes = *std::move(bytes_or);
+  if (bytes.size() < offset_ ||
+      bytes.compare(offset_ - fingerprint_.size(), fingerprint_.size(),
+                    fingerprint_) != 0) {
+    // The file shrank, or the bytes we already consumed are no longer
+    // there: a checkpoint rotated the journal (possibly into a new
+    // incarnation that happens to be just as long). Restart the scan;
+    // consumed seqs are filtered below and unseen ones surface as a gap.
+    offset_ = 0;
+  }
+  std::string_view view(bytes);
+  JournalScanResult scan = ScanJournal(view.substr(offset_));
+  uint64_t base = offset_;
+  for (JournalRecord& record : scan.records) {
+    if (result.records.size() >= max_records) break;
+    uint64_t end =
+        base + record.offset + kJournalHeaderBytes + record.payload.size();
+    if (record.seq <= last_seq_) {
+      // Pre-rotation leftover we already delivered.
+      offset_ = end;
+      continue;
+    }
+    if (record.seq != last_seq_ + 1) {
+      // The journal rotated past records we never saw; the consumer must
+      // re-bootstrap from a checkpoint. Deliver what we did consume first.
+      if (result.records.empty()) {
+        result.status = TailStatus::kGap;
+        result.message = "journal stream gap: consumed through seq " +
+                         std::to_string(last_seq_) + ", next on disk is " +
+                         std::to_string(record.seq);
+        result.pending_bytes = bytes.size() - offset_;
+        RememberFingerprint(bytes);
+        return result;
+      }
+      break;
+    }
+    offset_ = end;
+    last_seq_ = record.seq;
+    result.records.push_back(std::move(record));
+  }
+  result.pending_bytes = bytes.size() - offset_;
+  if (!result.records.empty()) result.status = TailStatus::kRecords;
+  RememberFingerprint(bytes);
+  return result;
+}
+
+void JournalTailer::RememberFingerprint(const std::string& bytes) {
+  size_t n = static_cast<size_t>(
+      std::min<uint64_t>(offset_, kTailFingerprintBytes));
+  fingerprint_.assign(bytes, offset_ - n, n);
+}
+
+void JournalTailer::Restart(uint64_t from_seq) {
+  last_seq_ = from_seq;
+  offset_ = 0;
+  fingerprint_.clear();
+}
+
 }  // namespace ecrint::service

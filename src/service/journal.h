@@ -109,6 +109,12 @@ class Journal {
   // handle. Sequence numbers keep counting up (never reused).
   Status Rotate();
 
+  // Rotation that also moves the sequence counter, for a follower that just
+  // installed a leader checkpoint at seq N and must continue journaling the
+  // leader's stream at N+1. Only ever moves the counter forward on the
+  // leader's authority; local appends never call this.
+  Status RotateTo(uint64_t next_seq);
+
  private:
   Journal(common::Fs* fs, std::string path, uint64_t next_seq,
           FsyncPolicy policy, int batch_records)
@@ -126,6 +132,68 @@ class Journal {
   int64_t appends_ = 0;
   int64_t fsyncs_ = 0;
   int64_t appended_bytes_ = 0;
+};
+
+// What one JournalTailer::Poll observed.
+enum class TailStatus {
+  kRecords,  // at least one new record was consumed
+  kIdle,     // nothing new (possibly a torn tail mid-append — retry later)
+  kGap,      // next record's seq skips ahead: the journal rotated past us
+             // and the caller must re-bootstrap from a checkpoint
+  kError,    // the file could not be read
+};
+
+struct TailResult {
+  TailStatus status = TailStatus::kIdle;
+  std::vector<JournalRecord> records;
+  // Bytes present in the file beyond the last consumed record (replication
+  // lag in bytes, as seen by this tailer).
+  uint64_t pending_bytes = 0;
+  std::string message;
+};
+
+// Incremental reader over a live journal file, used by the leader's
+// replication stream and `ecrint_journal tail`. Repeated Poll() calls
+// return records with seq > the construction/Restart seq exactly once, in
+// order, surviving checkpoint-triggered rotation: when the file shrinks (or
+// a same-size rewrite makes the remembered offset land mid-record) the
+// tailer rescans from the start, skipping already-consumed seqs. A torn
+// tail is NOT damage here — the writer may be mid-append — so it reads as
+// kIdle until the bytes complete. Single-threaded; pair one tailer with one
+// consumer.
+class JournalTailer {
+ public:
+  // Tails `path`, delivering records with seq > `from_seq`. The file need
+  // not exist yet (kIdle until it does).
+  JournalTailer(common::Fs* fs, std::string path, uint64_t from_seq)
+      : fs_(fs), path_(std::move(path)), last_seq_(from_seq) {}
+
+  // Reads any newly completed records, up to `max_records` per call.
+  TailResult Poll(size_t max_records = 512);
+
+  // Rewinds to deliver records with seq > `from_seq` (after the consumer
+  // re-bootstrapped from a checkpoint, say).
+  void Restart(uint64_t from_seq);
+
+  // Seq of the last record delivered (or the construction/Restart floor).
+  uint64_t last_seq() const { return last_seq_; }
+
+ private:
+  static constexpr uint64_t kTailFingerprintBytes = 16;
+
+  // Records the bytes just before offset_ so the next poll can detect a
+  // rewrite that kept the file at least offset_ bytes long.
+  void RememberFingerprint(const std::string& bytes);
+
+  common::Fs* fs_;
+  std::string path_;
+  uint64_t last_seq_;
+  // Byte offset of the first unconsumed byte in the current file incarnation.
+  uint64_t offset_ = 0;
+  // The bytes immediately before offset_ as last seen. A mismatch on the
+  // next poll means the file was rewritten under us (rotation), even when
+  // the new incarnation happens to be at least offset_ bytes long.
+  std::string fingerprint_;
 };
 
 }  // namespace ecrint::service

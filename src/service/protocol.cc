@@ -50,6 +50,10 @@ std::string FormatResponse(const ServiceResponse& response) {
     if (response.error->retry_after_ms > 0) {
       out << " retry-after-ms=" << response.error->retry_after_ms;
     }
+    if (response.error->code == ServiceErrorCode::kNotLeader &&
+        !response.error->leader.empty()) {
+      out << " leader=" << response.error->leader;
+    }
     out << " " << EscapeField(response.error->message) << "\n";
   }
   for (const std::string& line : response.lines) {
@@ -93,6 +97,8 @@ Result<ServiceResponse> ParseResponse(std::string_view wire) {
       error.code = ServiceErrorCode::kBadRequest;
     } else if (parts[1] == "UNAVAILABLE") {
       error.code = ServiceErrorCode::kUnavailable;
+    } else if (parts[1] == "NOT_LEADER") {
+      error.code = ServiceErrorCode::kNotLeader;
     } else {
       return ParseError("unknown error code '" + parts[1] + "'");
     }
@@ -116,6 +122,22 @@ Result<ServiceResponse> ParseResponse(std::string_view wire) {
         return ParseError("malformed retry-after-ms token");
       }
       error.retry_after_ms = value;
+      message_at = value_end;
+      while (message_at < status_line.size() &&
+             status_line[message_at] == ' ') {
+        ++message_at;
+      }
+    }
+    constexpr std::string_view kLeaderToken = "leader=";
+    if (status_line.compare(message_at, kLeaderToken.size(), kLeaderToken) ==
+        0) {
+      size_t value_at = message_at + kLeaderToken.size();
+      size_t value_end = status_line.find(' ', value_at);
+      if (value_end == std::string::npos) value_end = status_line.size();
+      if (value_end == value_at) {
+        return ParseError("malformed leader token");
+      }
+      error.leader = status_line.substr(value_at, value_end - value_at);
       message_at = value_end;
       while (message_at < status_line.size() &&
              status_line[message_at] == ' ') {
@@ -203,6 +225,11 @@ void EncodeResponsePayload(const ServiceResponse& response, std::string& out) {
                        ? static_cast<uint64_t>(response.error->retry_after_ms)
                        : 0);
     PutLpString(out, response.error->message);
+    // The leader address rides only behind its own (new) status byte, so
+    // every pre-NOT_LEADER frame is byte-identical to what v2 always sent.
+    if (response.error->code == ServiceErrorCode::kNotLeader) {
+      PutLpString(out, response.error->leader);
+    }
   }
   PutVarint(out, response.lines.size());
   for (const std::string& line : response.lines) PutLpString(out, line);
@@ -214,7 +241,7 @@ Result<ServiceResponse> DecodeResponsePayload(std::string_view& body) {
   body.remove_prefix(1);
   ServiceResponse response;
   if (status != 0) {
-    if (status > 1 + static_cast<uint8_t>(ServiceErrorCode::kUnavailable)) {
+    if (status > 1 + static_cast<uint8_t>(ServiceErrorCode::kNotLeader)) {
       return ParseError("unknown binary status byte " +
                         std::to_string(status));
     }
@@ -230,6 +257,13 @@ Result<ServiceResponse> DecodeResponsePayload(std::string_view& body) {
       return ParseError("truncated error message");
     }
     error.message = std::string(message);
+    if (error.code == ServiceErrorCode::kNotLeader) {
+      std::string_view leader;
+      if (!GetLpString(body, leader)) {
+        return ParseError("truncated leader address");
+      }
+      error.leader = std::string(leader);
+    }
     response.error = std::move(error);
   }
   uint64_t nlines = 0;

@@ -31,9 +31,10 @@ namespace ecrint::service {
 // the dot doubled, SMTP-style, so the terminator stays unambiguous.
 //
 // An UNAVAILABLE error line carries a machine-readable retry hint between
-// the code and the message:
+// the code and the message, and a NOT_LEADER line the leader's address:
 //
 //   err UNAVAILABLE retry-after-ms=1000 project is read-only (...)
+//   err NOT_LEADER leader=127.0.0.1:4321 read replica: writes go to (...)
 
 // Hard ceiling on one request line (verb + args + newline). The largest
 // legitimate request is a `define` whose escaped DDL rides in the tail;
@@ -87,6 +88,7 @@ Result<ServiceResponse> ParseResponse(std::string_view wire);
 //   req      = verb:u8 varint(argc) argc*lpstr
 //   resp     = status:u8
 //              status!=0: varint(retry-after-ms) lpstr(message)
+//              status==NOT_LEADER+1: lpstr(leader)
 //              varint(nlines) nlines*lpstr
 //   lpstr    = varint(len) bytes
 //
@@ -108,6 +110,24 @@ inline constexpr uint8_t kFrameRequest = 0x01;
 inline constexpr uint8_t kFrameBatchRequest = 0x02;
 inline constexpr uint8_t kFrameResponse = 0x81;
 inline constexpr uint8_t kFrameBatchResponse = 0x82;
+
+// Replication frames (src/service/replication.{h,cc}), riding the same
+// varint length prefix on a `proto 2` connection. A follower sends ONE
+// subscribe frame; from then on the connection is a one-way leader→follower
+// stream (grammar in docs/FORMATS.md):
+//
+//   0x03 subscribe  lpstr(project) varint(have_seq)
+//   0x90 hello      varint(has-ckpt) varint(seq) varint(bytes) varint(crc)
+//   0x91 chunk      varint(offset) varint(crc) lpstr(bytes)
+//   0x92 record     varint(seq) varint(crc) lpstr(payload)
+//   0x93 stamp      varint(seq) 5*varint(zigzag counter)
+//   0x94 error      lpstr(message)
+inline constexpr uint8_t kFrameReplSubscribe = 0x03;
+inline constexpr uint8_t kFrameReplHello = 0x90;
+inline constexpr uint8_t kFrameReplChunk = 0x91;
+inline constexpr uint8_t kFrameReplRecord = 0x92;
+inline constexpr uint8_t kFrameReplStamp = 0x93;
+inline constexpr uint8_t kFrameReplError = 0x94;
 
 // Wire verb identifiers. Frozen once shipped — append, never renumber.
 enum class WireVerb : uint8_t {

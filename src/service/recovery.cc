@@ -544,6 +544,33 @@ Status RecoveryManager::WriteCheckpoint(engine::Engine& engine) {
   return Status::Ok();
 }
 
+Status RecoveryManager::InstallCheckpoint(std::string_view bytes,
+                                          uint64_t seq) {
+  ECRINT_RETURN_IF_ERROR(fs_->WriteFileAtomic(CheckpointPath(dir_), bytes));
+  Bump(checkpoints_);
+  records_since_checkpoint_ = 0;
+  Status rotated = journal_->RotateTo(seq + 1);
+  if (!rotated.ok()) Bump(checkpoint_failures_);
+  return rotated;
+}
+
+Status RecoveryManager::Reset() {
+  const std::string checkpoint_path = CheckpointPath(dir_);
+  if (fs_->Exists(checkpoint_path)) {
+    ECRINT_RETURN_IF_ERROR(fs_->Remove(checkpoint_path));
+  }
+  // Recreate the journal from scratch: unlike RotateTo this may move the
+  // sequence counter backwards, because the whole stream identity is being
+  // discarded (the next InstallCheckpoint re-anchors it).
+  journal_.reset();
+  ECRINT_RETURN_IF_ERROR(fs_->Truncate(JournalPath(dir_), 0));
+  ECRINT_ASSIGN_OR_RETURN(
+      journal_, Journal::Open(fs_, JournalPath(dir_), 1, options_.fsync,
+                              options_.fsync_batch_records));
+  records_since_checkpoint_ = 0;
+  return Status::Ok();
+}
+
 void RecoveryManager::MaybeCheckpoint(engine::Engine& engine) {
   if (options_.checkpoint_interval_records <= 0) return;
   if (records_since_checkpoint_ < options_.checkpoint_interval_records) {

@@ -149,6 +149,18 @@ class RecoveryManager {
   // Failures are swallowed (counted in journal.checkpoint_failures).
   void MaybeCheckpoint(engine::Engine& engine);
 
+  // Follower bootstrap: persists a checkpoint received from the leader
+  // (already-serialized bytes, either format) and rotates the journal so
+  // the next logged record continues the leader's stream at `seq + 1`.
+  // The caller has already loaded the checkpoint into its engine.
+  Status InstallCheckpoint(std::string_view bytes, uint64_t seq);
+
+  // Follower divergence reset: removes the checkpoint and rotates the
+  // journal empty so the next bootstrap starts from nothing. The sequence
+  // counter is left alone (the next InstallCheckpoint moves it forward on
+  // the leader's authority).
+  Status Reset();
+
   uint64_t next_seq() const { return journal_->next_seq(); }
   const std::string& dir() const { return dir_; }
   const DurabilityOptions& options() const { return options_; }

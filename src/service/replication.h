@@ -1,0 +1,243 @@
+#ifndef ECRINT_SERVICE_REPLICATION_H_
+#define ECRINT_SERVICE_REPLICATION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/fs.h"
+#include "common/result.h"
+#include "engine/engine.h"
+#include "service/journal.h"
+#include "service/metrics.h"
+#include "service/protocol.h"
+#include "service/service.h"
+
+namespace ecrint::service {
+
+// Log-shipped replication (docs/ARCHITECTURE.md, "Replication"):
+//
+//   leader                              follower
+//   ------                              --------
+//                 <--- 0x03 subscribe(project, have_seq)
+//   0x90 hello(ckpt?, seq, bytes, crc) --->
+//   0x91 chunk* (checkpoint bytes)     --->      InstallReplicatedCheckpoint
+//   0x92 record(seq, crc, payload)     --->      ApplyReplicated
+//   0x93 stamp(seq, engine stamp)      --->      compare Engine::Stamp()
+//
+// The leader's WAL is the stream: a ReplicationServer tails the project's
+// journal file with a JournalTailer and ships every record; when the
+// follower is too far behind (the journal rotated past its seq) it ships
+// the latest v2 checkpoint first, in CRC'd chunks. Whenever the follower
+// is caught up the leader sends a stamp frame sampled at the same seq —
+// Engine::Stamp() equality is the consistency oracle. The follower rejects
+// client writes with NOT_LEADER and serves lock-free snapshot reads.
+//
+// Frames ride the same LEB128 length prefix as protocol v2 and are sent on
+// a connection already negotiated to `proto 2`; the subscribe frame is the
+// last thing the follower sends.
+
+// --- frame codecs ----------------------------------------------------------
+
+struct ReplSubscribe {
+  std::string project;
+  // Highest leader seq already folded into the follower (0 = nothing).
+  uint64_t have_seq = 0;
+};
+
+struct ReplHello {
+  // When true a checkpoint transfer follows (chunk frames totalling
+  // `total_bytes`, whole-file CRC `crc`, state through `seq`); when false
+  // streaming starts directly after the follower's have_seq and `seq`
+  // echoes it.
+  bool has_checkpoint = false;
+  uint64_t seq = 0;
+  uint64_t total_bytes = 0;
+  uint32_t crc = 0;
+};
+
+struct ReplChunk {
+  uint64_t offset = 0;
+  uint32_t crc = 0;  // CRC-32C of `bytes`
+  std::string bytes;
+};
+
+struct ReplRecord {
+  uint64_t seq = 0;
+  uint32_t crc = 0;  // CRC-32C of `payload`
+  std::string payload;  // an encoded engine::ReplayVerb
+};
+
+struct ReplStamp {
+  uint64_t seq = 0;
+  engine::EngineStamp stamp;
+};
+
+// One decoded replication frame body; `type` selects which member is live.
+struct ReplFrame {
+  uint8_t type = 0;
+  ReplSubscribe subscribe;  // kFrameReplSubscribe
+  ReplHello hello;          // kFrameReplHello
+  ReplChunk chunk;          // kFrameReplChunk
+  ReplRecord record;        // kFrameReplRecord
+  ReplStamp stamp;          // kFrameReplStamp
+  std::string error;        // kFrameReplError
+};
+
+// Encoders produce one complete frame (varint length prefix included);
+// DecodeReplFrame takes a frame body as handed out by ExtractFrame.
+std::string EncodeReplSubscribe(const ReplSubscribe& subscribe);
+std::string EncodeReplHello(const ReplHello& hello);
+std::string EncodeReplChunk(const ReplChunk& chunk);
+std::string EncodeReplRecord(const ReplRecord& record);
+std::string EncodeReplStamp(const ReplStamp& stamp);
+std::string EncodeReplError(std::string_view message);
+Result<ReplFrame> DecodeReplFrame(std::string_view body);
+
+// --- leader side -----------------------------------------------------------
+
+// Where the leader pushes frames: a socket in ecrint_serve, an in-memory
+// queue in tests. A failed Send ends the subscription (the follower
+// reconnects with backoff).
+class ReplicationSink {
+ public:
+  virtual ~ReplicationSink() = default;
+  virtual Status Send(std::string_view frame) = 0;
+};
+
+// Serves the replication stream for one leader node. One Serve call per
+// follower connection, each on its own thread; instances only share the
+// service and atomic counters, so concurrent Serve calls are safe.
+class ReplicationServer {
+ public:
+  struct Options {
+    // How long to sleep between journal polls when there is nothing new.
+    int poll_interval_ms = 2;
+    // Checkpoint transfer chunk size (well under kMaxBinaryFrameBytes).
+    size_t chunk_bytes = 256 * 1024;
+    // Send a keep-alive stamp frame after this many consecutive idle polls
+    // even though no records moved (~1 s at the default poll interval).
+    int heartbeat_polls = 500;
+  };
+
+  ReplicationServer(IntegrationService* service, common::Fs* fs,
+                    std::string data_dir, Options options);
+  ReplicationServer(IntegrationService* service, common::Fs* fs,
+                    std::string data_dir);
+
+  // Streams to one follower until `stop` returns true, the sink fails, or
+  // the journal becomes unreadable. Blocks; run it on the connection's
+  // thread.
+  Status Serve(const ReplSubscribe& subscribe, ReplicationSink& sink,
+               const std::function<bool()>& stop);
+
+ private:
+  // Ships the newest checkpoint when it covers records past `from`;
+  // returns the seq streaming should resume from (the checkpoint's seq, or
+  // `from` when no checkpoint was needed).
+  Result<uint64_t> SendBootstrap(const std::string& project, uint64_t from,
+                                 ReplicationSink& sink);
+
+  IntegrationService* service_;
+  common::Fs* fs_;
+  std::string data_dir_;
+  Options options_;
+  std::atomic<int64_t> subscribers_{0};
+
+  Gauge* subscribers_gauge_ = nullptr;
+  Gauge* lag_records_ = nullptr;
+  Gauge* lag_bytes_ = nullptr;
+  Counter* records_shipped_ = nullptr;
+  Counter* bytes_shipped_ = nullptr;
+  Counter* checkpoints_shipped_ = nullptr;
+};
+
+// --- follower side ---------------------------------------------------------
+
+// The follower's replication state machine for one project: feed it every
+// frame the leader sends. Transport-free so tests drive it directly; the
+// socket loop lives in ReplicationClient.
+class FollowerState {
+ public:
+  FollowerState(IntegrationService* service, std::string project);
+
+  // Ensures the project exists locally (recovering a durable follower's
+  // journal + checkpoint) and returns the seq to subscribe from.
+  Result<uint64_t> Prepare();
+
+  enum class Outcome {
+    kOk,           // keep reading
+    kResubscribe,  // stream state is unusable; reconnect and resubscribe
+  };
+
+  // Applies one leader frame. An error return means this node could not
+  // apply a valid frame (degraded journal, say) — back off before
+  // resubscribing. kResubscribe means the stream itself broke (CRC or seq
+  // mismatch, truncated transfer, divergent stamp).
+  Result<Outcome> HandleFrame(std::string_view body);
+
+  uint64_t applied_seq() const { return applied_seq_; }
+
+ private:
+  Result<Outcome> HandleHello(const ReplHello& hello);
+  Result<Outcome> HandleChunk(const ReplChunk& chunk);
+  Result<Outcome> HandleRecord(const ReplRecord& record);
+  Result<Outcome> HandleStamp(const ReplStamp& stamp);
+
+  IntegrationService* service_;
+  std::string project_;
+  uint64_t applied_seq_ = 0;
+
+  // Checkpoint transfer in progress (between a hello{has_checkpoint} and
+  // its final chunk).
+  bool receiving_checkpoint_ = false;
+  uint64_t checkpoint_seq_ = 0;
+  uint64_t checkpoint_total_ = 0;
+  uint32_t checkpoint_crc_ = 0;
+  std::string checkpoint_bytes_;
+  int64_t bootstrap_started_ns_ = 0;
+
+  Counter* records_applied_ = nullptr;
+  Counter* bytes_received_ = nullptr;
+  Counter* bootstraps_ = nullptr;
+  Counter* stamp_checks_ = nullptr;
+  Counter* divergences_ = nullptr;
+  Gauge* applied_seq_gauge_ = nullptr;
+  Gauge* lag_records_ = nullptr;
+  Histogram* bootstrap_us_ = nullptr;
+};
+
+// Owns the follower's connection to the leader: connect, negotiate
+// `proto 2`, subscribe, pump frames into a FollowerState, reconnect with
+// jittered backoff on any failure. Run() blocks until `stop` goes true.
+class ReplicationClient {
+ public:
+  struct Options {
+    int64_t backoff_initial_ms = 100;
+    int64_t backoff_max_ms = 5000;
+  };
+
+  ReplicationClient(IntegrationService* service, std::string leader_addr,
+                    std::string project, Options options);
+  ReplicationClient(IntegrationService* service, std::string leader_addr,
+                    std::string project);
+
+  void Run(const std::atomic<bool>& stop);
+
+ private:
+  // One connect + subscribe + read loop; returns when the stream ends.
+  // True when at least one frame was applied (resets the backoff).
+  bool RunOnce(const std::atomic<bool>& stop, FollowerState& follower);
+
+  IntegrationService* service_;
+  std::string leader_addr_;
+  std::string project_;
+  Options options_;
+  Counter* reconnects_ = nullptr;
+};
+
+}  // namespace ecrint::service
+
+#endif  // ECRINT_SERVICE_REPLICATION_H_

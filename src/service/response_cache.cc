@@ -38,6 +38,10 @@ bool ResponseCache::Valid(const Entry& entry,
   return true;
 }
 
+void ResponseCache::Touch(Entry& entry) {
+  lru_.splice(lru_.begin(), lru_, entry.lru_position);
+}
+
 std::optional<ResponseCache::Hit> ResponseCache::Lookup(
     const std::string& key, const EngineSnapshot& snapshot,
     int protocol_version) {
@@ -45,10 +49,12 @@ std::optional<ResponseCache::Hit> ResponseCache::Lookup(
   auto it = entries_.find(key);
   if (it == entries_.end()) return std::nullopt;
   if (!Valid(it->second, snapshot)) {
+    lru_.erase(it->second.lru_position);
     entries_.erase(it);
     return std::nullopt;
   }
   Entry& entry = it->second;
+  Touch(entry);
   Hit hit;
   hit.response = entry.response;
   if (protocol_version == kProtocolBinaryVersion) {
@@ -71,9 +77,11 @@ std::optional<ServiceResponse> ResponseCache::LookupResponse(
   auto it = entries_.find(key);
   if (it == entries_.end()) return std::nullopt;
   if (!Valid(it->second, snapshot)) {
+    lru_.erase(it->second.lru_position);
     entries_.erase(it);
     return std::nullopt;
   }
+  Touch(it->second);
   return it->second.response;
 }
 
@@ -81,10 +89,21 @@ void ResponseCache::Insert(const std::string& key,
                            const EngineSnapshot& snapshot,
                            const ServiceResponse& response) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (entries_.size() >= kMaxEntries && entries_.find(key) == entries_.end()) {
-    entries_.clear();
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    if (entries_.size() >= kMaxEntries) {
+      // Evict the least recently used entry; a recently-hit key survives.
+      entries_.erase(lru_.back());
+      lru_.pop_back();
+      if (evictions_ != nullptr) evictions_->Increment();
+    }
+    lru_.push_front(key);
+    it = entries_.emplace(key, Entry{}).first;
+    it->second.lru_position = lru_.begin();
+  } else {
+    Touch(it->second);
   }
-  Entry& entry = entries_[key];
+  Entry& entry = it->second;
   entry.catalog = snapshot.catalog;
   entry.equivalence = snapshot.equivalence;
   entry.integration = snapshot.integration;
@@ -98,6 +117,11 @@ void ResponseCache::Insert(const std::string& key,
 size_t ResponseCache::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return entries_.size();
+}
+
+void ResponseCache::SetEvictionCounter(Counter* evictions) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  evictions_ = evictions;
 }
 
 }  // namespace ecrint::service

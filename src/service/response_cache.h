@@ -2,6 +2,7 @@
 #define ECRINT_SERVICE_RESPONSE_CACHE_H_
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -10,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "service/metrics.h"
 #include "service/service.h"
 #include "service/snapshot.h"
 
@@ -38,9 +40,10 @@ namespace ecrint::service {
 // and zero formatting work.
 class ResponseCache {
  public:
-  // Bound on resident entries; insertion past the cap clears the cache
-  // (the working set of distinct read requests is tiny in practice, so a
-  // full reset is simpler and safer than LRU bookkeeping).
+  // Bound on resident entries; insertion past the cap evicts the least
+  // recently used entry, so a scan of one-off requests (a crawler walking
+  // distinct rank queries, say) cannot flush the hot working set the way a
+  // clear-on-overflow policy would.
   static constexpr size_t kMaxEntries = 256;
 
   // Builds the canonical key for a request. Each arg is length-prefixed
@@ -77,6 +80,10 @@ class ResponseCache {
   // Entry count (test hook).
   size_t size() const;
 
+  // Counts capacity evictions (stale-entry erasure is not an eviction).
+  // Null disables counting; the router wires "cache.evictions" here.
+  void SetEvictionCounter(Counter* evictions);
+
  private:
   struct Entry {
     std::weak_ptr<const ecr::Catalog> catalog;
@@ -88,12 +95,19 @@ class ResponseCache {
     ServiceResponse response;
     std::string wire_text;    // built on first text lookup
     std::string wire_binary;  // built on first binary lookup
+    // Position in lru_ (most recent at the front).
+    std::list<std::string>::iterator lru_position;
   };
 
   bool Valid(const Entry& entry, const EngineSnapshot& snapshot) const;
+  // Moves the entry to the front of the recency list. Callers hold mutex_.
+  void Touch(Entry& entry);
 
   mutable std::mutex mutex_;
   std::unordered_map<std::string, Entry> entries_;
+  // Keys ordered by recency of use; back() is the eviction victim.
+  std::list<std::string> lru_;
+  Counter* evictions_ = nullptr;
 };
 
 }  // namespace ecrint::service

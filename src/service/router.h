@@ -54,7 +54,10 @@ struct RouterSession {
 //   ping                        liveness, no session required
 class RequestRouter {
  public:
-  explicit RequestRouter(IntegrationService* service) : service_(service) {}
+  explicit RequestRouter(IntegrationService* service) : service_(service) {
+    cache_.SetEvictionCounter(
+        service_->metrics().GetCounter("cache.evictions"));
+  }
 
   // Handles one text request line synchronously; returns the framed
   // response (FormatResponse output, ready to write to the wire).

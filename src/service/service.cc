@@ -4,6 +4,7 @@
 
 #include "common/strings.h"
 #include "core/assertion.h"
+#include "core/project_io.h"
 #include "ecr/printer.h"
 
 namespace ecrint::service {
@@ -22,6 +23,15 @@ ServiceResponse ErrorResponse(ServiceError error) {
   ServiceResponse response;
   response.error = std::move(error);
   return response;
+}
+
+// The refusal a read replica hands every client-facing mutation.
+ServiceError NotLeaderError(const std::string& leader) {
+  ServiceError error;
+  error.code = ServiceErrorCode::kNotLeader;
+  error.message = "read replica: writes go to the leader at " + leader;
+  error.leader = leader;
+  return error;
 }
 
 // A write failure response; prefers the engine's structured diagnostic
@@ -174,6 +184,8 @@ const char* ServiceErrorCodeName(ServiceErrorCode code) {
       return "CONFLICT";
     case ServiceErrorCode::kUnavailable:
       return "UNAVAILABLE";
+    case ServiceErrorCode::kNotLeader:
+      return "NOT_LEADER";
   }
   return "BAD_REQUEST";
 }
@@ -288,34 +300,37 @@ void IntegrationService::MaybeReapSessions() {
   }
 }
 
-std::string IntegrationService::OpenSession(const std::string& project) {
-  {
-    std::unique_lock<std::shared_mutex> lock(projects_mutex_);
-    std::unique_ptr<ProjectState>& slot = projects_[project];
-    if (!slot) {
-      slot = std::make_unique<ProjectState>();
-      if (!config_.data_dir.empty()) {
-        // Recover the engine from the project's journal + checkpoint (a
-        // fresh directory on first use). Recovery failure does not fail
-        // the open: the project comes up degraded — reads serve whatever
-        // state was recovered (possibly none), writes get UNAVAILABLE.
-        RecoveryStats stats;
-        Result<std::unique_ptr<RecoveryManager>> opened =
-            RecoveryManager::Open(
-                fs_, config_.data_dir + "/" + ProjectDirName(project),
-                config_.durability, slot->engine, &stats, &metrics_);
-        if (opened.ok()) {
-          slot->durability = *std::move(opened);
-        } else {
-          DegradeProject(*slot, opened.status());
-        }
-      }
-      // Publish the (empty or recovered) generation up front so readers
-      // opened before the first write still get a snapshot instead of null.
-      slot->snapshots.Publish(slot->engine);
-      snapshots_published_->Increment();
+void IntegrationService::EnsureProject(const std::string& project) {
+  std::unique_lock<std::shared_mutex> lock(projects_mutex_);
+  std::unique_ptr<ProjectState>& slot = projects_[project];
+  if (slot) return;
+  slot = std::make_unique<ProjectState>();
+  if (!config_.data_dir.empty()) {
+    // Recover the engine from the project's journal + checkpoint (a
+    // fresh directory on first use). Recovery failure does not fail
+    // the open: the project comes up degraded — reads serve whatever
+    // state was recovered (possibly none), writes get UNAVAILABLE.
+    RecoveryStats stats;
+    Result<std::unique_ptr<RecoveryManager>> opened = RecoveryManager::Open(
+        fs_, config_.data_dir + "/" + ProjectDirName(project),
+        config_.durability, slot->engine, &stats, &metrics_);
+    if (opened.ok()) {
+      slot->durability = *std::move(opened);
+      // A recovered follower resumes the leader's stream where its own
+      // journal left off.
+      slot->replica_applied_seq = slot->durability->next_seq() - 1;
+    } else {
+      DegradeProject(*slot, opened.status());
     }
   }
+  // Publish the (empty or recovered) generation up front so readers
+  // opened before the first write still get a snapshot instead of null.
+  slot->snapshots.Publish(slot->engine);
+  snapshots_published_->Increment();
+}
+
+std::string IntegrationService::OpenSession(const std::string& project) {
+  EnsureProject(project);
   std::string id = sessions_.Open(project);
   sessions_live_->Set(sessions_.size());
   return id;
@@ -452,6 +467,11 @@ ServiceResponse IntegrationService::RunWrite(ProjectState& project,
                           "deadline expired while queued for write"});
   }
   if (verb != nullptr) {
+    if (!config_.leader_addr.empty()) {
+      // Read replica: the leader's replication stream is the only writer
+      // (it enters through ApplyReplicated, not here).
+      return ErrorResponse(NotLeaderError(config_.leader_addr));
+    }
     if (project.degraded) {
       return ErrorResponse(UnavailableError(project));
     }
@@ -478,6 +498,155 @@ ServiceResponse IntegrationService::RunWrite(ProjectState& project,
     project.durability->MaybeCheckpoint(project.engine);
   }
   return response;
+}
+
+// ---------------------------------------------------------------------------
+// Replication plane: the hooks the leader stream drives on a follower (and
+// the position probe both roles answer). They take the same write mutex as
+// client writes but bypass the NOT_LEADER gate — the leader's stream IS the
+// write path on a replica.
+// ---------------------------------------------------------------------------
+
+Result<IntegrationService::ReplicationPosition>
+IntegrationService::SampleReplicationPosition(const std::string& project) {
+  ProjectState* state = FindProject(project);
+  if (state == nullptr) {
+    return NotFoundError("no project '" + project + "'");
+  }
+  std::lock_guard<std::mutex> lock(state->write_mutex);
+  // Under the write mutex the journal's next_seq and the engine state are
+  // mutually consistent: the stamp is exactly the state with every record
+  // <= seq folded in.
+  ReplicationPosition position;
+  position.seq = state->durability != nullptr
+                     ? state->durability->next_seq() - 1
+                     : state->replica_applied_seq;
+  position.stamp = state->engine.Stamp();
+  return position;
+}
+
+Result<engine::EngineStamp> IntegrationService::ApplyReplicated(
+    const std::string& project, uint64_t seq, std::string_view payload) {
+  EnsureProject(project);
+  ProjectState* state = FindProject(project);
+  if (state == nullptr) {
+    return InternalError("project vanished after EnsureProject");
+  }
+  std::lock_guard<std::mutex> lock(state->write_mutex);
+  if (state->degraded) {
+    return FailedPreconditionError("replica project is degraded: " +
+                                   state->degraded_reason);
+  }
+  ECRINT_ASSIGN_OR_RETURN(engine::ReplayVerb verb,
+                          engine::DecodeReplayVerb(payload));
+  uint64_t expected = state->durability != nullptr
+                          ? state->durability->next_seq()
+                          : state->replica_applied_seq + 1;
+  if (seq != expected) {
+    return InvalidArgumentError("replication seq mismatch: expected " +
+                                std::to_string(expected) + ", got " +
+                                std::to_string(seq));
+  }
+  if (state->durability != nullptr) {
+    // The follower journals the leader's record at the leader's seq, so a
+    // restarted follower recovers locally and resubscribes from where the
+    // stream left off.
+    Status logged = state->durability->LogVerb(verb);
+    if (!logged.ok()) {
+      DegradeProject(*state, logged);
+      return logged;
+    }
+  }
+  const core::ClosureStats closure_before = state->engine.ClosureTotals();
+  // Outcome ignored: the engine is deterministic, so a verb the leader
+  // rejected replays to the identical rejection here — and the leader
+  // journaled it regardless.
+  (void)engine::ApplyReplayVerb(state->engine, verb);
+  RecordClosureMetrics(*state, closure_before);
+  state->replica_applied_seq = seq;
+  if (state->snapshots.Publish(state->engine)) {
+    snapshots_published_->Increment();
+  }
+  if (state->durability != nullptr) {
+    state->durability->MaybeCheckpoint(state->engine);
+  }
+  return state->engine.Stamp();
+}
+
+Status IntegrationService::InstallReplicatedCheckpoint(
+    const std::string& project, std::string_view bytes, uint64_t seq) {
+  EnsureProject(project);
+  ProjectState* state = FindProject(project);
+  if (state == nullptr) {
+    return InternalError("project vanished after EnsureProject");
+  }
+  std::lock_guard<std::mutex> lock(state->write_mutex);
+  if (state->degraded) {
+    return FailedPreconditionError("replica project is degraded: " +
+                                   state->degraded_reason);
+  }
+  ECRINT_ASSIGN_OR_RETURN(CheckpointView checkpoint, ParseCheckpointAny(bytes));
+  if (checkpoint.seq != seq) {
+    return InvalidArgumentError(
+        "checkpoint seq " + std::to_string(checkpoint.seq) +
+        " does not match advertised seq " + std::to_string(seq));
+  }
+  // Build the replacement engine on the side so a bad checkpoint leaves
+  // the current state (and its published snapshot) untouched. This mirrors
+  // RecoveryManager::Open's checkpoint branch exactly.
+  ECRINT_ASSIGN_OR_RETURN(
+      core::Project parsed,
+      core::ParseProject(std::string(checkpoint.project_text)));
+  engine::Engine fresh;
+  ECRINT_RETURN_IF_ERROR(fresh.ImportProject(std::move(parsed)));
+  if (checkpoint.integrated) {
+    Result<const core::IntegrationResult*> integrated =
+        fresh.Integrate(checkpoint.integrated_schemas);
+    if (!integrated.ok()) {
+      return InternalError("leader checkpoint claims a current integration "
+                           "but rebuilding it failed: " +
+                           integrated.status().message());
+    }
+  }
+  ECRINT_RETURN_IF_ERROR(fresh.AdoptReplayStamp(checkpoint.stamp));
+  state->engine = std::move(fresh);
+  state->integrate_lines_version = -1;
+  state->integrate_lines.clear();
+  if (state->durability != nullptr) {
+    Status installed = state->durability->InstallCheckpoint(bytes, seq);
+    if (!installed.ok()) {
+      DegradeProject(*state, installed);
+      return installed;
+    }
+  }
+  state->replica_applied_seq = seq;
+  if (state->snapshots.Publish(state->engine)) {
+    snapshots_published_->Increment();
+  }
+  return Status::Ok();
+}
+
+Status IntegrationService::ResetReplicatedProject(const std::string& project) {
+  ProjectState* state = FindProject(project);
+  if (state == nullptr) return Status::Ok();
+  std::lock_guard<std::mutex> lock(state->write_mutex);
+  engine::Engine fresh;
+  engine::BeginReplay(fresh);
+  state->engine = std::move(fresh);
+  state->integrate_lines_version = -1;
+  state->integrate_lines.clear();
+  state->replica_applied_seq = 0;
+  if (state->durability != nullptr) {
+    Status reset = state->durability->Reset();
+    if (!reset.ok()) {
+      DegradeProject(*state, reset);
+      return reset;
+    }
+  }
+  if (state->snapshots.Publish(state->engine)) {
+    snapshots_published_->Increment();
+  }
+  return Status::Ok();
 }
 
 int IntegrationService::CheckpointProjects() {
@@ -888,8 +1057,12 @@ void IntegrationService::RunWriteBatch(
     StatsFor(CommandVerbName(command.op)).requests->Increment();
     std::optional<engine::ReplayVerb> verb = ReplayVerbFor(command);
     if (!verb.has_value()) {
-      // export: not journaled, works in degraded mode.
+      // export: not journaled, works in degraded mode (and on replicas).
       out[k] = ExportBody(project.engine);
+      continue;
+    }
+    if (!config_.leader_addr.empty()) {
+      out[k] = ErrorResponse(NotLeaderError(config_.leader_addr));
       continue;
     }
     if (project.degraded || append_failed) {

@@ -26,7 +26,7 @@
 
 namespace ecrint::service {
 
-// What a client sees when the service refuses or fails a request. The five
+// What a client sees when the service refuses or fails a request. The six
 // codes partition every failure the service plane can produce:
 //   OVERLOADED  - admission control shed the request (queue at capacity);
 //                 retry with backoff, the project state is untouched.
@@ -41,12 +41,17 @@ namespace ecrint::service {
 //                 refused (degraded read-only mode); nothing was applied.
 //                 Carries a retry-after hint; reads keep working against
 //                 the last published snapshot.
+//   NOT_LEADER  - this node is a read replica: mutations must go to the
+//                 leader, whose address rides along in `leader`. Reads keep
+//                 working here. Appended last so existing binary status
+//                 bytes are unchanged.
 enum class ServiceErrorCode {
   kOverloaded,
   kTimeout,
   kBadRequest,
   kConflict,
   kUnavailable,
+  kNotLeader,
 };
 
 // Wire name of a code ("OVERLOADED", "TIMEOUT", ...).
@@ -58,6 +63,16 @@ struct ServiceError {
   // For UNAVAILABLE: how long the client should wait before retrying
   // (0 = no hint).
   int64_t retry_after_ms = 0;
+  // For NOT_LEADER: where writes should go (host:port).
+  std::string leader;
+
+  ServiceError() = default;
+  ServiceError(ServiceErrorCode code_in, std::string message_in,
+               int64_t retry_after_ms_in = 0, std::string leader_in = {})
+      : code(code_in),
+        message(std::move(message_in)),
+        retry_after_ms(retry_after_ms_in),
+        leader(std::move(leader_in)) {}
 };
 
 // Maps an engine/library Status onto the service error vocabulary:
@@ -135,6 +150,10 @@ struct ServiceConfig {
   // filesystem. Tests inject MemFs or FaultInjectingFs.
   common::Fs* fs = nullptr;
   DurabilityOptions durability;
+  // Non-empty makes this service a read replica: client-facing mutations
+  // are refused with NOT_LEADER carrying this address, and the replication
+  // plane (ApplyReplicated et al.) is the only writer.
+  std::string leader_addr;
 };
 
 // The multi-session, thread-safe service plane over engine::Engine.
@@ -251,6 +270,45 @@ class IntegrationService {
   // returns how many checkpoints were written. A no-op without a data dir.
   int CheckpointProjects();
 
+  // --- replication plane ---------------------------------------------------
+  // These are the hooks src/service/replication.{h,cc} drives; normal
+  // clients never see them. They bypass the NOT_LEADER gate (the leader's
+  // stream IS the write path on a follower) but respect degraded mode.
+
+  // Creates `project` (running recovery and publishing the initial
+  // snapshot) if it does not exist yet; idempotent.
+  void EnsureProject(const std::string& project);
+
+  // Where a node's replication stream stands: the last sequence folded into
+  // the engine and the stamp of that state. On the leader seq comes from
+  // the journal; on a diskless follower from the applied-record counter.
+  struct ReplicationPosition {
+    uint64_t seq = 0;
+    engine::EngineStamp stamp;
+  };
+  Result<ReplicationPosition> SampleReplicationPosition(
+      const std::string& project);
+
+  // Applies one leader journal record (an encoded ReplayVerb at the
+  // leader's `seq`) to a follower: journals it locally when durable,
+  // replays it through engine::ApplyReplayVerb (a rejected verb replays to
+  // the same rejection — that is the point), republishes the snapshot, and
+  // returns the resulting stamp. `seq` must be exactly the next expected
+  // sequence; a mismatch is an error and the caller resubscribes.
+  Result<engine::EngineStamp> ApplyReplicated(const std::string& project,
+                                              uint64_t seq,
+                                              std::string_view payload);
+
+  // Replaces a follower project's state with a checkpoint fetched from the
+  // leader (`bytes` is the serialized checkpoint, either format, covering
+  // records <= `seq`), persisting it locally when durable.
+  Status InstallReplicatedCheckpoint(const std::string& project,
+                                     std::string_view bytes, uint64_t seq);
+
+  // Discards a diverged follower project back to the empty post-publication
+  // state (seq 0) so the next bootstrap starts from nothing.
+  Status ResetReplicatedProject(const std::string& project);
+
   // The current snapshot of a session's project (null if the session or
   // project is unknown). Exposed for readers that drive snapshot
   // operations directly (tests, the stress harness).
@@ -260,6 +318,7 @@ class IntegrationService {
   MetricsRegistry& metrics() { return metrics_; }
   const ServiceConfig& config() const { return config_; }
   const common::Clock* clock() const { return clock_; }
+  common::Fs* fs() { return fs_; }
 
  private:
   // One hosted project: the single-writer engine behind its lock, plus the
@@ -282,6 +341,10 @@ class IntegrationService {
     // Guarded by write_mutex.
     int64_t integrate_lines_version = -1;
     std::vector<std::string> integrate_lines;
+    // Last leader sequence applied on a DISKLESS follower (durable
+    // followers track it through the journal's next_seq instead). Guarded
+    // by write_mutex.
+    uint64_t replica_applied_seq = 0;
   };
 
   // Per-verb instruments, resolved once at construction so the hot path
@@ -355,7 +418,7 @@ class IntegrationService {
 
   // Instruments resolved once (the registry hands out stable pointers).
   std::map<std::string, VerbStats, std::less<>> verb_stats_;
-  std::array<Counter*, 5> error_counters_{};
+  std::array<Counter*, 6> error_counters_{};
   Counter* snapshots_published_ = nullptr;
   Counter* sessions_reaped_ = nullptr;
   Counter* degraded_flips_ = nullptr;

@@ -221,5 +221,91 @@ TEST(JournalTest, ShortWriteLeavesScannableTornTail) {
   EXPECT_EQ(scan.total_bytes - scan.valid_bytes, 5u);
 }
 
+// --- edge cases ------------------------------------------------------------
+
+TEST(JournalTest, ScanOfEmptyFileOnDiskIsClean) {
+  // Not just the empty string: a zero-byte file that exists (a journal
+  // created but never appended to, or truncated by Rotate) must scan clean
+  // with zero records.
+  common::MemFs fs;
+  ASSERT_TRUE(fs.WriteFileAtomic("j", "").ok());
+  Result<std::string> bytes = fs.ReadFileToString("j");
+  ASSERT_TRUE(bytes.ok());
+  JournalScanResult scan = ScanJournal(*bytes);
+  EXPECT_TRUE(scan.clean);
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_EQ(scan.valid_bytes, 0u);
+  EXPECT_EQ(scan.total_bytes, 0u);
+}
+
+TEST(JournalTest, FileEndingExactlyAtARecordBoundaryIsClean) {
+  // The boundary case between "torn tail" and "complete": a file whose
+  // last byte is the last byte of a record must report clean with no
+  // pending damage, because a crash immediately after a successful append
+  // looks exactly like this.
+  std::string bytes =
+      EncodeJournalRecord(1, "first") + EncodeJournalRecord(2, "second");
+  JournalScanResult scan = ScanJournal(bytes);
+  EXPECT_TRUE(scan.clean);
+  EXPECT_EQ(scan.valid_bytes, bytes.size());
+  EXPECT_EQ(scan.total_bytes, bytes.size());
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_TRUE(scan.damage.empty());
+  // One more byte makes it a torn tail, one fewer a truncated record.
+  EXPECT_FALSE(ScanJournal(bytes + "x").clean);
+  EXPECT_FALSE(
+      ScanJournal(std::string_view(bytes).substr(0, bytes.size() - 1)).clean);
+}
+
+TEST(JournalTest, TailerReadsAcrossCheckpointTriggeredRotation) {
+  // A reader following the live journal while the writer checkpoints:
+  // Rotate truncates the file mid-tail, and the reader must carry on with
+  // the post-rotation records without loss or duplication.
+  common::MemFs fs;
+  auto journal = Journal::Open(&fs, "j", 1, FsyncPolicy::kNever, 1);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE((*journal)->Append("one").ok());
+  ASSERT_TRUE((*journal)->Append("two").ok());
+
+  JournalTailer tailer(&fs, "j", 0);
+  TailResult tail = tailer.Poll();
+  ASSERT_EQ(tail.records.size(), 2u);
+
+  // Checkpoint: rotation empties the file, sequencing continues.
+  ASSERT_TRUE((*journal)->Rotate().ok());
+  ASSERT_TRUE((*journal)->Append("three").ok());
+  tail = tailer.Poll();
+  EXPECT_EQ(tail.status, TailStatus::kRecords);
+  ASSERT_EQ(tail.records.size(), 1u);
+  EXPECT_EQ(tail.records[0].seq, 3u);
+  EXPECT_EQ(tail.records[0].payload, "three");
+
+  // A tailer joining late (already past the rotation) sees only the live
+  // suffix and reports no gap, because its from-seq covers the rotation.
+  JournalTailer late(&fs, "j", 2);
+  tail = late.Poll();
+  EXPECT_EQ(tail.status, TailStatus::kRecords);
+  ASSERT_EQ(tail.records.size(), 1u);
+  EXPECT_EQ(tail.records[0].seq, 3u);
+}
+
+TEST(JournalTest, RotateToMovesTheCounterForwardOnly) {
+  common::MemFs fs;
+  auto journal = Journal::Open(&fs, "j", 1, FsyncPolicy::kNever, 1);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE((*journal)->Append("one").ok());
+
+  // A follower installing a leader checkpoint at seq 41 continues at 42.
+  ASSERT_TRUE((*journal)->RotateTo(42).ok());
+  EXPECT_EQ(JournalOf(fs), "");
+  ASSERT_TRUE((*journal)->Append("forty-two").ok());
+  JournalScanResult scan = ScanJournal(JournalOf(fs));
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0].seq, 42u);
+
+  // The stream identity is append-only: the counter never moves back.
+  EXPECT_FALSE((*journal)->RotateTo(7).ok());
+}
+
 }  // namespace
 }  // namespace ecrint::service

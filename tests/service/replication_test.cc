@@ -1,0 +1,551 @@
+// Log-shipped replication, end to end over an in-memory transport: frame
+// codec roundtrips, journal tailing (rotation hand-off, gaps, torn tails),
+// follower bootstrap from a leader checkpoint, convergence under a write
+// storm, stream cuts mid-record, corrupted checkpoint chunks, follower
+// kill -9 restarts, and the NOT_LEADER write gate. The consistency oracle
+// throughout is Engine::Stamp() equality at equal seq.
+
+#include "service/replication.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fs.h"
+#include "service/journal.h"
+#include "service/protocol.h"
+#include "service/recovery.h"
+#include "service/service.h"
+
+namespace ecrint::service {
+namespace {
+
+constexpr const char* kUniversityDdl =
+    "schema sc1 { entity Student { Name: char key; GPA: real; } }\n"
+    "schema sc2 { entity Grad { Name: char key; GPA: real; } }";
+
+// --- frame codecs ----------------------------------------------------------
+
+// Strips the varint length prefix and returns the frame body, asserting
+// the frame is complete and self-consistent.
+std::string_view Body(const std::string& frame) {
+  std::string_view body;
+  size_t consumed = 0;
+  std::string error;
+  FrameStatus status = ExtractFrame(frame, &body, &consumed, &error);
+  EXPECT_EQ(status, FrameStatus::kComplete) << error;
+  EXPECT_EQ(consumed, frame.size());
+  return body;
+}
+
+TEST(ReplicationFrameTest, SubscribeRoundtrip) {
+  ReplSubscribe subscribe;
+  subscribe.project = "uni";
+  subscribe.have_seq = 41;
+  Result<ReplFrame> frame = DecodeReplFrame(Body(EncodeReplSubscribe(subscribe)));
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->type, kFrameReplSubscribe);
+  EXPECT_EQ(frame->subscribe.project, "uni");
+  EXPECT_EQ(frame->subscribe.have_seq, 41u);
+}
+
+TEST(ReplicationFrameTest, HelloChunkRecordRoundtrip) {
+  ReplHello hello;
+  hello.has_checkpoint = true;
+  hello.seq = 7;
+  hello.total_bytes = 1u << 20;
+  hello.crc = 0xDEADBEEF;
+  Result<ReplFrame> frame = DecodeReplFrame(Body(EncodeReplHello(hello)));
+  ASSERT_TRUE(frame.ok());
+  EXPECT_TRUE(frame->hello.has_checkpoint);
+  EXPECT_EQ(frame->hello.seq, 7u);
+  EXPECT_EQ(frame->hello.total_bytes, 1u << 20);
+  EXPECT_EQ(frame->hello.crc, 0xDEADBEEFu);
+
+  ReplChunk chunk;
+  chunk.offset = 65536;
+  chunk.crc = 123;
+  chunk.bytes = std::string("\x00\x01raw bytes", 11);
+  frame = DecodeReplFrame(Body(EncodeReplChunk(chunk)));
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->chunk.offset, 65536u);
+  EXPECT_EQ(frame->chunk.bytes, chunk.bytes);
+
+  ReplRecord record;
+  record.seq = 99;
+  record.crc = 456;
+  record.payload = "assert sc1.Student 1 sc2.Grad";
+  frame = DecodeReplFrame(Body(EncodeReplRecord(record)));
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->record.seq, 99u);
+  EXPECT_EQ(frame->record.payload, record.payload);
+}
+
+TEST(ReplicationFrameTest, StampRoundtripsNegativeCounters) {
+  // Pre-adoption stamps are all -1; zigzag must carry them unchanged.
+  ReplStamp stamp;
+  stamp.seq = 12;
+  stamp.stamp = {-1, -1, -1, -1, -1};
+  Result<ReplFrame> frame = DecodeReplFrame(Body(EncodeReplStamp(stamp)));
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->stamp.seq, 12u);
+  EXPECT_EQ(frame->stamp.stamp, stamp.stamp);
+
+  stamp.stamp = {5, 0, 3, 1024, -1};
+  frame = DecodeReplFrame(Body(EncodeReplStamp(stamp)));
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->stamp.stamp, stamp.stamp);
+}
+
+TEST(ReplicationFrameTest, RejectsGarbage) {
+  EXPECT_FALSE(DecodeReplFrame("").ok());
+  EXPECT_FALSE(DecodeReplFrame("\x7F").ok());  // unknown type
+  // Trailing garbage after a valid frame body.
+  std::string frame = EncodeReplError("boom");
+  std::string body(Body(frame));
+  body += "x";
+  EXPECT_FALSE(DecodeReplFrame(body).ok());
+  // Truncated mid-field.
+  ReplRecord record;
+  record.seq = 1;
+  record.payload = "payload";
+  std::string record_body(Body(EncodeReplRecord(record)));
+  EXPECT_FALSE(
+      DecodeReplFrame(record_body.substr(0, record_body.size() - 3)).ok());
+}
+
+// --- journal tailer --------------------------------------------------------
+
+TEST(JournalTailerTest, DeliversNewRecordsAcrossPolls) {
+  common::MemFs fs;
+  std::string bytes = EncodeJournalRecord(1, "a") + EncodeJournalRecord(2, "b");
+  ASSERT_TRUE(fs.WriteFileAtomic("j", bytes).ok());
+  JournalTailer tailer(&fs, "j", 0);
+
+  TailResult tail = tailer.Poll();
+  EXPECT_EQ(tail.status, TailStatus::kRecords);
+  ASSERT_EQ(tail.records.size(), 2u);
+  EXPECT_EQ(tail.records[1].seq, 2u);
+  EXPECT_EQ(tail.pending_bytes, 0u);
+
+  // Nothing new: idle.
+  EXPECT_EQ(tailer.Poll().status, TailStatus::kIdle);
+
+  bytes += EncodeJournalRecord(3, "c");
+  ASSERT_TRUE(fs.WriteFileAtomic("j", bytes).ok());
+  tail = tailer.Poll();
+  EXPECT_EQ(tail.status, TailStatus::kRecords);
+  ASSERT_EQ(tail.records.size(), 1u);
+  EXPECT_EQ(tail.records[0].seq, 3u);
+  EXPECT_EQ(tailer.last_seq(), 3u);
+}
+
+TEST(JournalTailerTest, TornTailReadsAsIdle) {
+  common::MemFs fs;
+  std::string bytes = EncodeJournalRecord(1, "a") + EncodeJournalRecord(2, "b");
+  // Cut the second record in half: a writer mid-append looks exactly like
+  // this, so the tailer must deliver record 1 and wait, not error.
+  ASSERT_TRUE(
+      fs.WriteFileAtomic("j", bytes.substr(0, bytes.size() - 5)).ok());
+  JournalTailer tailer(&fs, "j", 0);
+  TailResult tail = tailer.Poll();
+  EXPECT_EQ(tail.status, TailStatus::kRecords);
+  ASSERT_EQ(tail.records.size(), 1u);
+  EXPECT_GT(tail.pending_bytes, 0u);
+  EXPECT_EQ(tailer.Poll().status, TailStatus::kIdle);
+
+  // The append completes: the tailer picks up record 2.
+  ASSERT_TRUE(fs.WriteFileAtomic("j", bytes).ok());
+  tail = tailer.Poll();
+  EXPECT_EQ(tail.status, TailStatus::kRecords);
+  ASSERT_EQ(tail.records.size(), 1u);
+  EXPECT_EQ(tail.records[0].seq, 2u);
+}
+
+TEST(JournalTailerTest, RotationHandsOffWhenSeqsContinue) {
+  common::MemFs fs;
+  ASSERT_TRUE(fs.WriteFileAtomic("j", EncodeJournalRecord(1, "a") +
+                                          EncodeJournalRecord(2, "b")).ok());
+  JournalTailer tailer(&fs, "j", 0);
+  ASSERT_EQ(tailer.Poll().records.size(), 2u);
+
+  // Checkpoint-triggered rotation: the file is replaced and sequencing
+  // continues. The tailer notices the shrink and follows seamlessly.
+  ASSERT_TRUE(fs.WriteFileAtomic("j", EncodeJournalRecord(3, "c")).ok());
+  TailResult tail = tailer.Poll();
+  EXPECT_EQ(tail.status, TailStatus::kRecords);
+  ASSERT_EQ(tail.records.size(), 1u);
+  EXPECT_EQ(tail.records[0].seq, 3u);
+}
+
+TEST(JournalTailerTest, RotationPastTheTailerIsAGap) {
+  common::MemFs fs;
+  ASSERT_TRUE(fs.WriteFileAtomic("j", EncodeJournalRecord(1, "a")).ok());
+  JournalTailer tailer(&fs, "j", 0);
+  ASSERT_EQ(tailer.Poll().records.size(), 1u);
+
+  // Records 2..4 were checkpointed away before the tailer saw them.
+  ASSERT_TRUE(fs.WriteFileAtomic("j", EncodeJournalRecord(5, "e")).ok());
+  TailResult tail = tailer.Poll();
+  EXPECT_EQ(tail.status, TailStatus::kGap);
+
+  // Restart at the gap (as the replication server does after shipping a
+  // checkpoint covering it).
+  tailer.Restart(4);
+  tail = tailer.Poll();
+  EXPECT_EQ(tail.status, TailStatus::kRecords);
+  ASSERT_EQ(tail.records.size(), 1u);
+  EXPECT_EQ(tail.records[0].seq, 5u);
+}
+
+TEST(JournalTailerTest, MissingFileIsIdle) {
+  common::MemFs fs;
+  JournalTailer tailer(&fs, "nope", 0);
+  EXPECT_EQ(tailer.Poll().status, TailStatus::kIdle);
+}
+
+// --- leader/follower integration over an in-memory transport ---------------
+
+// Thread-safe frame queue standing in for the follower's socket. Tests can
+// make it fail after N sends (a cut stream) or corrupt a frame in flight.
+class QueueSink : public ReplicationSink {
+ public:
+  Status Send(std::string_view frame) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fail_after_ >= 0 && sent_ >= fail_after_) {
+      return InternalError("sink closed");
+    }
+    std::string bytes(frame);
+    if (corrupt_index_ == sent_ && !bytes.empty()) {
+      bytes.back() = static_cast<char>(bytes.back() ^ 0x5A);
+    }
+    ++sent_;
+    frames_.push_back(std::move(bytes));
+    ready_.notify_all();
+    return Status::Ok();
+  }
+
+  bool Pop(std::string* frame, int timeout_ms) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!ready_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                         [this] { return !frames_.empty(); })) {
+      return false;
+    }
+    *frame = std::move(frames_.front());
+    frames_.pop_front();
+    return true;
+  }
+
+  void FailAfter(int sends) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fail_after_ = sends;
+  }
+  void CorruptSend(int index) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    corrupt_index_ = index;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<std::string> frames_;
+  int sent_ = 0;
+  int fail_after_ = -1;    // -1 = never fail
+  int corrupt_index_ = -1;  // -1 = never corrupt
+};
+
+// One leader subscription running on its own thread, like a connection
+// thread in ecrint_serve.
+class Subscription {
+ public:
+  // `configure` runs against the sink BEFORE the server starts streaming,
+  // so fault injection cannot race the first frames.
+  Subscription(ReplicationServer* server, const std::string& project,
+               uint64_t have_seq,
+               const std::function<void(QueueSink&)>& configure = nullptr) {
+    if (configure) configure(sink_);
+    ReplSubscribe subscribe;
+    subscribe.project = project;
+    subscribe.have_seq = have_seq;
+    thread_ = std::thread([this, server, subscribe] {
+      status_ = server->Serve(subscribe, sink_,
+                              [this] { return stop_.load(); });
+    });
+  }
+  ~Subscription() {
+    stop_.store(true);
+    thread_.join();
+  }
+
+  QueueSink& sink() { return sink_; }
+
+ private:
+  QueueSink sink_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  Status status_;
+};
+
+engine::EngineStamp StampOf(IntegrationService& service,
+                            const std::string& project) {
+  Result<IntegrationService::ReplicationPosition> position =
+      service.SampleReplicationPosition(project);
+  EXPECT_TRUE(position.ok()) << position.status().ToString();
+  return position.ok() ? position->stamp : engine::EngineStamp{};
+}
+
+uint64_t SeqOf(IntegrationService& service, const std::string& project) {
+  Result<IntegrationService::ReplicationPosition> position =
+      service.SampleReplicationPosition(project);
+  EXPECT_TRUE(position.ok()) << position.status().ToString();
+  return position.ok() ? position->seq : 0;
+}
+
+// Pumps frames from the sink into the follower until it holds the same
+// seq AND stamp as the leader (true) or the deadline passes (false). An
+// error or kResubscribe outcome ends the pump early (false).
+bool PumpUntilConverged(QueueSink& sink, FollowerState& follower,
+                        IntegrationService& leader,
+                        IntegrationService& follower_service,
+                        const std::string& project, int timeout_ms = 10000) {
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (SeqOf(leader, project) == follower.applied_seq() &&
+        StampOf(leader, project) == StampOf(follower_service, project)) {
+      return true;
+    }
+    std::string frame;
+    if (!sink.Pop(&frame, 50)) continue;
+    Result<FollowerState::Outcome> outcome = follower.HandleFrame(Body(frame));
+    if (!outcome.ok() || *outcome != FollowerState::Outcome::kOk) return false;
+  }
+  return false;
+}
+
+struct Node {
+  explicit Node(common::Fs* fs, std::string data_dir = "",
+                std::string leader_addr = "") {
+    ServiceConfig config;
+    config.fs = fs;
+    config.data_dir = std::move(data_dir);
+    config.durability.fsync = FsyncPolicy::kNever;
+    config.leader_addr = std::move(leader_addr);
+    service = std::make_unique<IntegrationService>(config);
+  }
+  std::unique_ptr<IntegrationService> service;
+};
+
+TEST(ReplicationTest, FollowerBootstrapsFromCheckpointAndConverges) {
+  common::MemFs fs;
+  Node leader(&fs, "/lead");
+  std::string session = leader.service->OpenSession("uni");
+  ASSERT_TRUE(leader.service->Define(session, kUniversityDdl).ok());
+  ASSERT_TRUE(leader.service->Integrate(session, {}).ok());
+  // Checkpoint + rotate: the journal no longer holds records 1..2, so a
+  // fresh follower MUST bootstrap via the checkpoint path.
+  ASSERT_EQ(leader.service->CheckpointProjects(), 1);
+  ASSERT_TRUE(
+      leader.service->AssertRelation(session, {"sc1", "Student"}, 1,
+                                     {"sc2", "Grad"}).ok());
+
+  ReplicationServer server(leader.service.get(), &fs, "/lead");
+  Node follower(&fs, "", "127.0.0.1:1");
+  FollowerState state(follower.service.get(), "uni");
+  Result<uint64_t> have = state.Prepare();
+  ASSERT_TRUE(have.ok());
+  EXPECT_EQ(*have, 0u);
+
+  Subscription subscription(&server, "uni", *have);
+  EXPECT_TRUE(PumpUntilConverged(subscription.sink(), state, *leader.service,
+                                 *follower.service, "uni"));
+  EXPECT_EQ(StampOf(*leader.service, "uni"), StampOf(*follower.service, "uni"));
+
+  // The follower actually serves the replicated state.
+  std::string follower_session = follower.service->OpenSession("uni");
+  ServiceResponse exported = follower.service->ExportProject(follower_session);
+  ASSERT_TRUE(exported.ok());
+  ServiceResponse leader_export = leader.service->ExportProject(session);
+  ASSERT_TRUE(leader_export.ok());
+  EXPECT_EQ(exported.lines, leader_export.lines);
+}
+
+TEST(ReplicationTest, ThousandWritesConvergeStampIdentical) {
+  common::MemFs fs;
+  Node leader(&fs, "/lead");
+  std::string session = leader.service->OpenSession("uni");
+  ASSERT_TRUE(leader.service->Define(session, kUniversityDdl).ok());
+
+  ReplicationServer::Options fast;
+  fast.poll_interval_ms = 1;
+  ReplicationServer server(leader.service.get(), &fs, "/lead", fast);
+  Node follower(&fs);
+  FollowerState state(follower.service.get(), "uni");
+  ASSERT_TRUE(state.Prepare().ok());
+  Subscription subscription(&server, "uni", 0);
+
+  // A write storm racing the stream: every record must replay to the same
+  // engine state, including the ones the engine rejects (duplicate
+  // assertions).
+  for (int i = 0; i < 1000; ++i) {
+    leader.service->AssertRelation(session, {"sc1", "Student"}, i % 6,
+                                   {"sc2", "Grad"});
+  }
+  ASSERT_TRUE(leader.service->Integrate(session, {}).ok());
+
+  EXPECT_TRUE(PumpUntilConverged(subscription.sink(), state, *leader.service,
+                                 *follower.service, "uni", 30000));
+  EXPECT_GE(state.applied_seq(), 1001u);
+  EXPECT_EQ(StampOf(*leader.service, "uni"), StampOf(*follower.service, "uni"));
+}
+
+TEST(ReplicationTest, StreamCutMidStreamResubscribesFromAppliedSeq) {
+  common::MemFs fs;
+  Node leader(&fs, "/lead");
+  std::string session = leader.service->OpenSession("uni");
+  ASSERT_TRUE(leader.service->Define(session, kUniversityDdl).ok());
+  for (int i = 0; i < 20; ++i) {
+    leader.service->AssertRelation(session, {"sc1", "Student"}, i % 6,
+                                   {"sc2", "Grad"});
+  }
+
+  ReplicationServer server(leader.service.get(), &fs, "/lead");
+  Node follower(&fs);
+  FollowerState state(follower.service.get(), "uni");
+  ASSERT_TRUE(state.Prepare().ok());
+
+  uint64_t cut_seq = 0;
+  {
+    // The connection dies mid-stream (after 5 frames).
+    Subscription first(&server, "uni", 0,
+                       [](QueueSink& sink) { sink.FailAfter(5); });
+    std::string frame;
+    while (first.sink().Pop(&frame, 500)) {
+      Result<FollowerState::Outcome> outcome = state.HandleFrame(Body(frame));
+      ASSERT_TRUE(outcome.ok());
+      ASSERT_EQ(*outcome, FollowerState::Outcome::kOk);
+    }
+    cut_seq = state.applied_seq();
+    EXPECT_GT(cut_seq, 0u);
+    EXPECT_LT(cut_seq, SeqOf(*leader.service, "uni"));
+  }
+
+  // Reconnect with have_seq = what stuck; the leader resumes exactly there
+  // — no re-send of applied records, no gaps.
+  Subscription second(&server, "uni", cut_seq);
+  EXPECT_TRUE(PumpUntilConverged(second.sink(), state, *leader.service,
+                                 *follower.service, "uni"));
+  EXPECT_EQ(StampOf(*leader.service, "uni"), StampOf(*follower.service, "uni"));
+}
+
+TEST(ReplicationTest, CorruptedChunkForcesCleanRetry) {
+  common::MemFs fs;
+  Node leader(&fs, "/lead");
+  std::string session = leader.service->OpenSession("uni");
+  ASSERT_TRUE(leader.service->Define(session, kUniversityDdl).ok());
+  ASSERT_TRUE(leader.service->Integrate(session, {}).ok());
+  ASSERT_EQ(leader.service->CheckpointProjects(), 1);
+
+  ReplicationServer server(leader.service.get(), &fs, "/lead");
+  Node follower(&fs);
+  FollowerState state(follower.service.get(), "uni");
+  ASSERT_TRUE(state.Prepare().ok());
+
+  {
+    // Bit-flip the first chunk (send #1, after the hello) in flight: the
+    // follower must reject the transfer, not install garbage.
+    Subscription corrupted(&server, "uni", 0,
+                           [](QueueSink& sink) { sink.CorruptSend(1); });
+    bool rejected = false;
+    std::string frame;
+    while (!rejected && corrupted.sink().Pop(&frame, 500)) {
+      Result<FollowerState::Outcome> outcome = state.HandleFrame(Body(frame));
+      ASSERT_TRUE(outcome.ok());
+      rejected = *outcome == FollowerState::Outcome::kResubscribe;
+    }
+    EXPECT_TRUE(rejected);
+    EXPECT_EQ(state.applied_seq(), 0u);
+  }
+
+  Subscription clean(&server, "uni", 0);
+  EXPECT_TRUE(PumpUntilConverged(clean.sink(), state, *leader.service,
+                                 *follower.service, "uni"));
+  EXPECT_EQ(StampOf(*leader.service, "uni"), StampOf(*follower.service, "uni"));
+}
+
+TEST(ReplicationTest, DurableFollowerSurvivesKillDashNine) {
+  common::MemFs fs;
+  Node leader(&fs, "/lead");
+  std::string session = leader.service->OpenSession("uni");
+  ASSERT_TRUE(leader.service->Define(session, kUniversityDdl).ok());
+  for (int i = 0; i < 10; ++i) {
+    leader.service->AssertRelation(session, {"sc1", "Student"}, i % 6,
+                                   {"sc2", "Grad"});
+  }
+
+  ReplicationServer server(leader.service.get(), &fs, "/lead");
+  uint64_t surviving_seq = 0;
+  {
+    // First life: durable follower converges, then "kill -9" — the whole
+    // process state vanishes, only its journal + checkpoint remain in fs.
+    Node follower(&fs, "/replica");
+    FollowerState state(follower.service.get(), "uni");
+    ASSERT_TRUE(state.Prepare().ok());
+    Subscription subscription(&server, "uni", 0);
+    ASSERT_TRUE(PumpUntilConverged(subscription.sink(), state,
+                                   *leader.service, *follower.service, "uni"));
+    surviving_seq = state.applied_seq();
+  }
+
+  // More leader writes while the follower is down.
+  for (int i = 0; i < 10; ++i) {
+    leader.service->AssertRelation(session, {"sc2", "Grad"}, i % 6,
+                                   {"sc1", "Student"});
+  }
+
+  // Second life: recovery picks the stream back up from local durability —
+  // no full re-bootstrap.
+  Node follower(&fs, "/replica");
+  FollowerState state(follower.service.get(), "uni");
+  Result<uint64_t> have = state.Prepare();
+  ASSERT_TRUE(have.ok());
+  EXPECT_EQ(*have, surviving_seq);
+  Subscription subscription(&server, "uni", *have);
+  EXPECT_TRUE(PumpUntilConverged(subscription.sink(), state, *leader.service,
+                                 *follower.service, "uni"));
+  EXPECT_EQ(StampOf(*leader.service, "uni"), StampOf(*follower.service, "uni"));
+}
+
+TEST(ReplicationTest, FollowerRejectsWritesWithNotLeader) {
+  common::MemFs fs;
+  Node follower(&fs, "", "10.0.0.7:7400");
+  std::string session = follower.service->OpenSession("uni");
+  ServiceResponse response = follower.service->Define(session, kUniversityDdl);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.error->code, ServiceErrorCode::kNotLeader);
+  EXPECT_EQ(response.error->leader, "10.0.0.7:7400");
+  // Reads still work.
+  EXPECT_TRUE(follower.service->ExportProject(session).ok());
+}
+
+TEST(ReplicationTest, ApplyReplicatedEnforcesSeqContiguity) {
+  common::MemFs fs;
+  Node follower(&fs);
+  follower.service->EnsureProject("uni");
+  std::string payload = "define schema s { entity E { A: char key; } }";
+  EXPECT_FALSE(follower.service->ApplyReplicated("uni", 2, payload).ok());
+  ASSERT_TRUE(follower.service->ApplyReplicated("uni", 1, payload).ok());
+  EXPECT_FALSE(follower.service->ApplyReplicated("uni", 1, payload).ok());
+  EXPECT_TRUE(follower.service->ApplyReplicated("uni", 2, payload).ok());
+}
+
+}  // namespace
+}  // namespace ecrint::service

@@ -1,7 +1,7 @@
 // The read-response cache: part-identity validation against copy-on-write
 // snapshots (warm across publishes that shared the parts, evicted the
 // moment a part was recomputed), per-protocol wire serialization, the
-// clear-on-overflow cap, and the router-level fast path (repeat reads are
+// LRU capacity bound, and the router-level fast path (repeat reads are
 // served from cache and counted in cache.hits; any write that touches the
 // answer invalidates).
 
@@ -157,29 +157,63 @@ TEST(ResponseCacheTest, NullnessMismatchIsAMiss) {
   EXPECT_FALSE(cache.Lookup(key, *after, kProtocolTextVersion).has_value());
 }
 
-TEST(ResponseCacheTest, CapClearsInsteadOfGrowingUnbounded) {
+TEST(ResponseCacheTest, CapEvictsLeastRecentlyUsed) {
   engine::Engine engine = MakeEngine();
   SnapshotManager manager;
   ASSERT_TRUE(manager.Publish(engine));
   std::shared_ptr<const EngineSnapshot> snapshot = manager.Current();
 
   ResponseCache cache;
+  MetricsRegistry metrics;
+  Counter* evictions = metrics.GetCounter("cache.evictions");
+  cache.SetEvictionCounter(evictions);
   for (size_t i = 0; i < ResponseCache::kMaxEntries; ++i) {
     cache.Insert(ResponseCache::Key("rank", {std::to_string(i)}), *snapshot,
                  MakeResponse({"r"}));
   }
   EXPECT_EQ(cache.size(), ResponseCache::kMaxEntries);
-  // One more distinct key resets the cache rather than exceeding the cap.
+  // One more distinct key evicts exactly one entry — the oldest ("0").
   cache.Insert(ResponseCache::Key("rank", {"overflow"}), *snapshot,
                MakeResponse({"r"}));
-  EXPECT_EQ(cache.size(), 1u);
-  // Re-inserting an existing key at the cap does NOT clear.
-  for (size_t i = 1; i < ResponseCache::kMaxEntries; ++i) {
-    cache.Insert(ResponseCache::Key("rank", {std::to_string(i)}), *snapshot,
-                 MakeResponse({"r"}));
-  }
+  EXPECT_EQ(cache.size(), ResponseCache::kMaxEntries);
+  EXPECT_EQ(evictions->value(), 1);
+  EXPECT_FALSE(cache.Lookup(ResponseCache::Key("rank", {"0"}), *snapshot,
+                            kProtocolTextVersion)
+                   .has_value());
+  EXPECT_TRUE(cache.Lookup(ResponseCache::Key("rank", {"1"}), *snapshot,
+                           kProtocolTextVersion)
+                  .has_value());
+  // Re-inserting an existing key at the cap neither evicts nor grows.
   cache.Insert(ResponseCache::Key("rank", {"1"}), *snapshot,
                MakeResponse({"r2"}));
+  EXPECT_EQ(cache.size(), ResponseCache::kMaxEntries);
+  EXPECT_EQ(evictions->value(), 1);
+}
+
+TEST(ResponseCacheTest, HotKeysSurviveOverflow) {
+  engine::Engine engine = MakeEngine();
+  SnapshotManager manager;
+  ASSERT_TRUE(manager.Publish(engine));
+  std::shared_ptr<const EngineSnapshot> snapshot = manager.Current();
+
+  ResponseCache cache;
+  std::string hot = ResponseCache::Key("rank", {"hot"});
+  cache.Insert(hot, *snapshot, MakeResponse({"hot answer"}));
+  // A scan of 4x-capacity one-off keys, with the hot key re-read along the
+  // way: under LRU the scan only ever evicts its own cold tail.
+  for (size_t i = 0; i < 4 * ResponseCache::kMaxEntries; ++i) {
+    cache.Insert(ResponseCache::Key("rank", {"cold" + std::to_string(i)}),
+                 *snapshot, MakeResponse({"r"}));
+    if (i % 16 == 0) {
+      ASSERT_TRUE(cache.Lookup(hot, *snapshot, kProtocolTextVersion)
+                      .has_value())
+          << "hot key evicted after " << i << " cold inserts";
+    }
+  }
+  std::optional<ResponseCache::Hit> hit =
+      cache.Lookup(hot, *snapshot, kProtocolTextVersion);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->response.lines, std::vector<std::string>{"hot answer"});
   EXPECT_EQ(cache.size(), ResponseCache::kMaxEntries);
 }
 

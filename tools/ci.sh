@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Tier-1 verification across three suites:
+# Tier-1 verification across these suites:
 #   release  Release build + full ctest (what the recorded numbers assume)
 #   asan     Debug + ASan/UBSan + full ctest (lifetime and UB bugs the
 #            optimizer hides)
@@ -13,6 +13,13 @@
 #            through the wire, kill the process ungracefully, verify the
 #            journal with ecrint_journal, restart, read the state back,
 #            and check the SIGTERM drain path exits 0.
+#   replication
+#            Debug + ASan/UBSan, running the replication surfaces — frame
+#            codecs, journal tailer, follower state machine, response
+#            cache — plus a live leader + two followers (one durable, one
+#            diskless) over real sockets: snapshot bootstrap, identical
+#            exports everywhere, NOT_LEADER redirects, kill -9 of the
+#            leader mid-stream, and reconvergence after its restart.
 #   bench    Release build of perf_closure, short sweep of the closure
 #            kernel, then BM_AssertChain/64 compared against the recorded
 #            number in BENCH_resemblance.json: fail on >2x regression,
@@ -32,10 +39,10 @@
 #   --jobs N      parallelism for build and ctest (default: nproc)
 #   --keep        leave the build trees (build-ci-<suite>/) in place for
 #                 inspection instead of removing them on success
-#   --suite NAME  run only NAME (release|asan|tsan|recovery|bench|
-#                 protocol-compat); repeatable. Default is release + asan;
-#                 CI runs tsan, recovery, bench, and protocol-compat as
-#                 their own jobs.
+#   --suite NAME  run only NAME (release|asan|tsan|recovery|replication|
+#                 bench|protocol-compat); repeatable. Default is release +
+#                 asan; CI runs tsan, recovery, replication, bench, and
+#                 protocol-compat as their own jobs.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -142,11 +149,15 @@ smoke_request() {
   exec 3<&- 3>&-
 }
 
-# Starts ecrint_serve writing to `log`, scrapes the ephemeral port into
-# the global `smoke_port`, and the pid into `smoke_pid`.
-start_smoke_server() {
-  local serve="$1" data_dir="$2" log="$3"
-  "${serve}" --port 0 --data-dir "${data_dir}" >"${log}" &
+# Starts ecrint_serve with the given arguments writing to `log`, scrapes
+# the ephemeral port into the global `smoke_port`, and the pid into
+# `smoke_pid`.
+start_server_with_args() {
+  local log="$1"
+  shift
+  # stderr goes to the log too: a background server holding the suite's
+  # stderr pipe would keep downstream readers alive after a failure.
+  "$@" >"${log}" 2>&1 &
   smoke_pid=$!
   smoke_port=""
   for _ in $(seq 1 100); do
@@ -155,10 +166,16 @@ start_smoke_server() {
     sleep 0.1
   done
   if [[ -z "${smoke_port}" ]]; then
-    echo "recovery smoke: server never reported a port" >&2
+    echo "smoke: server never reported a port" >&2
     kill -9 "${smoke_pid}" 2>/dev/null || true
     return 1
   fi
+}
+
+start_smoke_server() {
+  local serve="$1" data_dir="$2" log="$3"
+  start_server_with_args "${log}" \
+    "${serve}" --port 0 --data-dir "${data_dir}"
 }
 
 kill_recover_smoke() {
@@ -209,6 +226,176 @@ kill_recover_smoke() {
     return 1
   fi
   echo "recovery smoke: kill -9 recovery and SIGTERM drain OK" >&2
+}
+
+# Leader + two followers over real sockets (one durable, one diskless):
+# snapshot bootstrap, WAL streaming, identical exports on every node,
+# NOT_LEADER redirects carrying the leader's address, and reconvergence
+# after kill -9 of the leader mid-stream — all under ASan/UBSan.
+replication_smoke() {
+  local build_dir="$1"
+  repl_smoke_pids=()
+  local serve="${build_dir}/tools/ecrint_serve"
+  local leader_data="${build_dir}/repl-leader-data"
+  local follower_data="${build_dir}/repl-follower-data"
+  local leader_log="${build_dir}/repl-leader.log"
+  local f1_log="${build_dir}/repl-follower1.log"
+  local f2_log="${build_dir}/repl-follower2.log"
+  rm -rf "${leader_data}" "${follower_data}"
+
+  start_server_with_args "${leader_log}" \
+    "${serve}" --port 0 --data-dir "${leader_data}" --role leader
+  local leader_pid="${smoke_pid}" leader_port="${smoke_port}"
+  repl_smoke_pids+=("${smoke_pid}")
+  local seed_out
+  seed_out="$(smoke_request "${leader_port}" 4 \
+    "open repl" \
+    "define schema s1 { entity Student { Name: char key; } }" \
+    "define schema s2 { entity Pupil { Name: char key; } }" \
+    "integrate")"
+  if grep -q '^err ' <<<"${seed_out}"; then
+    echo "replication smoke: leader seeding failed:" >&2
+    echo "${seed_out}" >&2
+    return 1
+  fi
+
+  start_server_with_args "${f1_log}" \
+    "${serve}" --port 0 --role follower \
+    --leader-addr "127.0.0.1:${leader_port}" --follow repl \
+    --data-dir "${follower_data}"
+  local f1_pid="${smoke_pid}" f1_port="${smoke_port}"
+  repl_smoke_pids+=("${smoke_pid}")
+  start_server_with_args "${f2_log}" \
+    "${serve}" --port 0 --role follower \
+    --leader-addr "127.0.0.1:${leader_port}" --follow repl
+  local f2_pid="${smoke_pid}" f2_port="${smoke_port}"
+  repl_smoke_pids+=("${smoke_pid}")
+
+  # Both followers converge to a byte-identical export of the leader.
+  # Only the export frame is compared: the `open` reply carries a
+  # per-node session id, which legitimately differs across nodes.
+  local leader_export follower_export port converged
+  leader_export="$(smoke_request "${leader_port}" 2 "open repl" "export" |
+    sed '1,/^\.$/d')"
+  if ! grep -q 'Student' <<<"${leader_export}"; then
+    echo "replication smoke: leader export is missing the schema:" >&2
+    echo "${leader_export}" >&2
+    return 1
+  fi
+  for port in "${f1_port}" "${f2_port}"; do
+    converged=0
+    for _ in $(seq 1 100); do
+      follower_export="$(smoke_request "${port}" 2 "open repl" "export" \
+        2>/dev/null | sed '1,/^\.$/d' || true)"
+      if [[ "${follower_export}" == "${leader_export}" ]]; then
+        converged=1
+        break
+      fi
+      sleep 0.2
+    done
+    if [[ "${converged}" -ne 1 ]]; then
+      echo "replication smoke: follower on port ${port} never converged" >&2
+      echo "--- leader export:" >&2
+      echo "${leader_export}" >&2
+      echo "--- follower export:" >&2
+      echo "${follower_export}" >&2
+      return 1
+    fi
+  done
+
+  # A write against a follower is refused with the leader's address.
+  local not_leader_out
+  not_leader_out="$(smoke_request "${f1_port}" 2 \
+    "open repl" \
+    "assert s1.Student 1 s2.Pupil")"
+  if ! grep -q "^err NOT_LEADER leader=127.0.0.1:${leader_port}" \
+      <<<"${not_leader_out}"; then
+    echo "replication smoke: follower write was not redirected:" >&2
+    echo "${not_leader_out}" >&2
+    return 1
+  fi
+
+  # Kill the leader without warning mid-stream, restart it on the same
+  # port, write more; the followers' clients reconnect and reconverge.
+  kill -9 "${leader_pid}"
+  wait "${leader_pid}" 2>/dev/null || true
+  : >"${leader_log}"
+  start_server_with_args "${leader_log}" \
+    "${serve}" --port "${leader_port}" --data-dir "${leader_data}" \
+    --role leader
+  leader_pid="${smoke_pid}"
+  repl_smoke_pids+=("${smoke_pid}")
+  local write_out
+  write_out="$(smoke_request "${leader_port}" 2 \
+    "open repl" \
+    "assert s1.Student 1 s2.Pupil")"
+  if grep -q '^err ' <<<"${write_out}"; then
+    echo "replication smoke: post-restart write failed:" >&2
+    echo "${write_out}" >&2
+    return 1
+  fi
+  leader_export="$(smoke_request "${leader_port}" 2 "open repl" "export" |
+    sed '1,/^\.$/d')"
+  if ! grep -q 's1\.Student 1 s2\.Pupil' <<<"${leader_export}"; then
+    echo "replication smoke: post-restart export is missing the assertion:" >&2
+    echo "${leader_export}" >&2
+    return 1
+  fi
+  for port in "${f1_port}" "${f2_port}"; do
+    converged=0
+    for _ in $(seq 1 150); do
+      follower_export="$(smoke_request "${port}" 2 "open repl" "export" \
+        2>/dev/null | sed '1,/^\.$/d' || true)"
+      if [[ "${follower_export}" == "${leader_export}" ]]; then
+        converged=1
+        break
+      fi
+      sleep 0.2
+    done
+    if [[ "${converged}" -ne 1 ]]; then
+      echo "replication smoke: follower on port ${port} never" \
+        "reconverged after leader restart" >&2
+      return 1
+    fi
+  done
+
+  # Every node drains cleanly on SIGTERM (followers join their clients).
+  local pid drain_status
+  for pid in "${f1_pid}" "${f2_pid}" "${leader_pid}"; do
+    kill -TERM "${pid}"
+    drain_status=0
+    wait "${pid}" || drain_status=$?
+    if [[ "${drain_status}" -ne 0 ]]; then
+      echo "replication smoke: pid ${pid} drain exited" \
+        "${drain_status}, want 0" >&2
+      return 1
+    fi
+  done
+  echo "replication smoke: bootstrap, NOT_LEADER redirect, and" \
+    "leader kill -9 reconvergence OK" >&2
+}
+
+run_replication_suite() {
+  local build_dir="${repo_root}/build-ci-replication"
+  local san_flags="-fsanitize=address,undefined -fno-omit-frame-pointer"
+  echo "=== replication: configure + build" >&2
+  configure_and_build "${build_dir}" \
+    service_test ecrint_serve ecrint_journal -- \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="${san_flags}" \
+    -DCMAKE_EXE_LINKER_FLAGS="${san_flags}" \
+    -DCMAKE_SHARED_LINKER_FLAGS="${san_flags}"
+  echo "=== replication: frame, tailer, and state-machine suites" >&2
+  "${build_dir}/tests/service_test" \
+    --gtest_filter='Replication*:JournalTailer*:ResponseCache*'
+  echo "=== replication: leader/follower smoke" >&2
+  if ! replication_smoke "${build_dir}"; then
+    # A failed check must not leave servers running (they would also hold
+    # the suite's output pipe open).
+    kill -9 "${repl_smoke_pids[@]}" 2>/dev/null || true
+    return 1
+  fi
+  cleanup "${build_dir}"
 }
 
 run_recovery_suite() {
@@ -611,6 +798,9 @@ for suite in "${suites[@]}"; do
     recovery)
       run_recovery_suite
       ;;
+    replication)
+      run_replication_suite
+      ;;
     bench)
       run_bench_suite
       ;;
@@ -619,7 +809,7 @@ for suite in "${suites[@]}"; do
       ;;
     *)
       echo "unknown suite: ${suite}" \
-        "(release|asan|tsan|recovery|bench|protocol-compat)" >&2
+        "(release|asan|tsan|recovery|replication|bench|protocol-compat)" >&2
       exit 2
       ;;
   esac

@@ -4,14 +4,21 @@
 //   ecrint_journal inspect <journal-file>     dump every valid record
 //   ecrint_journal verify <journal-file>      exit 0 clean / 1 damaged
 //   ecrint_journal checkpoint <checkpoint-file>  dump the header
+//   ecrint_journal tail <journal-file> [--from N] [--follow]
+//       print records with seq > N (0 = all); --follow keeps polling the
+//       live file like `tail -f`, surviving checkpoint rotations
 //
 // `verify` is the operator's first move on a machine that crashed: it says
 // how much of the journal survives and where the torn tail (if any)
 // starts, without touching the file. Recovery itself happens in the
 // server on its next start.
 
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "common/fs.h"
 #include "engine/replay.h"
@@ -24,8 +31,59 @@ using namespace ecrint;  // NOLINT: CLI brevity
 
 int Usage() {
   std::cerr << "usage: ecrint_journal inspect|verify <journal-file>\n"
-               "       ecrint_journal checkpoint <checkpoint-file>\n";
+               "       ecrint_journal checkpoint <checkpoint-file>\n"
+               "       ecrint_journal tail <journal-file> [--from N] "
+               "[--follow]\n";
   return 2;
+}
+
+volatile std::sig_atomic_t g_tail_interrupted = 0;
+
+void PrintRecord(const service::JournalRecord& record) {
+  std::cout << "seq=" << record.seq << " bytes=" << record.payload.size();
+  Result<engine::ReplayVerb> verb = engine::DecodeReplayVerb(record.payload);
+  if (verb.ok()) {
+    std::cout << "  " << engine::EncodeReplayVerb(*verb);
+  } else {
+    std::cout << "  [undecodable: " << verb.status().ToString() << "]";
+  }
+  std::cout << "\n";
+}
+
+int Tail(const std::string& path, uint64_t from, bool follow) {
+  // The same tailing machinery the replication leader uses; a gap means
+  // the file rotated past `from` (records now live only in the
+  // checkpoint), which is fatal for a one-shot tail but just a restart
+  // point in --follow mode.
+  service::JournalTailer tailer(common::RealFs(), path, from);
+  signal(SIGINT, [](int) { g_tail_interrupted = 1; });
+  for (;;) {
+    service::TailResult tail = tailer.Poll();
+    switch (tail.status) {
+      case service::TailStatus::kError:
+        std::cerr << path << ": " << tail.message << "\n";
+        return 1;
+      case service::TailStatus::kGap:
+        if (!follow) {
+          std::cerr << path << ": " << tail.message << "\n";
+          return 1;
+        }
+        std::cerr << "# " << tail.message << " (restarting there)\n";
+        tailer.Restart(tailer.last_seq());
+        continue;
+      case service::TailStatus::kRecords:
+        for (const service::JournalRecord& record : tail.records) {
+          PrintRecord(record);
+        }
+        continue;  // drain everything buffered before sleeping
+      case service::TailStatus::kIdle:
+        break;
+    }
+    if (!follow) return 0;
+    if (g_tail_interrupted) return 0;
+    std::cout.flush();
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
 }
 
 int InspectOrVerify(const std::string& path, bool verbose) {
@@ -93,9 +151,25 @@ int InspectCheckpoint(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) return Usage();
+  if (argc < 3) return Usage();
   std::string command = argv[1];
   std::string path = argv[2];
+  if (command == "tail") {
+    uint64_t from = 0;
+    bool follow = false;
+    for (int i = 3; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--from" && i + 1 < argc) {
+        from = std::strtoull(argv[++i], nullptr, 10);
+      } else if (arg == "--follow") {
+        follow = true;
+      } else {
+        return Usage();
+      }
+    }
+    return Tail(path, from, follow);
+  }
+  if (argc != 3) return Usage();
   if (command == "inspect") return InspectOrVerify(path, /*verbose=*/true);
   if (command == "verify") return InspectOrVerify(path, /*verbose=*/false);
   if (command == "checkpoint") return InspectCheckpoint(path);

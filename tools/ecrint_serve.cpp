@@ -3,6 +3,8 @@
 //   ecrint_serve [--port N] [--queue-depth N] [--deadline-ms N] [--once]
 //                [--data-dir PATH] [--fsync always|batch|never]
 //                [--checkpoint-interval N]
+//                [--role leader|follower] [--leader-addr HOST:PORT]
+//                [--follow PROJECT]...
 //
 // Speaks the newline-delimited protocol of src/service/protocol.h (grammar
 // in docs/FORMATS.md): one request per line, responses framed with a "."
@@ -23,22 +25,33 @@
 // --port 0 binds an ephemeral port; the chosen port is printed either way
 // as "listening on <port>" so scripts can scrape it. --once serves a
 // single connection and exits (used by smoke tests).
+//
+// Replication (docs/OPERATIONS.md, "Replication"): `--role leader` serves
+// the log-shipped stream of src/service/replication.h to any follower that
+// sends a subscribe frame on a `proto 2` connection (requires --data-dir —
+// the journal IS the stream). `--role follower --leader-addr HOST:PORT
+// --follow PROJECT` runs a replication client per followed project,
+// refuses client writes with NOT_LEADER, and serves snapshot reads.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <csignal>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/fs.h"
 #include "service/protocol.h"
+#include "service/replication.h"
 #include "service/router.h"
 #include "service/service.h"
 
@@ -73,7 +86,7 @@ void UnregisterConnection(int fd) {
 }
 
 // Writes the whole buffer or gives up (peer gone).
-bool WriteAll(int fd, const std::string& data) {
+bool WriteAll(int fd, std::string_view data) {
   size_t written = 0;
   while (written < data.size()) {
     ssize_t n = write(fd, data.data() + written, data.size() - written);
@@ -83,13 +96,53 @@ bool WriteAll(int fd, const std::string& data) {
   return true;
 }
 
+// Pushes replication frames straight down the follower's socket. A failed
+// write ends the subscription — the follower reconnects with backoff.
+class SocketSink : public service::ReplicationSink {
+ public:
+  SocketSink(int fd, service::Counter* bytes_out)
+      : fd_(fd), bytes_out_(bytes_out) {}
+  Status Send(std::string_view frame) override {
+    if (!WriteAll(fd_, frame)) {
+      return InternalError("follower connection lost");
+    }
+    bytes_out_->Increment(static_cast<int64_t>(frame.size()));
+    return Status::Ok();
+  }
+
+ private:
+  int fd_;
+  service::Counter* bytes_out_;
+};
+
+// A subscribe frame turns the connection into a one-way replication
+// stream: hand it to the ReplicationServer until shutdown or the follower
+// hangs up. Never returns to request handling.
+void ServeReplication(int fd, service::ReplicationServer* replication,
+                      std::string_view body, service::Counter* bytes_out) {
+  SocketSink sink(fd, bytes_out);
+  Result<service::ReplFrame> frame = service::DecodeReplFrame(body);
+  if (!frame.ok()) {
+    (void)sink.Send(service::EncodeReplError(frame.status().message()));
+    return;
+  }
+  if (replication == nullptr) {
+    (void)sink.Send(service::EncodeReplError(
+        "this node is not a replication leader (start with --role leader)"));
+    return;
+  }
+  (void)replication->Serve(frame->subscribe, sink,
+                           [] { return g_shutting_down != 0; });
+}
+
 // Reads requests from the socket, feeds the router, writes framed
 // responses. Starts in the text protocol; after the router acknowledges
 // `proto 2` the loop switches to length-prefixed binary frames. In binary
 // mode the connection is PIPELINED: every complete frame already buffered
 // is executed before the responses are flushed in one write, so a client
 // that streams N frames back to back pays one syscall round trip, not N.
-void ServeConnection(int fd, service::RequestRouter* router) {
+void ServeConnection(int fd, service::RequestRouter* router,
+                     service::ReplicationServer* replication) {
   RegisterConnection(fd);
   service::RouterSession session;
   service::MetricsRegistry& metrics = router->service()->metrics();
@@ -119,6 +172,25 @@ void ServeConnection(int fd, service::RequestRouter* router) {
           break;
         }
         if (status == service::FrameStatus::kNeedMore) break;
+        if (!body.empty() &&
+            static_cast<uint8_t>(body[0]) == service::kFrameReplSubscribe) {
+          // Flush anything pipelined ahead of the subscribe, then switch
+          // the connection over to the replication stream for good.
+          std::string subscribe_body(body);
+          buffer.erase(0, consumed);
+          if (!responses.empty()) {
+            bytes_out->Increment(static_cast<int64_t>(responses.size()));
+            if (!WriteAll(fd, responses)) {
+              responses.clear();
+              alive = false;
+              break;
+            }
+            responses.clear();
+          }
+          ServeReplication(fd, replication, subscribe_body, bytes_out);
+          alive = false;
+          break;
+        }
         responses += router->HandleFrame(body, &session);
         buffer.erase(0, consumed);
         if (session.protocol_version !=
@@ -173,6 +245,9 @@ void ServeConnection(int fd, service::RequestRouter* router) {
 int main(int argc, char** argv) {
   int port = 7400;
   bool once = false;
+  std::string role = "standalone";
+  std::string leader_addr;
+  std::vector<std::string> follow;
   service::ServiceConfig config;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -195,15 +270,39 @@ int main(int argc, char** argv) {
       config.durability.fsync = *policy;
     } else if (arg == "--checkpoint-interval" && i + 1 < argc) {
       config.durability.checkpoint_interval_records = std::atoi(argv[++i]);
+    } else if (arg == "--role" && i + 1 < argc) {
+      role = argv[++i];
+    } else if (arg == "--leader-addr" && i + 1 < argc) {
+      leader_addr = argv[++i];
+    } else if (arg == "--follow" && i + 1 < argc) {
+      follow.emplace_back(argv[++i]);
     } else if (arg == "--once") {
       once = true;
     } else {
       std::cerr << "usage: ecrint_serve [--port N] [--queue-depth N] "
                    "[--deadline-ms N] [--data-dir PATH] "
                    "[--fsync always|batch|never] [--checkpoint-interval N] "
-                   "[--once]\n";
+                   "[--role leader|follower] [--leader-addr HOST:PORT] "
+                   "[--follow PROJECT]... [--once]\n";
       return 2;
     }
+  }
+  if (role != "standalone" && role != "leader" && role != "follower") {
+    std::cerr << "--role must be leader or follower\n";
+    return 2;
+  }
+  if (role == "leader" && config.data_dir.empty()) {
+    std::cerr << "--role leader requires --data-dir "
+                 "(the journal is the replication stream)\n";
+    return 2;
+  }
+  if (role == "follower") {
+    if (leader_addr.empty() || follow.empty()) {
+      std::cerr << "--role follower requires --leader-addr HOST:PORT and at "
+                   "least one --follow PROJECT\n";
+      return 2;
+    }
+    config.leader_addr = leader_addr;  // turns on the NOT_LEADER write gate
   }
 
   // A client that disconnects mid-response must not kill the server.
@@ -211,6 +310,25 @@ int main(int argc, char** argv) {
 
   service::IntegrationService service(config);
   service::RequestRouter router(&service);
+
+  std::unique_ptr<service::ReplicationServer> replication;
+  if (role == "leader") {
+    replication = std::make_unique<service::ReplicationServer>(
+        &service, service.fs(), config.data_dir);
+  }
+
+  // Follower: one replication client per followed project, each pumping
+  // the leader's stream into this service until drain.
+  std::atomic<bool> replication_stop{false};
+  std::vector<std::unique_ptr<service::ReplicationClient>> clients;
+  std::vector<std::thread> client_threads;
+  for (const std::string& project : follow) {
+    clients.push_back(std::make_unique<service::ReplicationClient>(
+        &service, leader_addr, project));
+    service::ReplicationClient* client = clients.back().get();
+    client_threads.emplace_back(
+        [client, &replication_stop] { client->Run(replication_stop); });
+  }
 
   int listener = socket(AF_INET, SOCK_STREAM, 0);
   if (listener < 0) {
@@ -260,20 +378,24 @@ int main(int argc, char** argv) {
       break;
     }
     if (once) {
-      ServeConnection(fd, &router);
+      ServeConnection(fd, &router, replication.get());
       break;
     }
-    connections.emplace_back(ServeConnection, fd, &router);
+    connections.emplace_back(ServeConnection, fd, &router,
+                             replication.get());
   }
 
   // Drain: stop reading from every live connection (their threads finish
   // the response in flight, then see EOF), join them, and make the final
   // state durable in one checkpoint per project.
+  g_shutting_down = 1;  // also stops replication Serve loops (--once path)
+  replication_stop.store(true, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(g_connections_mutex);
     for (int fd : g_connection_fds) shutdown(fd, SHUT_RD);
   }
   for (std::thread& connection : connections) connection.join();
+  for (std::thread& client : client_threads) client.join();
   int checkpointed = service.CheckpointProjects();
   if (g_shutting_down) {
     std::cout << "drained, checkpointed " << checkpointed
