@@ -1,0 +1,790 @@
+#include "service/net.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "service/replication.h"
+#include "service/service.h"
+
+namespace ecrint::service {
+
+namespace {
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// epoll user-data tags for the fds that are not connections. Real
+// connections carry their Connection pointer, which is never this small.
+constexpr uint64_t kTagListener = 1;
+constexpr uint64_t kTagWake = 2;
+constexpr uint64_t kTagShutdown = 3;
+
+bool SetNonBlocking(int fd, bool non_blocking) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  if (non_blocking) {
+    flags |= O_NONBLOCK;
+  } else {
+    flags &= ~O_NONBLOCK;
+  }
+  return fcntl(fd, F_SETFL, flags) == 0;
+}
+
+}  // namespace
+
+bool SendAll(int fd, std::string_view bytes) {
+  while (!bytes.empty()) {
+    ssize_t n = send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    bytes.remove_prefix(static_cast<size_t>(n));
+  }
+  return true;
+}
+
+// --- BufferPool ------------------------------------------------------------
+
+std::string BufferPool::Acquire() {
+  if (!free_.empty()) {
+    std::string buffer = std::move(free_.back());
+    free_.pop_back();
+    return buffer;
+  }
+  std::string buffer;
+  buffer.reserve(buffer_capacity_);
+  return buffer;
+}
+
+void BufferPool::Release(std::string&& buffer) {
+  if (free_.size() >= max_buffers_ ||
+      buffer.capacity() > 4 * buffer_capacity_ ||
+      buffer.capacity() < buffer_capacity_ / 4) {
+    return;  // let unusual sizes free normally
+  }
+  buffer.clear();
+  free_.push_back(std::move(buffer));
+}
+
+// --- OutputQueue -----------------------------------------------------------
+
+void OutputQueue::Append(std::string&& bytes, BufferPool& pool) {
+  if (bytes.empty()) return;
+  pending_ += bytes.size();
+  if (bytes.size() >= pool.buffer_capacity()) {
+    // Large responses ride as their own chunk, copy-free.
+    chunks_.push_back(Chunk{std::move(bytes), 0});
+    return;
+  }
+  std::string_view rest = bytes;
+  pending_ -= bytes.size();
+  Append(rest, pool);
+}
+
+void OutputQueue::Append(std::string_view bytes, BufferPool& pool) {
+  while (!bytes.empty()) {
+    if (chunks_.empty() || chunks_.back().offset > 0 ||
+        chunks_.back().bytes.size() >= pool.buffer_capacity()) {
+      chunks_.push_back(Chunk{pool.Acquire(), 0});
+    }
+    Chunk& back = chunks_.back();
+    size_t room = pool.buffer_capacity() - back.bytes.size();
+    size_t take = std::min(room, bytes.size());
+    back.bytes.append(bytes.data(), take);
+    bytes.remove_prefix(take);
+    pending_ += take;
+  }
+}
+
+OutputQueue::FlushResult OutputQueue::Flush(int fd, BufferPool& pool,
+                                            Counter* writev_calls,
+                                            Counter* bytes_out) {
+  while (!chunks_.empty()) {
+    struct iovec iov[kMaxIovecs];
+    size_t niov = 0;
+    for (const Chunk& chunk : chunks_) {
+      if (niov == kMaxIovecs) break;
+      iov[niov].iov_base =
+          const_cast<char*>(chunk.bytes.data()) + chunk.offset;
+      iov[niov].iov_len = chunk.bytes.size() - chunk.offset;
+      ++niov;
+    }
+    struct msghdr msg;
+    std::memset(&msg, 0, sizeof(msg));
+    msg.msg_iov = iov;
+    msg.msg_iovlen = niov;
+    ssize_t n = sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return FlushResult::kPartial;
+      }
+      return FlushResult::kError;
+    }
+    if (writev_calls != nullptr) writev_calls->Increment();
+    if (bytes_out != nullptr) bytes_out->Increment(n);
+    pending_ -= static_cast<size_t>(n);
+    size_t advanced = static_cast<size_t>(n);
+    while (advanced > 0) {
+      Chunk& front = chunks_.front();
+      size_t remaining = front.bytes.size() - front.offset;
+      if (advanced >= remaining) {
+        advanced -= remaining;
+        pool.Release(std::move(front.bytes));
+        chunks_.pop_front();
+      } else {
+        front.offset += advanced;
+        advanced = 0;
+      }
+    }
+  }
+  return FlushResult::kDrained;
+}
+
+void OutputQueue::Clear(BufferPool& pool) {
+  for (Chunk& chunk : chunks_) pool.Release(std::move(chunk.bytes));
+  chunks_.clear();
+  pending_ = 0;
+}
+
+void OutputQueue::DrainTo(std::string* out, BufferPool& pool) {
+  for (Chunk& chunk : chunks_) {
+    out->append(chunk.bytes, chunk.offset, std::string::npos);
+    pool.Release(std::move(chunk.bytes));
+  }
+  chunks_.clear();
+  pending_ = 0;
+}
+
+// --- TimerWheel ------------------------------------------------------------
+
+TimerWheel::TimerWheel(int64_t timeout_ms, int64_t now_ms)
+    : timeout_ms_(timeout_ms) {
+  if (enabled()) {
+    tick_ms_ = std::max<int64_t>(1, timeout_ms_ / static_cast<int64_t>(
+                                                      kBuckets));
+    last_tick_ = now_ms / tick_ms_;
+  }
+}
+
+void TimerWheel::Touch(Entry* entry, void* owner, int64_t now_ms) {
+  if (!enabled()) return;
+  Remove(entry);
+  entry->deadline_ms = now_ms + timeout_ms_;
+  size_t bucket =
+      static_cast<size_t>(entry->deadline_ms / tick_ms_) % kBuckets;
+  buckets_[bucket].emplace_front(owner, entry->deadline_ms);
+  entry->bucket = bucket;
+  entry->where = buckets_[bucket].begin();
+  ++armed_;
+}
+
+void TimerWheel::Remove(Entry* entry) {
+  if (entry->bucket == kNoBucket) return;
+  buckets_[entry->bucket].erase(entry->where);
+  entry->bucket = kNoBucket;
+  --armed_;
+}
+
+int64_t TimerWheel::NextTickDelayMs(int64_t now_ms) const {
+  if (!enabled()) return -1;
+  int64_t next_tick_at = (last_tick_ + 1) * tick_ms_;
+  return std::max<int64_t>(1, next_tick_at - now_ms);
+}
+
+// --- Reactor ---------------------------------------------------------------
+
+// One epoll loop. Reactor 0 additionally owns the listener. Everything a
+// reactor touches (its pool, wheel, connection table) is confined to its
+// thread; the only cross-thread traffic is the inbox of freshly accepted
+// fds, guarded by a mutex and signalled through the wake eventfd.
+class NetServer::Reactor {
+ public:
+  Reactor(NetServer* server, bool owns_listener)
+      : server_(server),
+        owns_listener_(owns_listener),
+        wheel_(server->options_.idle_timeout_ms, SteadyNowMs()) {}
+
+  ~Reactor() {
+    if (epoll_fd_ >= 0) close(epoll_fd_);
+    if (wake_fd_ >= 0) close(wake_fd_);
+    if (reserve_fd_ >= 0) close(reserve_fd_);
+  }
+
+  Status Init() {
+    epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) {
+      return InternalError(std::string("epoll_create1: ") +
+                           std::strerror(errno));
+    }
+    wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (wake_fd_ < 0) {
+      return InternalError(std::string("eventfd: ") + std::strerror(errno));
+    }
+    // Held open so an accept() under EMFILE can be completed and the
+    // too-many-fds refusal delivered as a close instead of a busy loop.
+    reserve_fd_ = open("/dev/null", O_RDONLY | O_CLOEXEC);
+
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.u64 = kTagWake;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+      return InternalError(std::string("epoll_ctl(wake): ") +
+                           std::strerror(errno));
+    }
+    // The shared shutdown eventfd is registered in every reactor and never
+    // read: once written it stays readable, so every reactor (and any
+    // reactor started later) observes the drain.
+    ev.events = EPOLLIN;
+    ev.data.u64 = kTagShutdown;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, server_->shutdown_fd_, &ev) <
+        0) {
+      return InternalError(std::string("epoll_ctl(shutdown): ") +
+                           std::strerror(errno));
+    }
+    if (owns_listener_) {
+      ev.events = EPOLLIN;
+      ev.data.u64 = kTagListener;
+      if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, server_->listener_fd_, &ev) <
+          0) {
+        return InternalError(std::string("epoll_ctl(listener): ") +
+                             std::strerror(errno));
+      }
+    }
+    return Status::Ok();
+  }
+
+  // Called from the acceptor thread: hand this reactor a new connection.
+  void Enqueue(int fd) {
+    {
+      std::lock_guard<std::mutex> lock(inbox_mutex_);
+      inbox_.push_back(fd);
+    }
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+  }
+
+  void Loop() {
+    RequestRouter* router = server_->router_;
+    Counter* epoll_wakeups = server_->epoll_wakeups_;
+    bool stop = false;
+    while (!stop) {
+      graveyard_.clear();
+      int timeout_ms = -1;
+      if (wheel_.enabled()) {
+        timeout_ms = static_cast<int>(
+            std::min<int64_t>(1000, wheel_.NextTickDelayMs(SteadyNowMs())));
+      }
+      struct epoll_event events[256];
+      int n = epoll_wait(epoll_fd_, events, 256, timeout_ms);
+      epoll_wakeups->Increment();
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      for (int i = 0; i < n && !stop; ++i) {
+        uint64_t tag = events[i].data.u64;
+        if (tag == kTagShutdown) {
+          stop = true;
+        } else if (tag == kTagWake) {
+          uint64_t drained;
+          while (read(wake_fd_, &drained, sizeof(drained)) > 0) {
+          }
+          AdoptPending();
+        } else if (tag == kTagListener) {
+          Accept();
+        } else {
+          auto* conn = static_cast<Connection*>(events[i].data.ptr);
+          if (conn->dead) continue;  // closed earlier in this batch
+          uint32_t ev = events[i].events;
+          if ((ev & (EPOLLHUP | EPOLLERR)) != 0 && !conn->closing) {
+            CloseConnection(conn);
+            continue;
+          }
+          if ((ev & EPOLLOUT) != 0) HandleWritable(conn);
+          if (conn->dead) continue;
+          if ((ev & EPOLLIN) != 0) HandleReadable(conn, router);
+        }
+      }
+      int64_t now = SteadyNowMs();
+      wheel_.Advance(now, [this](void* owner) {
+        auto* conn = static_cast<Connection*>(owner);
+        conn->timer.bucket = TimerWheel::kNoBucket;
+        server_->idle_timeouts_->Increment();
+        CloseConnection(conn);
+      });
+    }
+    Drain();
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    RouterSession session;
+    std::string input;
+    OutputQueue output;
+    TimerWheel::Entry timer;
+    uint32_t armed_events = EPOLLIN;
+    bool paused = false;   // backpressure: EPOLLIN dropped
+    bool closing = false;  // flush pending output, then close
+    bool dead = false;
+  };
+
+  void AdoptPending() {
+    std::vector<int> pending;
+    {
+      std::lock_guard<std::mutex> lock(inbox_mutex_);
+      pending.swap(inbox_);
+    }
+    for (int fd : pending) Register(fd);
+  }
+
+  void Register(int fd) {
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.ptr = conn.get();
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      close(fd);
+      server_->NoteConnectionClosed();
+      return;
+    }
+    wheel_.Touch(&conn->timer, conn.get(), SteadyNowMs());
+    connections_[fd] = std::move(conn);
+  }
+
+  void Accept() {
+    for (;;) {
+      int fd = accept4(server_->listener_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EMFILE || errno == ENFILE) {
+          // Out of descriptors: burn the reserve fd to accept and
+          // immediately close one pending connection, else the listener
+          // stays readable and the loop spins.
+          if (reserve_fd_ >= 0) {
+            close(reserve_fd_);
+            reserve_fd_ = -1;
+            int victim = accept(server_->listener_fd_, nullptr, nullptr);
+            if (victim >= 0) close(victim);
+            reserve_fd_ = open("/dev/null", O_RDONLY | O_CLOEXEC);
+          }
+        }
+        break;  // EAGAIN / EWOULDBLOCK / transient errors: epoll retries
+      }
+      server_->accepts_->Increment();
+      int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      server_->NoteConnectionOpened();
+      server_->AssignConnection(fd);
+      if (server_->options_.once) {
+        server_->accepted_once_.store(true, std::memory_order_release);
+        epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, server_->listener_fd_, nullptr);
+        break;
+      }
+    }
+  }
+
+  void HandleReadable(Connection* conn, RequestRouter* router) {
+    if (conn->paused || conn->closing) return;
+    ssize_t n;
+    for (;;) {
+      n = read(conn->fd, scratch_, sizeof(scratch_));
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) {
+      CloseConnection(conn);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      CloseConnection(conn);
+      return;
+    }
+    server_->bytes_in_->Increment(n);
+    if (conn->input.empty() &&
+        conn->input.capacity() < pool_.buffer_capacity()) {
+      conn->input = pool_.Acquire();
+    }
+    conn->input.append(scratch_, static_cast<size_t>(n));
+    wheel_.Touch(&conn->timer, conn, SteadyNowMs());
+    Pump(conn, router);
+  }
+
+  // Feeds buffered input through the router, queues responses, applies the
+  // outcome (keep reading / flush-then-close / replication handoff).
+  void Pump(Connection* conn, RequestRouter* router) {
+    std::string out;
+    std::string handoff;
+    RequestRouter::FeedOutcome outcome =
+        router->Feed(&conn->input, &conn->session, &out, &handoff);
+    if (!out.empty()) conn->output.Append(std::move(out), pool_);
+    if (conn->input.empty()) {
+      // Idle connections hold no heap: the buffer goes back to the pool
+      // (or is freed outright) and the member reverts to an SSO string.
+      pool_.Release(std::move(conn->input));
+      conn->input = std::string();
+    }
+    switch (outcome) {
+      case RequestRouter::FeedOutcome::kNeedMore:
+        break;
+      case RequestRouter::FeedOutcome::kClose:
+        conn->closing = true;
+        break;
+      case RequestRouter::FeedOutcome::kHandoff:
+        HandoffReplication(conn, std::move(handoff));
+        return;
+    }
+    FlushAndUpdate(conn);
+  }
+
+  void HandleWritable(Connection* conn) {
+    // Progress on the write side counts as activity: a client draining a
+    // large export must not be closed as idle mid-transfer.
+    wheel_.Touch(&conn->timer, conn, SteadyNowMs());
+    FlushAndUpdate(conn);
+  }
+
+  void FlushAndUpdate(Connection* conn) {
+    OutputQueue::FlushResult result = conn->output.Flush(
+        conn->fd, pool_, server_->writev_calls_, server_->bytes_out_);
+    if (result == OutputQueue::FlushResult::kError) {
+      CloseConnection(conn);
+      return;
+    }
+    if (conn->closing && conn->output.empty()) {
+      CloseConnection(conn);
+      return;
+    }
+    if (!conn->paused &&
+        conn->output.pending() > server_->options_.output_high_watermark) {
+      conn->paused = true;
+      server_->backpressure_stalls_->Increment();
+    } else if (conn->paused && conn->output.pending() <=
+                                   server_->options_.output_low_watermark) {
+      conn->paused = false;
+    }
+    UpdateInterest(conn);
+  }
+
+  void UpdateInterest(Connection* conn) {
+    uint32_t events = 0;
+    if (!conn->closing && !conn->paused) events |= EPOLLIN;
+    if (!conn->output.empty()) events |= EPOLLOUT;
+    if (events == conn->armed_events) return;
+    struct epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = events;
+    ev.data.ptr = conn;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) < 0) {
+      CloseConnection(conn);
+      return;
+    }
+    conn->armed_events = events;
+  }
+
+  // Moves a subscribed connection off the reactor onto a dedicated
+  // blocking replication thread. The fd survives; the Connection does not.
+  void HandoffReplication(Connection* conn, std::string subscribe_body) {
+    int fd = conn->fd;
+    std::string session_id = conn->session.session_id;
+    std::string pending = TakePendingOutput(conn);
+    wheel_.Remove(&conn->timer);
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    conn->dead = true;
+    auto it = connections_.find(fd);
+    if (it != connections_.end()) {
+      graveyard_.push_back(std::move(it->second));
+      connections_.erase(it);
+    }
+    SetNonBlocking(fd, false);
+    server_->StartReplicationHandoff(fd, std::move(pending),
+                                     std::move(subscribe_body),
+                                     std::move(session_id));
+  }
+
+  std::string TakePendingOutput(Connection* conn) {
+    // The handoff thread writes these bytes (responses pipelined ahead of
+    // the subscribe) before the replication stream starts.
+    std::string pending;
+    pending.reserve(conn->output.pending());
+    conn->output.DrainTo(&pending, pool_);
+    return pending;
+  }
+
+  void CloseConnection(Connection* conn) {
+    if (conn->dead) return;
+    conn->dead = true;
+    wheel_.Remove(&conn->timer);
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    conn->output.Clear(pool_);
+    if (!conn->session.session_id.empty()) {
+      (void)server_->router_->service()->CloseSession(
+          conn->session.session_id);
+    }
+    close(conn->fd);
+    auto it = connections_.find(conn->fd);
+    if (it != connections_.end()) {
+      graveyard_.push_back(std::move(it->second));
+      connections_.erase(it);
+    }
+    server_->NoteConnectionClosed();
+  }
+
+  // Drain: one best-effort non-blocking flush per connection (a response
+  // already queued should reach a healthy peer), then close everything —
+  // including accepted fds still sitting in the inbox, never registered.
+  void Drain() {
+    std::vector<int> pending;
+    {
+      std::lock_guard<std::mutex> lock(inbox_mutex_);
+      pending.swap(inbox_);
+    }
+    for (int fd : pending) {
+      close(fd);
+      server_->NoteConnectionClosed();
+    }
+    std::vector<Connection*> open;
+    open.reserve(connections_.size());
+    for (auto& [fd, conn] : connections_) open.push_back(conn.get());
+    for (Connection* conn : open) {
+      (void)conn->output.Flush(conn->fd, pool_, server_->writev_calls_,
+                               server_->bytes_out_);
+      CloseConnection(conn);
+    }
+    graveyard_.clear();
+  }
+
+  NetServer* server_;
+  bool owns_listener_;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  int reserve_fd_ = -1;
+
+  std::mutex inbox_mutex_;
+  std::vector<int> inbox_;
+
+  BufferPool pool_;
+  TimerWheel wheel_;
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+  // Connections closed mid-event-batch stay allocated until the batch ends
+  // so stale epoll_event pointers in the same batch dereference safely.
+  std::vector<std::unique_ptr<Connection>> graveyard_;
+  char scratch_[64 * 1024];
+};
+
+// --- NetServer -------------------------------------------------------------
+
+NetServer::NetServer(RequestRouter* router, ReplicationServer* replication,
+                     NetOptions options)
+    : router_(router), replication_(replication), options_(options) {
+  if (options_.net_threads <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    options_.net_threads = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  if (options_.output_low_watermark > options_.output_high_watermark) {
+    options_.output_low_watermark = options_.output_high_watermark / 2;
+  }
+  MetricsRegistry& metrics = router_->service()->metrics();
+  accepts_ = metrics.GetCounter("net.accepts");
+  bytes_in_ = metrics.GetCounter("net.bytes_in");
+  bytes_out_ = metrics.GetCounter("net.bytes_out");
+  epoll_wakeups_ = metrics.GetCounter("net.epoll_wakeups");
+  writev_calls_ = metrics.GetCounter("net.writev_calls");
+  backpressure_stalls_ = metrics.GetCounter("net.backpressure_stalls");
+  idle_timeouts_ = metrics.GetCounter("net.idle_timeouts");
+  connections_gauge_ = metrics.GetGauge("net.connections");
+}
+
+NetServer::~NetServer() {
+  if (started_.load(std::memory_order_acquire)) {
+    Shutdown();
+    Run();  // idempotent: joins whatever is still running
+  }
+  if (listener_fd_ >= 0) close(listener_fd_);
+  if (shutdown_fd_ >= 0) close(shutdown_fd_);
+}
+
+Result<int> NetServer::Start() {
+  shutdown_fd_ = eventfd(0, EFD_CLOEXEC);
+  if (shutdown_fd_ < 0) {
+    return InternalError(std::string("eventfd: ") + std::strerror(errno));
+  }
+  listener_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listener_fd_ < 0) {
+    return InternalError(std::string("socket: ") + std::strerror(errno));
+  }
+  int reuse = 1;
+  setsockopt(listener_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (bind(listener_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+           sizeof(addr)) < 0) {
+    return InternalError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (listen(listener_fd_, SOMAXCONN) < 0) {
+    return InternalError(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t addr_len = sizeof(addr);
+  getsockname(listener_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+              &addr_len);
+
+  for (int i = 0; i < options_.net_threads; ++i) {
+    reactors_.push_back(std::make_unique<Reactor>(this, /*owns_listener=*/
+                                                  i == 0));
+    if (Status status = reactors_.back()->Init(); !status.ok()) {
+      return status;
+    }
+  }
+  for (auto& reactor : reactors_) {
+    reactor_threads_.emplace_back([r = reactor.get()] { r->Loop(); });
+  }
+  started_.store(true, std::memory_order_release);
+  return ntohs(addr.sin_port);
+}
+
+void NetServer::Run() {
+  for (std::thread& thread : reactor_threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  // Reactors are down (drain began); make sure the stop flag and the
+  // handoff kicks are in place, then collect the replication threads.
+  Shutdown();
+  std::vector<std::thread> handoffs;
+  {
+    std::lock_guard<std::mutex> lock(handoff_mutex_);
+    handoffs.swap(handoff_threads_);
+  }
+  for (std::thread& thread : handoffs) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void NetServer::Shutdown() {
+  stopping_.store(true, std::memory_order_release);
+  if (shutdown_fd_ >= 0) {
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = write(shutdown_fd_, &one, sizeof(one));
+  }
+  // Pop replication handoff threads out of blocking sends/reads.
+  std::lock_guard<std::mutex> lock(handoff_mutex_);
+  for (int fd : handoff_live_fds_) shutdown(fd, SHUT_RDWR);
+}
+
+void NetServer::AssignConnection(int fd) {
+  size_t target = next_reactor_.fetch_add(1, std::memory_order_relaxed) %
+                  reactors_.size();
+  reactors_[target]->Enqueue(fd);
+}
+
+void NetServer::NoteConnectionOpened() {
+  int64_t now = open_connections_.fetch_add(1, std::memory_order_relaxed) +
+                1;
+  connections_gauge_->Set(now);
+}
+
+void NetServer::NoteConnectionClosed() {
+  int64_t now = open_connections_.fetch_sub(1, std::memory_order_relaxed) -
+                1;
+  connections_gauge_->Set(now);
+  if (options_.once && now == 0 &&
+      accepted_once_.load(std::memory_order_acquire) && !stopping()) {
+    Shutdown();
+  }
+}
+
+namespace {
+
+// Blocking sink for a handed-off subscriber: the reactor is out of the
+// picture, so full (EINTR-safe, MSG_NOSIGNAL) sends are correct here.
+class BlockingSocketSink final : public ReplicationSink {
+ public:
+  BlockingSocketSink(int fd, Counter* bytes_out)
+      : fd_(fd), bytes_out_(bytes_out) {}
+  Status Send(std::string_view frame) override {
+    if (!SendAll(fd_, frame)) {
+      return InternalError("follower connection lost");
+    }
+    bytes_out_->Increment(static_cast<int64_t>(frame.size()));
+    return Status::Ok();
+  }
+
+ private:
+  int fd_;
+  Counter* bytes_out_;
+};
+
+}  // namespace
+
+void NetServer::StartReplicationHandoff(int fd, std::string pending_output,
+                                        std::string subscribe_body,
+                                        std::string session_id) {
+  std::lock_guard<std::mutex> lock(handoff_mutex_);
+  if (stopping()) {
+    if (!session_id.empty()) {
+      (void)router_->service()->CloseSession(session_id);
+    }
+    close(fd);
+    NoteConnectionClosed();
+    return;
+  }
+  handoff_live_fds_.insert(fd);
+  handoff_threads_.emplace_back([this, fd,
+                                 pending = std::move(pending_output),
+                                 body = std::move(subscribe_body),
+                                 session_id = std::move(session_id)] {
+    BlockingSocketSink sink(fd, bytes_out_);
+    if (SendAll(fd, pending)) {
+      Result<ReplFrame> frame = DecodeReplFrame(body);
+      if (!frame.ok()) {
+        (void)sink.Send(EncodeReplError(frame.status().message()));
+      } else if (replication_ == nullptr) {
+        (void)sink.Send(EncodeReplError(
+            "this node is not a replication leader (start with --role "
+            "leader)"));
+      } else {
+        (void)replication_->Serve(frame->subscribe, sink,
+                                  [this] { return stopping(); });
+      }
+    }
+    if (!session_id.empty()) {
+      (void)router_->service()->CloseSession(session_id);
+    }
+    {
+      std::lock_guard<std::mutex> lock(handoff_mutex_);
+      handoff_live_fds_.erase(fd);
+    }
+    close(fd);
+    NoteConnectionClosed();
+  });
+}
+
+}  // namespace ecrint::service

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netdb.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -518,12 +519,20 @@ int ConnectLeader(const std::string& addr) {
     fd = -1;
   }
   freeaddrinfo(resolved);
+  if (fd >= 0) {
+    // The subscribe handshake is a few tiny writes; don't let Nagle delay
+    // the stream start.
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
   return fd;
 }
 
+// MSG_NOSIGNAL: a leader that vanishes mid-write must fail the send, not
+// raise SIGPIPE (library code cannot assume the process ignores it).
 bool WriteAll(int fd, std::string_view bytes) {
   while (!bytes.empty()) {
-    ssize_t n = write(fd, bytes.data(), bytes.size());
+    ssize_t n = send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       return false;

@@ -445,6 +445,66 @@ std::string RequestRouter::HandleFrame(std::string_view body,
   return EncodeBinaryBatchResponse(out);
 }
 
+RequestRouter::FeedOutcome RequestRouter::Feed(std::string* input,
+                                               RouterSession* session,
+                                               std::string* output,
+                                               std::string* handoff) {
+  // Consumed bytes are tracked as an offset and erased once on exit — a
+  // front-of-string erase per pipelined request would be quadratic.
+  size_t offset = 0;
+  FeedOutcome outcome = FeedOutcome::kNeedMore;
+  for (;;) {
+    if (session->protocol_version == kProtocolBinaryVersion) {
+      std::string_view rest(*input);
+      rest.remove_prefix(offset);
+      std::string_view body;
+      size_t consumed = 0;
+      std::string frame_error;
+      FrameStatus status =
+          ExtractFrame(rest, &body, &consumed, &frame_error);
+      if (status == FrameStatus::kError) {
+        // Malformed framing is unrecoverable (the stream cannot be
+        // resynchronized); answer once and close.
+        *output += EncodeBinaryResponse(BadRequest(frame_error));
+        outcome = FeedOutcome::kClose;
+        break;
+      }
+      if (status == FrameStatus::kNeedMore) break;
+      if (!body.empty() &&
+          static_cast<uint8_t>(body[0]) == kFrameReplSubscribe) {
+        handoff->assign(body.data(), body.size());
+        offset += consumed;
+        outcome = FeedOutcome::kHandoff;
+        break;
+      }
+      *output += HandleFrame(body, session);
+      offset += consumed;
+      // The response may have renegotiated the protocol; the next loop
+      // iteration re-reads session->protocol_version either way.
+    } else {
+      size_t newline = input->find('\n', offset);
+      if (newline == std::string::npos) {
+        if (input->size() - offset > kMaxRequestLineBytes) {
+          // A peer that streams bytes without ever sending a newline must
+          // not grow the buffer without bound: past the request-line limit
+          // the connection gets one error frame and is closed.
+          *output += FormatResponse(BadRequest(
+              "request line exceeds " +
+              std::to_string(kMaxRequestLineBytes) + " bytes"));
+          outcome = FeedOutcome::kClose;
+        }
+        break;
+      }
+      std::string line = input->substr(offset, newline - offset);
+      offset = newline + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      *output += HandleLine(line, session);
+    }
+  }
+  input->erase(0, offset);
+  return outcome;
+}
+
 ServiceResponse RequestRouter::Dispatch(const std::string& line,
                                         RouterSession* session) {
   // Size and byte-content limits come first: an oversized or NUL-bearing

@@ -71,6 +71,27 @@ class RequestRouter {
   // inside batches: they mutate connection state mid-pipeline.
   std::string HandleFrame(std::string_view body, RouterSession* session);
 
+  // Incremental transport feed: the event-driven front end calls this with
+  // whatever bytes arrived, however they were fragmented. Every complete
+  // request buffered in `*input` is handled (text lines or binary frames,
+  // switching modes when a response renegotiates the protocol) and its
+  // framed response appended to `*output`; consumed bytes are erased from
+  // `*input` (a partial trailing line/frame stays for the next call).
+  // Responses are byte-identical to whole-message delivery.
+  enum class FeedOutcome {
+    // Everything complete was handled; read more bytes from the peer.
+    kNeedMore,
+    // A replication subscribe frame (0x03): `*handoff` holds the frame
+    // body; the transport moves this connection onto the streaming path
+    // after flushing `*output`.
+    kHandoff,
+    // Unrecoverable protocol error (malformed frame, oversized request
+    // line): a refusal was appended to `*output`; flush it, then close.
+    kClose,
+  };
+  FeedOutcome Feed(std::string* input, RouterSession* session,
+                   std::string* output, std::string* handoff);
+
   // Same, but executes on a common::ThreadPool::Shared() worker and
   // invokes `done` with the framed response from that worker. The caller
   // must keep `session` alive and must not issue another request on the

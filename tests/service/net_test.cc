@@ -1,0 +1,566 @@
+// The event-driven network plane (src/service/net.{h,cc}) and the router's
+// incremental feed API. The load-bearing property is fragmentation
+// independence: however the kernel slices the byte stream — one byte at a
+// time, random chunks, or whole messages — the response bytes must be
+// identical. The rest covers the plumbing the reactor is built from
+// (BufferPool, OutputQueue against a real socketpair, TimerWheel) and the
+// live server end to end: request/response, idle timeout, backpressure
+// accounting, drain.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "service/net.h"
+#include "service/protocol.h"
+#include "service/replication.h"
+#include "service/router.h"
+#include "service/service.h"
+
+namespace ecrint::service {
+namespace {
+
+constexpr const char* kDdl =
+    "schema s1 { entity Student { Name: char key; GPA: real; } "
+    "entity Department { Dname: char key; } "
+    "relationship Majors (Student [1,1], Department [0,n]); } "
+    "schema s2 { entity Pupil { Name: char key; Addr: char; } "
+    "entity Dept { Dname: char key; } }";
+
+// A text-protocol script exercising session setup, writes, reads, and
+// errors. Escaped-DDL `define` rides in one line like a real client sends
+// it (the DDL above has no newlines, so no escaping is needed).
+std::vector<std::string> TextScript() {
+  return {
+      "ping",
+      std::string("open feedtest"),
+      std::string("define ") + kDdl,
+      "equiv s1.Student.Name s2.Pupil.Name",
+      "assert s1.Student 1 s2.Pupil",
+      "integrate",
+      "outline",
+      "rank s1 s2",
+      "bogus verb",
+      "close",
+  };
+}
+
+// The same work as a binary stream: the text `proto 2` negotiation, then
+// length-prefixed frames (including a batch).
+std::string BinaryStream() {
+  std::string stream = "proto 2\n";
+  auto request = [](WireVerb verb, std::vector<std::string> args) {
+    BinaryRequest req;
+    req.verb = verb;
+    req.args = std::move(args);
+    return req;
+  };
+  stream += EncodeBinaryRequest(request(WireVerb::kPing, {}));
+  stream += EncodeBinaryRequest(request(WireVerb::kOpen, {"feedbin"}));
+  stream += EncodeBinaryRequest(request(WireVerb::kDefine, {kDdl}));
+  stream += EncodeBinaryBatch({
+      request(WireVerb::kEquiv,
+              {"s1.Student.Name", "s2.Pupil.Name"}),
+      request(WireVerb::kAssert, {"s1.Student", "1", "s2.Pupil"}),
+      request(WireVerb::kIntegrate, {}),
+  });
+  stream += EncodeBinaryRequest(request(WireVerb::kOutline, {}));
+  stream += EncodeBinaryRequest(request(WireVerb::kRank, {"s1", "s2"}));
+  stream += EncodeBinaryRequest(request(WireVerb::kClose, {}));
+  return stream;
+}
+
+// Runs `stream` through Feed with the given fragmentation, against a fresh
+// service (session ids are deterministic per service, so every delivery
+// mode sees identical state). Returns the concatenated response bytes.
+std::string RunFeed(const std::string& stream,
+                    const std::vector<size_t>& chunk_sizes) {
+  IntegrationService service{ServiceConfig{}};
+  RequestRouter router(&service);
+  RouterSession session;
+  std::string input;
+  std::string output;
+  std::string handoff;
+  size_t at = 0;
+  size_t chunk_index = 0;
+  while (at < stream.size()) {
+    size_t take = chunk_sizes.empty()
+                      ? stream.size()
+                      : std::min(chunk_sizes[chunk_index % chunk_sizes.size()],
+                                 stream.size() - at);
+    chunk_index++;
+    input.append(stream, at, take);
+    at += take;
+    RequestRouter::FeedOutcome outcome =
+        router.Feed(&input, &session, &output, &handoff);
+    EXPECT_EQ(outcome, RequestRouter::FeedOutcome::kNeedMore);
+  }
+  EXPECT_TRUE(input.empty()) << "unconsumed bytes: " << input.size();
+  return output;
+}
+
+TEST(RouterFeed, TextFragmentationIndependent) {
+  std::string stream;
+  for (const std::string& line : TextScript()) stream += line + "\n";
+
+  std::string whole = RunFeed(stream, {});
+  ASSERT_FALSE(whole.empty());
+  EXPECT_EQ(whole, RunFeed(stream, {1}));  // byte at a time
+
+  std::mt19937 rng(7);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<size_t> chunks;
+    std::uniform_int_distribution<size_t> dist(1, 37);
+    for (int i = 0; i < 64; ++i) chunks.push_back(dist(rng));
+    EXPECT_EQ(whole, RunFeed(stream, chunks)) << "round " << round;
+  }
+}
+
+TEST(RouterFeed, BinaryFragmentationIndependent) {
+  std::string stream = BinaryStream();
+
+  std::string whole = RunFeed(stream, {});
+  ASSERT_FALSE(whole.empty());
+  // Byte-at-a-time delivery makes ExtractFrame see every partial LEB128
+  // length prefix and every partial body.
+  EXPECT_EQ(whole, RunFeed(stream, {1}));
+
+  std::mt19937 rng(11);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<size_t> chunks;
+    std::uniform_int_distribution<size_t> dist(1, 53);
+    for (int i = 0; i < 64; ++i) chunks.push_back(dist(rng));
+    EXPECT_EQ(whole, RunFeed(stream, chunks)) << "round " << round;
+  }
+}
+
+TEST(RouterFeed, TextResponsesMatchHandleLine) {
+  // Feed is a transport refactor: it must produce exactly what the old
+  // read-a-full-line loop produced via HandleLine.
+  IntegrationService line_service{ServiceConfig{}};
+  RequestRouter line_router(&line_service);
+  RouterSession line_session;
+  std::string expected;
+  std::string stream;
+  for (const std::string& line : TextScript()) {
+    expected += line_router.HandleLine(line, &line_session);
+    stream += line + "\n";
+  }
+  EXPECT_EQ(expected, RunFeed(stream, {5}));
+}
+
+TEST(RouterFeed, OversizedRequestLineCloses) {
+  IntegrationService service{ServiceConfig{}};
+  RequestRouter router(&service);
+  RouterSession session;
+  std::string input(kMaxRequestLineBytes + 2, 'a');  // no newline, too big
+  std::string output;
+  std::string handoff;
+  EXPECT_EQ(router.Feed(&input, &session, &output, &handoff),
+            RequestRouter::FeedOutcome::kClose);
+  EXPECT_NE(output.find("err BAD_REQUEST"), std::string::npos);
+}
+
+TEST(RouterFeed, MalformedBinaryFrameCloses) {
+  IntegrationService service{ServiceConfig{}};
+  RequestRouter router(&service);
+  RouterSession session;
+  std::string input = "proto 2\n";
+  // An 11-byte all-continuation varint is an invalid length prefix.
+  input += std::string(11, '\xff');
+  std::string output;
+  std::string handoff;
+  EXPECT_EQ(router.Feed(&input, &session, &output, &handoff),
+            RequestRouter::FeedOutcome::kClose);
+  // The text `ok` for proto 2 must still be there, then a binary refusal.
+  EXPECT_EQ(output.rfind("ok\n", 0), 0u);
+}
+
+TEST(RouterFeed, SubscribeFrameHandsOff) {
+  IntegrationService service{ServiceConfig{}};
+  RequestRouter router(&service);
+  RouterSession session;
+  ReplSubscribe subscribe;
+  subscribe.project = "p";
+  subscribe.have_seq = 42;
+  std::string input = "proto 2\n" + EncodeReplSubscribe(subscribe);
+  std::string output;
+  std::string handoff;
+  EXPECT_EQ(router.Feed(&input, &session, &output, &handoff),
+            RequestRouter::FeedOutcome::kHandoff);
+  ASSERT_FALSE(handoff.empty());
+  EXPECT_EQ(static_cast<uint8_t>(handoff[0]), kFrameReplSubscribe);
+  EXPECT_TRUE(input.empty());
+  Result<ReplFrame> frame = DecodeReplFrame(handoff);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->subscribe.project, "p");
+  EXPECT_EQ(frame->subscribe.have_seq, 42u);
+}
+
+// --- BufferPool ------------------------------------------------------------
+
+TEST(BufferPool, RecyclesAllocations) {
+  BufferPool pool(/*max_buffers=*/2, /*buffer_capacity=*/1024);
+  std::string a = pool.Acquire();
+  EXPECT_GE(a.capacity(), 1024u);
+  a.assign(600, 'x');
+  const char* data = a.data();
+  pool.Release(std::move(a));
+  EXPECT_EQ(pool.pooled(), 1u);
+  std::string b = pool.Acquire();
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.data(), data);  // same allocation came back
+  EXPECT_EQ(pool.pooled(), 0u);
+}
+
+TEST(BufferPool, DropsOversizedAndOverflow) {
+  BufferPool pool(/*max_buffers=*/1, /*buffer_capacity=*/1024);
+  std::string huge;
+  huge.reserve(64 * 1024);  // > 4x capacity: freed, not pooled
+  pool.Release(std::move(huge));
+  EXPECT_EQ(pool.pooled(), 0u);
+  pool.Release(pool.Acquire());
+  EXPECT_EQ(pool.pooled(), 1u);
+  pool.Release(pool.Acquire());  // pool full: second one freed
+  EXPECT_EQ(pool.pooled(), 1u);
+}
+
+// --- OutputQueue -----------------------------------------------------------
+
+TEST(OutputQueue, PacksAndMovesChunks) {
+  BufferPool pool(4, 64);
+  OutputQueue queue;
+  queue.Append(std::string_view("hello "), pool);
+  queue.Append(std::string_view("world"), pool);
+  EXPECT_EQ(queue.pending(), 11u);
+  std::string big(500, 'B');  // >= chunk capacity: moved, not copied
+  const char* big_data = big.data();
+  queue.Append(std::move(big), pool);
+  EXPECT_EQ(queue.pending(), 511u);
+  std::string drained;
+  queue.DrainTo(&drained, pool);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.pending(), 0u);
+  EXPECT_EQ(drained, "hello world" + std::string(500, 'B'));
+  (void)big_data;
+}
+
+TEST(OutputQueue, FlushesAcrossFullSocketBuffer) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  int small = 4096;
+  setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+  // Non-blocking writer so a full buffer yields kPartial, not a hang.
+  ASSERT_EQ(fcntl(fds[0], F_SETFL, O_NONBLOCK), 0);
+
+  BufferPool pool;
+  OutputQueue queue;
+  std::string payload;
+  for (int i = 0; i < 2000; ++i) {
+    payload += "chunk-" + std::to_string(i) + "|";
+  }
+  queue.Append(std::string_view(payload), pool);
+
+  Counter writev_calls;
+  Counter bytes_out;
+  std::string received;
+  char buf[8192];
+  for (int spins = 0; !queue.empty() && spins < 10000; ++spins) {
+    OutputQueue::FlushResult result =
+        queue.Flush(fds[0], pool, &writev_calls, &bytes_out);
+    ASSERT_NE(result, OutputQueue::FlushResult::kError);
+    if (result == OutputQueue::FlushResult::kDrained) break;
+    // kPartial: drain the reader side and try again.
+    ssize_t n = read(fds[1], buf, sizeof(buf));
+    ASSERT_GT(n, 0);
+    received.append(buf, static_cast<size_t>(n));
+  }
+  EXPECT_TRUE(queue.empty());
+  for (ssize_t n; (n = read(fds[1], buf, sizeof(buf))) > 0;) {
+    received.append(buf, static_cast<size_t>(n));
+    if (received.size() >= payload.size()) break;
+  }
+  EXPECT_EQ(received, payload);
+  EXPECT_EQ(bytes_out.value(), static_cast<int64_t>(payload.size()));
+  EXPECT_GT(writev_calls.value(), 0);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(OutputQueue, FlushErrorOnClosedPeer) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  close(fds[1]);
+  BufferPool pool;
+  OutputQueue queue;
+  queue.Append(std::string_view("doomed"), pool);
+  // MSG_NOSIGNAL: this must come back as an error, not kill the process.
+  EXPECT_EQ(queue.Flush(fds[0], pool, nullptr, nullptr),
+            OutputQueue::FlushResult::kError);
+  close(fds[0]);
+}
+
+// --- TimerWheel ------------------------------------------------------------
+
+TEST(TimerWheel, ExpiresAfterTimeout) {
+  TimerWheel wheel(/*timeout_ms=*/640, /*now_ms=*/0);
+  ASSERT_TRUE(wheel.enabled());
+  TimerWheel::Entry entry;
+  int owner = 0;
+  wheel.Touch(&entry, &owner, 0);
+  EXPECT_EQ(wheel.armed(), 1u);
+
+  std::vector<void*> expired;
+  auto collect = [&](void* o) { expired.push_back(o); };
+  wheel.Advance(639, collect);
+  EXPECT_TRUE(expired.empty()) << "fired before the deadline";
+  wheel.Advance(650, collect);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], &owner);
+  EXPECT_EQ(wheel.armed(), 0u);
+}
+
+TEST(TimerWheel, TouchPostponesExpiry) {
+  TimerWheel wheel(640, 0);
+  TimerWheel::Entry entry;
+  int owner = 0;
+  wheel.Touch(&entry, &owner, 0);
+  wheel.Touch(&entry, &owner, 500);  // activity at t=500
+  std::vector<void*> expired;
+  wheel.Advance(700, [&](void* o) { expired.push_back(o); });
+  EXPECT_TRUE(expired.empty());
+  wheel.Advance(1200, [&](void* o) { expired.push_back(o); });
+  EXPECT_EQ(expired.size(), 1u);
+}
+
+TEST(TimerWheel, RemoveDisarms) {
+  TimerWheel wheel(640, 0);
+  TimerWheel::Entry entry;
+  int owner = 0;
+  wheel.Touch(&entry, &owner, 0);
+  wheel.Remove(&entry);
+  EXPECT_EQ(wheel.armed(), 0u);
+  wheel.Remove(&entry);  // idempotent
+  std::vector<void*> expired;
+  wheel.Advance(10'000, [&](void* o) { expired.push_back(o); });
+  EXPECT_TRUE(expired.empty());
+}
+
+TEST(TimerWheel, DisabledWheelIsInert) {
+  TimerWheel wheel(/*timeout_ms=*/0, 0);
+  EXPECT_FALSE(wheel.enabled());
+  TimerWheel::Entry entry;
+  int owner = 0;
+  wheel.Touch(&entry, &owner, 0);
+  EXPECT_EQ(wheel.armed(), 0u);
+  EXPECT_EQ(wheel.NextTickDelayMs(0), -1);
+}
+
+TEST(TimerWheel, LapsDoNotExpireEarly) {
+  // An entry a full wheel-lap in the future must survive the intermediate
+  // bucket visits.
+  TimerWheel wheel(640, 0);  // tick = 10ms, 64 buckets
+  TimerWheel::Entry near_entry;
+  TimerWheel::Entry far_entry;
+  int near_owner = 0;
+  int far_owner = 0;
+  wheel.Touch(&near_entry, &near_owner, 0);    // deadline 640
+  wheel.Touch(&far_entry, &far_owner, 600);    // deadline 1240, same bucket
+  std::vector<void*> expired;
+  wheel.Advance(700, [&](void* o) { expired.push_back(o); });
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], &near_owner);
+  wheel.Advance(1300, [&](void* o) { expired.push_back(o); });
+  ASSERT_EQ(expired.size(), 2u);
+  EXPECT_EQ(expired[1], &far_owner);
+}
+
+// --- Live NetServer --------------------------------------------------------
+
+int ConnectTo(int port) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0)
+      << std::strerror(errno);
+  return fd;
+}
+
+// Reads until `terminator` is seen or the peer closes.
+std::string ReadUntil(int fd, const std::string& terminator) {
+  std::string got;
+  char buf[4096];
+  while (got.find(terminator) == std::string::npos) {
+    ssize_t n = read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    got.append(buf, static_cast<size_t>(n));
+  }
+  return got;
+}
+
+struct ServerFixture {
+  ServerFixture(NetOptions options)  // NOLINT
+      : service{ServiceConfig{}}, router(&service) {
+    server = std::make_unique<NetServer>(&router, nullptr, options);
+    Result<int> bound = server->Start();
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+    port = bound.ok() ? *bound : -1;
+  }
+  ~ServerFixture() {
+    server->Shutdown();
+    server->Run();
+  }
+  IntegrationService service;
+  RequestRouter router;
+  std::unique_ptr<NetServer> server;
+  int port = -1;
+};
+
+TEST(NetServer, ServesPipelinedTextRequests) {
+  NetOptions options;
+  options.port = 0;
+  options.net_threads = 2;
+  ServerFixture fixture(options);
+
+  int fd = ConnectTo(fixture.port);
+  ASSERT_TRUE(SendAll(fd, "ping\nping\nping\n"));
+  std::string got = ReadUntil(fd, "ok\npong\n.\nok\npong\n.\nok\npong\n.\n");
+  EXPECT_EQ(got, "ok\npong\n.\nok\npong\n.\nok\npong\n.\n");
+  close(fd);
+}
+
+TEST(NetServer, ServesBinaryAfterNegotiation) {
+  NetOptions options;
+  options.port = 0;
+  options.net_threads = 1;
+  ServerFixture fixture(options);
+
+  int fd = ConnectTo(fixture.port);
+  BinaryRequest ping;
+  ping.verb = WireVerb::kPing;
+  ASSERT_TRUE(SendAll(fd, "proto 2\n" + EncodeBinaryRequest(ping)));
+  // Text `ok` for the negotiation, then one complete response frame.
+  const std::string text_ok = "ok\nproto 2\n.\n";
+  std::string got;
+  std::string_view body;
+  char buf[4096];
+  for (;;) {
+    if (got.size() > text_ok.size()) {
+      std::string_view frames(got);
+      frames.remove_prefix(text_ok.size());
+      size_t consumed = 0;
+      std::string error;
+      if (ExtractFrame(frames, &body, &consumed, &error) ==
+          FrameStatus::kComplete) {
+        break;
+      }
+    }
+    ssize_t n = read(fd, buf, sizeof(buf));
+    ASSERT_GT(n, 0) << "peer closed before a full response arrived";
+    got.append(buf, static_cast<size_t>(n));
+  }
+  ASSERT_EQ(got.rfind(text_ok, 0), 0u);
+  Result<DecodedResponse> decoded = DecodeBinaryResponse(body);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->items.size(), 1u);
+  EXPECT_TRUE(decoded->items[0].ok());
+  ASSERT_EQ(decoded->items[0].lines.size(), 1u);
+  EXPECT_EQ(decoded->items[0].lines[0], "pong");
+  close(fd);
+}
+
+TEST(NetServer, ClosesIdleConnections) {
+  NetOptions options;
+  options.port = 0;
+  options.net_threads = 1;
+  options.idle_timeout_ms = 100;
+  ServerFixture fixture(options);
+
+  int fd = ConnectTo(fixture.port);
+  // No request: the wheel must close us. A blocking read returning 0 is
+  // the peer-visible proof.
+  char buf[16];
+  ssize_t n = read(fd, buf, sizeof(buf));
+  EXPECT_EQ(n, 0);
+  close(fd);
+  EXPECT_GE(fixture.service.metrics()
+                .GetCounter("net.idle_timeouts")
+                ->value(),
+            1);
+}
+
+TEST(NetServer, ActiveConnectionSurvivesIdleTimeout) {
+  NetOptions options;
+  options.port = 0;
+  options.net_threads = 1;
+  options.idle_timeout_ms = 200;
+  ServerFixture fixture(options);
+
+  int fd = ConnectTo(fixture.port);
+  // Keep touching the connection for ~3 timeouts' worth of wall clock.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(SendAll(fd, "ping\n"));
+    ASSERT_EQ(ReadUntil(fd, ".\n"), "ok\npong\n.\n") << "iteration " << i;
+    usleep(100 * 1000);
+  }
+  close(fd);
+}
+
+TEST(NetServer, DrainClosesIdleConnectionsAndStops) {
+  NetOptions options;
+  options.port = 0;
+  options.net_threads = 2;
+  auto fixture = std::make_unique<ServerFixture>(options);
+
+  std::vector<int> fds;
+  for (int i = 0; i < 20; ++i) fds.push_back(ConnectTo(fixture->port));
+  // One of them has a request in flight to prove responses still land.
+  ASSERT_TRUE(SendAll(fds[0], "ping\n"));
+  ASSERT_EQ(ReadUntil(fds[0], ".\n"), "ok\npong\n.\n");
+
+  fixture->server->Shutdown();
+  fixture->server->Run();
+  EXPECT_EQ(fixture->server->connections(), 0);
+
+  // Every parked client sees EOF.
+  for (int fd : fds) {
+    char buf[16];
+    EXPECT_EQ(read(fd, buf, sizeof(buf)), 0);
+    close(fd);
+  }
+  fixture.reset();
+}
+
+TEST(NetServer, ConnectionGaugeTracksHighWater) {
+  NetOptions options;
+  options.port = 0;
+  options.net_threads = 1;
+  ServerFixture fixture(options);
+
+  std::vector<int> fds;
+  for (int i = 0; i < 5; ++i) {
+    int fd = ConnectTo(fixture.port);
+    ASSERT_TRUE(SendAll(fd, "ping\n"));
+    ASSERT_EQ(ReadUntil(fd, ".\n"), "ok\npong\n.\n");
+    fds.push_back(fd);
+  }
+  Gauge* gauge = fixture.service.metrics().GetGauge("net.connections");
+  EXPECT_EQ(gauge->value(), 5);
+  EXPECT_GE(gauge->max(), 5);
+  for (int fd : fds) close(fd);
+}
+
+}  // namespace
+}  // namespace ecrint::service

@@ -34,15 +34,23 @@
 #            /dev/tcp) and a binary-v2 client (python3 socket) on the same
 #            process, finishing with a drain and a v2 checkpoint
 #            inspection.
+#   net      ASan build of the epoll network plane (net_test: reactor,
+#            incremental feed, buffer pool, timer wheel), then a live
+#            ecrint_serve churned by a python3 client: the golden v1
+#            transcript replayed over the socket byte-for-byte, 1000
+#            sequential connect/ping/close cycles, 500 concurrent idle
+#            connections — each with an fd-leak check against
+#            /proc/<pid>/fd — and a SIGTERM drain with 100 connections
+#            still parked.
 #
 # Usage: tools/ci.sh [--jobs N] [--keep] [--suite NAME ...]
 #   --jobs N      parallelism for build and ctest (default: nproc)
 #   --keep        leave the build trees (build-ci-<suite>/) in place for
 #                 inspection instead of removing them on success
 #   --suite NAME  run only NAME (release|asan|tsan|recovery|replication|
-#                 bench|protocol-compat); repeatable. Default is release +
-#                 asan; CI runs tsan, recovery, replication, bench, and
-#                 protocol-compat as their own jobs.
+#                 bench|protocol-compat|net); repeatable. Default is
+#                 release + asan; CI runs tsan, recovery, replication,
+#                 bench, protocol-compat, and net as their own jobs.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -686,6 +694,173 @@ run_protocol_compat_suite() {
   cleanup "${build_dir}"
 }
 
+# Connection churn against a live server from an independent client: the
+# golden v1 transcript replayed over a real socket (extracted from the
+# gtest source, so there is one source of truth for the expected bytes —
+# this must be the FIRST connection so the session counter yields the
+# golden's "s1"), sequential connect/request/close cycles and a concurrent
+# idle herd with the server's /proc/<pid>/fd count checked back to
+# baseline after each (the fd-leak gate), and finally a SIGTERM sent with
+# 100 connections still parked: every parked socket must see EOF and the
+# server must exit 0 ("drained" is checked by the caller).
+net_churn_client() {
+  local port="$1" pid="$2"
+  python3 - "${port}" "${pid}" \
+    "${repo_root}/tests/service/golden_transcript_test.cc" <<'PY'
+import os
+import re
+import signal
+import socket
+import sys
+import time
+
+PORT, SRV_PID, GOLDEN_SRC = int(sys.argv[1]), int(sys.argv[2]), sys.argv[3]
+PING = b"ok\npong\n.\n"
+
+
+def fd_count():
+    return len(os.listdir(f"/proc/{SRV_PID}/fd"))
+
+
+def connect():
+    sock = socket.create_connection(("127.0.0.1", PORT), timeout=10)
+    sock.settimeout(10)
+    return sock
+
+
+def read_exact(sock, want, context):
+    buf = b""
+    while len(buf) < want:
+        data = sock.recv(65536)
+        if not data:
+            sys.exit(f"net churn: {context}: EOF after {len(buf)}/{want} "
+                     "bytes")
+        buf += data
+    return buf
+
+
+def ping(sock, context):
+    sock.sendall(b"ping\n")
+    got = read_exact(sock, len(PING), context)
+    if got != PING:
+        sys.exit(f"net churn: {context}: bad ping response {got!r}")
+
+
+def drain_to_baseline(base, context):
+    deadline = time.time() + 10
+    while fd_count() > base and time.time() < deadline:
+        time.sleep(0.05)
+    now = fd_count()
+    if now > base:
+        sys.exit(f"net churn: fd leak after {context}: "
+                 f"{base} baseline -> {now}")
+    return now
+
+
+# The golden v1 transcript over the socket, byte for byte: every request
+# line in one pipelined write, the whole response stream compared against
+# the transcript pinned in the gtest source.
+with open(GOLDEN_SRC) as f:
+    blocks = re.findall(r'R"GOLD\((.*?)\)GOLD"', f.read(), re.S)
+if len(blocks) < 2:
+    sys.exit("net churn: could not extract the golden script/transcript")
+script, expected = blocks[:-1], blocks[-1].encode()
+sock = connect()
+sock.sendall(("\n".join(script) + "\n").encode())
+got = read_exact(sock, len(expected), "golden transcript")
+if got != expected:
+    sys.exit("net churn: socket transcript diverged from the golden "
+             f"(first diff at byte "
+             f"{next(i for i in range(len(expected)) if got[i] != expected[i])})")
+sock.close()
+print("net churn: golden v1 transcript byte-identical over the socket")
+
+time.sleep(0.3)  # let the server reap the golden connection
+base = fd_count()
+
+for i in range(1000):
+    sock = connect()
+    ping(sock, f"sequential cycle {i}")
+    sock.close()
+now = drain_to_baseline(base, "1000 sequential cycles")
+print(f"net churn: 1000 connect/ping/close cycles, server fds "
+      f"{base} -> {now}")
+
+idle = []
+for i in range(500):
+    sock = connect()
+    ping(sock, f"idle connection {i}")
+    idle.append(sock)
+with_idle = fd_count()
+if with_idle < base + 500:
+    sys.exit(f"net churn: expected >= {base + 500} server fds with 500 "
+             f"idle connections, got {with_idle}")
+for sock in idle:
+    sock.close()
+now = drain_to_baseline(base, "releasing 500 idle connections")
+print(f"net churn: 500 concurrent idle held ({with_idle} fds), "
+      f"released to {now}")
+
+# Park 100 connections and drain the server out from under them: SIGTERM
+# must close every parked socket (EOF or reset, nothing unsent).
+parked = []
+for i in range(100):
+    sock = connect()
+    ping(sock, f"parked connection {i}")
+    parked.append(sock)
+os.kill(SRV_PID, signal.SIGTERM)
+for i, sock in enumerate(parked):
+    try:
+        leftover = sock.recv(65536)
+    except socket.timeout:
+        sys.exit(f"net churn: parked connection {i} never saw the drain")
+    except OSError:
+        leftover = b""  # reset by the draining server: also a close
+    if leftover:
+        sys.exit(f"net churn: parked connection {i} got unexpected bytes "
+                 f"{leftover!r} during drain")
+    sock.close()
+print("net churn: SIGTERM drain closed all 100 parked connections")
+PY
+}
+
+run_net_suite() {
+  local build_dir="${repo_root}/build-ci-net"
+  local san_flags="-fsanitize=address,undefined -fno-omit-frame-pointer"
+  echo "=== net: configure + build (ASan)" >&2
+  configure_and_build "${build_dir}" net_test service_test ecrint_serve -- \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="${san_flags}" \
+    -DCMAKE_EXE_LINKER_FLAGS="${san_flags}" \
+    -DCMAKE_SHARED_LINKER_FLAGS="${san_flags}"
+  echo "=== net: reactor, feed, buffer-pool, and timer-wheel suites" >&2
+  "${build_dir}/tests/net_test"
+  echo "=== net: in-process golden transcript" >&2
+  "${build_dir}/tests/service_test" --gtest_filter='GoldenTranscript*'
+  echo "=== net: live server churn (ASan)" >&2
+  local log="${build_dir}/serve-net.log"
+  start_server_with_args "${log}" \
+    "${build_dir}/tools/ecrint_serve" --port 0
+  if ! net_churn_client "${smoke_port}" "${smoke_pid}"; then
+    kill -9 "${smoke_pid}" 2>/dev/null || true
+    return 1
+  fi
+  # The churn client sent the SIGTERM itself (it holds the parked
+  # connections); here the exit status and the drain log are checked.
+  local drain_status=0
+  wait "${smoke_pid}" || drain_status=$?
+  if [[ "${drain_status}" -ne 0 ]]; then
+    echo "net: SIGTERM drain exited ${drain_status}, want 0" >&2
+    return 1
+  fi
+  if ! grep -q 'drained' "${log}"; then
+    echo "net: drain message missing from server log" >&2
+    return 1
+  fi
+  echo "net: golden-over-socket, churn, fd-leak, and drain checks OK" >&2
+  cleanup "${build_dir}"
+}
+
 # Guards the closure worklist kernel against silent perf regressions: a
 # Release build of perf_closure, a short BM_AssertChain sweep, and a gate
 # at 2x the recorded BENCH_resemblance.json number for BM_AssertChain/64.
@@ -770,6 +945,34 @@ for name, value in [("mixed_binary", binary), ("mixed_binary_batch", batched)]:
     if ratio < MIN_MULTIPLE:
         sys.exit(f"bench gate: {name} throughput is only {ratio:.1f}x "
                  f"the text plane (floor {MIN_MULTIPLE}x)")
+
+# The network plane's recorded claims: a 10k-connection herd actually
+# parked, active socket traffic within 10% of the unloaded baseline while
+# the herd sits idle, and per-idle-connection memory at least 10x below
+# the thread-per-connection shape the epoll reactor replaced.
+cs = doc.get("connection_scaling")
+if not cs:
+    sys.exit("bench gate: BENCH_service.json is missing the "
+             "connection_scaling phase; re-record with "
+             "bench/run_benches.sh --service from a current build")
+idle = cs.get("idle_connections", 0)
+ratio = cs.get("active_ratio", 0)
+reduction = cs.get("rss_reduction_x", 0)
+print(f"bench gate: connection_scaling idle={idle} "
+      f"active_ratio={ratio:.2f} (floor 0.9) "
+      f"rss_reduction={reduction:.0f}x (floor 10x)")
+if idle < 10000:
+    sys.exit(f"bench gate: connection_scaling parked only {idle} idle "
+             "connections (floor 10000)")
+if ratio < 0.9:
+    sys.exit(f"bench gate: active traffic dropped to {ratio:.2f}x of the "
+             "unloaded baseline with the idle herd parked (floor 0.9)")
+if reduction < 10:
+    sys.exit(f"bench gate: per-idle-connection RSS is only {reduction:.1f}x "
+             "below the thread-per-connection baseline (floor 10x)")
+if not cs.get("server_exit_ok"):
+    sys.exit("bench gate: the bench server did not drain cleanly under the "
+             "10k-connection SIGTERM")
 PY
   echo "=== bench: service loadgen smoke" >&2
   cmake --build "${build_dir}" -j "${jobs}" --target perf_service
@@ -807,9 +1010,12 @@ for suite in "${suites[@]}"; do
     protocol-compat)
       run_protocol_compat_suite
       ;;
+    net)
+      run_net_suite
+      ;;
     *)
       echo "unknown suite: ${suite}" \
-        "(release|asan|tsan|recovery|replication|bench|protocol-compat)" >&2
+        "(release|asan|tsan|recovery|replication|bench|protocol-compat|net)" >&2
       exit 2
       ;;
   esac

@@ -1,6 +1,8 @@
-// ecrint_serve — blocking TCP front end to the integration service plane.
+// ecrint_serve — event-driven TCP front end to the integration service
+// plane.
 //
-//   ecrint_serve [--port N] [--queue-depth N] [--deadline-ms N] [--once]
+//   ecrint_serve [--port N] [--net-threads N] [--idle-timeout-ms N]
+//                [--queue-depth N] [--deadline-ms N] [--once]
 //                [--data-dir PATH] [--fsync always|batch|never]
 //                [--checkpoint-interval N]
 //                [--role leader|follower] [--leader-addr HOST:PORT]
@@ -8,9 +10,14 @@
 //
 // Speaks the newline-delimited protocol of src/service/protocol.h (grammar
 // in docs/FORMATS.md): one request per line, responses framed with a "."
-// terminator. Each accepted connection gets its own thread and its own
-// RouterSession; concurrency control (per-project write serialization,
-// snapshot isolation, admission, deadlines) all lives in the shared
+// terminator; `proto 2` switches a connection to the binary framing.
+// Connections are served by an epoll reactor pool (src/service/net.h,
+// docs/ARCHITECTURE.md "The network plane"): no thread per connection, so
+// tens of thousands of mostly-idle clients are cheap. --net-threads sets
+// the reactor count (default: one per hardware thread); --idle-timeout-ms
+// closes connections idle longer than that (default 300000, 0 disables).
+// Concurrency control (per-project write serialization, snapshot
+// isolation, admission, deadlines) all lives in the shared
 // IntegrationService.
 //
 // With --data-dir the service journals every mutation to
@@ -18,8 +25,9 @@
 // checkpoints, so a crash (or kill -9) loses at most the fsync window and
 // the next start recovers the state (see docs/OPERATIONS.md).
 //
-// SIGTERM/SIGINT drain instead of dying: the listener closes, in-flight
-// connections are shut down and joined, every project is checkpointed,
+// SIGTERM/SIGINT drain instead of dying: the signal handler pokes the
+// server's shutdown eventfd (async-signal-safe), every reactor flushes
+// what it can and closes its connections, every project is checkpointed,
 // and the process exits 0.
 //
 // --port 0 binds an ephemeral port; the chosen port is printed either way
@@ -33,24 +41,20 @@
 // --follow PROJECT` runs a replication client per followed project,
 // refuses client writes with NOT_LEADER, and serves snapshot reads.
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
+#include <sys/resource.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <csignal>
+#include <cstdint>
 #include <cstring>
 #include <iostream>
 #include <memory>
-#include <mutex>
-#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "common/fs.h"
-#include "service/protocol.h"
+#include "service/net.h"
 #include "service/replication.h"
 #include "service/router.h"
 #include "service/service.h"
@@ -59,191 +63,32 @@ namespace {
 
 using namespace ecrint;  // NOLINT: CLI brevity
 
-// Signal plumbing: the handler may only touch async-signal-safe state, so
-// it sets a flag and closes the listener via shutdown() (also
-// async-signal-safe), which pops the accept loop out of its block.
-volatile std::sig_atomic_t g_shutting_down = 0;
-int g_listener_fd = -1;
+// Signal plumbing: write(2) is async-signal-safe, and the NetServer's
+// shutdown eventfd is level-triggered in every reactor, so one poke drains
+// the whole server.
+volatile int g_shutdown_fd = -1;
 
 void HandleShutdownSignal(int) {
-  g_shutting_down = 1;
-  if (g_listener_fd >= 0) shutdown(g_listener_fd, SHUT_RDWR);
+  if (g_shutdown_fd >= 0) {
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = write(g_shutdown_fd, &one, sizeof(one));
+  }
 }
 
-// Live connection fds, so the drain path can shut them down and unblock
-// their reader threads.
-std::mutex g_connections_mutex;
-std::set<int> g_connection_fds;
-
-void RegisterConnection(int fd) {
-  std::lock_guard<std::mutex> lock(g_connections_mutex);
-  g_connection_fds.insert(fd);
-}
-
-void UnregisterConnection(int fd) {
-  std::lock_guard<std::mutex> lock(g_connections_mutex);
-  g_connection_fds.erase(fd);
-}
-
-// Writes the whole buffer or gives up (peer gone).
-bool WriteAll(int fd, std::string_view data) {
-  size_t written = 0;
-  while (written < data.size()) {
-    ssize_t n = write(fd, data.data() + written, data.size() - written);
-    if (n <= 0) return false;
-    written += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-// Pushes replication frames straight down the follower's socket. A failed
-// write ends the subscription — the follower reconnects with backoff.
-class SocketSink : public service::ReplicationSink {
- public:
-  SocketSink(int fd, service::Counter* bytes_out)
-      : fd_(fd), bytes_out_(bytes_out) {}
-  Status Send(std::string_view frame) override {
-    if (!WriteAll(fd_, frame)) {
-      return InternalError("follower connection lost");
-    }
-    bytes_out_->Increment(static_cast<int64_t>(frame.size()));
-    return Status::Ok();
-  }
-
- private:
-  int fd_;
-  service::Counter* bytes_out_;
-};
-
-// A subscribe frame turns the connection into a one-way replication
-// stream: hand it to the ReplicationServer until shutdown or the follower
-// hangs up. Never returns to request handling.
-void ServeReplication(int fd, service::ReplicationServer* replication,
-                      std::string_view body, service::Counter* bytes_out) {
-  SocketSink sink(fd, bytes_out);
-  Result<service::ReplFrame> frame = service::DecodeReplFrame(body);
-  if (!frame.ok()) {
-    (void)sink.Send(service::EncodeReplError(frame.status().message()));
-    return;
-  }
-  if (replication == nullptr) {
-    (void)sink.Send(service::EncodeReplError(
-        "this node is not a replication leader (start with --role leader)"));
-    return;
-  }
-  (void)replication->Serve(frame->subscribe, sink,
-                           [] { return g_shutting_down != 0; });
-}
-
-// Reads requests from the socket, feeds the router, writes framed
-// responses. Starts in the text protocol; after the router acknowledges
-// `proto 2` the loop switches to length-prefixed binary frames. In binary
-// mode the connection is PIPELINED: every complete frame already buffered
-// is executed before the responses are flushed in one write, so a client
-// that streams N frames back to back pays one syscall round trip, not N.
-void ServeConnection(int fd, service::RequestRouter* router,
-                     service::ReplicationServer* replication) {
-  RegisterConnection(fd);
-  service::RouterSession session;
-  service::MetricsRegistry& metrics = router->service()->metrics();
-  service::Counter* bytes_in = metrics.GetCounter("net.bytes_in");
-  service::Counter* bytes_out = metrics.GetCounter("net.bytes_out");
-  std::string buffer;
-  char chunk[65536];
-  bool alive = true;
-  while (alive) {
-    std::string responses;
-    if (session.protocol_version == service::kProtocolBinaryVersion) {
-      // Drain every complete frame in the buffer.
-      for (;;) {
-        std::string_view body;
-        size_t consumed = 0;
-        std::string frame_error;
-        service::FrameStatus status =
-            service::ExtractFrame(buffer, &body, &consumed, &frame_error);
-        if (status == service::FrameStatus::kError) {
-          // Malformed framing is unrecoverable (the stream cannot be
-          // resynchronized); answer once and close.
-          service::ServiceResponse refusal;
-          refusal.error = {service::ServiceErrorCode::kBadRequest,
-                           frame_error};
-          responses += service::EncodeBinaryResponse(refusal);
-          alive = false;
-          break;
-        }
-        if (status == service::FrameStatus::kNeedMore) break;
-        if (!body.empty() &&
-            static_cast<uint8_t>(body[0]) == service::kFrameReplSubscribe) {
-          // Flush anything pipelined ahead of the subscribe, then switch
-          // the connection over to the replication stream for good.
-          std::string subscribe_body(body);
-          buffer.erase(0, consumed);
-          if (!responses.empty()) {
-            bytes_out->Increment(static_cast<int64_t>(responses.size()));
-            if (!WriteAll(fd, responses)) {
-              responses.clear();
-              alive = false;
-              break;
-            }
-            responses.clear();
-          }
-          ServeReplication(fd, replication, subscribe_body, bytes_out);
-          alive = false;
-          break;
-        }
-        responses += router->HandleFrame(body, &session);
-        buffer.erase(0, consumed);
-        if (session.protocol_version !=
-            service::kProtocolBinaryVersion) {
-          break;  // client negotiated back to text mid-stream
-        }
-      }
-    } else {
-      // Text mode: one line per iteration (each response may switch the
-      // protocol, so lines are not batched).
-      size_t newline = buffer.find('\n');
-      if (newline != std::string::npos) {
-        std::string line = buffer.substr(0, newline);
-        buffer.erase(0, newline + 1);
-        if (!line.empty() && line.back() == '\r') line.pop_back();
-        responses = router->HandleLine(line, &session);
-      } else if (buffer.size() > service::kMaxRequestLineBytes) {
-        // A peer that streams bytes without ever sending a newline must
-        // not grow the buffer without bound: past the request-line limit
-        // the connection gets one error frame and is closed.
-        service::ServiceResponse refusal;
-        refusal.error = {service::ServiceErrorCode::kBadRequest,
-                         "request line exceeds " +
-                             std::to_string(service::kMaxRequestLineBytes) +
-                             " bytes"};
-        responses = service::FormatResponse(refusal);
-        alive = false;
-      }
-    }
-    if (!responses.empty()) {
-      bytes_out->Increment(static_cast<int64_t>(responses.size()));
-      if (!WriteAll(fd, responses)) break;
-      if (!alive) break;
-      continue;  // more requests may already be buffered
-    }
-    if (!alive) break;
-    ssize_t n = read(fd, chunk, sizeof(chunk));
-    if (n <= 0) break;
-    bytes_in->Increment(n);
-    buffer.append(chunk, static_cast<size_t>(n));
-  }
-  // Connection gone: release its session so reaping has less to do.
-  if (!session.session_id.empty()) {
-    (void)router->service()->CloseSession(session.session_id);
-  }
-  UnregisterConnection(fd);
-  close(fd);
+// 10k connections need 10k descriptors: lift the soft fd limit to the hard
+// limit so `ulimit -n` defaults don't cap the server (docs/OPERATIONS.md).
+void RaiseFdLimit() {
+  struct rlimit limit;
+  if (getrlimit(RLIMIT_NOFILE, &limit) != 0) return;
+  if (limit.rlim_cur >= limit.rlim_max) return;
+  limit.rlim_cur = limit.rlim_max;
+  (void)setrlimit(RLIMIT_NOFILE, &limit);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  int port = 7400;
+  service::NetOptions net_options;
   bool once = false;
   std::string role = "standalone";
   std::string leader_addr;
@@ -252,7 +97,11 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--port" && i + 1 < argc) {
-      port = std::atoi(argv[++i]);
+      net_options.port = std::atoi(argv[++i]);
+    } else if (arg == "--net-threads" && i + 1 < argc) {
+      net_options.net_threads = std::atoi(argv[++i]);
+    } else if (arg == "--idle-timeout-ms" && i + 1 < argc) {
+      net_options.idle_timeout_ms = std::atoll(argv[++i]);
     } else if (arg == "--queue-depth" && i + 1 < argc) {
       config.queue_depth = std::atoi(argv[++i]);
     } else if (arg == "--deadline-ms" && i + 1 < argc) {
@@ -279,7 +128,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--once") {
       once = true;
     } else {
-      std::cerr << "usage: ecrint_serve [--port N] [--queue-depth N] "
+      std::cerr << "usage: ecrint_serve [--port N] [--net-threads N] "
+                   "[--idle-timeout-ms N] [--queue-depth N] "
                    "[--deadline-ms N] [--data-dir PATH] "
                    "[--fsync always|batch|never] [--checkpoint-interval N] "
                    "[--role leader|follower] [--leader-addr HOST:PORT] "
@@ -304,9 +154,13 @@ int main(int argc, char** argv) {
     }
     config.leader_addr = leader_addr;  // turns on the NOT_LEADER write gate
   }
+  net_options.once = once;
 
-  // A client that disconnects mid-response must not kill the server.
+  // Belt and suspenders: every send in the network plane passes
+  // MSG_NOSIGNAL, but a client that disconnects mid-response must not kill
+  // the server even if a write sneaks in elsewhere.
   signal(SIGPIPE, SIG_IGN);
+  RaiseFdLimit();
 
   service::IntegrationService service(config);
   service::RequestRouter router(&service);
@@ -330,34 +184,16 @@ int main(int argc, char** argv) {
         [client, &replication_stop] { client->Run(replication_stop); });
   }
 
-  int listener = socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0) {
-    std::cerr << "socket: " << std::strerror(errno) << "\n";
+  service::NetServer server(&router, replication.get(), net_options);
+  Result<int> bound = server.Start();
+  if (!bound.ok()) {
+    std::cerr << bound.status().ToString() << "\n";
     return 1;
   }
-  int reuse = 1;
-  setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  std::cout << "listening on " << *bound << std::endl;
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    std::cerr << "bind: " << std::strerror(errno) << "\n";
-    return 1;
-  }
-  if (listen(listener, 64) < 0) {
-    std::cerr << "listen: " << std::strerror(errno) << "\n";
-    return 1;
-  }
-  socklen_t addr_len = sizeof(addr);
-  getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &addr_len);
-  std::cout << "listening on " << ntohs(addr.sin_port) << std::endl;
-
-  // Drain-then-checkpoint on SIGTERM/SIGINT. No SA_RESTART: accept() must
-  // come back with EINTR so the loop observes the flag even on kernels
-  // where shutdown() on a listening socket does not wake it.
-  g_listener_fd = listener;
+  // Drain-then-checkpoint on SIGTERM/SIGINT.
+  g_shutdown_fd = server.shutdown_fd();
   struct sigaction drain_action {};
   drain_action.sa_handler = HandleShutdownSignal;
   sigemptyset(&drain_action.sa_mask);
@@ -365,42 +201,14 @@ int main(int argc, char** argv) {
   sigaction(SIGTERM, &drain_action, nullptr);
   sigaction(SIGINT, &drain_action, nullptr);
 
-  std::vector<std::thread> connections;
-  for (;;) {
-    int fd = accept(listener, nullptr, nullptr);
-    if (g_shutting_down) {
-      if (fd >= 0) close(fd);
-      break;
-    }
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      std::cerr << "accept: " << std::strerror(errno) << "\n";
-      break;
-    }
-    if (once) {
-      ServeConnection(fd, &router, replication.get());
-      break;
-    }
-    connections.emplace_back(ServeConnection, fd, &router,
-                             replication.get());
-  }
+  // Blocks until the shutdown eventfd is poked (or, with --once, until the
+  // single connection closes); joins every reactor and handoff thread.
+  server.Run();
 
-  // Drain: stop reading from every live connection (their threads finish
-  // the response in flight, then see EOF), join them, and make the final
-  // state durable in one checkpoint per project.
-  g_shutting_down = 1;  // also stops replication Serve loops (--once path)
   replication_stop.store(true, std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(g_connections_mutex);
-    for (int fd : g_connection_fds) shutdown(fd, SHUT_RD);
-  }
-  for (std::thread& connection : connections) connection.join();
   for (std::thread& client : client_threads) client.join();
   int checkpointed = service.CheckpointProjects();
-  if (g_shutting_down) {
-    std::cout << "drained, checkpointed " << checkpointed
-              << " project(s), exiting" << std::endl;
-  }
-  close(listener);
+  std::cout << "drained, checkpointed " << checkpointed
+            << " project(s), exiting" << std::endl;
   return 0;
 }
