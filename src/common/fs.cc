@@ -15,8 +15,20 @@ namespace ecrint::common {
 
 namespace {
 
+// Maps the current errno to a status. Out-of-space conditions get their
+// own category so the journal can degrade with a disk-full diagnosis (and
+// a retry-after hint) instead of the generic device-death path.
+Status ErrnoAsStatus(int err, const std::string& op,
+                     const std::string& path) {
+  std::string message = op + " " + path + ": " + std::strerror(err);
+  if (err == ENOSPC || err == EDQUOT) {
+    return ResourceExhaustedError(std::move(message));
+  }
+  return InternalError(std::move(message));
+}
+
 Status ErrnoError(const std::string& op, const std::string& path) {
-  return InternalError(op + " " + path + ": " + std::strerror(errno));
+  return ErrnoAsStatus(errno, op, path);
 }
 
 // ---------------------------------------------------------------------------
@@ -363,6 +375,21 @@ Status FaultInjectingFileImpl::Sync() {
   return FaultInjectingFile::Sync(owner_, base_.get());
 }
 
+// Builds the injected-failure status, honoring the plan's errno mode: with
+// fail_errno set the status carries the same category and strerror text a
+// real device reporting that errno would, so ENOSPC handling is testable.
+Status InjectedFailure(const FaultPlan& plan, const std::string& what) {
+  std::string message = "injected " + what;
+  if (plan.fail_errno != 0) {
+    message += ": ";
+    message += std::strerror(plan.fail_errno);
+    if (plan.fail_errno == ENOSPC || plan.fail_errno == EDQUOT) {
+      return ResourceExhaustedError(std::move(message));
+    }
+  }
+  return InternalError(std::move(message));
+}
+
 }  // namespace
 
 Status FaultInjectingFs::OnAppend(WritableFile* file, std::string_view data) {
@@ -387,8 +414,8 @@ Status FaultInjectingFs::OnAppend(WritableFile* file, std::string_view data) {
     }
     (void)file->Append(data.substr(0, static_cast<size_t>(keep)));
   }
-  return InternalError("injected append failure at op " +
-                       std::to_string(index));
+  return InjectedFailure(plan_,
+                         "append failure at op " + std::to_string(index));
 }
 
 Status FaultInjectingFs::OnSync(WritableFile* file) {
@@ -402,8 +429,8 @@ Status FaultInjectingFs::OnSync(WritableFile* file) {
     if (inject) failed_ = true;
   }
   if (!inject) return file->Sync();
-  return InternalError("injected fsync failure at op " +
-                       std::to_string(index));
+  return InjectedFailure(plan_,
+                         "fsync failure at op " + std::to_string(index));
 }
 
 Result<std::unique_ptr<WritableFile>> FaultInjectingFs::OpenAppend(
@@ -439,8 +466,8 @@ Status FaultInjectingFs::WriteFileAtomic(const std::string& path,
     if (inject) failed_ = true;
   }
   if (!inject) return base_->WriteFileAtomic(path, content);
-  return InternalError("injected atomic-write failure at op " +
-                       std::to_string(index));
+  return InjectedFailure(
+      plan_, "atomic-write failure at op " + std::to_string(index));
 }
 
 Status FaultInjectingFs::Truncate(const std::string& path, uint64_t size) {

@@ -126,6 +126,11 @@ struct FaultPlan {
   // WriteFileAtomic also fails ("the device is gone"), which is how real
   // journal devices die.
   bool sticky = true;
+  // When non-zero, injected failures report this errno's status category
+  // instead of the generic internal error — ENOSPC/EDQUOT map to
+  // RESOURCE_EXHAUSTED exactly as RealFs does, so the disk-full degradation
+  // path is testable hermetically.
+  int fail_errno = 0;
 };
 
 // Wraps a base Fs and injects the failures described by the plan. Reads,

@@ -12,6 +12,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kConflict: return "CONFLICT";
     case StatusCode::kParseError: return "PARSE_ERROR";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }
@@ -50,6 +51,9 @@ Status ParseError(std::string message) {
 }
 Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
 }
 
 }  // namespace ecrint

@@ -18,6 +18,7 @@ enum class StatusCode {
   kConflict,          // contradictory assertions detected
   kParseError,        // DDL or script text could not be parsed
   kInternal,          // invariant violation inside the library
+  kResourceExhausted, // a finite resource ran out (disk full, quota hit)
 };
 
 // Human-readable name of a status code ("OK", "INVALID_ARGUMENT", ...).
@@ -60,6 +61,7 @@ Status FailedPreconditionError(std::string message);
 Status ConflictError(std::string message);
 Status ParseError(std::string message);
 Status InternalError(std::string message);
+Status ResourceExhaustedError(std::string message);
 
 }  // namespace ecrint
 

@@ -327,9 +327,17 @@ class NetServer::Reactor {
         }
       }
       int64_t now = SteadyNowMs();
-      wheel_.Advance(now, [this](void* owner) {
+      wheel_.Advance(now, [this, now](void* owner) {
         auto* conn = static_cast<Connection*>(owner);
         conn->timer.bucket = TimerWheel::kNoBucket;
+        if (!conn->output.empty()) {
+          // Not idle — stalled on EPOLLOUT with queued output (a slow or
+          // backpressured reader mid-drain). Reaping it here would cut a
+          // response off mid-frame; re-arm and let the flush path (or a
+          // genuinely idle later period) decide.
+          wheel_.Touch(&conn->timer, conn, now);
+          return;
+        }
         server_->idle_timeouts_->Increment();
         CloseConnection(conn);
       });
@@ -757,6 +765,14 @@ void NetServer::StartReplicationHandoff(int fd, std::string pending_output,
     return;
   }
   handoff_live_fds_.insert(fd);
+  // Write deadline on the streaming socket: a blackholed or half-open
+  // follower whose receive window closed must fail the Send (ending the
+  // subscription) instead of pinning this thread in send() forever.
+  struct timeval send_timeout;
+  send_timeout.tv_sec = 10;
+  send_timeout.tv_usec = 0;
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+             sizeof(send_timeout));
   handoff_threads_.emplace_back([this, fd,
                                  pending = std::move(pending_output),
                                  body = std::move(subscribe_body),

@@ -177,7 +177,8 @@ constexpr struct {
     {WireVerb::kExport, "export"},      {WireVerb::kRank, "rank"},
     {WireVerb::kSuggest, "suggest"},    {WireVerb::kTranslate, "translate"},
     {WireVerb::kOutline, "outline"},    {WireVerb::kMetrics, "metrics"},
-    {WireVerb::kProto, "proto"},
+    {WireVerb::kProto, "proto"},        {WireVerb::kPromote, "promote"},
+    {WireVerb::kDemote, "demote"},
 };
 
 // Frames `body` with its varint length prefix.

@@ -116,12 +116,20 @@ inline constexpr uint8_t kFrameBatchResponse = 0x82;
 // subscribe frame; from then on the connection is a one-way leader→follower
 // stream (grammar in docs/FORMATS.md):
 //
-//   0x03 subscribe  lpstr(project) varint(have_seq)
+//   0x03 subscribe  lpstr(project) varint(have_seq) varint(epoch)
+//                   lpstr(leader-hint)
 //   0x90 hello      varint(has-ckpt) varint(seq) varint(bytes) varint(crc)
+//                   varint(epoch)
 //   0x91 chunk      varint(offset) varint(crc) lpstr(bytes)
 //   0x92 record     varint(seq) varint(crc) lpstr(payload)
-//   0x93 stamp      varint(seq) 5*varint(zigzag counter)
+//   0x93 stamp      varint(seq) 5*varint(zigzag counter) varint(epoch)
 //   0x94 error      lpstr(message)
+//
+// `epoch` is the leader epoch fencing failover (docs/OPERATIONS.md): a
+// subscriber announces the highest epoch it has seen plus the address it
+// learned it from (`leader-hint`, may be empty); a leader hearing a higher
+// epoch than its own demotes itself instead of split-brain-serving. Hello
+// and stamp carry the leader's epoch so followers reject stale leaders.
 inline constexpr uint8_t kFrameReplSubscribe = 0x03;
 inline constexpr uint8_t kFrameReplHello = 0x90;
 inline constexpr uint8_t kFrameReplChunk = 0x91;
@@ -146,6 +154,8 @@ enum class WireVerb : uint8_t {
   kOutline = 13,
   kMetrics = 14,
   kProto = 15,
+  kPromote = 16,
+  kDemote = 17,
 };
 
 // Text name of a wire verb ("ping", ...); null for an unknown code.

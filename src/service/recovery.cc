@@ -56,6 +56,11 @@ uint64_t GetU64Le(const char* p) {
 // and the optional integrated line.
 std::string SerializeMetaSection(const Checkpoint& checkpoint) {
   std::string out = "seq " + std::to_string(checkpoint.seq);
+  // Emitted only when a failover ever bumped it: epoch-0 checkpoints stay
+  // byte-identical to pre-epoch ones.
+  if (checkpoint.epoch > 0) {
+    out += "\nepoch " + std::to_string(checkpoint.epoch);
+  }
   out += "\nstamp " + std::to_string(checkpoint.stamp.schema_generation) +
          " " + std::to_string(checkpoint.stamp.equivalence_generation) + " " +
          std::to_string(checkpoint.stamp.assertion_epoch) + " " +
@@ -91,6 +96,11 @@ Status ParseMetaSection(std::string_view text, CheckpointView& view) {
       if (seq < 0) return ParseError("negative checkpoint seq");
       view.seq = static_cast<uint64_t>(seq);
       saw_seq = true;
+    } else if (tokens[0] == "epoch") {
+      if (tokens.size() != 2) return ParseError("malformed epoch line");
+      ECRINT_ASSIGN_OR_RETURN(int64_t epoch, ParseInt64(tokens[1]));
+      if (epoch < 0) return ParseError("negative checkpoint epoch");
+      view.epoch = static_cast<uint64_t>(epoch);
     } else if (tokens[0] == "stamp") {
       if (tokens.size() != 6) {
         return ParseError("stamp line wants 5 counters, got " +
@@ -181,6 +191,9 @@ Result<CheckpointView> ParseCheckpointV2(std::string_view bytes) {
 std::string SerializeCheckpoint(const Checkpoint& checkpoint) {
   std::string out = kCheckpointMagic;
   out += "\nseq " + std::to_string(checkpoint.seq);
+  if (checkpoint.epoch > 0) {
+    out += "\nepoch " + std::to_string(checkpoint.epoch);
+  }
   out += "\nstamp " + std::to_string(checkpoint.stamp.schema_generation) +
          " " + std::to_string(checkpoint.stamp.equivalence_generation) + " " +
          std::to_string(checkpoint.stamp.assertion_epoch) + " " +
@@ -240,6 +253,11 @@ Result<Checkpoint> ParseCheckpoint(std::string_view text) {
       if (seq < 0) return ParseError("negative checkpoint seq");
       checkpoint.seq = static_cast<uint64_t>(seq);
       saw_seq = true;
+    } else if (tokens[0] == "epoch") {
+      if (tokens.size() != 2) return ParseError("malformed epoch line");
+      ECRINT_ASSIGN_OR_RETURN(int64_t epoch, ParseInt64(tokens[1]));
+      if (epoch < 0) return ParseError("negative checkpoint epoch");
+      checkpoint.epoch = static_cast<uint64_t>(epoch);
     } else if (tokens[0] == "stamp") {
       if (tokens.size() != 6) {
         return ParseError("stamp line wants 5 counters, got " +
@@ -316,6 +334,7 @@ Result<CheckpointView> ParseCheckpointAny(std::string_view bytes) {
   ECRINT_ASSIGN_OR_RETURN(Checkpoint v1, ParseCheckpoint(bytes));
   CheckpointView view;
   view.seq = v1.seq;
+  view.epoch = v1.epoch;
   view.stamp = v1.stamp;
   view.integrated = v1.integrated;
   view.integrated_schemas = std::move(v1.integrated_schemas);
@@ -408,6 +427,7 @@ Result<std::unique_ptr<RecoveryManager>> RecoveryManager::Open(
     ECRINT_RETURN_IF_ERROR(engine.AdoptReplayStamp(checkpoint.stamp));
     stats->restored_checkpoint = true;
     stats->checkpoint_seq = checkpoint.seq;
+    manager->epoch_ = checkpoint.epoch;
   } else {
     engine::BeginReplay(engine);
   }
@@ -512,6 +532,7 @@ Status RecoveryManager::CommitBatch() {
 Status RecoveryManager::WriteCheckpoint(engine::Engine& engine) {
   Checkpoint checkpoint;
   checkpoint.seq = journal_->next_seq() - 1;
+  checkpoint.epoch = epoch_;
   // Export first: it materializes the equivalence map if absent, which
   // bumps a generation — the stamp must be read after.
   checkpoint.project_text = engine.ExportProject();

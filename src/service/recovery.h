@@ -52,6 +52,10 @@ struct RecoveryStats {
 //   <core::SerializeProject text>
 struct Checkpoint {
   uint64_t seq = 0;
+  // Leader epoch governing the project's replication stream when the
+  // checkpoint was written. Serialized as an "epoch N" meta line only when
+  // non-zero, so pre-epoch checkpoints stay byte-identical.
+  uint64_t epoch = 0;
   engine::EngineStamp stamp;
   bool integrated = false;
   std::vector<std::string> integrated_schemas;
@@ -92,6 +96,7 @@ std::string SerializeCheckpointV2(const Checkpoint& checkpoint);
 // outlive the view.
 struct CheckpointView {
   uint64_t seq = 0;
+  uint64_t epoch = 0;
   engine::EngineStamp stamp;
   bool integrated = false;
   std::vector<std::string> integrated_schemas;
@@ -165,6 +170,13 @@ class RecoveryManager {
   const std::string& dir() const { return dir_; }
   const DurabilityOptions& options() const { return options_; }
 
+  // The leader epoch persisted with this project (0 until failover ever
+  // happened). Loaded from the checkpoint at Open; written into every
+  // checkpoint. The service raises it on promote/demote and on epochs
+  // learned from the replication stream.
+  uint64_t epoch() const { return epoch_; }
+  void set_epoch(uint64_t epoch) { epoch_ = epoch; }
+
   static std::string JournalPath(const std::string& dir);
   static std::string CheckpointPath(const std::string& dir);
 
@@ -177,6 +189,7 @@ class RecoveryManager {
   DurabilityOptions options_;
   std::unique_ptr<Journal> journal_;
   int records_since_checkpoint_ = 0;
+  uint64_t epoch_ = 0;
 
   // Resolved once; null when no registry was supplied.
   Counter* appends_ = nullptr;

@@ -52,6 +52,8 @@ std::string EncodeReplSubscribe(const ReplSubscribe& subscribe) {
   body.push_back(static_cast<char>(kFrameReplSubscribe));
   PutLpString(body, subscribe.project);
   PutVarint(body, subscribe.have_seq);
+  PutVarint(body, subscribe.epoch);
+  PutLpString(body, subscribe.leader_hint);
   return FrameBody(std::move(body));
 }
 
@@ -62,6 +64,7 @@ std::string EncodeReplHello(const ReplHello& hello) {
   PutVarint(body, hello.seq);
   PutVarint(body, hello.total_bytes);
   PutVarint(body, hello.crc);
+  PutVarint(body, hello.epoch);
   return FrameBody(std::move(body));
 }
 
@@ -92,6 +95,7 @@ std::string EncodeReplStamp(const ReplStamp& stamp) {
   PutVarint(body, ZigZag(stamp.stamp.assertion_epoch));
   PutVarint(body, ZigZag(stamp.stamp.assertion_log_size));
   PutVarint(body, ZigZag(stamp.stamp.integration_version));
+  PutVarint(body, stamp.epoch);
   return FrameBody(std::move(body));
 }
 
@@ -110,17 +114,22 @@ Result<ReplFrame> DecodeReplFrame(std::string_view body) {
   switch (frame.type) {
     case kFrameReplSubscribe: {
       std::string_view project;
+      std::string_view leader_hint;
       if (!GetLpString(body, project) ||
-          !GetVarint(body, frame.subscribe.have_seq)) {
+          !GetVarint(body, frame.subscribe.have_seq) ||
+          !GetVarint(body, frame.subscribe.epoch) ||
+          !GetLpString(body, leader_hint)) {
         return ParseError("truncated subscribe frame");
       }
       frame.subscribe.project = std::string(project);
+      frame.subscribe.leader_hint = std::string(leader_hint);
       break;
     }
     case kFrameReplHello: {
       uint64_t has = 0, crc = 0;
       if (!GetVarint(body, has) || !GetVarint(body, frame.hello.seq) ||
-          !GetVarint(body, frame.hello.total_bytes) || !GetVarint(body, crc)) {
+          !GetVarint(body, frame.hello.total_bytes) || !GetVarint(body, crc) ||
+          !GetVarint(body, frame.hello.epoch)) {
         return ParseError("truncated hello frame");
       }
       if (has > 1 || crc > 0xFFFFFFFFull) {
@@ -164,6 +173,9 @@ Result<ReplFrame> DecodeReplFrame(std::string_view body) {
           return ParseError("truncated stamp frame");
         }
       }
+      if (!GetVarint(body, frame.stamp.epoch)) {
+        return ParseError("truncated stamp frame");
+      }
       frame.stamp.stamp.schema_generation = UnZigZag(counters[0]);
       frame.stamp.stamp.equivalence_generation = UnZigZag(counters[1]);
       frame.stamp.stamp.assertion_epoch = UnZigZag(counters[2]);
@@ -206,6 +218,7 @@ ReplicationServer::ReplicationServer(IntegrationService* service,
   records_shipped_ = metrics.GetCounter("repl.records_shipped");
   bytes_shipped_ = metrics.GetCounter("repl.bytes_shipped");
   checkpoints_shipped_ = metrics.GetCounter("repl.checkpoints_shipped");
+  stale_epoch_rejects_ = metrics.GetCounter("repl.stale_epoch_rejects");
 }
 
 ReplicationServer::ReplicationServer(IntegrationService* service,
@@ -214,6 +227,7 @@ ReplicationServer::ReplicationServer(IntegrationService* service,
 
 Result<uint64_t> ReplicationServer::SendBootstrap(const std::string& project,
                                                   uint64_t from,
+                                                  uint64_t epoch,
                                                   ReplicationSink& sink) {
   const std::string dir = data_dir_ + "/" + ProjectDirName(project);
   const std::string path = RecoveryManager::CheckpointPath(dir);
@@ -228,6 +242,7 @@ Result<uint64_t> ReplicationServer::SendBootstrap(const std::string& project,
       hello.seq = view.seq;
       hello.total_bytes = bytes.size();
       hello.crc = common::Crc32c(bytes);
+      hello.epoch = epoch;
       ECRINT_RETURN_IF_ERROR(sink.Send(EncodeReplHello(hello)));
       for (size_t offset = 0; offset < bytes.size();
            offset += options_.chunk_bytes) {
@@ -247,6 +262,7 @@ Result<uint64_t> ReplicationServer::SendBootstrap(const std::string& project,
   // directly after its seq.
   ReplHello hello;
   hello.seq = from;
+  hello.epoch = epoch;
   ECRINT_RETURN_IF_ERROR(sink.Send(EncodeReplHello(hello)));
   return from;
 }
@@ -261,7 +277,30 @@ Status ReplicationServer::Serve(const ReplSubscribe& subscribe,
     (void)sink.Send(EncodeReplError(message));
     return FailedPreconditionError(message);
   }
+  if (std::string leader = service_->CurrentLeaderAddr(); !leader.empty()) {
+    // This node is (or has become) a follower; it must not serve a stream
+    // it is not authoritative for.
+    std::string message =
+        "this node is not the replication leader (writes go to " + leader +
+        ")";
+    (void)sink.Send(EncodeReplError(message));
+    return FailedPreconditionError(message);
+  }
   service_->EnsureProject(project);
+  uint64_t epoch = service_->ProjectEpoch(project);
+  if (subscribe.epoch > epoch) {
+    // The subscriber has seen a newer leader than us: we were deposed
+    // while partitioned. Fence ourselves toward the hinted address rather
+    // than split-brain-serving a stale stream.
+    Bump(stale_epoch_rejects_);
+    (void)service_->DemoteProject(project, subscribe.epoch,
+                                  subscribe.leader_hint);
+    std::string message = "leader deposed: subscriber is at epoch " +
+                          std::to_string(subscribe.epoch) +
+                          ", this node was at " + std::to_string(epoch);
+    (void)sink.Send(EncodeReplError(message));
+    return FailedPreconditionError(message);
+  }
   const std::string dir = data_dir_ + "/" + ProjectDirName(project);
   subscribers_gauge_->Set(subscribers_.fetch_add(1) + 1);
 
@@ -272,8 +311,16 @@ Status ReplicationServer::Serve(const ReplSubscribe& subscribe,
     bool stamped = false;
     int idle_polls = 0;
     while (!stop()) {
+      if (!service_->CurrentLeaderAddr().empty()) {
+        // Demoted mid-stream (an operator or a higher-epoch subscriber on
+        // another connection): stop serving immediately.
+        (void)sink.Send(
+            EncodeReplError("leader demoted; resubscribe to the new leader"));
+        return FailedPreconditionError("demoted while serving");
+      }
       if (need_hello) {
-        Result<uint64_t> start = SendBootstrap(project, from, sink);
+        epoch = service_->ProjectEpoch(project);
+        Result<uint64_t> start = SendBootstrap(project, from, epoch, sink);
         if (!start.ok()) {
           (void)sink.Send(EncodeReplError(start.status().message()));
           return start.status();
@@ -330,6 +377,7 @@ Status ReplicationServer::Serve(const ReplSubscribe& subscribe,
             ReplStamp stamp;
             stamp.seq = position->seq;
             stamp.stamp = position->stamp;
+            stamp.epoch = position->epoch;
             std::string frame = EncodeReplStamp(stamp);
             ECRINT_RETURN_IF_ERROR(sink.Send(frame));
             Bump(bytes_shipped_, static_cast<int64_t>(frame.size()));
@@ -362,6 +410,7 @@ FollowerState::FollowerState(IntegrationService* service, std::string project)
   bootstraps_ = metrics.GetCounter("repl.bootstraps");
   stamp_checks_ = metrics.GetCounter("repl.stamp_checks");
   divergences_ = metrics.GetCounter("repl.divergences");
+  stale_epoch_rejects_ = metrics.GetCounter("repl.stale_epoch_rejects");
   applied_seq_gauge_ = metrics.GetGauge("repl.applied_seq");
   lag_records_ = metrics.GetGauge("repl.lag_records");
   bootstrap_us_ = metrics.GetHistogram("repl.bootstrap");
@@ -374,14 +423,31 @@ Result<uint64_t> FollowerState::Prepare() {
   ECRINT_ASSIGN_OR_RETURN(IntegrationService::ReplicationPosition position,
                           service_->SampleReplicationPosition(project_));
   applied_seq_ = position.seq;
+  epoch_ = position.epoch;
   applied_seq_gauge_->Set(static_cast<int64_t>(applied_seq_));
   receiving_checkpoint_ = false;
   checkpoint_bytes_.clear();
   return applied_seq_;
 }
 
+Result<FollowerState::Outcome> FollowerState::NoteEpoch(uint64_t epoch) {
+  if (epoch < epoch_) {
+    // A leader below our epoch was deposed — its stream must not be
+    // applied, however well-formed.
+    Bump(stale_epoch_rejects_);
+    return Outcome::kResubscribe;
+  }
+  if (epoch > epoch_) {
+    epoch_ = epoch;
+    service_->AdoptReplicationEpoch(project_, epoch);
+  }
+  return Outcome::kOk;
+}
+
 Result<FollowerState::Outcome> FollowerState::HandleHello(
     const ReplHello& hello) {
+  ECRINT_ASSIGN_OR_RETURN(Outcome fenced, NoteEpoch(hello.epoch));
+  if (fenced != Outcome::kOk) return fenced;
   if (!hello.has_checkpoint) {
     // Streaming resumes right after our seq; nothing to install.
     receiving_checkpoint_ = false;
@@ -450,6 +516,8 @@ Result<FollowerState::Outcome> FollowerState::HandleRecord(
 
 Result<FollowerState::Outcome> FollowerState::HandleStamp(
     const ReplStamp& stamp) {
+  ECRINT_ASSIGN_OR_RETURN(Outcome fenced, NoteEpoch(stamp.epoch));
+  if (fenced != Outcome::kOk) return fenced;
   Bump(stamp_checks_);
   lag_records_->Set(stamp.seq >= applied_seq_
                         ? static_cast<int64_t>(stamp.seq - applied_seq_)
@@ -552,6 +620,8 @@ ReplicationClient::ReplicationClient(IntegrationService* service,
       project_(std::move(project)),
       options_(options) {
   reconnects_ = service_->metrics().GetCounter("repl.reconnects");
+  retry_budget_exhausted_ =
+      service_->metrics().GetCounter("repl.retry_budget_exhausted");
 }
 
 ReplicationClient::ReplicationClient(IntegrationService* service,
@@ -561,17 +631,34 @@ ReplicationClient::ReplicationClient(IntegrationService* service,
                         Options()) {}
 
 bool ReplicationClient::RunOnce(const std::atomic<bool>& stop,
-                                FollowerState& follower) {
+                                FollowerState& follower,
+                                const std::string& leader_addr) {
   Result<uint64_t> have_seq = follower.Prepare();
   if (!have_seq.ok()) return false;
-  int fd = ConnectLeader(leader_addr_);
+  int fd = ConnectLeader(leader_addr);
   if (fd < 0) return false;
   // A short receive timeout keeps the loop responsive to `stop` without a
-  // second thread.
+  // second thread; a send timeout bounds a write against a blackholed
+  // leader (full socket buffer) the same way.
   struct timeval timeout;
   timeout.tv_sec = 0;
   timeout.tv_usec = 200 * 1000;
   setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  struct timeval send_timeout;
+  send_timeout.tv_sec = 5;
+  send_timeout.tv_usec = 0;
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+             sizeof(send_timeout));
+
+  // Stall deadline: a connection that stays open but never delivers an
+  // applicable frame (half-open, blackholed, or partitioned mid-stream)
+  // is abandoned after stall_timeout_ms so the reconnect path — which may
+  // find a NEW leader — gets its turn.
+  const auto started = std::chrono::steady_clock::now();
+  auto stalled = [&]() {
+    return std::chrono::steady_clock::now() - started >
+           std::chrono::milliseconds(options_.stall_timeout_ms);
+  };
 
   bool progressed = false;
   auto stream = [&]() {
@@ -582,6 +669,7 @@ bool ReplicationClient::RunOnce(const std::atomic<bool>& stop,
     while (!stop.load(std::memory_order_relaxed)) {
       if (text.size() > 4096) return;  // not an ecrint server
       if (text == ".\n" || text.find("\n.\n") != std::string::npos) break;
+      if (stalled()) return;
       ssize_t n = read(fd, chunk, sizeof(chunk));
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
       if (n <= 0) return;
@@ -590,10 +678,13 @@ bool ReplicationClient::RunOnce(const std::atomic<bool>& stop,
     ReplSubscribe subscribe;
     subscribe.project = project_;
     subscribe.have_seq = *have_seq;
+    subscribe.epoch = follower.epoch();
+    subscribe.leader_hint = leader_addr;
     if (!WriteAll(fd, EncodeReplSubscribe(subscribe))) return;
 
     std::string buffer;
     while (!stop.load(std::memory_order_relaxed)) {
+      if (!progressed && stalled()) return;
       ssize_t n = read(fd, chunk, sizeof(chunk));
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
       if (n < 0 && errno == EINTR) continue;
@@ -628,25 +719,52 @@ void ReplicationClient::Run(const std::atomic<bool>& stop) {
   FollowerState follower(service_, project_);
   std::mt19937_64 rng(std::random_device{}());
   int64_t backoff_ms = options_.backoff_initial_ms;
+  // Only track the service's dynamic role when it actually follows
+  // someone; a client pointed at a service that was never a replica (test
+  // harnesses) keeps its constructor address.
+  const bool role_tracked = !service_->CurrentLeaderAddr().empty();
+  int no_progress = 0;
   bool first = true;
+
+  auto sleep_stoppable = [&](int64_t sleep_ms) {
+    int64_t slept = 0;
+    while (slept < sleep_ms && !stop.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      slept += 10;
+    }
+  };
+
   while (!stop.load(std::memory_order_relaxed)) {
     if (!first) {
       reconnects_->Increment();
       // Jittered backoff in [backoff/2, backoff]: a fleet of followers that
       // lost the same leader must not reconnect in lockstep.
-      int64_t sleep_ms =
-          backoff_ms / 2 +
-          static_cast<int64_t>(rng() % (static_cast<uint64_t>(backoff_ms) / 2 + 1));
-      int64_t slept = 0;
-      while (slept < sleep_ms && !stop.load(std::memory_order_relaxed)) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(10));
-        slept += 10;
-      }
+      sleep_stoppable(backoff_ms / 2 +
+                      static_cast<int64_t>(
+                          rng() % (static_cast<uint64_t>(backoff_ms) / 2 + 1)));
       backoff_ms = std::min(backoff_ms * 2, options_.backoff_max_ms);
     }
     first = false;
     if (stop.load(std::memory_order_relaxed)) break;
-    if (RunOnce(stop, follower)) {
+    std::string addr = leader_addr_;
+    if (role_tracked) {
+      addr = service_->CurrentLeaderAddr();
+      if (addr.empty()) {
+        // This node was promoted: it IS the leader now, there is nothing
+        // to follow.
+        return;
+      }
+    }
+    if (RunOnce(stop, follower, addr)) {
+      backoff_ms = options_.backoff_initial_ms;
+      no_progress = 0;
+    } else if (++no_progress >= options_.retry_budget) {
+      // Circuit breaker: the leader is gone or persistently refusing us.
+      // Cool off in one long stretch (still stop-responsive) instead of
+      // hammering a dead address, then start a fresh budget.
+      Bump(retry_budget_exhausted_);
+      sleep_stoppable(options_.breaker_cooldown_ms);
+      no_progress = 0;
       backoff_ms = options_.backoff_initial_ms;
     }
   }

@@ -45,6 +45,13 @@ struct ReplSubscribe {
   std::string project;
   // Highest leader seq already folded into the follower (0 = nothing).
   uint64_t have_seq = 0;
+  // Highest leader epoch the subscriber has seen (0 = failover never
+  // happened). A leader hearing a higher epoch than its own has been
+  // deposed: it demotes itself toward `leader_hint` instead of serving.
+  uint64_t epoch = 0;
+  // Where the subscriber learned that epoch (the new leader's address);
+  // may be empty.
+  std::string leader_hint;
 };
 
 struct ReplHello {
@@ -56,6 +63,9 @@ struct ReplHello {
   uint64_t seq = 0;
   uint64_t total_bytes = 0;
   uint32_t crc = 0;
+  // The leader's epoch for this stream. A follower that has seen a higher
+  // epoch rejects the stream — this leader was deposed.
+  uint64_t epoch = 0;
 };
 
 struct ReplChunk {
@@ -73,6 +83,9 @@ struct ReplRecord {
 struct ReplStamp {
   uint64_t seq = 0;
   engine::EngineStamp stamp;
+  // The leader's epoch, repeated on every stamp so a follower notices a
+  // deposed leader even mid-stream.
+  uint64_t epoch = 0;
 };
 
 // One decoded replication frame body; `type` selects which member is live.
@@ -129,7 +142,9 @@ class ReplicationServer {
 
   // Streams to one follower until `stop` returns true, the sink fails, or
   // the journal becomes unreadable. Blocks; run it on the connection's
-  // thread.
+  // thread. Refuses the subscription while this node is NOT_LEADER, and
+  // demotes the node when `subscribe` carries a higher epoch than its own
+  // (this leader was deposed while partitioned).
   Status Serve(const ReplSubscribe& subscribe, ReplicationSink& sink,
                const std::function<bool()>& stop);
 
@@ -138,7 +153,7 @@ class ReplicationServer {
   // returns the seq streaming should resume from (the checkpoint's seq, or
   // `from` when no checkpoint was needed).
   Result<uint64_t> SendBootstrap(const std::string& project, uint64_t from,
-                                 ReplicationSink& sink);
+                                 uint64_t epoch, ReplicationSink& sink);
 
   IntegrationService* service_;
   common::Fs* fs_;
@@ -152,6 +167,7 @@ class ReplicationServer {
   Counter* records_shipped_ = nullptr;
   Counter* bytes_shipped_ = nullptr;
   Counter* checkpoints_shipped_ = nullptr;
+  Counter* stale_epoch_rejects_ = nullptr;
 };
 
 // --- follower side ---------------------------------------------------------
@@ -175,10 +191,13 @@ class FollowerState {
   // Applies one leader frame. An error return means this node could not
   // apply a valid frame (degraded journal, say) — back off before
   // resubscribing. kResubscribe means the stream itself broke (CRC or seq
-  // mismatch, truncated transfer, divergent stamp).
+  // mismatch, truncated transfer, divergent stamp, stale leader epoch).
   Result<Outcome> HandleFrame(std::string_view body);
 
   uint64_t applied_seq() const { return applied_seq_; }
+  // Highest leader epoch this follower has seen (advertised in its
+  // subscribe frames; a hello/stamp below it is a deposed leader).
+  uint64_t epoch() const { return epoch_; }
 
  private:
   Result<Outcome> HandleHello(const ReplHello& hello);
@@ -186,9 +205,15 @@ class FollowerState {
   Result<Outcome> HandleRecord(const ReplRecord& record);
   Result<Outcome> HandleStamp(const ReplStamp& stamp);
 
+  // Notes a newer leader epoch: adopts it locally and in the service (so
+  // it persists with the next checkpoint). Returns kResubscribe for a
+  // stale one, counting repl.stale_epoch_rejects.
+  Result<Outcome> NoteEpoch(uint64_t epoch);
+
   IntegrationService* service_;
   std::string project_;
   uint64_t applied_seq_ = 0;
+  uint64_t epoch_ = 0;
 
   // Checkpoint transfer in progress (between a hello{has_checkpoint} and
   // its final chunk).
@@ -204,6 +229,7 @@ class FollowerState {
   Counter* bootstraps_ = nullptr;
   Counter* stamp_checks_ = nullptr;
   Counter* divergences_ = nullptr;
+  Counter* stale_epoch_rejects_ = nullptr;
   Gauge* applied_seq_gauge_ = nullptr;
   Gauge* lag_records_ = nullptr;
   Histogram* bootstrap_us_ = nullptr;
@@ -211,12 +237,24 @@ class FollowerState {
 
 // Owns the follower's connection to the leader: connect, negotiate
 // `proto 2`, subscribe, pump frames into a FollowerState, reconnect with
-// jittered backoff on any failure. Run() blocks until `stop` goes true.
+// jittered backoff on any failure. Run() blocks until `stop` goes true or
+// this node is promoted to leader. The leader address is re-read from the
+// service each attempt, so a runtime demote re-points the stream without
+// a restart.
 class ReplicationClient {
  public:
   struct Options {
     int64_t backoff_initial_ms = 100;
     int64_t backoff_max_ms = 5000;
+    // Circuit breaker: after this many consecutive attempts that applied
+    // nothing, stop hammering the leader and cool off instead of doubling
+    // forever (counted in repl.retry_budget_exhausted).
+    int retry_budget = 8;
+    int64_t breaker_cooldown_ms = 3000;
+    // Abort a connected stream that has not applied a frame for this long
+    // — a half-open or blackholed connection must not pin the client past
+    // the deadline while the cluster has moved on.
+    int64_t stall_timeout_ms = 10'000;
   };
 
   ReplicationClient(IntegrationService* service, std::string leader_addr,
@@ -229,13 +267,15 @@ class ReplicationClient {
  private:
   // One connect + subscribe + read loop; returns when the stream ends.
   // True when at least one frame was applied (resets the backoff).
-  bool RunOnce(const std::atomic<bool>& stop, FollowerState& follower);
+  bool RunOnce(const std::atomic<bool>& stop, FollowerState& follower,
+               const std::string& leader_addr);
 
   IntegrationService* service_;
   std::string leader_addr_;
   std::string project_;
   Options options_;
   Counter* reconnects_ = nullptr;
+  Counter* retry_budget_exhausted_ = nullptr;
 };
 
 }  // namespace ecrint::service

@@ -75,6 +75,60 @@ bool IsSessionVerb(WireVerb verb) {
          verb == WireVerb::kDeadline || verb == WireVerb::kProto;
 }
 
+// Failover admin verbs (docs/OPERATIONS.md, "Failover runbook"). They
+// change the NODE's role, not one request's outcome, so like session verbs
+// they are barred from batches.
+bool IsFailoverVerb(WireVerb verb) {
+  return verb == WireVerb::kPromote || verb == WireVerb::kDemote;
+}
+
+// `promote`: make this node the write leader of the session's project at a
+// freshly bumped epoch. Answers "leader epoch <N>".
+ServiceResponse PromoteVerb(IntegrationService* service,
+                            const std::string& session_id) {
+  Result<std::string> project = service->sessions().ProjectOf(session_id);
+  if (!project.ok()) return BadRequest(project.status().ToString());
+  Result<uint64_t> epoch = service->PromoteProject(*project);
+  if (!epoch.ok()) {
+    ServiceResponse response;
+    response.error = {ServiceErrorCode::kConflict, epoch.status().message()};
+    return response;
+  }
+  ServiceResponse response;
+  response.lines.push_back("leader epoch " + std::to_string(*epoch));
+  return response;
+}
+
+// `demote <epoch> <leader-addr>`: fence this node behind `leader-addr` at
+// `epoch`. A stale epoch answers CONFLICT (the node keeps its role).
+ServiceResponse DemoteVerb(IntegrationService* service,
+                           const std::string& session_id,
+                           const std::string& epoch_arg,
+                           const std::string& leader_addr) {
+  Result<std::string> project = service->sessions().ProjectOf(session_id);
+  if (!project.ok()) return BadRequest(project.status().ToString());
+  char* end = nullptr;
+  unsigned long long epoch = std::strtoull(epoch_arg.c_str(), &end, 10);
+  if (end == epoch_arg.c_str() || *end != '\0') {
+    return BadRequest("expected epoch, got '" + epoch_arg + "'");
+  }
+  if (leader_addr.empty()) {
+    return BadRequest("usage: demote <epoch> <leader-addr>");
+  }
+  Status demoted =
+      service->DemoteProject(*project, static_cast<uint64_t>(epoch),
+                             leader_addr);
+  if (!demoted.ok()) {
+    ServiceResponse response;
+    response.error = {ServiceErrorCode::kConflict, demoted.message()};
+    return response;
+  }
+  ServiceResponse response;
+  response.lines.push_back("following " + leader_addr + " at epoch " +
+                           epoch_arg);
+  return response;
+}
+
 // Parses one binary request into a protocol-independent command. Returns
 // the error response on a malformed request, nullopt on success. Binary
 // arguments are raw bytes — no unescaping (define's DDL travels verbatim
@@ -202,6 +256,8 @@ std::optional<ServiceResponse> BuildCommand(const BinaryRequest& request,
     case WireVerb::kClose:
     case WireVerb::kDeadline:
     case WireVerb::kProto:
+    case WireVerb::kPromote:
+    case WireVerb::kDemote:
       return BadRequest("not a command verb");
   }
   return BadRequest("unknown verb");
@@ -369,6 +425,21 @@ std::string RequestRouter::HandleFrame(std::string_view body,
       return EncodeBinaryResponse(
           BadRequest("no session; send: open [project]"));
     }
+    if (request.verb == WireVerb::kPromote) {
+      if (!request.args.empty()) {
+        return EncodeBinaryResponse(BadRequest("usage: promote"));
+      }
+      return EncodeBinaryResponse(PromoteVerb(service_, session->session_id));
+    }
+    if (request.verb == WireVerb::kDemote) {
+      if (request.args.size() != 2) {
+        return EncodeBinaryResponse(
+            BadRequest("usage: demote <epoch> <leader-addr>"));
+      }
+      return EncodeBinaryResponse(DemoteVerb(service_, session->session_id,
+                                             request.args[0],
+                                             request.args[1]));
+    }
     std::string wire;
     ServiceResponse response = ExecuteBinary(request, session, &wire);
     if (!wire.empty()) return wire;  // pre-serialized cache hit
@@ -389,7 +460,7 @@ std::string RequestRouter::HandleFrame(std::string_view body,
   keys.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     const BinaryRequest& item = decoded->items[i];
-    if (IsSessionVerb(item.verb)) {
+    if (IsSessionVerb(item.verb) || IsFailoverVerb(item.verb)) {
       const char* name = WireVerbName(item.verb);
       out[i] = BadRequest(std::string(name ? name : "?") +
                           " not allowed in batch");
@@ -682,6 +753,18 @@ ServiceResponse RequestRouter::Dispatch(const std::string& line,
   if (verb == "metrics") {
     if (tokens.size() != 1) return BadRequest("usage: metrics");
     return service_->MetricsDump(session->session_id, deadline_ns);
+  }
+
+  if (verb == "promote") {
+    if (tokens.size() != 1) return BadRequest("usage: promote");
+    return PromoteVerb(service_, session->session_id);
+  }
+
+  if (verb == "demote") {
+    if (tokens.size() != 3) {
+      return BadRequest("usage: demote <epoch> <leader-addr>");
+    }
+    return DemoteVerb(service_, session->session_id, tokens[1], tokens[2]);
   }
 
   return BadRequest("unknown verb '" + verb + "'");

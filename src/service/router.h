@@ -52,6 +52,8 @@ struct RouterSession {
 //   outline                     (read) integrated-schema outline
 //   metrics                     (read) MetricsJson dump
 //   ping                        liveness, no session required
+//   promote                     (admin) lead the project at a bumped epoch
+//   demote <epoch> <addr>       (admin) fence this node behind a new leader
 class RequestRouter {
  public:
   explicit RequestRouter(IntegrationService* service) : service_(service) {

@@ -266,10 +266,14 @@ IntegrationService::IntegrationService(ServiceConfig config)
   snapshots_published_ = metrics_.GetCounter("snapshots.published");
   sessions_reaped_ = metrics_.GetCounter("sessions.reaped");
   degraded_flips_ = metrics_.GetCounter("journal.degraded_flips");
+  enospc_degrades_ = metrics_.GetCounter("journal.enospc");
+  stale_epoch_rejects_ = metrics_.GetCounter("repl.stale_epoch_rejects");
   cache_hits_ = metrics_.GetCounter("cache.hits");
   sessions_live_ = metrics_.GetGauge("sessions.live");
   queue_depth_ = metrics_.GetGauge("queue.depth");
+  epoch_gauge_ = metrics_.GetGauge("repl.epoch");
   batch_size_ = metrics_.GetHistogram("batch.size");
+  leader_addr_ = config_.leader_addr;
   // Scan the session table at most ~4x per idle timeout (capped at once a
   // second) instead of on every request.
   int64_t quarter = config_.session_idle_timeout_ns / 4;
@@ -319,6 +323,12 @@ void IntegrationService::EnsureProject(const std::string& project) {
       // A recovered follower resumes the leader's stream where its own
       // journal left off.
       slot->replica_applied_seq = slot->durability->next_seq() - 1;
+      // The persisted epoch survives restarts: a node that died after a
+      // failover comes back already fenced at the promoted epoch.
+      slot->epoch = slot->durability->epoch();
+      if (slot->epoch > 0) {
+        epoch_gauge_->Set(static_cast<int64_t>(slot->epoch));
+      }
     } else {
       DegradeProject(*slot, opened.status());
     }
@@ -440,6 +450,11 @@ void IntegrationService::DegradeProject(ProjectState& project,
                                         const Status& cause) {
   project.degraded = true;
   project.degraded_reason = cause.ToString();
+  // ENOSPC/EDQUOT get their own counter and refusal text: a full disk is
+  // an operator-recoverable condition (free space, restart), not a dying
+  // device.
+  project.degraded_disk_full = cause.code() == StatusCode::kResourceExhausted;
+  if (project.degraded_disk_full) enospc_degrades_->Increment();
   degraded_flips_->Increment();
 }
 
@@ -447,9 +462,11 @@ ServiceError IntegrationService::UnavailableError(
     const ProjectState& project) const {
   ServiceError error;
   error.code = ServiceErrorCode::kUnavailable;
-  error.message =
-      "project is read-only (journal failure: " + project.degraded_reason +
-      ")";
+  error.message = project.degraded_disk_full
+                      ? "project is read-only (journal device full: " +
+                            project.degraded_reason + ")"
+                      : "project is read-only (journal failure: " +
+                            project.degraded_reason + ")";
   error.retry_after_ms = config_.durability.degraded_retry_after_ms;
   return error;
 }
@@ -467,10 +484,11 @@ ServiceResponse IntegrationService::RunWrite(ProjectState& project,
                           "deadline expired while queued for write"});
   }
   if (verb != nullptr) {
-    if (!config_.leader_addr.empty()) {
+    if (std::string leader = CurrentLeaderAddr(); !leader.empty()) {
       // Read replica: the leader's replication stream is the only writer
-      // (it enters through ApplyReplicated, not here).
-      return ErrorResponse(NotLeaderError(config_.leader_addr));
+      // (it enters through ApplyReplicated, not here). The address is
+      // dynamic — a promote clears it, a demote (re)sets it.
+      return ErrorResponse(NotLeaderError(leader));
     }
     if (project.degraded) {
       return ErrorResponse(UnavailableError(project));
@@ -521,8 +539,111 @@ IntegrationService::SampleReplicationPosition(const std::string& project) {
   position.seq = state->durability != nullptr
                      ? state->durability->next_seq() - 1
                      : state->replica_applied_seq;
+  position.epoch = state->epoch;
   position.stamp = state->engine.Stamp();
   return position;
+}
+
+// ---------------------------------------------------------------------------
+// Failover plane.
+// ---------------------------------------------------------------------------
+
+std::string IntegrationService::CurrentLeaderAddr() const {
+  std::lock_guard<std::mutex> lock(role_mutex_);
+  return leader_addr_;
+}
+
+uint64_t IntegrationService::ProjectEpoch(const std::string& project) {
+  ProjectState* state = FindProject(project);
+  if (state == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(state->write_mutex);
+  return state->epoch;
+}
+
+void IntegrationService::AdoptReplicationEpoch(const std::string& project,
+                                               uint64_t epoch) {
+  if (epoch == 0) return;
+  EnsureProject(project);
+  ProjectState* state = FindProject(project);
+  if (state == nullptr) return;
+  std::lock_guard<std::mutex> lock(state->write_mutex);
+  if (epoch <= state->epoch) return;
+  state->epoch = epoch;
+  if (state->durability != nullptr) {
+    // Durably carried by the next checkpoint (the leader's own checkpoint
+    // bytes already embed it during a bootstrap).
+    state->durability->set_epoch(epoch);
+  }
+  epoch_gauge_->Set(static_cast<int64_t>(epoch));
+}
+
+Result<uint64_t> IntegrationService::PromoteProject(
+    const std::string& project) {
+  EnsureProject(project);
+  ProjectState* state = FindProject(project);
+  if (state == nullptr) {
+    return InternalError("project vanished after EnsureProject");
+  }
+  uint64_t new_epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(state->write_mutex);
+    if (state->degraded) {
+      return FailedPreconditionError(
+          "cannot promote a degraded project: " + state->degraded_reason);
+    }
+    new_epoch = state->epoch + 1;
+    state->epoch = new_epoch;
+    if (state->durability != nullptr) {
+      state->durability->set_epoch(new_epoch);
+      // Persist the fence immediately: a promoted leader that crashes and
+      // restarts must come back at its promoted epoch, not the one it was
+      // elected over. An atomic-write failure is non-fatal here for the
+      // same reason it is in MaybeCheckpoint — the node still leads, the
+      // fence just isn't durable until the next checkpoint lands.
+      (void)state->durability->WriteCheckpoint(state->engine);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(role_mutex_);
+    leader_addr_.clear();
+  }
+  epoch_gauge_->Set(static_cast<int64_t>(new_epoch));
+  return new_epoch;
+}
+
+Status IntegrationService::DemoteProject(const std::string& project,
+                                         uint64_t epoch,
+                                         const std::string& leader_addr) {
+  EnsureProject(project);
+  ProjectState* state = FindProject(project);
+  if (state == nullptr) {
+    return InternalError("project vanished after EnsureProject");
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->write_mutex);
+    const bool leads = CurrentLeaderAddr().empty();
+    // A demotion must carry a strictly newer epoch to depose a leader;
+    // re-pointing an existing follower at the same epoch is legal (it
+    // learned the address out of band).
+    if (epoch < state->epoch || (epoch == state->epoch && leads)) {
+      stale_epoch_rejects_->Increment();
+      return FailedPreconditionError(
+          "stale demotion: epoch " + std::to_string(epoch) +
+          " does not supersede current epoch " +
+          std::to_string(state->epoch));
+    }
+    state->epoch = epoch;
+    if (state->durability != nullptr && !state->degraded) {
+      state->durability->set_epoch(epoch);
+      (void)state->durability->WriteCheckpoint(state->engine);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(role_mutex_);
+    leader_addr_ = leader_addr;
+  }
+  epoch_gauge_->Set(static_cast<int64_t>(epoch));
+  return Status::Ok();
 }
 
 Result<engine::EngineStamp> IntegrationService::ApplyReplicated(
@@ -591,6 +712,12 @@ Status IntegrationService::InstallReplicatedCheckpoint(
         "checkpoint seq " + std::to_string(checkpoint.seq) +
         " does not match advertised seq " + std::to_string(seq));
   }
+  // The leader's checkpoint carries its epoch; adopt a newer one (never
+  // regress — this node may already know of a later failover).
+  if (checkpoint.epoch > state->epoch) {
+    state->epoch = checkpoint.epoch;
+    epoch_gauge_->Set(static_cast<int64_t>(state->epoch));
+  }
   // Build the replacement engine on the side so a bad checkpoint leaves
   // the current state (and its published snapshot) untouched. This mirrors
   // RecoveryManager::Open's checkpoint branch exactly.
@@ -613,6 +740,7 @@ Status IntegrationService::InstallReplicatedCheckpoint(
   state->integrate_lines_version = -1;
   state->integrate_lines.clear();
   if (state->durability != nullptr) {
+    state->durability->set_epoch(state->epoch);
     Status installed = state->durability->InstallCheckpoint(bytes, seq);
     if (!installed.ok()) {
       DegradeProject(*state, installed);
@@ -1045,6 +1173,9 @@ void IntegrationService::RunWriteBatch(
     return;
   }
   const core::ClosureStats closure_before = project.engine.ClosureTotals();
+  // One role probe for the run: a promote/demote racing the batch lands
+  // before or after the whole run, never between two of its writes.
+  const std::string leader = CurrentLeaderAddr();
   // WAL-first per command, but with deferred appends: each record is
   // framed and appended before its verb runs, and ONE durability barrier
   // at the end of the run covers them all (true group commit — under
@@ -1061,8 +1192,8 @@ void IntegrationService::RunWriteBatch(
       out[k] = ExportBody(project.engine);
       continue;
     }
-    if (!config_.leader_addr.empty()) {
-      out[k] = ErrorResponse(NotLeaderError(config_.leader_addr));
+    if (!leader.empty()) {
+      out[k] = ErrorResponse(NotLeaderError(leader));
       continue;
     }
     if (project.degraded || append_failed) {

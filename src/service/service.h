@@ -282,12 +282,46 @@ class IntegrationService {
   // Where a node's replication stream stands: the last sequence folded into
   // the engine and the stamp of that state. On the leader seq comes from
   // the journal; on a diskless follower from the applied-record counter.
+  // `epoch` is the leader epoch of the stream (see the failover plane).
   struct ReplicationPosition {
     uint64_t seq = 0;
+    uint64_t epoch = 0;
     engine::EngineStamp stamp;
   };
   Result<ReplicationPosition> SampleReplicationPosition(
       const std::string& project);
+
+  // --- failover plane ------------------------------------------------------
+  // The node's role is dynamic: it starts from config.leader_addr (empty =
+  // leader) and changes at runtime when an operator promotes this node or
+  // demotes it behind a new leader. Every stream carries a monotonically
+  // increasing *leader epoch* (0 = failover never happened): a promote
+  // bumps it, and both sides reject traffic from a stale epoch, so a
+  // deposed leader that comes back cannot split-brain the cluster.
+
+  // Empty when this node currently accepts writes; otherwise the leader
+  // address NOT_LEADER refusals carry.
+  std::string CurrentLeaderAddr() const;
+
+  // The leader epoch of `project`'s stream (0 for an unknown project).
+  uint64_t ProjectEpoch(const std::string& project);
+
+  // Raises `project`'s epoch to `epoch` if higher — a follower adopting
+  // the epoch its leader announced. Never lowers; no-op when stale.
+  void AdoptReplicationEpoch(const std::string& project, uint64_t epoch);
+
+  // Makes this node the write leader of `project`'s stream at a new,
+  // higher epoch: clears the NOT_LEADER gate, bumps the project epoch,
+  // and (when durable) persists it in a checkpoint so a restart keeps the
+  // fence. Returns the new epoch.
+  Result<uint64_t> PromoteProject(const std::string& project);
+
+  // The inverse: fences this node behind `leader_addr` at `epoch`.
+  // Rejects a stale demotion — `epoch` below the project's epoch, or equal
+  // to it while this node believes it leads that epoch — with
+  // FailedPrecondition (counted in repl.stale_epoch_rejects).
+  Status DemoteProject(const std::string& project, uint64_t epoch,
+                       const std::string& leader_addr);
 
   // Applies one leader journal record (an encoded ReplayVerb at the
   // leader's `seq`) to a follower: journals it locally when durable,
@@ -335,6 +369,10 @@ class IntegrationService {
     // serving the last published snapshot.
     bool degraded = false;            // guarded by write_mutex
     std::string degraded_reason;      // guarded by write_mutex
+    // True when the degradation was a full disk (ENOSPC/EDQUOT): the
+    // refusal says so explicitly — an operator who frees space can clear
+    // it, unlike a dying device. Guarded by write_mutex.
+    bool degraded_disk_full = false;
     // Integrate response cache: the outline + derived lines last rendered,
     // valid while the engine's integration_version matches (a repeat
     // integrate that cache-hits in the engine skips re-rendering too).
@@ -345,6 +383,10 @@ class IntegrationService {
     // followers track it through the journal's next_seq instead). Guarded
     // by write_mutex.
     uint64_t replica_applied_seq = 0;
+    // Leader epoch of this project's replication stream; mirrors the
+    // durability layer's persisted epoch when one exists. Guarded by
+    // write_mutex.
+    uint64_t epoch = 0;
   };
 
   // Per-verb instruments, resolved once at construction so the hot path
@@ -422,10 +464,18 @@ class IntegrationService {
   Counter* snapshots_published_ = nullptr;
   Counter* sessions_reaped_ = nullptr;
   Counter* degraded_flips_ = nullptr;
+  Counter* enospc_degrades_ = nullptr;
+  Counter* stale_epoch_rejects_ = nullptr;
   Counter* cache_hits_ = nullptr;
   Gauge* sessions_live_ = nullptr;
   Gauge* queue_depth_ = nullptr;
+  Gauge* epoch_gauge_ = nullptr;
   Histogram* batch_size_ = nullptr;
+
+  // Dynamic role state (see the failover plane). Guarded by role_mutex_;
+  // empty string = this node leads.
+  mutable std::mutex role_mutex_;
+  std::string leader_addr_;
 
   // Guards the project table only; per-project state has its own locks.
   // Readers (every request) take it shared, project creation exclusive.

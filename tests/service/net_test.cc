@@ -518,6 +518,78 @@ TEST(NetServer, ActiveConnectionSurvivesIdleTimeout) {
   close(fd);
 }
 
+TEST(NetServer, BackpressuredConnectionSurvivesIdleReaper) {
+  NetOptions options;
+  options.port = 0;
+  options.net_threads = 1;
+  options.idle_timeout_ms = 300;
+  // A small watermark so a modest pipelined burst overflows the kernel
+  // buffers into the reactor's user-space output queue and turns input
+  // reading off (backpressure).
+  options.output_high_watermark = 64 * 1024;
+  options.output_low_watermark = 8 * 1024;
+  ServerFixture fixture(options);
+
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  // A tiny receive buffer (set before connect so the window is negotiated
+  // small) keeps the responses pinned server-side while we stall.
+  int rcvbuf = 4096;
+  setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(fixture.port));
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0)
+      << std::strerror(errno);
+
+  ASSERT_TRUE(SendAll(fd, "open uni\n"));
+  ASSERT_EQ(ReadUntil(fd, ".\n").substr(0, 3), "ok\n");
+
+  // Pipeline a burst of metrics dumps, then go silent WITHOUT reading.
+  // The connection now has queued output and a closed window: it stalls
+  // on EPOLLOUT with input reading paused, generating no events — exactly
+  // what the idle wheel mistakes for an abandoned connection. A stalled
+  // drain is slow, not idle: the reaper must leave it alone. The burst
+  // must outsize the kernel's socket buffers (~hundreds of KB) or the
+  // user-space queue never fills and nothing is pinned server-side.
+  constexpr int kBurst = 2000;
+  std::string burst;
+  for (int i = 0; i < kBurst; ++i) burst += "metrics\n";
+  ASSERT_TRUE(SendAll(fd, burst));
+  usleep(750 * 1000);  // 2.5 idle timeouts
+
+  // Drain: every response must arrive intact. A reaped connection shows
+  // up here as a short read (EOF or RST) before all terminators land.
+  std::string got;
+  size_t responses = 0;
+  size_t scanned = 0;
+  char buf[65536];
+  while (responses < kBurst) {
+    ssize_t n = read(fd, buf, sizeof(buf));
+    ASSERT_GT(n, 0) << "connection reaped mid-drain after " << responses
+                    << " of " << kBurst << " responses";
+    got.append(buf, static_cast<size_t>(n));
+    // Count terminator lines (".\n" at the start of a line). Metrics
+    // bodies are single lines, so the pattern cannot appear inside one.
+    while (scanned < got.size()) {
+      size_t at = got.find("\n.\n", scanned);
+      if (at == std::string::npos) {
+        scanned = got.size() >= 2 ? got.size() - 2 : 0;
+        break;
+      }
+      ++responses;
+      scanned = at + 2;
+    }
+  }
+  EXPECT_EQ(responses, static_cast<size_t>(kBurst));
+  EXPECT_EQ(
+      fixture.service.metrics().GetCounter("net.idle_timeouts")->value(),
+      0);
+  close(fd);
+}
+
 TEST(NetServer, DrainClosesIdleConnectionsAndStops) {
   NetOptions options;
   options.port = 0;

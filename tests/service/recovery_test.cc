@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <memory>
 #include <string>
 #include <vector>
@@ -54,6 +55,34 @@ TEST(CheckpointTest, RoundtripWithoutIntegration) {
   ASSERT_TRUE(parsed.ok());
   EXPECT_FALSE(parsed->integrated);
   EXPECT_TRUE(parsed->integrated_schemas.empty());
+}
+
+TEST(CheckpointTest, EpochRoundtripsInBothFormatsAndZeroIsOmitted) {
+  Checkpoint checkpoint;
+  checkpoint.seq = 5;
+  checkpoint.stamp = {1, 1, 0, 0, 0};
+  checkpoint.project_text = "x";
+
+  // Epoch 0 (failover never happened) is not emitted at all, so every
+  // checkpoint written before epochs existed stays byte-identical.
+  std::string v1 = SerializeCheckpoint(checkpoint);
+  EXPECT_EQ(v1.find("epoch"), std::string::npos);
+  std::string v2 = SerializeCheckpointV2(checkpoint);
+  EXPECT_EQ(v2.find("epoch"), std::string::npos);
+  Result<Checkpoint> parsed_v1 = ParseCheckpoint(v1);
+  ASSERT_TRUE(parsed_v1.ok());
+  EXPECT_EQ(parsed_v1->epoch, 0u);
+
+  // A promoted leader's fence survives both serializers.
+  checkpoint.epoch = 3;
+  parsed_v1 = ParseCheckpoint(SerializeCheckpoint(checkpoint));
+  ASSERT_TRUE(parsed_v1.ok());
+  EXPECT_EQ(parsed_v1->epoch, 3u);
+  Result<CheckpointView> parsed_v2 =
+      ParseCheckpointAny(SerializeCheckpointV2(checkpoint));
+  ASSERT_TRUE(parsed_v2.ok()) << parsed_v2.status().ToString();
+  EXPECT_EQ(parsed_v2->epoch, 3u);
+  EXPECT_EQ(parsed_v2->seq, 5u);
 }
 
 TEST(CheckpointTest, RejectsDamage) {
@@ -523,6 +552,59 @@ TEST(RecoveryFaultTest, SyncFailureDegrades) {
   EXPECT_EQ(service.metrics().GetCounter("journal.degraded_flips")->value(),
             1);
   EXPECT_TRUE(service.ExportProject(session).ok());
+}
+
+// Disk-full is not device death: ENOSPC on append degrades the project
+// like any journal failure, but distinctly — the error message names the
+// full device (an operator frees space rather than replacing hardware),
+// the `journal.enospc` counter fires, and the retry-after hint still
+// rides the response.
+TEST(RecoveryFaultTest, EnospcDegradesDistinctlyWithRetryHint) {
+  common::MemFs base;
+  common::FaultPlan plan;
+  plan.fail_append_at = 1;
+  plan.fail_errno = ENOSPC;
+  common::FaultInjectingFs faulty(&base, plan);
+
+  ServiceConfig config;
+  config.data_dir = "data";
+  config.fs = &faulty;
+  config.durability.degraded_retry_after_ms = 4321;
+  IntegrationService service(config);
+  std::string session = service.OpenSession("uni");
+  std::vector<engine::ReplayVerb> verbs = ScriptVerbs();
+
+  EXPECT_TRUE(Drive(service, session, verbs[0]).ok());
+  ServiceResponse faulted = Drive(service, session, verbs[2]);
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_EQ(faulted.error->code, ServiceErrorCode::kUnavailable);
+  EXPECT_NE(faulted.error->message.find("journal device full"),
+            std::string::npos)
+      << faulted.error->message;
+  EXPECT_EQ(faulted.error->retry_after_ms, 4321);
+  EXPECT_EQ(service.metrics().GetCounter("journal.enospc")->value(), 1);
+  EXPECT_EQ(service.metrics().GetCounter("journal.degraded_flips")->value(),
+            1);
+  // Degraded is read-only, not down: snapshots still serve.
+  EXPECT_TRUE(service.ExportProject(session).ok());
+
+  // A generic journal failure does NOT claim the disk is full.
+  common::MemFs base2;
+  common::FaultPlan generic;
+  generic.fail_append_at = 1;
+  common::FaultInjectingFs faulty2(&base2, generic);
+  ServiceConfig config2;
+  config2.data_dir = "data";
+  config2.fs = &faulty2;
+  IntegrationService generic_service(config2);
+  std::string session2 = generic_service.OpenSession("uni");
+  EXPECT_TRUE(Drive(generic_service, session2, verbs[0]).ok());
+  ServiceResponse generic_fault = Drive(generic_service, session2, verbs[2]);
+  ASSERT_FALSE(generic_fault.ok());
+  EXPECT_EQ(generic_fault.error->message.find("journal device full"),
+            std::string::npos);
+  EXPECT_EQ(
+      generic_service.metrics().GetCounter("journal.enospc")->value(), 0);
 }
 
 // A checkpoint that cannot land atomically is non-fatal: writes keep

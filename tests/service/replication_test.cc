@@ -547,5 +547,180 @@ TEST(ReplicationTest, ApplyReplicatedEnforcesSeqContiguity) {
   EXPECT_TRUE(follower.service->ApplyReplicated("uni", 2, payload).ok());
 }
 
+// --- epoch-fenced failover -------------------------------------------------
+
+TEST(ReplicationFailoverTest, PromoteClearsNotLeaderAndBumpsEpoch) {
+  common::MemFs fs;
+  Node node(&fs, "/n1", "10.0.0.7:7400");
+  std::string session = node.service->OpenSession("uni");
+  ServiceResponse refused = node.service->Define(session, kUniversityDdl);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error->code, ServiceErrorCode::kNotLeader);
+
+  Result<uint64_t> epoch = node.service->PromoteProject("uni");
+  ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+  EXPECT_EQ(*epoch, 1u);
+  EXPECT_TRUE(node.service->CurrentLeaderAddr().empty());
+  EXPECT_EQ(node.service->ProjectEpoch("uni"), 1u);
+  // The write gate lifted at the new epoch.
+  EXPECT_TRUE(node.service->Define(session, kUniversityDdl).ok());
+
+  Result<IntegrationService::ReplicationPosition> position =
+      node.service->SampleReplicationPosition("uni");
+  ASSERT_TRUE(position.ok());
+  EXPECT_EQ(position->epoch, 1u);
+}
+
+TEST(ReplicationFailoverTest, PromotedEpochSurvivesRestart) {
+  common::MemFs fs;
+  {
+    Node node(&fs, "/n1", "10.0.0.7:7400");
+    Result<uint64_t> epoch = node.service->PromoteProject("uni");
+    ASSERT_TRUE(epoch.ok());
+    EXPECT_EQ(*epoch, 1u);
+  }
+  // "kill -9": only the checkpoint + journal survive. The fence must come
+  // back with them — a restarted promoted leader at epoch 0 could be
+  // re-deposed by its own past.
+  Node revived(&fs, "/n1");
+  revived.service->EnsureProject("uni");
+  EXPECT_EQ(revived.service->ProjectEpoch("uni"), 1u);
+}
+
+TEST(ReplicationFailoverTest, DemoteRejectsStaleEpochsAndRepoints) {
+  common::MemFs fs;
+  Node node(&fs, "/n1");  // standalone: leads by default
+  node.service->EnsureProject("uni");
+
+  // Same-epoch demotion of a leader is stale (a real takeover always bumps).
+  EXPECT_FALSE(
+      node.service->DemoteProject("uni", 0, "10.0.0.9:7400").ok());
+  EXPECT_EQ(node.service->metrics().GetCounter("repl.stale_epoch_rejects")->value(), 1);
+
+  ASSERT_TRUE(node.service->DemoteProject("uni", 2, "10.0.0.9:7400").ok());
+  EXPECT_EQ(node.service->CurrentLeaderAddr(), "10.0.0.9:7400");
+  EXPECT_EQ(node.service->ProjectEpoch("uni"), 2u);
+  std::string session = node.service->OpenSession("uni");
+  ServiceResponse refused = node.service->Define(session, kUniversityDdl);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error->code, ServiceErrorCode::kNotLeader);
+  EXPECT_EQ(refused.error->leader, "10.0.0.9:7400");
+
+  // Re-pointing a follower at the SAME epoch is legal (address learned out
+  // of band); an older epoch never is.
+  EXPECT_TRUE(node.service->DemoteProject("uni", 2, "10.0.0.10:7400").ok());
+  EXPECT_EQ(node.service->CurrentLeaderAddr(), "10.0.0.10:7400");
+  EXPECT_FALSE(node.service->DemoteProject("uni", 1, "10.0.0.9:7400").ok());
+}
+
+TEST(ReplicationFailoverTest, FollowerRejectsStreamFromStaleEpoch) {
+  common::MemFs fs;
+  Node follower(&fs);
+  FollowerState state(follower.service.get(), "uni");
+  ASSERT_TRUE(state.Prepare().ok());
+
+  ReplHello hello;
+  hello.has_checkpoint = false;
+  hello.seq = 0;
+  hello.epoch = 2;
+  Result<FollowerState::Outcome> outcome =
+      state.HandleFrame(Body(EncodeReplHello(hello)));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(*outcome, FollowerState::Outcome::kOk);
+  EXPECT_EQ(state.epoch(), 2u);
+  // The adoption reached the service (and would persist with the next
+  // checkpoint).
+  EXPECT_EQ(follower.service->ProjectEpoch("uni"), 2u);
+
+  // A deposed leader reconnecting at epoch 1: refuse the stream.
+  hello.epoch = 1;
+  outcome = state.HandleFrame(Body(EncodeReplHello(hello)));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(*outcome, FollowerState::Outcome::kResubscribe);
+  EXPECT_EQ(follower.service->metrics().GetCounter("repl.stale_epoch_rejects")->value(), 1);
+
+  // Same for a stale mid-stream stamp.
+  ReplStamp stamp;
+  stamp.seq = 0;
+  stamp.epoch = 1;
+  outcome = state.HandleFrame(Body(EncodeReplStamp(stamp)));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(*outcome, FollowerState::Outcome::kResubscribe);
+}
+
+TEST(ReplicationFailoverTest, HigherEpochSubscribeDeposesLeader) {
+  common::MemFs fs;
+  Node leader(&fs, "/lead");
+  std::string session = leader.service->OpenSession("uni");
+  ASSERT_TRUE(leader.service->Define(session, kUniversityDdl).ok());
+
+  ReplicationServer server(leader.service.get(), &fs, "/lead");
+  ReplSubscribe subscribe;
+  subscribe.project = "uni";
+  subscribe.have_seq = 0;
+  subscribe.epoch = 5;
+  subscribe.leader_hint = "10.0.0.9:7400";
+  QueueSink sink;
+  Status served = server.Serve(subscribe, sink, [] { return false; });
+  EXPECT_FALSE(served.ok());
+
+  // The subscriber got a refusal frame, and this node fenced itself toward
+  // the hinted leader instead of split-brain-serving a stale stream.
+  std::string frame;
+  ASSERT_TRUE(sink.Pop(&frame, 1000));
+  Result<ReplFrame> decoded = DecodeReplFrame(Body(frame));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->type, kFrameReplError);
+  EXPECT_EQ(leader.service->CurrentLeaderAddr(), "10.0.0.9:7400");
+  EXPECT_EQ(leader.service->ProjectEpoch("uni"), 5u);
+  ServiceResponse refused =
+      leader.service->AssertRelation(session, {"sc1", "Student"}, 1,
+                                     {"sc2", "Grad"});
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error->code, ServiceErrorCode::kNotLeader);
+  EXPECT_EQ(refused.error->leader, "10.0.0.9:7400");
+}
+
+TEST(ReplicationFailoverTest, ServeRefusesWhileNotLeader) {
+  common::MemFs fs;
+  Node node(&fs, "/n1", "10.0.0.7:7400");
+  ReplicationServer server(node.service.get(), &fs, "/n1");
+  ReplSubscribe subscribe;
+  subscribe.project = "uni";
+  QueueSink sink;
+  Status served = server.Serve(subscribe, sink, [] { return false; });
+  EXPECT_FALSE(served.ok());
+  std::string frame;
+  ASSERT_TRUE(sink.Pop(&frame, 1000));
+  Result<ReplFrame> decoded = DecodeReplFrame(Body(frame));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->type, kFrameReplError);
+}
+
+TEST(ReplicationFailoverTest, PromotedFollowerServesStreamAtBumpedEpoch) {
+  common::MemFs fs;
+  Node node(&fs, "/n1", "10.0.0.7:7400");
+  ASSERT_TRUE(node.service->PromoteProject("uni").ok());
+  std::string session = node.service->OpenSession("uni");
+  ASSERT_TRUE(node.service->Define(session, kUniversityDdl).ok());
+  ASSERT_TRUE(node.service
+                  ->AssertRelation(session, {"sc1", "Student"}, 1,
+                                   {"sc2", "Grad"})
+                  .ok());
+
+  // A fresh replica following the promoted node converges AND adopts the
+  // bumped epoch from the stream.
+  ReplicationServer server(node.service.get(), &fs, "/n1");
+  Node follower(&fs);
+  FollowerState state(follower.service.get(), "uni");
+  ASSERT_TRUE(state.Prepare().ok());
+  Subscription subscription(&server, "uni", 0);
+  EXPECT_TRUE(PumpUntilConverged(subscription.sink(), state, *node.service,
+                                 *follower.service, "uni"));
+  EXPECT_EQ(StampOf(*node.service, "uni"), StampOf(*follower.service, "uni"));
+  EXPECT_EQ(state.epoch(), 1u);
+  EXPECT_EQ(follower.service->ProjectEpoch("uni"), 1u);
+}
+
 }  // namespace
 }  // namespace ecrint::service

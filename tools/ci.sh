@@ -42,15 +42,29 @@
 #            connections — each with an fd-leak check against
 #            /proc/<pid>/fd — and a SIGTERM drain with 100 connections
 #            still parked.
+#   chaos    ASan build of the fault-injection proxy and failover surfaces
+#            (chaos_test plus the epoch/fuzz gtest suites), then a live
+#            leader + two followers where each follower's replication
+#            stream runs through an ecrint_chaos proxy driven by a
+#            scripted schedule: 1-byte fragmentation from the start, a 3s
+#            window of 5% block corruption, a 3s partition, and an RST —
+#            convergence is re-checked through every phase. Then the
+#            leader dies by kill -9, a follower is promoted (epoch 1),
+#            the other follower is repointed with `demote`, the old
+#            leader restarts, is fenced (NOT_LEADER with the new
+#            leader's address), and finally rejoins as a follower of the
+#            node that replaced it — ending with identical exports on
+#            every node and clean SIGTERM drains all around.
 #
 # Usage: tools/ci.sh [--jobs N] [--keep] [--suite NAME ...]
 #   --jobs N      parallelism for build and ctest (default: nproc)
 #   --keep        leave the build trees (build-ci-<suite>/) in place for
 #                 inspection instead of removing them on success
 #   --suite NAME  run only NAME (release|asan|tsan|recovery|replication|
-#                 bench|protocol-compat|net); repeatable. Default is
+#                 bench|protocol-compat|net|chaos); repeatable. Default is
 #                 release + asan; CI runs tsan, recovery, replication,
-#                 bench, protocol-compat, and net as their own jobs.
+#                 bench, protocol-compat, net, and chaos as their own
+#                 jobs.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -861,6 +875,336 @@ run_net_suite() {
   cleanup "${build_dir}"
 }
 
+# A replicated trio where every follower byte crosses an ecrint_chaos
+# proxy running a scripted fault schedule, followed by a full failover:
+# kill -9 the leader, `promote` a follower, `demote`-repoint the other,
+# fence the restarted old leader, and fold it back in as a follower of
+# its successor. Convergence (byte-identical exports) is the oracle after
+# every phase; ASan watches every process.
+chaos_smoke() {
+  local build_dir="$1"
+  chaos_smoke_pids=()
+  local serve="${build_dir}/tools/ecrint_serve"
+  local chaos="${build_dir}/tools/ecrint_chaos"
+  local leader_data="${build_dir}/chaos-leader-data"
+  local f1_data="${build_dir}/chaos-follower-data"
+  local leader_log="${build_dir}/chaos-leader.log"
+  local f1_log="${build_dir}/chaos-follower1.log"
+  local f2_log="${build_dir}/chaos-follower2.log"
+  local p1_log="${build_dir}/chaos-proxy1.log"
+  local p2_log="${build_dir}/chaos-proxy2.log"
+  rm -rf "${leader_data}" "${f1_data}"
+
+  start_server_with_args "${leader_log}" \
+    "${serve}" --port 0 --data-dir "${leader_data}" --role leader
+  local leader_pid="${smoke_pid}" leader_port="${smoke_port}"
+  chaos_smoke_pids+=("${smoke_pid}")
+  local seed_out
+  seed_out="$(smoke_request "${leader_port}" 4 \
+    "open repl" \
+    "define schema s1 { entity Student { Name: char key; } }" \
+    "define schema s2 { entity Pupil { Name: char key; } }" \
+    "integrate")"
+  if grep -q '^err ' <<<"${seed_out}"; then
+    echo "chaos smoke: leader seeding failed:" >&2
+    echo "${seed_out}" >&2
+    return 1
+  fi
+
+  # Scripted fault schedules (grammar: docs/FORMATS.md, "Chaos
+  # schedules"). The smoke below paces itself against the same clock
+  # (wait_until), so the writes land INSIDE the fault windows — a check
+  # that converges before its fault even starts proves nothing. The
+  # windows are generous because ASan stretches every phase.
+  cat >"${build_dir}/chaos-sched1.txt" <<EOF
+# durable follower's path: fragmentation throughout, a 5% corruption
+# window escalating to a 100% slice (everything crossing 5s..8s is
+# mangled, so the resubscribe-past-corruption path provably runs), a
+# hard RST, then a partition that heals.
+seed 7
+set fragment 1
+at 3000 set corrupt_pct 5
+at 5000 set corrupt_pct 100
+at 8000 set corrupt_pct 0
+at 10000 rst
+at 12000 set partition 1
+at 15000 set partition 0
+EOF
+  cat >"${build_dir}/chaos-sched2.txt" <<EOF
+# diskless follower's path: constant added latency and one mid-stream RST.
+seed 11
+set delay_ms 10
+at 10000 rst
+EOF
+
+  # Seconds elapsed since the proxies (and their schedules) started;
+  # wait_until paces the smoke's writes into specific schedule windows.
+  local t0
+  wait_until() {
+    while (( SECONDS - t0 < $1 )); do sleep 1; done
+  }
+
+  start_server_with_args "${p1_log}" \
+    "${chaos}" --upstream "127.0.0.1:${leader_port}" --listen 0 \
+    --schedule "${build_dir}/chaos-sched1.txt"
+  local p1_pid="${smoke_pid}" p1_port="${smoke_port}"
+  chaos_smoke_pids+=("${smoke_pid}")
+  t0="${SECONDS}"
+  start_server_with_args "${p2_log}" \
+    "${chaos}" --upstream "127.0.0.1:${leader_port}" --listen 0 \
+    --schedule "${build_dir}/chaos-sched2.txt"
+  local p2_pid="${smoke_pid}" p2_port="${smoke_port}"
+  chaos_smoke_pids+=("${smoke_pid}")
+
+  start_server_with_args "${f1_log}" \
+    "${serve}" --port 0 --role follower \
+    --leader-addr "127.0.0.1:${p1_port}" --follow repl \
+    --data-dir "${f1_data}"
+  local f1_pid="${smoke_pid}" f1_port="${smoke_port}"
+  chaos_smoke_pids+=("${smoke_pid}")
+  start_server_with_args "${f2_log}" \
+    "${serve}" --port 0 --role follower \
+    --leader-addr "127.0.0.1:${p2_port}" --follow repl
+  local f2_pid="${smoke_pid}" f2_port="${smoke_port}"
+  chaos_smoke_pids+=("${smoke_pid}")
+
+  # Convergence oracle: a follower matches the leader's export byte for
+  # byte (the `open` frame is skipped — session ids differ per node).
+  converge_to() {
+    local port="$1" want="$2" tries="$3" label="$4"
+    local got
+    for _ in $(seq 1 "${tries}"); do
+      got="$(smoke_request "${port}" 2 "open repl" "export" \
+        2>/dev/null | sed '1,/^\.$/d' || true)"
+      if [[ "${got}" == "${want}" ]]; then
+        return 0
+      fi
+      sleep 0.2
+    done
+    echo "chaos smoke: ${label} (port ${port}) never converged" >&2
+    echo "--- want:" >&2
+    echo "${want}" >&2
+    echo "--- got:" >&2
+    echo "${got}" >&2
+    return 1
+  }
+
+  local leader_export
+  leader_export="$(smoke_request "${leader_port}" 2 "open repl" "export" |
+    sed '1,/^\.$/d')"
+  converge_to "${f1_port}" "${leader_export}" 150 \
+    "follower1 through fragmentation" || return 1
+  converge_to "${f2_port}" "${leader_export}" 150 \
+    "follower2 through delay" || return 1
+  echo "chaos smoke: bootstrap converged through fragmentation + delay" >&2
+
+  # A write INSIDE proxy1's 100% corruption slice (5s..8s): every copy
+  # of the record crossing that wire gets a bit flipped, the follower
+  # detects it and resubscribes, and convergence still lands once the
+  # window closes.
+  wait_until 5
+  local write_out
+  write_out="$(smoke_request "${leader_port}" 2 \
+    "open repl" \
+    "equiv s1.Student.Name s2.Pupil.Name")"
+  if grep -q '^err ' <<<"${write_out}"; then
+    echo "chaos smoke: write during the corruption window failed:" >&2
+    echo "${write_out}" >&2
+    return 1
+  fi
+  leader_export="$(smoke_request "${leader_port}" 2 "open repl" "export" |
+    sed '1,/^\.$/d')"
+  converge_to "${f1_port}" "${leader_export}" 250 \
+    "follower1 through the corruption window" || return 1
+  converge_to "${f2_port}" "${leader_export}" 250 \
+    "follower2 during the corruption window" || return 1
+  echo "chaos smoke: reconverged through the corruption window" >&2
+
+  # A write INSIDE proxy1's partition (12s..15s, after both proxies RST
+  # their live connections at 10s): blackholed until the heal, then the
+  # followers catch up.
+  wait_until 12
+  write_out="$(smoke_request "${leader_port}" 2 \
+    "open repl" \
+    "assert s1.Student 1 s2.Pupil")"
+  if grep -q '^err ' <<<"${write_out}"; then
+    echo "chaos smoke: write during the partition failed:" >&2
+    echo "${write_out}" >&2
+    return 1
+  fi
+  leader_export="$(smoke_request "${leader_port}" 2 "open repl" "export" |
+    sed '1,/^\.$/d')"
+  converge_to "${f1_port}" "${leader_export}" 250 \
+    "follower1 through RST + partition" || return 1
+  converge_to "${f2_port}" "${leader_export}" 250 \
+    "follower2 through RST" || return 1
+  echo "chaos smoke: reconverged through RST and partition heal" >&2
+
+  # Failover: the leader dies without warning, follower1 is promoted and
+  # takes writes at epoch 1, follower2 is repointed at it by `demote`.
+  kill -9 "${leader_pid}"
+  wait "${leader_pid}" 2>/dev/null || true
+  local promote_out
+  promote_out="$(smoke_request "${f1_port}" 2 "open repl" "promote")"
+  if ! grep -q '^leader epoch 1$' <<<"${promote_out}"; then
+    echo "chaos smoke: promote did not answer epoch 1:" >&2
+    echo "${promote_out}" >&2
+    return 1
+  fi
+  write_out="$(smoke_request "${f1_port}" 2 \
+    "open repl" \
+    "define schema s3 { entity Alum { Name: char key; } }")"
+  if grep -q '^err ' <<<"${write_out}"; then
+    echo "chaos smoke: write on the promoted leader failed:" >&2
+    echo "${write_out}" >&2
+    return 1
+  fi
+  local demote_out
+  demote_out="$(smoke_request "${f2_port}" 2 \
+    "open repl" "demote 1 127.0.0.1:${f1_port}")"
+  if ! grep -q "^following 127.0.0.1:${f1_port} at epoch 1$" \
+      <<<"${demote_out}"; then
+    echo "chaos smoke: demote on follower2 failed:" >&2
+    echo "${demote_out}" >&2
+    return 1
+  fi
+  local new_export
+  new_export="$(smoke_request "${f1_port}" 2 "open repl" "export" |
+    sed '1,/^\.$/d')"
+  if ! grep -q 'Alum' <<<"${new_export}"; then
+    echo "chaos smoke: promoted leader's export is missing the new write" >&2
+    return 1
+  fi
+  converge_to "${f2_port}" "${new_export}" 150 \
+    "follower2 after repointing at the promoted leader" || return 1
+  local metrics_out
+  metrics_out="$(smoke_request "${f1_port}" 2 "open repl" "metrics")"
+  if ! grep -q '"repl.epoch": {"value": 1' <<<"${metrics_out}"; then
+    echo "chaos smoke: promoted leader does not report repl.epoch 1:" >&2
+    echo "${metrics_out}" >&2
+    return 1
+  fi
+  echo "chaos smoke: kill -9 + promote + demote repoint converged" \
+    "at epoch 1" >&2
+
+  # The deposed leader comes back believing it leads (epoch 0 on disk),
+  # is fenced by an explicit demote, refuses writes with the successor's
+  # address, and finally rejoins as a follower and converges.
+  : >"${leader_log}"
+  start_server_with_args "${leader_log}" \
+    "${serve}" --port "${leader_port}" --data-dir "${leader_data}" \
+    --role leader
+  local old_pid="${smoke_pid}"
+  chaos_smoke_pids+=("${smoke_pid}")
+  demote_out="$(smoke_request "${leader_port}" 2 \
+    "open repl" "demote 1 127.0.0.1:${f1_port}")"
+  if ! grep -q "^following 127.0.0.1:${f1_port} at epoch 1$" \
+      <<<"${demote_out}"; then
+    echo "chaos smoke: demote on the restarted old leader failed:" >&2
+    echo "${demote_out}" >&2
+    return 1
+  fi
+  write_out="$(smoke_request "${leader_port}" 2 \
+    "open repl" \
+    "define schema s4 { entity Ghost { Name: char key; } }")"
+  if ! grep -q "^err NOT_LEADER leader=127.0.0.1:${f1_port}" \
+      <<<"${write_out}"; then
+    echo "chaos smoke: fenced old leader accepted (or misrouted) a write:" >&2
+    echo "${write_out}" >&2
+    return 1
+  fi
+  kill -TERM "${old_pid}"
+  local drain_status=0
+  wait "${old_pid}" || drain_status=$?
+  if [[ "${drain_status}" -ne 0 ]]; then
+    echo "chaos smoke: fenced old leader drain exited ${drain_status}" >&2
+    return 1
+  fi
+  : >"${leader_log}"
+  start_server_with_args "${leader_log}" \
+    "${serve}" --port 0 --role follower \
+    --leader-addr "127.0.0.1:${f1_port}" --follow repl \
+    --data-dir "${leader_data}"
+  old_pid="${smoke_pid}"
+  chaos_smoke_pids+=("${smoke_pid}")
+  converge_to "${smoke_port}" "${new_export}" 150 \
+    "old leader rejoining as a follower" || return 1
+  echo "chaos smoke: fenced old leader rejoined its successor and" \
+    "converged" >&2
+
+  # Every node and both proxies drain cleanly; the proxies print their
+  # fault tallies on the way out.
+  local pid
+  for pid in "${f2_pid}" "${old_pid}" "${f1_pid}"; do
+    kill -TERM "${pid}"
+    drain_status=0
+    wait "${pid}" || drain_status=$?
+    if [[ "${drain_status}" -ne 0 ]]; then
+      echo "chaos smoke: pid ${pid} drain exited ${drain_status}, want 0" >&2
+      return 1
+    fi
+  done
+  for pid in "${p1_pid}" "${p2_pid}"; do
+    kill -TERM "${pid}"
+    drain_status=0
+    wait "${pid}" || drain_status=$?
+    if [[ "${drain_status}" -ne 0 ]]; then
+      echo "chaos smoke: proxy ${pid} exited ${drain_status}, want 0" >&2
+      return 1
+    fi
+  done
+  # The proxies' exit tallies prove the scheduled faults actually bit:
+  # both executed their RST (forcing the visible reconnect), so neither
+  # schedule expired against an idle wire.
+  local log stats
+  for log in "${p1_log}" "${p2_log}"; do
+    stats="$(grep '^chaos: connections=' "${log}" || true)"
+    if [[ -z "${stats}" ]]; then
+      echo "chaos smoke: proxy stats line missing from ${log}" >&2
+      return 1
+    fi
+    echo "${stats}" >&2
+    if ! grep -Eq 'rsts=[1-9]' <<<"${stats}"; then
+      echo "chaos smoke: scheduled RST never fired (${log}): ${stats}" >&2
+      return 1
+    fi
+    if grep -q 'connections=1 ' <<<"${stats}"; then
+      echo "chaos smoke: follower never reconnected through the proxy" \
+        "after the RST (${log}): ${stats}" >&2
+      return 1
+    fi
+  done
+  # Proxy1's 100% slice had live traffic paced into it, so at least one
+  # bit must have actually been flipped on that path.
+  if ! grep -Eq '^chaos: .*bits_flipped=[1-9]' "${p1_log}"; then
+    echo "chaos smoke: corruption window flipped no bits on proxy1" >&2
+    return 1
+  fi
+  echo "chaos smoke: scripted faults, failover, fencing, and rejoin OK" >&2
+}
+
+run_chaos_suite() {
+  local build_dir="${repo_root}/build-ci-chaos"
+  local san_flags="-fsanitize=address,undefined -fno-omit-frame-pointer"
+  echo "=== chaos: configure + build (ASan)" >&2
+  configure_and_build "${build_dir}" \
+    chaos_test service_test ecrint_serve ecrint_chaos -- \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="${san_flags}" \
+    -DCMAKE_EXE_LINKER_FLAGS="${san_flags}" \
+    -DCMAKE_SHARED_LINKER_FLAGS="${san_flags}"
+  echo "=== chaos: proxy, failover, and frame-fuzz suites" >&2
+  "${build_dir}/tests/chaos_test"
+  "${build_dir}/tests/service_test" \
+    --gtest_filter='ReplicationFailover*:ReplicationFuzz*:Replication*'
+  echo "=== chaos: scripted-fault failover smoke" >&2
+  if ! chaos_smoke "${build_dir}"; then
+    kill -9 "${chaos_smoke_pids[@]}" 2>/dev/null || true
+    return 1
+  fi
+  cleanup "${build_dir}"
+}
+
 # Guards the closure worklist kernel against silent perf regressions: a
 # Release build of perf_closure, a short BM_AssertChain sweep, and a gate
 # at 2x the recorded BENCH_resemblance.json number for BM_AssertChain/64.
@@ -1013,9 +1357,12 @@ for suite in "${suites[@]}"; do
     net)
       run_net_suite
       ;;
+    chaos)
+      run_chaos_suite
+      ;;
     *)
       echo "unknown suite: ${suite}" \
-        "(release|asan|tsan|recovery|replication|bench|protocol-compat|net)" >&2
+        "(release|asan|tsan|recovery|replication|bench|protocol-compat|net|chaos)" >&2
       exit 2
       ;;
   esac

@@ -39,7 +39,11 @@
 // sends a subscribe frame on a `proto 2` connection (requires --data-dir —
 // the journal IS the stream). `--role follower --leader-addr HOST:PORT
 // --follow PROJECT` runs a replication client per followed project,
-// refuses client writes with NOT_LEADER, and serves snapshot reads.
+// refuses client writes with NOT_LEADER, and serves snapshot reads. Any
+// durable node keeps a ReplicationServer around: a follower promoted at
+// runtime (`promote`, docs/OPERATIONS.md "Failover") starts serving the
+// stream at the bumped epoch without a restart, and a node demoted with
+// `demote <epoch> <addr>` starts refusing subscriptions.
 
 #include <sys/resource.h>
 #include <unistd.h>
@@ -165,8 +169,11 @@ int main(int argc, char** argv) {
   service::IntegrationService service(config);
   service::RequestRouter router(&service);
 
+  // Any durable node can serve the replication stream: Serve() refuses
+  // subscriptions while the node is NOT_LEADER, so a follower promoted at
+  // runtime (`promote`) starts serving without a restart.
   std::unique_ptr<service::ReplicationServer> replication;
-  if (role == "leader") {
+  if (!config.data_dir.empty()) {
     replication = std::make_unique<service::ReplicationServer>(
         &service, service.fs(), config.data_dir);
   }
