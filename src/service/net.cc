@@ -143,6 +143,7 @@ OutputQueue::FlushResult OutputQueue::Flush(int fd, BufferPool& pool,
     if (writev_calls != nullptr) writev_calls->Increment();
     if (bytes_out != nullptr) bytes_out->Increment(n);
     pending_ -= static_cast<size_t>(n);
+    drained_ += static_cast<uint64_t>(n);
     size_t advanced = static_cast<size_t>(n);
     while (advanced > 0) {
       Chunk& front = chunks_.front();
@@ -331,12 +332,24 @@ class NetServer::Reactor {
         auto* conn = static_cast<Connection*>(owner);
         conn->timer.bucket = TimerWheel::kNoBucket;
         if (!conn->output.empty()) {
-          // Not idle — stalled on EPOLLOUT with queued output (a slow or
-          // backpressured reader mid-drain). Reaping it here would cut a
-          // response off mid-frame; re-arm and let the flush path (or a
-          // genuinely idle later period) decide.
-          wheel_.Touch(&conn->timer, conn, now);
-          return;
+          // Stalled on EPOLLOUT with queued output: a slow reader mid-
+          // drain must not be reaped (that would cut a response off mid-
+          // frame), but the exemption is bounded — a peer that drains
+          // NOTHING across kStalledDrainPeriods whole idle periods is not
+          // slow, it is gone (blackholed or never reading), and exempting
+          // it forever would pin the fd plus up to a high watermark of
+          // buffered bytes for the server's lifetime.
+          const uint64_t drained = conn->output.drained();
+          if (drained != conn->drained_at_reap) {
+            conn->drained_at_reap = drained;
+            conn->stalled_periods = 0;
+            wheel_.Touch(&conn->timer, conn, now);
+            return;
+          }
+          if (++conn->stalled_periods < kStalledDrainPeriods) {
+            wheel_.Touch(&conn->timer, conn, now);
+            return;
+          }
         }
         server_->idle_timeouts_->Increment();
         CloseConnection(conn);
@@ -346,6 +359,11 @@ class NetServer::Reactor {
   }
 
  private:
+  // Idle periods a connection with queued output may survive without
+  // draining a single byte before it is reaped anyway (so ~2-3x
+  // idle_timeout_ms of total grace for a genuinely dead peer).
+  static constexpr int kStalledDrainPeriods = 2;
+
   struct Connection {
     int fd = -1;
     RouterSession session;
@@ -353,6 +371,8 @@ class NetServer::Reactor {
     OutputQueue output;
     TimerWheel::Entry timer;
     uint32_t armed_events = EPOLLIN;
+    uint64_t drained_at_reap = 0;  // output.drained() at the last idle check
+    int stalled_periods = 0;       // consecutive idle checks with no drain
     bool paused = false;   // backpressure: EPOLLIN dropped
     bool closing = false;  // flush pending output, then close
     bool dead = false;

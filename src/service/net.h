@@ -108,6 +108,10 @@ class OutputQueue {
 
   bool empty() const { return chunks_.empty(); }
   size_t pending() const { return pending_; }
+  // Cumulative bytes ever written to the socket by Flush. The idle reaper
+  // samples this across idle periods to tell a slow-but-draining reader
+  // (exempt) from a dead one that will never drain (reaped).
+  uint64_t drained() const { return drained_; }
 
   // Drops everything unsent (connection teardown), recycling the chunks.
   void Clear(BufferPool& pool);
@@ -125,6 +129,7 @@ class OutputQueue {
   };
   std::deque<Chunk> chunks_;
   size_t pending_ = 0;
+  uint64_t drained_ = 0;
 };
 
 // A hashed timing wheel for same-duration idle timeouts: Touch is O(1),

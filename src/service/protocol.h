@@ -116,13 +116,13 @@ inline constexpr uint8_t kFrameBatchResponse = 0x82;
 // subscribe frame; from then on the connection is a one-way leader→follower
 // stream (grammar in docs/FORMATS.md):
 //
-//   0x03 subscribe  lpstr(project) varint(have_seq) varint(epoch)
-//                   lpstr(leader-hint)
+//   0x03 subscribe  lpstr(project) varint(have_seq) [varint(epoch)
+//                   [lpstr(leader-hint)]]
 //   0x90 hello      varint(has-ckpt) varint(seq) varint(bytes) varint(crc)
-//                   varint(epoch)
+//                   [varint(epoch)]
 //   0x91 chunk      varint(offset) varint(crc) lpstr(bytes)
 //   0x92 record     varint(seq) varint(crc) lpstr(payload)
-//   0x93 stamp      varint(seq) 5*varint(zigzag counter) varint(epoch)
+//   0x93 stamp      varint(seq) 5*varint(zigzag counter) [varint(epoch)]
 //   0x94 error      lpstr(message)
 //
 // `epoch` is the leader epoch fencing failover (docs/OPERATIONS.md): a
@@ -130,6 +130,10 @@ inline constexpr uint8_t kFrameBatchResponse = 0x82;
 // learned it from (`leader-hint`, may be empty); a leader hearing a higher
 // epoch than its own demotes itself instead of split-brain-serving. Hello
 // and stamp carry the leader's epoch so followers reject stale leaders.
+// The bracketed fields were appended after these frames first shipped, so
+// they are OPTIONAL on decode: a pre-epoch peer omits them and absence
+// reads as epoch 0 / no hint, keeping mixed-version clusters replicating
+// through a rolling upgrade (new peers always encode them).
 inline constexpr uint8_t kFrameReplSubscribe = 0x03;
 inline constexpr uint8_t kFrameReplHello = 0x90;
 inline constexpr uint8_t kFrameReplChunk = 0x91;

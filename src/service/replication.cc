@@ -116,9 +116,19 @@ Result<ReplFrame> DecodeReplFrame(std::string_view body) {
       std::string_view project;
       std::string_view leader_hint;
       if (!GetLpString(body, project) ||
-          !GetVarint(body, frame.subscribe.have_seq) ||
-          !GetVarint(body, frame.subscribe.epoch) ||
-          !GetLpString(body, leader_hint)) {
+          !GetVarint(body, frame.subscribe.have_seq)) {
+        return ParseError("truncated subscribe frame");
+      }
+      // The epoch and leader-hint fields were appended after the frame
+      // first shipped; a pre-epoch peer simply omits them. Absence decodes
+      // as epoch 0 / no hint (a node that never saw a failover), so mixed-
+      // version clusters keep replicating through a rolling upgrade. A
+      // PRESENT field must still parse — ending mid-varint or mid-string
+      // is truncation, not an old peer.
+      if (!body.empty() && !GetVarint(body, frame.subscribe.epoch)) {
+        return ParseError("truncated subscribe frame");
+      }
+      if (!body.empty() && !GetLpString(body, leader_hint)) {
         return ParseError("truncated subscribe frame");
       }
       frame.subscribe.project = std::string(project);
@@ -128,8 +138,12 @@ Result<ReplFrame> DecodeReplFrame(std::string_view body) {
     case kFrameReplHello: {
       uint64_t has = 0, crc = 0;
       if (!GetVarint(body, has) || !GetVarint(body, frame.hello.seq) ||
-          !GetVarint(body, frame.hello.total_bytes) || !GetVarint(body, crc) ||
-          !GetVarint(body, frame.hello.epoch)) {
+          !GetVarint(body, frame.hello.total_bytes) || !GetVarint(body, crc)) {
+        return ParseError("truncated hello frame");
+      }
+      // Trailing epoch: optional, like the subscribe frame's (pre-epoch
+      // leaders never send it; absence = epoch 0).
+      if (!body.empty() && !GetVarint(body, frame.hello.epoch)) {
         return ParseError("truncated hello frame");
       }
       if (has > 1 || crc > 0xFFFFFFFFull) {
@@ -173,7 +187,8 @@ Result<ReplFrame> DecodeReplFrame(std::string_view body) {
           return ParseError("truncated stamp frame");
         }
       }
-      if (!GetVarint(body, frame.stamp.epoch)) {
+      // Trailing epoch: optional (pre-epoch leaders; absence = epoch 0).
+      if (!body.empty() && !GetVarint(body, frame.stamp.epoch)) {
         return ParseError("truncated stamp frame");
       }
       frame.stamp.stamp.schema_generation = UnZigZag(counters[0]);
@@ -277,12 +292,16 @@ Status ReplicationServer::Serve(const ReplSubscribe& subscribe,
     (void)sink.Send(EncodeReplError(message));
     return FailedPreconditionError(message);
   }
-  if (std::string leader = service_->CurrentLeaderAddr(); !leader.empty()) {
-    // This node is (or has become) a follower; it must not serve a stream
-    // it is not authoritative for.
+  if (!service_->LeadsWrites()) {
+    // This node is (or has become) a follower or a fenced deposed leader;
+    // it must not serve a stream it is not authoritative for.
+    std::string leader = service_->CurrentLeaderAddr();
     std::string message =
-        "this node is not the replication leader (writes go to " + leader +
-        ")";
+        leader.empty()
+            ? "this node is not the replication leader (fenced; the new "
+              "leader's address is not yet known)"
+            : "this node is not the replication leader (writes go to " +
+                  leader + ")";
     (void)sink.Send(EncodeReplError(message));
     return FailedPreconditionError(message);
   }
@@ -311,9 +330,9 @@ Status ReplicationServer::Serve(const ReplSubscribe& subscribe,
     bool stamped = false;
     int idle_polls = 0;
     while (!stop()) {
-      if (!service_->CurrentLeaderAddr().empty()) {
-        // Demoted mid-stream (an operator or a higher-epoch subscriber on
-        // another connection): stop serving immediately.
+      if (!service_->LeadsWrites()) {
+        // Demoted or fenced mid-stream (an operator or a higher-epoch
+        // subscriber on another connection): stop serving immediately.
         (void)sink.Send(
             EncodeReplError("leader demoted; resubscribe to the new leader"));
         return FailedPreconditionError("demoted while serving");
@@ -424,6 +443,10 @@ Result<uint64_t> FollowerState::Prepare() {
                           service_->SampleReplicationPosition(project_));
   applied_seq_ = position.seq;
   epoch_ = position.epoch;
+  // Best local knowledge of where that epoch came from: the leader address
+  // the service currently tracks (an operator demotion records it there).
+  // Empty when unknown — an honest empty hint beats a fabricated one.
+  epoch_source_ = service_->CurrentLeaderAddr();
   applied_seq_gauge_->Set(static_cast<int64_t>(applied_seq_));
   receiving_checkpoint_ = false;
   checkpoint_bytes_.clear();
@@ -439,6 +462,9 @@ Result<FollowerState::Outcome> FollowerState::NoteEpoch(uint64_t epoch) {
   }
   if (epoch > epoch_) {
     epoch_ = epoch;
+    // The epoch was learned from the peer we are streaming from — remember
+    // that address (not whatever we dial later) as its source.
+    epoch_source_ = peer_addr_;
     service_->AdoptReplicationEpoch(project_, epoch);
   }
   return Outcome::kOk;
@@ -635,6 +661,7 @@ bool ReplicationClient::RunOnce(const std::atomic<bool>& stop,
                                 const std::string& leader_addr) {
   Result<uint64_t> have_seq = follower.Prepare();
   if (!have_seq.ok()) return false;
+  follower.set_peer_addr(leader_addr);
   int fd = ConnectLeader(leader_addr);
   if (fd < 0) return false;
   // A short receive timeout keeps the loop responsive to `stop` without a
@@ -650,13 +677,16 @@ bool ReplicationClient::RunOnce(const std::atomic<bool>& stop,
   setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
              sizeof(send_timeout));
 
-  // Stall deadline: a connection that stays open but never delivers an
-  // applicable frame (half-open, blackholed, or partitioned mid-stream)
-  // is abandoned after stall_timeout_ms so the reconnect path — which may
-  // find a NEW leader — gets its turn.
-  const auto started = std::chrono::steady_clock::now();
+  // Stall deadline: a connection that stays open but stops delivering
+  // applicable frames (half-open, blackholed, or partitioned mid-stream)
+  // is abandoned once stall_timeout_ms passes without an applied frame.
+  // The deadline is rolling — it resets on every applied frame — so a
+  // stream that went quiet AFTER making progress is abandoned too, and the
+  // reconnect path (which re-reads the leader address and may find a NEW
+  // leader) gets its turn.
+  auto last_progress = std::chrono::steady_clock::now();
   auto stalled = [&]() {
-    return std::chrono::steady_clock::now() - started >
+    return std::chrono::steady_clock::now() - last_progress >
            std::chrono::milliseconds(options_.stall_timeout_ms);
   };
 
@@ -679,12 +709,15 @@ bool ReplicationClient::RunOnce(const std::atomic<bool>& stop,
     subscribe.project = project_;
     subscribe.have_seq = *have_seq;
     subscribe.epoch = follower.epoch();
-    subscribe.leader_hint = leader_addr;
+    // The hint names where the epoch was LEARNED, never the address being
+    // dialed: a deposed leader hearing our higher epoch must be pointed at
+    // the node that announced it, not redirected back at itself.
+    subscribe.leader_hint = follower.epoch_source();
     if (!WriteAll(fd, EncodeReplSubscribe(subscribe))) return;
 
     std::string buffer;
     while (!stop.load(std::memory_order_relaxed)) {
-      if (!progressed && stalled()) return;
+      if (stalled()) return;
       ssize_t n = read(fd, chunk, sizeof(chunk));
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
       if (n < 0 && errno == EINTR) continue;
@@ -706,6 +739,7 @@ bool ReplicationClient::RunOnce(const std::atomic<bool>& stop,
           return;  // resubscribe (or back off) from the top
         }
         progressed = true;
+        last_progress = std::chrono::steady_clock::now();
       }
       buffer.erase(0, consumed_total);
     }
@@ -719,10 +753,10 @@ void ReplicationClient::Run(const std::atomic<bool>& stop) {
   FollowerState follower(service_, project_);
   std::mt19937_64 rng(std::random_device{}());
   int64_t backoff_ms = options_.backoff_initial_ms;
-  // Only track the service's dynamic role when it actually follows
-  // someone; a client pointed at a service that was never a replica (test
-  // harnesses) keeps its constructor address.
-  const bool role_tracked = !service_->CurrentLeaderAddr().empty();
+  // Only track the service's dynamic role when it does not lead; a client
+  // pointed at a service that was never a replica (test harnesses) keeps
+  // its constructor address.
+  const bool role_tracked = !service_->LeadsWrites();
   int no_progress = 0;
   bool first = true;
 
@@ -750,9 +784,15 @@ void ReplicationClient::Run(const std::atomic<bool>& stop) {
     if (role_tracked) {
       addr = service_->CurrentLeaderAddr();
       if (addr.empty()) {
-        // This node was promoted: it IS the leader now, there is nothing
-        // to follow.
-        return;
+        if (service_->LeadsWrites()) {
+          // This node was promoted: it IS the leader now, there is
+          // nothing to follow.
+          return;
+        }
+        // Fenced with the leader unknown: keep polling the last known
+        // address — the deposed node there will eventually answer with a
+        // redirect, or an operator demotion fills the address in.
+        addr = leader_addr_;
       }
     }
     if (RunOnce(stop, follower, addr)) {

@@ -199,6 +199,16 @@ class FollowerState {
   // subscribe frames; a hello/stamp below it is a deposed leader).
   uint64_t epoch() const { return epoch_; }
 
+  // The address this follower is currently streaming from; NoteEpoch
+  // records it as the source of any epoch adopted on this connection.
+  void set_peer_addr(std::string addr) { peer_addr_ = std::move(addr); }
+  // Where the current epoch was actually learned: the peer that announced
+  // it mid-stream, or the address an operator demotion carried. This — not
+  // the address being dialed — is what subscribe frames send as
+  // leader_hint, so a deposed leader hearing our higher epoch is pointed
+  // at the real new leader instead of back at itself.
+  const std::string& epoch_source() const { return epoch_source_; }
+
  private:
   Result<Outcome> HandleHello(const ReplHello& hello);
   Result<Outcome> HandleChunk(const ReplChunk& chunk);
@@ -214,6 +224,8 @@ class FollowerState {
   std::string project_;
   uint64_t applied_seq_ = 0;
   uint64_t epoch_ = 0;
+  std::string peer_addr_;
+  std::string epoch_source_;
 
   // Checkpoint transfer in progress (between a hello{has_checkpoint} and
   // its final chunk).

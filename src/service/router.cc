@@ -1,6 +1,9 @@
 #include "service/router.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -107,10 +110,22 @@ ServiceResponse DemoteVerb(IntegrationService* service,
                            const std::string& leader_addr) {
   Result<std::string> project = service->sessions().ProjectOf(session_id);
   if (!project.ok()) return BadRequest(project.status().ToString());
+  // Strict base-10 parse: strtoull on its own accepts leading whitespace
+  // and a '-' sign (negating the value into the upper range) and saturates
+  // silently on overflow to 2^64-1 — any of which would poison the fence:
+  // PromoteProject computes epoch+1, so a near-max epoch wraps to 0 and no
+  // future promote could ever supersede it. Require a digit-led token,
+  // reject ERANGE, and cap at 2^64-2 so an increment always fits.
+  if (epoch_arg.empty() ||
+      std::isdigit(static_cast<unsigned char>(epoch_arg[0])) == 0) {
+    return BadRequest("expected epoch, got '" + epoch_arg + "'");
+  }
+  errno = 0;
   char* end = nullptr;
   unsigned long long epoch = std::strtoull(epoch_arg.c_str(), &end, 10);
-  if (end == epoch_arg.c_str() || *end != '\0') {
-    return BadRequest("expected epoch, got '" + epoch_arg + "'");
+  if (end == epoch_arg.c_str() || *end != '\0' || errno == ERANGE ||
+      epoch >= std::numeric_limits<uint64_t>::max()) {
+    return BadRequest("epoch out of range: '" + epoch_arg + "'");
   }
   if (leader_addr.empty()) {
     return BadRequest("usage: demote <epoch> <leader-addr>");
@@ -124,8 +139,16 @@ ServiceResponse DemoteVerb(IntegrationService* service,
     return response;
   }
   ServiceResponse response;
-  response.lines.push_back("following " + leader_addr + " at epoch " +
-                           epoch_arg);
+  if (!service->LeadsWrites() && service->CurrentLeaderAddr().empty()) {
+    // The hint pointed back at this node, so the service fenced instead of
+    // following itself; saying "following" here would tell the operator
+    // the redirect loop they just avoided is in effect.
+    response.lines.push_back("fenced at epoch " + epoch_arg +
+                             " (hint points at this node)");
+  } else {
+    response.lines.push_back("following " + leader_addr + " at epoch " +
+                             epoch_arg);
+  }
   return response;
 }
 

@@ -25,11 +25,16 @@ ServiceResponse ErrorResponse(ServiceError error) {
   return response;
 }
 
-// The refusal a read replica hands every client-facing mutation.
+// The refusal a read replica hands every client-facing mutation. An empty
+// `leader` is a fenced node: deposed at a higher epoch without learning
+// the new leader's address, so there is nothing to redirect to yet.
 ServiceError NotLeaderError(const std::string& leader) {
   ServiceError error;
   error.code = ServiceErrorCode::kNotLeader;
-  error.message = "read replica: writes go to the leader at " + leader;
+  error.message = leader.empty()
+                      ? "read replica: fenced at a newer epoch, leader "
+                        "address not yet known"
+                      : "read replica: writes go to the leader at " + leader;
   error.leader = leader;
   return error;
 }
@@ -484,11 +489,12 @@ ServiceResponse IntegrationService::RunWrite(ProjectState& project,
                           "deadline expired while queued for write"});
   }
   if (verb != nullptr) {
-    if (std::string leader = CurrentLeaderAddr(); !leader.empty()) {
-      // Read replica: the leader's replication stream is the only writer
-      // (it enters through ApplyReplicated, not here). The address is
-      // dynamic — a promote clears it, a demote (re)sets it.
-      return ErrorResponse(NotLeaderError(leader));
+    if (!LeadsWrites()) {
+      // Read replica (or a fenced deposed leader): the leader's
+      // replication stream is the only writer (it enters through
+      // ApplyReplicated, not here). The role is dynamic — a promote lifts
+      // the gate, a demote (re)sets it.
+      return ErrorResponse(NotLeaderError(CurrentLeaderAddr()));
     }
     if (project.degraded) {
       return ErrorResponse(UnavailableError(project));
@@ -553,6 +559,11 @@ std::string IntegrationService::CurrentLeaderAddr() const {
   return leader_addr_;
 }
 
+bool IntegrationService::LeadsWrites() const {
+  std::lock_guard<std::mutex> lock(role_mutex_);
+  return !fenced_ && leader_addr_.empty();
+}
+
 uint64_t IntegrationService::ProjectEpoch(const std::string& project) {
   ProjectState* state = FindProject(project);
   if (state == nullptr) return 0;
@@ -606,6 +617,7 @@ Result<uint64_t> IntegrationService::PromoteProject(
   {
     std::lock_guard<std::mutex> lock(role_mutex_);
     leader_addr_.clear();
+    fenced_ = false;
   }
   epoch_gauge_->Set(static_cast<int64_t>(new_epoch));
   return new_epoch;
@@ -621,7 +633,7 @@ Status IntegrationService::DemoteProject(const std::string& project,
   }
   {
     std::lock_guard<std::mutex> lock(state->write_mutex);
-    const bool leads = CurrentLeaderAddr().empty();
+    const bool leads = LeadsWrites();
     // A demotion must carry a strictly newer epoch to depose a leader;
     // re-pointing an existing follower at the same epoch is legal (it
     // learned the address out of band).
@@ -640,7 +652,23 @@ Status IntegrationService::DemoteProject(const std::string& project,
   }
   {
     std::lock_guard<std::mutex> lock(role_mutex_);
-    leader_addr_ = leader_addr;
+    // The hint is only adopted when it can actually be followed. An empty
+    // hint (the demoter learned the epoch but not the leader's address) or
+    // one pointing back at this very node (a stale follower echoing OUR
+    // address) must not become leader_addr_: blanking it would mean "this
+    // node leads" — split-brain at the new epoch — and self-adopting would
+    // bounce every redirected client straight back here. Either way the
+    // epoch above already rose, so the node fences: writes are refused
+    // with an address-less NOT_LEADER until a usable address arrives.
+    const bool self_hint = !config_.advertised_addr.empty() &&
+                           leader_addr == config_.advertised_addr;
+    if (leader_addr.empty() || self_hint) {
+      leader_addr_.clear();
+      fenced_ = true;
+    } else {
+      leader_addr_ = leader_addr;
+      fenced_ = false;
+    }
   }
   epoch_gauge_->Set(static_cast<int64_t>(epoch));
   return Status::Ok();
@@ -1175,6 +1203,7 @@ void IntegrationService::RunWriteBatch(
   const core::ClosureStats closure_before = project.engine.ClosureTotals();
   // One role probe for the run: a promote/demote racing the batch lands
   // before or after the whole run, never between two of its writes.
+  const bool leads = LeadsWrites();
   const std::string leader = CurrentLeaderAddr();
   // WAL-first per command, but with deferred appends: each record is
   // framed and appended before its verb runs, and ONE durability barrier
@@ -1192,7 +1221,7 @@ void IntegrationService::RunWriteBatch(
       out[k] = ExportBody(project.engine);
       continue;
     }
-    if (!leader.empty()) {
+    if (!leads) {
       out[k] = ErrorResponse(NotLeaderError(leader));
       continue;
     }

@@ -154,6 +154,12 @@ struct ServiceConfig {
   // are refused with NOT_LEADER carrying this address, and the replication
   // plane (ApplyReplicated et al.) is the only writer.
   std::string leader_addr;
+  // The address other nodes reach THIS node at (ecrint_serve --advertise).
+  // Only used defensively: a demotion whose leader hint points back at this
+  // address is a stale follower echoing our own address, and adopting it
+  // would redirect clients in a loop — the node fences instead. Empty
+  // disables the self-hint check.
+  std::string advertised_addr;
 };
 
 // The multi-session, thread-safe service plane over engine::Engine.
@@ -299,9 +305,19 @@ class IntegrationService {
   // bumps it, and both sides reject traffic from a stale epoch, so a
   // deposed leader that comes back cannot split-brain the cluster.
 
-  // Empty when this node currently accepts writes; otherwise the leader
-  // address NOT_LEADER refusals carry.
+  // The leader address NOT_LEADER refusals carry; empty when none is
+  // known — which means this node leads, UNLESS it is fenced (see
+  // LeadsWrites). Role decisions must go through LeadsWrites, never
+  // through CurrentLeaderAddr().empty().
   std::string CurrentLeaderAddr() const;
+
+  // True when this node currently accepts client writes. False for a
+  // follower (CurrentLeaderAddr names its leader) and for a *fenced* node:
+  // one deposed at a higher epoch without learning the new leader's
+  // address (empty or self-pointing demotion hint). A fenced node refuses
+  // writes with NOT_LEADER carrying no address; only a promote (or a
+  // demotion with a usable address) ends the fence.
+  bool LeadsWrites() const;
 
   // The leader epoch of `project`'s stream (0 for an unknown project).
   uint64_t ProjectEpoch(const std::string& project);
@@ -319,7 +335,11 @@ class IntegrationService {
   // The inverse: fences this node behind `leader_addr` at `epoch`.
   // Rejects a stale demotion — `epoch` below the project's epoch, or equal
   // to it while this node believes it leads that epoch — with
-  // FailedPrecondition (counted in repl.stale_epoch_rejects).
+  // FailedPrecondition (counted in repl.stale_epoch_rejects). A hint that
+  // is empty or points back at this node (config.advertised_addr) is not
+  // adopted: the epoch still rises but the node fences with the leader
+  // unknown instead of redirecting clients at itself (or, worse, blanking
+  // the address and claiming leadership at the new epoch).
   Status DemoteProject(const std::string& project, uint64_t epoch,
                        const std::string& leader_addr);
 
@@ -473,9 +493,11 @@ class IntegrationService {
   Histogram* batch_size_ = nullptr;
 
   // Dynamic role state (see the failover plane). Guarded by role_mutex_;
-  // empty string = this node leads.
+  // the node leads iff leader_addr_ is empty AND it is not fenced. Fenced
+  // = deposed at a higher epoch without a usable new-leader address.
   mutable std::mutex role_mutex_;
   std::string leader_addr_;
+  bool fenced_ = false;
 
   // Guards the project table only; per-project state has its own locks.
   // Readers (every request) take it shared, project creation exclusive.

@@ -14,6 +14,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <random>
 #include <string>
@@ -587,6 +588,52 @@ TEST(NetServer, BackpressuredConnectionSurvivesIdleReaper) {
   EXPECT_EQ(
       fixture.service.metrics().GetCounter("net.idle_timeouts")->value(),
       0);
+  close(fd);
+}
+
+TEST(NetServer, StuckWriterWithQueuedOutputIsReaped) {
+  NetOptions options;
+  options.port = 0;
+  options.net_threads = 1;
+  options.idle_timeout_ms = 150;
+  options.output_high_watermark = 64 * 1024;
+  options.output_low_watermark = 8 * 1024;
+  ServerFixture fixture(options);
+
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  int rcvbuf = 4096;
+  setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(fixture.port));
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0)
+      << std::strerror(errno);
+
+  ASSERT_TRUE(SendAll(fd, "open uni\n"));
+  ASSERT_EQ(ReadUntil(fd, ".\n").substr(0, 3), "ok\n");
+
+  // Same pinned-output shape as the backpressure test above, but the peer
+  // NEVER drains: a dead client behind a closed window. The reaper must
+  // distinguish this from the slow-drain case — no drain progress across
+  // consecutive idle periods — and close it, or the fd and up to an entire
+  // output_high_watermark of queued bytes leak until process exit.
+  constexpr int kBurst = 2000;
+  std::string burst;
+  for (int i = 0; i < kBurst; ++i) burst += "metrics\n";
+  ASSERT_TRUE(SendAll(fd, burst));
+
+  Counter* reaped =
+      fixture.service.metrics().GetCounter("net.idle_timeouts");
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (reaped->value() < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    usleep(20 * 1000);
+  }
+  EXPECT_GE(reaped->value(), 1);
   close(fd);
 }
 

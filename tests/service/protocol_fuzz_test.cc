@@ -21,6 +21,7 @@
 #include "service/replication.h"
 
 #include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -182,7 +183,7 @@ TEST(ProtocolFuzzTest, BinaryResponseRoundTripsRandomResponses) {
 
     Result<DecodedResponse> decoded = DecodeBinaryResponse(body);
     ASSERT_TRUE(decoded.ok())
-        << "iteration " << i << ": " << decoded.status().ToString();
+        << "iteration " << i << ": " << decoded.status().message();
     ASSERT_FALSE(decoded->batch);
     ASSERT_EQ(decoded->items.size(), 1u);
     ExpectSameResponse(original, decoded->items[0],
@@ -204,7 +205,7 @@ TEST(ProtocolFuzzTest, BinaryBatchRoundTripsRandomBatches) {
     ASSERT_EQ(ExtractFrame(frame, &body, &consumed, &error),
               FrameStatus::kComplete);
     Result<DecodedResponse> decoded = DecodeBinaryResponse(body);
-    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ASSERT_TRUE(decoded.ok()) << decoded.status().message();
     ASSERT_TRUE(decoded->batch);
     ASSERT_EQ(decoded->items.size(), originals.size());
     for (size_t j = 0; j < n; ++j) {
@@ -233,7 +234,7 @@ TEST(ProtocolFuzzTest, BinaryRequestRoundTripsRawArguments) {
     ASSERT_EQ(ExtractFrame(frame, &body, &consumed, &error),
               FrameStatus::kComplete);
     Result<DecodedRequest> decoded = DecodeBinaryRequest(body);
-    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ASSERT_TRUE(decoded.ok()) << decoded.status().message();
     ASSERT_FALSE(decoded->batch);
     ASSERT_EQ(decoded->items.size(), 1u);
     EXPECT_EQ(static_cast<int>(decoded->items[0].verb),
@@ -378,7 +379,7 @@ TEST(ReplicationFuzzTest, FramesRoundTripWithEpochFields) {
   subscribe.leader_hint = "10.0.0.9:7400";
   Result<ReplFrame> sub =
       DecodeReplFrame(FrameBody(EncodeReplSubscribe(subscribe)));
-  ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+  ASSERT_TRUE(sub.ok()) << sub.status().message();
   EXPECT_EQ(sub->subscribe.project, "alpha");
   EXPECT_EQ(sub->subscribe.have_seq, 12345u);
   EXPECT_EQ(sub->subscribe.epoch, 7u);
@@ -391,7 +392,7 @@ TEST(ReplicationFuzzTest, FramesRoundTripWithEpochFields) {
   hello.crc = 0xDEADBEEF;
   hello.epoch = 3;
   Result<ReplFrame> hi = DecodeReplFrame(FrameBody(EncodeReplHello(hello)));
-  ASSERT_TRUE(hi.ok()) << hi.status().ToString();
+  ASSERT_TRUE(hi.ok()) << hi.status().message();
   EXPECT_TRUE(hi->hello.has_checkpoint);
   EXPECT_EQ(hi->hello.seq, 99u);
   EXPECT_EQ(hi->hello.epoch, 3u);
@@ -400,9 +401,32 @@ TEST(ReplicationFuzzTest, FramesRoundTripWithEpochFields) {
   stamp.seq = 100;
   stamp.epoch = 9;
   Result<ReplFrame> st = DecodeReplFrame(FrameBody(EncodeReplStamp(stamp)));
-  ASSERT_TRUE(st.ok()) << st.status().ToString();
+  ASSERT_TRUE(st.ok()) << st.status().message();
   EXPECT_EQ(st->stamp.seq, 100u);
   EXPECT_EQ(st->stamp.epoch, 9u);
+}
+
+// The body lengths at which a truncated subscribe/hello/stamp is not
+// truncation at all but the complete PRE-EPOCH grammar (the trailing
+// epoch/leader-hint fields are optional on decode for rolling-upgrade
+// compatibility — absence reads as epoch 0 / no hint). Every other proper
+// prefix must still be a clean error.
+std::set<size_t> LegacyCompleteLengths(const std::string& body) {
+  std::set<size_t> lengths;
+  const uint8_t type = static_cast<uint8_t>(body[0]);
+  if (type == kFrameReplSubscribe) {
+    std::string prefix;
+    prefix.push_back(static_cast<char>(kFrameReplSubscribe));
+    PutLpString(prefix, "alpha");
+    PutVarint(prefix, 12345);  // have_seq, as in AllReplicationFrames
+    lengths.insert(prefix.size());  // pre-epoch grammar
+    PutVarint(prefix, 7);  // epoch present, hint absent
+    lengths.insert(prefix.size());
+  } else if (type == kFrameReplHello || type == kFrameReplStamp) {
+    // Both end in one optional epoch varint (1 byte for the test values).
+    lengths.insert(body.size() - 1);
+  }
+  return lengths;
 }
 
 TEST(ReplicationFuzzTest, TruncationAtEveryByteIsClean) {
@@ -419,16 +443,60 @@ TEST(ReplicationFuzzTest, TruncationAtEveryByteIsClean) {
     }
     // Body-level truncation: every proper prefix is missing a field or
     // ends mid-varint/mid-string — a clean decode error, never a crash or
-    // a silently short frame.
+    // a silently short frame — EXCEPT the exact lengths where the prefix
+    // IS the complete pre-epoch frame, which must decode with epoch 0.
     std::string body(FrameBody(frame));
+    const std::set<size_t> legacy = LegacyCompleteLengths(body);
     for (size_t cut = 0; cut < body.size(); ++cut) {
       Result<ReplFrame> decoded =
           DecodeReplFrame(std::string_view(body).substr(0, cut));
+      if (legacy.count(cut) != 0) {
+        ASSERT_TRUE(decoded.ok())
+            << "frame type " << static_cast<int>(body[0])
+            << " legacy-complete at " << cut << ": "
+            << decoded.status().message();
+        continue;
+      }
       EXPECT_FALSE(decoded.ok())
           << "frame type " << static_cast<int>(body[0]) << " body cut at "
           << cut;
     }
   }
+}
+
+TEST(ReplicationFuzzTest, PreEpochFramesDecodeWithEpochZero) {
+  // Frames exactly as a PR-8-era peer encodes them: no epoch, no hint.
+  std::string subscribe;
+  subscribe.push_back(static_cast<char>(kFrameReplSubscribe));
+  PutLpString(subscribe, "uni");
+  PutVarint(subscribe, 41);
+  Result<ReplFrame> sub = DecodeReplFrame(subscribe);
+  ASSERT_TRUE(sub.ok()) << sub.status().message();
+  EXPECT_EQ(sub->subscribe.project, "uni");
+  EXPECT_EQ(sub->subscribe.have_seq, 41u);
+  EXPECT_EQ(sub->subscribe.epoch, 0u);
+  EXPECT_TRUE(sub->subscribe.leader_hint.empty());
+
+  std::string hello;
+  hello.push_back(static_cast<char>(kFrameReplHello));
+  PutVarint(hello, 1);        // has_checkpoint
+  PutVarint(hello, 99);       // seq
+  PutVarint(hello, 4096);     // total_bytes
+  PutVarint(hello, 0xABCD);   // crc
+  Result<ReplFrame> hi = DecodeReplFrame(hello);
+  ASSERT_TRUE(hi.ok()) << hi.status().message();
+  EXPECT_TRUE(hi->hello.has_checkpoint);
+  EXPECT_EQ(hi->hello.seq, 99u);
+  EXPECT_EQ(hi->hello.epoch, 0u);
+
+  std::string stamp;
+  stamp.push_back(static_cast<char>(kFrameReplStamp));
+  PutVarint(stamp, 12);  // seq
+  for (int i = 0; i < 5; ++i) PutVarint(stamp, 1);  // zigzag counters
+  Result<ReplFrame> st = DecodeReplFrame(stamp);
+  ASSERT_TRUE(st.ok()) << st.status().message();
+  EXPECT_EQ(st->stamp.seq, 12u);
+  EXPECT_EQ(st->stamp.epoch, 0u);
 }
 
 TEST(ReplicationFuzzTest, OverlongVarintInBodyIsRejected) {

@@ -9,9 +9,16 @@
 
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <cstring>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -720,6 +727,274 @@ TEST(ReplicationFailoverTest, PromotedFollowerServesStreamAtBumpedEpoch) {
   EXPECT_EQ(StampOf(*node.service, "uni"), StampOf(*follower.service, "uni"));
   EXPECT_EQ(state.epoch(), 1u);
   EXPECT_EQ(follower.service->ProjectEpoch("uni"), 1u);
+}
+
+// --- fencing without a usable leader address -------------------------------
+
+TEST(ReplicationFailoverTest, EmptyDemoteHintFencesInsteadOfSelfAdopting) {
+  common::MemFs fs;
+  Node node(&fs, "/n1");  // standalone: leads by default
+  node.service->EnsureProject("uni");
+  std::string session = node.service->OpenSession("uni");
+  ASSERT_TRUE(node.service->Define(session, kUniversityDdl).ok());
+
+  // Deposed at a higher epoch with no forwarding address. The old
+  // representation (leader_addr empty == leads) would leave this node
+  // writable at the same epoch as the real new leader — split-brain.
+  ASSERT_TRUE(node.service->DemoteProject("uni", 3, "").ok());
+  EXPECT_FALSE(node.service->LeadsWrites());
+  EXPECT_TRUE(node.service->CurrentLeaderAddr().empty());
+  EXPECT_EQ(node.service->ProjectEpoch("uni"), 3u);
+
+  ServiceResponse refused =
+      node.service->AssertRelation(session, {"sc1", "Student"}, 1,
+                                   {"sc2", "Grad"});
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error->code, ServiceErrorCode::kNotLeader);
+  EXPECT_TRUE(refused.error->leader.empty());
+
+  // A later demote with a real address ends the fence as a follower...
+  ASSERT_TRUE(node.service->DemoteProject("uni", 3, "10.0.0.9:7400").ok());
+  EXPECT_EQ(node.service->CurrentLeaderAddr(), "10.0.0.9:7400");
+  EXPECT_FALSE(node.service->LeadsWrites());
+  // ...and a promote ends it as the leader.
+  Result<uint64_t> epoch = node.service->PromoteProject("uni");
+  ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+  EXPECT_EQ(*epoch, 4u);
+  EXPECT_TRUE(node.service->LeadsWrites());
+  EXPECT_TRUE(node.service
+                  ->AssertRelation(session, {"sc1", "Student"}, 1,
+                                   {"sc2", "Grad"})
+                  .ok());
+}
+
+TEST(ReplicationFailoverTest, SelfPointingDemoteHintFences) {
+  common::MemFs fs;
+  ServiceConfig config;
+  config.fs = &fs;
+  config.data_dir = "/n1";
+  config.durability.fsync = FsyncPolicy::kNever;
+  config.advertised_addr = "10.0.0.7:7400";
+  IntegrationService service(config);
+  service.EnsureProject("uni");
+
+  // A hint pointing back at this node (a confused client echoing the
+  // address it dialed) must not be adopted: following yourself is a
+  // redirect loop. Fence instead.
+  ASSERT_TRUE(service.DemoteProject("uni", 2, "10.0.0.7:7400").ok());
+  EXPECT_FALSE(service.LeadsWrites());
+  EXPECT_TRUE(service.CurrentLeaderAddr().empty());
+  EXPECT_EQ(service.ProjectEpoch("uni"), 2u);
+
+  std::string session = service.OpenSession("uni");
+  ServiceResponse refused = service.Define(session, kUniversityDdl);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error->code, ServiceErrorCode::kNotLeader);
+  EXPECT_TRUE(refused.error->leader.empty());
+}
+
+TEST(ReplicationFailoverTest, HigherEpochSubscribeWithEmptyHintFences) {
+  common::MemFs fs;
+  Node leader(&fs, "/lead");
+  std::string session = leader.service->OpenSession("uni");
+  ASSERT_TRUE(leader.service->Define(session, kUniversityDdl).ok());
+
+  ReplicationServer server(leader.service.get(), &fs, "/lead");
+  ReplSubscribe subscribe;
+  subscribe.project = "uni";
+  subscribe.have_seq = 0;
+  subscribe.epoch = 5;
+  subscribe.leader_hint = "";  // subscriber never learned an address
+  QueueSink sink;
+  Status served = server.Serve(subscribe, sink, [] { return false; });
+  EXPECT_FALSE(served.ok());
+
+  // Deposed without a forwarding address: fenced, not still leading.
+  EXPECT_FALSE(leader.service->LeadsWrites());
+  EXPECT_TRUE(leader.service->CurrentLeaderAddr().empty());
+  EXPECT_EQ(leader.service->ProjectEpoch("uni"), 5u);
+  ServiceResponse refused =
+      leader.service->AssertRelation(session, {"sc1", "Student"}, 1,
+                                     {"sc2", "Grad"});
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error->code, ServiceErrorCode::kNotLeader);
+  EXPECT_TRUE(refused.error->leader.empty());
+}
+
+TEST(ReplicationFailoverTest, SubscribeHintNamesEpochSourceNotDialedAddr) {
+  common::MemFs fs;
+  Node follower(&fs, "", "10.0.0.7:7400");  // still dialing the old leader
+  FollowerState state(follower.service.get(), "uni");
+  ASSERT_TRUE(state.Prepare().ok());
+  // Before any epoch is learned the hint is the configured leader address.
+  EXPECT_EQ(state.epoch_source(), "10.0.0.7:7400");
+
+  // A stream from a different peer announces a new epoch: the hint must
+  // repoint at the peer that ANNOUNCED it — echoing the dialed address
+  // back at a deposed leader would redirect it to itself.
+  state.set_peer_addr("10.0.0.8:7400");
+  ReplHello hello;
+  hello.has_checkpoint = false;
+  hello.seq = 0;
+  hello.epoch = 3;
+  Result<FollowerState::Outcome> outcome =
+      state.HandleFrame(Body(EncodeReplHello(hello)));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(*outcome, FollowerState::Outcome::kOk);
+  EXPECT_EQ(state.epoch(), 3u);
+  EXPECT_EQ(state.epoch_source(), "10.0.0.8:7400");
+}
+
+// --- rolling stall deadline (socket level) ---------------------------------
+
+namespace blackhole {
+
+void SetRecvTimeoutMs(int fd, int ms) {
+  struct timeval timeout;
+  timeout.tv_sec = ms / 1000;
+  timeout.tv_usec = (ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+}
+
+bool SendAll(int fd, const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n =
+        send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// A fake leader that completes the `proto 2` handshake, answers the
+// subscribe with one applicable hello frame, then goes silent with the
+// connection held open — the half-open / blackholed-mid-stream shape. A
+// stall deadline that only covers the pre-progress window never abandons
+// this connection.
+class BlackholeLeader {
+ public:
+  BlackholeLeader() {
+    listener_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    bind(listener_, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr));
+    listen(listener_, 16);
+    socklen_t len = sizeof(addr);
+    getsockname(listener_, reinterpret_cast<struct sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    SetRecvTimeoutMs(listener_, 50);
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+  }
+
+  ~BlackholeLeader() {
+    stop_.store(true);
+    accept_thread_.join();
+    for (int fd : held_) close(fd);
+    close(listener_);
+  }
+
+  std::string addr() const { return "127.0.0.1:" + std::to_string(port_); }
+  int accepts() const { return accepts_.load(); }
+
+ private:
+  void AcceptLoop() {
+    while (!stop_.load()) {
+      int fd = accept(listener_, nullptr, nullptr);
+      if (fd < 0) continue;
+      accepts_.fetch_add(1);
+      SetRecvTimeoutMs(fd, 50);
+      // Text negotiation: read the `proto 2` line, acknowledge it.
+      if (!ReadSome(fd, "\n")) {
+        close(fd);
+        continue;
+      }
+      if (!SendAll(fd, "ok\nproto 2\n.\n")) {
+        close(fd);
+        continue;
+      }
+      // The subscribe frame (contents irrelevant here), then one hello the
+      // follower applies — progress — and from then on: nothing, forever.
+      if (!ReadSome(fd, "")) {
+        close(fd);
+        continue;
+      }
+      ReplHello hello;
+      hello.has_checkpoint = false;
+      hello.seq = 0;  // echoes the fresh follower's have_seq
+      if (!SendAll(fd, EncodeReplHello(hello))) {
+        close(fd);
+        continue;
+      }
+      held_.push_back(fd);
+    }
+  }
+
+  // Reads until `marker` appears (or any bytes at all when empty); false
+  // on peer close or stop.
+  bool ReadSome(int fd, const std::string& marker) {
+    std::string got;
+    char buf[512];
+    while (!stop_.load()) {
+      if (!got.empty() &&
+          (marker.empty() || got.find(marker) != std::string::npos)) {
+        return true;
+      }
+      ssize_t n = recv(fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        got.append(buf, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+      return false;
+    }
+    return false;
+  }
+
+  int listener_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> accepts_{0};
+  std::thread accept_thread_;
+  std::vector<int> held_;
+};
+
+}  // namespace blackhole
+
+TEST(ReplicationClientTest, BlackholedStreamAfterProgressReconnects) {
+  common::MemFs fs;
+  blackhole::BlackholeLeader leader;
+  Node follower(&fs, "", leader.addr());
+
+  ReplicationClient::Options options;
+  options.stall_timeout_ms = 250;
+  options.backoff_initial_ms = 10;
+  options.backoff_max_ms = 40;
+  ReplicationClient client(follower.service.get(), leader.addr(), "uni",
+                           options);
+  std::atomic<bool> stop{false};
+  std::thread runner([&] { client.Run(stop); });
+
+  // Every connection applies one frame before the blackhole, so only a
+  // ROLLING stall deadline — reset by progress, still enforced after it —
+  // gets the client off the dead stream and into a reconnect (where a new
+  // leader address would be picked up). Pre-fix this spins forever on the
+  // first connection and the counter never moves.
+  Counter* reconnects =
+      follower.service->metrics().GetCounter("repl.reconnects");
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (reconnects->value() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  stop.store(true);
+  runner.join();
+  EXPECT_GE(reconnects->value(), 2);
+  EXPECT_GE(leader.accepts(), 2);
 }
 
 }  // namespace

@@ -282,5 +282,26 @@ TEST_F(RouterTest, AsyncMatchesSynchronous) {
   EXPECT_EQ(sync, async);
 }
 
+TEST_F(RouterTest, DemoteRejectsMalformedEpochs) {
+  Ok("open uni");
+  // strtoull on its own would accept every one of these: "-1" negates to
+  // 2^64-1, "+2" parses, overflow saturates silently. Any of them poisons
+  // the fence — epoch 2^64-1 can never be superseded because promote's
+  // epoch+1 wraps to 0.
+  EXPECT_EQ(Err("demote -1 10.0.0.9:7400").code,
+            ServiceErrorCode::kBadRequest);
+  EXPECT_EQ(Err("demote +2 10.0.0.9:7400").code,
+            ServiceErrorCode::kBadRequest);
+  EXPECT_EQ(Err("demote 2x 10.0.0.9:7400").code,
+            ServiceErrorCode::kBadRequest);
+  EXPECT_EQ(Err("demote 99999999999999999999 10.0.0.9:7400").code,
+            ServiceErrorCode::kBadRequest);  // ERANGE
+  EXPECT_EQ(Err("demote 18446744073709551615 10.0.0.9:7400").code,
+            ServiceErrorCode::kBadRequest);  // 2^64-1: increment would wrap
+  // The largest usable epoch and a plain small one still parse.
+  EXPECT_FALSE(Ok("demote 2 10.0.0.9:7400").empty());
+  EXPECT_FALSE(Ok("demote 18446744073709551614 10.0.0.9:7400").empty());
+}
+
 }  // namespace
 }  // namespace ecrint::service

@@ -127,6 +127,11 @@ int main(int argc, char** argv) {
       role = argv[++i];
     } else if (arg == "--leader-addr" && i + 1 < argc) {
       leader_addr = argv[++i];
+    } else if (arg == "--advertise" && i + 1 < argc) {
+      // The address peers reach this node at; lets the failover plane
+      // detect (and refuse to adopt) a demotion hint pointing back at
+      // this very node.
+      config.advertised_addr = argv[++i];
     } else if (arg == "--follow" && i + 1 < argc) {
       follow.emplace_back(argv[++i]);
     } else if (arg == "--once") {
@@ -137,7 +142,7 @@ int main(int argc, char** argv) {
                    "[--deadline-ms N] [--data-dir PATH] "
                    "[--fsync always|batch|never] [--checkpoint-interval N] "
                    "[--role leader|follower] [--leader-addr HOST:PORT] "
-                   "[--follow PROJECT]... [--once]\n";
+                   "[--advertise HOST:PORT] [--follow PROJECT]... [--once]\n";
       return 2;
     }
   }
